@@ -1,0 +1,82 @@
+//! Ablation of MBBE's three §4.5 strategies (DESIGN.md §8): each knob
+//! is toggled in isolation against classic BBE on the same instance, so
+//! the bench output shows which strategy buys which share of the
+//! speedup. A second group sweeps `X_max` and `X_d`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dagsfc_bench::bench_instance;
+use dagsfc_core::solvers::{BbeConfig, MbbeSolver, Solver};
+use std::hint::black_box;
+
+fn strategy_ablation(c: &mut Criterion) {
+    let (net, sfc, flow) = bench_instance(5);
+    let variants: Vec<(&str, BbeConfig)> = vec![
+        ("bbe_classic", BbeConfig::default()),
+        (
+            "xmax_only",
+            BbeConfig {
+                x_max: Some(40),
+                adaptive_x_max: true,
+                ..BbeConfig::default()
+            },
+        ),
+        (
+            "mincost_only",
+            BbeConfig {
+                use_min_cost_paths: true,
+                ..BbeConfig::default()
+            },
+        ),
+        (
+            "xd_only",
+            BbeConfig {
+                x_d: Some(4),
+                ..BbeConfig::default()
+            },
+        ),
+        ("mbbe_all_three", BbeConfig::mbbe()),
+        ("mbbe_steiner", BbeConfig::mbbe_steiner()),
+    ];
+    let mut group = c.benchmark_group("mbbe_strategy_ablation");
+    group.sample_size(10);
+    for (name, config) in variants {
+        let solver = MbbeSolver { config };
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(solver.solve(&net, &sfc, &flow).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn xmax_sweep(c: &mut Criterion) {
+    let (net, sfc, flow) = bench_instance(5);
+    let mut group = c.benchmark_group("xmax_sweep");
+    group.sample_size(10);
+    for x_max in [10usize, 20, 40, 60] {
+        let solver = MbbeSolver::with_limits(x_max, 4);
+        group.bench_with_input(BenchmarkId::from_parameter(x_max), &x_max, |b, _| {
+            b.iter(|| black_box(solver.solve(&net, &sfc, &flow).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn xd_sweep(c: &mut Criterion) {
+    let (net, sfc, flow) = bench_instance(5);
+    let mut group = c.benchmark_group("xd_sweep");
+    group.sample_size(10);
+    for x_d in [1usize, 2, 4, 8] {
+        let solver = MbbeSolver::with_limits(40, x_d);
+        group.bench_with_input(BenchmarkId::from_parameter(x_d), &x_d, |b, _| {
+            b.iter(|| black_box(solver.solve(&net, &sfc, &flow).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = ablation;
+    config = Criterion::default();
+    targets = strategy_ablation, xmax_sweep, xd_sweep
+}
+criterion_main!(ablation);

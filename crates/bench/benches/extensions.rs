@@ -1,0 +1,89 @@
+//! Benchmarks for the beyond-the-paper extensions: online admission
+//! throughput, request lifecycles, 1+1 protection, and the MBBE-ST
+//! Steiner variant against plain MBBE on the same instance.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dagsfc_bench::bench_instance;
+use dagsfc_core::protect::protect;
+use dagsfc_core::solvers::{MbbeSolver, MbbeStSolver, Solver};
+use dagsfc_sim::online::{run_online, OnlineConfig};
+use dagsfc_sim::lifecycle::{run_lifecycle, LifecycleConfig};
+use dagsfc_sim::{Algo, SimConfig};
+use std::hint::black_box;
+
+fn pressured() -> SimConfig {
+    SimConfig {
+        network_size: 40,
+        sfc_size: 4,
+        vnf_capacity: 8.0,
+        link_capacity: 8.0,
+        ..SimConfig::default()
+    }
+}
+
+fn online_bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("online");
+    group.sample_size(10);
+    group.bench_function("mbbe_60_requests", |b| {
+        let cfg = OnlineConfig {
+            base: pressured(),
+            requests: 60,
+            algo: Algo::Mbbe,
+        };
+        b.iter(|| black_box(run_online(&cfg)))
+    });
+    group.bench_function("minv_60_requests", |b| {
+        let cfg = OnlineConfig {
+            base: pressured(),
+            requests: 60,
+            algo: Algo::Minv,
+        };
+        b.iter(|| black_box(run_online(&cfg)))
+    });
+    group.finish();
+}
+
+fn lifecycle_bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lifecycle");
+    group.sample_size(10);
+    group.bench_function("mbbe_60_arrivals", |b| {
+        let cfg = LifecycleConfig {
+            base: pressured(),
+            arrivals: 60,
+            mean_holding: 8.0,
+            algo: Algo::Mbbe,
+        };
+        b.iter(|| black_box(run_lifecycle(&cfg)))
+    });
+    group.finish();
+}
+
+fn protection_bench(c: &mut Criterion) {
+    let (net, sfc, flow) = bench_instance(4);
+    let out = MbbeSolver::new().solve(&net, &sfc, &flow).unwrap();
+    c.bench_function("protect/bhandari_backups", |b| {
+        b.iter(|| black_box(protect(&net, &sfc, &flow, &out.embedding).unwrap()))
+    });
+}
+
+fn steiner_vs_plain(c: &mut Criterion) {
+    let (net, sfc, flow) = bench_instance(5);
+    let mut group = c.benchmark_group("steiner_variant");
+    group.sample_size(10);
+    group.bench_function("mbbe", |b| {
+        let s = MbbeSolver::new();
+        b.iter(|| black_box(s.solve(&net, &sfc, &flow).unwrap()))
+    });
+    group.bench_function("mbbe_st", |b| {
+        let s = MbbeStSolver::new();
+        b.iter(|| black_box(s.solve(&net, &sfc, &flow).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = extensions;
+    config = Criterion::default();
+    targets = online_bench, lifecycle_bench, protection_bench, steiner_vs_plain
+}
+criterion_main!(extensions);

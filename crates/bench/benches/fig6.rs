@@ -1,0 +1,62 @@
+//! One bench group per paper figure: each target runs the corresponding
+//! sweep at bench scale (60-node cloud, 5 runs/point, reduced x-grids),
+//! so `cargo bench` regenerates the *shape* of every figure and tracks
+//! regressions in the end-to-end evaluation pipeline.
+//!
+//! The full paper-scale series are produced by
+//! `cargo run --release --example paper_figures -- all full`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dagsfc_bench::bench_config;
+use dagsfc_sim::sweep;
+use std::hint::black_box;
+
+fn fig6a_sfc_size(c: &mut Criterion) {
+    let base = bench_config();
+    c.bench_function("fig6a/sfc_size_sweep", |b| {
+        b.iter(|| black_box(sweep::sfc_size::fig6a_on(&base, &[2.0, 4.0, 6.0])))
+    });
+}
+
+fn fig6b_network_size(c: &mut Criterion) {
+    let base = bench_config();
+    c.bench_function("fig6b/network_size_sweep", |b| {
+        b.iter(|| black_box(sweep::network_size::fig6b_on(&base, &[20.0, 80.0])))
+    });
+}
+
+fn fig6c_connectivity(c: &mut Criterion) {
+    let base = bench_config();
+    c.bench_function("fig6c/connectivity_sweep", |b| {
+        b.iter(|| black_box(sweep::connectivity::fig6c_on(&base, &[3.0, 8.0])))
+    });
+}
+
+fn fig6d_deploy_ratio(c: &mut Criterion) {
+    let base = bench_config();
+    c.bench_function("fig6d/deploy_ratio_sweep", |b| {
+        b.iter(|| black_box(sweep::deploy_ratio::fig6d_on(&base, &[0.2, 0.6])))
+    });
+}
+
+fn fig6e_price_ratio(c: &mut Criterion) {
+    let base = bench_config();
+    c.bench_function("fig6e/price_ratio_sweep", |b| {
+        b.iter(|| black_box(sweep::price_ratio::fig6e_on(&base, &[0.05, 0.4])))
+    });
+}
+
+fn fig6f_fluctuation(c: &mut Criterion) {
+    let base = bench_config();
+    c.bench_function("fig6f/fluctuation_sweep", |b| {
+        b.iter(|| black_box(sweep::fluctuation::fig6f_on(&base, &[0.05, 0.4])))
+    });
+}
+
+criterion_group! {
+    name = fig6;
+    config = Criterion::default().sample_size(10);
+    targets = fig6a_sfc_size, fig6b_network_size, fig6c_connectivity,
+              fig6d_deploy_ratio, fig6e_price_ratio, fig6f_fluctuation
+}
+criterion_main!(fig6);

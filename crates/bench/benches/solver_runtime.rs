@@ -1,0 +1,65 @@
+//! The §4.5 complexity claim, measured: per-solve runtime of BBE vs
+//! MBBE vs the baselines as the SFC size and network size grow. The
+//! expected picture is the paper's — BBE's time explodes with the chain
+//! length while MBBE stays flat, at (near-)equal cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dagsfc_bench::bench_instance;
+use dagsfc_core::solvers::{BbeSolver, MbbeSolver, MinvSolver, RanvSolver, Solver};
+use dagsfc_sim::{runner, SimConfig};
+use std::hint::black_box;
+
+fn solver_vs_sfc_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solve_vs_sfc_size");
+    group.sample_size(10);
+    for size in [1usize, 3, 5] {
+        let (net, sfc, flow) = bench_instance(size);
+        group.bench_with_input(BenchmarkId::new("BBE", size), &size, |b, _| {
+            let solver = BbeSolver::new();
+            b.iter(|| black_box(solver.solve(&net, &sfc, &flow).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("MBBE", size), &size, |b, _| {
+            let solver = MbbeSolver::new();
+            b.iter(|| black_box(solver.solve(&net, &sfc, &flow).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("MINV", size), &size, |b, _| {
+            let solver = MinvSolver::new();
+            b.iter(|| black_box(solver.solve(&net, &sfc, &flow).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("RANV", size), &size, |b, _| {
+            let solver = RanvSolver::new(1);
+            b.iter(|| black_box(solver.solve(&net, &sfc, &flow).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn solver_vs_network_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solve_vs_network_size");
+    group.sample_size(10);
+    for nodes in [30usize, 100, 300] {
+        let cfg = SimConfig {
+            network_size: nodes,
+            sfc_size: 5,
+            ..SimConfig::default()
+        };
+        let net = runner::instance_network(&cfg);
+        let (sfc, flow) = runner::instance_request(&cfg, &net, 0);
+        group.bench_with_input(BenchmarkId::new("MBBE", nodes), &nodes, |b, _| {
+            let solver = MbbeSolver::new();
+            b.iter(|| black_box(solver.solve(&net, &sfc, &flow).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("MINV", nodes), &nodes, |b, _| {
+            let solver = MinvSolver::new();
+            b.iter(|| black_box(solver.solve(&net, &sfc, &flow).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = solver_runtime;
+    config = Criterion::default();
+    targets = solver_vs_sfc_size, solver_vs_network_size
+}
+criterion_main!(solver_runtime);

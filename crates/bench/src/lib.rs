@@ -1,0 +1,52 @@
+//! # dagsfc-bench — shared fixtures for the Criterion benchmarks.
+//!
+//! The benches regenerate every evaluation artifact of the paper
+//! (Fig. 6(a)–(f), the §4.5 runtime claim) at a bench-friendly scale,
+//! plus substrate microbenches and the MBBE ablation of DESIGN.md §8.
+//! Fixtures here keep the per-bench setup deterministic and cheap.
+
+use dagsfc_core::{DagSfc, Flow};
+use dagsfc_net::Network;
+use dagsfc_sim::{runner, SimConfig};
+
+/// A bench-scale base configuration: Table 2 ratios on a 60-node cloud
+/// with a handful of runs per point.
+pub fn bench_config() -> SimConfig {
+    SimConfig {
+        network_size: 60,
+        runs: 5,
+        ..SimConfig::default()
+    }
+}
+
+/// One deterministic embedding instance at bench scale: network + the
+/// first generated (SFC, flow) request.
+pub fn bench_instance(sfc_size: usize) -> (Network, DagSfc, Flow) {
+    let cfg = SimConfig {
+        sfc_size,
+        ..bench_config()
+    };
+    let net = runner::instance_network(&cfg);
+    let (sfc, flow) = runner::instance_request(&cfg, &net, 0);
+    (net, sfc, flow)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_deterministic() {
+        let (n1, s1, f1) = bench_instance(5);
+        let (n2, s2, f2) = bench_instance(5);
+        assert_eq!(n1.link_count(), n2.link_count());
+        assert_eq!(s1, s2);
+        assert_eq!(f1.src, f2.src);
+    }
+
+    #[test]
+    fn instance_matches_requested_size() {
+        let (_, sfc, _) = bench_instance(4);
+        assert_eq!(sfc.size(), 4);
+    }
+}

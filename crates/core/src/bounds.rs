@@ -1,0 +1,190 @@
+//! Valid lower bounds on the optimal embedding cost.
+//!
+//! The heuristics' quality is usually judged against each other (the
+//! optimum is unknown at evaluation scale). A cheap *certified lower
+//! bound* turns that relative picture into an absolute one: the
+//! reported "optimality-gap ratio" `cost / lower_bound` upper-bounds the
+//! true approximation factor.
+//!
+//! The bound combines two independently valid relaxations:
+//!
+//! * **VNF term**: every slot must rent *some* instance of its kind, so
+//!   the sum of per-kind minimum rental prices is a lower bound on the
+//!   objective's first term (reuse cannot make a slot cheaper than the
+//!   cheapest instance).
+//! * **Link term**: concatenating the chain's embedded paths contains a
+//!   walk from the flow source to the destination, and each charged link
+//!   is charged at least once — so the price of the cheapest `src → dst`
+//!   path lower-bounds the second term (zero when `src == dst`).
+
+use crate::chain::DagSfc;
+use crate::cost::CostBreakdown;
+use crate::flow::Flow;
+use dagsfc_net::routing::{min_cost_path, NoFilter};
+use dagsfc_net::Network;
+
+/// Computes a certified lower bound on the optimal objective value.
+///
+/// Returns `None` when the instance is trivially infeasible (a required
+/// kind is hosted nowhere, or the endpoints are disconnected).
+pub fn cost_lower_bound(net: &Network, sfc: &DagSfc, flow: &Flow) -> Option<CostBreakdown> {
+    let catalog = sfc.catalog();
+    let mut vnf = 0.0;
+    for layer in sfc.layers() {
+        for slot in 0..layer.slot_count() {
+            let kind = layer.slot_kind(slot, catalog);
+            let cheapest = net
+                .hosts_of(kind)
+                .iter()
+                .filter_map(|&v| net.vnf_price(v, kind).ok())
+                .fold(f64::INFINITY, f64::min);
+            if !cheapest.is_finite() {
+                return None;
+            }
+            vnf += cheapest * flow.size;
+        }
+    }
+    let link = if flow.src == flow.dst {
+        0.0
+    } else {
+        min_cost_path(net, flow.src, flow.dst, &NoFilter)?.price(net) * flow.size
+    };
+    Some(CostBreakdown { vnf, link })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::Layer;
+    use crate::solvers::{BbeSolver, ExactSolver, MbbeSolver, MinvSolver, Solver};
+    use crate::vnf::VnfCatalog;
+    use dagsfc_net::{generator, NetGenConfig, NodeId, VnfTypeId};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn net(seed: u64, nodes: usize) -> Network {
+        let cfg = NetGenConfig {
+            nodes,
+            avg_degree: 4.0,
+            vnf_kinds: 5,
+            deploy_ratio: 0.6,
+            vnf_price_fluctuation: 0.3,
+            ..NetGenConfig::default()
+        };
+        generator::generate(&cfg, &mut StdRng::seed_from_u64(seed)).unwrap()
+    }
+
+    fn sfc() -> DagSfc {
+        DagSfc::new(
+            vec![
+                Layer::new(vec![VnfTypeId(0)]),
+                Layer::new(vec![VnfTypeId(1), VnfTypeId(2)]),
+            ],
+            VnfCatalog::new(4),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn bound_below_every_solver() {
+        for seed in 1u64..6 {
+            let g = net(seed, 30);
+            let flow = Flow::unit(NodeId(0), NodeId(29));
+            let lb = cost_lower_bound(&g, &sfc(), &flow).unwrap();
+            for solver in [
+                Box::new(BbeSolver::new()) as Box<dyn Solver>,
+                Box::new(MbbeSolver::new()),
+                Box::new(MinvSolver::new()),
+            ] {
+                let out = solver.solve(&g, &sfc(), &flow).unwrap();
+                assert!(
+                    out.cost.total() >= lb.total() - 1e-9,
+                    "seed {seed}: {} cost {} below bound {}",
+                    solver.name(),
+                    out.cost.total(),
+                    lb.total()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bound_below_certified_optimum() {
+        // On tiny instances the exact solver certifies the bound's
+        // validity directly.
+        for seed in 6u64..10 {
+            let g = net(seed, 9);
+            let flow = Flow::unit(NodeId(0), NodeId(8));
+            let chain = DagSfc::sequential(&[VnfTypeId(0), VnfTypeId(1)], VnfCatalog::new(4))
+                .unwrap();
+            let Some(lb) = cost_lower_bound(&g, &chain, &flow) else {
+                continue;
+            };
+            let Ok(opt) = ExactSolver::with_k(8).solve(&g, &chain, &flow) else {
+                continue;
+            };
+            assert!(
+                opt.cost.total() >= lb.total() - 1e-9,
+                "seed {seed}: optimum {} below bound {}",
+                opt.cost.total(),
+                lb.total()
+            );
+        }
+    }
+
+    #[test]
+    fn bound_is_tight_when_everything_colocates() {
+        // One node hosts the whole chain and src == dst: the bound's VNF
+        // term is exact and the link term is zero.
+        let mut g = Network::new();
+        g.add_nodes(2);
+        g.add_link(NodeId(0), NodeId(1), 1.0, 10.0).unwrap();
+        g.deploy_vnf(NodeId(0), VnfTypeId(0), 2.0, 10.0).unwrap();
+        g.deploy_vnf(NodeId(0), VnfTypeId(1), 3.0, 10.0).unwrap();
+        let chain =
+            DagSfc::sequential(&[VnfTypeId(0), VnfTypeId(1)], VnfCatalog::new(2)).unwrap();
+        let flow = Flow::unit(NodeId(0), NodeId(0));
+        let lb = cost_lower_bound(&g, &chain, &flow).unwrap();
+        let out = MbbeSolver::new().solve(&g, &chain, &flow).unwrap();
+        assert!((lb.total() - 5.0).abs() < 1e-12);
+        assert!((out.cost.total() - lb.total()).abs() < 1e-9, "bound is tight here");
+    }
+
+    #[test]
+    fn missing_kind_and_disconnection_yield_none() {
+        let g = net(11, 20);
+        let wide = DagSfc::sequential(&[VnfTypeId(0)], VnfCatalog::new(40)).unwrap();
+        let missing =
+            DagSfc::sequential(&[VnfTypeId(30)], VnfCatalog::new(40)).unwrap();
+        let flow = Flow::unit(NodeId(0), NodeId(19));
+        assert!(cost_lower_bound(&g, &wide, &flow).is_some());
+        assert!(cost_lower_bound(&g, &missing, &flow).is_none());
+        // Disconnected endpoints.
+        let mut g2 = Network::new();
+        g2.add_nodes(2);
+        g2.deploy_vnf(NodeId(0), VnfTypeId(0), 1.0, 1.0).unwrap();
+        let c = DagSfc::sequential(&[VnfTypeId(0)], VnfCatalog::new(1)).unwrap();
+        assert!(cost_lower_bound(&g2, &c, &Flow::unit(NodeId(0), NodeId(1))).is_none());
+    }
+
+    #[test]
+    fn gap_ratio_reasonable_on_random_instances() {
+        // MBBE should sit within a small constant of this (loose) bound
+        // on Table 2-like instances — a coarse absolute-quality check.
+        let mut ratio_sum = 0.0;
+        let mut n = 0;
+        for seed in 20u64..26 {
+            let g = net(seed, 50);
+            let flow = Flow::unit(NodeId(1), NodeId(48));
+            let lb = cost_lower_bound(&g, &sfc(), &flow).unwrap();
+            let out = MbbeSolver::new().solve(&g, &sfc(), &flow).unwrap();
+            ratio_sum += out.cost.total() / lb.total();
+            n += 1;
+        }
+        let mean_ratio = ratio_sum / n as f64;
+        assert!(
+            (1.0..2.5).contains(&mean_ratio),
+            "mean gap ratio {mean_ratio:.2} out of expected band"
+        );
+    }
+}

@@ -1,0 +1,116 @@
+//! Fluent construction of DAG-SFCs.
+//!
+//! ```
+//! use dagsfc_core::{builder::ChainBuilder, VnfCatalog};
+//! use dagsfc_net::VnfTypeId;
+//!
+//! let catalog = VnfCatalog::new(8);
+//! let sfc = ChainBuilder::new(catalog)
+//!     .then(VnfTypeId(0))
+//!     .parallel([VnfTypeId(1), VnfTypeId(2), VnfTypeId(3)])
+//!     .then(VnfTypeId(4))
+//!     .build()
+//!     .unwrap();
+//! assert_eq!(sfc.depth(), 3);
+//! assert_eq!(sfc.merger_count(), 1);
+//! ```
+
+use crate::chain::{DagSfc, Layer};
+use crate::error::ModelError;
+use crate::vnf::VnfCatalog;
+use dagsfc_net::VnfTypeId;
+
+/// Builder for [`DagSfc`] chains.
+#[derive(Debug, Clone)]
+pub struct ChainBuilder {
+    catalog: VnfCatalog,
+    layers: Vec<Layer>,
+}
+
+impl ChainBuilder {
+    /// Starts an empty chain over `catalog`.
+    pub fn new(catalog: VnfCatalog) -> Self {
+        ChainBuilder {
+            catalog,
+            layers: Vec::new(),
+        }
+    }
+
+    /// Appends a sequential (singleton) layer.
+    #[must_use]
+    pub fn then(mut self, vnf: VnfTypeId) -> Self {
+        self.layers.push(Layer::new(vec![vnf]));
+        self
+    }
+
+    /// Appends a parallel layer (implicitly followed by a merger when it
+    /// holds more than one VNF).
+    #[must_use]
+    pub fn parallel(mut self, vnfs: impl IntoIterator<Item = VnfTypeId>) -> Self {
+        self.layers.push(Layer::new(vnfs.into_iter().collect()));
+        self
+    }
+
+    /// Number of layers staged so far.
+    pub fn depth(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Finalizes and validates the chain.
+    pub fn build(self) -> Result<DagSfc, ModelError> {
+        DagSfc::new(self.layers, self.catalog)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_mixed_chain() {
+        let sfc = ChainBuilder::new(VnfCatalog::new(6))
+            .then(VnfTypeId(0))
+            .parallel([VnfTypeId(1), VnfTypeId(2)])
+            .then(VnfTypeId(3))
+            .build()
+            .unwrap();
+        assert_eq!(sfc.depth(), 3);
+        assert_eq!(sfc.size(), 4);
+        assert_eq!(sfc.merger_count(), 1);
+        assert_eq!(sfc.layer(1).width(), 2);
+    }
+
+    #[test]
+    fn parallel_of_one_is_singleton() {
+        let sfc = ChainBuilder::new(VnfCatalog::new(2))
+            .parallel([VnfTypeId(0)])
+            .build()
+            .unwrap();
+        assert!(!sfc.layer(0).needs_merger());
+    }
+
+    #[test]
+    fn empty_builder_fails_validation() {
+        assert!(matches!(
+            ChainBuilder::new(VnfCatalog::new(2)).build(),
+            Err(ModelError::EmptyChain)
+        ));
+    }
+
+    #[test]
+    fn invalid_kind_propagates() {
+        // Kind 5 is the merger of a 5-kind catalog: not a regular VNF.
+        assert!(matches!(
+            ChainBuilder::new(VnfCatalog::new(5)).then(VnfTypeId(5)).build(),
+            Err(ModelError::NotARegularVnf(_))
+        ));
+    }
+
+    #[test]
+    fn depth_tracks_staged_layers() {
+        let b = ChainBuilder::new(VnfCatalog::new(3))
+            .then(VnfTypeId(0))
+            .parallel([VnfTypeId(1), VnfTypeId(2)]);
+        assert_eq!(b.depth(), 2);
+    }
+}

@@ -1,0 +1,312 @@
+//! The DAG-SFC abstraction (paper §3.1): a hybrid SFC standardized into
+//! sequential layers, each a single VNF or a parallel VNF set followed by
+//! a merger.
+
+use crate::error::ModelError;
+use crate::vnf::VnfCatalog;
+use dagsfc_net::VnfTypeId;
+use dagsfc_nfp::HybridChain;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One layer `L_l` of a DAG-SFC: a parallel VNF set.
+///
+/// A layer of width > 1 is implicitly followed by a merger `f(n+1)`
+/// (paper convention `f_l^{φ_l+1}`); a singleton layer has none.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Layer {
+    vnfs: Vec<VnfTypeId>,
+}
+
+impl Layer {
+    /// Builds a layer from its parallel VNF set.
+    pub fn new(vnfs: Vec<VnfTypeId>) -> Self {
+        Layer { vnfs }
+    }
+
+    /// The parallel VNFs of this layer (the paper's `f_l^1..f_l^{φ_l}`),
+    /// merger excluded.
+    #[inline]
+    pub fn vnfs(&self) -> &[VnfTypeId] {
+        &self.vnfs
+    }
+
+    /// Number of parallel VNFs `φ_l`.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.vnfs.len()
+    }
+
+    /// Whether the layer needs a merger (width > 1).
+    #[inline]
+    pub fn needs_merger(&self) -> bool {
+        self.vnfs.len() > 1
+    }
+
+    /// Number of embedding slots: parallel VNFs plus the merger slot if
+    /// one is needed.
+    #[inline]
+    pub fn slot_count(&self) -> usize {
+        if self.needs_merger() {
+            self.vnfs.len() + 1
+        } else {
+            1
+        }
+    }
+
+    /// The slot index acting as this layer's *end node* in the embedding:
+    /// the merger slot for parallel layers, slot 0 for singletons.
+    #[inline]
+    pub fn end_slot(&self) -> usize {
+        if self.needs_merger() {
+            self.vnfs.len()
+        } else {
+            0
+        }
+    }
+
+    /// The VNF kind a slot must be mapped onto (merger slot included).
+    ///
+    /// # Panics
+    /// Panics if `slot >= slot_count()`.
+    pub fn slot_kind(&self, slot: usize, catalog: &VnfCatalog) -> VnfTypeId {
+        if slot < self.vnfs.len() {
+            self.vnfs[slot]
+        } else if self.needs_merger() && slot == self.vnfs.len() {
+            catalog.merger()
+        } else {
+            panic!("slot {slot} out of range for layer of width {}", self.width());
+        }
+    }
+
+    /// The distinct VNF kinds a search must cover to embed this layer
+    /// (merger included for parallel layers), sorted ascending.
+    pub fn required_kinds(&self, catalog: &VnfCatalog) -> Vec<VnfTypeId> {
+        let mut kinds = self.vnfs.clone();
+        if self.needs_merger() {
+            kinds.push(catalog.merger());
+        }
+        kinds.sort_unstable();
+        kinds.dedup();
+        kinds
+    }
+}
+
+/// A standardized DAG service function chain `S = {L_1, …, L_ω}`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DagSfc {
+    layers: Vec<Layer>,
+    catalog: VnfCatalog,
+}
+
+impl DagSfc {
+    /// Builds a DAG-SFC, validating that every layer is non-empty and
+    /// uses only regular VNF kinds from `catalog`.
+    pub fn new(layers: Vec<Layer>, catalog: VnfCatalog) -> Result<Self, ModelError> {
+        if layers.is_empty() {
+            return Err(ModelError::EmptyChain);
+        }
+        for (l, layer) in layers.iter().enumerate() {
+            if layer.vnfs.is_empty() {
+                return Err(ModelError::EmptyLayer(l));
+            }
+            for &v in &layer.vnfs {
+                if !catalog.is_regular(v) {
+                    return Err(ModelError::NotARegularVnf(v));
+                }
+            }
+        }
+        Ok(DagSfc { layers, catalog })
+    }
+
+    /// A fully sequential chain: one VNF per layer (the traditional SFC
+    /// of the paper's Fig. 1(a)).
+    pub fn sequential(vnfs: &[VnfTypeId], catalog: VnfCatalog) -> Result<Self, ModelError> {
+        DagSfc::new(
+            vnfs.iter().map(|&v| Layer::new(vec![v])).collect(),
+            catalog,
+        )
+    }
+
+    /// Builds a DAG-SFC from an NFP [`HybridChain`] whose NF ids are used
+    /// directly as VNF type ids.
+    pub fn from_hybrid(hybrid: &HybridChain, catalog: VnfCatalog) -> Result<Self, ModelError> {
+        DagSfc::new(
+            hybrid
+                .layers()
+                .iter()
+                .map(|layer| Layer::new(layer.iter().map(|&nf| VnfTypeId(nf as u16)).collect()))
+                .collect(),
+            catalog,
+        )
+    }
+
+    /// The layers `L_1..L_ω`.
+    #[inline]
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// A specific layer.
+    #[inline]
+    pub fn layer(&self, l: usize) -> &Layer {
+        &self.layers[l]
+    }
+
+    /// Number of layers `ω`.
+    #[inline]
+    pub fn depth(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// SFC size: the number of (regular) VNFs, mergers excluded — the
+    /// quantity the paper sweeps in Fig. 6(a).
+    pub fn size(&self) -> usize {
+        self.layers.iter().map(|l| l.width()).sum()
+    }
+
+    /// Number of merger instances required.
+    pub fn merger_count(&self) -> usize {
+        self.layers.iter().filter(|l| l.needs_merger()).count()
+    }
+
+    /// Widest layer `φ = max φ_l`.
+    pub fn max_width(&self) -> usize {
+        self.layers.iter().map(|l| l.width()).max().unwrap_or(0)
+    }
+
+    /// The catalog this chain draws from.
+    #[inline]
+    pub fn catalog(&self) -> &VnfCatalog {
+        &self.catalog
+    }
+
+    /// Total number of embedding slots (VNFs + mergers).
+    pub fn slot_total(&self) -> usize {
+        self.layers.iter().map(|l| l.slot_count()).sum()
+    }
+}
+
+impl fmt::Display for DagSfc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[src]")?;
+        for layer in &self.layers {
+            write!(f, " -> ")?;
+            if layer.needs_merger() {
+                write!(f, "(")?;
+                for (i, v) in layer.vnfs().iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "|")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, ")+merge")?;
+            } else {
+                write!(f, "{}", layer.vnfs()[0])?;
+            }
+        }
+        write!(f, " -> [dst]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn catalog() -> VnfCatalog {
+        VnfCatalog::new(8)
+    }
+
+    #[test]
+    fn layer_geometry() {
+        let c = catalog();
+        let single = Layer::new(vec![VnfTypeId(3)]);
+        assert_eq!(single.width(), 1);
+        assert!(!single.needs_merger());
+        assert_eq!(single.slot_count(), 1);
+        assert_eq!(single.end_slot(), 0);
+        assert_eq!(single.slot_kind(0, &c), VnfTypeId(3));
+        assert_eq!(single.required_kinds(&c), vec![VnfTypeId(3)]);
+
+        let par = Layer::new(vec![VnfTypeId(1), VnfTypeId(4), VnfTypeId(2)]);
+        assert_eq!(par.width(), 3);
+        assert!(par.needs_merger());
+        assert_eq!(par.slot_count(), 4);
+        assert_eq!(par.end_slot(), 3);
+        assert_eq!(par.slot_kind(3, &c), c.merger());
+        assert_eq!(
+            par.required_kinds(&c),
+            vec![VnfTypeId(1), VnfTypeId(2), VnfTypeId(4), c.merger()]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_slot_panics() {
+        Layer::new(vec![VnfTypeId(0)]).slot_kind(1, &catalog());
+    }
+
+    #[test]
+    fn paper_fig2_chain() {
+        // Fig. 2 bottom: layer1 = {f1}, layer2 = {f2,f3,f4,f5}+merger,
+        // layer3 = {f6,f7}+merger.
+        let c = catalog();
+        let sfc = DagSfc::new(
+            vec![
+                Layer::new(vec![VnfTypeId(0)]),
+                Layer::new(vec![VnfTypeId(1), VnfTypeId(2), VnfTypeId(3), VnfTypeId(4)]),
+                Layer::new(vec![VnfTypeId(5), VnfTypeId(6)]),
+            ],
+            c,
+        )
+        .unwrap();
+        assert_eq!(sfc.depth(), 3);
+        assert_eq!(sfc.size(), 7);
+        assert_eq!(sfc.merger_count(), 2);
+        assert_eq!(sfc.max_width(), 4);
+        assert_eq!(sfc.slot_total(), 1 + 5 + 3);
+        let shown = sfc.to_string();
+        assert!(shown.contains("(f(1)|f(2)|f(3)|f(4))+merge"));
+        assert!(shown.starts_with("[src]"));
+        assert!(shown.ends_with("[dst]"));
+    }
+
+    #[test]
+    fn validation_errors() {
+        let c = catalog();
+        assert_eq!(DagSfc::new(vec![], c), Err(ModelError::EmptyChain));
+        assert_eq!(
+            DagSfc::new(vec![Layer::new(vec![])], c),
+            Err(ModelError::EmptyLayer(0))
+        );
+        // merger kind (id 8) is not a regular chain member
+        assert_eq!(
+            DagSfc::new(vec![Layer::new(vec![VnfTypeId(8)])], c),
+            Err(ModelError::NotARegularVnf(VnfTypeId(8)))
+        );
+    }
+
+    #[test]
+    fn sequential_constructor() {
+        let sfc =
+            DagSfc::sequential(&[VnfTypeId(0), VnfTypeId(1), VnfTypeId(2)], catalog()).unwrap();
+        assert_eq!(sfc.depth(), 3);
+        assert_eq!(sfc.size(), 3);
+        assert_eq!(sfc.merger_count(), 0);
+        assert_eq!(sfc.max_width(), 1);
+    }
+
+    #[test]
+    fn from_hybrid_roundtrip() {
+        use dagsfc_nfp::{catalog::enterprise_catalog, DependencyMatrix, to_hybrid, TransformOptions};
+        let cat = enterprise_catalog();
+        let deps = DependencyMatrix::analyze(&cat);
+        let chain = [0usize, 1, 9]; // firewall, ids, dpi — all parallel
+        let hybrid = to_hybrid(&chain, &deps, TransformOptions::default());
+        let vnf_catalog = VnfCatalog::new(cat.len() as u16);
+        let sfc = DagSfc::from_hybrid(&hybrid, vnf_catalog).unwrap();
+        assert_eq!(sfc.depth(), 1);
+        assert_eq!(sfc.size(), 3);
+        assert_eq!(sfc.merger_count(), 1);
+    }
+}

@@ -1,0 +1,72 @@
+//! Cost bookkeeping for the objective of eq. (1):
+//! `min Σ α_{v,i}·c_{v,f(i)}·z + Σ α_{g,h}·c_{e}·z`.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::Add;
+
+/// Total embedding cost split into its two objective terms.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct CostBreakdown {
+    /// Total VNF rental cost `Σ α_{v,i}·c_{v,f(i)}·z`.
+    pub vnf: f64,
+    /// Total link cost `Σ α_{g,h}·c_e·z`.
+    pub link: f64,
+}
+
+impl CostBreakdown {
+    /// Zero cost.
+    pub const ZERO: CostBreakdown = CostBreakdown { vnf: 0.0, link: 0.0 };
+
+    /// The objective value.
+    #[inline]
+    pub fn total(&self) -> f64 {
+        self.vnf + self.link
+    }
+}
+
+impl Add for CostBreakdown {
+    type Output = CostBreakdown;
+    fn add(self, rhs: CostBreakdown) -> CostBreakdown {
+        CostBreakdown {
+            vnf: self.vnf + rhs.vnf,
+            link: self.link + rhs.link,
+        }
+    }
+}
+
+impl fmt::Display for CostBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "total {:.4} (vnf {:.4} + link {:.4})",
+            self.total(),
+            self.vnf,
+            self.link
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_addition() {
+        let a = CostBreakdown { vnf: 2.0, link: 0.5 };
+        let b = CostBreakdown { vnf: 1.0, link: 1.5 };
+        assert_eq!(a.total(), 2.5);
+        let c = a + b;
+        assert_eq!(c.vnf, 3.0);
+        assert_eq!(c.link, 2.0);
+        assert_eq!(c.total(), 5.0);
+        assert_eq!(CostBreakdown::ZERO.total(), 0.0);
+    }
+
+    #[test]
+    fn display_shows_split() {
+        let c = CostBreakdown { vnf: 1.0, link: 0.25 };
+        let s = c.to_string();
+        assert!(s.contains("1.25") && s.contains("0.25"));
+    }
+}

@@ -1,0 +1,114 @@
+//! Error types of the DAG-SFC core.
+
+use dagsfc_net::NetError;
+use std::fmt;
+
+/// Errors from DAG-SFC model construction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// A DAG-SFC must contain at least one layer.
+    EmptyChain,
+    /// A layer must contain at least one VNF.
+    EmptyLayer(usize),
+    /// A chain referenced a VNF type outside the catalog's regular range.
+    NotARegularVnf(dagsfc_net::VnfTypeId),
+    /// Embedding shape does not match the chain (wrong layer/slot counts).
+    ShapeMismatch(String),
+    /// Underlying network error.
+    Net(NetError),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::EmptyChain => write!(f, "DAG-SFC has no layers"),
+            ModelError::EmptyLayer(l) => write!(f, "layer {l} has no VNFs"),
+            ModelError::NotARegularVnf(v) => {
+                write!(f, "{v} is not a regular VNF type of the catalog")
+            }
+            ModelError::ShapeMismatch(what) => write!(f, "embedding shape mismatch: {what}"),
+            ModelError::Net(e) => write!(f, "network error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+impl From<NetError> for ModelError {
+    fn from(e: NetError) -> Self {
+        ModelError::Net(e)
+    }
+}
+
+/// Errors from embedding solvers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolveError {
+    /// The solver exhausted its search space without a feasible embedding.
+    NoFeasibleEmbedding {
+        /// Solver that failed.
+        solver: &'static str,
+        /// Human-readable reason (missing VNF kind, saturated links, …).
+        reason: String,
+    },
+    /// The request itself is malformed (e.g. a required VNF kind is hosted
+    /// nowhere in the network).
+    Infeasible(String),
+    /// Model-level failure.
+    Model(ModelError),
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::NoFeasibleEmbedding { solver, reason } => {
+                write!(f, "{solver}: no feasible embedding found ({reason})")
+            }
+            SolveError::Infeasible(why) => write!(f, "request infeasible: {why}"),
+            SolveError::Model(e) => write!(f, "model error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+impl From<ModelError> for SolveError {
+    fn from(e: ModelError) -> Self {
+        SolveError::Model(e)
+    }
+}
+
+impl From<NetError> for SolveError {
+    fn from(e: NetError) -> Self {
+        SolveError::Model(ModelError::Net(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagsfc_net::{NodeId, VnfTypeId};
+
+    #[test]
+    fn displays() {
+        assert!(ModelError::EmptyChain.to_string().contains("no layers"));
+        assert!(ModelError::NotARegularVnf(VnfTypeId(9))
+            .to_string()
+            .contains("f(9)"));
+        let se = SolveError::NoFeasibleEmbedding {
+            solver: "BBE",
+            reason: "layer 2 uncovered".into(),
+        };
+        assert!(se.to_string().contains("BBE"));
+    }
+
+    #[test]
+    fn conversions() {
+        let ne = NetError::UnknownNode(NodeId(1));
+        let me: ModelError = ne.clone().into();
+        assert_eq!(me, ModelError::Net(ne.clone()));
+        let se: SolveError = me.clone().into();
+        assert_eq!(se, SolveError::Model(me));
+        let se2: SolveError = ne.clone().into();
+        assert_eq!(se2, SolveError::Model(ModelError::Net(ne)));
+    }
+}

@@ -1,0 +1,77 @@
+//! Traffic flows and embedding requests.
+
+use crate::chain::DagSfc;
+use dagsfc_net::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// A traffic flow (paper §3.2, "Model of Traffic Flow"): size `z`,
+/// delivery rate `R`, and a source–destination pair.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Flow {
+    /// Source node `s`.
+    pub src: NodeId,
+    /// Destination node `t`.
+    pub dst: NodeId,
+    /// Delivery rate `R` in rate units; drives all capacity checks.
+    pub rate: f64,
+    /// Flow size `z`; multiplies every price term of the objective.
+    pub size: f64,
+}
+
+impl Flow {
+    /// A unit flow (`R = z = 1`) between `src` and `dst` — the scale used
+    /// throughout the paper's simulations, where only ratios matter.
+    pub fn unit(src: NodeId, dst: NodeId) -> Self {
+        Flow {
+            src,
+            dst,
+            rate: 1.0,
+            size: 1.0,
+        }
+    }
+}
+
+/// A complete embedding request: the chain plus the flow to carry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EmbeddingRequest {
+    /// The DAG-SFC to embed.
+    pub sfc: DagSfc,
+    /// The traffic flow traversing it.
+    pub flow: Flow,
+}
+
+impl EmbeddingRequest {
+    /// Bundles a chain and a flow.
+    pub fn new(sfc: DagSfc, flow: Flow) -> Self {
+        EmbeddingRequest { sfc, flow }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::Layer;
+    use crate::vnf::VnfCatalog;
+    use dagsfc_net::VnfTypeId;
+
+    #[test]
+    fn unit_flow() {
+        let f = Flow::unit(NodeId(0), NodeId(5));
+        assert_eq!(f.rate, 1.0);
+        assert_eq!(f.size, 1.0);
+        assert_eq!(f.src, NodeId(0));
+        assert_eq!(f.dst, NodeId(5));
+    }
+
+    #[test]
+    fn request_bundles() {
+        let sfc = DagSfc::new(
+            vec![Layer::new(vec![VnfTypeId(0)])],
+            VnfCatalog::new(2),
+        )
+        .unwrap();
+        let req = EmbeddingRequest::new(sfc.clone(), Flow::unit(NodeId(1), NodeId(2)));
+        assert_eq!(req.sfc, sfc);
+        assert_eq!(req.flow.src, NodeId(1));
+    }
+}

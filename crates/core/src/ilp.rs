@@ -1,0 +1,268 @@
+//! Materialization of the integer optimization model (paper §3.3).
+//!
+//! No adequately-maintained pure-Rust ILP solver exists offline, and the
+//! paper itself never solves the IP at scale (it proves NP-hardness and
+//! goes greedy). This module nevertheless *builds* the model — the
+//! decision variables, the objective of eq. (1), and constraint families
+//! (2)–(6) — in an LP-like text format, for three purposes: documenting
+//! the formulation executably, sizing the model (variable/constraint
+//! counts drive the complexity discussion), and letting users export the
+//! instance to an external solver.
+//!
+//! Real-path variables are grounded over the `k` cheapest loopless paths
+//! per meta-path, mirroring the path universe of
+//! [`crate::solvers::ExactSolver`].
+
+use crate::chain::DagSfc;
+use crate::flow::Flow;
+use crate::metapath::{meta_paths, Endpoint, MetaPathKind};
+use dagsfc_net::routing::k_shortest_paths;
+use dagsfc_net::{LinkId, Network, NodeId, CAP_EPS};
+use std::fmt::Write as _;
+
+/// A materialized integer model.
+#[derive(Debug, Clone)]
+pub struct IlpModel {
+    /// Objective row, `min ...`.
+    pub objective: String,
+    /// Constraint rows in LP syntax.
+    pub constraints: Vec<String>,
+    /// Binary variable names.
+    pub binaries: Vec<String>,
+    /// Statistics for the complexity discussion.
+    pub stats: IlpStats,
+}
+
+/// Model size statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IlpStats {
+    /// Assignment variables `x_{v,l,γ}`.
+    pub assignment_vars: usize,
+    /// Path-selection variables (`x^a_{b,ρ,l,ε}` / `y^{a,l,γ}_{b,ρ}`).
+    pub path_vars: usize,
+    /// Total constraints.
+    pub constraints: usize,
+}
+
+impl IlpModel {
+    /// Builds the model for one embedding instance, grounding path
+    /// variables over the `k_paths` cheapest paths per meta-path.
+    pub fn build(net: &Network, sfc: &DagSfc, flow: &Flow, k_paths: usize) -> IlpModel {
+        let catalog = sfc.catalog();
+        let mut binaries = Vec::new();
+        let mut constraints = Vec::new();
+        let mut objective_terms: Vec<String> = Vec::new();
+
+        // --- Assignment variables and constraint (4).
+        let mut assignment_vars = 0usize;
+        for (l, layer) in sfc.layers().iter().enumerate() {
+            for slot in 0..layer.slot_count() {
+                let kind = layer.slot_kind(slot, catalog);
+                let hosts = net.hosts_of(kind);
+                let mut row: Vec<String> = Vec::new();
+                for &v in hosts {
+                    let name = format!("x_v{}_l{}_g{}", v.0, l, slot);
+                    let price = net.vnf_price(v, kind).expect("host has instance");
+                    objective_terms.push(format!("{:.6} {name}", price * flow.size));
+                    row.push(name.clone());
+                    binaries.push(name);
+                    assignment_vars += 1;
+                }
+                // Σ_v x_{v,l,γ} = 1  (eq. 4)
+                constraints.push(format!("assign_l{l}_g{slot}: {} = 1", row.join(" + ")));
+            }
+        }
+
+        // --- Path variables, constraints (5)/(6) in grounded form, and
+        //     the link-capacity constraint (3) over path-link incidence.
+        // Endpoint candidates are restricted to assigned hosts; to keep
+        // the grounded model linear we enumerate (host_a, host_b) pairs.
+        let mut path_vars = 0usize;
+        let mut link_terms: Vec<Vec<(f64, String)>> = vec![Vec::new(); net.link_count()];
+        for (mp_idx, mp) in meta_paths(sfc).iter().enumerate() {
+            let froms = endpoint_candidates(net, sfc, flow, mp.from);
+            let tos = endpoint_candidates(net, sfc, flow, mp.to);
+            let mut row: Vec<String> = Vec::new();
+            for &a in &froms {
+                for &b in &tos {
+                    let rate = flow.rate;
+                    let paths = k_shortest_paths(net, a, b, k_paths, &|l: LinkId| {
+                        net.link(l).capacity + CAP_EPS >= rate
+                    });
+                    for (rho, p) in paths.iter().enumerate() {
+                        let kind_tag = match mp.kind {
+                            MetaPathKind::InterLayer => "x",
+                            MetaPathKind::InnerLayer => "y",
+                        };
+                        let name =
+                            format!("{kind_tag}p_m{mp_idx}_a{}_b{}_r{rho}", a.0, b.0);
+                        for &l in p.links() {
+                            link_terms[l.index()]
+                                .push((flow.rate, name.clone()));
+                        }
+                        row.push(name.clone());
+                        binaries.push(name);
+                        path_vars += 1;
+                    }
+                }
+            }
+            if !row.is_empty() {
+                // Σ selections ≥ 1 per meta-path (eqs. 5/6 grounded).
+                constraints.push(format!("metapath_{mp_idx}: {} >= 1", row.join(" + ")));
+            }
+        }
+        // Link capacity (3) — conservative (no multicast dedup in the
+        // grounded linear form; the paper's min{·,1} needs auxiliary
+        // variables, noted in the header comment).
+        for (i, terms) in link_terms.iter().enumerate() {
+            if terms.is_empty() {
+                continue;
+            }
+            let lhs = terms
+                .iter()
+                .map(|(c, n)| format!("{c:.6} {n}"))
+                .collect::<Vec<_>>()
+                .join(" + ");
+            constraints.push(format!(
+                "cap_e{i}: {lhs} <= {:.6}",
+                net.link(LinkId(i as u32)).capacity
+            ));
+        }
+
+        // VNF capacity (2): Σ_slots rate·x_{v,l,γ} ≤ r_{v,f(i)}.
+        for v in net.node_ids() {
+            for inst in net.node(v).instances() {
+                let mut terms: Vec<String> = Vec::new();
+                for (l, layer) in sfc.layers().iter().enumerate() {
+                    for slot in 0..layer.slot_count() {
+                        if layer.slot_kind(slot, catalog) == inst.vnf {
+                            terms.push(format!("{:.6} x_v{}_l{l}_g{slot}", flow.rate, v.0));
+                        }
+                    }
+                }
+                if !terms.is_empty() {
+                    constraints.push(format!(
+                        "vnfcap_v{}_f{}: {} <= {:.6}",
+                        v.0,
+                        inst.vnf.0,
+                        terms.join(" + "),
+                        inst.capacity
+                    ));
+                }
+            }
+        }
+
+        let stats = IlpStats {
+            assignment_vars,
+            path_vars,
+            constraints: constraints.len(),
+        };
+        IlpModel {
+            objective: format!("min: {}", objective_terms.join(" + ")),
+            constraints,
+            binaries,
+            stats,
+        }
+    }
+
+    /// Serializes the model in an LP-like text format.
+    pub fn to_lp_string(&self) -> String {
+        let mut out = String::new();
+        writeln!(out, "{}", self.objective).expect("string write");
+        writeln!(out, "subject to:").expect("string write");
+        for c in &self.constraints {
+            writeln!(out, "  {c}").expect("string write");
+        }
+        writeln!(out, "binary:").expect("string write");
+        for b in &self.binaries {
+            writeln!(out, "  {b}").expect("string write");
+        }
+        out
+    }
+}
+
+fn endpoint_candidates(
+    net: &Network,
+    sfc: &DagSfc,
+    flow: &Flow,
+    ep: Endpoint,
+) -> Vec<NodeId> {
+    match ep {
+        Endpoint::Source => vec![flow.src],
+        Endpoint::Destination => vec![flow.dst],
+        Endpoint::Slot { layer, slot } => {
+            let kind = sfc.layer(layer).slot_kind(slot, sfc.catalog());
+            net.hosts_of(kind).to_vec()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vnf::VnfCatalog;
+    use dagsfc_net::VnfTypeId;
+
+    fn net() -> Network {
+        let mut g = Network::new();
+        g.add_nodes(3);
+        g.add_link(NodeId(0), NodeId(1), 1.0, 5.0).unwrap();
+        g.add_link(NodeId(1), NodeId(2), 1.0, 5.0).unwrap();
+        g.deploy_vnf(NodeId(1), VnfTypeId(0), 2.0, 5.0).unwrap();
+        g.deploy_vnf(NodeId(2), VnfTypeId(0), 3.0, 5.0).unwrap();
+        g
+    }
+
+    #[test]
+    fn builds_assignment_rows() {
+        let g = net();
+        let sfc = DagSfc::sequential(&[VnfTypeId(0)], VnfCatalog::new(1)).unwrap();
+        let flow = Flow::unit(NodeId(0), NodeId(2));
+        let m = IlpModel::build(&g, &sfc, &flow, 3);
+        assert_eq!(m.stats.assignment_vars, 2); // two hosts of f0
+        assert!(m.objective.starts_with("min:"));
+        assert!(m.objective.contains("2.000000 x_v1_l0_g0"));
+        assert!(m
+            .constraints
+            .iter()
+            .any(|c| c.starts_with("assign_l0_g0:") && c.ends_with("= 1")));
+    }
+
+    #[test]
+    fn grounds_metapath_and_capacity_rows() {
+        let g = net();
+        let sfc = DagSfc::sequential(&[VnfTypeId(0)], VnfCatalog::new(1)).unwrap();
+        let flow = Flow::unit(NodeId(0), NodeId(2));
+        let m = IlpModel::build(&g, &sfc, &flow, 3);
+        // 2 meta-paths (src→f0, f0→dst), each grounded.
+        assert_eq!(
+            m.constraints
+                .iter()
+                .filter(|c| c.starts_with("metapath_"))
+                .count(),
+            2
+        );
+        assert!(m.constraints.iter().any(|c| c.starts_with("cap_e0:")));
+        assert!(m
+            .constraints
+            .iter()
+            .any(|c| c.starts_with("vnfcap_v1_f0:")));
+        assert!(m.stats.path_vars > 0);
+        assert_eq!(m.stats.constraints, m.constraints.len());
+    }
+
+    #[test]
+    fn lp_serialization_well_formed() {
+        let g = net();
+        let sfc = DagSfc::sequential(&[VnfTypeId(0)], VnfCatalog::new(1)).unwrap();
+        let flow = Flow::unit(NodeId(0), NodeId(2));
+        let m = IlpModel::build(&g, &sfc, &flow, 2);
+        let lp = m.to_lp_string();
+        assert!(lp.contains("subject to:"));
+        assert!(lp.contains("binary:"));
+        assert_eq!(
+            lp.lines().filter(|l| l.starts_with("  ")).count(),
+            m.constraints.len() + m.binaries.len()
+        );
+    }
+}

@@ -1,0 +1,41 @@
+//! # dagsfc-core — the DAG-SFC abstraction and embedding solvers
+//!
+//! Reproduction of *DAG-SFC: Minimize the Embedding Cost of SFC with
+//! Parallel VNFs* (ICPP 2018): the layered DAG abstraction of hybrid
+//! service chains, the cost model with multicast-aware link reuse, an
+//! independent constraint validator, and the paper's solvers — **BBE**,
+//! **MBBE**, and the **RANV**/**MINV** baselines — plus an exact
+//! branch-and-bound reference for small instances.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bounds;
+pub mod builder;
+pub mod chain;
+pub mod cost;
+pub mod delay;
+pub mod embedding;
+pub mod error;
+pub mod flow;
+pub mod ilp;
+pub mod metapath;
+pub mod protect;
+pub mod solvers;
+pub mod validate;
+pub mod vnf;
+
+pub use bounds::cost_lower_bound;
+pub use builder::ChainBuilder;
+pub use chain::{DagSfc, Layer};
+pub use cost::CostBreakdown;
+pub use delay::DelayModel;
+pub use embedding::{Accounting, Embedding, EmbeddingStats};
+pub use error::{ModelError, SolveError};
+pub use flow::{EmbeddingRequest, Flow};
+pub use ilp::{IlpModel, IlpStats};
+pub use metapath::{meta_path_count, meta_paths, Endpoint, MetaPath, MetaPathKind};
+pub use protect::{protect, ProtectError, ProtectedEmbedding};
+pub use solvers::{BbeConfig, BbeSolver, ExactSolver, MbbeSolver, MbbeStSolver, MinvSolver, RanvSolver, SolveOutcome, Solver, SolverStats};
+pub use validate::{validate, Violation};
+pub use vnf::VnfCatalog;

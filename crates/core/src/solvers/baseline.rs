@@ -1,0 +1,338 @@
+//! The paper's benchmark algorithms (§5.1): RANV and MINV.
+//!
+//! Both follow the same two-phase shape — assign every VNF of the chain
+//! to a node with enough processing capability, then implement all
+//! meta-paths with minimum-cost (Dijkstra) paths on the residual
+//! network. They differ only in the node choice: RANV picks uniformly at
+//! random among feasible hosts, MINV picks the cheapest feasible host.
+//! Neither considers link proximity when assigning, which is exactly the
+//! weakness BBE/MBBE exploit.
+
+use super::{precheck, SolveOutcome, Solver, SolverStats};
+use crate::chain::DagSfc;
+use crate::embedding::Embedding;
+use crate::error::SolveError;
+use crate::flow::Flow;
+use crate::metapath::{meta_paths, MetaPathKind};
+use dagsfc_net::routing::min_cost_path;
+use dagsfc_net::{LinkId, Network, NetworkState, NodeId, Path, VnfTypeId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::{HashMap, HashSet};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Node-selection policy of a two-phase baseline.
+trait PickNode {
+    fn pick(&self, net: &Network, kind: VnfTypeId, feasible: &[NodeId]) -> NodeId;
+}
+
+/// RANV: random feasible node per VNF + min-cost paths.
+#[derive(Debug)]
+pub struct RanvSolver {
+    rng: Mutex<StdRng>,
+}
+
+impl RanvSolver {
+    /// A RANV instance with a deterministic seed.
+    pub fn new(seed: u64) -> Self {
+        RanvSolver {
+            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+        }
+    }
+}
+
+impl PickNode for RanvSolver {
+    fn pick(&self, _net: &Network, _kind: VnfTypeId, feasible: &[NodeId]) -> NodeId {
+        *feasible
+            .choose(&mut *self.rng.lock().expect("rng poisoned"))
+            .expect("feasible set checked non-empty")
+    }
+}
+
+impl Solver for RanvSolver {
+    fn name(&self) -> &'static str {
+        "RANV"
+    }
+
+    fn solve(
+        &self,
+        net: &Network,
+        sfc: &DagSfc,
+        flow: &Flow,
+    ) -> Result<SolveOutcome, SolveError> {
+        assign_then_route(net, sfc, flow, self, "RANV")
+    }
+}
+
+/// MINV: cheapest feasible node per VNF + min-cost paths.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MinvSolver;
+
+impl MinvSolver {
+    /// A MINV instance.
+    pub fn new() -> Self {
+        MinvSolver
+    }
+}
+
+impl PickNode for MinvSolver {
+    fn pick(&self, net: &Network, kind: VnfTypeId, feasible: &[NodeId]) -> NodeId {
+        *feasible
+            .iter()
+            .min_by(|&&a, &&b| {
+                let pa = net.vnf_price(a, kind).unwrap_or(f64::INFINITY);
+                let pb = net.vnf_price(b, kind).unwrap_or(f64::INFINITY);
+                pa.partial_cmp(&pb).expect("finite prices").then(a.cmp(&b))
+            })
+            .expect("feasible set checked non-empty")
+    }
+}
+
+impl Solver for MinvSolver {
+    fn name(&self) -> &'static str {
+        "MINV"
+    }
+
+    fn solve(
+        &self,
+        net: &Network,
+        sfc: &DagSfc,
+        flow: &Flow,
+    ) -> Result<SolveOutcome, SolveError> {
+        assign_then_route(net, sfc, flow, self, "MINV")
+    }
+}
+
+/// Shared two-phase skeleton: assignment pass, then routing pass with
+/// residual-capacity tracking and multicast-aware reservation (a link
+/// already reserved for a layer's inter-layer multicast group carries
+/// the extra branches for free).
+fn assign_then_route(
+    net: &Network,
+    sfc: &DagSfc,
+    flow: &Flow,
+    pick: &dyn PickNode,
+    solver: &'static str,
+) -> Result<SolveOutcome, SolveError> {
+    let start = Instant::now();
+    precheck(net, sfc, flow)?;
+    let catalog = sfc.catalog();
+    let mut state = NetworkState::new(net);
+    let mut explored = 0usize;
+
+    // Phase 1: assign every slot (parallel VNFs and mergers).
+    let mut assignments: Vec<Vec<NodeId>> = Vec::with_capacity(sfc.depth());
+    for layer in sfc.layers() {
+        let mut slots = Vec::with_capacity(layer.slot_count());
+        for slot in 0..layer.slot_count() {
+            let kind = layer.slot_kind(slot, catalog);
+            let feasible: Vec<NodeId> = net
+                .hosts_of(kind)
+                .iter()
+                .copied()
+                .filter(|&n| state.vnf_fits(n, kind, flow.rate))
+                .collect();
+            explored += feasible.len();
+            if feasible.is_empty() {
+                return Err(SolveError::NoFeasibleEmbedding {
+                    solver,
+                    reason: format!("no node with residual capability for {kind}"),
+                });
+            }
+            let node = pick.pick(net, kind, &feasible);
+            state
+                .reserve_vnf(node, kind, flow.rate)
+                .expect("feasibility just checked");
+            slots.push(node);
+        }
+        assignments.push(slots);
+    }
+
+    // Phase 2: minimum-cost paths per meta-path, honoring residual
+    // bandwidth and per-layer multicast sharing.
+    let mut group_links: HashMap<usize, HashSet<LinkId>> = HashMap::new();
+    let mut paths: Vec<Path> = Vec::new();
+    let endpoint = |ep| match ep {
+        crate::metapath::Endpoint::Source => flow.src,
+        crate::metapath::Endpoint::Destination => flow.dst,
+        crate::metapath::Endpoint::Slot { layer, slot } => assignments[layer][slot],
+    };
+    for mp in meta_paths(sfc) {
+        let from = endpoint(mp.from);
+        let to = endpoint(mp.to);
+        let path = match mp.kind {
+            MetaPathKind::InterLayer => {
+                let shared = group_links.entry(mp.group).or_default().clone();
+                let filter =
+                    |l: LinkId| shared.contains(&l) || state.link_fits(l, flow.rate);
+                let path = min_cost_path(net, from, to, &filter).ok_or_else(|| {
+                    SolveError::NoFeasibleEmbedding {
+                        solver,
+                        reason: format!("no bandwidth-feasible path {from} → {to}"),
+                    }
+                })?;
+                let group = group_links.entry(mp.group).or_default();
+                for &l in path.links() {
+                    if group.insert(l) {
+                        state.reserve_link(l, flow.rate).map_err(|_| {
+                            SolveError::NoFeasibleEmbedding {
+                                solver,
+                                reason: format!("link {l} saturated while reserving"),
+                            }
+                        })?;
+                    }
+                }
+                path
+            }
+            MetaPathKind::InnerLayer => {
+                let filter = |l: LinkId| state.link_fits(l, flow.rate);
+                let path = min_cost_path(net, from, to, &filter).ok_or_else(|| {
+                    SolveError::NoFeasibleEmbedding {
+                        solver,
+                        reason: format!("no bandwidth-feasible path {from} → {to}"),
+                    }
+                })?;
+                state.reserve_path(&path, flow.rate).map_err(|_| {
+                    SolveError::NoFeasibleEmbedding {
+                        solver,
+                        reason: "inner-layer path saturated while reserving".into(),
+                    }
+                })?;
+                path
+            }
+        };
+        paths.push(path);
+    }
+
+    let embedding = Embedding::new(sfc, assignments, paths)?;
+    let cost = embedding.cost(net, sfc, flow);
+    Ok(SolveOutcome {
+        embedding,
+        cost,
+        stats: SolverStats {
+            explored,
+            kept: 1,
+            elapsed: start.elapsed(),
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::Layer;
+    use crate::validate::validate;
+    use crate::vnf::VnfCatalog;
+
+    /// v0..v4 path + chord; f0@{v1:1.0, v2:5.0}, f1@{v3}, merger@{v3}.
+    fn net() -> Network {
+        let mut g = Network::new();
+        g.add_nodes(5);
+        g.add_link(NodeId(0), NodeId(1), 1.0, 10.0).unwrap();
+        g.add_link(NodeId(1), NodeId(2), 1.0, 10.0).unwrap();
+        g.add_link(NodeId(2), NodeId(3), 1.0, 10.0).unwrap();
+        g.add_link(NodeId(3), NodeId(4), 1.0, 10.0).unwrap();
+        g.add_link(NodeId(1), NodeId(3), 0.5, 10.0).unwrap();
+        g.deploy_vnf(NodeId(1), VnfTypeId(0), 1.0, 10.0).unwrap();
+        g.deploy_vnf(NodeId(2), VnfTypeId(0), 5.0, 10.0).unwrap();
+        g.deploy_vnf(NodeId(3), VnfTypeId(1), 2.0, 10.0).unwrap();
+        g.deploy_vnf(NodeId(3), VnfTypeId(2), 1.0, 10.0).unwrap();
+        g
+    }
+
+    fn catalog() -> VnfCatalog {
+        VnfCatalog::new(2)
+    }
+
+    #[test]
+    fn minv_picks_cheapest_host() {
+        let g = net();
+        let sfc = DagSfc::sequential(&[VnfTypeId(0)], catalog()).unwrap();
+        let flow = Flow::unit(NodeId(0), NodeId(4));
+        let out = MinvSolver::new().solve(&g, &sfc, &flow).unwrap();
+        validate(&g, &sfc, &flow, &out.embedding).unwrap();
+        assert_eq!(out.embedding.node_of(0, 0), NodeId(1)); // price 1.0 < 5.0
+        // cost: f0 1.0 + links v0-v1 (1) + v1-v3-v4 (0.5+1) = 3.5
+        assert!((out.cost.total() - 3.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ranv_is_deterministic_under_seed_and_valid() {
+        let g = net();
+        let sfc = DagSfc::sequential(&[VnfTypeId(0), VnfTypeId(1)], catalog()).unwrap();
+        let flow = Flow::unit(NodeId(0), NodeId(4));
+        let a = RanvSolver::new(11).solve(&g, &sfc, &flow).unwrap();
+        let b = RanvSolver::new(11).solve(&g, &sfc, &flow).unwrap();
+        assert_eq!(a.embedding, b.embedding);
+        validate(&g, &sfc, &flow, &a.embedding).unwrap();
+    }
+
+    #[test]
+    fn ranv_varies_across_seeds() {
+        let g = net();
+        let sfc = DagSfc::sequential(&[VnfTypeId(0)], catalog()).unwrap();
+        let flow = Flow::unit(NodeId(0), NodeId(4));
+        let picks: HashSet<NodeId> = (0..32)
+            .map(|s| {
+                RanvSolver::new(s)
+                    .solve(&g, &sfc, &flow)
+                    .unwrap()
+                    .embedding
+                    .node_of(0, 0)
+            })
+            .collect();
+        assert_eq!(picks.len(), 2, "both hosts should appear across seeds");
+    }
+
+    #[test]
+    fn parallel_layer_handled_with_merger() {
+        let g = net();
+        let sfc = DagSfc::new(
+            vec![Layer::new(vec![VnfTypeId(0), VnfTypeId(1)])],
+            catalog(),
+        )
+        .unwrap();
+        let flow = Flow::unit(NodeId(0), NodeId(4));
+        let out = MinvSolver::new().solve(&g, &sfc, &flow).unwrap();
+        validate(&g, &sfc, &flow, &out.embedding).unwrap();
+        assert_eq!(out.embedding.assignments()[0].len(), 3);
+        assert_eq!(out.embedding.assignments()[0][2], NodeId(3)); // merger host
+    }
+
+    #[test]
+    fn fails_when_capacity_exhausted() {
+        let mut g = Network::new();
+        g.add_nodes(2);
+        g.add_link(NodeId(0), NodeId(1), 1.0, 10.0).unwrap();
+        g.deploy_vnf(NodeId(0), VnfTypeId(0), 1.0, 1.5).unwrap();
+        // Chain uses f0 twice: 2 × rate 1.0 > capability 1.5.
+        let sfc = DagSfc::sequential(&[VnfTypeId(0), VnfTypeId(0)], VnfCatalog::new(1)).unwrap();
+        let flow = Flow::unit(NodeId(0), NodeId(1));
+        assert!(matches!(
+            MinvSolver::new().solve(&g, &sfc, &flow),
+            Err(SolveError::NoFeasibleEmbedding { .. })
+        ));
+    }
+
+    #[test]
+    fn fails_when_links_saturated() {
+        let mut g = Network::new();
+        g.add_nodes(2);
+        g.add_link(NodeId(0), NodeId(1), 1.0, 0.5).unwrap(); // tiny bandwidth
+        g.deploy_vnf(NodeId(1), VnfTypeId(0), 1.0, 10.0).unwrap();
+        let sfc = DagSfc::sequential(&[VnfTypeId(0)], VnfCatalog::new(1)).unwrap();
+        let flow = Flow::unit(NodeId(0), NodeId(1));
+        assert!(matches!(
+            MinvSolver::new().solve(&g, &sfc, &flow),
+            Err(SolveError::NoFeasibleEmbedding { .. })
+        ));
+    }
+
+    #[test]
+    fn solver_names() {
+        assert_eq!(RanvSolver::new(0).name(), "RANV");
+        assert_eq!(MinvSolver::new().name(), "MINV");
+    }
+}

@@ -1,0 +1,525 @@
+//! Step 3 of BBE: candidate sub-solution generation (paper §4.4).
+//!
+//! Given the FST–BST pair of a layer, candidates are produced in the
+//! paper's four sub-steps: (i) every combination of parallel-VNF
+//! allocations found in the BST, (ii) inner-layer real-paths by
+//! traversing the BST, (iii) inter-layer real-paths by traversing the
+//! FST, and (iv) a feasibility filter. MBBE's strategy (2) replaces the
+//! tree traversals of (ii)/(iii) with minimum-cost paths on the real-time
+//! network.
+//!
+//! Bounded enumeration: combination counts are capped by the
+//! [`super::BbeConfig`] knobs — candidates are explored cheapest-first so
+//! truncation discards the expensive tail.
+
+use super::tree::SearchTree;
+use super::BbeConfig;
+use crate::chain::Layer;
+use crate::cost::CostBreakdown;
+use crate::flow::Flow;
+use crate::vnf::VnfCatalog;
+use dagsfc_net::routing::ShortestPathTree;
+use dagsfc_net::{LinkId, Network, NodeId, Path, CAP_EPS};
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+
+/// One embedded layer: the paper's per-layer sub-solution.
+#[derive(Debug, Clone)]
+pub(crate) struct LayerSub {
+    /// Node per slot (merger last for parallel layers).
+    pub assignment: Vec<NodeId>,
+    /// Inter-layer real-paths, one per parallel slot (start → VNF node).
+    pub inter_paths: Vec<Path>,
+    /// Inner-layer real-paths, one per parallel slot (VNF node → merger);
+    /// empty for singleton layers.
+    pub inner_paths: Vec<Path>,
+    /// This layer's cost contribution (VNF rentals + multicast-deduped
+    /// inter links + per-version inner links, scaled by the flow size).
+    pub cost: CostBreakdown,
+    /// The layer's end node: next layer's search start.
+    pub end_node: NodeId,
+}
+
+/// Shared per-solve context: network, flow, config, and a cache of
+/// Dijkstra trees for MBBE's min-cost path instantiation.
+pub(crate) struct EngineCtx<'a> {
+    pub net: &'a Network,
+    pub catalog: VnfCatalog,
+    pub flow: Flow,
+    pub cfg: &'a BbeConfig,
+    spt: RefCell<HashMap<NodeId, ShortestPathTree>>,
+}
+
+impl<'a> EngineCtx<'a> {
+    pub fn new(net: &'a Network, catalog: VnfCatalog, flow: Flow, cfg: &'a BbeConfig) -> Self {
+        EngineCtx {
+            net,
+            catalog,
+            flow,
+            cfg,
+            spt: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// Static rate-feasibility of a link (no global reservations during
+    /// the search; complete solutions are re-validated at the end).
+    pub fn link_ok(&self, l: LinkId) -> bool {
+        self.net.link(l).capacity + CAP_EPS >= self.flow.rate
+    }
+
+    /// Static rate-feasibility of every link on a path.
+    pub fn path_ok(&self, p: &Path) -> bool {
+        p.links().iter().all(|&l| self.link_ok(l))
+    }
+
+    /// Cheapest path `from → to` over rate-feasible links, via a cached
+    /// single-source Dijkstra tree rooted at `from`.
+    pub fn min_cost_path(&self, from: NodeId, to: NodeId) -> Option<Path> {
+        if from == to {
+            return Some(Path::trivial(from));
+        }
+        let mut cache = self.spt.borrow_mut();
+        let spt = cache.entry(from).or_insert_with(|| {
+            ShortestPathTree::build(self.net, from, &|l: LinkId| self.link_ok(l), None)
+        });
+        spt.path_to(to)
+    }
+}
+
+/// Mixed-radix cartesian product of `options`, cheapest-first (index 0 of
+/// every dimension first), capped at `cap` combinations.
+pub(crate) fn bounded_cartesian<T: Clone>(options: &[Vec<T>], cap: usize) -> Vec<Vec<T>> {
+    if options.iter().any(Vec::is_empty) || cap == 0 {
+        return Vec::new();
+    }
+    let mut combos = Vec::new();
+    let mut idx = vec![0usize; options.len()];
+    loop {
+        combos.push(
+            idx.iter()
+                .zip(options)
+                .map(|(&i, opts)| opts[i].clone())
+                .collect(),
+        );
+        if combos.len() >= cap {
+            break;
+        }
+        // Odometer increment, least-significant dimension last.
+        let mut dim = options.len();
+        loop {
+            if dim == 0 {
+                return combos;
+            }
+            dim -= 1;
+            idx[dim] += 1;
+            if idx[dim] < options[dim].len() {
+                break;
+            }
+            idx[dim] = 0;
+        }
+    }
+    combos
+}
+
+/// Computes a layer's cost: VNF rentals plus links, with multicast dedup
+/// across the inter-layer paths and per-occurrence charges on inner ones.
+pub(crate) fn layer_cost(
+    ctx: &EngineCtx<'_>,
+    vnf_prices: f64,
+    inter: &[Path],
+    inner: &[Path],
+) -> CostBreakdown {
+    let mut seen: HashSet<LinkId> = HashSet::new();
+    let mut link_price = 0.0;
+    for p in inter {
+        for &l in p.links() {
+            if seen.insert(l) {
+                link_price += ctx.net.link(l).price;
+            }
+        }
+    }
+    for p in inner {
+        for &l in p.links() {
+            link_price += ctx.net.link(l).price;
+        }
+    }
+    CostBreakdown {
+        vnf: vnf_prices * ctx.flow.size,
+        link: link_price * ctx.flow.size,
+    }
+}
+
+/// Alternatives for the path `start → node` using the FST (BBE) or the
+/// real-time network (MBBE).
+fn inter_path_options(
+    ctx: &EngineCtx<'_>,
+    fst: &SearchTree,
+    node: NodeId,
+) -> Vec<Path> {
+    if ctx.cfg.use_min_cost_paths {
+        ctx.min_cost_path(fst.root(), node).into_iter().collect()
+    } else {
+        let Some(idx) = fst.index_of(node) else {
+            return Vec::new();
+        };
+        fst.paths_from_root(ctx.net, idx, ctx.cfg.max_raw_chains, ctx.cfg.max_paths_per_pair)
+            .into_iter()
+            .filter(|p| ctx.path_ok(p))
+            .collect()
+    }
+}
+
+/// Alternatives for the inner path `node → merger` using the BST (BBE) or
+/// the real-time network (MBBE). Paths are oriented node → merger.
+fn inner_path_options(
+    ctx: &EngineCtx<'_>,
+    bst: &SearchTree,
+    node: NodeId,
+) -> Vec<Path> {
+    if ctx.cfg.use_min_cost_paths {
+        // Dijkstra tree rooted at the merger, path reversed (links are
+        // bi-directional).
+        ctx.min_cost_path(bst.root(), node)
+            .into_iter()
+            .map(Path::reversed)
+            .collect()
+    } else {
+        let Some(idx) = bst.index_of(node) else {
+            return Vec::new();
+        };
+        bst.paths_from_root(ctx.net, idx, ctx.cfg.max_raw_chains, ctx.cfg.max_paths_per_pair)
+            .into_iter()
+            .map(Path::reversed)
+            .filter(|p| ctx.path_ok(p))
+            .collect()
+    }
+}
+
+/// Candidate nodes of a slot, cheapest rental first, capped.
+fn slot_candidates(
+    ctx: &EngineCtx<'_>,
+    tree: &SearchTree,
+    kind: dagsfc_net::VnfTypeId,
+) -> Vec<NodeId> {
+    let mut cands: Vec<NodeId> = tree
+        .hosting(kind)
+        .into_iter()
+        .map(|i| tree.node(i).node)
+        .filter(|&n| {
+            ctx.net
+                .instance(n, kind)
+                .is_some_and(|i| i.capacity + CAP_EPS >= ctx.flow.rate)
+        })
+        .collect();
+    cands.sort_by(|&a, &b| {
+        let pa = ctx.net.vnf_price(a, kind).unwrap_or(f64::INFINITY);
+        let pb = ctx.net.vnf_price(b, kind).unwrap_or(f64::INFINITY);
+        pa.partial_cmp(&pb).expect("finite prices").then(a.cmp(&b))
+    });
+    cands.truncate(ctx.cfg.max_candidates_per_slot);
+    cands
+}
+
+/// Generates sub-solutions for a *singleton* layer from its FST: one
+/// candidate per (hosting node, inter-path alternative).
+pub(crate) fn singleton_layer_subs(
+    ctx: &EngineCtx<'_>,
+    layer: &Layer,
+    fst: &SearchTree,
+) -> Vec<LayerSub> {
+    debug_assert!(!layer.needs_merger());
+    let kind = layer.vnfs()[0];
+    let mut subs = Vec::new();
+    for node in slot_candidates(ctx, fst, kind) {
+        let price = ctx.net.vnf_price(node, kind).expect("candidate hosts kind");
+        for path in inter_path_options(ctx, fst, node) {
+            let cost = layer_cost(ctx, price, std::slice::from_ref(&path), &[]);
+            subs.push(LayerSub {
+                assignment: vec![node],
+                inter_paths: vec![path],
+                inner_paths: Vec::new(),
+                cost,
+                end_node: node,
+            });
+        }
+    }
+    subs
+}
+
+/// Generates sub-solutions for a *parallel* layer from one FST–BST pair
+/// (the BST is rooted at the merger candidate).
+pub(crate) fn parallel_layer_subs(
+    ctx: &EngineCtx<'_>,
+    layer: &Layer,
+    fst: &SearchTree,
+    bst: &SearchTree,
+) -> Vec<LayerSub> {
+    debug_assert!(layer.needs_merger());
+    let merger_node = bst.root();
+    let merger_kind = ctx.catalog.merger();
+    let Some(merger_inst) = ctx.net.instance(merger_node, merger_kind) else {
+        return Vec::new();
+    };
+    if merger_inst.capacity + CAP_EPS < ctx.flow.rate {
+        return Vec::new();
+    }
+
+    // Step (i): allocation combinations from the BST.
+    let per_slot: Vec<Vec<NodeId>> = layer
+        .vnfs()
+        .iter()
+        .map(|&kind| slot_candidates(ctx, bst, kind))
+        .collect();
+    let assignments = bounded_cartesian(&per_slot, ctx.cfg.max_assignment_combos);
+
+    let mut subs = Vec::new();
+    for assignment in assignments {
+        // MBBE-ST extension: additionally route the layer's inter-layer
+        // multicast as one Takahashi–Matsuyama Steiner tree, maximizing
+        // the eq. (9) link sharing. These candidates *augment* the
+        // independent-path ones below; cheapest-first sorting and `X_d`
+        // pruning then pick whichever routing wins, so MBBE-ST is never
+        // worse than MBBE on a layer.
+        if ctx.cfg.use_steiner_multicast {
+            let tree = dagsfc_net::routing::multicast_tree(
+                ctx.net,
+                fst.root(),
+                &assignment,
+                &|l: LinkId| ctx.link_ok(l),
+            );
+            if let Some(mt) = tree {
+                let inner_opts: Vec<Vec<Path>> = assignment
+                    .iter()
+                    .map(|&node| inner_path_options(ctx, bst, node))
+                    .collect();
+                if inner_opts.iter().all(|o| !o.is_empty()) {
+                    let vnf_prices: f64 = assignment
+                        .iter()
+                        .zip(layer.vnfs())
+                        .map(|(&n, &k)| {
+                            ctx.net.vnf_price(n, k).expect("candidate hosts kind")
+                        })
+                        .sum::<f64>()
+                        + merger_inst.price;
+                    for inner_paths in
+                        bounded_cartesian(&inner_opts, ctx.cfg.max_path_combos)
+                    {
+                        let cost = layer_cost(ctx, vnf_prices, &mt.paths, &inner_paths);
+                        let mut full_assignment = assignment.clone();
+                        full_assignment.push(merger_node);
+                        subs.push(LayerSub {
+                            assignment: full_assignment,
+                            inter_paths: mt.paths.clone(),
+                            inner_paths,
+                            cost,
+                            end_node: merger_node,
+                        });
+                    }
+                }
+            }
+        }
+        // Steps (ii)+(iii): per-slot path alternatives, then bounded
+        // cartesian over (inter, inner) choices.
+        let mut slot_options: Vec<Vec<(Path, Path)>> = Vec::with_capacity(assignment.len());
+        let mut feasible = true;
+        for &node in &assignment {
+            let inters = inter_path_options(ctx, fst, node);
+            let inners = inner_path_options(ctx, bst, node);
+            if inters.is_empty() || inners.is_empty() {
+                feasible = false;
+                break;
+            }
+            let pairs = bounded_cartesian(
+                &[inters, inners],
+                ctx.cfg.max_paths_per_pair * ctx.cfg.max_paths_per_pair,
+            )
+            .into_iter()
+            .map(|mut v| {
+                let inner = v.pop().expect("pair");
+                let inter = v.pop().expect("pair");
+                (inter, inner)
+            })
+            .collect::<Vec<_>>();
+            slot_options.push(pairs);
+        }
+        if !feasible {
+            continue;
+        }
+        let vnf_prices: f64 = assignment
+            .iter()
+            .zip(layer.vnfs())
+            .map(|(&n, &k)| ctx.net.vnf_price(n, k).expect("candidate hosts kind"))
+            .sum::<f64>()
+            + merger_inst.price;
+
+        for combo in bounded_cartesian(&slot_options, ctx.cfg.max_path_combos) {
+            let inter_paths: Vec<Path> = combo.iter().map(|(i, _)| i.clone()).collect();
+            let inner_paths: Vec<Path> = combo.into_iter().map(|(_, n)| n).collect();
+            let cost = layer_cost(ctx, vnf_prices, &inter_paths, &inner_paths);
+            let mut full_assignment = assignment.clone();
+            full_assignment.push(merger_node);
+            subs.push(LayerSub {
+                assignment: full_assignment,
+                inter_paths,
+                inner_paths,
+                cost,
+                end_node: merger_node,
+            });
+        }
+    }
+    // Step (iv): the static feasibility filters are applied inline above
+    // (capacity-vs-rate on every candidate node and path link); order
+    // candidates cheapest-first for downstream X_d pruning.
+    subs.sort_by(|a, b| {
+        a.cost
+            .total()
+            .partial_cmp(&b.cost.total())
+            .expect("finite costs")
+    });
+    subs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::Layer;
+    use crate::solvers::bbe::backward::backward_search;
+    use crate::solvers::bbe::forward::forward_search;
+    use dagsfc_net::VnfTypeId;
+
+    fn cfg() -> BbeConfig {
+        BbeConfig::default()
+    }
+
+    /// Diamond: v0-v1-v2, v0-v3-v2; f0@v1, f1@v3, merger@v2; plus
+    /// direct src links.
+    fn net() -> Network {
+        let mut g = Network::new();
+        g.add_nodes(4);
+        g.add_link(NodeId(0), NodeId(1), 1.0, 10.0).unwrap();
+        g.add_link(NodeId(1), NodeId(2), 2.0, 10.0).unwrap();
+        g.add_link(NodeId(0), NodeId(3), 1.5, 10.0).unwrap();
+        g.add_link(NodeId(3), NodeId(2), 0.5, 10.0).unwrap();
+        g.deploy_vnf(NodeId(1), VnfTypeId(0), 1.0, 10.0).unwrap();
+        g.deploy_vnf(NodeId(3), VnfTypeId(1), 2.0, 10.0).unwrap();
+        g.deploy_vnf(NodeId(2), VnfTypeId(2), 0.5, 10.0).unwrap();
+        g
+    }
+
+    #[test]
+    fn bounded_cartesian_orders_and_caps() {
+        let opts = vec![vec![1, 2], vec![10, 20]];
+        let all = bounded_cartesian(&opts, 100);
+        assert_eq!(all, vec![vec![1, 10], vec![1, 20], vec![2, 10], vec![2, 20]]);
+        let capped = bounded_cartesian(&opts, 3);
+        assert_eq!(capped.len(), 3);
+        assert_eq!(capped[0], vec![1, 10]); // cheapest-first prefix
+        assert!(bounded_cartesian(&[vec![1], vec![]], 10).is_empty());
+        assert!(bounded_cartesian::<i32>(&[], 0).is_empty());
+        // Empty dimension list with positive cap → single empty combo.
+        assert_eq!(bounded_cartesian::<i32>(&[], 5), vec![Vec::<i32>::new()]);
+    }
+
+    #[test]
+    fn singleton_candidates_cover_hosting_nodes() {
+        let g = net();
+        let c = VnfCatalog::new(2);
+        let cfg = cfg();
+        let ctx = EngineCtx::new(&g, c, Flow::unit(NodeId(0), NodeId(2)), &cfg);
+        let layer = Layer::new(vec![VnfTypeId(0)]);
+        let fst = forward_search(&g, NodeId(0), &layer, &c, None);
+        let subs = singleton_layer_subs(&ctx, &layer, &fst);
+        assert!(!subs.is_empty());
+        for s in &subs {
+            assert_eq!(s.assignment, vec![NodeId(1)]);
+            assert_eq!(s.end_node, NodeId(1));
+            assert!(s.inner_paths.is_empty());
+            assert_eq!(s.inter_paths[0].source(), NodeId(0));
+            assert_eq!(s.inter_paths[0].target(), NodeId(1));
+            // cost = vnf 1.0 + link v0-v1 1.0
+            assert!((s.cost.total() - 2.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn parallel_layer_generation_builds_complete_subs() {
+        let g = net();
+        let c = VnfCatalog::new(2);
+        let cfg = cfg();
+        let ctx = EngineCtx::new(&g, c, Flow::unit(NodeId(0), NodeId(2)), &cfg);
+        let layer = Layer::new(vec![VnfTypeId(0), VnfTypeId(1)]);
+        let fst = forward_search(&g, NodeId(0), &layer, &c, None);
+        assert!(fst.covered());
+        let bst = backward_search(&g, NodeId(2), &layer, &c, &fst);
+        assert!(bst.covered());
+        let subs = parallel_layer_subs(&ctx, &layer, &fst, &bst);
+        assert!(!subs.is_empty());
+        let best = &subs[0];
+        assert_eq!(best.assignment.len(), 3); // f0, f1, merger
+        assert_eq!(best.assignment[2], NodeId(2));
+        assert_eq!(best.end_node, NodeId(2));
+        assert_eq!(best.inter_paths.len(), 2);
+        assert_eq!(best.inner_paths.len(), 2);
+        // Inner paths end on the merger.
+        for p in &best.inner_paths {
+            assert_eq!(p.target(), NodeId(2));
+        }
+        // Costs sorted ascending.
+        for w in subs.windows(2) {
+            assert!(w[0].cost.total() <= w[1].cost.total() + 1e-12);
+        }
+        // Expected optimum: f0@v1 (1.0) + f1@v3 (2.0) + merger (0.5)
+        // + inter links {v0-v1 1.0, v0-v3 1.5} + inner {v1-v2 2.0,
+        //   v3-v2 0.5} = 8.5.
+        assert!((best.cost.total() - 8.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_cost_mode_produces_single_alternative_per_pair() {
+        let g = net();
+        let c = VnfCatalog::new(2);
+        let mut cfg = cfg();
+        cfg.use_min_cost_paths = true;
+        let ctx = EngineCtx::new(&g, c, Flow::unit(NodeId(0), NodeId(2)), &cfg);
+        let layer = Layer::new(vec![VnfTypeId(0), VnfTypeId(1)]);
+        let fst = forward_search(&g, NodeId(0), &layer, &c, None);
+        let bst = backward_search(&g, NodeId(2), &layer, &c, &fst);
+        let subs = parallel_layer_subs(&ctx, &layer, &fst, &bst);
+        // One assignment combo × one path combo.
+        assert_eq!(subs.len(), 1);
+        assert!((subs[0].cost.total() - 8.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rate_infeasible_candidates_filtered() {
+        let g = net();
+        let c = VnfCatalog::new(2);
+        let cfg = cfg();
+        // Rate 20 exceeds every capacity (10).
+        let flow = Flow {
+            src: NodeId(0),
+            dst: NodeId(2),
+            rate: 20.0,
+            size: 1.0,
+        };
+        let ctx = EngineCtx::new(&g, c, flow, &cfg);
+        let layer = Layer::new(vec![VnfTypeId(0)]);
+        let fst = forward_search(&g, NodeId(0), &layer, &c, None);
+        assert!(singleton_layer_subs(&ctx, &layer, &fst).is_empty());
+    }
+
+    #[test]
+    fn merger_capacity_gate() {
+        let mut g = net();
+        // Second merger instance with tiny capacity on v1.
+        g.deploy_vnf(NodeId(1), VnfTypeId(2), 0.1, 0.5).unwrap();
+        let c = VnfCatalog::new(2);
+        let cfg = cfg();
+        let ctx = EngineCtx::new(&g, c, Flow::unit(NodeId(0), NodeId(2)), &cfg);
+        let layer = Layer::new(vec![VnfTypeId(0), VnfTypeId(1)]);
+        let fst = forward_search(&g, NodeId(0), &layer, &c, None);
+        let bst = backward_search(&g, NodeId(1), &layer, &c, &fst);
+        // Merger on v1 has capacity 0.5 < rate 1.0 → no candidates.
+        assert!(parallel_layer_subs(&ctx, &layer, &fst, &bst).is_empty());
+    }
+}

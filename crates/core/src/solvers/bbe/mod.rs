@@ -1,0 +1,735 @@
+//! BBE — Breadth-first Backtracking Embedding (paper §4) — and its
+//! complexity-reduced variant MBBE (§4.5).
+//!
+//! Per layer, BBE runs a forward search from the layer's start node
+//! (building an FST), a backward search from every merger candidate
+//! (building BSTs), and generates candidate sub-solutions from each
+//! FST–BST pair; candidates accumulate in a sub-solution tree whose
+//! cheapest complete leaf — after connecting the last layer to the
+//! destination with a minimum-cost path — is the returned embedding.
+//!
+//! MBBE layers three strategies on top (paper §4.5):
+//! 1. the forward node set is capped at `X_max`;
+//! 2. meta-paths are instantiated with minimum-cost paths on the
+//!    real-time network instead of tree traversals;
+//! 3. only the cheapest `X_d` sub-solutions per FST–BST pair (and per
+//!    sub-solution-tree node) are retained, making the tree an
+//!    `X_d`-tree.
+//!
+//! Two engineering bounds not in the paper keep worst cases finite
+//! without changing the algorithm on realistic inputs: path/assignment
+//! enumeration per pair is capped (cheapest-first, so truncation drops
+//! the expensive tail), and each sub-solution-tree level is capped at
+//! `max_level_width` cheapest nodes. Classic BBE with unbounded
+//! enumeration is exponential (the paper reports the same and stops BBE
+//! at SFC size 5).
+
+mod backward;
+mod candidates;
+mod forward;
+mod subtree;
+mod tree;
+
+pub use tree::{SearchTree, TreeNode};
+
+use self::backward::backward_search;
+use self::candidates::{parallel_layer_subs, singleton_layer_subs, EngineCtx, LayerSub};
+use self::forward::forward_search;
+use self::subtree::SubTree;
+use super::{precheck, SolveOutcome, Solver, SolverStats};
+use crate::chain::DagSfc;
+use crate::delay::DelayModel;
+use crate::embedding::Embedding;
+use crate::error::SolveError;
+use crate::flow::Flow;
+use dagsfc_net::{Network, Path};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Tuning knobs of the BBE/MBBE engine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BbeConfig {
+    /// MBBE strategy (1): bound on the forward-search node set, `None`
+    /// for classic BBE.
+    pub x_max: Option<usize>,
+    /// MBBE strategy (3): cheapest-`X_d` pruning of sub-solutions per
+    /// FST–BST pair and per sub-solution-tree node; `None` keeps all.
+    pub x_d: Option<usize>,
+    /// MBBE strategy (2): instantiate meta-paths with minimum-cost paths
+    /// on the real-time network instead of FST/BST traversals.
+    pub use_min_cost_paths: bool,
+    /// MBBE-ST extension (not in the paper): route each parallel layer's
+    /// inter-layer multicast as a Takahashi–Matsuyama Steiner tree,
+    /// maximizing the eq. (9) link sharing. Implies meta-path routing on
+    /// the real-time network for inter-layer paths.
+    pub use_steiner_multicast: bool,
+    /// Retry with doubled `x_max` (up to the network size) when a layer
+    /// cannot be covered — keeps MBBE's "always returns a solution"
+    /// robustness on sparse deployments.
+    pub adaptive_x_max: bool,
+    /// Real-path alternatives kept per node pair in tree-traversal mode
+    /// (the paper's `h`).
+    pub max_paths_per_pair: usize,
+    /// Raw prev-chain enumeration bound behind `max_paths_per_pair`.
+    pub max_raw_chains: usize,
+    /// Bound on VNF-allocation combinations per FST–BST pair (step i).
+    pub max_assignment_combos: usize,
+    /// Bound on path-choice combinations per allocation (steps ii+iii).
+    pub max_path_combos: usize,
+    /// Candidate hosting nodes considered per slot, cheapest rental
+    /// first.
+    pub max_candidates_per_slot: usize,
+    /// Global cap on sub-solution-tree nodes per level (cheapest kept).
+    pub max_level_width: usize,
+    /// Optional end-to-end delay SLA (extension): among the complete
+    /// candidates, return the cheapest whose delay under the given model
+    /// stays within the bound; candidates violating it are skipped.
+    pub delay_constraint: Option<DelayConstraint>,
+}
+
+/// A delay SLA attached to an embedding request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DelayConstraint {
+    /// The delay model used to score candidate embeddings.
+    pub model: DelayModel,
+    /// Upper bound on end-to-end delay (µs).
+    pub max_delay_us: f64,
+}
+
+impl Default for BbeConfig {
+    /// Classic BBE: no `X_max`/`X_d`, tree-traversal paths.
+    fn default() -> Self {
+        BbeConfig {
+            x_max: None,
+            x_d: None,
+            use_min_cost_paths: false,
+            use_steiner_multicast: false,
+            adaptive_x_max: false,
+            max_paths_per_pair: 3,
+            max_raw_chains: 32,
+            max_assignment_combos: 64,
+            max_path_combos: 16,
+            max_candidates_per_slot: 8,
+            max_level_width: 2048,
+            delay_constraint: None,
+        }
+    }
+}
+
+impl BbeConfig {
+    /// The MBBE configuration used in the evaluation: `X_max = 40`,
+    /// `X_d = 4`, min-cost-path instantiation, adaptive retry.
+    pub fn mbbe() -> Self {
+        BbeConfig {
+            x_max: Some(40),
+            x_d: Some(4),
+            use_min_cost_paths: true,
+            adaptive_x_max: true,
+            ..BbeConfig::default()
+        }
+    }
+
+    /// The MBBE-ST extension: MBBE plus Steiner-tree inter-layer
+    /// multicast routing.
+    pub fn mbbe_steiner() -> Self {
+        BbeConfig {
+            use_steiner_multicast: true,
+            ..BbeConfig::mbbe()
+        }
+    }
+}
+
+/// The classic BBE solver (paper Algorithm 1).
+#[derive(Debug, Clone, Default)]
+pub struct BbeSolver {
+    /// Engine configuration (defaults to classic BBE).
+    pub config: BbeConfig,
+}
+
+impl BbeSolver {
+    /// BBE with the default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Solver for BbeSolver {
+    fn name(&self) -> &'static str {
+        "BBE"
+    }
+
+    fn solve(
+        &self,
+        net: &Network,
+        sfc: &DagSfc,
+        flow: &Flow,
+    ) -> Result<SolveOutcome, SolveError> {
+        run(net, sfc, flow, &self.config, "BBE")
+    }
+}
+
+/// The Mini-path BBE solver (paper §4.5).
+#[derive(Debug, Clone)]
+pub struct MbbeSolver {
+    /// Engine configuration (defaults to [`BbeConfig::mbbe`]).
+    pub config: BbeConfig,
+}
+
+impl Default for MbbeSolver {
+    fn default() -> Self {
+        MbbeSolver {
+            config: BbeConfig::mbbe(),
+        }
+    }
+}
+
+impl MbbeSolver {
+    /// MBBE with the default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// MBBE with explicit `X_max` and `X_d`.
+    pub fn with_limits(x_max: usize, x_d: usize) -> Self {
+        MbbeSolver {
+            config: BbeConfig {
+                x_max: Some(x_max),
+                x_d: Some(x_d),
+                ..BbeConfig::mbbe()
+            },
+        }
+    }
+}
+
+impl Solver for MbbeSolver {
+    fn name(&self) -> &'static str {
+        "MBBE"
+    }
+
+    fn solve(
+        &self,
+        net: &Network,
+        sfc: &DagSfc,
+        flow: &Flow,
+    ) -> Result<SolveOutcome, SolveError> {
+        run(net, sfc, flow, &self.config, "MBBE")
+    }
+}
+
+/// MBBE-ST — an extension beyond the paper: MBBE whose inter-layer
+/// multicasts ride heuristic Steiner trees instead of independent
+/// minimum-cost paths, squeezing more sharing out of the eq. (9)
+/// multicast accounting. See the `ablation` bench for its effect.
+#[derive(Debug, Clone)]
+pub struct MbbeStSolver {
+    /// Engine configuration (defaults to [`BbeConfig::mbbe_steiner`]).
+    pub config: BbeConfig,
+}
+
+impl Default for MbbeStSolver {
+    fn default() -> Self {
+        MbbeStSolver {
+            config: BbeConfig::mbbe_steiner(),
+        }
+    }
+}
+
+impl MbbeStSolver {
+    /// MBBE-ST with the default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Solver for MbbeStSolver {
+    fn name(&self) -> &'static str {
+        "MBBE-ST"
+    }
+
+    fn solve(
+        &self,
+        net: &Network,
+        sfc: &DagSfc,
+        flow: &Flow,
+    ) -> Result<SolveOutcome, SolveError> {
+        run(net, sfc, flow, &self.config, "MBBE-ST")
+    }
+}
+
+/// Engine entry point shared by BBE and MBBE.
+fn run(
+    net: &Network,
+    sfc: &DagSfc,
+    flow: &Flow,
+    config: &BbeConfig,
+    solver: &'static str,
+) -> Result<SolveOutcome, SolveError> {
+    let start = Instant::now();
+    precheck(net, sfc, flow)?;
+    let mut cfg = config.clone();
+    loop {
+        match attempt(net, sfc, flow, &cfg, solver) {
+            Ok((embedding, explored, kept)) => {
+                let cost = embedding.cost(net, sfc, flow);
+                return Ok(SolveOutcome {
+                    embedding,
+                    cost,
+                    stats: SolverStats {
+                        explored,
+                        kept,
+                        elapsed: start.elapsed(),
+                    },
+                });
+            }
+            Err(e) => {
+                // Adaptive X_max: double and retry while the bound is the
+                // plausible culprit.
+                let retry = cfg.adaptive_x_max
+                    && cfg
+                        .x_max
+                        .is_some_and(|x| x < net.node_count());
+                if !retry {
+                    return Err(e);
+                }
+                cfg.x_max = cfg.x_max.map(|x| (x * 2).min(net.node_count()));
+            }
+        }
+    }
+}
+
+/// One search attempt under a fixed configuration.
+fn attempt(
+    net: &Network,
+    sfc: &DagSfc,
+    flow: &Flow,
+    cfg: &BbeConfig,
+    solver: &'static str,
+) -> Result<(Embedding, usize, usize), SolveError> {
+    let catalog = *sfc.catalog();
+    let ctx = EngineCtx::new(net, catalog, *flow, cfg);
+    let mut tree = SubTree::new(flow.src);
+    let mut level: Vec<usize> = vec![0];
+    let mut explored = 0usize;
+
+    for l in 0..sfc.depth() {
+        let layer = sfc.layer(l);
+        let mut next_level: Vec<usize> = Vec::new();
+        for &parent in &level {
+            let start_node = tree.node(parent).end_node;
+            let fst = forward_search(net, start_node, layer, &catalog, cfg.x_max);
+            if !fst.covered() {
+                continue;
+            }
+            let mut subs: Vec<LayerSub> = if layer.needs_merger() {
+                let mut collected = Vec::new();
+                for merger_idx in fst.hosting(catalog.merger()) {
+                    let merger_node = fst.node(merger_idx).node;
+                    let bst = backward_search(net, merger_node, layer, &catalog, &fst);
+                    if !bst.covered() {
+                        continue;
+                    }
+                    let mut pair_subs = parallel_layer_subs(&ctx, layer, &fst, &bst);
+                    // Strategy (3), per FST–BST pair.
+                    if let Some(xd) = cfg.x_d {
+                        pair_subs.truncate(xd);
+                    }
+                    collected.extend(pair_subs);
+                }
+                collected
+            } else {
+                singleton_layer_subs(&ctx, layer, &fst)
+            };
+            explored += subs.len();
+            // Strategy (3), per sub-solution-tree node: cheapest X_d
+            // children (the X_d-tree of the paper).
+            subs.sort_by(|a, b| {
+                a.cost
+                    .total()
+                    .partial_cmp(&b.cost.total())
+                    .expect("finite costs")
+            });
+            if let Some(xd) = cfg.x_d {
+                subs.truncate(xd);
+            }
+            for sub in subs {
+                next_level.push(tree.insert(parent, sub));
+            }
+        }
+        if next_level.is_empty() {
+            return Err(SolveError::NoFeasibleEmbedding {
+                solver,
+                reason: format!("layer {l} produced no feasible sub-solution"),
+            });
+        }
+        // Global level cap: keep the cheapest prefixes.
+        next_level.sort_by(|&a, &b| {
+            tree.node(a)
+                .cum_cost
+                .partial_cmp(&tree.node(b).cum_cost)
+                .expect("finite costs")
+        });
+        next_level.truncate(cfg.max_level_width);
+        level = next_level;
+    }
+
+    // Connect each leaf to the destination with a minimum-cost path
+    // (Algorithm 1, lines 9–10), then take the cheapest valid candidate.
+    let mut finals: Vec<(f64, usize, Path)> = Vec::new();
+    for &leaf in &level {
+        let end = tree.node(leaf).end_node;
+        if let Some(p) = ctx.min_cost_path(end, flow.dst) {
+            let total = tree.node(leaf).cum_cost + p.price(net) * flow.size;
+            finals.push((total, leaf, p));
+        }
+    }
+    finals.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite costs"));
+    let kept = tree.len();
+    for (_, leaf, final_path) in finals {
+        let embedding = assemble(sfc, &tree, leaf, final_path)?;
+        if let Some(dc) = &cfg.delay_constraint {
+            let delay = dc.model.embedding_delay(sfc, &embedding, flow);
+            if delay > dc.max_delay_us + 1e-9 {
+                continue; // violates the SLA; try the next-cheapest
+            }
+        }
+        if crate::validate::validate(net, sfc, flow, &embedding).is_ok() {
+            return Ok((embedding, explored, kept));
+        }
+    }
+    Err(SolveError::NoFeasibleEmbedding {
+        solver,
+        reason: "no complete candidate reached the destination within capacity and delay bound"
+            .into(),
+    })
+}
+
+/// Reconstructs the [`Embedding`] from a sub-solution-tree leaf.
+fn assemble(
+    sfc: &DagSfc,
+    tree: &SubTree,
+    leaf: usize,
+    final_path: Path,
+) -> Result<Embedding, SolveError> {
+    let lineage = tree.lineage(leaf);
+    debug_assert_eq!(lineage.len(), sfc.depth());
+    let mut assignments = Vec::with_capacity(sfc.depth());
+    let mut paths = Vec::new();
+    for sub in &lineage {
+        assignments.push(sub.assignment.clone());
+        paths.extend(sub.inter_paths.iter().cloned());
+        paths.extend(sub.inner_paths.iter().cloned());
+    }
+    paths.push(final_path);
+    Embedding::new(sfc, assignments, paths).map_err(SolveError::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::Layer;
+    use crate::validate::validate;
+    use crate::vnf::VnfCatalog;
+    use dagsfc_net::{NodeId, VnfTypeId};
+
+    /// Deterministic 6-node test network:
+    ///
+    /// ```text
+    /// v0 —1— v1 —1— v2 —1— v5
+    ///  \      |      |
+    ///   2     1      1
+    ///    \    |      |
+    ///     —— v3 —1— v4
+    /// ```
+    /// f0@{v1,v3}, f1@{v2,v4}, f2@{v3}, merger f3@{v2,v4}.
+    fn net() -> Network {
+        let mut g = Network::new();
+        g.add_nodes(6);
+        g.add_link(NodeId(0), NodeId(1), 1.0, 10.0).unwrap();
+        g.add_link(NodeId(1), NodeId(2), 1.0, 10.0).unwrap();
+        g.add_link(NodeId(2), NodeId(5), 1.0, 10.0).unwrap();
+        g.add_link(NodeId(0), NodeId(3), 2.0, 10.0).unwrap();
+        g.add_link(NodeId(1), NodeId(3), 1.0, 10.0).unwrap();
+        g.add_link(NodeId(2), NodeId(4), 1.0, 10.0).unwrap();
+        g.add_link(NodeId(3), NodeId(4), 1.0, 10.0).unwrap();
+        g.deploy_vnf(NodeId(1), VnfTypeId(0), 1.0, 10.0).unwrap();
+        g.deploy_vnf(NodeId(3), VnfTypeId(0), 1.5, 10.0).unwrap();
+        g.deploy_vnf(NodeId(2), VnfTypeId(1), 1.0, 10.0).unwrap();
+        g.deploy_vnf(NodeId(4), VnfTypeId(1), 1.2, 10.0).unwrap();
+        g.deploy_vnf(NodeId(3), VnfTypeId(2), 1.0, 10.0).unwrap();
+        g.deploy_vnf(NodeId(2), VnfTypeId(3), 0.5, 10.0).unwrap();
+        g.deploy_vnf(NodeId(4), VnfTypeId(3), 0.5, 10.0).unwrap();
+        g
+    }
+
+    fn catalog() -> VnfCatalog {
+        VnfCatalog::new(3) // merger = f(3)
+    }
+
+    #[test]
+    fn bbe_embeds_sequential_chain() {
+        let g = net();
+        let sfc =
+            DagSfc::sequential(&[VnfTypeId(0), VnfTypeId(1)], catalog()).unwrap();
+        let flow = Flow::unit(NodeId(0), NodeId(5));
+        let out = BbeSolver::new().solve(&g, &sfc, &flow).unwrap();
+        let cost = validate(&g, &sfc, &flow, &out.embedding).unwrap();
+        assert!((cost.total() - out.cost.total()).abs() < 1e-9);
+        // Optimal by hand: f0@v1 (1.0) + f1@v2 (1.0) + links
+        // v0-v1 (1) + v1-v2 (1) + v2-v5 (1) = 5.0.
+        assert!((out.cost.total() - 5.0).abs() < 1e-9, "{}", out.cost);
+        assert!(out.stats.explored >= 1);
+    }
+
+    #[test]
+    fn bbe_embeds_parallel_layer() {
+        let g = net();
+        let sfc = DagSfc::new(
+            vec![Layer::new(vec![VnfTypeId(0), VnfTypeId(1)])],
+            catalog(),
+        )
+        .unwrap();
+        let flow = Flow::unit(NodeId(0), NodeId(5));
+        let out = BbeSolver::new().solve(&g, &sfc, &flow).unwrap();
+        validate(&g, &sfc, &flow, &out.embedding).unwrap();
+        // Hand-optimal: f0@v1, f1@v2, merger@v2:
+        // vnf 1+1+0.5 = 2.5; inter v0-v1 (1) + v0-v1-v2 dedups v0-v1 →
+        // +v1-v2 (1); inner v1→v2 (1) + trivial; final v2-v5 (1).
+        // total = 2.5 + 3 + 1 = 6.5.
+        assert!((out.cost.total() - 6.5).abs() < 1e-9, "{}", out.cost);
+    }
+
+    #[test]
+    fn mbbe_matches_bbe_on_small_instances() {
+        let g = net();
+        let sfc = DagSfc::new(
+            vec![
+                Layer::new(vec![VnfTypeId(0), VnfTypeId(1)]),
+                Layer::new(vec![VnfTypeId(2)]),
+            ],
+            catalog(),
+        )
+        .unwrap();
+        let flow = Flow::unit(NodeId(0), NodeId(5));
+        let bbe = BbeSolver::new().solve(&g, &sfc, &flow).unwrap();
+        let mbbe = MbbeSolver::new().solve(&g, &sfc, &flow).unwrap();
+        validate(&g, &sfc, &flow, &mbbe.embedding).unwrap();
+        // The paper observes MBBE ≈ BBE; on this instance they coincide.
+        assert!((bbe.cost.total() - mbbe.cost.total()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reports_infeasible_kind() {
+        let g = net();
+        let sfc = DagSfc::sequential(&[VnfTypeId(2), VnfTypeId(2)], catalog()).unwrap();
+        // f2 only on v3 — feasible; but a kind with no host fails fast.
+        let missing = DagSfc::sequential(
+            &[VnfTypeId(0)],
+            VnfCatalog::new(9), // kinds 0..9, but net only hosts 0..3
+        )
+        .unwrap();
+        let _ = sfc;
+        let err = BbeSolver::new()
+            .solve(&g, &missing, &Flow::unit(NodeId(0), NodeId(5)))
+            .map(|_| ());
+        assert!(err.is_ok() || matches!(err, Err(SolveError::Infeasible(_))));
+        // A chain needing an unhosted kind:
+        let really_missing =
+            DagSfc::sequential(&[VnfTypeId(7)], VnfCatalog::new(9)).unwrap();
+        assert!(matches!(
+            BbeSolver::new().solve(&g, &really_missing, &Flow::unit(NodeId(0), NodeId(5))),
+            Err(SolveError::Infeasible(_))
+        ));
+    }
+
+    #[test]
+    fn adaptive_x_max_recovers_from_tight_bound() {
+        let g = net();
+        let sfc = DagSfc::sequential(&[VnfTypeId(2)], catalog()).unwrap(); // f2 only on v3
+        let flow = Flow::unit(NodeId(5), NodeId(0)); // far start
+        // X_max = 1 cannot cover; adaptive retry must succeed.
+        let solver = MbbeSolver {
+            config: BbeConfig {
+                x_max: Some(1),
+                adaptive_x_max: true,
+                ..BbeConfig::mbbe()
+            },
+        };
+        let out = solver.solve(&g, &sfc, &flow).unwrap();
+        validate(&g, &sfc, &flow, &out.embedding).unwrap();
+        // Without adaptivity the same bound fails.
+        let rigid = MbbeSolver {
+            config: BbeConfig {
+                x_max: Some(1),
+                adaptive_x_max: false,
+                ..BbeConfig::mbbe()
+            },
+        };
+        assert!(matches!(
+            rigid.solve(&g, &sfc, &flow),
+            Err(SolveError::NoFeasibleEmbedding { .. })
+        ));
+    }
+
+    #[test]
+    fn solver_names() {
+        assert_eq!(BbeSolver::new().name(), "BBE");
+        assert_eq!(MbbeSolver::new().name(), "MBBE");
+        assert_eq!(MbbeStSolver::new().name(), "MBBE-ST");
+        assert_eq!(MbbeSolver::with_limits(10, 2).config.x_max, Some(10));
+        assert!(BbeConfig::mbbe_steiner().use_steiner_multicast);
+    }
+
+    #[test]
+    fn mbbe_st_valid_and_competitive() {
+        let g = net();
+        let sfc = DagSfc::new(
+            vec![
+                Layer::new(vec![VnfTypeId(0), VnfTypeId(1)]),
+                Layer::new(vec![VnfTypeId(2)]),
+            ],
+            catalog(),
+        )
+        .unwrap();
+        let flow = Flow::unit(NodeId(0), NodeId(5));
+        let st = MbbeStSolver::new().solve(&g, &sfc, &flow).unwrap();
+        validate(&g, &sfc, &flow, &st.embedding).unwrap();
+        let plain = MbbeSolver::new().solve(&g, &sfc, &flow).unwrap();
+        // Steiner sharing can only reduce this instance's inter-layer
+        // link charge; allow numerical ties.
+        assert!(
+            st.cost.total() <= plain.cost.total() + 1e-9,
+            "MBBE-ST {} worse than MBBE {}",
+            st.cost,
+            plain.cost
+        );
+    }
+
+    /// A layer whose two VNFs sit along a cheap chain while each VNF's
+    /// individual min-cost path from the start is a disjoint shortcut:
+    /// only the Steiner variant discovers the shared trunk.
+    #[test]
+    fn mbbe_st_beats_mbbe_on_chain_topology() {
+        let mut g = Network::new();
+        g.add_nodes(5); // 0=start/src, 1,2 chain, 3 unused, 4 dst
+        g.add_link(NodeId(0), NodeId(1), 1.0, 10.0).unwrap();
+        g.add_link(NodeId(1), NodeId(2), 0.5, 10.0).unwrap();
+        g.add_link(NodeId(0), NodeId(2), 1.3, 10.0).unwrap();
+        g.add_link(NodeId(2), NodeId(4), 0.5, 10.0).unwrap();
+        g.add_link(NodeId(3), NodeId(4), 1.0, 10.0).unwrap();
+        g.add_link(NodeId(0), NodeId(3), 1.0, 10.0).unwrap();
+        // f0 only on v1, f1 only on v2, merger only on v2.
+        g.deploy_vnf(NodeId(1), VnfTypeId(0), 1.0, 10.0).unwrap();
+        g.deploy_vnf(NodeId(2), VnfTypeId(1), 1.0, 10.0).unwrap();
+        g.deploy_vnf(NodeId(2), VnfTypeId(3), 0.5, 10.0).unwrap();
+        let sfc = DagSfc::new(
+            vec![Layer::new(vec![VnfTypeId(0), VnfTypeId(1)])],
+            catalog(),
+        )
+        .unwrap();
+        let flow = Flow::unit(NodeId(0), NodeId(4));
+        let st = MbbeStSolver::new().solve(&g, &sfc, &flow).unwrap();
+        let plain = MbbeSolver::new().solve(&g, &sfc, &flow).unwrap();
+        validate(&g, &sfc, &flow, &st.embedding).unwrap();
+        // Plain MBBE routes v0→v2 via the 1.3 shortcut (disjoint from
+        // v0→v1): inter cost 2.3. Steiner rides the chain: 1.5.
+        assert!(
+            st.cost.total() < plain.cost.total() - 0.5,
+            "expected a strict Steiner win: ST {} vs MBBE {}",
+            st.cost,
+            plain.cost
+        );
+    }
+
+    #[test]
+    fn colocated_chain_uses_trivial_paths() {
+        // Whole chain on one node: v3 hosts f0 and f2.
+        let g = net();
+        let sfc = DagSfc::sequential(&[VnfTypeId(0), VnfTypeId(2)], catalog()).unwrap();
+        let flow = Flow::unit(NodeId(3), NodeId(3));
+        let out = BbeSolver::new().solve(&g, &sfc, &flow).unwrap();
+        validate(&g, &sfc, &flow, &out.embedding).unwrap();
+        // All on v3: vnf 1.5 + 1.0, no links.
+        assert!((out.cost.total() - 2.5).abs() < 1e-9, "{}", out.cost);
+        assert!(out.cost.link.abs() < 1e-12);
+    }
+}
+
+#[cfg(test)]
+mod delay_tests {
+    use super::*;
+    use crate::delay::DelayModel;
+    use crate::validate::validate;
+    use crate::vnf::VnfCatalog;
+    use dagsfc_net::{NodeId, VnfTypeId};
+
+    /// Two hosts one hop from the source: v1 is pricey but two hops from
+    /// the destination; v2 is cheap but five hops away.
+    fn sla_net() -> Network {
+        let mut g = Network::new();
+        g.add_nodes(7);
+        g.add_link(NodeId(0), NodeId(1), 1.0, 10.0).unwrap();
+        g.add_link(NodeId(0), NodeId(2), 1.0, 10.0).unwrap();
+        g.add_link(NodeId(1), NodeId(6), 1.0, 10.0).unwrap();
+        g.add_link(NodeId(2), NodeId(3), 0.05, 10.0).unwrap();
+        g.add_link(NodeId(3), NodeId(4), 0.05, 10.0).unwrap();
+        g.add_link(NodeId(4), NodeId(5), 0.05, 10.0).unwrap();
+        g.add_link(NodeId(5), NodeId(6), 0.05, 10.0).unwrap();
+        g.deploy_vnf(NodeId(1), VnfTypeId(0), 5.0, 10.0).unwrap();
+        g.deploy_vnf(NodeId(2), VnfTypeId(0), 1.0, 10.0).unwrap();
+        g
+    }
+
+    fn model() -> DelayModel {
+        DelayModel::uniform(2, 0.0, 10.0, 0.0) // pure hop delay
+    }
+
+    #[test]
+    fn sla_forces_the_short_route() {
+        let g = sla_net();
+        let sfc = DagSfc::sequential(&[VnfTypeId(0)], VnfCatalog::new(1)).unwrap();
+        let flow = Flow::unit(NodeId(0), NodeId(6));
+
+        // Unconstrained: the cheap host wins despite five hops.
+        let free = MbbeSolver::new().solve(&g, &sfc, &flow).unwrap();
+        assert_eq!(free.embedding.node_of(0, 0), NodeId(2));
+        let d_free = model().embedding_delay(&sfc, &free.embedding, &flow);
+        assert!((d_free - 50.0).abs() < 1e-9);
+
+        // With a 30µs SLA only the pricey near host qualifies.
+        let sla = MbbeSolver {
+            config: BbeConfig {
+                delay_constraint: Some(DelayConstraint {
+                    model: model(),
+                    max_delay_us: 30.0,
+                }),
+                ..BbeConfig::mbbe()
+            },
+        };
+        let bounded = sla.solve(&g, &sfc, &flow).unwrap();
+        assert_eq!(bounded.embedding.node_of(0, 0), NodeId(1));
+        let d = model().embedding_delay(&sfc, &bounded.embedding, &flow);
+        assert!(d <= 30.0 + 1e-9);
+        assert!(bounded.cost.total() > free.cost.total());
+        validate(&g, &sfc, &flow, &bounded.embedding).unwrap();
+    }
+
+    #[test]
+    fn unsatisfiable_sla_fails_cleanly() {
+        let g = sla_net();
+        let sfc = DagSfc::sequential(&[VnfTypeId(0)], VnfCatalog::new(1)).unwrap();
+        let flow = Flow::unit(NodeId(0), NodeId(6));
+        let solver = MbbeSolver {
+            config: BbeConfig {
+                delay_constraint: Some(DelayConstraint {
+                    model: model(),
+                    max_delay_us: 5.0, // below any possible route
+                }),
+                ..BbeConfig::mbbe()
+            },
+        };
+        assert!(matches!(
+            solver.solve(&g, &sfc, &flow),
+            Err(SolveError::NoFeasibleEmbedding { .. })
+        ));
+    }
+}

@@ -1,0 +1,145 @@
+//! The sub-solution tree (paper §4.4.2).
+//!
+//! Sub-solutions of layer `l` are stored as children of the layer-`(l-1)`
+//! sub-solution their FST was grown from. Every link is bi-directed: the
+//! down links drive generation and traversal, the up (parent) links let a
+//! complete solution be reconstructed from a leaf without re-walking the
+//! tree from the root — exactly the paper's rationale.
+
+use super::candidates::LayerSub;
+use dagsfc_net::NodeId;
+
+/// A node of the sub-solution tree.
+#[derive(Debug, Clone)]
+pub(crate) struct SubNode {
+    /// Up link to the previous layer's sub-solution.
+    pub parent: Option<usize>,
+    /// Down links to the next layer's sub-solutions.
+    pub children: Vec<usize>,
+    /// The embedded layer; `None` only for the root (the 0th layer of the
+    /// paper's tree, storing the source node "without any cost").
+    pub sub: Option<LayerSub>,
+    /// Cost accumulated from the root through this node.
+    pub cum_cost: f64,
+    /// This sub-solution's end node (the next layer's start).
+    pub end_node: NodeId,
+}
+
+/// Arena-allocated sub-solution tree.
+#[derive(Debug, Clone)]
+pub(crate) struct SubTree {
+    nodes: Vec<SubNode>,
+}
+
+impl SubTree {
+    /// Creates the tree with its root at the flow source.
+    pub fn new(source: NodeId) -> Self {
+        SubTree {
+            nodes: vec![SubNode {
+                parent: None,
+                children: Vec::new(),
+                sub: None,
+                cum_cost: 0.0,
+                end_node: source,
+            }],
+        }
+    }
+
+    /// Inserts a sub-solution as a child of `parent`, returning its index.
+    pub fn insert(&mut self, parent: usize, sub: LayerSub) -> usize {
+        let idx = self.nodes.len();
+        let cum_cost = self.nodes[parent].cum_cost + sub.cost.total();
+        let end_node = sub.end_node;
+        self.nodes.push(SubNode {
+            parent: Some(parent),
+            children: Vec::new(),
+            sub: Some(sub),
+            cum_cost,
+            end_node,
+        });
+        self.nodes[parent].children.push(idx);
+        idx
+    }
+
+    /// The node at `idx`.
+    #[inline]
+    pub fn node(&self, idx: usize) -> &SubNode {
+        &self.nodes[idx]
+    }
+
+    /// Number of stored nodes (root included).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Walks the up links from `leaf` to the root, returning the layer
+    /// sub-solutions in layer order (root's child first).
+    pub fn lineage(&self, leaf: usize) -> Vec<&LayerSub> {
+        let mut out = Vec::new();
+        let mut cur = Some(leaf);
+        while let Some(i) = cur {
+            if let Some(sub) = &self.nodes[i].sub {
+                out.push(sub);
+            }
+            cur = self.nodes[i].parent;
+        }
+        out.reverse();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostBreakdown;
+    use dagsfc_net::Path;
+
+    fn sub(end: u32, cost: f64) -> LayerSub {
+        LayerSub {
+            assignment: vec![NodeId(end)],
+            inter_paths: vec![Path::trivial(NodeId(end))],
+            inner_paths: Vec::new(),
+            cost: CostBreakdown {
+                vnf: cost,
+                link: 0.0,
+            },
+            end_node: NodeId(end),
+        }
+    }
+
+    #[test]
+    fn root_is_free_source() {
+        let t = SubTree::new(NodeId(7));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.node(0).end_node, NodeId(7));
+        assert_eq!(t.node(0).cum_cost, 0.0);
+        assert!(t.node(0).sub.is_none());
+        assert!(t.lineage(0).is_empty());
+    }
+
+    #[test]
+    fn cumulative_costs_accumulate_down_the_tree() {
+        let mut t = SubTree::new(NodeId(0));
+        let a = t.insert(0, sub(1, 2.0));
+        let b = t.insert(a, sub(2, 3.0));
+        let c = t.insert(a, sub(3, 1.0));
+        assert_eq!(t.node(a).cum_cost, 2.0);
+        assert_eq!(t.node(b).cum_cost, 5.0);
+        assert_eq!(t.node(c).cum_cost, 3.0);
+        assert_eq!(t.node(0).children, vec![a]);
+        assert_eq!(t.node(a).children, vec![b, c]);
+        assert_eq!(t.node(b).parent, Some(a));
+    }
+
+    #[test]
+    fn lineage_orders_root_first() {
+        let mut t = SubTree::new(NodeId(0));
+        let a = t.insert(0, sub(1, 2.0));
+        let b = t.insert(a, sub(2, 3.0));
+        let line = t.lineage(b);
+        assert_eq!(line.len(), 2);
+        assert_eq!(line[0].end_node, NodeId(1));
+        assert_eq!(line[1].end_node, NodeId(2));
+    }
+}

@@ -1,0 +1,173 @@
+//! Embedding solvers: BBE, MBBE, the RANV/MINV baselines, and an exact
+//! branch-and-bound reference.
+//!
+//! All solvers implement [`Solver`]: given an immutable network, a
+//! DAG-SFC, and a flow, they either return a complete [`Embedding`]
+//! (with its objective cost and search statistics) or a typed failure.
+//! Solvers never mutate the network; feasibility is checked against the
+//! declared capacities and every returned embedding passes
+//! [`crate::validate::validate`].
+
+pub mod baseline;
+pub mod bbe;
+pub mod exact;
+pub mod grasp;
+pub mod localsearch;
+
+pub use baseline::{MinvSolver, RanvSolver};
+pub use bbe::{BbeConfig, BbeSolver, DelayConstraint, MbbeSolver, MbbeStSolver};
+pub use exact::ExactSolver;
+pub use grasp::{GraspConfig, GraspSolver};
+pub use localsearch::{improve, ImprovedSolver, Improvement, LocalSearchConfig};
+
+use crate::chain::DagSfc;
+use crate::cost::CostBreakdown;
+use crate::embedding::Embedding;
+use crate::error::SolveError;
+use crate::flow::Flow;
+use dagsfc_net::Network;
+use std::time::Duration;
+
+/// Search statistics reported by every solver.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SolverStats {
+    /// Candidate (sub-)solutions examined during the search.
+    pub explored: usize,
+    /// Candidates retained in the final decision set (e.g. sub-solution
+    /// tree size for BBE/MBBE).
+    pub kept: usize,
+    /// Wall-clock time spent in `solve`.
+    pub elapsed: Duration,
+}
+
+/// A successful embedding with its cost and statistics.
+#[derive(Debug, Clone)]
+pub struct SolveOutcome {
+    /// The embedding found.
+    pub embedding: Embedding,
+    /// Its objective value (eq. (1)).
+    pub cost: CostBreakdown,
+    /// Search statistics.
+    pub stats: SolverStats,
+}
+
+/// Common interface of all embedding algorithms.
+pub trait Solver {
+    /// Short algorithm name as used in the paper ("BBE", "MBBE", "RANV",
+    /// "MINV", …).
+    fn name(&self) -> &'static str;
+
+    /// Embeds `sfc` for `flow` into `net`.
+    fn solve(&self, net: &Network, sfc: &DagSfc, flow: &Flow)
+        -> Result<SolveOutcome, SolveError>;
+}
+
+/// Builds a solver from its lowercase CLI/config name. RANV and GRASP
+/// take `seed`; deterministic solvers ignore it. Returns `None` for an
+/// unknown name.
+///
+/// Known names: `bbe`, `mbbe`, `mbbe-st`, `minv`, `ranv`, `exact`,
+/// `grasp`.
+pub fn by_name(name: &str, seed: u64) -> Option<Box<dyn Solver>> {
+    Some(match name {
+        "bbe" => Box::new(BbeSolver::new()),
+        "mbbe" => Box::new(MbbeSolver::new()),
+        "mbbe-st" => Box::new(MbbeStSolver::new()),
+        "minv" => Box::new(MinvSolver::new()),
+        "ranv" => Box::new(RanvSolver::new(seed)),
+        "exact" => Box::new(ExactSolver::new()),
+        "grasp" => Box::new(grasp::GraspSolver::new(seed)),
+        _ => return None,
+    })
+}
+
+/// Fast infeasibility screen shared by all solvers: every required VNF
+/// kind (mergers included) must be hosted somewhere, and the flow
+/// endpoints must exist.
+pub(crate) fn precheck(net: &Network, sfc: &DagSfc, flow: &Flow) -> Result<(), SolveError> {
+    if flow.src.index() >= net.node_count() || flow.dst.index() >= net.node_count() {
+        return Err(SolveError::Infeasible(
+            "flow endpoints outside the network".into(),
+        ));
+    }
+    for layer in sfc.layers() {
+        for kind in layer.required_kinds(sfc.catalog()) {
+            if net.hosts_of(kind).is_empty() {
+                return Err(SolveError::Infeasible(format!(
+                    "no node hosts required kind {kind}"
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::Layer;
+    use crate::vnf::VnfCatalog;
+    use dagsfc_net::{NodeId, VnfTypeId};
+
+    fn net() -> Network {
+        let mut g = Network::new();
+        g.add_nodes(2);
+        g.add_link(NodeId(0), NodeId(1), 1.0, 1.0).unwrap();
+        g.deploy_vnf(NodeId(0), VnfTypeId(0), 1.0, 1.0).unwrap();
+        g
+    }
+
+    #[test]
+    fn precheck_accepts_feasible() {
+        let g = net();
+        let sfc = DagSfc::sequential(&[VnfTypeId(0)], VnfCatalog::new(1)).unwrap();
+        assert!(precheck(&g, &sfc, &Flow::unit(NodeId(0), NodeId(1))).is_ok());
+    }
+
+    #[test]
+    fn precheck_rejects_missing_kind() {
+        let g = net();
+        let c = VnfCatalog::new(2);
+        let sfc = DagSfc::sequential(&[VnfTypeId(1)], c).unwrap();
+        assert!(matches!(
+            precheck(&g, &sfc, &Flow::unit(NodeId(0), NodeId(1))),
+            Err(SolveError::Infeasible(_))
+        ));
+    }
+
+    #[test]
+    fn precheck_rejects_missing_merger() {
+        let g = net(); // hosts f0 but no merger
+        let c = VnfCatalog::new(1);
+        let sfc = DagSfc::new(
+            vec![Layer::new(vec![VnfTypeId(0), VnfTypeId(0)])],
+            c,
+        )
+        .unwrap();
+        assert!(precheck(&g, &sfc, &Flow::unit(NodeId(0), NodeId(1))).is_err());
+    }
+
+    #[test]
+    fn registry_covers_every_solver() {
+        for (name, display) in [
+            ("bbe", "BBE"),
+            ("mbbe", "MBBE"),
+            ("mbbe-st", "MBBE-ST"),
+            ("minv", "MINV"),
+            ("ranv", "RANV"),
+            ("exact", "EXACT"),
+            ("grasp", "GRASP"),
+        ] {
+            let s = by_name(name, 7).unwrap_or_else(|| panic!("{name} missing"));
+            assert_eq!(s.name(), display);
+        }
+        assert!(by_name("quantum", 0).is_none());
+    }
+
+    #[test]
+    fn precheck_rejects_bad_endpoints() {
+        let g = net();
+        let sfc = DagSfc::sequential(&[VnfTypeId(0)], VnfCatalog::new(1)).unwrap();
+        assert!(precheck(&g, &sfc, &Flow::unit(NodeId(0), NodeId(9))).is_err());
+    }
+}

@@ -1,0 +1,95 @@
+//! The VNF universe: regular kinds, the merger, and the dummy.
+//!
+//! The paper's VNF set is `F = {f(1), …, f(n)}` plus two special kinds:
+//! the dummy `f(0)` assigned to the stretched source/destination layers,
+//! and the merger `f(n+1)` that integrates the outputs of a parallel VNF
+//! set. In this implementation regular kinds occupy type ids `0..n` and
+//! the merger is type id `n`; the dummy is purely virtual (it costs
+//! nothing and is hosted nowhere), so it never gets a deployable id.
+
+use dagsfc_net::VnfTypeId;
+use serde::{Deserialize, Serialize};
+
+/// The catalog of VNF kinds available from the providers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VnfCatalog {
+    regular: u16,
+}
+
+impl VnfCatalog {
+    /// A catalog with `regular` regular VNF kinds (ids `0..regular`) plus
+    /// the merger kind (id `regular`).
+    ///
+    /// # Panics
+    /// Panics if `regular` is zero.
+    pub fn new(regular: u16) -> Self {
+        assert!(regular > 0, "catalog needs at least one regular VNF kind");
+        VnfCatalog { regular }
+    }
+
+    /// Number of regular VNF kinds (the paper's `n`).
+    #[inline]
+    pub fn regular_count(&self) -> usize {
+        self.regular as usize
+    }
+
+    /// Number of *deployable* kinds: regular kinds plus the merger.
+    #[inline]
+    pub fn deployable_count(&self) -> usize {
+        self.regular as usize + 1
+    }
+
+    /// The merger kind `f(n+1)`.
+    #[inline]
+    pub fn merger(&self) -> VnfTypeId {
+        VnfTypeId(self.regular)
+    }
+
+    /// Whether `v` is a regular kind.
+    #[inline]
+    pub fn is_regular(&self, v: VnfTypeId) -> bool {
+        v.0 < self.regular
+    }
+
+    /// Whether `v` is the merger kind.
+    #[inline]
+    pub fn is_merger(&self, v: VnfTypeId) -> bool {
+        v.0 == self.regular
+    }
+
+    /// Iterator over the regular kinds.
+    pub fn regular_kinds(&self) -> impl Iterator<Item = VnfTypeId> {
+        (0..self.regular).map(VnfTypeId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout() {
+        let c = VnfCatalog::new(12);
+        assert_eq!(c.regular_count(), 12);
+        assert_eq!(c.deployable_count(), 13);
+        assert_eq!(c.merger(), VnfTypeId(12));
+        assert!(c.is_regular(VnfTypeId(0)));
+        assert!(c.is_regular(VnfTypeId(11)));
+        assert!(!c.is_regular(VnfTypeId(12)));
+        assert!(c.is_merger(VnfTypeId(12)));
+        assert!(!c.is_merger(VnfTypeId(3)));
+    }
+
+    #[test]
+    fn regular_kind_iteration() {
+        let c = VnfCatalog::new(3);
+        let kinds: Vec<_> = c.regular_kinds().collect();
+        assert_eq!(kinds, vec![VnfTypeId(0), VnfTypeId(1), VnfTypeId(2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_regular_panics() {
+        VnfCatalog::new(0);
+    }
+}

@@ -1,0 +1,172 @@
+//! Graph analysis: structural metrics of generated networks.
+//!
+//! Used by the topology-robustness experiments to characterize the
+//! substrates results are reported on (hop diameter, clustering,
+//! degree distribution), and by tests to sanity-check generators.
+
+use crate::graph::Network;
+use crate::ids::NodeId;
+use crate::routing::hop_distances;
+use serde::Serialize;
+
+/// Structural metrics of a network.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct GraphMetrics {
+    /// Hop diameter (longest shortest path); `None` if disconnected.
+    pub diameter: Option<u32>,
+    /// Mean shortest-path hop count over connected pairs.
+    pub avg_hop_distance: f64,
+    /// Global clustering coefficient (3·triangles / open triads).
+    pub clustering: f64,
+    /// Minimum node degree.
+    pub min_degree: usize,
+    /// Maximum node degree.
+    pub max_degree: usize,
+    /// Average node degree.
+    pub avg_degree: f64,
+}
+
+/// Computes all metrics. O(V·E) for the distance part — intended for
+/// analysis-time use, not inner loops.
+pub fn analyze(net: &Network) -> GraphMetrics {
+    let n = net.node_count();
+    let mut diameter: Option<u32> = Some(0);
+    let mut dist_sum = 0u64;
+    let mut pair_count = 0u64;
+    for v in net.node_ids() {
+        let d = hop_distances(net, v);
+        for (u, entry) in d.iter().enumerate() {
+            if u == v.index() {
+                continue;
+            }
+            match entry {
+                Some(h) => {
+                    dist_sum += *h as u64;
+                    pair_count += 1;
+                    if let Some(cur) = diameter {
+                        if *h > cur {
+                            diameter = Some(*h);
+                        }
+                    }
+                }
+                None => diameter = None,
+            }
+        }
+    }
+
+    // Clustering: count closed and open triads.
+    let mut triangles = 0u64;
+    let mut triads = 0u64;
+    for v in net.node_ids() {
+        let neigh: Vec<NodeId> = net.neighbors(v).iter().map(|&(m, _)| m).collect();
+        let k = neigh.len() as u64;
+        triads += k.saturating_sub(1) * k / 2;
+        for (i, &a) in neigh.iter().enumerate() {
+            for &b in &neigh[i + 1..] {
+                if net.link_between(a, b).is_some() {
+                    triangles += 1;
+                }
+            }
+        }
+    }
+
+    let degrees: Vec<usize> = net.node_ids().map(|v| net.degree(v)).collect();
+    GraphMetrics {
+        diameter,
+        avg_hop_distance: if pair_count == 0 {
+            0.0
+        } else {
+            dist_sum as f64 / pair_count as f64
+        },
+        clustering: if triads == 0 {
+            0.0
+        } else {
+            // Each triangle closes three triads; `triangles` here counts
+            // one closure per centre node, so the sum over centres
+            // already equals 3·(distinct triangles).
+            triangles as f64 / triads as f64
+        },
+        min_degree: degrees.iter().copied().min().unwrap_or(0),
+        max_degree: degrees.iter().copied().max().unwrap_or(0),
+        avg_degree: if n == 0 {
+            0.0
+        } else {
+            degrees.iter().sum::<usize>() as f64 / n as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topologies::{build, Topology};
+    use crate::generator::NetGenConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn triangle() -> Network {
+        let mut g = Network::new();
+        g.add_nodes(3);
+        g.add_link(NodeId(0), NodeId(1), 1.0, 1.0).unwrap();
+        g.add_link(NodeId(1), NodeId(2), 1.0, 1.0).unwrap();
+        g.add_link(NodeId(0), NodeId(2), 1.0, 1.0).unwrap();
+        g
+    }
+
+    #[test]
+    fn triangle_metrics() {
+        let m = analyze(&triangle());
+        assert_eq!(m.diameter, Some(1));
+        assert!((m.avg_hop_distance - 1.0).abs() < 1e-12);
+        assert!((m.clustering - 1.0).abs() < 1e-12);
+        assert_eq!(m.min_degree, 2);
+        assert_eq!(m.max_degree, 2);
+    }
+
+    #[test]
+    fn path_graph_metrics() {
+        let mut g = Network::new();
+        g.add_nodes(4);
+        for i in 0..3u32 {
+            g.add_link(NodeId(i), NodeId(i + 1), 1.0, 1.0).unwrap();
+        }
+        let m = analyze(&g);
+        assert_eq!(m.diameter, Some(3));
+        assert_eq!(m.clustering, 0.0);
+        assert_eq!(m.min_degree, 1);
+        assert_eq!(m.max_degree, 2);
+        // Pair hop sum (ordered): 2·(1+2+3 + 1+2 + 1) = 20; pairs 12.
+        assert!((m.avg_hop_distance - 20.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disconnected_graph_has_no_diameter() {
+        let mut g = Network::new();
+        g.add_nodes(3);
+        g.add_link(NodeId(0), NodeId(1), 1.0, 1.0).unwrap();
+        let m = analyze(&g);
+        assert_eq!(m.diameter, None);
+        assert_eq!(m.min_degree, 0);
+    }
+
+    #[test]
+    fn ring_diameter() {
+        let cfg = NetGenConfig {
+            vnf_kinds: 2,
+            deploy_ratio: 0.5,
+            ..NetGenConfig::default()
+        };
+        let net = build(Topology::Ring { n: 10 }, &cfg, &mut StdRng::seed_from_u64(1)).unwrap();
+        let m = analyze(&net);
+        assert_eq!(m.diameter, Some(5));
+        assert_eq!(m.clustering, 0.0);
+        assert_eq!((m.avg_degree * 10.0).round() as i64, 20);
+    }
+
+    #[test]
+    fn empty_network() {
+        let m = analyze(&Network::new());
+        assert_eq!(m.diameter, Some(0));
+        assert_eq!(m.avg_degree, 0.0);
+    }
+}

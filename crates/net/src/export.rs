@@ -1,0 +1,157 @@
+//! Graphviz (DOT) export of networks.
+//!
+//! Produces `graph` documents (links are bi-directional) with VNF
+//! inventories in node labels and prices on edges — handy for eyeballing
+//! small generated instances and for documenting worked examples.
+//! Embedding overlays live in `dagsfc-core`, which knows about chains.
+
+use crate::graph::Network;
+use crate::ids::{LinkId, NodeId};
+use std::collections::HashSet;
+use std::fmt::Write as _;
+
+/// Options controlling DOT rendering.
+#[derive(Debug, Clone)]
+pub struct DotOptions {
+    /// Graph name in the DOT header.
+    pub name: String,
+    /// Include the VNF inventory (`f(i):price`) in node labels.
+    pub show_vnfs: bool,
+    /// Include prices in edge labels.
+    pub show_link_prices: bool,
+    /// Node ids rendered with a `fillcolor` highlight.
+    pub highlight_nodes: Vec<NodeId>,
+    /// Link ids rendered bold/colored (e.g. links used by an embedding).
+    pub highlight_links: Vec<LinkId>,
+}
+
+impl Default for DotOptions {
+    fn default() -> Self {
+        DotOptions {
+            name: "dagsfc".to_string(),
+            show_vnfs: true,
+            show_link_prices: true,
+            highlight_nodes: Vec::new(),
+            highlight_links: Vec::new(),
+        }
+    }
+}
+
+/// Renders `net` as a Graphviz `graph` document.
+pub fn to_dot(net: &Network, opts: &DotOptions) -> String {
+    let hi_nodes: HashSet<NodeId> = opts.highlight_nodes.iter().copied().collect();
+    let hi_links: HashSet<LinkId> = opts.highlight_links.iter().copied().collect();
+    let mut out = String::new();
+    writeln!(out, "graph {} {{", sanitize(&opts.name)).expect("string write");
+    writeln!(out, "  node [shape=box, fontsize=10];").expect("string write");
+    for v in net.node_ids() {
+        let mut label = format!("{v}");
+        if opts.show_vnfs {
+            for inst in net.node(v).instances() {
+                write!(label, "\\n{}:{:.2}", inst.vnf, inst.price).expect("string write");
+            }
+        }
+        let style = if hi_nodes.contains(&v) {
+            ", style=filled, fillcolor=lightblue"
+        } else {
+            ""
+        };
+        writeln!(out, "  {} [label=\"{label}\"{style}];", v.0).expect("string write");
+    }
+    for l in net.link_ids() {
+        let link = net.link(l);
+        let mut attrs = Vec::new();
+        if opts.show_link_prices {
+            attrs.push(format!("label=\"{:.2}\"", link.price));
+        }
+        if hi_links.contains(&l) {
+            attrs.push("color=red, penwidth=2".to_string());
+        }
+        let attr_str = if attrs.is_empty() {
+            String::new()
+        } else {
+            format!(" [{}]", attrs.join(", "))
+        };
+        writeln!(out, "  {} -- {}{attr_str};", link.a.0, link.b.0).expect("string write");
+    }
+    writeln!(out, "}}").expect("string write");
+    out
+}
+
+fn sanitize(name: &str) -> String {
+    let cleaned: String = name
+        .chars()
+        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .collect();
+    if cleaned.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        format!("g_{cleaned}")
+    } else if cleaned.is_empty() {
+        "g".to_string()
+    } else {
+        cleaned
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::VnfTypeId;
+
+    fn net() -> Network {
+        let mut g = Network::new();
+        g.add_nodes(3);
+        g.add_link(NodeId(0), NodeId(1), 1.5, 10.0).unwrap();
+        g.add_link(NodeId(1), NodeId(2), 0.5, 10.0).unwrap();
+        g.deploy_vnf(NodeId(1), VnfTypeId(2), 2.25, 10.0).unwrap();
+        g
+    }
+
+    #[test]
+    fn dot_structure() {
+        let d = to_dot(&net(), &DotOptions::default());
+        assert!(d.starts_with("graph dagsfc {"));
+        assert!(d.trim_end().ends_with('}'));
+        assert!(d.contains("0 -- 1"));
+        assert!(d.contains("1 -- 2"));
+        assert!(d.contains("label=\"1.50\""));
+        assert!(d.contains("f(2):2.25"));
+        // One node statement per node, one edge per link.
+        assert_eq!(d.matches(" -- ").count(), 2);
+    }
+
+    #[test]
+    fn options_suppress_detail() {
+        let opts = DotOptions {
+            show_vnfs: false,
+            show_link_prices: false,
+            ..DotOptions::default()
+        };
+        let d = to_dot(&net(), &opts);
+        assert!(!d.contains("f(2)"));
+        assert!(!d.contains("label=\"1.50\""));
+    }
+
+    #[test]
+    fn highlights_render() {
+        let opts = DotOptions {
+            highlight_nodes: vec![NodeId(1)],
+            highlight_links: vec![LinkId(0)],
+            ..DotOptions::default()
+        };
+        let d = to_dot(&net(), &opts);
+        assert!(d.contains("fillcolor=lightblue"));
+        assert!(d.contains("color=red"));
+    }
+
+    #[test]
+    fn name_sanitization() {
+        assert_eq!(sanitize("my graph!"), "my_graph_");
+        assert_eq!(sanitize("3nodes"), "g_3nodes");
+        assert_eq!(sanitize(""), "g");
+        let opts = DotOptions {
+            name: "fig 3".to_string(),
+            ..DotOptions::default()
+        };
+        assert!(to_dot(&net(), &opts).starts_with("graph fig_3 {"));
+    }
+}

@@ -1,0 +1,369 @@
+//! The paper's random network generator (§5.1).
+//!
+//! Reproduces the four generation steps verbatim:
+//! 1. create nodes until the configured *network size* is reached;
+//! 2. connect all nodes with a random spanning tree (guaranteeing a
+//!    connected graph), then add random extra edges until the configured
+//!    *network connectivity* (average node degree) is met;
+//! 3. deploy each VNF kind on each node with probability equal to the
+//!    *VNF deploying ratio*, drawing prices from the configured *VNF price
+//!    fluctuation ratio* around the mean;
+//! 4. price every link according to the *average price ratio* (mean link
+//!    price over mean VNF price).
+//!
+//! Everything is driven by a caller-supplied RNG so experiments are
+//! reproducible from a seed.
+
+use crate::error::{NetError, NetResult};
+use crate::graph::Network;
+use crate::ids::{NodeId, VnfTypeId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Parameters of the §5.1 random network generator.
+///
+/// Defaults mirror Table 2 of the paper (the "basic configuration"),
+/// with absolute scales fixed at mean VNF price 1.0 (only ratios matter
+/// for the reported results).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetGenConfig {
+    /// Network size: number of nodes.
+    pub nodes: usize,
+    /// Network connectivity: target average node degree.
+    pub avg_degree: f64,
+    /// Number of deployable VNF kinds (callers include the merger kind).
+    pub vnf_kinds: usize,
+    /// VNF deploying ratio: probability that a kind is deployed on a node.
+    pub deploy_ratio: f64,
+    /// Mean VNF rental price per rate unit.
+    pub avg_vnf_price: f64,
+    /// VNF price fluctuation ratio: half the max-min gap over the mean,
+    /// i.e. prices are uniform in `avg·(1 ± fluctuation)`.
+    pub vnf_price_fluctuation: f64,
+    /// Average price ratio: mean link price / mean VNF price.
+    pub avg_price_ratio: f64,
+    /// Link price fluctuation (same convention as the VNF one). The paper
+    /// specifies only the link price *average*; a small spread keeps
+    /// min-cost paths unique in practice without changing any trend.
+    pub link_price_fluctuation: f64,
+    /// Processing capability of every VNF instance, in rate units.
+    pub vnf_capacity: f64,
+    /// Bandwidth capacity of every link, in rate units.
+    pub link_capacity: f64,
+    /// Guarantee that every VNF kind is deployed on at least one node even
+    /// when the deploying ratio leaves it out entirely (keeps tiny
+    /// networks embeddable).
+    pub ensure_full_coverage: bool,
+}
+
+impl Default for NetGenConfig {
+    fn default() -> Self {
+        NetGenConfig {
+            nodes: 500,
+            avg_degree: 6.0,
+            vnf_kinds: 13, // 12 regular kinds + the merger kind
+            deploy_ratio: 0.5,
+            avg_vnf_price: 1.0,
+            vnf_price_fluctuation: 0.05,
+            avg_price_ratio: 0.2,
+            link_price_fluctuation: 0.05,
+            vnf_capacity: 1e6,
+            link_capacity: 1e6,
+            ensure_full_coverage: true,
+        }
+    }
+}
+
+impl NetGenConfig {
+    /// Validates parameter ranges.
+    pub fn validate(&self) -> NetResult<()> {
+        if self.nodes == 0 {
+            return Err(NetError::InvalidParameter("nodes must be positive"));
+        }
+        if self.vnf_kinds == 0 {
+            return Err(NetError::InvalidParameter("vnf_kinds must be positive"));
+        }
+        if !(0.0..=1.0).contains(&self.deploy_ratio) {
+            return Err(NetError::InvalidParameter("deploy_ratio must be in [0,1]"));
+        }
+        if !(0.0..=1.0).contains(&self.vnf_price_fluctuation)
+            || !(0.0..=1.0).contains(&self.link_price_fluctuation)
+        {
+            return Err(NetError::InvalidParameter(
+                "price fluctuation ratios must be in [0,1]",
+            ));
+        }
+        if self.avg_degree < 0.0 {
+            return Err(NetError::InvalidParameter("avg_degree must be non-negative"));
+        }
+        for (v, name) in [
+            (self.avg_vnf_price, "avg_vnf_price"),
+            (self.avg_price_ratio, "avg_price_ratio"),
+            (self.vnf_capacity, "vnf_capacity"),
+            (self.link_capacity, "link_capacity"),
+        ] {
+            if !(v.is_finite() && v >= 0.0) {
+                return Err(NetError::InvalidParameter(name));
+            }
+        }
+        Ok(())
+    }
+
+    /// Mean link price implied by the configuration.
+    pub fn avg_link_price(&self) -> f64 {
+        self.avg_price_ratio * self.avg_vnf_price
+    }
+}
+
+/// Draws a price uniformly from `avg·(1 ± fluctuation)`.
+fn fluctuated_price<R: Rng + ?Sized>(rng: &mut R, avg: f64, fluctuation: f64) -> f64 {
+    if fluctuation == 0.0 || avg == 0.0 {
+        return avg;
+    }
+    let lo = avg * (1.0 - fluctuation);
+    let hi = avg * (1.0 + fluctuation);
+    rng.gen_range(lo..=hi)
+}
+
+/// Generates a random priced network per the paper's procedure.
+pub fn generate<R: Rng + ?Sized>(config: &NetGenConfig, rng: &mut R) -> NetResult<Network> {
+    config.validate()?;
+    let n = config.nodes;
+
+    // Step 2a: random spanning tree over a random node order.
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.shuffle(rng);
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    let mut edge_set: HashSet<(u32, u32)> = HashSet::new();
+    for i in 1..n {
+        let a = order[i];
+        let b = order[rng.gen_range(0..i)];
+        let key = (a.min(b), a.max(b));
+        edges.push(key);
+        edge_set.insert(key);
+    }
+
+    // Step 2b: extra random edges up to the target edge count
+    // |E| = round(n · avg_degree / 2), clamped to the complete graph.
+    let max_edges = n * n.saturating_sub(1) / 2;
+    let target = ((n as f64 * config.avg_degree / 2.0).round() as usize)
+        .clamp(edges.len().min(max_edges), max_edges);
+    let mut stall = 0usize;
+    while edges.len() < target {
+        let a = rng.gen_range(0..n as u32);
+        let b = rng.gen_range(0..n as u32);
+        if a == b {
+            continue;
+        }
+        let key = (a.min(b), a.max(b));
+        if edge_set.insert(key) {
+            edges.push(key);
+            stall = 0;
+        } else {
+            stall += 1;
+            if stall > 64 * n.max(16) {
+                // Dense regime: fall back to a systematic scan over the
+                // remaining non-edges to finish deterministically.
+                let mut remaining: Vec<(u32, u32)> = Vec::new();
+                for a in 0..n as u32 {
+                    for b in (a + 1)..n as u32 {
+                        if !edge_set.contains(&(a, b)) {
+                            remaining.push((a, b));
+                        }
+                    }
+                }
+                remaining.shuffle(rng);
+                for key in remaining.into_iter().take(target - edges.len()) {
+                    edge_set.insert(key);
+                    edges.push(key);
+                }
+                break;
+            }
+        }
+    }
+
+    // Assemble the network.
+    let mut net = Network::new();
+    net.add_nodes(n);
+
+    // Step 3: VNF deployment with price fluctuation.
+    for kind in 0..config.vnf_kinds {
+        let vnf = VnfTypeId(kind as u16);
+        let mut deployed_any = false;
+        for node in 0..n as u32 {
+            if rng.gen_bool(config.deploy_ratio) {
+                let price =
+                    fluctuated_price(rng, config.avg_vnf_price, config.vnf_price_fluctuation);
+                net.deploy_vnf(NodeId(node), vnf, price, config.vnf_capacity)?;
+                deployed_any = true;
+            }
+        }
+        if !deployed_any && config.ensure_full_coverage && config.deploy_ratio > 0.0 {
+            let node = NodeId(rng.gen_range(0..n as u32));
+            let price =
+                fluctuated_price(rng, config.avg_vnf_price, config.vnf_price_fluctuation);
+            net.deploy_vnf(node, vnf, price, config.vnf_capacity)?;
+        }
+    }
+
+    // Step 4: link prices from the average price ratio.
+    let avg_link = config.avg_link_price();
+    for (a, b) in edges {
+        let price = fluctuated_price(rng, avg_link, config.link_price_fluctuation);
+        net.add_link(NodeId(a), NodeId(b), price, config.link_capacity)?;
+    }
+
+    debug_assert!(net.is_connected());
+    Ok(net)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cfg(nodes: usize) -> NetGenConfig {
+        NetGenConfig {
+            nodes,
+            avg_degree: 4.0,
+            vnf_kinds: 5,
+            deploy_ratio: 0.5,
+            ..NetGenConfig::default()
+        }
+    }
+
+    #[test]
+    fn generates_connected_graph_of_right_size() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let net = generate(&cfg(100), &mut rng).unwrap();
+        assert_eq!(net.node_count(), 100);
+        assert!(net.is_connected());
+        // |E| = 100·4/2 = 200
+        assert_eq!(net.link_count(), 200);
+        assert!((net.avg_degree() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn determinism_under_seed() {
+        let a = generate(&cfg(60), &mut StdRng::seed_from_u64(9)).unwrap();
+        let b = generate(&cfg(60), &mut StdRng::seed_from_u64(9)).unwrap();
+        assert_eq!(a.link_count(), b.link_count());
+        for l in a.link_ids() {
+            assert_eq!(a.link(l).a, b.link(l).a);
+            assert_eq!(a.link(l).b, b.link(l).b);
+            assert_eq!(a.link(l).price, b.link(l).price);
+        }
+        for v in a.node_ids() {
+            assert_eq!(a.node(v).instances(), b.node(v).instances());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&cfg(60), &mut StdRng::seed_from_u64(1)).unwrap();
+        let b = generate(&cfg(60), &mut StdRng::seed_from_u64(2)).unwrap();
+        let same_links = a
+            .link_ids()
+            .filter(|&l| a.link(l).a == b.link(l).a && a.link(l).b == b.link(l).b)
+            .count();
+        assert!(same_links < a.link_count());
+    }
+
+    #[test]
+    fn deploy_ratio_roughly_respected() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let net = generate(&cfg(400), &mut rng).unwrap();
+        let total: usize = net.node_ids().map(|v| net.node(v).instances().len()).sum();
+        let expected = 400.0 * 5.0 * 0.5;
+        let ratio = total as f64 / expected;
+        assert!((0.9..1.1).contains(&ratio), "deployment ratio off: {ratio}");
+    }
+
+    #[test]
+    fn price_fluctuation_bounds_hold() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut c = cfg(200);
+        c.vnf_price_fluctuation = 0.3;
+        c.link_price_fluctuation = 0.3;
+        let net = generate(&c, &mut rng).unwrap();
+        for v in net.node_ids() {
+            for inst in net.node(v).instances() {
+                assert!(inst.price >= 0.7 - 1e-12 && inst.price <= 1.3 + 1e-12);
+            }
+        }
+        let avg_link = c.avg_link_price();
+        for l in net.link_ids() {
+            let p = net.link(l).price;
+            assert!(p >= avg_link * 0.7 - 1e-12 && p <= avg_link * 1.3 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn average_price_ratio_approximately_holds() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let net = generate(&cfg(300), &mut rng).unwrap();
+        let s = net.stats();
+        let ratio = s.avg_link_price / s.avg_vnf_price;
+        assert!((ratio - 0.2).abs() < 0.03, "price ratio off: {ratio}");
+    }
+
+    #[test]
+    fn full_coverage_guarantee() {
+        let mut c = cfg(10);
+        c.deploy_ratio = 0.05; // likely to miss kinds on 10 nodes
+        for seed in 0..20 {
+            let net = generate(&c, &mut StdRng::seed_from_u64(seed)).unwrap();
+            for kind in 0..c.vnf_kinds {
+                assert!(
+                    !net.hosts_of(VnfTypeId(kind as u16)).is_empty(),
+                    "kind {kind} missing under seed {seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dense_target_clamps_to_complete_graph() {
+        let mut c = cfg(8);
+        c.avg_degree = 50.0; // impossible; must clamp to K8 = 28 edges
+        let net = generate(&c, &mut StdRng::seed_from_u64(6)).unwrap();
+        assert_eq!(net.link_count(), 28);
+    }
+
+    #[test]
+    fn single_node_network() {
+        let mut c = cfg(1);
+        c.avg_degree = 0.0;
+        let net = generate(&c, &mut StdRng::seed_from_u64(8)).unwrap();
+        assert_eq!(net.node_count(), 1);
+        assert_eq!(net.link_count(), 0);
+        assert!(net.is_connected());
+    }
+
+    #[test]
+    fn rejects_invalid_config() {
+        let mut c = cfg(10);
+        c.deploy_ratio = 1.5;
+        assert!(generate(&c, &mut StdRng::seed_from_u64(0)).is_err());
+        let mut c = cfg(0);
+        c.nodes = 0;
+        assert!(generate(&c, &mut StdRng::seed_from_u64(0)).is_err());
+        let mut c = cfg(10);
+        c.avg_vnf_price = f64::NAN;
+        assert!(generate(&c, &mut StdRng::seed_from_u64(0)).is_err());
+    }
+
+    #[test]
+    fn tree_only_when_degree_below_two() {
+        // avg_degree < 2(n-1)/n: the spanning tree may already exceed the
+        // target; generator must keep at least the tree (connectivity).
+        let mut c = cfg(50);
+        c.avg_degree = 1.0;
+        let net = generate(&c, &mut StdRng::seed_from_u64(11)).unwrap();
+        assert_eq!(net.link_count(), 49); // spanning tree preserved
+        assert!(net.is_connected());
+    }
+}

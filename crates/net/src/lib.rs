@@ -1,0 +1,63 @@
+//! # dagsfc-net — priced cloud-network substrate
+//!
+//! The target-network model of the DAG-SFC paper (§3.2): a connected graph
+//! of cloud nodes joined by bi-directional links, where
+//!
+//! * every **link** `e` has a price `c_e` per unit of traffic rate and a
+//!   bandwidth capacity `r_e`;
+//! * every **node** `v` hosts VNF instances `f_v(i)`, each with a rental
+//!   price `c_{v,f(i)}` per rate unit and a processing capability
+//!   `r_{v,f(i)}`.
+//!
+//! On top of the immutable [`Network`] the crate provides:
+//!
+//! * [`NetworkState`] — residual capacities with O(1) checkpoint/rollback,
+//!   the workhorse of backtracking embedders;
+//! * [`routing`] — min-cost paths (Dijkstra), hop-ring BFS expansion
+//!   (the primitive behind BBE's forward/backward searches), and Yen's
+//!   k-cheapest paths;
+//! * [`generator`] — the paper's §5.1 random network generator, fully
+//!   seeded and deterministic.
+//!
+//! ```
+//! use dagsfc_net::{generator, NetGenConfig, NetworkState, routing, NodeId};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let cfg = NetGenConfig { nodes: 50, ..NetGenConfig::default() };
+//! let net = generator::generate(&cfg, &mut StdRng::seed_from_u64(42)).unwrap();
+//! assert!(net.is_connected());
+//!
+//! let state = NetworkState::new(&net);
+//! let path = routing::min_cost_path(
+//!     &net,
+//!     NodeId(0),
+//!     NodeId(49),
+//!     &routing::RateFilter::new(&state, 1.0),
+//! )
+//! .unwrap();
+//! assert_eq!(path.source(), NodeId(0));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod analysis;
+pub mod error;
+pub mod export;
+pub mod generator;
+pub mod graph;
+pub mod ids;
+pub mod path;
+pub mod routing;
+pub mod state;
+pub mod topologies;
+
+pub use analysis::{analyze, GraphMetrics};
+pub use error::{NetError, NetResult};
+pub use export::{to_dot, DotOptions};
+pub use generator::NetGenConfig;
+pub use graph::{Link, Network, NetworkStats, Node, VnfInstance};
+pub use ids::{LinkId, NodeId, VnfTypeId};
+pub use path::Path;
+pub use state::{Checkpoint, NetworkState, CAP_EPS};
+pub use topologies::Topology;

@@ -1,0 +1,233 @@
+//! Real-paths: concrete link sequences implementing the DAG-SFC meta-paths.
+//!
+//! The paper denotes a `β`-length real-path between `v_{x_0}` and `v_{x_β}`
+//! as the link sequence `{e_{x0,x1}, …, e_{x(β-1),xβ}}`. A real-path of
+//! length zero (both endpoints on the same node) is legal and free — it
+//! arises whenever two consecutive VNFs are colocated.
+
+use crate::error::{NetError, NetResult};
+use crate::graph::Network;
+use crate::ids::{LinkId, NodeId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A concrete path through the network: `nodes.len() == links.len() + 1`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Path {
+    nodes: Vec<NodeId>,
+    links: Vec<LinkId>,
+}
+
+impl Path {
+    /// A zero-length path sitting on a single node.
+    pub fn trivial(node: NodeId) -> Self {
+        Path {
+            nodes: vec![node],
+            links: Vec::new(),
+        }
+    }
+
+    /// Builds a path from node and link sequences, verifying contiguity
+    /// against the network.
+    pub fn new(net: &Network, nodes: Vec<NodeId>, links: Vec<LinkId>) -> NetResult<Self> {
+        if nodes.is_empty() || nodes.len() != links.len() + 1 {
+            return Err(NetError::InvalidParameter("path shape"));
+        }
+        for (i, &l) in links.iter().enumerate() {
+            let link = net.try_link(l)?;
+            let (from, to) = (nodes[i], nodes[i + 1]);
+            let connects = (link.a == from && link.b == to) || (link.a == to && link.b == from);
+            if !connects {
+                return Err(NetError::InvalidParameter("path link does not connect its nodes"));
+            }
+        }
+        Ok(Path { nodes, links })
+    }
+
+    /// Builds a path from a node sequence, looking up the connecting links.
+    pub fn from_nodes(net: &Network, nodes: Vec<NodeId>) -> NetResult<Self> {
+        if nodes.is_empty() {
+            return Err(NetError::InvalidParameter("empty path"));
+        }
+        let mut links = Vec::with_capacity(nodes.len() - 1);
+        for w in nodes.windows(2) {
+            let l = net
+                .link_between(w[0], w[1])
+                .ok_or(NetError::NoPath { from: w[0], to: w[1] })?;
+            links.push(l);
+        }
+        Ok(Path { nodes, links })
+    }
+
+    /// Assembles a path from parts whose contiguity the caller guarantees
+    /// (e.g. a Dijkstra predecessor chain).
+    ///
+    /// Debug builds assert the shape invariant.
+    pub(crate) fn from_parts_unchecked(nodes: Vec<NodeId>, links: Vec<LinkId>) -> Self {
+        debug_assert!(!nodes.is_empty() && nodes.len() == links.len() + 1);
+        Path { nodes, links }
+    }
+
+    /// Source node of the path.
+    #[inline]
+    pub fn source(&self) -> NodeId {
+        self.nodes[0]
+    }
+
+    /// Target node of the path.
+    #[inline]
+    pub fn target(&self) -> NodeId {
+        *self.nodes.last().expect("path has at least one node")
+    }
+
+    /// Number of links (the paper's `β`).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Whether the path has zero links (endpoints colocated).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.links.is_empty()
+    }
+
+    /// The node sequence, source first.
+    #[inline]
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// The link sequence.
+    #[inline]
+    pub fn links(&self) -> &[LinkId] {
+        &self.links
+    }
+
+    /// Sum of link prices along the path (cost per unit rate).
+    pub fn price(&self, net: &Network) -> f64 {
+        self.links.iter().map(|&l| net.link(l).price).sum()
+    }
+
+    /// Whether the path visits any node twice.
+    pub fn has_node_cycle(&self) -> bool {
+        let mut sorted = self.nodes.clone();
+        sorted.sort_unstable();
+        sorted.windows(2).any(|w| w[0] == w[1])
+    }
+
+    /// Reverses the path in place (valid because links are bi-directional).
+    pub fn reverse(&mut self) {
+        self.nodes.reverse();
+        self.links.reverse();
+    }
+
+    /// Returns the reversed path.
+    pub fn reversed(mut self) -> Self {
+        self.reverse();
+        self
+    }
+
+    /// Concatenates `other` onto the end of this path.
+    ///
+    /// `other` must start where `self` ends.
+    pub fn join(&self, other: &Path) -> NetResult<Path> {
+        if self.target() != other.source() {
+            return Err(NetError::InvalidParameter("joined paths do not share an endpoint"));
+        }
+        let mut nodes = self.nodes.clone();
+        nodes.extend_from_slice(&other.nodes[1..]);
+        let mut links = self.links.clone();
+        links.extend_from_slice(&other.links);
+        Ok(Path { nodes, links })
+    }
+}
+
+impl fmt::Display for Path {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, n) in self.nodes.iter().enumerate() {
+            if i > 0 {
+                write!(f, "-")?;
+            }
+            write!(f, "{n}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(n: usize) -> Network {
+        let mut g = Network::new();
+        g.add_nodes(n);
+        for i in 0..n - 1 {
+            g.add_link(NodeId(i as u32), NodeId(i as u32 + 1), (i + 1) as f64, 10.0)
+                .unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn trivial_path() {
+        let p = Path::trivial(NodeId(4));
+        assert_eq!(p.source(), NodeId(4));
+        assert_eq!(p.target(), NodeId(4));
+        assert_eq!(p.len(), 0);
+        assert!(p.is_empty());
+        assert!(!p.has_node_cycle());
+    }
+
+    #[test]
+    fn from_nodes_builds_links() {
+        let g = line(4);
+        let p = Path::from_nodes(&g, vec![NodeId(0), NodeId(1), NodeId(2)]).unwrap();
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.links(), &[LinkId(0), LinkId(1)]);
+        assert!((p.price(&g) - 3.0).abs() < 1e-12);
+        assert_eq!(p.to_string(), "v0-v1-v2");
+    }
+
+    #[test]
+    fn from_nodes_rejects_gaps() {
+        let g = line(4);
+        assert!(Path::from_nodes(&g, vec![NodeId(0), NodeId(2)]).is_err());
+        assert!(Path::from_nodes(&g, vec![]).is_err());
+    }
+
+    #[test]
+    fn new_validates_contiguity() {
+        let g = line(3);
+        assert!(Path::new(&g, vec![NodeId(0), NodeId(1)], vec![LinkId(0)]).is_ok());
+        // wrong link for the hop
+        assert!(Path::new(&g, vec![NodeId(0), NodeId(1)], vec![LinkId(1)]).is_err());
+        // shape mismatch
+        assert!(Path::new(&g, vec![NodeId(0)], vec![LinkId(0)]).is_err());
+    }
+
+    #[test]
+    fn reverse_and_join() {
+        let g = line(4);
+        let p = Path::from_nodes(&g, vec![NodeId(0), NodeId(1)]).unwrap();
+        let q = Path::from_nodes(&g, vec![NodeId(1), NodeId(2), NodeId(3)]).unwrap();
+        let j = p.join(&q).unwrap();
+        assert_eq!(j.nodes(), &[NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+        assert_eq!(j.len(), 3);
+        let r = j.clone().reversed();
+        assert_eq!(r.source(), NodeId(3));
+        assert_eq!(r.target(), NodeId(0));
+        assert_eq!(r.len(), 3);
+        // join mismatch
+        assert!(q.join(&p).is_err());
+    }
+
+    #[test]
+    fn cycle_detection() {
+        let mut g = line(3);
+        g.add_link(NodeId(0), NodeId(2), 1.0, 10.0).unwrap();
+        let cyc =
+            Path::from_nodes(&g, vec![NodeId(0), NodeId(1), NodeId(2), NodeId(0)]).unwrap();
+        assert!(cyc.has_node_cycle());
+    }
+}

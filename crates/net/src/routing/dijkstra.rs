@@ -1,0 +1,233 @@
+//! Min-cost (price-weighted) shortest paths via Dijkstra's algorithm.
+//!
+//! Link prices are the edge weights; all prices are finite and
+//! non-negative by construction ([`crate::Network::add_link`] validates
+//! this), so Dijkstra's preconditions hold.
+
+use super::LinkFilter;
+use crate::graph::Network;
+use crate::ids::{LinkId, NodeId};
+use crate::path::Path;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Max-heap entry ordered so the *cheapest* distance pops first.
+#[derive(Debug, PartialEq)]
+struct HeapEntry {
+    dist: f64,
+    node: NodeId,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse so BinaryHeap (a max-heap) pops the minimum distance.
+        // Prices are finite, so partial_cmp never fails.
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .expect("finite distances")
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A single-source shortest-path tree, answering distance and path queries
+/// to every reachable node.
+#[derive(Debug, Clone)]
+pub struct ShortestPathTree {
+    source: NodeId,
+    dist: Vec<f64>,
+    prev: Vec<Option<(NodeId, LinkId)>>,
+}
+
+impl ShortestPathTree {
+    /// Runs Dijkstra from `source`, using only links admitted by `filter`.
+    ///
+    /// With an early `target`, the search stops as soon as the target is
+    /// settled (remaining distances stay `f64::INFINITY`).
+    pub fn build<F: LinkFilter>(
+        net: &Network,
+        source: NodeId,
+        filter: &F,
+        target: Option<NodeId>,
+    ) -> Self {
+        let n = net.node_count();
+        let mut dist = vec![f64::INFINITY; n];
+        let mut prev: Vec<Option<(NodeId, LinkId)>> = vec![None; n];
+        let mut settled = vec![false; n];
+        let mut heap = BinaryHeap::new();
+        dist[source.index()] = 0.0;
+        heap.push(HeapEntry {
+            dist: 0.0,
+            node: source,
+        });
+        while let Some(HeapEntry { dist: d, node }) = heap.pop() {
+            if settled[node.index()] {
+                continue;
+            }
+            settled[node.index()] = true;
+            if target == Some(node) {
+                break;
+            }
+            for &(next, link) in net.neighbors(node) {
+                if settled[next.index()] || !filter.allows(link) {
+                    continue;
+                }
+                let nd = d + net.link(link).price;
+                if nd < dist[next.index()] {
+                    dist[next.index()] = nd;
+                    prev[next.index()] = Some((node, link));
+                    heap.push(HeapEntry {
+                        dist: nd,
+                        node: next,
+                    });
+                }
+            }
+        }
+        ShortestPathTree { source, dist, prev }
+    }
+
+    /// The tree's source node.
+    #[inline]
+    pub fn source(&self) -> NodeId {
+        self.source
+    }
+
+    /// Total price of the cheapest path to `node`, if reachable.
+    pub fn dist_to(&self, node: NodeId) -> Option<f64> {
+        let d = self.dist[node.index()];
+        d.is_finite().then_some(d)
+    }
+
+    /// The cheapest path from the source to `node`, if reachable.
+    pub fn path_to(&self, node: NodeId) -> Option<Path> {
+        if !self.dist[node.index()].is_finite() {
+            return None;
+        }
+        let mut nodes = vec![node];
+        let mut links = Vec::new();
+        let mut cur = node;
+        while let Some((p, l)) = self.prev[cur.index()] {
+            nodes.push(p);
+            links.push(l);
+            cur = p;
+        }
+        debug_assert_eq!(cur, self.source);
+        nodes.reverse();
+        links.reverse();
+        // Contiguity holds by construction of the predecessor chain.
+        Some(Path::from_parts_unchecked(nodes, links))
+    }
+}
+
+/// Cheapest path from `from` to `to` using only links admitted by `filter`.
+///
+/// Returns `None` when `to` is unreachable. A query with `from == to`
+/// yields the zero-length trivial path.
+pub fn min_cost_path<F: LinkFilter>(
+    net: &Network,
+    from: NodeId,
+    to: NodeId,
+    filter: &F,
+) -> Option<Path> {
+    if from == to {
+        return Some(Path::trivial(from));
+    }
+    ShortestPathTree::build(net, from, filter, Some(to)).path_to(to)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routing::NoFilter;
+    use crate::state::NetworkState;
+    use crate::routing::RateFilter;
+
+    /// Diamond: 0-1 (1.0), 0-2 (0.4), 1-3 (1.0), 2-3 (0.4), 1-2 (0.1).
+    fn diamond() -> Network {
+        let mut g = Network::new();
+        g.add_nodes(4);
+        g.add_link(NodeId(0), NodeId(1), 1.0, 10.0).unwrap();
+        g.add_link(NodeId(0), NodeId(2), 0.4, 10.0).unwrap();
+        g.add_link(NodeId(1), NodeId(3), 1.0, 10.0).unwrap();
+        g.add_link(NodeId(2), NodeId(3), 0.4, 1.0).unwrap();
+        g.add_link(NodeId(1), NodeId(2), 0.1, 10.0).unwrap();
+        g
+    }
+
+    #[test]
+    fn picks_cheapest_not_fewest_hops() {
+        let g = diamond();
+        let p = min_cost_path(&g, NodeId(0), NodeId(3), &NoFilter).unwrap();
+        assert_eq!(p.nodes(), &[NodeId(0), NodeId(2), NodeId(3)]);
+        assert!((p.price(&g) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trivial_query() {
+        let g = diamond();
+        let p = min_cost_path(&g, NodeId(2), NodeId(2), &NoFilter).unwrap();
+        assert!(p.is_empty());
+        assert_eq!(p.source(), NodeId(2));
+    }
+
+    #[test]
+    fn unreachable_returns_none() {
+        let mut g = Network::new();
+        g.add_nodes(3);
+        g.add_link(NodeId(0), NodeId(1), 1.0, 1.0).unwrap();
+        assert!(min_cost_path(&g, NodeId(0), NodeId(2), &NoFilter).is_none());
+    }
+
+    #[test]
+    fn filter_reroutes_around_saturated_link() {
+        let g = diamond();
+        let mut s = NetworkState::new(&g);
+        s.reserve_link(LinkId(3), 1.0).unwrap(); // saturate 2-3
+        let f = RateFilter::new(&s, 0.5);
+        let p = min_cost_path(&g, NodeId(0), NodeId(3), &f).unwrap();
+        // Cheapest remaining: 0-2 (0.4) + 2-1 (0.1) + 1-3 (1.0) = 1.5.
+        assert_eq!(p.nodes(), &[NodeId(0), NodeId(2), NodeId(1), NodeId(3)]);
+        assert!((p.price(&g) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn filter_can_disconnect() {
+        let g = diamond();
+        let never = |_l: LinkId| false;
+        assert!(min_cost_path(&g, NodeId(0), NodeId(3), &never).is_none());
+    }
+
+    #[test]
+    fn tree_answers_all_targets() {
+        let g = diamond();
+        let t = ShortestPathTree::build(&g, NodeId(0), &NoFilter, None);
+        assert_eq!(t.source(), NodeId(0));
+        assert!((t.dist_to(NodeId(1)).unwrap() - 0.5).abs() < 1e-12); // via 2
+        assert!((t.dist_to(NodeId(2)).unwrap() - 0.4).abs() < 1e-12);
+        assert!((t.dist_to(NodeId(3)).unwrap() - 0.8).abs() < 1e-12);
+        let p1 = t.path_to(NodeId(1)).unwrap();
+        assert_eq!(p1.nodes(), &[NodeId(0), NodeId(2), NodeId(1)]);
+    }
+
+    #[test]
+    fn path_price_matches_tree_distance() {
+        let g = diamond();
+        let t = ShortestPathTree::build(&g, NodeId(3), &NoFilter, None);
+        for n in g.node_ids() {
+            let d = t.dist_to(n).unwrap();
+            let p = t.path_to(n).unwrap();
+            assert!((p.price(&g) - d).abs() < 1e-12);
+            assert_eq!(p.source(), NodeId(3));
+            assert_eq!(p.target(), n);
+            assert!(!p.has_node_cycle());
+        }
+    }
+}

@@ -1,0 +1,298 @@
+//! Link-disjoint path pairs (Bhandari's algorithm).
+//!
+//! Survivable embeddings protect each real-path with a link-disjoint
+//! backup so a single link failure cannot sever a meta-path. Picking the
+//! backup greedily (shortest path, then shortest path avoiding it) fails
+//! on *trap topologies*; Bhandari's algorithm finds the pair with
+//! minimum **total** cost when one exists:
+//!
+//! 1. find a cheapest path `P1` (Dijkstra);
+//! 2. in a directed view, remove `P1`'s forward arcs and negate its
+//!    reverse arcs;
+//! 3. find a cheapest path `P2` in the modified graph (Bellman–Ford —
+//!    negative arcs are confined to `P1`'s reversals, no negative
+//!    cycles);
+//! 4. drop arc pairs used in opposite directions and recombine the rest
+//!    into two link-disjoint paths.
+
+use super::{dijkstra::min_cost_path, LinkFilter};
+use crate::graph::Network;
+use crate::ids::{LinkId, NodeId};
+use crate::path::Path;
+use std::collections::{HashMap, HashSet};
+
+/// A link-disjoint pair of paths with minimal total price.
+#[derive(Debug, Clone)]
+pub struct DisjointPair {
+    /// First path (by construction never pricier than the second).
+    pub primary: Path,
+    /// Second, link-disjoint path.
+    pub backup: Path,
+}
+
+impl DisjointPair {
+    /// Sum of both paths' prices.
+    pub fn total_price(&self, net: &Network) -> f64 {
+        self.primary.price(net) + self.backup.price(net)
+    }
+}
+
+/// Finds the min-total-cost pair of link-disjoint paths `from → to`, or
+/// `None` when no such pair exists (a bridge separates the endpoints).
+///
+/// `from == to` is rejected (no meaningful disjoint pair).
+pub fn disjoint_path_pair<F: LinkFilter>(
+    net: &Network,
+    from: NodeId,
+    to: NodeId,
+    filter: &F,
+) -> Option<DisjointPair> {
+    if from == to {
+        return None;
+    }
+    let p1 = min_cost_path(net, from, to, filter)?;
+
+    // Directed arc view: arc = (link, forward?) where forward means
+    // a→b with a = link.a. P1's arcs become: forward direction removed,
+    // reverse direction negated.
+    let mut p1_arcs: HashMap<LinkId, bool> = HashMap::new(); // link -> traversed a→b?
+    {
+        let nodes = p1.nodes();
+        for (i, &l) in p1.links().iter().enumerate() {
+            let link = net.link(l);
+            p1_arcs.insert(l, link.a == nodes[i]);
+        }
+    }
+
+    // Bellman–Ford over the modified arc costs.
+    let n = net.node_count();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut prev: Vec<Option<(NodeId, LinkId)>> = vec![None; n];
+    dist[from.index()] = 0.0;
+    for _ in 0..n {
+        let mut changed = false;
+        for l in net.link_ids() {
+            if !filter.allows(l) {
+                continue;
+            }
+            let link = net.link(l);
+            // Each undirected link yields two arcs unless on P1.
+            let arcs: [(NodeId, NodeId, f64); 2] = match p1_arcs.get(&l) {
+                Some(&forward) => {
+                    let (u, v) = if forward { (link.a, link.b) } else { (link.b, link.a) };
+                    // forward arc (u→v) removed; reverse arc negated.
+                    [(v, u, -link.price), (v, u, -link.price)]
+                }
+                None => [
+                    (link.a, link.b, link.price),
+                    (link.b, link.a, link.price),
+                ],
+            };
+            for &(u, v, w) in &arcs {
+                if dist[u.index()].is_finite() && dist[u.index()] + w < dist[v.index()] - 1e-12
+                {
+                    dist[v.index()] = dist[u.index()] + w;
+                    prev[v.index()] = Some((u, l));
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    if !dist[to.index()].is_finite() {
+        return None; // no second path: endpoints share a bridge
+    }
+    // Reconstruct P2's arc multiset.
+    let mut p2_links: Vec<LinkId> = Vec::new();
+    {
+        let mut cur = to;
+        let mut guard = 0;
+        while cur != from {
+            let (p, l) = prev[cur.index()].expect("finite dist implies predecessor");
+            p2_links.push(l);
+            cur = p;
+            guard += 1;
+            if guard > n {
+                return None; // defensive: malformed predecessor chain
+            }
+        }
+    }
+
+    // Cancellation: links used by P1 and re-used (reversed) by P2 vanish.
+    let mut surviving: HashSet<LinkId> = p1.links().iter().copied().collect();
+    for l in &p2_links {
+        if !surviving.remove(l) {
+            surviving.insert(*l);
+        }
+    }
+
+    // Decompose the surviving link set into two link-disjoint from→to
+    // paths by walking adjacency.
+    let mut adj: HashMap<NodeId, Vec<LinkId>> = HashMap::new();
+    for &l in &surviving {
+        let link = net.link(l);
+        adj.entry(link.a).or_default().push(l);
+        adj.entry(link.b).or_default().push(l);
+    }
+    let mut extract = |start: NodeId| -> Option<Path> {
+        let mut nodes = vec![start];
+        let mut links = Vec::new();
+        let mut cur = start;
+        let mut guard = 0;
+        while cur != to {
+            let candidates = adj.get_mut(&cur)?;
+            let l = candidates.pop()?;
+            let link = net.link(l);
+            let nxt = link.other(cur);
+            // Remove the mirrored entry.
+            if let Some(v) = adj.get_mut(&nxt) {
+                if let Some(pos) = v.iter().position(|&x| x == l) {
+                    v.swap_remove(pos);
+                }
+            }
+            nodes.push(nxt);
+            links.push(l);
+            cur = nxt;
+            guard += 1;
+            if guard > surviving.len() + 1 {
+                return None;
+            }
+        }
+        Path::new(net, nodes, links).ok()
+    };
+    let a = extract(from)?;
+    let b = extract(from)?;
+    debug_assert!(
+        a.links().iter().all(|l| !b.links().contains(l)),
+        "paths must be link-disjoint"
+    );
+    let (primary, backup) = if a.price(net) <= b.price(net) {
+        (a, b)
+    } else {
+        (b, a)
+    };
+    Some(DisjointPair { primary, backup })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routing::NoFilter;
+
+    /// The classic trap topology: the global shortest path uses the only
+    /// bridge-free crossing in a way that blocks a naive second path,
+    /// while a disjoint pair exists.
+    ///
+    /// ```text
+    ///     1 ── 2
+    ///   / |     \
+    ///  0  |      5
+    ///   \ |     /
+    ///     3 ── 4
+    /// ```
+    /// Prices: 0-1=1, 1-2=1, 2-5=1 (top, total 3); 0-3=1, 3-4=4, 4-5=1
+    /// (bottom, total 6); trap diagonal 1-3=0.1.
+    fn trap() -> Network {
+        let mut g = Network::new();
+        g.add_nodes(6);
+        g.add_link(NodeId(0), NodeId(1), 1.0, 10.0).unwrap();
+        g.add_link(NodeId(1), NodeId(2), 1.0, 10.0).unwrap();
+        g.add_link(NodeId(2), NodeId(5), 1.0, 10.0).unwrap();
+        g.add_link(NodeId(0), NodeId(3), 1.0, 10.0).unwrap();
+        g.add_link(NodeId(3), NodeId(4), 4.0, 10.0).unwrap();
+        g.add_link(NodeId(4), NodeId(5), 1.0, 10.0).unwrap();
+        g.add_link(NodeId(1), NodeId(3), 0.1, 10.0).unwrap();
+        g
+    }
+
+    #[test]
+    fn finds_disjoint_pair_in_trap() {
+        let g = trap();
+        let pair = disjoint_path_pair(&g, NodeId(0), NodeId(5), &NoFilter).unwrap();
+        // Disjointness.
+        for l in pair.primary.links() {
+            assert!(!pair.backup.links().contains(l));
+        }
+        assert_eq!(pair.primary.source(), NodeId(0));
+        assert_eq!(pair.primary.target(), NodeId(5));
+        assert_eq!(pair.backup.source(), NodeId(0));
+        assert_eq!(pair.backup.target(), NodeId(5));
+        // Optimal pair: top (3.0) + bottom (6.0) = 9.0 — the diagonal
+        // cannot be in any disjoint pair covering both sides.
+        assert!((pair.total_price(&g) - 9.0).abs() < 1e-9);
+        assert!(pair.primary.price(&g) <= pair.backup.price(&g));
+    }
+
+    #[test]
+    fn greedy_would_fail_where_bhandari_succeeds() {
+        // Make the trap bite: cheapest single path rides the diagonal,
+        // and removing it leaves no second path through node 1 or 3.
+        let mut g = Network::new();
+        g.add_nodes(4);
+        // Chain 0-1-2-3 (1 each) is the unique cheapest path; the
+        // chords 0-2 and 1-3 (2.5 each) are pricier.
+        g.add_link(NodeId(0), NodeId(1), 1.0, 10.0).unwrap();
+        g.add_link(NodeId(1), NodeId(2), 1.0, 10.0).unwrap();
+        g.add_link(NodeId(2), NodeId(3), 1.0, 10.0).unwrap();
+        g.add_link(NodeId(0), NodeId(2), 2.5, 10.0).unwrap();
+        g.add_link(NodeId(1), NodeId(3), 2.5, 10.0).unwrap();
+        // Cheapest path: 0-1-2-3 (3.0). Excluding its links, the leftover
+        // graph 0-2, 1-3 is disconnected from 0→3: greedy fails.
+        let p1 = min_cost_path(&g, NodeId(0), NodeId(3), &NoFilter).unwrap();
+        let excluded: Vec<LinkId> = p1.links().to_vec();
+        let greedy_backup = min_cost_path(&g, NodeId(0), NodeId(3), &move |l: LinkId| {
+            !excluded.contains(&l)
+        });
+        assert!(greedy_backup.is_none(), "trap must defeat the greedy strategy");
+        // Bhandari still finds the pair 0-1-3 (3.5) and 0-2-3 (3.5).
+        let pair = disjoint_path_pair(&g, NodeId(0), NodeId(3), &NoFilter).unwrap();
+        assert!((pair.total_price(&g) - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bridge_means_no_pair() {
+        let mut g = Network::new();
+        g.add_nodes(3);
+        g.add_link(NodeId(0), NodeId(1), 1.0, 10.0).unwrap();
+        g.add_link(NodeId(1), NodeId(2), 1.0, 10.0).unwrap();
+        assert!(disjoint_path_pair(&g, NodeId(0), NodeId(2), &NoFilter).is_none());
+    }
+
+    #[test]
+    fn same_endpoint_rejected() {
+        let g = trap();
+        assert!(disjoint_path_pair(&g, NodeId(1), NodeId(1), &NoFilter).is_none());
+    }
+
+    #[test]
+    fn respects_filter() {
+        let g = trap();
+        // Ban the top path's middle link: the only disjoint pair must
+        // route around it or fail. Banning 1-2 leaves top unusable, so
+        // pair must be (0-1-3-4-5??) — 1-3 diagonal + bottom... the two
+        // paths 0-1-3?… Let's just require: if a pair comes back, it is
+        // disjoint and avoids the banned link.
+        let banned = g.link_between(NodeId(1), NodeId(2)).unwrap();
+        if let Some(pair) = disjoint_path_pair(&g, NodeId(0), NodeId(5), &move |l: LinkId| {
+            l != banned
+        }) {
+            assert!(!pair.primary.links().contains(&banned));
+            assert!(!pair.backup.links().contains(&banned));
+            for l in pair.primary.links() {
+                assert!(!pair.backup.links().contains(l));
+            }
+        }
+    }
+
+    #[test]
+    fn pair_total_never_below_twice_shortest() {
+        let g = trap();
+        let shortest = min_cost_path(&g, NodeId(0), NodeId(5), &NoFilter)
+            .unwrap()
+            .price(&g);
+        let pair = disjoint_path_pair(&g, NodeId(0), NodeId(5), &NoFilter).unwrap();
+        assert!(pair.total_price(&g) >= 2.0 * shortest - 1e-9);
+    }
+}

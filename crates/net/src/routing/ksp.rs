@@ -1,0 +1,180 @@
+//! Yen's algorithm for the k cheapest loopless paths.
+//!
+//! The exact solver enumerates alternative real-paths per meta-path
+//! (the paper's `p^a_{b,ρ} ∈ P^a_b`), which requires more than the single
+//! cheapest path. Yen's algorithm yields them in non-decreasing price
+//! order without repetition.
+
+use super::{dijkstra::min_cost_path, LinkFilter};
+use crate::graph::Network;
+use crate::ids::{LinkId, NodeId};
+use crate::path::Path;
+
+/// Returns up to `k` cheapest loopless paths from `from` to `to`, sorted by
+/// ascending price (ties broken arbitrarily but deterministically).
+///
+/// Only links admitted by `filter` are used. `from == to` yields just the
+/// trivial path.
+pub fn k_shortest_paths<F: LinkFilter>(
+    net: &Network,
+    from: NodeId,
+    to: NodeId,
+    k: usize,
+    filter: &F,
+) -> Vec<Path> {
+    if k == 0 {
+        return Vec::new();
+    }
+    if from == to {
+        return vec![Path::trivial(from)];
+    }
+    let mut result: Vec<Path> = Vec::with_capacity(k);
+    let Some(first) = min_cost_path(net, from, to, filter) else {
+        return result;
+    };
+    result.push(first);
+
+    // Candidate pool: (price, path). Paths are deduplicated on insert.
+    let mut candidates: Vec<(f64, Path)> = Vec::new();
+
+    while result.len() < k {
+        let last = result.last().expect("at least the first path").clone();
+        // Each prefix of the last accepted path spawns a spur search.
+        for spur_idx in 0..last.len() {
+            let spur_node = last.nodes()[spur_idx];
+            let root_nodes = &last.nodes()[..=spur_idx];
+            let root_links = &last.links()[..spur_idx];
+
+            // Links leaving the spur node along any already-accepted path
+            // sharing this root are banned, preventing duplicates.
+            let mut banned_links: Vec<LinkId> = Vec::new();
+            for p in &result {
+                if p.len() > spur_idx && p.nodes()[..=spur_idx] == *root_nodes {
+                    banned_links.push(p.links()[spur_idx]);
+                }
+            }
+            // Root nodes (except the spur) are banned to keep paths loopless.
+            let banned_nodes: Vec<NodeId> = root_nodes[..spur_idx].to_vec();
+
+            let spur_filter = |l: LinkId| {
+                if banned_links.contains(&l) || !filter.allows(l) {
+                    return false;
+                }
+                let link = net.link(l);
+                !banned_nodes.contains(&link.a) && !banned_nodes.contains(&link.b)
+            };
+            if let Some(spur) = min_cost_path(net, spur_node, to, &spur_filter) {
+                let root = Path::from_parts_unchecked(root_nodes.to_vec(), root_links.to_vec());
+                let total = root.join(&spur).expect("root ends at spur node");
+                if total.has_node_cycle() {
+                    continue;
+                }
+                let price = total.price(net);
+                if !result.contains(&total)
+                    && !candidates.iter().any(|(_, p)| *p == total)
+                {
+                    candidates.push((price, total));
+                }
+            }
+        }
+        // Pop the cheapest candidate.
+        let Some(best_idx) = candidates
+            .iter()
+            .enumerate()
+            .min_by(|a, b| {
+                a.1 .0
+                    .partial_cmp(&b.1 .0)
+                    .expect("finite prices")
+                    .then_with(|| a.1 .1.nodes().cmp(b.1 .1.nodes()))
+            })
+            .map(|(i, _)| i)
+        else {
+            break;
+        };
+        result.push(candidates.swap_remove(best_idx).1);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routing::NoFilter;
+
+    /// Square with a diagonal: 0-1 (1), 1-3 (1), 0-2 (1.5), 2-3 (1.5), 0-3 (5).
+    fn square() -> Network {
+        let mut g = Network::new();
+        g.add_nodes(4);
+        g.add_link(NodeId(0), NodeId(1), 1.0, 1.0).unwrap();
+        g.add_link(NodeId(1), NodeId(3), 1.0, 1.0).unwrap();
+        g.add_link(NodeId(0), NodeId(2), 1.5, 1.0).unwrap();
+        g.add_link(NodeId(2), NodeId(3), 1.5, 1.0).unwrap();
+        g.add_link(NodeId(0), NodeId(3), 5.0, 1.0).unwrap();
+        g
+    }
+
+    #[test]
+    fn returns_paths_in_price_order() {
+        let g = square();
+        let ps = k_shortest_paths(&g, NodeId(0), NodeId(3), 5, &NoFilter);
+        assert_eq!(ps.len(), 3);
+        let prices: Vec<f64> = ps.iter().map(|p| p.price(&g)).collect();
+        assert!((prices[0] - 2.0).abs() < 1e-12);
+        assert!((prices[1] - 3.0).abs() < 1e-12);
+        assert!((prices[2] - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paths_are_distinct_and_loopless() {
+        let g = square();
+        let ps = k_shortest_paths(&g, NodeId(0), NodeId(3), 10, &NoFilter);
+        for (i, p) in ps.iter().enumerate() {
+            assert!(!p.has_node_cycle());
+            assert_eq!(p.source(), NodeId(0));
+            assert_eq!(p.target(), NodeId(3));
+            for q in &ps[i + 1..] {
+                assert_ne!(p, q);
+            }
+        }
+    }
+
+    #[test]
+    fn k_caps_output() {
+        let g = square();
+        assert_eq!(k_shortest_paths(&g, NodeId(0), NodeId(3), 2, &NoFilter).len(), 2);
+        assert_eq!(k_shortest_paths(&g, NodeId(0), NodeId(3), 0, &NoFilter).len(), 0);
+    }
+
+    #[test]
+    fn same_endpoints_trivial() {
+        let g = square();
+        let ps = k_shortest_paths(&g, NodeId(1), NodeId(1), 4, &NoFilter);
+        assert_eq!(ps.len(), 1);
+        assert!(ps[0].is_empty());
+    }
+
+    #[test]
+    fn disconnected_yields_empty() {
+        let mut g = Network::new();
+        g.add_nodes(2);
+        assert!(k_shortest_paths(&g, NodeId(0), NodeId(1), 3, &NoFilter).is_empty());
+    }
+
+    #[test]
+    fn respects_filter() {
+        let g = square();
+        // Ban the two cheapest first hops; only the direct 0-3 remains.
+        let f = |l: LinkId| l != LinkId(0) && l != LinkId(2);
+        let ps = k_shortest_paths(&g, NodeId(0), NodeId(3), 5, &f);
+        assert_eq!(ps.len(), 1);
+        assert_eq!(ps[0].links(), &[LinkId(4)]);
+    }
+
+    #[test]
+    fn first_path_matches_dijkstra() {
+        let g = square();
+        let d = min_cost_path(&g, NodeId(0), NodeId(3), &NoFilter).unwrap();
+        let ps = k_shortest_paths(&g, NodeId(0), NodeId(3), 1, &NoFilter);
+        assert_eq!(ps[0], d);
+    }
+}

@@ -1,0 +1,80 @@
+//! Routing algorithms over the priced network.
+//!
+//! * [`dijkstra`] — min-*cost* (price) paths, the paper's "minimum cost
+//!   path" primitive used by MBBE, RANV, MINV and the final hop of BBE.
+//! * [`bfs`] — hop-ring expansion, the primitive behind BBE's forward and
+//!   backward searches.
+//! * [`ksp`] — Yen's k-shortest (cheapest) loopless paths, used by the
+//!   exact solver and by path enumeration diagnostics.
+//! * [`steiner`] — Takahashi–Matsuyama multicast trees, powering the
+//!   `MBBE-ST` extension solver's shared inter-layer routing.
+//! * [`disjoint`] — Bhandari link-disjoint path pairs, powering the
+//!   1+1 protection extension in `dagsfc-core`.
+//! * [`widest`] — maximum-bottleneck paths over residual capacities,
+//!   for admission-oriented routing under pressure.
+
+pub mod bfs;
+pub mod dijkstra;
+pub mod disjoint;
+pub mod ksp;
+pub mod steiner;
+pub mod widest;
+
+pub use bfs::{hop_distances, RingSearch};
+pub use dijkstra::{min_cost_path, ShortestPathTree};
+pub use disjoint::{disjoint_path_pair, DisjointPair};
+pub use ksp::k_shortest_paths;
+pub use steiner::{multicast_tree, MulticastTree};
+pub use widest::{widest_path, widest_residual_path};
+
+use crate::ids::LinkId;
+use crate::state::NetworkState;
+
+/// Predicate deciding whether a link may be used by a routing query.
+///
+/// Blanket-implemented for closures; [`RateFilter`] adapts a residual
+/// [`NetworkState`] and a flow rate into a filter.
+pub trait LinkFilter {
+    /// Whether `link` is usable.
+    fn allows(&self, link: LinkId) -> bool;
+}
+
+impl<F: Fn(LinkId) -> bool> LinkFilter for F {
+    #[inline]
+    fn allows(&self, link: LinkId) -> bool {
+        self(link)
+    }
+}
+
+/// Allows every link.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoFilter;
+
+impl LinkFilter for NoFilter {
+    #[inline]
+    fn allows(&self, _link: LinkId) -> bool {
+        true
+    }
+}
+
+/// Allows links whose residual bandwidth fits a flow of `rate`.
+#[derive(Clone, Copy)]
+pub struct RateFilter<'a, 's> {
+    state: &'s NetworkState<'a>,
+    rate: f64,
+}
+
+impl<'a, 's> RateFilter<'a, 's> {
+    /// Builds a filter admitting links with at least `rate` residual
+    /// bandwidth in `state`.
+    pub fn new(state: &'s NetworkState<'a>, rate: f64) -> Self {
+        RateFilter { state, rate }
+    }
+}
+
+impl LinkFilter for RateFilter<'_, '_> {
+    #[inline]
+    fn allows(&self, link: LinkId) -> bool {
+        self.state.link_fits(link, self.rate)
+    }
+}

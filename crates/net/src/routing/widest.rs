@@ -1,0 +1,188 @@
+//! Widest (maximum-bottleneck) paths.
+//!
+//! Under capacity pressure the *cheapest* path is not always the path
+//! that keeps the network alive: admission-oriented placement prefers
+//! routes whose bottleneck link leaves the most residual bandwidth.
+//! This is the classic widest-path problem — Dijkstra with `min` instead
+//! of `+` and `max`-relaxation — over the residual capacities.
+
+use super::LinkFilter;
+use crate::graph::Network;
+use crate::ids::{LinkId, NodeId};
+use crate::path::Path;
+use crate::state::NetworkState;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+#[derive(Debug, PartialEq)]
+struct HeapEntry {
+    width: f64,
+    node: NodeId,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Max-heap on width: the widest frontier pops first.
+        self.width
+            .partial_cmp(&other.width)
+            .expect("finite widths")
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Finds the path `from → to` maximizing the minimum link width, where a
+/// link's width is given by `width_of` (e.g. residual bandwidth).
+/// Returns the path and its bottleneck width; `from == to` yields the
+/// trivial path with infinite width.
+pub fn widest_path<F: LinkFilter>(
+    net: &Network,
+    from: NodeId,
+    to: NodeId,
+    filter: &F,
+    width_of: impl Fn(LinkId) -> f64,
+) -> Option<(Path, f64)> {
+    if from == to {
+        return Some((Path::trivial(from), f64::INFINITY));
+    }
+    let n = net.node_count();
+    let mut best = vec![f64::NEG_INFINITY; n];
+    let mut prev: Vec<Option<(NodeId, LinkId)>> = vec![None; n];
+    let mut settled = vec![false; n];
+    let mut heap = BinaryHeap::new();
+    best[from.index()] = f64::INFINITY;
+    heap.push(HeapEntry {
+        width: f64::INFINITY,
+        node: from,
+    });
+    while let Some(HeapEntry { width, node }) = heap.pop() {
+        if settled[node.index()] {
+            continue;
+        }
+        settled[node.index()] = true;
+        if node == to {
+            break;
+        }
+        for &(next, link) in net.neighbors(node) {
+            if settled[next.index()] || !filter.allows(link) {
+                continue;
+            }
+            let w = width.min(width_of(link));
+            if w > best[next.index()] {
+                best[next.index()] = w;
+                prev[next.index()] = Some((node, link));
+                heap.push(HeapEntry {
+                    width: w,
+                    node: next,
+                });
+            }
+        }
+    }
+    if !best[to.index()].is_finite() && best[to.index()] == f64::NEG_INFINITY {
+        return None;
+    }
+    let mut nodes = vec![to];
+    let mut links = Vec::new();
+    let mut cur = to;
+    while cur != from {
+        let (p, l) = prev[cur.index()]?;
+        nodes.push(p);
+        links.push(l);
+        cur = p;
+    }
+    nodes.reverse();
+    links.reverse();
+    Path::new(net, nodes, links).ok().map(|p| (p, best[to.index()]))
+}
+
+/// Widest path over a residual [`NetworkState`] (width = remaining
+/// bandwidth).
+pub fn widest_residual_path(
+    net: &Network,
+    state: &NetworkState<'_>,
+    from: NodeId,
+    to: NodeId,
+) -> Option<(Path, f64)> {
+    widest_path(net, from, to, &super::NoFilter, |l| {
+        state.link_remaining(l).unwrap_or(0.0)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routing::NoFilter;
+
+    /// Diamond: top route capacity 5, bottom route capacity {9, 2}.
+    fn net() -> Network {
+        let mut g = Network::new();
+        g.add_nodes(4);
+        g.add_link(NodeId(0), NodeId(1), 1.0, 5.0).unwrap();
+        g.add_link(NodeId(1), NodeId(3), 1.0, 5.0).unwrap();
+        g.add_link(NodeId(0), NodeId(2), 1.0, 9.0).unwrap();
+        g.add_link(NodeId(2), NodeId(3), 1.0, 2.0).unwrap();
+        g
+    }
+
+    #[test]
+    fn picks_max_bottleneck_route() {
+        let g = net();
+        let (p, w) =
+            widest_path(&g, NodeId(0), NodeId(3), &NoFilter, |l| g.link(l).capacity).unwrap();
+        assert_eq!(p.nodes(), &[NodeId(0), NodeId(1), NodeId(3)]);
+        assert_eq!(w, 5.0);
+    }
+
+    #[test]
+    fn bottleneck_dominates_any_alternative() {
+        // Brute force check: the returned width is ≥ every simple path's
+        // bottleneck.
+        let g = net();
+        let (_, w) =
+            widest_path(&g, NodeId(0), NodeId(3), &NoFilter, |l| g.link(l).capacity).unwrap();
+        // The only two simple routes have bottlenecks 5 and 2.
+        assert!(w >= 5.0 - 1e-12);
+    }
+
+    #[test]
+    fn residual_variant_tracks_state() {
+        let g = net();
+        let mut s = NetworkState::new(&g);
+        // Drain the top route: the answer flips to the bottom.
+        s.reserve_link(LinkId(0), 4.5).unwrap();
+        let (p, w) = widest_residual_path(&g, &s, NodeId(0), NodeId(3)).unwrap();
+        assert_eq!(p.nodes(), &[NodeId(0), NodeId(2), NodeId(3)]);
+        assert_eq!(w, 2.0);
+    }
+
+    #[test]
+    fn trivial_and_unreachable() {
+        let g = net();
+        let (p, w) =
+            widest_path(&g, NodeId(2), NodeId(2), &NoFilter, |l| g.link(l).capacity).unwrap();
+        assert!(p.is_empty());
+        assert!(w.is_infinite());
+        let mut g2 = Network::new();
+        g2.add_nodes(2);
+        assert!(
+            widest_path(&g2, NodeId(0), NodeId(1), &NoFilter, |_| 1.0).is_none()
+        );
+    }
+
+    #[test]
+    fn respects_filter() {
+        let g = net();
+        let banned = g.link_between(NodeId(0), NodeId(1)).unwrap();
+        let f = move |l: LinkId| l != banned;
+        let (p, w) = widest_path(&g, NodeId(0), NodeId(3), &f, |l| g.link(l).capacity).unwrap();
+        assert_eq!(p.nodes(), &[NodeId(0), NodeId(2), NodeId(3)]);
+        assert_eq!(w, 2.0);
+    }
+}

@@ -1,0 +1,435 @@
+//! Residual-capacity view of a [`Network`] with checkpoint/rollback.
+//!
+//! Embedding algorithms explore many candidate sub-solutions and must
+//! tentatively reserve VNF processing capacity and link bandwidth, then
+//! back out of dead ends. `NetworkState` keeps the *remaining* capacity of
+//! every VNF instance and link, and records every reservation in an undo
+//! log so that backtracking is O(#operations undone), not O(network size).
+
+use crate::error::{NetError, NetResult};
+use crate::graph::Network;
+use crate::ids::{LinkId, NodeId, VnfTypeId};
+use crate::path::Path;
+
+/// Tolerance used for all capacity comparisons.
+pub const CAP_EPS: f64 = 1e-9;
+
+/// A position in the undo log; rolling back to a checkpoint undoes every
+/// reservation made after it was taken.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Checkpoint(usize);
+
+#[derive(Debug, Clone, Copy)]
+enum UndoEntry {
+    Vnf { slot: usize, amount: f64 },
+    Link { link: LinkId, amount: f64 },
+}
+
+/// Mutable residual capacities layered over an immutable [`Network`].
+#[derive(Debug, Clone)]
+pub struct NetworkState<'a> {
+    net: &'a Network,
+    /// Remaining capacity per VNF instance, indexed by flat slot id.
+    vnf_remaining: Vec<f64>,
+    /// First slot id of each node's instances.
+    node_slot_base: Vec<usize>,
+    /// Remaining bandwidth per link.
+    link_remaining: Vec<f64>,
+    undo: Vec<UndoEntry>,
+}
+
+impl<'a> NetworkState<'a> {
+    /// Creates a fresh state with all capacities at their maxima.
+    pub fn new(net: &'a Network) -> Self {
+        let mut node_slot_base = Vec::with_capacity(net.node_count() + 1);
+        let mut vnf_remaining = Vec::new();
+        let mut base = 0usize;
+        for n in net.node_ids() {
+            node_slot_base.push(base);
+            for inst in net.node(n).instances() {
+                vnf_remaining.push(inst.capacity);
+            }
+            base += net.node(n).instances().len();
+        }
+        node_slot_base.push(base);
+        let link_remaining = net.link_ids().map(|l| net.link(l).capacity).collect();
+        NetworkState {
+            net,
+            vnf_remaining,
+            node_slot_base,
+            link_remaining,
+            undo: Vec::new(),
+        }
+    }
+
+    /// The underlying immutable network.
+    #[inline]
+    pub fn network(&self) -> &'a Network {
+        self.net
+    }
+
+    fn slot(&self, node: NodeId, vnf: VnfTypeId) -> NetResult<usize> {
+        let instances = self.net.try_node(node)?.instances();
+        let idx = instances
+            .binary_search_by_key(&vnf, |i| i.vnf)
+            .map_err(|_| NetError::VnfNotDeployed { node, vnf })?;
+        Ok(self.node_slot_base[node.index()] + idx)
+    }
+
+    /// Remaining processing capability of `vnf` on `node`.
+    pub fn vnf_remaining(&self, node: NodeId, vnf: VnfTypeId) -> NetResult<f64> {
+        Ok(self.vnf_remaining[self.slot(node, vnf)?])
+    }
+
+    /// Remaining bandwidth of `link`.
+    pub fn link_remaining(&self, link: LinkId) -> NetResult<f64> {
+        self.link_remaining
+            .get(link.index())
+            .copied()
+            .ok_or(NetError::UnknownLink(link))
+    }
+
+    /// Whether `vnf` on `node` can absorb `rate` more traffic.
+    pub fn vnf_fits(&self, node: NodeId, vnf: VnfTypeId, rate: f64) -> bool {
+        self.slot(node, vnf)
+            .map(|s| self.vnf_remaining[s] + CAP_EPS >= rate)
+            .unwrap_or(false)
+    }
+
+    /// Whether `link` can absorb `rate` more traffic.
+    pub fn link_fits(&self, link: LinkId, rate: f64) -> bool {
+        self.link_remaining
+            .get(link.index())
+            .map(|&r| r + CAP_EPS >= rate)
+            .unwrap_or(false)
+    }
+
+    /// Reserves `rate` units of processing on `vnf@node`.
+    pub fn reserve_vnf(&mut self, node: NodeId, vnf: VnfTypeId, rate: f64) -> NetResult<()> {
+        let slot = self.slot(node, vnf)?;
+        let avail = self.vnf_remaining[slot];
+        if avail + CAP_EPS < rate {
+            return Err(NetError::InsufficientVnfCapacity {
+                node,
+                vnf,
+                requested: rate,
+                available: avail,
+            });
+        }
+        self.vnf_remaining[slot] = avail - rate;
+        self.undo.push(UndoEntry::Vnf { slot, amount: rate });
+        Ok(())
+    }
+
+    /// Reserves `rate` units of bandwidth on `link`.
+    pub fn reserve_link(&mut self, link: LinkId, rate: f64) -> NetResult<()> {
+        let avail = self.link_remaining(link)?;
+        if avail + CAP_EPS < rate {
+            return Err(NetError::InsufficientBandwidth {
+                link,
+                requested: rate,
+                available: avail,
+            });
+        }
+        self.link_remaining[link.index()] = avail - rate;
+        self.undo.push(UndoEntry::Link { link, amount: rate });
+        Ok(())
+    }
+
+    /// Reserves `rate` on every link of `path`. On failure the partial
+    /// reservation is rolled back, leaving the state unchanged.
+    pub fn reserve_path(&mut self, path: &Path, rate: f64) -> NetResult<()> {
+        let cp = self.checkpoint();
+        for &l in path.links() {
+            if let Err(e) = self.reserve_link(l, rate) {
+                self.rollback(cp);
+                return Err(e);
+            }
+        }
+        Ok(())
+    }
+
+    /// Releases `rate` units of processing on `vnf@node` (the inverse of
+    /// [`Self::reserve_vnf`], e.g. when an embedded request departs).
+    ///
+    /// Fails if the release would exceed the instance's total capacity —
+    /// that always indicates a double-release bug in the caller.
+    pub fn release_vnf(&mut self, node: NodeId, vnf: VnfTypeId, rate: f64) -> NetResult<()> {
+        let slot = self.slot(node, vnf)?;
+        let capacity = self
+            .net
+            .instance(node, vnf)
+            .expect("slot implies instance")
+            .capacity;
+        if self.vnf_remaining[slot] + rate > capacity + CAP_EPS {
+            return Err(NetError::InvalidParameter(
+                "VNF release exceeds reserved amount",
+            ));
+        }
+        self.vnf_remaining[slot] += rate;
+        self.undo.push(UndoEntry::Vnf {
+            slot,
+            amount: -rate,
+        });
+        Ok(())
+    }
+
+    /// Releases `rate` units of bandwidth on `link` (the inverse of
+    /// [`Self::reserve_link`]).
+    pub fn release_link(&mut self, link: LinkId, rate: f64) -> NetResult<()> {
+        let capacity = self.net.try_link(link)?.capacity;
+        let remaining = self.link_remaining[link.index()];
+        if remaining + rate > capacity + CAP_EPS {
+            return Err(NetError::InvalidParameter(
+                "link release exceeds reserved amount",
+            ));
+        }
+        self.link_remaining[link.index()] = remaining + rate;
+        self.undo.push(UndoEntry::Link {
+            link,
+            amount: -rate,
+        });
+        Ok(())
+    }
+
+    /// Takes a checkpoint; pass it to [`Self::rollback`] to undo everything
+    /// reserved since.
+    #[inline]
+    pub fn checkpoint(&self) -> Checkpoint {
+        Checkpoint(self.undo.len())
+    }
+
+    /// Rolls back all reservations made after `cp` was taken.
+    ///
+    /// # Panics
+    /// Panics if `cp` comes from a different state or a later epoch.
+    pub fn rollback(&mut self, cp: Checkpoint) {
+        assert!(
+            cp.0 <= self.undo.len(),
+            "rollback to a checkpoint from the future"
+        );
+        while self.undo.len() > cp.0 {
+            match self.undo.pop().expect("undo log entry") {
+                UndoEntry::Vnf { slot, amount } => self.vnf_remaining[slot] += amount,
+                UndoEntry::Link { link, amount } => {
+                    self.link_remaining[link.index()] += amount
+                }
+            }
+        }
+    }
+
+    /// Number of reservations currently recorded.
+    #[inline]
+    pub fn reservation_count(&self) -> usize {
+        self.undo.len()
+    }
+
+    /// Materializes the residual capacities as a fresh immutable
+    /// [`Network`] (same topology and prices, capacities = remaining).
+    ///
+    /// Online simulations embed each arriving request against this
+    /// residual network, then commit the accepted embedding's loads back
+    /// into the state.
+    pub fn to_residual_network(&self) -> Network {
+        self.net.map_capacities(
+            |node, vnf, _| {
+                self.vnf_remaining(node, vnf)
+                    .expect("instance exists in source network")
+            },
+            |link, _| {
+                self.link_remaining(link)
+                    .expect("link exists in source network")
+            },
+        )
+    }
+
+    /// Total reserved bandwidth across all links (diagnostics).
+    pub fn total_link_load(&self) -> f64 {
+        self.net
+            .link_ids()
+            .map(|l| self.net.link(l).capacity - self.link_remaining[l.index()])
+            .sum()
+    }
+
+    /// Total reserved VNF processing across all instances (diagnostics).
+    pub fn total_vnf_load(&self) -> f64 {
+        let mut total = 0.0;
+        let mut slot = 0usize;
+        for n in self.net.node_ids() {
+            for inst in self.net.node(n).instances() {
+                total += inst.capacity - self.vnf_remaining[slot];
+                slot += 1;
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net() -> Network {
+        let mut g = Network::new();
+        g.add_nodes(3);
+        g.add_link(NodeId(0), NodeId(1), 1.0, 2.0).unwrap();
+        g.add_link(NodeId(1), NodeId(2), 1.0, 2.0).unwrap();
+        g.deploy_vnf(NodeId(0), VnfTypeId(0), 1.0, 3.0).unwrap();
+        g.deploy_vnf(NodeId(1), VnfTypeId(0), 1.0, 3.0).unwrap();
+        g.deploy_vnf(NodeId(1), VnfTypeId(1), 1.0, 3.0).unwrap();
+        g
+    }
+
+    #[test]
+    fn fresh_state_has_full_capacity() {
+        let g = net();
+        let s = NetworkState::new(&g);
+        assert_eq!(s.vnf_remaining(NodeId(0), VnfTypeId(0)).unwrap(), 3.0);
+        assert_eq!(s.link_remaining(LinkId(0)).unwrap(), 2.0);
+        assert_eq!(s.total_link_load(), 0.0);
+        assert_eq!(s.total_vnf_load(), 0.0);
+    }
+
+    #[test]
+    fn reserve_and_exhaust_vnf() {
+        let g = net();
+        let mut s = NetworkState::new(&g);
+        s.reserve_vnf(NodeId(1), VnfTypeId(1), 2.0).unwrap();
+        assert_eq!(s.vnf_remaining(NodeId(1), VnfTypeId(1)).unwrap(), 1.0);
+        assert!(s.vnf_fits(NodeId(1), VnfTypeId(1), 1.0));
+        assert!(!s.vnf_fits(NodeId(1), VnfTypeId(1), 1.5));
+        assert!(s.reserve_vnf(NodeId(1), VnfTypeId(1), 1.5).is_err());
+        // failed reservation must not change state
+        assert_eq!(s.vnf_remaining(NodeId(1), VnfTypeId(1)).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn reserve_missing_vnf_fails() {
+        let g = net();
+        let mut s = NetworkState::new(&g);
+        assert!(matches!(
+            s.reserve_vnf(NodeId(2), VnfTypeId(0), 1.0),
+            Err(NetError::VnfNotDeployed { .. })
+        ));
+        assert!(!s.vnf_fits(NodeId(2), VnfTypeId(0), 1.0));
+    }
+
+    #[test]
+    fn reserve_and_exhaust_link() {
+        let g = net();
+        let mut s = NetworkState::new(&g);
+        s.reserve_link(LinkId(0), 2.0).unwrap();
+        assert!(!s.link_fits(LinkId(0), 0.1));
+        assert!(s.reserve_link(LinkId(0), 0.1).is_err());
+        assert_eq!(s.link_remaining(LinkId(0)).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn checkpoint_rollback_restores_everything() {
+        let g = net();
+        let mut s = NetworkState::new(&g);
+        s.reserve_vnf(NodeId(0), VnfTypeId(0), 1.0).unwrap();
+        let cp = s.checkpoint();
+        s.reserve_vnf(NodeId(1), VnfTypeId(0), 2.0).unwrap();
+        s.reserve_link(LinkId(1), 1.5).unwrap();
+        s.rollback(cp);
+        assert_eq!(s.vnf_remaining(NodeId(0), VnfTypeId(0)).unwrap(), 2.0);
+        assert_eq!(s.vnf_remaining(NodeId(1), VnfTypeId(0)).unwrap(), 3.0);
+        assert_eq!(s.link_remaining(LinkId(1)).unwrap(), 2.0);
+        assert_eq!(s.reservation_count(), 1);
+    }
+
+    #[test]
+    fn reserve_path_is_atomic() {
+        let g = net();
+        let mut s = NetworkState::new(&g);
+        // Drain the second link so the path reservation must fail midway.
+        s.reserve_link(LinkId(1), 2.0).unwrap();
+        let before = s.link_remaining(LinkId(0)).unwrap();
+        let p = Path::from_nodes(&g, vec![NodeId(0), NodeId(1), NodeId(2)]).unwrap();
+        assert!(s.reserve_path(&p, 1.0).is_err());
+        assert_eq!(s.link_remaining(LinkId(0)).unwrap(), before);
+    }
+
+    #[test]
+    fn reserve_path_success() {
+        let g = net();
+        let mut s = NetworkState::new(&g);
+        let p = Path::from_nodes(&g, vec![NodeId(0), NodeId(1), NodeId(2)]).unwrap();
+        s.reserve_path(&p, 1.5).unwrap();
+        assert_eq!(s.link_remaining(LinkId(0)).unwrap(), 0.5);
+        assert_eq!(s.link_remaining(LinkId(1)).unwrap(), 0.5);
+        assert!((s.total_link_load() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "future")]
+    fn rollback_to_future_panics() {
+        let g = net();
+        let mut s = NetworkState::new(&g);
+        s.reserve_link(LinkId(0), 1.0).unwrap();
+        let cp = s.checkpoint();
+        s.rollback(Checkpoint(0));
+        s.rollback(cp); // cp now points past the truncated log
+    }
+
+    #[test]
+    fn release_restores_capacity() {
+        let g = net();
+        let mut s = NetworkState::new(&g);
+        s.reserve_vnf(NodeId(0), VnfTypeId(0), 2.0).unwrap();
+        s.reserve_link(LinkId(0), 1.5).unwrap();
+        s.release_vnf(NodeId(0), VnfTypeId(0), 2.0).unwrap();
+        s.release_link(LinkId(0), 1.5).unwrap();
+        assert_eq!(s.vnf_remaining(NodeId(0), VnfTypeId(0)).unwrap(), 3.0);
+        assert_eq!(s.link_remaining(LinkId(0)).unwrap(), 2.0);
+    }
+
+    #[test]
+    fn double_release_rejected() {
+        let g = net();
+        let mut s = NetworkState::new(&g);
+        s.reserve_vnf(NodeId(0), VnfTypeId(0), 1.0).unwrap();
+        s.release_vnf(NodeId(0), VnfTypeId(0), 1.0).unwrap();
+        assert!(s.release_vnf(NodeId(0), VnfTypeId(0), 0.5).is_err());
+        assert!(s.release_link(LinkId(0), 0.1).is_err());
+    }
+
+    #[test]
+    fn rollback_undoes_releases_too() {
+        let g = net();
+        let mut s = NetworkState::new(&g);
+        s.reserve_link(LinkId(0), 2.0).unwrap();
+        let cp = s.checkpoint();
+        s.release_link(LinkId(0), 1.0).unwrap();
+        assert_eq!(s.link_remaining(LinkId(0)).unwrap(), 1.0);
+        s.rollback(cp);
+        assert_eq!(s.link_remaining(LinkId(0)).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn residual_network_reflects_reservations() {
+        let g = net();
+        let mut s = NetworkState::new(&g);
+        s.reserve_vnf(NodeId(0), VnfTypeId(0), 1.0).unwrap();
+        s.reserve_link(LinkId(1), 0.5).unwrap();
+        let reduced = s.to_residual_network();
+        assert_eq!(
+            reduced.instance(NodeId(0), VnfTypeId(0)).unwrap().capacity,
+            2.0
+        );
+        assert_eq!(reduced.link(LinkId(1)).capacity, 1.5);
+        // Untouched resources keep full capacity; prices unchanged.
+        assert_eq!(reduced.link(LinkId(0)).capacity, 2.0);
+        assert_eq!(reduced.link(LinkId(0)).price, g.link(LinkId(0)).price);
+        assert_eq!(reduced.node_count(), g.node_count());
+    }
+
+    #[test]
+    fn trivial_path_reservation_is_noop() {
+        let g = net();
+        let mut s = NetworkState::new(&g);
+        s.reserve_path(&Path::trivial(NodeId(0)), 5.0).unwrap();
+        assert_eq!(s.reservation_count(), 0);
+    }
+}

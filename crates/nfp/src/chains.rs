@@ -1,0 +1,171 @@
+//! A library of canned enterprise service chains.
+//!
+//! NFP's measurement study and the DAG-SFC paper both motivate hybrid
+//! chains with concrete enterprise deployments. These presets (over the
+//! [`crate::catalog::enterprise_catalog`] NF ids) give examples, tests,
+//! and demos realistic chains to transform and embed without hand-
+//! picking NF indices.
+
+use crate::catalog::{enterprise_catalog, find, NfSpec};
+use crate::dependency::DependencyMatrix;
+use crate::transform::{to_hybrid, HybridChain, TransformOptions};
+
+/// A named service chain preset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChainPreset {
+    /// Preset name.
+    pub name: &'static str,
+    /// What the chain is for.
+    pub description: &'static str,
+    /// NF names, in traversal order (all present in the enterprise
+    /// catalog).
+    pub nfs: &'static [&'static str],
+}
+
+/// The preset library.
+pub const PRESETS: &[ChainPreset] = &[
+    ChainPreset {
+        name: "web-ingress",
+        description: "North-south ingress for a web tier",
+        nfs: &["firewall", "ids", "dpi", "load_balancer"],
+    },
+    ChainPreset {
+        name: "security-stack",
+        description: "Full inspection stack for regulated traffic",
+        nfs: &["firewall", "ips", "dpi", "monitor"],
+    },
+    ChainPreset {
+        name: "branch-office",
+        description: "Branch-to-HQ with WAN optimization and VPN",
+        nfs: &["firewall", "qos_marker", "wan_optimizer", "vpn"],
+    },
+    ChainPreset {
+        name: "nat-egress",
+        description: "Outbound NAT with policing and accounting",
+        nfs: &["policer", "nat", "monitor"],
+    },
+    ChainPreset {
+        name: "proxy-front",
+        description: "Terminating proxy behind an inspection layer",
+        nfs: &["firewall", "ids", "proxy", "load_balancer"],
+    },
+    ChainPreset {
+        name: "full-gauntlet",
+        description: "Everything a paranoid enterprise deploys inline",
+        nfs: &["policer", "firewall", "ids", "ips", "dpi", "nat", "qos_marker"],
+    },
+];
+
+/// Looks up a preset by name.
+pub fn preset(name: &str) -> Option<&'static ChainPreset> {
+    PRESETS.iter().find(|p| p.name == name)
+}
+
+/// Resolves a preset's NF names to catalog indices.
+///
+/// # Panics
+/// Panics if a preset references an NF missing from `catalog` — the
+/// built-in presets over the built-in catalog never do.
+pub fn resolve(preset: &ChainPreset, catalog: &[NfSpec]) -> Vec<usize> {
+    preset
+        .nfs
+        .iter()
+        .map(|n| {
+            find(catalog, n)
+                .unwrap_or_else(|| panic!("preset NF '{n}' missing from catalog"))
+                .0
+        })
+        .collect()
+}
+
+/// Convenience: resolve and transform a preset into its hybrid form over
+/// the built-in catalog.
+pub fn hybrid_preset(name: &str, opts: TransformOptions) -> Option<HybridChain> {
+    let p = preset(name)?;
+    let catalog = enterprise_catalog();
+    let deps = DependencyMatrix::analyze(&catalog);
+    Some(to_hybrid(&resolve(p, &catalog), &deps, opts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_presets_resolve() {
+        let catalog = enterprise_catalog();
+        for p in PRESETS {
+            let ids = resolve(p, &catalog);
+            assert_eq!(ids.len(), p.nfs.len(), "{}", p.name);
+            assert!(!p.description.is_empty());
+        }
+    }
+
+    #[test]
+    fn preset_lookup() {
+        assert!(preset("web-ingress").is_some());
+        assert!(preset("quantum-mesh").is_none());
+    }
+
+    #[test]
+    fn names_unique() {
+        let mut names: Vec<_> = PRESETS.iter().map(|p| p.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), PRESETS.len());
+    }
+
+    #[test]
+    fn every_preset_transforms() {
+        for p in PRESETS {
+            let h = hybrid_preset(p.name, TransformOptions::default()).unwrap();
+            assert_eq!(h.nf_count(), p.nfs.len(), "{}", p.name);
+            assert!(h.depth() >= 1);
+            assert!(h.depth() <= p.nfs.len());
+        }
+    }
+
+    #[test]
+    fn web_ingress_parallelizes_inspection() {
+        // firewall ∥ ids ∥ dpi collapse; the load balancer writes the
+        // destination the firewall reads, so it stays behind them.
+        let h = hybrid_preset("web-ingress", TransformOptions::default()).unwrap();
+        assert_eq!(h.depth(), 2);
+        assert_eq!(h.layers()[0].len(), 3);
+        assert_eq!(h.layers()[1].len(), 1);
+    }
+
+    #[test]
+    fn proxy_front_cannot_parallelize_across_proxy() {
+        let h = hybrid_preset("proxy-front", TransformOptions::default()).unwrap();
+        // proxy terminates connections: it sits alone in its layer.
+        let catalog = enterprise_catalog();
+        let proxy_id = find(&catalog, "proxy").unwrap().0;
+        let proxy_layer = h
+            .layers()
+            .iter()
+            .find(|l| l.contains(&proxy_id))
+            .expect("proxy embedded");
+        assert_eq!(proxy_layer.len(), 1);
+    }
+
+    #[test]
+    fn full_gauntlet_compresses_significantly() {
+        let h = hybrid_preset("full-gauntlet", TransformOptions::default()).unwrap();
+        assert!(
+            h.depth() <= 4,
+            "expected ≥ 3 stages of parallelism, got depth {}",
+            h.depth()
+        );
+    }
+
+    #[test]
+    fn width_cap_applies_to_presets() {
+        let capped = hybrid_preset(
+            "full-gauntlet",
+            TransformOptions { max_width: Some(2) },
+        )
+        .unwrap();
+        assert!(capped.max_width() <= 2);
+    }
+}

@@ -1,0 +1,231 @@
+//! Packet fields and compact field sets.
+//!
+//! Parallelizability of two network functions is decided from which packet
+//! fields each one reads and writes (NFP, SIGCOMM'17; ParaBox, SOSR'17).
+//! `FieldSet` is a tiny bitset over [`PacketField`] so profile algebra is
+//! branch-free.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{BitAnd, BitOr, Not};
+
+/// A packet field (or field group) a network function may read or write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u16)]
+pub enum PacketField {
+    /// Source IP address.
+    SrcIp = 0,
+    /// Destination IP address.
+    DstIp = 1,
+    /// Source transport port.
+    SrcPort = 2,
+    /// Destination transport port.
+    DstPort = 3,
+    /// Transport protocol field.
+    Protocol = 4,
+    /// IP TTL / hop limit.
+    Ttl = 5,
+    /// DSCP / ToS byte.
+    Tos = 6,
+    /// TCP flags and sequence numbers.
+    TcpState = 7,
+    /// Application payload.
+    Payload = 8,
+    /// Total length (changes when payload is rewritten or encapsulated).
+    Length = 9,
+}
+
+impl PacketField {
+    /// All fields, in discriminant order.
+    pub const ALL: [PacketField; 10] = [
+        PacketField::SrcIp,
+        PacketField::DstIp,
+        PacketField::SrcPort,
+        PacketField::DstPort,
+        PacketField::Protocol,
+        PacketField::Ttl,
+        PacketField::Tos,
+        PacketField::TcpState,
+        PacketField::Payload,
+        PacketField::Length,
+    ];
+
+    #[inline]
+    fn bit(self) -> u16 {
+        1 << (self as u16)
+    }
+}
+
+/// A set of packet fields, stored as a bitmask.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct FieldSet(u16);
+
+impl FieldSet {
+    /// The empty set.
+    pub const EMPTY: FieldSet = FieldSet(0);
+    /// Every field (a function that rewrites or encapsulates the whole
+    /// packet, e.g. a VPN gateway or terminating proxy).
+    pub const ALL: FieldSet = FieldSet((1 << PacketField::ALL.len() as u16) - 1);
+    /// The five-tuple header fields.
+    pub const FIVE_TUPLE: FieldSet = FieldSet(
+        (1 << PacketField::SrcIp as u16)
+            | (1 << PacketField::DstIp as u16)
+            | (1 << PacketField::SrcPort as u16)
+            | (1 << PacketField::DstPort as u16)
+            | (1 << PacketField::Protocol as u16),
+    );
+
+    /// Builds a set from a list of fields.
+    pub fn of(fields: &[PacketField]) -> Self {
+        let mut s = 0u16;
+        for f in fields {
+            s |= f.bit();
+        }
+        FieldSet(s)
+    }
+
+    /// Whether the set contains `field`.
+    #[inline]
+    pub fn contains(self, field: PacketField) -> bool {
+        self.0 & field.bit() != 0
+    }
+
+    /// Whether this set shares any field with `other`.
+    #[inline]
+    pub fn intersects(self, other: FieldSet) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of fields in the set.
+    #[inline]
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Iterates the contained fields in discriminant order.
+    pub fn iter(self) -> impl Iterator<Item = PacketField> {
+        PacketField::ALL.into_iter().filter(move |f| self.contains(*f))
+    }
+}
+
+impl BitOr for FieldSet {
+    type Output = FieldSet;
+    #[inline]
+    fn bitor(self, rhs: FieldSet) -> FieldSet {
+        FieldSet(self.0 | rhs.0)
+    }
+}
+
+impl BitAnd for FieldSet {
+    type Output = FieldSet;
+    #[inline]
+    fn bitand(self, rhs: FieldSet) -> FieldSet {
+        FieldSet(self.0 & rhs.0)
+    }
+}
+
+impl Not for FieldSet {
+    type Output = FieldSet;
+    #[inline]
+    fn not(self) -> FieldSet {
+        FieldSet(!self.0 & FieldSet::ALL.0)
+    }
+}
+
+impl FromIterator<PacketField> for FieldSet {
+    fn from_iter<I: IntoIterator<Item = PacketField>>(iter: I) -> Self {
+        let mut s = FieldSet::EMPTY;
+        for f in iter {
+            s = s | FieldSet::of(&[f]);
+        }
+        s
+    }
+}
+
+impl fmt::Display for FieldSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, field) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{field:?}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn of_and_contains() {
+        let s = FieldSet::of(&[PacketField::SrcIp, PacketField::Payload]);
+        assert!(s.contains(PacketField::SrcIp));
+        assert!(s.contains(PacketField::Payload));
+        assert!(!s.contains(PacketField::DstIp));
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+        assert!(FieldSet::EMPTY.is_empty());
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = FieldSet::of(&[PacketField::SrcIp, PacketField::DstIp]);
+        let b = FieldSet::of(&[PacketField::DstIp, PacketField::Payload]);
+        assert!(a.intersects(b));
+        assert_eq!((a & b), FieldSet::of(&[PacketField::DstIp]));
+        assert_eq!(
+            (a | b),
+            FieldSet::of(&[PacketField::SrcIp, PacketField::DstIp, PacketField::Payload])
+        );
+        let c = FieldSet::of(&[PacketField::Ttl]);
+        assert!(!a.intersects(c));
+    }
+
+    #[test]
+    fn complement_stays_in_universe() {
+        let a = FieldSet::of(&[PacketField::SrcIp]);
+        let na = !a;
+        assert!(!na.contains(PacketField::SrcIp));
+        assert_eq!(na.len(), PacketField::ALL.len() - 1);
+        assert_eq!(!(FieldSet::ALL), FieldSet::EMPTY);
+    }
+
+    #[test]
+    fn five_tuple_constant() {
+        assert_eq!(FieldSet::FIVE_TUPLE.len(), 5);
+        assert!(FieldSet::FIVE_TUPLE.contains(PacketField::Protocol));
+        assert!(!FieldSet::FIVE_TUPLE.contains(PacketField::Payload));
+    }
+
+    #[test]
+    fn iter_roundtrip() {
+        let s = FieldSet::of(&[PacketField::Tos, PacketField::Length, PacketField::SrcPort]);
+        let collected: FieldSet = s.iter().collect();
+        assert_eq!(collected, s);
+        assert_eq!(s.iter().count(), 3);
+    }
+
+    #[test]
+    fn all_covers_every_field() {
+        for f in PacketField::ALL {
+            assert!(FieldSet::ALL.contains(f));
+        }
+        assert_eq!(FieldSet::ALL.len(), PacketField::ALL.len());
+    }
+
+    #[test]
+    fn display_lists_fields() {
+        let s = FieldSet::of(&[PacketField::SrcIp, PacketField::Ttl]);
+        let d = s.to_string();
+        assert!(d.contains("SrcIp") && d.contains("Ttl"));
+    }
+}

@@ -1,0 +1,224 @@
+//! Sequential-chain → hybrid-chain transformation (paper Fig. 2, top to
+//! middle).
+//!
+//! Given a sequential SFC and the pairwise dependency oracle, consecutive
+//! NFs are greedily grouped into *parallel NF sets*: an NF joins the
+//! current set when it is parallelizable with **every** member (order
+//! within a set is then immaterial), otherwise it opens the next layer.
+//! The result is the layered structure the DAG-SFC abstraction
+//! standardizes.
+
+use crate::dependency::DependencyMatrix;
+use serde::{Deserialize, Serialize};
+
+/// The layered (hybrid) form of a chain: each inner vector is a parallel
+/// NF set, layers execute sequentially.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HybridChain {
+    layers: Vec<Vec<usize>>,
+}
+
+impl HybridChain {
+    /// The layers, outermost-sequential order.
+    #[inline]
+    pub fn layers(&self) -> &[Vec<usize>] {
+        &self.layers
+    }
+
+    /// Number of layers (the paper's `ω`).
+    #[inline]
+    pub fn depth(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Widest parallel set (the paper's `φ` bound).
+    pub fn max_width(&self) -> usize {
+        self.layers.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Total number of NFs across all layers.
+    pub fn nf_count(&self) -> usize {
+        self.layers.iter().map(Vec::len).sum()
+    }
+
+    /// Flattens back to a sequential order consistent with the layering.
+    pub fn flatten(&self) -> Vec<usize> {
+        self.layers.iter().flatten().copied().collect()
+    }
+}
+
+/// Options controlling the transformation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct TransformOptions {
+    /// Upper bound on the size of a parallel set. The paper's SFC
+    /// generator caps sets at three VNFs; `None` means unlimited.
+    pub max_width: Option<usize>,
+}
+
+/// Transforms a sequential chain of NF ids into its hybrid layered form.
+///
+/// Correctness invariant: within every produced layer, all *ordered* pairs
+/// (in both directions, since parallel execution has no order) are
+/// parallelizable per `deps`; concatenating the layers preserves the
+/// original relative order of order-dependent NFs.
+///
+/// # Panics
+/// Panics if any NF id is outside the dependency matrix.
+pub fn to_hybrid(chain: &[usize], deps: &DependencyMatrix, opts: TransformOptions) -> HybridChain {
+    let cap = opts.max_width.unwrap_or(usize::MAX).max(1);
+    let mut layers: Vec<Vec<usize>> = Vec::new();
+    for &nf in chain {
+        assert!(nf < deps.len(), "NF id {nf} outside dependency matrix");
+        let fits_last = layers.last().is_some_and(|layer| {
+            layer.len() < cap
+                && layer
+                    .iter()
+                    .all(|&m| deps.parallelizable(m, nf) && deps.parallelizable(nf, m))
+        });
+        if fits_last {
+            layers.last_mut().expect("checked non-empty").push(nf);
+        } else {
+            layers.push(vec![nf]);
+        }
+    }
+    HybridChain { layers }
+}
+
+/// Builds the degenerate hybrid form with one NF per layer (used to
+/// compare sequential embeddings against hybrid ones).
+pub fn sequentialize(chain: &[usize]) -> HybridChain {
+    HybridChain {
+        layers: chain.iter().map(|&nf| vec![nf]).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{enterprise_catalog, find};
+
+    fn ids(names: &[&str]) -> Vec<usize> {
+        let cat = enterprise_catalog();
+        names.iter().map(|n| find(&cat, n).unwrap().0).collect()
+    }
+
+    fn deps() -> DependencyMatrix {
+        DependencyMatrix::analyze(&enterprise_catalog())
+    }
+
+    #[test]
+    fn readers_collapse_into_one_layer() {
+        // firewall, ids, dpi, policer are mutually parallelizable readers.
+        let chain = ids(&["firewall", "ids", "dpi", "policer"]);
+        let h = to_hybrid(&chain, &deps(), TransformOptions::default());
+        assert_eq!(h.depth(), 1);
+        assert_eq!(h.max_width(), 4);
+        assert_eq!(h.nf_count(), 4);
+    }
+
+    #[test]
+    fn proxy_splits_layers() {
+        let chain = ids(&["firewall", "proxy", "ids"]);
+        let h = to_hybrid(&chain, &deps(), TransformOptions::default());
+        assert_eq!(
+            h.layers(),
+            &[vec![chain[0]], vec![chain[1]], vec![chain[2]]]
+        );
+    }
+
+    #[test]
+    fn order_of_dependent_nfs_preserved() {
+        // NAT writes what the firewall reads, so they must stay ordered.
+        let chain = ids(&["nat", "firewall", "monitor"]);
+        let h = to_hybrid(&chain, &deps(), TransformOptions::default());
+        let flat = h.flatten();
+        let pos = |nf: usize| flat.iter().position(|&x| x == nf).unwrap();
+        assert!(pos(chain[0]) < pos(chain[1]));
+        // firewall may drop, monitor counts → separate layers too.
+        assert!(pos(chain[1]) < pos(chain[2]));
+        assert_eq!(h.depth(), 3);
+    }
+
+    #[test]
+    fn width_cap_respected() {
+        let chain = ids(&["firewall", "ids", "dpi", "policer"]);
+        let h = to_hybrid(
+            &chain,
+            &deps(),
+            TransformOptions {
+                max_width: Some(2),
+            },
+        );
+        assert_eq!(h.depth(), 2);
+        assert!(h.max_width() <= 2);
+        assert_eq!(h.flatten(), chain);
+    }
+
+    #[test]
+    fn layers_internally_parallelizable() {
+        let d = deps();
+        let chain = ids(&[
+            "firewall",
+            "ids",
+            "nat",
+            "load_balancer",
+            "dpi",
+            "monitor",
+            "qos_marker",
+        ]);
+        let h = to_hybrid(&chain, &d, TransformOptions::default());
+        for layer in h.layers() {
+            for (i, &a) in layer.iter().enumerate() {
+                for &b in &layer[i + 1..] {
+                    assert!(d.parallelizable(a, b) && d.parallelizable(b, a));
+                }
+            }
+        }
+        // Multiset of NFs preserved.
+        let mut flat = h.flatten();
+        let mut orig = chain.clone();
+        flat.sort_unstable();
+        orig.sort_unstable();
+        assert_eq!(flat, orig);
+    }
+
+    #[test]
+    fn empty_and_singleton_chains() {
+        let d = deps();
+        assert_eq!(to_hybrid(&[], &d, TransformOptions::default()).depth(), 0);
+        let h = to_hybrid(&[3], &d, TransformOptions::default());
+        assert_eq!(h.layers(), &[vec![3]]);
+    }
+
+    #[test]
+    fn sequentialize_is_one_per_layer() {
+        let h = sequentialize(&[4, 2, 7]);
+        assert_eq!(h.depth(), 3);
+        assert_eq!(h.max_width(), 1);
+        assert_eq!(h.flatten(), vec![4, 2, 7]);
+    }
+
+    #[test]
+    fn repeated_nf_kind_allowed() {
+        // Two firewalls in a row: parallelizable with each other.
+        let fw = ids(&["firewall"])[0];
+        let h = to_hybrid(&[fw, fw], &deps(), TransformOptions::default());
+        assert_eq!(h.depth(), 1);
+        assert_eq!(h.max_width(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside dependency matrix")]
+    fn unknown_nf_panics() {
+        to_hybrid(&[999], &deps(), TransformOptions::default());
+    }
+
+    #[test]
+    fn hybrid_never_deeper_than_sequential() {
+        let d = deps();
+        let chain = ids(&["firewall", "ids", "nat", "dpi", "monitor"]);
+        let h = to_hybrid(&chain, &d, TransformOptions::default());
+        assert!(h.depth() <= chain.len());
+        assert_eq!(h.nf_count(), chain.len());
+    }
+}

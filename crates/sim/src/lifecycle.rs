@@ -1,0 +1,269 @@
+//! Request lifecycles: arrivals *and departures* — an extension of the
+//! online simulation ([`crate::online`]) toward a real provisioning
+//! system.
+//!
+//! Requests arrive at unit intervals, hold their resources for an
+//! exponentially distributed number of intervals, then depart and
+//! release exactly what they committed. Under a fixed offered load the
+//! system reaches a steady state whose acceptance ratio measures how
+//! much traffic an embedding algorithm can *sustain*, not just admit
+//! once — the metric cloud operators actually tune for.
+
+use crate::config::SimConfig;
+use crate::runner::{instance_network, instance_request, Algo};
+use dagsfc_net::{LinkId, NetworkState, NodeId, VnfTypeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Configuration of a lifecycle simulation.
+#[derive(Debug, Clone, Serialize)]
+pub struct LifecycleConfig {
+    /// Network/chain/flow parameters (finite capacities make it
+    /// interesting).
+    pub base: SimConfig,
+    /// Number of arrivals (one per time unit).
+    pub arrivals: usize,
+    /// Mean holding time in arrival intervals (exponential).
+    pub mean_holding: f64,
+    /// The embedding algorithm under test.
+    pub algo: Algo,
+}
+
+/// Aggregate outcome of a lifecycle simulation.
+#[derive(Debug, Clone, Serialize)]
+pub struct LifecycleMetrics {
+    /// Algorithm name.
+    pub algo: &'static str,
+    /// Requests embedded successfully.
+    pub accepted: usize,
+    /// Requests rejected.
+    pub rejected: usize,
+    /// Mean embedding cost over accepted requests.
+    pub mean_cost: f64,
+    /// Largest number of concurrently embedded requests.
+    pub peak_concurrent: usize,
+    /// Time-averaged number of concurrently embedded requests.
+    pub mean_concurrent: f64,
+    /// Residual committed load after every request departed — a leak
+    /// detector; must be ~0.
+    pub final_leak: f64,
+}
+
+impl LifecycleMetrics {
+    /// Accepted / offered.
+    pub fn acceptance_ratio(&self) -> f64 {
+        let total = self.accepted + self.rejected;
+        if total == 0 {
+            0.0
+        } else {
+            self.accepted as f64 / total as f64
+        }
+    }
+}
+
+/// The resources one accepted request committed.
+struct Commitment {
+    vnf: Vec<(NodeId, VnfTypeId, f64)>,
+    links: Vec<(LinkId, f64)>,
+}
+
+/// Runs the lifecycle simulation.
+pub fn run_lifecycle(cfg: &LifecycleConfig) -> LifecycleMetrics {
+    let net = instance_network(&cfg.base);
+    let mut state = NetworkState::new(&net);
+    // Departure queue: (Reverse(time in fixed-point µ-intervals), id).
+    let mut departures: BinaryHeap<(Reverse<u64>, usize)> = BinaryHeap::new();
+    let mut commitments: Vec<Option<Commitment>> = Vec::new();
+
+    let mut accepted = 0usize;
+    let mut rejected = 0usize;
+    let mut total_cost = 0.0;
+    let mut concurrent = 0usize;
+    let mut peak = 0usize;
+    let mut concurrent_integral = 0.0;
+
+    let mut holding_rng = StdRng::seed_from_u64(cfg.base.seed ^ 0x11FE_C7C1E);
+    let to_fixed = |t: f64| (t * 1_000_000.0) as u64;
+
+    for arrival in 0..cfg.arrivals {
+        let now = arrival as f64;
+        // Process departures due before this arrival.
+        while let Some(&(Reverse(t), id)) = departures.peek() {
+            if t > to_fixed(now) {
+                break;
+            }
+            departures.pop();
+            let c = commitments[id].take().expect("departs once");
+            for (node, kind, rate) in c.vnf {
+                state.release_vnf(node, kind, rate).expect("release matches reserve");
+            }
+            for (link, rate) in c.links {
+                state.release_link(link, rate).expect("release matches reserve");
+            }
+            concurrent -= 1;
+        }
+        concurrent_integral += concurrent as f64;
+
+        let (sfc, flow) = instance_request(&cfg.base, &net, arrival);
+        let residual = state.to_residual_network();
+        let solver = cfg.algo.build(cfg.base.seed ^ (arrival as u64) << 1);
+        match solver.solve(&residual, &sfc, &flow) {
+            Ok(out) => {
+                let acct = out.embedding.account(&residual, &sfc, &flow);
+                let mut commitment = Commitment {
+                    vnf: Vec::new(),
+                    links: Vec::new(),
+                };
+                for (&(node, kind), &load) in &acct.vnf_load {
+                    state
+                        .reserve_vnf(node, kind, load)
+                        .expect("solver respected residual capacity");
+                    commitment.vnf.push((node, kind, load));
+                }
+                for (i, &load) in acct.link_load.iter().enumerate() {
+                    if load > 0.0 {
+                        let link = LinkId(i as u32);
+                        state
+                            .reserve_link(link, load)
+                            .expect("solver respected residual bandwidth");
+                        commitment.links.push((link, load));
+                    }
+                }
+                let id = commitments.len();
+                commitments.push(Some(commitment));
+                // Exponential holding: -mean · ln(U), with a floor of one
+                // interval so every request occupies at least one slot.
+                let u: f64 = holding_rng.gen_range(1e-12..1.0);
+                let holding = (-cfg.mean_holding * u.ln()).max(1.0);
+                departures.push((Reverse(to_fixed(now + holding)), id));
+                concurrent += 1;
+                peak = peak.max(concurrent);
+                accepted += 1;
+                total_cost += out.cost.total();
+            }
+            Err(_) => rejected += 1,
+        }
+    }
+
+    // Drain all remaining departures to measure leakage.
+    while let Some((_, id)) = departures.pop() {
+        let c = commitments[id].take().expect("departs once");
+        for (node, kind, rate) in c.vnf {
+            state.release_vnf(node, kind, rate).expect("release matches reserve");
+        }
+        for (link, rate) in c.links {
+            state.release_link(link, rate).expect("release matches reserve");
+        }
+    }
+
+    LifecycleMetrics {
+        algo: cfg.algo.name(),
+        accepted,
+        rejected,
+        mean_cost: if accepted == 0 {
+            0.0
+        } else {
+            total_cost / accepted as f64
+        },
+        peak_concurrent: peak,
+        mean_concurrent: if cfg.arrivals == 0 {
+            0.0
+        } else {
+            concurrent_integral / cfg.arrivals as f64
+        },
+        final_leak: state.total_link_load() + state.total_vnf_load(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> SimConfig {
+        SimConfig {
+            network_size: 30,
+            sfc_size: 4,
+            vnf_capacity: 6.0,
+            link_capacity: 6.0,
+            seed: 0xBEEF,
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn no_resource_leaks() {
+        let m = run_lifecycle(&LifecycleConfig {
+            base: base(),
+            arrivals: 60,
+            mean_holding: 8.0,
+            algo: Algo::Mbbe,
+        });
+        assert!(m.final_leak.abs() < 1e-6, "leaked {}", m.final_leak);
+        assert_eq!(m.accepted + m.rejected, 60);
+        assert!(m.peak_concurrent >= 1);
+        assert!(m.mean_concurrent > 0.0);
+        assert!(m.peak_concurrent as f64 >= m.mean_concurrent);
+    }
+
+    #[test]
+    fn departures_raise_acceptance() {
+        // Same offered sequence: short holding times free capacity and
+        // must admit at least as many requests as near-infinite ones.
+        let short = run_lifecycle(&LifecycleConfig {
+            base: base(),
+            arrivals: 80,
+            mean_holding: 3.0,
+            algo: Algo::Mbbe,
+        });
+        let long = run_lifecycle(&LifecycleConfig {
+            base: base(),
+            arrivals: 80,
+            mean_holding: 1e9,
+            algo: Algo::Mbbe,
+        });
+        assert!(
+            short.accepted >= long.accepted,
+            "short-holding accepted {} < long-holding {}",
+            short.accepted,
+            long.accepted
+        );
+        assert!(long.rejected > 0, "infinite holding must saturate");
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = LifecycleConfig {
+            base: base(),
+            arrivals: 40,
+            mean_holding: 5.0,
+            algo: Algo::Minv,
+        };
+        let a = run_lifecycle(&cfg);
+        let b = run_lifecycle(&cfg);
+        assert_eq!(a.accepted, b.accepted);
+        assert_eq!(a.peak_concurrent, b.peak_concurrent);
+        assert!((a.mean_cost - b.mean_cost).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matches_online_when_nothing_departs() {
+        // With effectively infinite holding, lifecycle == online.
+        let b = base();
+        let lc = run_lifecycle(&LifecycleConfig {
+            base: b.clone(),
+            arrivals: 50,
+            mean_holding: 1e9,
+            algo: Algo::Minv,
+        });
+        let ol = crate::online::run_online(&crate::online::OnlineConfig {
+            base: b,
+            requests: 50,
+            algo: Algo::Minv,
+        });
+        assert_eq!(lc.accepted, ol.accepted);
+        assert_eq!(lc.rejected, ol.rejected);
+    }
+}

@@ -1,0 +1,229 @@
+//! Rendering sweep results as ASCII tables and CSV.
+//!
+//! The tables mirror the series of the paper's figures: one row per
+//! x-point, one column per algorithm (mean embedding cost over the
+//! successful runs), plus success counts so baseline failures — which
+//! the paper remarks on — stay visible.
+
+use crate::sweep::SweepResult;
+use std::fmt::Write as _;
+
+/// Algorithm column order used by all reports.
+pub const ALGO_ORDER: [&str; 7] = ["MBBE", "MBBE-ST", "BBE", "GRASP", "MINV", "RANV", "EXACT"];
+
+fn present_algos(result: &SweepResult) -> Vec<&'static str> {
+    ALGO_ORDER
+        .into_iter()
+        .filter(|name| {
+            result
+                .points
+                .iter()
+                .any(|p| p.algos.iter().any(|a| a.name == *name))
+        })
+        .collect()
+}
+
+/// Renders a sweep as a fixed-width ASCII table of mean costs.
+pub fn ascii_table(result: &SweepResult) -> String {
+    let algos = present_algos(result);
+    let mut out = String::new();
+    writeln!(out, "== {} — mean embedding cost vs {} ==", result.id, result.x_label)
+        .expect("string write");
+    write!(out, "{:>12}", result.x_label_short()).expect("string write");
+    for a in &algos {
+        write!(out, "{a:>12}").expect("string write");
+    }
+    writeln!(out).expect("string write");
+    for p in &result.points {
+        write!(out, "{:>12}", trim_float(p.x)).expect("string write");
+        for a in &algos {
+            match p.mean_cost(a) {
+                Some(c) => write!(out, "{c:>12.3}").expect("string write"),
+                None => write!(out, "{:>12}", "-").expect("string write"),
+            }
+        }
+        writeln!(out).expect("string write");
+    }
+    out
+}
+
+/// Renders a sweep as CSV: `x,<algo>_mean,<algo>_ok,...` per point.
+pub fn csv(result: &SweepResult) -> String {
+    let algos = present_algos(result);
+    let mut out = String::from("x");
+    for a in &algos {
+        write!(out, ",{}_mean_cost,{}_successes", a.to_lowercase(), a.to_lowercase())
+            .expect("string write");
+    }
+    out.push('\n');
+    for p in &result.points {
+        write!(out, "{}", trim_float(p.x)).expect("string write");
+        for a in &algos {
+            let entry = p.algos.iter().find(|r| r.name == *a);
+            match entry {
+                Some(r) if r.successes > 0 => {
+                    write!(out, ",{:.6},{}", r.cost.mean, r.successes).expect("string write")
+                }
+                Some(r) => write!(out, ",,{}", r.successes).expect("string write"),
+                None => out.push_str(",,"),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a sweep as a GitHub-flavored markdown table (the format used
+/// by EXPERIMENTS.md).
+pub fn markdown(result: &SweepResult) -> String {
+    let algos = present_algos(result);
+    let mut out = String::new();
+    write!(out, "| {} |", result.x_label).expect("string write");
+    for a in &algos {
+        write!(out, " {a} |").expect("string write");
+    }
+    out.push('\n');
+    write!(out, "|---:|").expect("string write");
+    for _ in &algos {
+        out.push_str("---:|");
+    }
+    out.push('\n');
+    for p in &result.points {
+        write!(out, "| {} |", trim_float(p.x)).expect("string write");
+        for a in &algos {
+            match p.mean_cost(a) {
+                Some(c) => write!(out, " {c:.2} |").expect("string write"),
+                None => out.push_str(" — |"),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders the runtime view: mean solve time (µs) per algorithm.
+pub fn runtime_table(result: &SweepResult) -> String {
+    let algos = present_algos(result);
+    let mut out = String::new();
+    writeln!(
+        out,
+        "== {} — mean solve time (µs) vs {} ==",
+        result.id, result.x_label
+    )
+    .expect("string write");
+    write!(out, "{:>12}", result.x_label_short()).expect("string write");
+    for a in &algos {
+        write!(out, "{a:>12}").expect("string write");
+    }
+    writeln!(out).expect("string write");
+    for p in &result.points {
+        write!(out, "{:>12}", trim_float(p.x)).expect("string write");
+        for a in &algos {
+            match p.algos.iter().find(|r| r.name == *a) {
+                Some(r) => write!(out, "{:>12.1}", r.mean_elapsed.as_secs_f64() * 1e6)
+                    .expect("string write"),
+                None => write!(out, "{:>12}", "-").expect("string write"),
+            }
+        }
+        writeln!(out).expect("string write");
+    }
+    out
+}
+
+impl SweepResult {
+    fn x_label_short(&self) -> &'static str {
+        match self.id {
+            "fig6a" | "runtime" => "sfc_size",
+            "fig6b" => "nodes",
+            "fig6c" => "degree",
+            "fig6d" => "deploy",
+            "fig6e" => "ratio",
+            "fig6f" => "fluct",
+            _ => "x",
+        }
+    }
+}
+
+fn trim_float(x: f64) -> String {
+    if (x - x.round()).abs() < 1e-9 {
+        format!("{}", x.round() as i64)
+    } else {
+        format!("{x}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use crate::runner::Algo;
+    use crate::sweep::sweep;
+
+    fn tiny_sweep() -> SweepResult {
+        let base = SimConfig {
+            network_size: 25,
+            runs: 3,
+            sfc_size: 3,
+            ..SimConfig::default()
+        };
+        sweep(
+            "fig6a",
+            "SFC size",
+            &base,
+            &[2.0, 3.0],
+            |cfg, x| cfg.sfc_size = x as usize,
+            |_| vec![Algo::Mbbe, Algo::Minv],
+        )
+    }
+
+    #[test]
+    fn ascii_table_contains_all_points_and_algos() {
+        let r = tiny_sweep();
+        let t = ascii_table(&r);
+        assert!(t.contains("fig6a"));
+        let header: Vec<&str> = t.lines().nth(1).unwrap().split_whitespace().collect();
+        assert!(header.contains(&"MBBE"));
+        assert!(header.contains(&"MINV"));
+        assert!(!header.contains(&"BBE"), "absent algorithms must not appear");
+        assert_eq!(t.lines().count(), 2 + r.points.len());
+    }
+
+    #[test]
+    fn csv_shape() {
+        let r = tiny_sweep();
+        let c = csv(&r);
+        let mut lines = c.lines();
+        let header = lines.next().unwrap();
+        assert_eq!(header, "x,mbbe_mean_cost,mbbe_successes,minv_mean_cost,minv_successes");
+        for line in lines {
+            assert_eq!(line.split(',').count(), 5);
+        }
+    }
+
+    #[test]
+    fn markdown_table_shape() {
+        let r = tiny_sweep();
+        let md = markdown(&r);
+        let lines: Vec<&str> = md.lines().collect();
+        assert_eq!(lines.len(), 2 + r.points.len());
+        assert!(lines[0].starts_with("| SFC size |"));
+        assert!(lines[1].starts_with("|---:|"));
+        for l in &lines[2..] {
+            assert_eq!(l.matches('|').count(), 4); // x + 2 algos + borders
+        }
+    }
+
+    #[test]
+    fn runtime_table_reports_microseconds() {
+        let r = tiny_sweep();
+        let t = runtime_table(&r);
+        assert!(t.contains("solve time"));
+        assert!(t.lines().count() >= 3);
+    }
+
+    #[test]
+    fn float_trimming() {
+        assert_eq!(trim_float(5.0), "5");
+        assert_eq!(trim_float(0.25), "0.25");
+    }
+}

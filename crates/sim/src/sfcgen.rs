@@ -1,0 +1,178 @@
+//! The paper's random SFC generator (§5.1).
+//!
+//! "It generates SFC by a specific rule in which every three VNFs can be
+//! assigned in the same layer … each SFC is generated using different VNF
+//! sets. This means the SFC generator generates SFCs with similar
+//! structures but different VNFs on corresponding positions."
+//!
+//! Concretely: an SFC of size `s` has the fixed layer shape
+//! `[w, w, …, r]` with `w = max_layer_width` (3 in the paper) and a final
+//! remainder layer, and each run draws a fresh set of *distinct* VNF
+//! kinds placed onto that shape.
+
+use crate::config::SimConfig;
+use dagsfc_core::{DagSfc, Flow, Layer};
+use dagsfc_net::{Network, NodeId, VnfTypeId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// The deterministic layer widths of a size-`size` SFC under the paper's
+/// "every three VNFs share a layer" rule.
+pub fn layer_shape(size: usize, max_width: usize) -> Vec<usize> {
+    assert!(size > 0, "SFC size must be positive");
+    assert!(max_width > 0, "layer width must be positive");
+    let mut shape = Vec::with_capacity(size.div_ceil(max_width));
+    let mut left = size;
+    while left > 0 {
+        let w = left.min(max_width);
+        shape.push(w);
+        left -= w;
+    }
+    shape
+}
+
+/// Draws a random DAG-SFC of `cfg.sfc_size` distinct VNF kinds on the
+/// fixed layer shape.
+///
+/// # Panics
+/// Panics if the SFC size exceeds the number of available kinds (the
+/// paper's "different VNF sets" rule requires distinct kinds).
+pub fn random_sfc<R: Rng + ?Sized>(cfg: &SimConfig, rng: &mut R) -> DagSfc {
+    random_sfc_of_size(cfg, cfg.sfc_size, rng)
+}
+
+/// Same as [`random_sfc`] with an explicit size (used by the SFC-size
+/// sweep).
+pub fn random_sfc_of_size<R: Rng + ?Sized>(
+    cfg: &SimConfig,
+    size: usize,
+    rng: &mut R,
+) -> DagSfc {
+    assert!(
+        size <= cfg.vnf_kinds,
+        "SFC size {size} exceeds available kinds {}",
+        cfg.vnf_kinds
+    );
+    let mut kinds: Vec<VnfTypeId> = (0..cfg.vnf_kinds as u16).map(VnfTypeId).collect();
+    kinds.shuffle(rng);
+    kinds.truncate(size);
+    let mut layers = Vec::new();
+    let mut it = kinds.into_iter();
+    for width in layer_shape(size, cfg.max_layer_width) {
+        layers.push(Layer::new((&mut it).take(width).collect()));
+    }
+    DagSfc::new(layers, cfg.catalog()).expect("generated chain is valid")
+}
+
+/// Draws a random source–destination flow over `net` (distinct endpoints
+/// whenever the network has more than one node).
+pub fn random_flow<R: Rng + ?Sized>(cfg: &SimConfig, net: &Network, rng: &mut R) -> Flow {
+    let n = net.node_count() as u32;
+    let src = NodeId(rng.gen_range(0..n));
+    let dst = if n == 1 {
+        src
+    } else {
+        loop {
+            let d = NodeId(rng.gen_range(0..n));
+            if d != src {
+                break d;
+            }
+        }
+    };
+    Flow {
+        src,
+        dst,
+        rate: cfg.rate,
+        size: cfg.flow_size,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shapes_follow_rule_of_three() {
+        assert_eq!(layer_shape(1, 3), vec![1]);
+        assert_eq!(layer_shape(3, 3), vec![3]);
+        assert_eq!(layer_shape(5, 3), vec![3, 2]);
+        assert_eq!(layer_shape(9, 3), vec![3, 3, 3]);
+        assert_eq!(layer_shape(7, 3), vec![3, 3, 1]);
+        assert_eq!(layer_shape(4, 2), vec![2, 2]);
+    }
+
+    #[test]
+    fn sfc_has_distinct_kinds_and_right_shape() {
+        let cfg = SimConfig::default();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..20 {
+            let sfc = random_sfc(&cfg, &mut rng);
+            assert_eq!(sfc.size(), 5);
+            let widths: Vec<usize> = sfc.layers().iter().map(|l| l.width()).collect();
+            assert_eq!(widths, vec![3, 2]);
+            let mut kinds: Vec<_> = sfc
+                .layers()
+                .iter()
+                .flat_map(|l| l.vnfs().iter().copied())
+                .collect();
+            kinds.sort_unstable();
+            kinds.dedup();
+            assert_eq!(kinds.len(), 5, "kinds must be distinct");
+        }
+    }
+
+    #[test]
+    fn same_structure_different_kinds_across_runs() {
+        let cfg = SimConfig::default();
+        let mut rng = StdRng::seed_from_u64(4);
+        let a = random_sfc(&cfg, &mut rng);
+        let b = random_sfc(&cfg, &mut rng);
+        let shape =
+            |s: &DagSfc| s.layers().iter().map(|l| l.width()).collect::<Vec<_>>();
+        assert_eq!(shape(&a), shape(&b));
+        assert_ne!(a, b, "kind sets should differ with overwhelming probability");
+    }
+
+    #[test]
+    fn determinism_under_seed() {
+        let cfg = SimConfig::default();
+        let a = random_sfc(&cfg, &mut StdRng::seed_from_u64(9));
+        let b = random_sfc(&cfg, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn explicit_size_overrides_config() {
+        let cfg = SimConfig::default();
+        let mut rng = StdRng::seed_from_u64(5);
+        let sfc = random_sfc_of_size(&cfg, 9, &mut rng);
+        assert_eq!(sfc.size(), 9);
+        assert_eq!(sfc.depth(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds available kinds")]
+    fn oversize_chain_panics() {
+        let cfg = SimConfig::default();
+        random_sfc_of_size(&cfg, 99, &mut StdRng::seed_from_u64(0));
+    }
+
+    #[test]
+    fn random_flow_endpoints_distinct() {
+        let cfg = SimConfig::quick();
+        let net = dagsfc_net::generator::generate(
+            &cfg.net_gen(),
+            &mut StdRng::seed_from_u64(1),
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..50 {
+            let f = random_flow(&cfg, &net, &mut rng);
+            assert_ne!(f.src, f.dst);
+            assert!(f.src.index() < net.node_count());
+            assert_eq!(f.rate, 1.0);
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Fig. 6(c): impact of the network connectivity.
+//!
+//! "We gradually change the average connectivity from 2 to 14 while
+//! other configurations are kept the same."
+
+use super::{paper_algos, sweep, SweepResult};
+use crate::config::SimConfig;
+
+/// The paper's x grid: average node degrees 2..=14.
+pub const CONNECTIVITIES: [f64; 7] = [2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 14.0];
+
+/// Runs the Fig. 6(c) sweep on the paper's grid.
+pub fn fig6c(base: &SimConfig) -> SweepResult {
+    fig6c_on(base, &CONNECTIVITIES)
+}
+
+/// Runs the Fig. 6(c) sweep on a custom grid.
+pub fn fig6c_on(base: &SimConfig, xs: &[f64]) -> SweepResult {
+    sweep(
+        "fig6c",
+        "network connectivity (avg degree)",
+        base,
+        xs,
+        |cfg, x| cfg.connectivity = x,
+        |_| paper_algos(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn denser_networks_cost_less() {
+        let base = SimConfig {
+            network_size: 60,
+            runs: 8,
+            sfc_size: 4,
+            ..SimConfig::default()
+        };
+        let r = fig6c_on(&base, &[2.0, 10.0]);
+        let mbbe = r.series("MBBE");
+        assert!(
+            mbbe[1].1 < mbbe[0].1,
+            "higher connectivity should shorten real-paths and cut cost"
+        );
+    }
+}

@@ -1,0 +1,48 @@
+//! Fig. 6(d): impact of the VNF deploying ratio.
+//!
+//! "We gradually change the VNF deploying ratio of all VNFs in the
+//! network from 10% to 70%."
+
+use super::{paper_algos, sweep, SweepResult};
+use crate::config::SimConfig;
+
+/// The paper's x grid: deploying ratios 10%..70%.
+pub const DEPLOY_RATIOS: [f64; 7] = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7];
+
+/// Runs the Fig. 6(d) sweep on the paper's grid.
+pub fn fig6d(base: &SimConfig) -> SweepResult {
+    fig6d_on(base, &DEPLOY_RATIOS)
+}
+
+/// Runs the Fig. 6(d) sweep on a custom grid.
+pub fn fig6d_on(base: &SimConfig, xs: &[f64]) -> SweepResult {
+    sweep(
+        "fig6d",
+        "VNF deploying ratio",
+        base,
+        xs,
+        |cfg, x| cfg.vnf_deploy_ratio = x,
+        |_| paper_algos(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn higher_deployment_cuts_our_cost() {
+        let base = SimConfig {
+            network_size: 60,
+            runs: 8,
+            sfc_size: 4,
+            ..SimConfig::default()
+        };
+        let r = fig6d_on(&base, &[0.1, 0.6]);
+        let mbbe = r.series("MBBE");
+        assert!(
+            mbbe[1].1 < mbbe[0].1,
+            "more adjacent VNF choices should shorten real-paths"
+        );
+    }
+}

@@ -1,0 +1,54 @@
+//! Fig. 6(f): impact of the VNF price fluctuation ratio.
+//!
+//! "We gradually change the VNF fluctuation ratio from 5% to 50% …
+//! when the VNF price fluctuation ratio is rising, the cost gap between
+//! the MINV and our algorithms becomes narrow" (MINV always grabs the
+//! cheapest instances, which pays off when prices spread out).
+
+use super::{paper_algos, sweep, SweepResult};
+use crate::config::SimConfig;
+
+/// The paper's x grid: fluctuation ratios 5%..50%.
+pub const FLUCTUATIONS: [f64; 6] = [0.05, 0.1, 0.2, 0.3, 0.4, 0.5];
+
+/// Runs the Fig. 6(f) sweep on the paper's grid.
+pub fn fig6f(base: &SimConfig) -> SweepResult {
+    fig6f_on(base, &FLUCTUATIONS)
+}
+
+/// Runs the Fig. 6(f) sweep on a custom grid.
+pub fn fig6f_on(base: &SimConfig, xs: &[f64]) -> SweepResult {
+    sweep(
+        "fig6f",
+        "VNF price fluctuation ratio",
+        base,
+        xs,
+        |cfg, x| cfg.vnf_price_fluctuation = x,
+        |_| paper_algos(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mbbe_never_worse_than_minv() {
+        let base = SimConfig {
+            network_size: 60,
+            runs: 8,
+            sfc_size: 4,
+            ..SimConfig::default()
+        };
+        let r = fig6f_on(&base, &[0.05, 0.5]);
+        for p in &r.points {
+            let mbbe = p.mean_cost("MBBE").unwrap();
+            let minv = p.mean_cost("MINV").unwrap();
+            assert!(
+                mbbe <= minv + 1e-9,
+                "MBBE {mbbe:.3} worse than MINV {minv:.3} at x={}",
+                p.x
+            );
+        }
+    }
+}

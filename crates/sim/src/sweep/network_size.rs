@@ -1,0 +1,53 @@
+//! Fig. 6(b): impact of the network size.
+//!
+//! "We set different network sizes as 10, 20, 50, 100, 200, 500, 1000
+//! nodes, while other configurations are the same."
+
+use super::{paper_algos, sweep, SweepResult};
+use crate::config::SimConfig;
+
+/// The paper's x grid: network sizes.
+pub const NETWORK_SIZES: [f64; 7] = [10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0];
+
+/// Runs the Fig. 6(b) sweep on the paper's grid.
+pub fn fig6b(base: &SimConfig) -> SweepResult {
+    fig6b_on(base, &NETWORK_SIZES)
+}
+
+/// Runs the Fig. 6(b) sweep on a custom grid.
+pub fn fig6b_on(base: &SimConfig, xs: &[f64]) -> SweepResult {
+    sweep(
+        "fig6b",
+        "network size (nodes)",
+        base,
+        xs,
+        |cfg, x| cfg.network_size = x as usize,
+        |_| paper_algos(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn our_solutions_stay_stable_while_baselines_grow() {
+        let base = SimConfig {
+            runs: 8,
+            sfc_size: 4,
+            ..SimConfig::default()
+        };
+        let r = fig6b_on(&base, &[15.0, 120.0]);
+        let mbbe = r.series("MBBE");
+        let ranv = r.series("RANV");
+        assert_eq!(mbbe.len(), 2);
+        // RANV's cost explodes with network size (random hosts drift
+        // apart); MBBE grows far slower. Compare growth factors.
+        let mbbe_growth = mbbe[1].1 / mbbe[0].1;
+        let ranv_growth = ranv[1].1 / ranv[0].1;
+        assert!(
+            ranv_growth > mbbe_growth,
+            "RANV growth {ranv_growth:.2} should exceed MBBE growth {mbbe_growth:.2}"
+        );
+    }
+}

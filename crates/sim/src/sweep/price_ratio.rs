@@ -1,0 +1,50 @@
+//! Fig. 6(e): impact of the price ratio between links and VNFs.
+//!
+//! "We change the price ratio from 1% to 50% while keeping other
+//! configurations the same."
+
+use super::{paper_algos, sweep, SweepResult};
+use crate::config::SimConfig;
+
+/// The paper's x grid: average price ratios 1%..50%.
+pub const PRICE_RATIOS: [f64; 7] = [0.01, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5];
+
+/// Runs the Fig. 6(e) sweep on the paper's grid.
+pub fn fig6e(base: &SimConfig) -> SweepResult {
+    fig6e_on(base, &PRICE_RATIOS)
+}
+
+/// Runs the Fig. 6(e) sweep on a custom grid.
+pub fn fig6e_on(base: &SimConfig, xs: &[f64]) -> SweepResult {
+    sweep(
+        "fig6e",
+        "average price ratio (link/VNF)",
+        base,
+        xs,
+        |cfg, x| cfg.avg_price_ratio = x,
+        |_| paper_algos(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_grows_with_link_price_and_gap_widens() {
+        let base = SimConfig {
+            network_size: 60,
+            runs: 8,
+            sfc_size: 4,
+            ..SimConfig::default()
+        };
+        let r = fig6e_on(&base, &[0.05, 0.5]);
+        let mbbe = r.series("MBBE");
+        let ranv = r.series("RANV");
+        assert!(mbbe[1].1 > mbbe[0].1, "pricier links must raise cost");
+        // The absolute gap to RANV expands as links get pricier.
+        let gap_lo = ranv[0].1 - mbbe[0].1;
+        let gap_hi = ranv[1].1 - mbbe[1].1;
+        assert!(gap_hi > gap_lo, "gap {gap_lo:.3} → {gap_hi:.3} must widen");
+    }
+}

@@ -1,0 +1,176 @@
+//! Solution-quality experiment — absolute optimality gaps.
+//!
+//! The paper compares heuristics against each other; this extension
+//! anchors them absolutely, two ways:
+//!
+//! * on **small** instances, against the certified optimum from the
+//!   exact branch-and-bound solver;
+//! * at **any** scale, against the certified lower bound of
+//!   `dagsfc_core::bounds` (so the reported ratio *upper-bounds* the
+//!   true approximation factor).
+
+use crate::config::SimConfig;
+use crate::runner::{instance_network, instance_request, Algo};
+use dagsfc_core::bounds::cost_lower_bound;
+use dagsfc_core::solvers::{ExactSolver, Solver};
+use serde::Serialize;
+
+/// Per-algorithm quality aggregate.
+#[derive(Debug, Clone, Serialize)]
+pub struct QualityRow {
+    /// Algorithm name.
+    pub name: &'static str,
+    /// Mean cost / exact-optimum ratio (small instances; `None` when the
+    /// exact solver was not run or never finished).
+    pub mean_vs_optimum: Option<f64>,
+    /// Mean cost / lower-bound ratio.
+    pub mean_vs_bound: f64,
+    /// Runs measured.
+    pub runs: usize,
+}
+
+/// Measures quality ratios over `cfg.runs` requests.
+///
+/// Set `with_exact` only on small configurations (≤ ~12 nodes, short
+/// chains); the exact solver is exponential.
+pub fn quality_experiment(cfg: &SimConfig, algos: &[Algo], with_exact: bool) -> Vec<QualityRow> {
+    let net = instance_network(cfg);
+    let mut sums_opt: Vec<f64> = vec![0.0; algos.len()];
+    let mut sums_lb: Vec<f64> = vec![0.0; algos.len()];
+    let mut counted: Vec<usize> = vec![0; algos.len()];
+    let mut opt_counted: Vec<usize> = vec![0; algos.len()];
+
+    for run in 0..cfg.runs {
+        let (sfc, flow) = instance_request(cfg, &net, run);
+        let Some(lb) = cost_lower_bound(&net, &sfc, &flow) else {
+            continue;
+        };
+        let optimum = if with_exact {
+            ExactSolver::with_k(6)
+                .solve(&net, &sfc, &flow)
+                .ok()
+                .map(|o| o.cost.total())
+        } else {
+            None
+        };
+        for (ai, &algo) in algos.iter().enumerate() {
+            let solver = algo.build(cfg.seed ^ run as u64);
+            if let Ok(out) = solver.solve(&net, &sfc, &flow) {
+                sums_lb[ai] += out.cost.total() / lb.total();
+                counted[ai] += 1;
+                if let Some(opt) = optimum {
+                    sums_opt[ai] += out.cost.total() / opt;
+                    opt_counted[ai] += 1;
+                }
+            }
+        }
+    }
+
+    algos
+        .iter()
+        .enumerate()
+        .map(|(ai, &algo)| QualityRow {
+            name: algo.name(),
+            mean_vs_optimum: (opt_counted[ai] > 0)
+                .then(|| sums_opt[ai] / opt_counted[ai] as f64),
+            mean_vs_bound: if counted[ai] == 0 {
+                f64::NAN
+            } else {
+                sums_lb[ai] / counted[ai] as f64
+            },
+            runs: counted[ai],
+        })
+        .collect()
+}
+
+/// ASCII rendering.
+pub fn quality_table(rows: &[QualityRow]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    writeln!(out, "== solution quality — mean ratios (lower is better) ==").expect("fmt");
+    writeln!(out, "{:>8} {:>12} {:>12} {:>6}", "algo", "vs optimum", "vs bound", "runs")
+        .expect("fmt");
+    for r in rows {
+        writeln!(
+            out,
+            "{:>8} {:>12} {:>12.3} {:>6}",
+            r.name,
+            r.mean_vs_optimum
+                .map(|v| format!("{v:.3}"))
+                .unwrap_or_else(|| "-".into()),
+            r.mean_vs_bound,
+            r.runs
+        )
+        .expect("fmt");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_instance_optimality_gaps() {
+        let cfg = SimConfig {
+            network_size: 9,
+            connectivity: 4.0,
+            vnf_kinds: 4,
+            sfc_size: 2,
+            runs: 5,
+            vnf_deploy_ratio: 0.6,
+            ..SimConfig::default()
+        };
+        let rows = quality_experiment(&cfg, &[Algo::Mbbe, Algo::Bbe, Algo::Minv], true);
+        for r in &rows {
+            assert!(r.runs > 0, "{} never ran", r.name);
+            // No heuristic beats the optimum; bound never exceeds cost.
+            if let Some(v) = r.mean_vs_optimum {
+                assert!(v >= 1.0 - 1e-9, "{}: ratio vs optimum {v}", r.name);
+            }
+            assert!(r.mean_vs_bound >= 1.0 - 1e-9);
+        }
+        // BBE should be within a few percent of optimal on 9-node nets.
+        let bbe = rows.iter().find(|r| r.name == "BBE").unwrap();
+        assert!(
+            bbe.mean_vs_optimum.unwrap() < 1.15,
+            "BBE gap {:?} too large",
+            bbe.mean_vs_optimum
+        );
+        // MINV is the weakest of the three.
+        let minv = rows.iter().find(|r| r.name == "MINV").unwrap();
+        assert!(minv.mean_vs_optimum.unwrap() >= bbe.mean_vs_optimum.unwrap() - 1e-9);
+    }
+
+    #[test]
+    fn bound_ratios_at_scale() {
+        let cfg = SimConfig {
+            network_size: 60,
+            runs: 6,
+            sfc_size: 4,
+            ..SimConfig::default()
+        };
+        let rows = quality_experiment(&cfg, &[Algo::Mbbe, Algo::Ranv], false);
+        let mbbe = &rows[0];
+        let ranv = &rows[1];
+        assert!(mbbe.mean_vs_optimum.is_none());
+        assert!(mbbe.mean_vs_bound >= 1.0);
+        assert!(
+            mbbe.mean_vs_bound < ranv.mean_vs_bound,
+            "MBBE must sit closer to the bound than RANV"
+        );
+    }
+
+    #[test]
+    fn table_renders() {
+        let rows = vec![QualityRow {
+            name: "MBBE",
+            mean_vs_optimum: Some(1.02),
+            mean_vs_bound: 1.4,
+            runs: 10,
+        }];
+        let t = quality_table(&rows);
+        assert!(t.contains("MBBE"));
+        assert!(t.contains("1.020"));
+    }
+}

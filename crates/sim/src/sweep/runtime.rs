@@ -1,0 +1,60 @@
+//! §4.5 complexity claim: MBBE cuts BBE's computation time without an
+//! apparent cost degradation.
+//!
+//! Sweeps the SFC size within BBE's practical range and reports mean
+//! solve times and mean costs for both, plus the baselines for scale.
+
+use super::{paper_algos, sweep, SweepResult};
+use crate::config::SimConfig;
+
+/// Default grid: SFC sizes within BBE's practical range.
+pub const RUNTIME_SIZES: [f64; 5] = [1.0, 2.0, 3.0, 4.0, 5.0];
+
+/// Runs the runtime sweep on the default grid.
+pub fn runtime_sweep(base: &SimConfig) -> SweepResult {
+    runtime_sweep_on(base, &RUNTIME_SIZES)
+}
+
+/// Runs the runtime sweep on a custom grid.
+pub fn runtime_sweep_on(base: &SimConfig, xs: &[f64]) -> SweepResult {
+    sweep(
+        "runtime",
+        "SFC size",
+        base,
+        xs,
+        |cfg, x| cfg.sfc_size = x as usize,
+        |_| paper_algos(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mbbe_cheap_and_close_to_bbe() {
+        let base = SimConfig {
+            network_size: 60,
+            runs: 6,
+            ..SimConfig::default()
+        };
+        let r = runtime_sweep_on(&base, &[4.0]);
+        let p = &r.points[0];
+        let bbe = p.algos.iter().find(|a| a.name == "BBE").unwrap();
+        let mbbe = p.algos.iter().find(|a| a.name == "MBBE").unwrap();
+        // §4.5: no apparent performance degradation.
+        assert!(
+            mbbe.cost.mean <= bbe.cost.mean * 1.10 + 1e-9,
+            "MBBE {:.3} strays >10% above BBE {:.3}",
+            mbbe.cost.mean,
+            bbe.cost.mean
+        );
+        // And it explores far fewer candidates.
+        assert!(
+            mbbe.mean_explored <= bbe.mean_explored,
+            "MBBE explored {} > BBE {}",
+            mbbe.mean_explored,
+            bbe.mean_explored
+        );
+    }
+}

@@ -1,0 +1,65 @@
+//! Fig. 6(a): impact of the SFC size.
+//!
+//! "We gradually change the SFC size from 1 to 9 while the network
+//! conditions are kept the same. … because the time complexity of BBE is
+//! growing exponentially with the size of SFC, the inspection of BBE in
+//! this simulation ends at 5."
+
+use super::{paper_algos, paper_algos_no_bbe, sweep, SweepResult, BBE_SFC_SIZE_LIMIT};
+use crate::config::SimConfig;
+
+/// The paper's x grid: SFC sizes 1..=9.
+pub const SFC_SIZES: [f64; 9] = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0];
+
+/// Runs the Fig. 6(a) sweep on the paper's grid.
+pub fn fig6a(base: &SimConfig) -> SweepResult {
+    fig6a_on(base, &SFC_SIZES)
+}
+
+/// Runs the Fig. 6(a) sweep on a custom grid (for scaled-down profiles).
+pub fn fig6a_on(base: &SimConfig, xs: &[f64]) -> SweepResult {
+    sweep(
+        "fig6a",
+        "SFC size",
+        base,
+        xs,
+        |cfg, x| cfg.sfc_size = x as usize,
+        |x| {
+            if x as usize <= BBE_SFC_SIZE_LIMIT {
+                paper_algos()
+            } else {
+                paper_algos_no_bbe()
+            }
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bbe_dropped_beyond_limit() {
+        let base = SimConfig {
+            network_size: 30,
+            runs: 3,
+            ..SimConfig::default()
+        };
+        let r = fig6a_on(&base, &[2.0, 6.0]);
+        assert!(r.points[0].mean_cost("BBE").is_some());
+        assert!(r.points[1].mean_cost("BBE").is_none());
+        assert!(r.points[1].mean_cost("MBBE").is_some());
+    }
+
+    #[test]
+    fn cost_increases_with_sfc_size() {
+        let base = SimConfig {
+            network_size: 40,
+            runs: 6,
+            ..SimConfig::default()
+        };
+        let r = fig6a_on(&base, &[1.0, 5.0]);
+        let mbbe = r.series("MBBE");
+        assert!(mbbe[1].1 > mbbe[0].1, "cost must grow with SFC size");
+    }
+}

@@ -1,0 +1,206 @@
+//! Topology robustness — an extension beyond the paper.
+//!
+//! The paper evaluates on uniform random graphs only. This sweep replays
+//! the same comparison on structured substrates (ring, grid/torus,
+//! fat-tree, Waxman, Barabási–Albert) to check that the algorithm
+//! ordering — MBBE ≈ BBE below the baselines — is a property of the
+//! *algorithms*, not of the random-graph model.
+
+use crate::config::SimConfig;
+use crate::runner::{run_instance_on, Algo, AlgoResult};
+use dagsfc_net::analysis::{analyze, GraphMetrics};
+use dagsfc_net::topologies::{build, Topology};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+
+/// One topology's outcome.
+#[derive(Debug, Clone, Serialize)]
+pub struct TopologyPoint {
+    /// Topology label ("ring", "torus", "fat-tree", …).
+    pub label: &'static str,
+    /// Node count actually built.
+    pub nodes: usize,
+    /// Structural metrics of the substrate.
+    pub metrics: GraphMetrics,
+    /// Per-algorithm aggregates.
+    pub algos: Vec<AlgoResult>,
+}
+
+/// The default battery of structured topologies, sized near `n` nodes.
+pub fn default_battery(n: usize) -> Vec<(&'static str, Topology)> {
+    let side = (n as f64).sqrt().ceil() as usize;
+    vec![
+        ("ring", Topology::Ring { n }),
+        (
+            "torus",
+            Topology::Grid {
+                rows: side.max(3),
+                cols: side.max(3),
+                wrap: true,
+            },
+        ),
+        ("fat-tree", Topology::FatTree { k: 6 }), // 9 + 36 = 45 nodes
+        (
+            "waxman",
+            Topology::Waxman {
+                n,
+                alpha: 0.8,
+                beta: 0.25,
+            },
+        ),
+        ("scale-free", Topology::BarabasiAlbert { n, m: 3 }),
+    ]
+}
+
+/// Runs the algorithm comparison over every topology in `battery`.
+pub fn topology_sweep(
+    base: &SimConfig,
+    algos: &[Algo],
+    battery: &[(&'static str, Topology)],
+) -> Vec<TopologyPoint> {
+    battery
+        .iter()
+        .map(|&(label, topology)| {
+            let mut cfg = base.clone();
+            cfg.network_size = topology.node_count();
+            let net = build(topology, &cfg.net_gen(), &mut StdRng::seed_from_u64(cfg.seed))
+                .expect("valid topology parameters");
+            let result = run_instance_on(&cfg, &net, algos);
+            TopologyPoint {
+                label,
+                nodes: net.node_count(),
+                metrics: analyze(&net),
+                algos: result.algos,
+            }
+        })
+        .collect()
+}
+
+/// ASCII rendering of a topology sweep.
+pub fn topology_table(points: &[TopologyPoint]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    writeln!(
+        out,
+        "== topology robustness — mean embedding cost per substrate =="
+    )
+    .expect("string write");
+    write!(out, "{:>12} {:>6} {:>5} {:>6}", "topology", "nodes", "diam", "deg").expect("fmt");
+    if let Some(first) = points.first() {
+        for a in &first.algos {
+            write!(out, "{:>10}", a.name).expect("fmt");
+        }
+    }
+    writeln!(out).expect("fmt");
+    for p in points {
+        write!(
+            out,
+            "{:>12} {:>6} {:>5} {:>6.1}",
+            p.label,
+            p.nodes,
+            p.metrics
+                .diameter
+                .map(|d| d.to_string())
+                .unwrap_or_else(|| "-".into()),
+            p.metrics.avg_degree
+        )
+        .expect("fmt");
+        for a in &p.algos {
+            if a.successes > 0 {
+                write!(out, "{:>10.3}", a.cost.mean).expect("fmt");
+            } else {
+                write!(out, "{:>10}", "-").expect("fmt");
+            }
+        }
+        writeln!(out).expect("fmt");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> SimConfig {
+        SimConfig {
+            network_size: 36,
+            runs: 5,
+            sfc_size: 4,
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn battery_builds_and_orders_hold() {
+        let points = topology_sweep(
+            &base(),
+            &[Algo::Mbbe, Algo::Minv],
+            &default_battery(36),
+        );
+        assert_eq!(points.len(), 5);
+        for p in &points {
+            let mbbe = p.algos.iter().find(|a| a.name == "MBBE").unwrap();
+            let minv = p.algos.iter().find(|a| a.name == "MINV").unwrap();
+            assert!(mbbe.successes > 0, "{}: MBBE never succeeded", p.label);
+            // The paper's ordering must hold on every substrate.
+            assert!(
+                mbbe.cost.mean <= minv.cost.mean + 1e-9,
+                "{}: MBBE {} worse than MINV {}",
+                p.label,
+                mbbe.cost.mean,
+                minv.cost.mean
+            );
+            assert!(p.metrics.diameter.is_some(), "{} disconnected", p.label);
+        }
+    }
+
+    #[test]
+    fn table_renders_every_row() {
+        let points = topology_sweep(
+            &base(),
+            &[Algo::Minv],
+            &default_battery(25)[..2],
+        );
+        let t = topology_table(&points);
+        assert!(t.contains("ring"));
+        assert!(t.contains("torus"));
+        assert_eq!(t.lines().count(), 2 + points.len());
+    }
+
+    #[test]
+    fn ring_costs_exceed_torus_costs() {
+        // Rings have huge diameters → long real-paths → higher link
+        // cost than the well-connected torus at equal node count.
+        let points = topology_sweep(
+            &base(),
+            &[Algo::Mbbe],
+            &[
+                ("ring", Topology::Ring { n: 36 }),
+                (
+                    "torus",
+                    Topology::Grid {
+                        rows: 6,
+                        cols: 6,
+                        wrap: true,
+                    },
+                ),
+            ],
+        );
+        let cost = |label: &str| {
+            points
+                .iter()
+                .find(|p| p.label == label)
+                .unwrap()
+                .algos[0]
+                .cost
+                .mean
+        };
+        assert!(
+            cost("ring") > cost("torus"),
+            "ring {} should exceed torus {}",
+            cost("ring"),
+            cost("torus")
+        );
+    }
+}

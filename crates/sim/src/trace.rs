@@ -1,0 +1,197 @@
+//! Per-run tracing: full distributions instead of means.
+//!
+//! The paper reports only average costs; distributions tell the rest of
+//! the story (tail costs, variance between SFC draws, per-run win/loss
+//! records between algorithms). [`trace_instance`] runs one instance and
+//! keeps *every* run's outcome, from which [`Percentiles`] and
+//! head-to-head comparisons are derived.
+
+use crate::config::SimConfig;
+use crate::runner::{instance_network, instance_request, Algo};
+use serde::Serialize;
+
+/// One run's outcome for one algorithm.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct RunRecord {
+    /// Run index within the instance.
+    pub run: usize,
+    /// Total embedding cost, `None` when the run failed.
+    pub cost: Option<f64>,
+    /// Solve time in microseconds.
+    pub elapsed_us: f64,
+}
+
+/// Full trace of one algorithm over an instance.
+#[derive(Debug, Clone, Serialize)]
+pub struct AlgoTrace {
+    /// Algorithm name.
+    pub name: &'static str,
+    /// Per-run records, in run order.
+    pub records: Vec<RunRecord>,
+}
+
+impl AlgoTrace {
+    /// Successful costs, in run order.
+    pub fn costs(&self) -> Vec<f64> {
+        self.records.iter().filter_map(|r| r.cost).collect()
+    }
+
+    /// Cost percentiles over successful runs.
+    pub fn cost_percentiles(&self) -> Percentiles {
+        Percentiles::of(&self.costs())
+    }
+
+    /// Solve-time percentiles over all runs (µs).
+    pub fn time_percentiles(&self) -> Percentiles {
+        Percentiles::of(&self.records.iter().map(|r| r.elapsed_us).collect::<Vec<_>>())
+    }
+}
+
+/// p50/p90/p99 summary (nearest-rank method).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct Percentiles {
+    /// Median.
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Sample maximum.
+    pub max: f64,
+}
+
+impl Percentiles {
+    /// Computes nearest-rank percentiles; zeros for an empty sample.
+    pub fn of(xs: &[f64]) -> Percentiles {
+        if xs.is_empty() {
+            return Percentiles {
+                p50: 0.0,
+                p90: 0.0,
+                p99: 0.0,
+                max: 0.0,
+            };
+        }
+        let mut sorted = xs.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+        let rank = |p: f64| {
+            let idx = ((p / 100.0 * sorted.len() as f64).ceil() as usize).max(1) - 1;
+            sorted[idx.min(sorted.len() - 1)]
+        };
+        Percentiles {
+            p50: rank(50.0),
+            p90: rank(90.0),
+            p99: rank(99.0),
+            max: *sorted.last().expect("non-empty"),
+        }
+    }
+}
+
+/// Runs an instance keeping every run's record per algorithm
+/// (single-threaded: traces are about exact per-run pairing, not
+/// throughput).
+pub fn trace_instance(cfg: &SimConfig, algos: &[Algo]) -> Vec<AlgoTrace> {
+    let net = instance_network(cfg);
+    let mut traces: Vec<AlgoTrace> = algos
+        .iter()
+        .map(|a| AlgoTrace {
+            name: a.name(),
+            records: Vec::with_capacity(cfg.runs),
+        })
+        .collect();
+    for run in 0..cfg.runs {
+        let (sfc, flow) = instance_request(cfg, &net, run);
+        for (ai, &algo) in algos.iter().enumerate() {
+            let solver = algo.build(cfg.seed ^ run as u64);
+            let started = std::time::Instant::now();
+            let outcome = solver.solve(&net, &sfc, &flow);
+            traces[ai].records.push(RunRecord {
+                run,
+                cost: outcome.ok().map(|o| o.cost.total()),
+                elapsed_us: started.elapsed().as_secs_f64() * 1e6,
+            });
+        }
+    }
+    traces
+}
+
+/// Head-to-head record: on how many runs did `a` strictly beat, tie, or
+/// lose to `b` (ties within `tol`)? Runs where either failed are
+/// skipped.
+pub fn head_to_head(a: &AlgoTrace, b: &AlgoTrace, tol: f64) -> (usize, usize, usize) {
+    let mut wins = 0;
+    let mut ties = 0;
+    let mut losses = 0;
+    for (ra, rb) in a.records.iter().zip(&b.records) {
+        if let (Some(ca), Some(cb)) = (ra.cost, rb.cost) {
+            if (ca - cb).abs() <= tol {
+                ties += 1;
+            } else if ca < cb {
+                wins += 1;
+            } else {
+                losses += 1;
+            }
+        }
+    }
+    (wins, ties, losses)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> SimConfig {
+        SimConfig {
+            network_size: 40,
+            runs: 10,
+            sfc_size: 4,
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn percentile_math() {
+        let p = Percentiles::of(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0]);
+        assert_eq!(p.p50, 5.0);
+        assert_eq!(p.p90, 9.0);
+        assert_eq!(p.p99, 10.0);
+        assert_eq!(p.max, 10.0);
+        let single = Percentiles::of(&[3.0]);
+        assert_eq!(single.p50, 3.0);
+        assert_eq!(single.p99, 3.0);
+        assert_eq!(Percentiles::of(&[]).max, 0.0);
+    }
+
+    #[test]
+    fn traces_cover_every_run() {
+        let traces = trace_instance(&cfg(), &[Algo::Mbbe, Algo::Minv]);
+        assert_eq!(traces.len(), 2);
+        for t in &traces {
+            assert_eq!(t.records.len(), 10);
+            assert_eq!(t.costs().len(), 10, "{} had failures", t.name);
+            assert!(t.records.iter().all(|r| r.elapsed_us > 0.0));
+            let p = t.cost_percentiles();
+            assert!(p.p50 <= p.p90 && p.p90 <= p.p99 && p.p99 <= p.max);
+        }
+    }
+
+    #[test]
+    fn mbbe_dominates_minv_per_run() {
+        let traces = trace_instance(&cfg(), &[Algo::Mbbe, Algo::Minv]);
+        let (wins, ties, losses) = head_to_head(&traces[0], &traces[1], 1e-9);
+        assert_eq!(wins + ties + losses, 10);
+        assert_eq!(
+            losses, 0,
+            "MBBE lost {losses} head-to-head runs against MINV"
+        );
+        assert!(wins > 0, "MBBE should strictly win at least one run");
+    }
+
+    #[test]
+    fn trace_deterministic() {
+        let a = trace_instance(&cfg(), &[Algo::Mbbe]);
+        let b = trace_instance(&cfg(), &[Algo::Mbbe]);
+        for (x, y) in a[0].records.iter().zip(&b[0].records) {
+            assert_eq!(x.cost, y.cost);
+        }
+    }
+}

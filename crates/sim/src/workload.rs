@@ -1,0 +1,211 @@
+//! Workload models: how flows pick their endpoints.
+//!
+//! The paper draws source–destination pairs uniformly. Real traffic is
+//! rarely uniform — gateways and popular services concentrate demand —
+//! and endpoint skew changes which links saturate first in the online
+//! experiments. This module provides the standard endpoint models:
+//!
+//! * [`EndpointModel::Uniform`] — the paper's choice (and the default
+//!   everywhere else in this workspace);
+//! * [`EndpointModel::Hotspot`] — a fraction of flows terminate at a
+//!   small set of hot destination nodes (service concentration);
+//! * [`EndpointModel::Gravity`] — endpoints drawn proportionally to node
+//!   degree (hubs attract traffic), the classic gravity model on the
+//!   structural proxy available here.
+
+use crate::config::SimConfig;
+use dagsfc_core::Flow;
+use dagsfc_net::{Network, NodeId};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// How flow endpoints are drawn.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum EndpointModel {
+    /// Uniform over all nodes (paper §5.1 behaviour).
+    Uniform,
+    /// With probability `bias`, the destination is one of the `hotspots`
+    /// hottest-index nodes; sources stay uniform.
+    Hotspot {
+        /// Number of hot destination nodes (the first `hotspots` ids).
+        hotspots: usize,
+        /// Probability a flow targets a hotspot.
+        bias: f64,
+    },
+    /// Both endpoints drawn with probability proportional to
+    /// `degree + 1` (the +1 keeps isolated nodes reachable).
+    Gravity,
+}
+
+impl EndpointModel {
+    /// Draws a flow under this model (endpoints distinct whenever the
+    /// network has more than one node).
+    pub fn draw<R: Rng + ?Sized>(&self, cfg: &SimConfig, net: &Network, rng: &mut R) -> Flow {
+        let n = net.node_count() as u32;
+        assert!(n > 0, "cannot draw endpoints from an empty network");
+        let src = self.draw_node(net, rng, None);
+        let dst = if n == 1 {
+            src
+        } else {
+            loop {
+                let d = self.draw_node(net, rng, Some(self.is_destination_biased()));
+                if d != src {
+                    break d;
+                }
+            }
+        };
+        Flow {
+            src,
+            dst,
+            rate: cfg.rate,
+            size: cfg.flow_size,
+        }
+    }
+
+    fn is_destination_biased(&self) -> bool {
+        matches!(self, EndpointModel::Hotspot { .. })
+    }
+
+    fn draw_node<R: Rng + ?Sized>(
+        &self,
+        net: &Network,
+        rng: &mut R,
+        destination: Option<bool>,
+    ) -> NodeId {
+        let n = net.node_count() as u32;
+        match self {
+            EndpointModel::Uniform => NodeId(rng.gen_range(0..n)),
+            EndpointModel::Hotspot { hotspots, bias } => {
+                let hot = (*hotspots).clamp(1, n as usize) as u32;
+                if destination == Some(true) && rng.gen_bool(bias.clamp(0.0, 1.0)) {
+                    NodeId(rng.gen_range(0..hot))
+                } else {
+                    NodeId(rng.gen_range(0..n))
+                }
+            }
+            EndpointModel::Gravity => {
+                let total: usize = net
+                    .node_ids()
+                    .map(|v| net.degree(v) + 1)
+                    .sum();
+                let mut ticket = rng.gen_range(0..total);
+                for v in net.node_ids() {
+                    let w = net.degree(v) + 1;
+                    if ticket < w {
+                        return v;
+                    }
+                    ticket -= w;
+                }
+                NodeId(n - 1) // unreachable in practice
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::instance_network;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (SimConfig, Network) {
+        let cfg = SimConfig {
+            network_size: 40,
+            ..SimConfig::default()
+        };
+        let net = instance_network(&cfg);
+        (cfg, net)
+    }
+
+    #[test]
+    fn uniform_matches_paper_conventions() {
+        let (cfg, net) = setup();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let f = EndpointModel::Uniform.draw(&cfg, &net, &mut rng);
+            assert_ne!(f.src, f.dst);
+            assert!(f.src.index() < 40 && f.dst.index() < 40);
+        }
+    }
+
+    #[test]
+    fn hotspot_concentrates_destinations() {
+        let (cfg, net) = setup();
+        let model = EndpointModel::Hotspot {
+            hotspots: 3,
+            bias: 0.8,
+        };
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut hot_hits = 0;
+        let draws = 400;
+        for _ in 0..draws {
+            let f = model.draw(&cfg, &net, &mut rng);
+            if f.dst.index() < 3 {
+                hot_hits += 1;
+            }
+        }
+        // Expected ≈ bias + (1-bias)·3/40 ≈ 81.5%; uniform would give 7.5%.
+        let frac = hot_hits as f64 / draws as f64;
+        assert!(
+            frac > 0.6,
+            "hotspot bias not visible: {frac:.2} of destinations hot"
+        );
+    }
+
+    #[test]
+    fn gravity_prefers_hubs() {
+        let (cfg, net) = setup();
+        // Find the highest- and lowest-degree nodes.
+        let hub = net
+            .node_ids()
+            .max_by_key(|&v| net.degree(v))
+            .expect("non-empty");
+        let leaf = net
+            .node_ids()
+            .min_by_key(|&v| net.degree(v))
+            .expect("non-empty");
+        if net.degree(hub) <= net.degree(leaf) + 2 {
+            return; // degenerate draw; generator made a regular graph
+        }
+        let mut rng = StdRng::seed_from_u64(3);
+        let (mut hub_hits, mut leaf_hits) = (0, 0);
+        for _ in 0..2000 {
+            let f = EndpointModel::Gravity.draw(&cfg, &net, &mut rng);
+            for e in [f.src, f.dst] {
+                if e == hub {
+                    hub_hits += 1;
+                }
+                if e == leaf {
+                    leaf_hits += 1;
+                }
+            }
+        }
+        assert!(
+            hub_hits > leaf_hits,
+            "gravity should favour the hub: hub {hub_hits} vs leaf {leaf_hits}"
+        );
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let (cfg, net) = setup();
+        let model = EndpointModel::Gravity;
+        let a = model.draw(&cfg, &net, &mut StdRng::seed_from_u64(9));
+        let b = model.draw(&cfg, &net, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a.src, b.src);
+        assert_eq!(a.dst, b.dst);
+    }
+
+    #[test]
+    fn single_node_network_degenerates_gracefully() {
+        let cfg = SimConfig {
+            network_size: 1,
+            connectivity: 0.0,
+            ..SimConfig::default()
+        };
+        let net = instance_network(&cfg);
+        let f = EndpointModel::Uniform.draw(&cfg, &net, &mut StdRng::seed_from_u64(0));
+        assert_eq!(f.src, f.dst);
+    }
+}

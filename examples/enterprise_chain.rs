@@ -1,0 +1,119 @@
+//! Enterprise scenario: from a *sequential* middlebox chain to a cheap,
+//! low-latency hybrid embedding.
+//!
+//! Walks the full pipeline the paper assumes: (1) analyze NF order
+//! dependencies with packet-action profiles (NFP-style), (2) transform
+//! the sequential chain into its hybrid layered form (paper Fig. 2),
+//! (3) embed both forms with MBBE, and (4) compare cost and end-to-end
+//! delay — reproducing the motivation that hybrid SFCs cut delay.
+//!
+//! ```text
+//! cargo run --release --example enterprise_chain
+//! ```
+
+use dagsfc::core::solvers::{MbbeSolver, Solver};
+use dagsfc::core::{validate, DagSfc, DelayModel, Flow, VnfCatalog};
+use dagsfc::net::{generator, NetGenConfig, NodeId};
+use dagsfc::nfp::{
+    catalog::{enterprise_catalog, find},
+    to_hybrid, DependencyMatrix, TransformOptions,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // 1. The NF catalog and its pairwise parallelizability.
+    let nfs = enterprise_catalog();
+    let deps = DependencyMatrix::analyze(&nfs);
+    let stats = deps.stats();
+    println!(
+        "catalog: {} NFs; {:.1}% of ordered pairs parallelizable, {:.1}% overhead-free",
+        nfs.len(),
+        stats.parallel_fraction() * 100.0,
+        stats.overhead_free_fraction() * 100.0
+    );
+    println!("(NFP measured 53.8% / 41.5% on production enterprise chains)\n");
+
+    // 2. A typical ingress chain, initially sequential.
+    let chain_names = ["firewall", "ids", "dpi", "policer", "nat", "qos_marker"];
+    let chain: Vec<usize> = chain_names
+        .iter()
+        .map(|n| find(&nfs, n).expect("catalog NF").0)
+        .collect();
+    println!("sequential chain: {}", chain_names.join(" -> "));
+    let hybrid = to_hybrid(&chain, &deps, TransformOptions { max_width: Some(4) });
+    print!("hybrid form:      ");
+    for (i, layer) in hybrid.layers().iter().enumerate() {
+        if i > 0 {
+            print!(" -> ");
+        }
+        let names: Vec<&str> = layer.iter().map(|&nf| nfs[nf].name).collect();
+        if names.len() > 1 {
+            print!("[{}]", names.join(" ∥ "));
+        } else {
+            print!("{}", names[0]);
+        }
+    }
+    println!(
+        "\n{} layers instead of {} sequential stages\n",
+        hybrid.depth(),
+        chain.len()
+    );
+
+    // 3. Embed both forms into the same priced cloud.
+    let vnf_catalog = VnfCatalog::new(nfs.len() as u16);
+    let net_cfg = NetGenConfig {
+        nodes: 200,
+        vnf_kinds: vnf_catalog.deployable_count(),
+        ..NetGenConfig::default()
+    };
+    let network =
+        generator::generate(&net_cfg, &mut StdRng::seed_from_u64(42)).expect("valid config");
+    let flow = Flow::unit(NodeId(3), NodeId(197));
+
+    let sequential_sfc = DagSfc::from_hybrid(
+        &dagsfc::nfp::sequentialize(&chain),
+        vnf_catalog,
+    )
+    .expect("valid chain");
+    let hybrid_sfc = DagSfc::from_hybrid(&hybrid, vnf_catalog).expect("valid chain");
+
+    let solver = MbbeSolver::new();
+    let seq_out = solver
+        .solve(&network, &sequential_sfc, &flow)
+        .expect("sequential embedding");
+    let hyb_out = solver
+        .solve(&network, &hybrid_sfc, &flow)
+        .expect("hybrid embedding");
+    validate(&network, &sequential_sfc, &flow, &seq_out.embedding).expect("valid");
+    validate(&network, &hybrid_sfc, &flow, &hyb_out.embedding).expect("valid");
+
+    // 4. Delay model from the catalog's processing delays.
+    let mut proc_us: Vec<f64> = nfs.iter().map(|s| s.proc_delay_us).collect();
+    proc_us.push(5.0); // merger
+    let delay = DelayModel {
+        per_hop_us: 50.0,
+        merge_us: 5.0,
+        proc_us,
+    };
+    let seq_delay = delay.embedding_delay(&sequential_sfc, &seq_out.embedding, &flow);
+    let hyb_delay = delay.embedding_delay(&hybrid_sfc, &hyb_out.embedding, &flow);
+
+    println!("{:>12} {:>12} {:>12}", "", "sequential", "hybrid");
+    println!(
+        "{:>12} {:>12.3} {:>12.3}",
+        "cost",
+        seq_out.cost.total(),
+        hyb_out.cost.total()
+    );
+    println!("{:>12} {:>11.1}µ {:>11.1}µ", "delay", seq_delay, hyb_delay);
+    println!(
+        "\nhybrid embedding cuts end-to-end delay by {:.1}% \
+         (the paper's Fig. 1 motivation)",
+        (1.0 - hyb_delay / seq_delay) * 100.0
+    );
+    assert!(
+        hyb_delay <= seq_delay,
+        "hybrid must never be slower than sequential"
+    );
+}

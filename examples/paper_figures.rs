@@ -1,0 +1,77 @@
+//! Regenerates the paper's evaluation artifacts (Fig. 6(a)–(f) and the
+//! §4.5 runtime comparison) as ASCII tables and CSV files.
+//!
+//! ```text
+//! # all figures at the "quick" scale (60-node nets, 10 runs/point):
+//! cargo run --release --example paper_figures
+//!
+//! # one figure:
+//! cargo run --release --example paper_figures -- fig6c
+//!
+//! # full paper scale (500-node basic config, 100 runs/point — slow):
+//! cargo run --release --example paper_figures -- all full
+//! ```
+//!
+//! CSV series are written to `target/figures/<id>.csv`.
+
+use dagsfc::sim::{report, sweep, SimConfig, SweepResult};
+use std::fs;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let which = args.first().map(String::as_str).unwrap_or("all");
+    let full = args.iter().any(|a| a == "full");
+
+    let base = if full {
+        SimConfig::default() // Table 2 exactly
+    } else {
+        SimConfig {
+            network_size: 60,
+            runs: 10,
+            ..SimConfig::default()
+        }
+    };
+    println!(
+        "profile: {} ({} nodes, {} runs/point)\n",
+        if full { "full paper scale" } else { "quick" },
+        base.network_size,
+        base.runs
+    );
+
+    type FigureFn = fn(&SimConfig) -> SweepResult;
+    let figures: Vec<(&str, FigureFn)> = vec![
+        ("fig6a", sweep::fig6a),
+        ("fig6b", sweep::fig6b),
+        ("fig6c", sweep::fig6c),
+        ("fig6d", sweep::fig6d),
+        ("fig6e", sweep::fig6e),
+        ("fig6f", sweep::fig6f),
+        ("runtime", sweep::runtime_sweep),
+    ];
+
+    let out_dir = std::path::Path::new("target/figures");
+    fs::create_dir_all(out_dir).expect("create output dir");
+
+    let mut ran = 0;
+    for (id, run) in figures {
+        if which != "all" && which != id {
+            continue;
+        }
+        ran += 1;
+        let result = run(&base);
+        if id == "runtime" {
+            println!("{}", report::runtime_table(&result));
+        }
+        println!("{}", report::ascii_table(&result));
+        let csv_path = out_dir.join(format!("{id}.csv"));
+        fs::write(&csv_path, report::csv(&result)).expect("write csv");
+        println!("series written to {}\n", csv_path.display());
+    }
+    if ran == 0 {
+        eprintln!(
+            "unknown figure '{which}'; expected one of \
+             fig6a..fig6f, runtime, or all"
+        );
+        std::process::exit(2);
+    }
+}

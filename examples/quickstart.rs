@@ -1,0 +1,93 @@
+//! Quickstart: embed one hybrid SFC into a random priced cloud and
+//! compare every algorithm of the paper on the same request.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use dagsfc::core::solvers::{BbeSolver, MbbeSolver, MinvSolver, RanvSolver, Solver};
+use dagsfc::core::{validate, DagSfc, Flow, Layer, VnfCatalog};
+use dagsfc::net::{generator, NetGenConfig, NodeId, VnfTypeId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // 1. A 100-node priced cloud: 8 regular VNF kinds + the merger kind,
+    //    Table 2 price ratios.
+    let net_cfg = NetGenConfig {
+        nodes: 100,
+        avg_degree: 6.0,
+        vnf_kinds: 9,
+        deploy_ratio: 0.5,
+        ..NetGenConfig::default()
+    };
+    let mut rng = StdRng::seed_from_u64(2018);
+    let network = generator::generate(&net_cfg, &mut rng).expect("valid config");
+    let stats = network.stats();
+    println!(
+        "network: {} nodes, {} links, avg degree {:.1}, {} VNF instances",
+        stats.nodes, stats.links, stats.avg_degree, stats.vnf_instances
+    );
+
+    // 2. A hybrid chain in standardized DAG-SFC form (paper Fig. 2):
+    //    f0 → {f1 ∥ f2 ∥ f3} + merger → f4.
+    let catalog = VnfCatalog::new(8);
+    let sfc = DagSfc::new(
+        vec![
+            Layer::new(vec![VnfTypeId(0)]),
+            Layer::new(vec![VnfTypeId(1), VnfTypeId(2), VnfTypeId(3)]),
+            Layer::new(vec![VnfTypeId(4)]),
+        ],
+        catalog,
+    )
+    .expect("valid chain");
+    println!("chain:   {sfc}");
+
+    // 3. One unit flow across the cloud.
+    let flow = Flow::unit(NodeId(0), NodeId(99));
+
+    // 4. Solve with every algorithm and verify each result against the
+    //    independent constraint checker.
+    let solvers: Vec<Box<dyn Solver>> = vec![
+        Box::new(MbbeSolver::new()),
+        Box::new(BbeSolver::new()),
+        Box::new(MinvSolver::new()),
+        Box::new(RanvSolver::new(7)),
+    ];
+    println!("\n{:>6} {:>12} {:>12} {:>12} {:>10}", "algo", "total", "vnf", "link", "time");
+    for solver in solvers {
+        match solver.solve(&network, &sfc, &flow) {
+            Ok(out) => {
+                validate(&network, &sfc, &flow, &out.embedding)
+                    .expect("solver output must satisfy every constraint");
+                println!(
+                    "{:>6} {:>12.3} {:>12.3} {:>12.3} {:>9.1}µs",
+                    solver.name(),
+                    out.cost.total(),
+                    out.cost.vnf,
+                    out.cost.link,
+                    out.stats.elapsed.as_secs_f64() * 1e6,
+                );
+            }
+            Err(e) => println!("{:>6} failed: {e}", solver.name()),
+        }
+    }
+
+    // 5. Show the winning embedding in detail.
+    let out = MbbeSolver::new()
+        .solve(&network, &sfc, &flow)
+        .expect("MBBE always finds a solution on this instance");
+    println!("\nMBBE assignment:");
+    for (l, slots) in out.embedding.assignments().iter().enumerate() {
+        let layer = sfc.layer(l);
+        for (s, node) in slots.iter().enumerate() {
+            let kind = layer.slot_kind(s, sfc.catalog());
+            let role = if s == layer.width() { "merger" } else { "vnf" };
+            println!("  L{l}[{s}] {kind} ({role}) -> {node}");
+        }
+    }
+    println!("real-paths:");
+    for (mp, path) in out.embedding.meta_path_pairs(&sfc) {
+        println!("  {} -> {}: {}", mp.from, mp.to, path);
+    }
+}

@@ -1,0 +1,46 @@
+//! # dagsfc — DAG-SFC: minimum-cost embedding of hybrid service chains
+//!
+//! Facade crate re-exporting the whole workspace, a reproduction of
+//! *DAG-SFC: Minimize the Embedding Cost of SFC with Parallel VNFs*
+//! (ICPP 2018):
+//!
+//! * [`net`] — the priced cloud-network substrate (graph, residual
+//!   capacities, routing, random generator);
+//! * [`nfp`] — network-function parallelism analysis (action profiles,
+//!   dependency rules, sequential→hybrid transformation);
+//! * [`core`] — the DAG-SFC abstraction, cost model, validator, and the
+//!   BBE/MBBE/RANV/MINV/exact solvers;
+//! * [`sim`] — the evaluation harness regenerating every figure of the
+//!   paper.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dagsfc::core::{solvers::{MbbeSolver, Solver}, DagSfc, Flow, Layer, VnfCatalog};
+//! use dagsfc::net::{generator, NetGenConfig, NodeId, VnfTypeId};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! // A 50-node priced cloud with 5 regular VNF kinds plus the merger kind.
+//! let cfg = NetGenConfig { nodes: 50, vnf_kinds: 6, ..NetGenConfig::default() };
+//! let network = generator::generate(&cfg, &mut StdRng::seed_from_u64(7)).unwrap();
+//!
+//! // A hybrid chain: f0 then {f1 ∥ f2} merged.
+//! let catalog = VnfCatalog::new(5);
+//! let sfc = DagSfc::new(
+//!     vec![Layer::new(vec![VnfTypeId(0)]),
+//!          Layer::new(vec![VnfTypeId(1), VnfTypeId(2)])],
+//!     catalog,
+//! ).unwrap();
+//!
+//! let flow = Flow::unit(NodeId(0), NodeId(49));
+//! let outcome = MbbeSolver::new().solve(&network, &sfc, &flow).unwrap();
+//! assert!(outcome.cost.total() > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use dagsfc_core as core;
+pub use dagsfc_net as net;
+pub use dagsfc_nfp as nfp;
+pub use dagsfc_sim as sim;

@@ -1,0 +1,441 @@
+//! `dagsfc` — command-line front end for the DAG-SFC workspace.
+//!
+//! ```text
+//! dagsfc generate  --nodes 100 --degree 6 --kinds 8 --seed 7 --out net.json [--dot net.dot]
+//! dagsfc instance  --nodes 100 --sfc-size 5 --seed 7 --out inst.json
+//! dagsfc embed     --instance inst.json --algo mbbe [--dot embedding.dot]
+//! dagsfc embed     --nodes 100 --sfc-size 5 --seed 7 --algo bbe
+//! dagsfc online    --nodes 60 --requests 100 --capacity 8 --algo mbbe,ranv
+//! dagsfc figures   [fig6a|...|runtime|all] [--full]
+//! dagsfc ilp       --nodes 8 --sfc-size 2 --seed 1 [--out model.lp]
+//! ```
+//!
+//! Everything is deterministic in `--seed`.
+
+use dagsfc::core::solvers::{self, Solver};
+use dagsfc::core::{validate, IlpModel};
+use dagsfc::net::{to_dot, DotOptions};
+use dagsfc::sim::online::{acceptance_sweep, acceptance_table};
+use dagsfc::sim::runner::{instance_network, instance_request};
+use dagsfc::sim::{io as sim_io, report, sweep, Algo, SimConfig, SweepResult};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(command) = args.next() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let rest: Vec<String> = args.collect();
+    let opts = match Opts::parse(&rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let result = match command.as_str() {
+        "generate" => cmd_generate(&opts),
+        "instance" => cmd_instance(&opts),
+        "embed" => cmd_embed(&opts),
+        "online" => cmd_online(&opts),
+        "figures" => cmd_figures(&opts),
+        "topology" => cmd_topology(&opts),
+        "quality" => cmd_quality(&opts),
+        "ilp" => cmd_ilp(&opts),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "dagsfc — minimum-cost embedding of SFCs with parallel VNFs (ICPP 2018)
+
+USAGE:
+  dagsfc generate  --nodes N [--degree D] [--kinds K] [--seed S] --out FILE [--dot FILE]
+  dagsfc instance  --nodes N [--sfc-size L] [--seed S] --out FILE
+  dagsfc embed     (--instance FILE | --nodes N [--sfc-size L] [--seed S])
+                   [--algo mbbe|mbbe-st|bbe|minv|ranv|exact|grasp]
+                   [--dot FILE] [--save FILE] [--protect]
+  dagsfc online    [--nodes N] [--requests R] [--capacity C] [--algo a,b,...]
+  dagsfc figures   [fig6a|fig6b|fig6c|fig6d|fig6e|fig6f|runtime|all] [--full] [--out-dir DIR]
+  dagsfc topology  [--nodes N] [--runs R] [--sfc-size L]
+  dagsfc quality   [--nodes N] [--runs R] [--exact]
+  dagsfc ilp       [--nodes N] [--sfc-size L] [--seed S] [--k K] [--out FILE]";
+
+/// Minimal `--key value` / positional argument parser.
+struct Opts {
+    flags: HashMap<String, String>,
+    positional: Vec<String>,
+}
+
+impl Opts {
+    fn parse(args: &[String]) -> Result<Opts, String> {
+        let mut flags = HashMap::new();
+        let mut positional = Vec::new();
+        let mut it = args.iter().peekable();
+        while let Some(a) = it.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                match key {
+                    // boolean flags
+                    "full" | "exact" | "protect" => {
+                        flags.insert(key.to_string(), "true".to_string());
+                    }
+                    _ => {
+                        let value = it
+                            .next()
+                            .ok_or_else(|| format!("--{key} needs a value"))?;
+                        flags.insert(key.to_string(), value.clone());
+                    }
+                }
+            } else {
+                positional.push(a.clone());
+            }
+        }
+        Ok(Opts { flags, positional })
+    }
+
+    fn str(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(String::as_str)
+    }
+
+    fn usize_or(&self, key: &str, default: usize) -> Result<usize, String> {
+        match self.str(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key}: bad integer '{v}'")),
+        }
+    }
+
+    fn f64_or(&self, key: &str, default: f64) -> Result<f64, String> {
+        match self.str(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key}: bad number '{v}'")),
+        }
+    }
+
+    fn u64_or(&self, key: &str, default: u64) -> Result<u64, String> {
+        match self.str(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key}: bad integer '{v}'")),
+        }
+    }
+
+    fn path(&self, key: &str) -> Option<PathBuf> {
+        self.str(key).map(PathBuf::from)
+    }
+
+    fn has(&self, key: &str) -> bool {
+        self.flags.contains_key(key)
+    }
+}
+
+fn sim_config(opts: &Opts) -> Result<SimConfig, String> {
+    Ok(SimConfig {
+        network_size: opts.usize_or("nodes", 100)?,
+        connectivity: opts.f64_or("degree", 6.0)?,
+        vnf_kinds: opts.usize_or("kinds", 12)?,
+        sfc_size: opts.usize_or("sfc-size", 5)?,
+        seed: opts.u64_or("seed", SimConfig::default().seed)?,
+        vnf_capacity: opts.f64_or("capacity", 1e6)?,
+        link_capacity: opts.f64_or("capacity", 1e6)?,
+        ..SimConfig::default()
+    })
+}
+
+fn make_solver(name: &str, seed: u64) -> Result<Box<dyn Solver>, String> {
+    solvers::by_name(name, seed).ok_or_else(|| format!("unknown algorithm '{name}'"))
+}
+
+fn cmd_generate(opts: &Opts) -> Result<(), String> {
+    let cfg = sim_config(opts)?;
+    let out = opts
+        .path("out")
+        .ok_or("generate requires --out FILE".to_string())?;
+    let net = instance_network(&cfg);
+    sim_io::save_network(&out, &net).map_err(|e| e.to_string())?;
+    let s = net.stats();
+    println!(
+        "generated {} nodes / {} links (avg degree {:.1}, {} VNF instances) -> {}",
+        s.nodes,
+        s.links,
+        s.avg_degree,
+        s.vnf_instances,
+        out.display()
+    );
+    if let Some(dot) = opts.path("dot") {
+        write_dot(&dot, &to_dot(&net, &DotOptions::default()))?;
+    }
+    Ok(())
+}
+
+fn cmd_instance(opts: &Opts) -> Result<(), String> {
+    let cfg = sim_config(opts)?;
+    let out = opts
+        .path("out")
+        .ok_or("instance requires --out FILE".to_string())?;
+    let network = instance_network(&cfg);
+    let (sfc, flow) = instance_request(&cfg, &network, 0);
+    let instance = sim_io::SavedInstance {
+        format_version: sim_io::FORMAT_VERSION,
+        config: cfg,
+        network,
+        sfc,
+        flow,
+    };
+    sim_io::save_instance(&out, &instance).map_err(|e| e.to_string())?;
+    println!(
+        "instance: chain {} from {} to {} -> {}",
+        instance.sfc,
+        instance.flow.src,
+        instance.flow.dst,
+        out.display()
+    );
+    Ok(())
+}
+
+fn cmd_embed(opts: &Opts) -> Result<(), String> {
+    let (network, sfc, flow) = if let Some(path) = opts.path("instance") {
+        let inst = sim_io::load_instance(&path).map_err(|e| e.to_string())?;
+        (inst.network, inst.sfc, inst.flow)
+    } else {
+        let cfg = sim_config(opts)?;
+        let network = instance_network(&cfg);
+        let (sfc, flow) = instance_request(&cfg, &network, 0);
+        (network, sfc, flow)
+    };
+    let algo = opts.str("algo").unwrap_or("mbbe");
+    let seed = opts.u64_or("seed", 0)?;
+    let solver = make_solver(algo, seed)?;
+    let out = solver
+        .solve(&network, &sfc, &flow)
+        .map_err(|e| e.to_string())?;
+    validate(&network, &sfc, &flow, &out.embedding)
+        .map_err(|v| format!("solver returned an invalid embedding: {v:?}"))?;
+    println!("chain:  {sfc}");
+    println!("flow:   {} -> {}", flow.src, flow.dst);
+    println!(
+        "{}: {} ({} candidates explored, {:.1}µs)",
+        solver.name(),
+        out.cost,
+        out.stats.explored,
+        out.stats.elapsed.as_secs_f64() * 1e6
+    );
+    for (l, slots) in out.embedding.assignments().iter().enumerate() {
+        let layer = sfc.layer(l);
+        for (s, node) in slots.iter().enumerate() {
+            let kind = layer.slot_kind(s, sfc.catalog());
+            println!("  L{l}[{s}] {kind} -> {node}");
+        }
+    }
+    if opts.has("protect") {
+        match dagsfc::core::protect(&network, &sfc, &flow, &out.embedding) {
+            Ok(p) => println!(
+                "protection: {} meta-paths backed up, +{:.3} backup link cost; \
+                 survives every single-link failure",
+                p.protected_count(),
+                p.backup_cost.link
+            ),
+            Err(e) => println!("protection unavailable: {e}"),
+        }
+    }
+    if let Some(path) = opts.path("save") {
+        sim_io::save_solution(
+            &path,
+            &sim_io::SavedSolution {
+                format_version: sim_io::FORMAT_VERSION,
+                solver: solver.name().to_string(),
+                embedding: out.embedding.clone(),
+                cost: out.cost,
+            },
+        )
+        .map_err(|e| e.to_string())?;
+        println!("solution written to {}", path.display());
+    }
+    if let Some(dot) = opts.path("dot") {
+        let mut nodes: Vec<_> = out
+            .embedding
+            .assignments()
+            .iter()
+            .flatten()
+            .copied()
+            .collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        let links: Vec<_> = out
+            .embedding
+            .paths()
+            .iter()
+            .flat_map(|p| p.links().iter().copied())
+            .collect();
+        let dot_opts = DotOptions {
+            name: "embedding".to_string(),
+            highlight_nodes: nodes,
+            highlight_links: links,
+            ..DotOptions::default()
+        };
+        write_dot(&dot, &to_dot(&network, &dot_opts))?;
+    }
+    Ok(())
+}
+
+fn cmd_online(opts: &Opts) -> Result<(), String> {
+    let mut cfg = sim_config(opts)?;
+    if !opts.has("capacity") {
+        // Online runs need finite capacities to be interesting.
+        cfg.vnf_capacity = 8.0;
+        cfg.link_capacity = 8.0;
+    }
+    let requests = opts.usize_or("requests", 100)?;
+    let algo_list = opts.str("algo").unwrap_or("mbbe,minv,ranv");
+    let algos: Vec<Algo> = algo_list
+        .split(',')
+        .map(|a| match a.trim() {
+            "mbbe" => Ok(Algo::Mbbe),
+            "mbbe-st" => Ok(Algo::MbbeSt),
+            "bbe" => Ok(Algo::Bbe),
+            "minv" => Ok(Algo::Minv),
+            "ranv" => Ok(Algo::Ranv),
+            other => Err(format!("unknown algorithm '{other}'")),
+        })
+        .collect::<Result<_, _>>()?;
+    let quarter = (requests / 4).max(1);
+    let levels: Vec<usize> = (1..=4).map(|i| i * quarter).collect();
+    let rows = acceptance_sweep(&cfg, &algos, &levels);
+    println!(
+        "online embedding on {} nodes, capacities {}/{} rate units:",
+        cfg.network_size, cfg.vnf_capacity, cfg.link_capacity
+    );
+    println!("{}", acceptance_table(&rows));
+    Ok(())
+}
+
+fn cmd_figures(opts: &Opts) -> Result<(), String> {
+    let which = opts
+        .positional
+        .first()
+        .map(String::as_str)
+        .unwrap_or("all");
+    let base = if opts.has("full") {
+        SimConfig::default()
+    } else {
+        SimConfig {
+            network_size: 60,
+            runs: 10,
+            ..SimConfig::default()
+        }
+    };
+    let out_dir = opts
+        .path("out-dir")
+        .unwrap_or_else(|| PathBuf::from("target/figures"));
+    std::fs::create_dir_all(&out_dir).map_err(|e| e.to_string())?;
+    type FigureFn = fn(&SimConfig) -> SweepResult;
+    let figures: Vec<(&str, FigureFn)> = vec![
+        ("fig6a", sweep::fig6a),
+        ("fig6b", sweep::fig6b),
+        ("fig6c", sweep::fig6c),
+        ("fig6d", sweep::fig6d),
+        ("fig6e", sweep::fig6e),
+        ("fig6f", sweep::fig6f),
+        ("runtime", sweep::runtime_sweep),
+    ];
+    let mut ran = false;
+    for (id, run) in figures {
+        if which != "all" && which != id {
+            continue;
+        }
+        ran = true;
+        let result = run(&base);
+        if id == "runtime" {
+            println!("{}", report::runtime_table(&result));
+        }
+        println!("{}", report::ascii_table(&result));
+        std::fs::write(out_dir.join(format!("{id}.csv")), report::csv(&result))
+            .map_err(|e| e.to_string())?;
+        sim_io::save_sweep(&out_dir.join(format!("{id}.json")), &result)
+            .map_err(|e| e.to_string())?;
+    }
+    if !ran {
+        return Err(format!("unknown figure '{which}'"));
+    }
+    println!("series written to {}", out_dir.display());
+    Ok(())
+}
+
+fn cmd_topology(opts: &Opts) -> Result<(), String> {
+    use dagsfc::sim::sweep::topology::{default_battery, topology_sweep, topology_table};
+    let mut cfg = sim_config(opts)?;
+    cfg.network_size = opts.usize_or("nodes", 36)?;
+    cfg.runs = opts.usize_or("runs", 10)?;
+    let points = topology_sweep(
+        &cfg,
+        &[Algo::Mbbe, Algo::Minv, Algo::Ranv],
+        &default_battery(cfg.network_size),
+    );
+    println!("{}", topology_table(&points));
+    Ok(())
+}
+
+fn cmd_quality(opts: &Opts) -> Result<(), String> {
+    use dagsfc::sim::sweep::quality::{quality_experiment, quality_table};
+    let with_exact = opts.has("exact");
+    let mut cfg = sim_config(opts)?;
+    if with_exact {
+        // Exact solver territory: tiny instances only.
+        cfg.network_size = opts.usize_or("nodes", 9)?;
+        cfg.vnf_kinds = 4;
+        cfg.sfc_size = opts.usize_or("sfc-size", 2)?;
+    } else {
+        cfg.network_size = opts.usize_or("nodes", 60)?;
+    }
+    cfg.runs = opts.usize_or("runs", 10)?;
+    let rows = quality_experiment(
+        &cfg,
+        &[Algo::Mbbe, Algo::Bbe, Algo::Grasp, Algo::Minv, Algo::Ranv],
+        with_exact,
+    );
+    println!("{}", quality_table(&rows));
+    Ok(())
+}
+
+fn cmd_ilp(opts: &Opts) -> Result<(), String> {
+    let cfg = SimConfig {
+        network_size: opts.usize_or("nodes", 8)?,
+        sfc_size: opts.usize_or("sfc-size", 2)?,
+        vnf_kinds: opts.usize_or("kinds", 4)?,
+        seed: opts.u64_or("seed", 1)?,
+        ..SimConfig::default()
+    };
+    let k = opts.usize_or("k", 4)?;
+    let network = instance_network(&cfg);
+    let (sfc, flow) = instance_request(&cfg, &network, 0);
+    let model = IlpModel::build(&network, &sfc, &flow, k);
+    println!(
+        "model: {} assignment vars, {} path vars, {} constraints",
+        model.stats.assignment_vars, model.stats.path_vars, model.stats.constraints
+    );
+    match opts.path("out") {
+        Some(path) => {
+            std::fs::write(&path, model.to_lp_string()).map_err(|e| e.to_string())?;
+            println!("LP written to {}", path.display());
+        }
+        None => print!("{}", model.to_lp_string()),
+    }
+    Ok(())
+}
+
+fn write_dot(path: &Path, dot: &str) -> Result<(), String> {
+    std::fs::write(path, dot).map_err(|e| e.to_string())?;
+    println!("DOT written to {}", path.display());
+    Ok(())
+}

@@ -1,0 +1,173 @@
+//! End-to-end tests of the `dagsfc` CLI binary: each subcommand is run
+//! as a real subprocess (via `CARGO_BIN_EXE_dagsfc`) against temp files.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_dagsfc"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dagsfc-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir.join(name)
+}
+
+#[test]
+fn no_args_prints_usage() {
+    let out = bin().output().expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("USAGE"));
+}
+
+#[test]
+fn unknown_command_fails() {
+    let out = bin().arg("frobnicate").output().expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn generate_writes_network_and_dot() {
+    let json = tmp("net.json");
+    let dot = tmp("net.dot");
+    let out = bin()
+        .args([
+            "generate", "--nodes", "20", "--seed", "5",
+            "--out", json.to_str().unwrap(),
+            "--dot", dot.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let net_text = std::fs::read_to_string(&json).expect("network written");
+    assert!(net_text.contains("\"links\""));
+    let dot_text = std::fs::read_to_string(&dot).expect("dot written");
+    assert!(dot_text.starts_with("graph "));
+}
+
+#[test]
+fn instance_then_embed_roundtrip() {
+    let inst = tmp("inst.json");
+    let out = bin()
+        .args([
+            "instance", "--nodes", "30", "--sfc-size", "3", "--seed", "9",
+            "--out", inst.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    for algo in ["mbbe", "mbbe-st", "minv", "ranv", "bbe"] {
+        let out = bin()
+            .args(["embed", "--instance", inst.to_str().unwrap(), "--algo", algo])
+            .output()
+            .expect("binary runs");
+        assert!(
+            out.status.success(),
+            "algo {algo}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let text = String::from_utf8_lossy(&out.stdout);
+        assert!(text.contains("total"), "algo {algo} printed no cost");
+        assert!(text.contains("L0[0]"), "algo {algo} printed no assignment");
+    }
+}
+
+#[test]
+fn embed_rejects_unknown_algorithm() {
+    let out = bin()
+        .args(["embed", "--nodes", "20", "--algo", "quantum"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown algorithm"));
+}
+
+#[test]
+fn figures_single_id_writes_series() {
+    let dir = tmp("figs");
+    let out = bin()
+        .args(["figures", "fig6c", "--out-dir", dir.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("fig6c"));
+    assert!(dir.join("fig6c.csv").exists());
+    assert!(dir.join("fig6c.json").exists());
+}
+
+#[test]
+fn figures_unknown_id_fails() {
+    let out = bin().args(["figures", "fig9z"]).output().expect("binary runs");
+    assert!(!out.status.success());
+}
+
+#[test]
+fn ilp_emits_model() {
+    let out = bin()
+        .args(["ilp", "--nodes", "6", "--sfc-size", "1", "--seed", "3"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("min:"));
+    assert!(text.contains("subject to:"));
+    assert!(text.contains("binary:"));
+}
+
+#[test]
+fn online_prints_acceptance_table() {
+    let out = bin()
+        .args([
+            "online", "--nodes", "25", "--requests", "20", "--capacity", "5",
+            "--algo", "mbbe,minv",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("acceptance ratio"));
+    assert!(text.contains("MBBE"));
+    assert!(text.contains("MINV"));
+}
+
+#[test]
+fn embed_with_protect_and_save() {
+    let sol = tmp("solution.json");
+    let out = bin()
+        .args([
+            "embed", "--nodes", "30", "--sfc-size", "3", "--seed", "4",
+            "--algo", "grasp", "--protect", "--save", sol.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("protection:"));
+    assert!(text.contains("solution written"));
+    let saved = std::fs::read_to_string(&sol).expect("solution written");
+    assert!(saved.contains("\"GRASP\""));
+    assert!(saved.contains("\"embedding\""));
+}
+
+#[test]
+fn quality_and_topology_subcommands() {
+    let out = bin()
+        .args(["quality", "--nodes", "30", "--runs", "3"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("vs bound"));
+
+    let out = bin()
+        .args(["topology", "--nodes", "16", "--runs", "2", "--sfc-size", "3"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("ring"));
+    assert!(text.contains("fat-tree"));
+}

@@ -1,0 +1,159 @@
+//! End-to-end integration: the full pipeline from NF-parallelism
+//! analysis through DAG-SFC transformation, embedding, validation, and
+//! the simulation harness.
+
+use dagsfc::core::solvers::{MbbeSolver, Solver};
+use dagsfc::core::{validate, DagSfc, DelayModel, Flow, VnfCatalog};
+use dagsfc::net::{generator, NetGenConfig, NodeId};
+use dagsfc::nfp::{
+    catalog::enterprise_catalog, sequentialize, to_hybrid, DependencyMatrix, TransformOptions,
+};
+use dagsfc::sim::{run_instance, runner::instance_network, Algo, SimConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// NFP analysis → hybrid chain → MBBE embedding → validator: the whole
+/// pipeline on a realistic enterprise chain.
+#[test]
+fn nfp_to_embedding_pipeline() {
+    let nfs = enterprise_catalog();
+    let deps = DependencyMatrix::analyze(&nfs);
+    let chain = [0usize, 1, 9, 11, 3]; // firewall, ids, dpi, policer, nat
+    let hybrid = to_hybrid(&chain, &deps, TransformOptions { max_width: Some(3) });
+    assert!(hybrid.depth() < chain.len(), "some parallelism must be found");
+
+    let catalog = VnfCatalog::new(nfs.len() as u16);
+    let sfc = DagSfc::from_hybrid(&hybrid, catalog).unwrap();
+    assert_eq!(sfc.size(), chain.len());
+
+    let net_cfg = NetGenConfig {
+        nodes: 120,
+        vnf_kinds: catalog.deployable_count(),
+        ..NetGenConfig::default()
+    };
+    let net = generator::generate(&net_cfg, &mut StdRng::seed_from_u64(5)).unwrap();
+    let flow = Flow::unit(NodeId(0), NodeId(119));
+    let out = MbbeSolver::new().solve(&net, &sfc, &flow).unwrap();
+    let cost = validate(&net, &sfc, &flow, &out.embedding).unwrap();
+    assert!((cost.total() - out.cost.total()).abs() < 1e-9);
+}
+
+/// Hybrid embeddings must never be slower end-to-end than embedding the
+/// sequentialized chain (the Fig. 1 motivation), across several seeds.
+#[test]
+fn hybrid_embedding_cuts_delay() {
+    let nfs = enterprise_catalog();
+    let deps = DependencyMatrix::analyze(&nfs);
+    let chain = [0usize, 1, 9, 11]; // four mutually parallel readers
+    let hybrid = to_hybrid(&chain, &deps, TransformOptions::default());
+    assert_eq!(hybrid.depth(), 1, "these four NFs are mutually parallel");
+
+    let catalog = VnfCatalog::new(nfs.len() as u16);
+    let hybrid_sfc = DagSfc::from_hybrid(&hybrid, catalog).unwrap();
+    let seq_sfc = DagSfc::from_hybrid(&sequentialize(&chain), catalog).unwrap();
+
+    let mut proc_us: Vec<f64> = nfs.iter().map(|s| s.proc_delay_us).collect();
+    proc_us.push(5.0);
+    let model = DelayModel {
+        per_hop_us: 20.0,
+        merge_us: 5.0,
+        proc_us,
+    };
+
+    for seed in [1u64, 2, 3] {
+        let net_cfg = NetGenConfig {
+            nodes: 80,
+            vnf_kinds: catalog.deployable_count(),
+            ..NetGenConfig::default()
+        };
+        let net = generator::generate(&net_cfg, &mut StdRng::seed_from_u64(seed)).unwrap();
+        let flow = Flow::unit(NodeId(0), NodeId(79));
+        let solver = MbbeSolver::new();
+        let hyb = solver.solve(&net, &hybrid_sfc, &flow).unwrap();
+        let seq = solver.solve(&net, &seq_sfc, &flow).unwrap();
+        let hyb_delay = model.embedding_delay(&hybrid_sfc, &hyb.embedding, &flow);
+        let seq_delay = model.embedding_delay(&seq_sfc, &seq.embedding, &flow);
+        assert!(
+            hyb_delay <= seq_delay + 1e-9,
+            "seed {seed}: hybrid {hyb_delay} slower than sequential {seq_delay}"
+        );
+    }
+}
+
+/// The simulation harness reproduces the paper's headline comparison on
+/// a small instance: MBBE/BBE beat both baselines on mean cost.
+#[test]
+fn paper_headline_ordering_holds() {
+    let cfg = SimConfig {
+        network_size: 80,
+        runs: 12,
+        sfc_size: 5,
+        ..SimConfig::default()
+    };
+    let res = run_instance(&cfg, &[Algo::Mbbe, Algo::Bbe, Algo::Minv, Algo::Ranv]);
+    let mean = |n: &str| res.algo(n).unwrap().cost.mean;
+    assert!(mean("MBBE") <= mean("MINV") + 1e-9);
+    assert!(mean("MBBE") <= mean("RANV") + 1e-9);
+    assert!(mean("BBE") <= mean("MINV") + 1e-9);
+    // MBBE tracks BBE closely (paper: "without an apparent performance
+    // degradation").
+    assert!(mean("MBBE") <= mean("BBE") * 1.10 + 1e-9);
+    // And everything succeeded on this comfortable instance.
+    for a in &res.algos {
+        assert_eq!(a.failures, 0, "{} failed unexpectedly", a.name);
+    }
+}
+
+/// Two full instance runs with the same seed agree exactly, despite the
+/// multithreaded runner.
+#[test]
+fn instance_runs_reproducible_across_thread_schedules() {
+    let cfg = SimConfig {
+        network_size: 50,
+        runs: 8,
+        sfc_size: 4,
+        ..SimConfig::default()
+    };
+    let a = run_instance(&cfg, &[Algo::Mbbe, Algo::Ranv]);
+    let b = run_instance(&cfg, &[Algo::Mbbe, Algo::Ranv]);
+    for (x, y) in a.algos.iter().zip(&b.algos) {
+        assert_eq!(x.successes, y.successes);
+        assert!((x.cost.mean - y.cost.mean).abs() < 1e-12);
+        assert!((x.cost.std_dev - y.cost.std_dev).abs() < 1e-12);
+    }
+}
+
+/// The generated instance network matches the configured shape.
+#[test]
+fn instance_network_matches_config() {
+    let cfg = SimConfig {
+        network_size: 70,
+        connectivity: 4.0,
+        ..SimConfig::default()
+    };
+    let net = instance_network(&cfg);
+    assert_eq!(net.node_count(), 70);
+    assert!((net.avg_degree() - 4.0).abs() < 0.1);
+    assert!(net.is_connected());
+}
+
+/// Raising the flow rate against finite capacities turns comfortable
+/// instances into partially-infeasible ones; solvers must degrade to
+/// clean errors, never to invalid embeddings.
+#[test]
+fn capacity_pressure_degrades_cleanly() {
+    let cfg = SimConfig {
+        network_size: 40,
+        runs: 10,
+        sfc_size: 5,
+        vnf_capacity: 1.0,
+        link_capacity: 1.0,
+        rate: 1.0, // exactly saturating: every instance single-use
+        ..SimConfig::default()
+    };
+    let res = run_instance(&cfg, &[Algo::Mbbe, Algo::Minv]);
+    for a in &res.algos {
+        assert_eq!(a.successes + a.failures, cfg.runs);
+        // debug_assert inside the runner already validated embeddings.
+    }
+}

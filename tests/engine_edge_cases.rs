@@ -1,0 +1,181 @@
+//! Edge cases of the BBE/MBBE engine and the model layer: shapes,
+//! degeneracies, and adversarial configurations that the paper never
+//! spells out but an implementation must decide.
+
+use dagsfc::core::solvers::{BbeConfig, BbeSolver, MbbeSolver, MinvSolver, Solver};
+use dagsfc::core::{validate, ChainBuilder, DagSfc, Flow, Layer, VnfCatalog};
+use dagsfc::net::{generator, NetGenConfig, Network, NodeId, VnfTypeId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn net(seed: u64, nodes: usize, kinds: usize) -> Network {
+    let cfg = NetGenConfig {
+        nodes,
+        avg_degree: 5.0,
+        vnf_kinds: kinds + 1, // + merger
+        deploy_ratio: 0.6,
+        ..NetGenConfig::default()
+    };
+    generator::generate(&cfg, &mut StdRng::seed_from_u64(seed)).unwrap()
+}
+
+/// A deep chain (8 sequential layers) stays tractable for MBBE and BBE's
+/// level caps keep it finite.
+#[test]
+fn deep_sequential_chain() {
+    let g = net(1, 60, 8);
+    let kinds: Vec<VnfTypeId> = (0..8u16).map(VnfTypeId).collect();
+    let sfc = DagSfc::sequential(&kinds, VnfCatalog::new(8)).unwrap();
+    let flow = Flow::unit(NodeId(0), NodeId(59));
+    for solver in [
+        Box::new(MbbeSolver::new()) as Box<dyn Solver>,
+        Box::new(BbeSolver::new()),
+    ] {
+        let out = solver.solve(&g, &sfc, &flow).unwrap();
+        validate(&g, &sfc, &flow, &out.embedding).unwrap();
+        assert_eq!(out.embedding.assignments().len(), 8);
+    }
+}
+
+/// A wide parallel layer (5 VNFs) — beyond the paper's width-3
+/// generator — embeds with bounded candidate enumeration.
+#[test]
+fn wide_parallel_layer() {
+    let g = net(2, 60, 6);
+    let sfc = DagSfc::new(
+        vec![Layer::new(
+            (0..5u16).map(VnfTypeId).collect::<Vec<_>>(),
+        )],
+        VnfCatalog::new(6),
+    )
+    .unwrap();
+    let flow = Flow::unit(NodeId(0), NodeId(59));
+    let out = MbbeSolver::new().solve(&g, &sfc, &flow).unwrap();
+    validate(&g, &sfc, &flow, &out.embedding).unwrap();
+    assert_eq!(out.embedding.assignments()[0].len(), 6); // 5 + merger
+}
+
+/// The same kind twice within one parallel layer is legal (two slots of
+/// one category) and both slots may legitimately share one instance —
+/// cost must then count the instance twice (eq. 7).
+#[test]
+fn duplicate_kind_within_layer() {
+    let g = net(3, 50, 4);
+    let sfc = DagSfc::new(
+        vec![Layer::new(vec![VnfTypeId(0), VnfTypeId(0)])],
+        VnfCatalog::new(4),
+    )
+    .unwrap();
+    let flow = Flow::unit(NodeId(0), NodeId(49));
+    let out = MbbeSolver::new().solve(&g, &sfc, &flow).unwrap();
+    validate(&g, &sfc, &flow, &out.embedding).unwrap();
+    let a0 = out.embedding.node_of(0, 0);
+    let a1 = out.embedding.node_of(0, 1);
+    if a0 == a1 {
+        // Shared instance → VNF cost includes its price twice.
+        let price = g.vnf_price(a0, VnfTypeId(0)).unwrap();
+        assert!(out.cost.vnf >= 2.0 * price - 1e-9);
+    }
+}
+
+/// Consecutive layers of the same kind: reuse across layers is legal
+/// and the engine exploits colocation (trivial inter-layer path).
+#[test]
+fn repeated_kind_across_layers() {
+    let g = net(4, 50, 4);
+    let sfc =
+        DagSfc::sequential(&[VnfTypeId(1), VnfTypeId(1), VnfTypeId(1)], VnfCatalog::new(4))
+            .unwrap();
+    let flow = Flow::unit(NodeId(0), NodeId(49));
+    let out = MbbeSolver::new().solve(&g, &sfc, &flow).unwrap();
+    validate(&g, &sfc, &flow, &out.embedding).unwrap();
+    // All three layers land on the same node (the cheapest nearby one):
+    // anything else would pay extra links for zero benefit here.
+    let nodes: Vec<NodeId> = (0..3).map(|l| out.embedding.node_of(l, 0)).collect();
+    assert_eq!(nodes[0], nodes[1]);
+    assert_eq!(nodes[1], nodes[2]);
+}
+
+/// src == dst round-trip flows work through the whole engine.
+#[test]
+fn same_endpoint_round_trip() {
+    let g = net(5, 40, 4);
+    let sfc = ChainBuilder::new(VnfCatalog::new(4))
+        .then(VnfTypeId(0))
+        .parallel([VnfTypeId(1), VnfTypeId(2)])
+        .build()
+        .unwrap();
+    let flow = Flow::unit(NodeId(7), NodeId(7));
+    let out = MbbeSolver::new().solve(&g, &sfc, &flow).unwrap();
+    validate(&g, &sfc, &flow, &out.embedding).unwrap();
+    assert_eq!(out.embedding.paths()[0].source(), NodeId(7));
+    assert_eq!(
+        out.embedding.paths().last().unwrap().target(),
+        NodeId(7)
+    );
+}
+
+/// Extreme engine bounds: a 1-wide beam (`max_level_width = 1`) still
+/// returns valid embeddings.
+#[test]
+fn unit_beam_width() {
+    let g = net(6, 50, 5);
+    let sfc = DagSfc::new(
+        vec![
+            Layer::new(vec![VnfTypeId(0), VnfTypeId(1)]),
+            Layer::new(vec![VnfTypeId(2)]),
+        ],
+        VnfCatalog::new(5),
+    )
+    .unwrap();
+    let flow = Flow::unit(NodeId(0), NodeId(49));
+    let solver = MbbeSolver {
+        config: BbeConfig {
+            max_level_width: 1,
+            ..BbeConfig::mbbe()
+        },
+    };
+    let out = solver.solve(&g, &sfc, &flow).unwrap();
+    validate(&g, &sfc, &flow, &out.embedding).unwrap();
+    // The unrestricted engine can only be equal or better.
+    let free = MbbeSolver::new().solve(&g, &sfc, &flow).unwrap();
+    assert!(free.cost.total() <= out.cost.total() + 1e-9);
+}
+
+/// Zero-size flows cost nothing but still occupy structure (z = 0 makes
+/// the objective vanish while capacity checks use the rate).
+#[test]
+fn zero_size_flow() {
+    let g = net(7, 40, 4);
+    let sfc = DagSfc::sequential(&[VnfTypeId(0)], VnfCatalog::new(4)).unwrap();
+    let flow = Flow {
+        src: NodeId(0),
+        dst: NodeId(39),
+        rate: 1.0,
+        size: 0.0,
+    };
+    let out = MbbeSolver::new().solve(&g, &sfc, &flow).unwrap();
+    validate(&g, &sfc, &flow, &out.embedding).unwrap();
+    assert_eq!(out.cost.total(), 0.0);
+}
+
+/// MINV ties are broken deterministically (lowest node id) so repeated
+/// runs cannot flap between equally-cheap hosts.
+#[test]
+fn minv_tie_breaking() {
+    let mut g = Network::new();
+    g.add_nodes(4);
+    g.add_link(NodeId(0), NodeId(1), 1.0, 10.0).unwrap();
+    g.add_link(NodeId(0), NodeId(2), 1.0, 10.0).unwrap();
+    g.add_link(NodeId(1), NodeId(3), 1.0, 10.0).unwrap();
+    g.add_link(NodeId(2), NodeId(3), 1.0, 10.0).unwrap();
+    // Identical prices on v1 and v2.
+    g.deploy_vnf(NodeId(1), VnfTypeId(0), 1.0, 10.0).unwrap();
+    g.deploy_vnf(NodeId(2), VnfTypeId(0), 1.0, 10.0).unwrap();
+    let sfc = DagSfc::sequential(&[VnfTypeId(0)], VnfCatalog::new(1)).unwrap();
+    let flow = Flow::unit(NodeId(0), NodeId(3));
+    for _ in 0..5 {
+        let out = MinvSolver::new().solve(&g, &sfc, &flow).unwrap();
+        assert_eq!(out.embedding.node_of(0, 0), NodeId(1), "ties break low");
+    }
+}

@@ -1,0 +1,146 @@
+//! Property-based tests for the extension algorithms: Steiner multicast
+//! trees, Bhandari disjoint pairs, the local-search improver, and the
+//! cost lower bound — all over random networks.
+
+use dagsfc::core::solvers::{improve, LocalSearchConfig, MbbeSolver, RanvSolver, Solver};
+use dagsfc::core::{cost_lower_bound, DagSfc, Flow, Layer, VnfCatalog};
+use dagsfc::net::routing::{
+    disjoint_path_pair, k_shortest_paths, min_cost_path, multicast_tree, NoFilter,
+};
+use dagsfc::net::{generator, NetGenConfig, Network, NodeId, VnfTypeId};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_net() -> impl Strategy<Value = Network> {
+    (6usize..=16, 3.0f64..5.5, 0u64..4000).prop_map(|(n, deg, seed)| {
+        let cfg = NetGenConfig {
+            nodes: n,
+            avg_degree: deg,
+            vnf_kinds: 5,
+            deploy_ratio: 0.6,
+            vnf_price_fluctuation: 0.4,
+            link_price_fluctuation: 0.4,
+            ..NetGenConfig::default()
+        };
+        generator::generate(&cfg, &mut StdRng::seed_from_u64(seed)).expect("valid config")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Steiner trees: per-target paths live inside the tree, are
+    /// correctly oriented, and the tree never costs more than the sum of
+    /// independent shortest paths.
+    #[test]
+    fn steiner_invariants(net in arb_net(), raw in prop::collection::vec(0u32..16, 1..4)) {
+        let n = net.node_count() as u32;
+        let root = NodeId(0);
+        let targets: Vec<NodeId> = raw.iter().map(|&t| NodeId(t % n)).collect();
+        let Some(mt) = multicast_tree(&net, root, &targets, &NoFilter) else {
+            // Generator output is connected, so this must not happen.
+            return Err(TestCaseError::fail("connected net must multicast"));
+        };
+        prop_assert_eq!(mt.paths.len(), targets.len());
+        let tree: std::collections::HashSet<_> = mt.tree_links.iter().copied().collect();
+        prop_assert_eq!(tree.len(), mt.tree_links.len(), "tree links unique");
+        let mut independent = 0.0;
+        for (p, &t) in mt.paths.iter().zip(&targets) {
+            prop_assert_eq!(p.source(), root);
+            prop_assert_eq!(p.target(), t);
+            prop_assert!(!p.has_node_cycle());
+            for l in p.links() {
+                prop_assert!(tree.contains(l), "path escapes the tree");
+            }
+            independent += min_cost_path(&net, root, t, &NoFilter)
+                .expect("connected")
+                .price(&net);
+        }
+        prop_assert!(mt.tree_price <= independent + 1e-9);
+        // Tree price equals the sum of its distinct link prices.
+        let direct: f64 = mt.tree_links.iter().map(|&l| net.link(l).price).sum();
+        prop_assert!((mt.tree_price - direct).abs() < 1e-9);
+    }
+
+    /// Bhandari pairs: disjoint, correctly oriented, and the total never
+    /// beats the two cheapest loopless paths' sum from Yen (a valid
+    /// lower bound certificate: Yen's top-2 need not be disjoint).
+    #[test]
+    fn disjoint_pair_invariants(net in arb_net(), a in 0u32..16, b in 0u32..16) {
+        let n = net.node_count() as u32;
+        let (a, b) = (NodeId(a % n), NodeId(b % n));
+        if a == b {
+            return Ok(());
+        }
+        if let Some(pair) = disjoint_path_pair(&net, a, b, &NoFilter) {
+            prop_assert_eq!(pair.primary.source(), a);
+            prop_assert_eq!(pair.primary.target(), b);
+            prop_assert_eq!(pair.backup.source(), a);
+            prop_assert_eq!(pair.backup.target(), b);
+            for l in pair.primary.links() {
+                prop_assert!(!pair.backup.links().contains(l));
+            }
+            prop_assert!(pair.primary.price(&net) <= pair.backup.price(&net) + 1e-9);
+            let yen = k_shortest_paths(&net, a, b, 2, &NoFilter);
+            if yen.len() == 2 {
+                let yen_sum = yen[0].price(&net) + yen[1].price(&net);
+                prop_assert!(
+                    pair.total_price(&net) >= yen_sum - 1e-9,
+                    "pair {} beat the unconstrained top-2 {}",
+                    pair.total_price(&net),
+                    yen_sum
+                );
+            }
+        }
+    }
+
+    /// Local search never worsens any solver's embedding and always
+    /// stays above the certified lower bound.
+    #[test]
+    fn local_search_sandwich(net in arb_net(), seed in 0u64..500) {
+        let n = net.node_count() as u32;
+        let catalog = VnfCatalog::new(4);
+        let sfc = DagSfc::new(
+            vec![Layer::new(vec![VnfTypeId(0), VnfTypeId(1)])],
+            catalog,
+        ).expect("valid chain");
+        let flow = Flow::unit(NodeId(seed as u32 % n), NodeId((seed as u32 + 3) % n));
+        let Ok(base) = RanvSolver::new(seed).solve(&net, &sfc, &flow) else {
+            return Ok(());
+        };
+        let imp = improve(&net, &sfc, &flow, &base.embedding, LocalSearchConfig::default());
+        prop_assert!(imp.after <= imp.before + 1e-9);
+        if let Some(lb) = cost_lower_bound(&net, &sfc, &flow) {
+            prop_assert!(imp.after >= lb.total() - 1e-9,
+                "LS result {} fell below the bound {}", imp.after, lb.total());
+        }
+        prop_assert!(
+            dagsfc::core::validate(&net, &sfc, &flow, &imp.embedding).is_ok()
+        );
+    }
+
+    /// The lower bound is monotone in the flow size and never exceeds
+    /// MBBE's achieved cost.
+    #[test]
+    fn bound_scaling(net in arb_net(), seed in 0u64..300) {
+        let n = net.node_count() as u32;
+        let catalog = VnfCatalog::new(4);
+        let sfc = DagSfc::sequential(&[VnfTypeId(0), VnfTypeId(2)], catalog)
+            .expect("valid chain");
+        let src = NodeId(seed as u32 % n);
+        let dst = NodeId((seed as u32 + 1) % n);
+        let unit = Flow::unit(src, dst);
+        let double = Flow { size: 2.0, ..unit };
+        let (Some(lb1), Some(lb2)) = (
+            cost_lower_bound(&net, &sfc, &unit),
+            cost_lower_bound(&net, &sfc, &double),
+        ) else {
+            return Ok(());
+        };
+        prop_assert!((lb2.total() - 2.0 * lb1.total()).abs() < 1e-9);
+        if let Ok(out) = MbbeSolver::new().solve(&net, &sfc, &unit) {
+            prop_assert!(out.cost.total() >= lb1.total() - 1e-9);
+        }
+    }
+}

