@@ -6,8 +6,8 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use dagsfc_bench::bench_instance;
 use dagsfc_core::protect::protect;
 use dagsfc_core::solvers::{MbbeSolver, MbbeStSolver, Solver};
-use dagsfc_sim::online::{run_online, OnlineConfig};
 use dagsfc_sim::lifecycle::{run_lifecycle, LifecycleConfig};
+use dagsfc_sim::online::{run_online, OnlineConfig};
 use dagsfc_sim::{Algo, SimConfig};
 use std::hint::black_box;
 

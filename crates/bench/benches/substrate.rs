@@ -47,9 +47,7 @@ fn yen_bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("yen_k_shortest");
     for k in [2usize, 8] {
         group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
-            b.iter(|| {
-                black_box(k_shortest_paths(&net, NodeId(0), NodeId(99), k, &NoFilter))
-            })
+            b.iter(|| black_box(k_shortest_paths(&net, NodeId(0), NodeId(99), k, &NoFilter)))
         });
     }
     group.finish();
@@ -60,15 +58,7 @@ fn search_tree_bench(c: &mut Criterion) {
     // Require a rare kind so the BFS has to expand several rings.
     let required = [VnfTypeId(0), VnfTypeId(5), VnfTypeId(12)];
     c.bench_function("search_tree/grow_500", |b| {
-        b.iter(|| {
-            black_box(SearchTree::grow(
-                &net,
-                NodeId(7),
-                &required,
-                |_| true,
-                None,
-            ))
-        })
+        b.iter(|| black_box(SearchTree::grow(&net, NodeId(7), &required, |_| true, None)))
     });
 }
 

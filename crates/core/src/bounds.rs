@@ -115,8 +115,8 @@ mod tests {
         for seed in 6u64..10 {
             let g = net(seed, 9);
             let flow = Flow::unit(NodeId(0), NodeId(8));
-            let chain = DagSfc::sequential(&[VnfTypeId(0), VnfTypeId(1)], VnfCatalog::new(4))
-                .unwrap();
+            let chain =
+                DagSfc::sequential(&[VnfTypeId(0), VnfTypeId(1)], VnfCatalog::new(4)).unwrap();
             let Some(lb) = cost_lower_bound(&g, &chain, &flow) else {
                 continue;
             };
@@ -141,21 +141,22 @@ mod tests {
         g.add_link(NodeId(0), NodeId(1), 1.0, 10.0).unwrap();
         g.deploy_vnf(NodeId(0), VnfTypeId(0), 2.0, 10.0).unwrap();
         g.deploy_vnf(NodeId(0), VnfTypeId(1), 3.0, 10.0).unwrap();
-        let chain =
-            DagSfc::sequential(&[VnfTypeId(0), VnfTypeId(1)], VnfCatalog::new(2)).unwrap();
+        let chain = DagSfc::sequential(&[VnfTypeId(0), VnfTypeId(1)], VnfCatalog::new(2)).unwrap();
         let flow = Flow::unit(NodeId(0), NodeId(0));
         let lb = cost_lower_bound(&g, &chain, &flow).unwrap();
         let out = MbbeSolver::new().solve(&g, &chain, &flow).unwrap();
         assert!((lb.total() - 5.0).abs() < 1e-12);
-        assert!((out.cost.total() - lb.total()).abs() < 1e-9, "bound is tight here");
+        assert!(
+            (out.cost.total() - lb.total()).abs() < 1e-9,
+            "bound is tight here"
+        );
     }
 
     #[test]
     fn missing_kind_and_disconnection_yield_none() {
         let g = net(11, 20);
         let wide = DagSfc::sequential(&[VnfTypeId(0)], VnfCatalog::new(40)).unwrap();
-        let missing =
-            DagSfc::sequential(&[VnfTypeId(30)], VnfCatalog::new(40)).unwrap();
+        let missing = DagSfc::sequential(&[VnfTypeId(30)], VnfCatalog::new(40)).unwrap();
         let flow = Flow::unit(NodeId(0), NodeId(19));
         assert!(cost_lower_bound(&g, &wide, &flow).is_some());
         assert!(cost_lower_bound(&g, &missing, &flow).is_none());

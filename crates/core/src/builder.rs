@@ -101,7 +101,9 @@ mod tests {
     fn invalid_kind_propagates() {
         // Kind 5 is the merger of a 5-kind catalog: not a regular VNF.
         assert!(matches!(
-            ChainBuilder::new(VnfCatalog::new(5)).then(VnfTypeId(5)).build(),
+            ChainBuilder::new(VnfCatalog::new(5))
+                .then(VnfTypeId(5))
+                .build(),
             Err(ModelError::NotARegularVnf(_))
         ));
     }

@@ -75,7 +75,10 @@ impl Layer {
         } else if self.needs_merger() && slot == self.vnfs.len() {
             catalog.merger()
         } else {
-            panic!("slot {slot} out of range for layer of width {}", self.width());
+            panic!(
+                "slot {slot} out of range for layer of width {}",
+                self.width()
+            );
         }
     }
 
@@ -122,10 +125,7 @@ impl DagSfc {
     /// A fully sequential chain: one VNF per layer (the traditional SFC
     /// of the paper's Fig. 1(a)).
     pub fn sequential(vnfs: &[VnfTypeId], catalog: VnfCatalog) -> Result<Self, ModelError> {
-        DagSfc::new(
-            vnfs.iter().map(|&v| Layer::new(vec![v])).collect(),
-            catalog,
-        )
+        DagSfc::new(vnfs.iter().map(|&v| Layer::new(vec![v])).collect(), catalog)
     }
 
     /// Builds a DAG-SFC from an NFP [`HybridChain`] whose NF ids are used
@@ -298,7 +298,9 @@ mod tests {
 
     #[test]
     fn from_hybrid_roundtrip() {
-        use dagsfc_nfp::{catalog::enterprise_catalog, DependencyMatrix, to_hybrid, TransformOptions};
+        use dagsfc_nfp::{
+            catalog::enterprise_catalog, to_hybrid, DependencyMatrix, TransformOptions,
+        };
         let cat = enterprise_catalog();
         let deps = DependencyMatrix::analyze(&cat);
         let chain = [0usize, 1, 9]; // firewall, ids, dpi — all parallel

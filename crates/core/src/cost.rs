@@ -16,7 +16,10 @@ pub struct CostBreakdown {
 
 impl CostBreakdown {
     /// Zero cost.
-    pub const ZERO: CostBreakdown = CostBreakdown { vnf: 0.0, link: 0.0 };
+    pub const ZERO: CostBreakdown = CostBreakdown {
+        vnf: 0.0,
+        link: 0.0,
+    };
 
     /// The objective value.
     #[inline]
@@ -53,8 +56,14 @@ mod tests {
 
     #[test]
     fn totals_and_addition() {
-        let a = CostBreakdown { vnf: 2.0, link: 0.5 };
-        let b = CostBreakdown { vnf: 1.0, link: 1.5 };
+        let a = CostBreakdown {
+            vnf: 2.0,
+            link: 0.5,
+        };
+        let b = CostBreakdown {
+            vnf: 1.0,
+            link: 1.5,
+        };
         assert_eq!(a.total(), 2.5);
         let c = a + b;
         assert_eq!(c.vnf, 3.0);
@@ -65,7 +74,10 @@ mod tests {
 
     #[test]
     fn display_shows_split() {
-        let c = CostBreakdown { vnf: 1.0, link: 0.25 };
+        let c = CostBreakdown {
+            vnf: 1.0,
+            link: 0.25,
+        };
         let s = c.to_string();
         assert!(s.contains("1.25") && s.contains("0.25"));
     }

@@ -97,7 +97,48 @@ impl Embedding {
     }
 
     /// Full reuse accounting: objective cost plus per-resource loads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the embedding references a VNF instance the network
+    /// does not deploy. Solver code evaluating *speculative* assignments
+    /// must use [`Self::try_account`] (or [`Self::try_cost`]) instead,
+    /// which reports the miss as [`ModelError::MissingVnfInstance`].
     pub fn account(&self, net: &Network, sfc: &DagSfc, flow: &Flow) -> Accounting {
+        match self.try_account(net, sfc, flow) {
+            Ok(acct) => acct,
+            Err(e) => panic!("Embedding::account on an invalid embedding: {e}"),
+        }
+    }
+
+    /// Full reuse accounting, failing on a reference to a VNF instance
+    /// the network does not deploy instead of silently pricing it as
+    /// `f64::INFINITY`.
+    pub fn try_account(
+        &self,
+        net: &Network,
+        sfc: &DagSfc,
+        flow: &Flow,
+    ) -> Result<Accounting, ModelError> {
+        let mut missing = None;
+        let acct = self.account_lenient(net, sfc, flow, &mut missing);
+        match missing {
+            None => Ok(acct),
+            Some((node, kind)) => Err(ModelError::MissingVnfInstance { node, kind }),
+        }
+    }
+
+    /// The accounting body. A missing VNF instance is priced
+    /// `f64::INFINITY` and reported through `missing` (first miss wins);
+    /// the validator uses this path directly because it reports missing
+    /// instances itself with per-slot detail.
+    pub(crate) fn account_lenient(
+        &self,
+        net: &Network,
+        sfc: &DagSfc,
+        flow: &Flow,
+        missing: &mut Option<(NodeId, VnfTypeId)>,
+    ) -> Accounting {
         let catalog = sfc.catalog();
         // --- VNF term: α_{v,i} counts slot assignments per instance.
         // BTreeMaps keep summation order deterministic, so identical
@@ -113,10 +154,13 @@ impl Embedding {
         let mut vnf_cost = 0.0;
         let mut vnf_load: BTreeMap<(NodeId, VnfTypeId), f64> = BTreeMap::new();
         for (&(node, kind), &uses) in &vnf_uses {
-            let price = net
-                .instance(node, kind)
-                .map(|i| i.price)
-                .unwrap_or(f64::INFINITY); // validator reports the miss
+            let price = match net.instance(node, kind) {
+                Some(i) => i.price,
+                None => {
+                    missing.get_or_insert((node, kind));
+                    f64::INFINITY
+                }
+            };
             vnf_cost += uses as f64 * price * flow.size;
             vnf_load.insert((node, kind), uses as f64 * flow.rate);
         }
@@ -159,8 +203,24 @@ impl Embedding {
     }
 
     /// Convenience: just the objective value.
+    ///
+    /// # Panics
+    ///
+    /// As [`Self::account`] — use [`Self::try_cost`] for speculative
+    /// embeddings.
     pub fn cost(&self, net: &Network, sfc: &DagSfc, flow: &Flow) -> CostBreakdown {
         self.account(net, sfc, flow).cost
+    }
+
+    /// Fallible objective value: `Err(ModelError::MissingVnfInstance)`
+    /// when the embedding references an undeployed instance.
+    pub fn try_cost(
+        &self,
+        net: &Network,
+        sfc: &DagSfc,
+        flow: &Flow,
+    ) -> Result<CostBreakdown, ModelError> {
+        self.try_account(net, sfc, flow).map(|a| a.cost)
     }
 
     /// Pairs every meta-path with its real-path.
@@ -173,8 +233,7 @@ impl Embedding {
     /// cost can be reduced"): how clustered the placement is and how
     /// short the real-paths came out.
     pub fn stats(&self, sfc: &DagSfc) -> EmbeddingStats {
-        let mut distinct_nodes: Vec<NodeId> =
-            self.assignments.iter().flatten().copied().collect();
+        let mut distinct_nodes: Vec<NodeId> = self.assignments.iter().flatten().copied().collect();
         let slots = distinct_nodes.len();
         distinct_nodes.sort_unstable();
         distinct_nodes.dedup();
@@ -186,7 +245,9 @@ impl Embedding {
         for (l, layer_slots) in self.assignments.iter().enumerate() {
             let layer = sfc.layer(l);
             for (slot, &node) in layer_slots.iter().enumerate() {
-                *uses.entry((node, layer.slot_kind(slot, catalog))).or_insert(0) += 1;
+                *uses
+                    .entry((node, layer.slot_kind(slot, catalog)))
+                    .or_insert(0) += 1;
             }
         }
         for &count in uses.values() {
@@ -300,12 +361,12 @@ mod tests {
             &sfc(),
             vec![vec![NodeId(1)], vec![NodeId(2), NodeId(2), NodeId(2)]],
             vec![
-                path(g, &[0, 1]),    // src → f0
-                path(g, &[1, 2]),    // f0 → f1 (inter, group 1)
-                path(g, &[1, 2]),    // f0 → f2 (inter, group 1, same link!)
+                path(g, &[0, 1]),         // src → f0
+                path(g, &[1, 2]),         // f0 → f1 (inter, group 1)
+                path(g, &[1, 2]),         // f0 → f2 (inter, group 1, same link!)
                 Path::trivial(NodeId(2)), // f1 → merger (colocated)
                 Path::trivial(NodeId(2)), // f2 → merger
-                path(g, &[2, 3]),    // merger → dst
+                path(g, &[2, 3]),         // merger → dst
             ],
         )
         .unwrap()
@@ -374,9 +435,7 @@ mod tests {
         let acct = emb.account(&g, &s, &flow);
         // α_{v2,f1} = 2 → vnf cost 2·3.0 = 6; load 2·rate.
         assert!((acct.cost.vnf - 6.0).abs() < 1e-12);
-        assert!(
-            (acct.vnf_load[&(NodeId(2), VnfTypeId(1))] - 2.0).abs() < 1e-12
-        );
+        assert!((acct.vnf_load[&(NodeId(2), VnfTypeId(1))] - 2.0).abs() < 1e-12);
         // links: e01+e12 (src→f1) + e23 = 3.
         assert!((acct.cost.link - 3.0).abs() < 1e-12);
     }
@@ -465,6 +524,60 @@ mod tests {
         let st = emb.stats(&s2);
         assert_eq!(st.reused_instances, 1);
         assert_eq!(st.distinct_nodes, 1);
+    }
+
+    #[test]
+    fn try_account_reports_missing_instance() {
+        let g = net();
+        let s = sfc();
+        // f0 assigned to v0, which deploys nothing.
+        let emb = Embedding::new(
+            &s,
+            vec![vec![NodeId(0)], vec![NodeId(2), NodeId(2), NodeId(2)]],
+            vec![
+                Path::trivial(NodeId(0)),
+                path(&g, &[0, 1, 2]),
+                path(&g, &[0, 1, 2]),
+                Path::trivial(NodeId(2)),
+                Path::trivial(NodeId(2)),
+                path(&g, &[2, 3]),
+            ],
+        )
+        .unwrap();
+        let flow = Flow::unit(NodeId(0), NodeId(3));
+        assert_eq!(
+            emb.try_account(&g, &s, &flow),
+            Err(ModelError::MissingVnfInstance {
+                node: NodeId(0),
+                kind: VnfTypeId(0),
+            })
+        );
+        assert!(emb.try_cost(&g, &s, &flow).is_err());
+        // Valid embeddings round-trip through both entry points.
+        let ok = embedding(&g);
+        let acct = ok.try_account(&g, &s, &flow).unwrap();
+        assert_eq!(acct, ok.account(&g, &s, &flow));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid embedding")]
+    fn account_panics_on_missing_instance() {
+        let g = net();
+        let s = sfc();
+        let emb = Embedding::new(
+            &s,
+            vec![vec![NodeId(0)], vec![NodeId(2), NodeId(2), NodeId(2)]],
+            vec![
+                Path::trivial(NodeId(0)),
+                path(&g, &[0, 1, 2]),
+                path(&g, &[0, 1, 2]),
+                Path::trivial(NodeId(2)),
+                Path::trivial(NodeId(2)),
+                path(&g, &[2, 3]),
+            ],
+        )
+        .unwrap();
+        let _ = emb.account(&g, &s, &Flow::unit(NodeId(0), NodeId(3)));
     }
 
     #[test]

@@ -14,6 +14,14 @@ pub enum ModelError {
     NotARegularVnf(dagsfc_net::VnfTypeId),
     /// Embedding shape does not match the chain (wrong layer/slot counts).
     ShapeMismatch(String),
+    /// An embedding referenced a VNF instance the network does not
+    /// deploy (raised by [`crate::embedding::Embedding::try_account`]).
+    MissingVnfInstance {
+        /// Node the embedding assigned the slot to.
+        node: dagsfc_net::NodeId,
+        /// VNF kind the slot requires.
+        kind: dagsfc_net::VnfTypeId,
+    },
     /// Underlying network error.
     Net(NetError),
 }
@@ -27,6 +35,12 @@ impl fmt::Display for ModelError {
                 write!(f, "{v} is not a regular VNF type of the catalog")
             }
             ModelError::ShapeMismatch(what) => write!(f, "embedding shape mismatch: {what}"),
+            ModelError::MissingVnfInstance { node, kind } => {
+                write!(
+                    f,
+                    "embedding uses VNF {kind} on {node}, which deploys no such instance"
+                )
+            }
             ModelError::Net(e) => write!(f, "network error: {e}"),
         }
     }

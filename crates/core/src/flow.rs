@@ -65,11 +65,7 @@ mod tests {
 
     #[test]
     fn request_bundles() {
-        let sfc = DagSfc::new(
-            vec![Layer::new(vec![VnfTypeId(0)])],
-            VnfCatalog::new(2),
-        )
-        .unwrap();
+        let sfc = DagSfc::new(vec![Layer::new(vec![VnfTypeId(0)])], VnfCatalog::new(2)).unwrap();
         let req = EmbeddingRequest::new(sfc.clone(), Flow::unit(NodeId(1), NodeId(2)));
         assert_eq!(req.sfc, sfc);
         assert_eq!(req.flow.src, NodeId(1));

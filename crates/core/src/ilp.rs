@@ -94,11 +94,9 @@ impl IlpModel {
                             MetaPathKind::InterLayer => "x",
                             MetaPathKind::InnerLayer => "y",
                         };
-                        let name =
-                            format!("{kind_tag}p_m{mp_idx}_a{}_b{}_r{rho}", a.0, b.0);
+                        let name = format!("{kind_tag}p_m{mp_idx}_a{}_b{}_r{rho}", a.0, b.0);
                         for &l in p.links() {
-                            link_terms[l.index()]
-                                .push((flow.rate, name.clone()));
+                            link_terms[l.index()].push((flow.rate, name.clone()));
                         }
                         row.push(name.clone());
                         binaries.push(name);
@@ -181,12 +179,7 @@ impl IlpModel {
     }
 }
 
-fn endpoint_candidates(
-    net: &Network,
-    sfc: &DagSfc,
-    flow: &Flow,
-    ep: Endpoint,
-) -> Vec<NodeId> {
+fn endpoint_candidates(net: &Network, sfc: &DagSfc, flow: &Flow, ep: Endpoint) -> Vec<NodeId> {
     match ep {
         Endpoint::Source => vec![flow.src],
         Endpoint::Destination => vec![flow.dst],
@@ -243,10 +236,7 @@ mod tests {
             2
         );
         assert!(m.constraints.iter().any(|c| c.starts_with("cap_e0:")));
-        assert!(m
-            .constraints
-            .iter()
-            .any(|c| c.starts_with("vnfcap_v1_f0:")));
+        assert!(m.constraints.iter().any(|c| c.starts_with("vnfcap_v1_f0:")));
         assert!(m.stats.path_vars > 0);
         assert_eq!(m.stats.constraints, m.constraints.len());
     }

@@ -36,6 +36,9 @@ pub use flow::{EmbeddingRequest, Flow};
 pub use ilp::{IlpModel, IlpStats};
 pub use metapath::{meta_path_count, meta_paths, Endpoint, MetaPath, MetaPathKind};
 pub use protect::{protect, ProtectError, ProtectedEmbedding};
-pub use solvers::{BbeConfig, BbeSolver, ExactSolver, MbbeSolver, MbbeStSolver, MinvSolver, RanvSolver, SolveOutcome, Solver, SolverStats};
+pub use solvers::{
+    BbeConfig, BbeSolver, ExactSolver, MbbeSolver, MbbeStSolver, MinvSolver, RanvSolver,
+    SolveOutcome, Solver, SolverStats,
+};
 pub use validate::{validate, Violation};
 pub use vnf::VnfCatalog;

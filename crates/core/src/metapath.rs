@@ -231,10 +231,7 @@ mod tests {
     fn endpoint_display() {
         assert_eq!(Endpoint::Source.to_string(), "src");
         assert_eq!(Endpoint::Destination.to_string(), "dst");
-        assert_eq!(
-            Endpoint::Slot { layer: 2, slot: 1 }.to_string(),
-            "L2[1]"
-        );
+        assert_eq!(Endpoint::Slot { layer: 2, slot: 1 }.to_string(), "L2[1]");
     }
 
     #[test]

@@ -72,7 +72,10 @@ impl std::fmt::Display for ProtectError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ProtectError::Unprotectable { meta_path } => {
-                write!(f, "meta-path #{meta_path} crosses a bridge; no disjoint backup")
+                write!(
+                    f,
+                    "meta-path #{meta_path} crosses a bridge; no disjoint backup"
+                )
             }
             ProtectError::Model(e) => write!(f, "model error: {e}"),
         }

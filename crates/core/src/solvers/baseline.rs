@@ -8,13 +8,12 @@
 //! Neither considers link proximity when assigning, which is exactly the
 //! weakness BBE/MBBE exploit.
 
-use super::{precheck, SolveOutcome, Solver, SolverStats};
+use super::{precheck, SolveCtx, SolveOutcome, Solver, SolverStats};
 use crate::chain::DagSfc;
 use crate::embedding::Embedding;
 use crate::error::SolveError;
 use crate::flow::Flow;
 use crate::metapath::{meta_paths, MetaPathKind};
-use dagsfc_net::routing::min_cost_path;
 use dagsfc_net::{LinkId, Network, NetworkState, NodeId, Path, VnfTypeId};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -56,13 +55,13 @@ impl Solver for RanvSolver {
         "RANV"
     }
 
-    fn solve(
+    fn solve_in(
         &self,
-        net: &Network,
+        ctx: &SolveCtx<'_>,
         sfc: &DagSfc,
         flow: &Flow,
     ) -> Result<SolveOutcome, SolveError> {
-        assign_then_route(net, sfc, flow, self, "RANV")
+        assign_then_route(ctx, sfc, flow, self, "RANV")
     }
 }
 
@@ -95,13 +94,13 @@ impl Solver for MinvSolver {
         "MINV"
     }
 
-    fn solve(
+    fn solve_in(
         &self,
-        net: &Network,
+        ctx: &SolveCtx<'_>,
         sfc: &DagSfc,
         flow: &Flow,
     ) -> Result<SolveOutcome, SolveError> {
-        assign_then_route(net, sfc, flow, self, "MINV")
+        assign_then_route(ctx, sfc, flow, self, "MINV")
     }
 }
 
@@ -110,16 +109,22 @@ impl Solver for MinvSolver {
 /// already reserved for a layer's inter-layer multicast group carries
 /// the extra branches for free).
 fn assign_then_route(
-    net: &Network,
+    ctx: &SolveCtx<'_>,
     sfc: &DagSfc,
     flow: &Flow,
     pick: &dyn PickNode,
     solver: &'static str,
 ) -> Result<SolveOutcome, SolveError> {
     let start = Instant::now();
+    let net = ctx.net;
     precheck(net, sfc, flow)?;
     let catalog = sfc.catalog();
     let mut state = NetworkState::new(net);
+    // Residual-filtered trees must stay private to this solve (each
+    // solve owns its NetworkState), so routing goes through an oracle
+    // *session*, invalidated after every reservation that changed the
+    // residual capacities.
+    let mut session = ctx.oracle.session();
     let mut explored = 0usize;
 
     // Phase 1: assign every slot (parallel VNFs and mergers).
@@ -165,15 +170,18 @@ fn assign_then_route(
         let path = match mp.kind {
             MetaPathKind::InterLayer => {
                 let shared = group_links.entry(mp.group).or_default().clone();
-                let filter =
-                    |l: LinkId| shared.contains(&l) || state.link_fits(l, flow.rate);
-                let path = min_cost_path(net, from, to, &filter).ok_or_else(|| {
-                    SolveError::NoFeasibleEmbedding {
+                let filter = |l: LinkId| shared.contains(&l) || state.link_fits(l, flow.rate);
+                // Context 1+group: the filter admits the group's already
+                // reserved links, so trees are reusable only within the
+                // same multicast group.
+                let path = session
+                    .min_cost_path_with(from, to, 1 + mp.group as u64, &filter)
+                    .ok_or_else(|| SolveError::NoFeasibleEmbedding {
                         solver,
                         reason: format!("no bandwidth-feasible path {from} → {to}"),
-                    }
-                })?;
+                    })?;
                 let group = group_links.entry(mp.group).or_default();
+                let mut reserved = false;
                 for &l in path.links() {
                     if group.insert(l) {
                         state.reserve_link(l, flow.rate).map_err(|_| {
@@ -182,24 +190,31 @@ fn assign_then_route(
                                 reason: format!("link {l} saturated while reserving"),
                             }
                         })?;
+                        reserved = true;
                     }
+                }
+                if reserved {
+                    session.invalidate();
                 }
                 path
             }
             MetaPathKind::InnerLayer => {
                 let filter = |l: LinkId| state.link_fits(l, flow.rate);
-                let path = min_cost_path(net, from, to, &filter).ok_or_else(|| {
-                    SolveError::NoFeasibleEmbedding {
+                let path = session
+                    .min_cost_path_with(from, to, 0, &filter)
+                    .ok_or_else(|| SolveError::NoFeasibleEmbedding {
                         solver,
                         reason: format!("no bandwidth-feasible path {from} → {to}"),
-                    }
-                })?;
+                    })?;
                 state.reserve_path(&path, flow.rate).map_err(|_| {
                     SolveError::NoFeasibleEmbedding {
                         solver,
                         reason: "inner-layer path saturated while reserving".into(),
                     }
                 })?;
+                if !path.is_empty() {
+                    session.invalidate();
+                }
                 path
             }
         };
@@ -215,6 +230,9 @@ fn assign_then_route(
             explored,
             kept: 1,
             elapsed: start.elapsed(),
+            cache_hits: session.hits(),
+            cache_misses: session.misses(),
+            ..SolverStats::default()
         },
     })
 }
@@ -254,7 +272,7 @@ mod tests {
         let out = MinvSolver::new().solve(&g, &sfc, &flow).unwrap();
         validate(&g, &sfc, &flow, &out.embedding).unwrap();
         assert_eq!(out.embedding.node_of(0, 0), NodeId(1)); // price 1.0 < 5.0
-        // cost: f0 1.0 + links v0-v1 (1) + v1-v3-v4 (0.5+1) = 3.5
+                                                            // cost: f0 1.0 + links v0-v1 (1) + v1-v3-v4 (0.5+1) = 3.5
         assert!((out.cost.total() - 3.5).abs() < 1e-9);
     }
 

@@ -27,8 +27,8 @@ pub fn backward_search(
 
 #[cfg(test)]
 mod tests {
-    use super::*;
     use super::super::forward::forward_search;
+    use super::*;
     use dagsfc_net::VnfTypeId;
 
     /// Diamond with a tail:

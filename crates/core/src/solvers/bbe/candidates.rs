@@ -18,10 +18,9 @@ use crate::chain::Layer;
 use crate::cost::CostBreakdown;
 use crate::flow::Flow;
 use crate::vnf::VnfCatalog;
-use dagsfc_net::routing::ShortestPathTree;
-use dagsfc_net::{LinkId, Network, NodeId, Path, CAP_EPS};
-use std::cell::RefCell;
-use std::collections::{HashMap, HashSet};
+use dagsfc_net::{LinkId, Network, NodeId, Path, PathOracle, CAP_EPS};
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// One embedded layer: the paper's per-layer sub-solution.
 #[derive(Debug, Clone)]
@@ -40,24 +39,35 @@ pub(crate) struct LayerSub {
     pub end_node: NodeId,
 }
 
-/// Shared per-solve context: network, flow, config, and a cache of
-/// Dijkstra trees for MBBE's min-cost path instantiation.
+/// Shared per-solve context: network, flow, config, and the shared
+/// [`PathOracle`] serving MBBE's min-cost path instantiation. `Sync`, so
+/// merger-candidate scoring can fan out across scoped threads.
 pub(crate) struct EngineCtx<'a> {
     pub net: &'a Network,
     pub catalog: VnfCatalog,
     pub flow: Flow,
     pub cfg: &'a BbeConfig,
-    spt: RefCell<HashMap<NodeId, ShortestPathTree>>,
+    oracle: &'a PathOracle<'a>,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
 }
 
 impl<'a> EngineCtx<'a> {
-    pub fn new(net: &'a Network, catalog: VnfCatalog, flow: Flow, cfg: &'a BbeConfig) -> Self {
+    pub fn new(
+        net: &'a Network,
+        catalog: VnfCatalog,
+        flow: Flow,
+        cfg: &'a BbeConfig,
+        oracle: &'a PathOracle<'a>,
+    ) -> Self {
         EngineCtx {
             net,
             catalog,
             flow,
             cfg,
-            spt: RefCell::new(HashMap::new()),
+            oracle,
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
         }
     }
 
@@ -72,17 +82,27 @@ impl<'a> EngineCtx<'a> {
         p.links().iter().all(|&l| self.link_ok(l))
     }
 
-    /// Cheapest path `from → to` over rate-feasible links, via a cached
-    /// single-source Dijkstra tree rooted at `from`.
+    /// Cheapest path `from → to` over rate-feasible links, via the shared
+    /// oracle's memoized single-source Dijkstra trees.
     pub fn min_cost_path(&self, from: NodeId, to: NodeId) -> Option<Path> {
         if from == to {
             return Some(Path::trivial(from));
         }
-        let mut cache = self.spt.borrow_mut();
-        let spt = cache.entry(from).or_insert_with(|| {
-            ShortestPathTree::build(self.net, from, &|l: LinkId| self.link_ok(l), None)
-        });
-        spt.path_to(to)
+        let (tree, hit) = self.oracle.tree_tracked(from, self.flow.rate);
+        if hit {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.cache_misses.fetch_add(1, Ordering::Relaxed);
+        }
+        tree.path_to(to)
+    }
+
+    /// This solve's path-cache traffic as `(hits, misses)`.
+    pub fn cache_counts(&self) -> (u64, u64) {
+        (
+            self.cache_hits.load(Ordering::Relaxed),
+            self.cache_misses.load(Ordering::Relaxed),
+        )
     }
 }
 
@@ -151,31 +171,28 @@ pub(crate) fn layer_cost(
 
 /// Alternatives for the path `start → node` using the FST (BBE) or the
 /// real-time network (MBBE).
-fn inter_path_options(
-    ctx: &EngineCtx<'_>,
-    fst: &SearchTree,
-    node: NodeId,
-) -> Vec<Path> {
+fn inter_path_options(ctx: &EngineCtx<'_>, fst: &SearchTree, node: NodeId) -> Vec<Path> {
     if ctx.cfg.use_min_cost_paths {
         ctx.min_cost_path(fst.root(), node).into_iter().collect()
     } else {
         let Some(idx) = fst.index_of(node) else {
             return Vec::new();
         };
-        fst.paths_from_root(ctx.net, idx, ctx.cfg.max_raw_chains, ctx.cfg.max_paths_per_pair)
-            .into_iter()
-            .filter(|p| ctx.path_ok(p))
-            .collect()
+        fst.paths_from_root(
+            ctx.net,
+            idx,
+            ctx.cfg.max_raw_chains,
+            ctx.cfg.max_paths_per_pair,
+        )
+        .into_iter()
+        .filter(|p| ctx.path_ok(p))
+        .collect()
     }
 }
 
 /// Alternatives for the inner path `node → merger` using the BST (BBE) or
 /// the real-time network (MBBE). Paths are oriented node → merger.
-fn inner_path_options(
-    ctx: &EngineCtx<'_>,
-    bst: &SearchTree,
-    node: NodeId,
-) -> Vec<Path> {
+fn inner_path_options(ctx: &EngineCtx<'_>, bst: &SearchTree, node: NodeId) -> Vec<Path> {
     if ctx.cfg.use_min_cost_paths {
         // Dijkstra tree rooted at the merger, path reversed (links are
         // bi-directional).
@@ -187,11 +204,16 @@ fn inner_path_options(
         let Some(idx) = bst.index_of(node) else {
             return Vec::new();
         };
-        bst.paths_from_root(ctx.net, idx, ctx.cfg.max_raw_chains, ctx.cfg.max_paths_per_pair)
-            .into_iter()
-            .map(Path::reversed)
-            .filter(|p| ctx.path_ok(p))
-            .collect()
+        bst.paths_from_root(
+            ctx.net,
+            idx,
+            ctx.cfg.max_raw_chains,
+            ctx.cfg.max_paths_per_pair,
+        )
+        .into_iter()
+        .map(Path::reversed)
+        .filter(|p| ctx.path_ok(p))
+        .collect()
     }
 }
 
@@ -296,14 +318,10 @@ pub(crate) fn parallel_layer_subs(
                     let vnf_prices: f64 = assignment
                         .iter()
                         .zip(layer.vnfs())
-                        .map(|(&n, &k)| {
-                            ctx.net.vnf_price(n, k).expect("candidate hosts kind")
-                        })
+                        .map(|(&n, &k)| ctx.net.vnf_price(n, k).expect("candidate hosts kind"))
                         .sum::<f64>()
                         + merger_inst.price;
-                    for inner_paths in
-                        bounded_cartesian(&inner_opts, ctx.cfg.max_path_combos)
-                    {
+                    for inner_paths in bounded_cartesian(&inner_opts, ctx.cfg.max_path_combos) {
                         let cost = layer_cost(ctx, vnf_prices, &mt.paths, &inner_paths);
                         let mut full_assignment = assignment.clone();
                         full_assignment.push(merger_node);
@@ -410,7 +428,10 @@ mod tests {
     fn bounded_cartesian_orders_and_caps() {
         let opts = vec![vec![1, 2], vec![10, 20]];
         let all = bounded_cartesian(&opts, 100);
-        assert_eq!(all, vec![vec![1, 10], vec![1, 20], vec![2, 10], vec![2, 20]]);
+        assert_eq!(
+            all,
+            vec![vec![1, 10], vec![1, 20], vec![2, 10], vec![2, 20]]
+        );
         let capped = bounded_cartesian(&opts, 3);
         assert_eq!(capped.len(), 3);
         assert_eq!(capped[0], vec![1, 10]); // cheapest-first prefix
@@ -425,7 +446,8 @@ mod tests {
         let g = net();
         let c = VnfCatalog::new(2);
         let cfg = cfg();
-        let ctx = EngineCtx::new(&g, c, Flow::unit(NodeId(0), NodeId(2)), &cfg);
+        let oracle = PathOracle::new(&g);
+        let ctx = EngineCtx::new(&g, c, Flow::unit(NodeId(0), NodeId(2)), &cfg, &oracle);
         let layer = Layer::new(vec![VnfTypeId(0)]);
         let fst = forward_search(&g, NodeId(0), &layer, &c, None);
         let subs = singleton_layer_subs(&ctx, &layer, &fst);
@@ -446,7 +468,8 @@ mod tests {
         let g = net();
         let c = VnfCatalog::new(2);
         let cfg = cfg();
-        let ctx = EngineCtx::new(&g, c, Flow::unit(NodeId(0), NodeId(2)), &cfg);
+        let oracle = PathOracle::new(&g);
+        let ctx = EngineCtx::new(&g, c, Flow::unit(NodeId(0), NodeId(2)), &cfg, &oracle);
         let layer = Layer::new(vec![VnfTypeId(0), VnfTypeId(1)]);
         let fst = forward_search(&g, NodeId(0), &layer, &c, None);
         assert!(fst.covered());
@@ -480,7 +503,8 @@ mod tests {
         let c = VnfCatalog::new(2);
         let mut cfg = cfg();
         cfg.use_min_cost_paths = true;
-        let ctx = EngineCtx::new(&g, c, Flow::unit(NodeId(0), NodeId(2)), &cfg);
+        let oracle = PathOracle::new(&g);
+        let ctx = EngineCtx::new(&g, c, Flow::unit(NodeId(0), NodeId(2)), &cfg, &oracle);
         let layer = Layer::new(vec![VnfTypeId(0), VnfTypeId(1)]);
         let fst = forward_search(&g, NodeId(0), &layer, &c, None);
         let bst = backward_search(&g, NodeId(2), &layer, &c, &fst);
@@ -502,7 +526,8 @@ mod tests {
             rate: 20.0,
             size: 1.0,
         };
-        let ctx = EngineCtx::new(&g, c, flow, &cfg);
+        let oracle = PathOracle::new(&g);
+        let ctx = EngineCtx::new(&g, c, flow, &cfg, &oracle);
         let layer = Layer::new(vec![VnfTypeId(0)]);
         let fst = forward_search(&g, NodeId(0), &layer, &c, None);
         assert!(singleton_layer_subs(&ctx, &layer, &fst).is_empty());
@@ -515,7 +540,8 @@ mod tests {
         g.deploy_vnf(NodeId(1), VnfTypeId(2), 0.1, 0.5).unwrap();
         let c = VnfCatalog::new(2);
         let cfg = cfg();
-        let ctx = EngineCtx::new(&g, c, Flow::unit(NodeId(0), NodeId(2)), &cfg);
+        let oracle = PathOracle::new(&g);
+        let ctx = EngineCtx::new(&g, c, Flow::unit(NodeId(0), NodeId(2)), &cfg, &oracle);
         let layer = Layer::new(vec![VnfTypeId(0), VnfTypeId(1)]);
         let fst = forward_search(&g, NodeId(0), &layer, &c, None);
         let bst = backward_search(&g, NodeId(1), &layer, &c, &fst);

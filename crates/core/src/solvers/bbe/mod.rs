@@ -36,14 +36,19 @@ use self::backward::backward_search;
 use self::candidates::{parallel_layer_subs, singleton_layer_subs, EngineCtx, LayerSub};
 use self::forward::forward_search;
 use self::subtree::SubTree;
-use super::{precheck, SolveOutcome, Solver, SolverStats};
-use crate::chain::DagSfc;
+use self::tree::SearchTree as Fst;
+use super::instrument::{Counters, Instrument};
+use super::{precheck, SolveCtx, SolveOutcome, Solver};
+use crate::chain::{DagSfc, Layer};
 use crate::delay::DelayModel;
 use crate::embedding::Embedding;
 use crate::error::SolveError;
 use crate::flow::Flow;
-use dagsfc_net::{Network, Path};
+use crate::vnf::VnfCatalog;
+use dagsfc_net::{NodeId, Path};
+use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
 /// Tuning knobs of the BBE/MBBE engine.
@@ -85,6 +90,12 @@ pub struct BbeConfig {
     /// candidates, return the cheapest whose delay under the given model
     /// stays within the bound; candidates violating it are skipped.
     pub delay_constraint: Option<DelayConstraint>,
+    /// Score the merger candidates of a parallel layer on crossbeam
+    /// scoped threads. The reduction is deterministic (results are
+    /// re-ordered by merger index), so this only changes wall-clock, not
+    /// output. Off by default: the sim runner already saturates the cores
+    /// with run-level parallelism.
+    pub parallel_merger_scoring: bool,
 }
 
 /// A delay SLA attached to an embedding request.
@@ -112,6 +123,7 @@ impl Default for BbeConfig {
             max_candidates_per_slot: 8,
             max_level_width: 2048,
             delay_constraint: None,
+            parallel_merger_scoring: false,
         }
     }
 }
@@ -158,13 +170,13 @@ impl Solver for BbeSolver {
         "BBE"
     }
 
-    fn solve(
+    fn solve_in(
         &self,
-        net: &Network,
+        ctx: &SolveCtx<'_>,
         sfc: &DagSfc,
         flow: &Flow,
     ) -> Result<SolveOutcome, SolveError> {
-        run(net, sfc, flow, &self.config, "BBE")
+        run(ctx, sfc, flow, &self.config, "BBE")
     }
 }
 
@@ -206,13 +218,13 @@ impl Solver for MbbeSolver {
         "MBBE"
     }
 
-    fn solve(
+    fn solve_in(
         &self,
-        net: &Network,
+        ctx: &SolveCtx<'_>,
         sfc: &DagSfc,
         flow: &Flow,
     ) -> Result<SolveOutcome, SolveError> {
-        run(net, sfc, flow, &self.config, "MBBE")
+        run(ctx, sfc, flow, &self.config, "MBBE")
     }
 }
 
@@ -246,48 +258,50 @@ impl Solver for MbbeStSolver {
         "MBBE-ST"
     }
 
-    fn solve(
+    fn solve_in(
         &self,
-        net: &Network,
+        ctx: &SolveCtx<'_>,
         sfc: &DagSfc,
         flow: &Flow,
     ) -> Result<SolveOutcome, SolveError> {
-        run(net, sfc, flow, &self.config, "MBBE-ST")
+        run(ctx, sfc, flow, &self.config, "MBBE-ST")
     }
 }
 
 /// Engine entry point shared by BBE and MBBE.
 fn run(
-    net: &Network,
+    ctx: &SolveCtx<'_>,
     sfc: &DagSfc,
     flow: &Flow,
     config: &BbeConfig,
     solver: &'static str,
 ) -> Result<SolveOutcome, SolveError> {
     let start = Instant::now();
+    let net = ctx.net;
     precheck(net, sfc, flow)?;
     let mut cfg = config.clone();
     loop {
-        match attempt(net, sfc, flow, &cfg, solver) {
+        // Counters is the always-on sink so every solve surfaces its
+        // statistics; search code internal to `attempt` stays generic so
+        // a NoInstrument caller would compile the probes away entirely.
+        let mut ins = Counters::default();
+        match attempt(ctx, sfc, flow, &cfg, solver, &mut ins) {
             Ok((embedding, explored, kept)) => {
                 let cost = embedding.cost(net, sfc, flow);
+                let mut stats = ins.stats;
+                stats.explored = explored;
+                stats.kept = kept;
+                stats.elapsed = start.elapsed();
                 return Ok(SolveOutcome {
                     embedding,
                     cost,
-                    stats: SolverStats {
-                        explored,
-                        kept,
-                        elapsed: start.elapsed(),
-                    },
+                    stats,
                 });
             }
             Err(e) => {
                 // Adaptive X_max: double and retry while the bound is the
                 // plausible culprit.
-                let retry = cfg.adaptive_x_max
-                    && cfg
-                        .x_max
-                        .is_some_and(|x| x < net.node_count());
+                let retry = cfg.adaptive_x_max && cfg.x_max.is_some_and(|x| x < net.node_count());
                 if !retry {
                     return Err(e);
                 }
@@ -297,47 +311,143 @@ fn run(
     }
 }
 
+/// Sub-solutions produced from one FST–BST (merger) pair.
+struct MergerScore {
+    /// Pair sub-solutions, already `X_d`-truncated cheapest-first.
+    subs: Vec<LayerSub>,
+    /// BST size for instrumentation.
+    bst_nodes: usize,
+    /// Candidates produced before the per-pair truncation.
+    generated: usize,
+}
+
+/// Scores one merger candidate: backward search plus candidate
+/// generation (paper steps 2–3 for one FST–BST pair). Deterministic and
+/// independent of every other merger, which is what makes the parallel
+/// fan-out below safe.
+fn score_merger(
+    ctx: &EngineCtx<'_>,
+    layer: &Layer,
+    fst: &Fst,
+    merger_node: NodeId,
+    cfg: &BbeConfig,
+    catalog: &VnfCatalog,
+) -> Option<MergerScore> {
+    let bst = backward_search(ctx.net, merger_node, layer, catalog, fst);
+    if !bst.covered() {
+        return None;
+    }
+    let mut subs = parallel_layer_subs(ctx, layer, fst, &bst);
+    let generated = subs.len();
+    // Strategy (3), per FST–BST pair.
+    if let Some(xd) = cfg.x_d {
+        subs.truncate(xd);
+    }
+    Some(MergerScore {
+        subs,
+        bst_nodes: bst.len(),
+        generated,
+    })
+}
+
+/// Scores every merger candidate of a parallel layer, optionally on
+/// crossbeam scoped threads ([`BbeConfig::parallel_merger_scoring`]).
+///
+/// The reduction is deterministic either way: workers pull merger
+/// indices from a shared atomic counter and push `(index, score)` pairs,
+/// and the collected results are re-sorted by index before use — so the
+/// output is bit-identical to the sequential loop regardless of thread
+/// interleaving (each pair's computation depends only on its own merger;
+/// oracle evictions at worst rebuild identical trees).
+fn score_mergers(
+    ctx: &EngineCtx<'_>,
+    layer: &Layer,
+    fst: &Fst,
+    mergers: &[NodeId],
+    cfg: &BbeConfig,
+    catalog: &VnfCatalog,
+) -> Vec<MergerScore> {
+    if !cfg.parallel_merger_scoring || mergers.len() < 2 {
+        return mergers
+            .iter()
+            .filter_map(|&m| score_merger(ctx, layer, fst, m, cfg, catalog))
+            .collect();
+    }
+    let next = AtomicUsize::new(0);
+    let scored: Mutex<Vec<(usize, Option<MergerScore>)>> =
+        Mutex::new(Vec::with_capacity(mergers.len()));
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(mergers.len());
+    crossbeam::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&merger) = mergers.get(i) else {
+                    break;
+                };
+                let score = score_merger(ctx, layer, fst, merger, cfg, catalog);
+                scored.lock().push((i, score));
+            });
+        }
+    });
+    let mut scored = scored.into_inner();
+    scored.sort_by_key(|&(i, _)| i);
+    scored.into_iter().filter_map(|(_, s)| s).collect()
+}
+
 /// One search attempt under a fixed configuration.
-fn attempt(
-    net: &Network,
+fn attempt<I: Instrument>(
+    ctx: &SolveCtx<'_>,
     sfc: &DagSfc,
     flow: &Flow,
     cfg: &BbeConfig,
     solver: &'static str,
+    ins: &mut I,
 ) -> Result<(Embedding, usize, usize), SolveError> {
+    let net = ctx.net;
     let catalog = *sfc.catalog();
-    let ctx = EngineCtx::new(net, catalog, *flow, cfg);
+    let ctx = EngineCtx::new(net, catalog, *flow, cfg, &ctx.oracle);
     let mut tree = SubTree::new(flow.src);
     let mut level: Vec<usize> = vec![0];
     let mut explored = 0usize;
 
     for l in 0..sfc.depth() {
+        // Per-layer wall clock only when a recording sink asks for it.
+        let layer_start = if I::ENABLED {
+            Some(Instant::now())
+        } else {
+            None
+        };
         let layer = sfc.layer(l);
         let mut next_level: Vec<usize> = Vec::new();
         for &parent in &level {
+            ins.nodes_expanded(1);
             let start_node = tree.node(parent).end_node;
             let fst = forward_search(net, start_node, layer, &catalog, cfg.x_max);
+            ins.fst_nodes(fst.len());
             if !fst.covered() {
                 continue;
             }
             let mut subs: Vec<LayerSub> = if layer.needs_merger() {
+                let mergers: Vec<NodeId> = fst
+                    .hosting(catalog.merger())
+                    .into_iter()
+                    .map(|i| fst.node(i).node)
+                    .collect();
                 let mut collected = Vec::new();
-                for merger_idx in fst.hosting(catalog.merger()) {
-                    let merger_node = fst.node(merger_idx).node;
-                    let bst = backward_search(net, merger_node, layer, &catalog, &fst);
-                    if !bst.covered() {
-                        continue;
-                    }
-                    let mut pair_subs = parallel_layer_subs(&ctx, layer, &fst, &bst);
-                    // Strategy (3), per FST–BST pair.
-                    if let Some(xd) = cfg.x_d {
-                        pair_subs.truncate(xd);
-                    }
-                    collected.extend(pair_subs);
+                for score in score_mergers(&ctx, layer, &fst, &mergers, cfg, &catalog) {
+                    ins.bst_nodes(score.bst_nodes);
+                    ins.candidates_generated(score.generated);
+                    ins.candidates_pruned(score.generated - score.subs.len());
+                    collected.extend(score.subs);
                 }
                 collected
             } else {
-                singleton_layer_subs(&ctx, layer, &fst)
+                let subs = singleton_layer_subs(&ctx, layer, &fst);
+                ins.candidates_generated(subs.len());
+                subs
             };
             explored += subs.len();
             // Strategy (3), per sub-solution-tree node: cheapest X_d
@@ -349,13 +459,18 @@ fn attempt(
                     .expect("finite costs")
             });
             if let Some(xd) = cfg.x_d {
-                subs.truncate(xd);
+                if subs.len() > xd {
+                    ins.candidates_pruned(subs.len() - xd);
+                    subs.truncate(xd);
+                }
             }
             for sub in subs {
                 next_level.push(tree.insert(parent, sub));
             }
         }
         if next_level.is_empty() {
+            let (h, m) = ctx.cache_counts();
+            ins.cache(h, m);
             return Err(SolveError::NoFeasibleEmbedding {
                 solver,
                 reason: format!("layer {l} produced no feasible sub-solution"),
@@ -368,8 +483,14 @@ fn attempt(
                 .partial_cmp(&tree.node(b).cum_cost)
                 .expect("finite costs")
         });
-        next_level.truncate(cfg.max_level_width);
+        if next_level.len() > cfg.max_level_width {
+            ins.candidates_pruned(next_level.len() - cfg.max_level_width);
+            next_level.truncate(cfg.max_level_width);
+        }
         level = next_level;
+        if let Some(t) = layer_start {
+            ins.layer_wall(t.elapsed());
+        }
     }
 
     // Connect each leaf to the destination with a minimum-cost path
@@ -384,6 +505,8 @@ fn attempt(
     }
     finals.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite costs"));
     let kept = tree.len();
+    let (h, m) = ctx.cache_counts();
+    ins.cache(h, m);
     for (_, leaf, final_path) in finals {
         let embedding = assemble(sfc, &tree, leaf, final_path)?;
         if let Some(dc) = &cfg.delay_constraint {
@@ -429,6 +552,7 @@ mod tests {
     use crate::chain::Layer;
     use crate::validate::validate;
     use crate::vnf::VnfCatalog;
+    use dagsfc_net::Network;
     use dagsfc_net::{NodeId, VnfTypeId};
 
     /// Deterministic 6-node test network:
@@ -468,8 +592,7 @@ mod tests {
     #[test]
     fn bbe_embeds_sequential_chain() {
         let g = net();
-        let sfc =
-            DagSfc::sequential(&[VnfTypeId(0), VnfTypeId(1)], catalog()).unwrap();
+        let sfc = DagSfc::sequential(&[VnfTypeId(0), VnfTypeId(1)], catalog()).unwrap();
         let flow = Flow::unit(NodeId(0), NodeId(5));
         let out = BbeSolver::new().solve(&g, &sfc, &flow).unwrap();
         let cost = validate(&g, &sfc, &flow, &out.embedding).unwrap();
@@ -533,8 +656,7 @@ mod tests {
             .map(|_| ());
         assert!(err.is_ok() || matches!(err, Err(SolveError::Infeasible(_))));
         // A chain needing an unhosted kind:
-        let really_missing =
-            DagSfc::sequential(&[VnfTypeId(7)], VnfCatalog::new(9)).unwrap();
+        let really_missing = DagSfc::sequential(&[VnfTypeId(7)], VnfCatalog::new(9)).unwrap();
         assert!(matches!(
             BbeSolver::new().solve(&g, &really_missing, &Flow::unit(NodeId(0), NodeId(5))),
             Err(SolveError::Infeasible(_))
@@ -546,7 +668,7 @@ mod tests {
         let g = net();
         let sfc = DagSfc::sequential(&[VnfTypeId(2)], catalog()).unwrap(); // f2 only on v3
         let flow = Flow::unit(NodeId(5), NodeId(0)); // far start
-        // X_max = 1 cannot cover; adaptive retry must succeed.
+                                                     // X_max = 1 cannot cover; adaptive retry must succeed.
         let solver = MbbeSolver {
             config: BbeConfig {
                 x_max: Some(1),
@@ -652,6 +774,79 @@ mod tests {
         assert!((out.cost.total() - 2.5).abs() < 1e-9, "{}", out.cost);
         assert!(out.cost.link.abs() < 1e-12);
     }
+
+    #[test]
+    fn parallel_merger_scoring_is_bit_identical() {
+        // The scoped-thread fan-out must be a pure wall-clock change:
+        // the index-sorted reduction has to reproduce the sequential
+        // embedding bit for bit, including tie-breaks.
+        let g = net();
+        let sfc = DagSfc::new(
+            vec![
+                Layer::new(vec![VnfTypeId(0), VnfTypeId(1)]),
+                Layer::new(vec![VnfTypeId(2)]),
+            ],
+            catalog(),
+        )
+        .unwrap();
+        let flow = Flow::unit(NodeId(0), NodeId(5));
+        let sequential = MbbeSolver::new().solve(&g, &sfc, &flow).unwrap();
+        let mut parallel = MbbeSolver::new();
+        parallel.config.parallel_merger_scoring = true;
+        let parallel = parallel.solve(&g, &sfc, &flow).unwrap();
+        assert_eq!(sequential.embedding, parallel.embedding);
+        assert_eq!(
+            sequential.cost.total().to_bits(),
+            parallel.cost.total().to_bits()
+        );
+        // Same for classic BBE (tree-traversal candidate generation).
+        let bbe_seq = BbeSolver::new().solve(&g, &sfc, &flow).unwrap();
+        let mut bbe_par = BbeSolver::new();
+        bbe_par.config.parallel_merger_scoring = true;
+        let bbe_par = bbe_par.solve(&g, &sfc, &flow).unwrap();
+        assert_eq!(bbe_seq.embedding, bbe_par.embedding);
+        assert_eq!(
+            bbe_seq.cost.total().to_bits(),
+            bbe_par.cost.total().to_bits()
+        );
+    }
+
+    #[test]
+    fn stats_counters_populate() {
+        let g = net();
+        let sfc = DagSfc::new(
+            vec![
+                Layer::new(vec![VnfTypeId(0), VnfTypeId(1)]),
+                Layer::new(vec![VnfTypeId(2)]),
+            ],
+            catalog(),
+        )
+        .unwrap();
+        let flow = Flow::unit(NodeId(0), NodeId(5));
+        let ctx = SolveCtx::new(&g);
+        let out = MbbeSolver::new().solve_in(&ctx, &sfc, &flow).unwrap();
+        let s = &out.stats;
+        assert!(s.nodes_expanded > 0, "nodes_expanded = 0");
+        assert!(s.fst_nodes > 0, "fst_nodes = 0");
+        assert!(s.candidates_generated > 0, "candidates_generated = 0");
+        assert!(
+            s.candidates_generated >= s.candidates_pruned,
+            "pruned {} > generated {}",
+            s.candidates_pruned,
+            s.candidates_generated
+        );
+        assert_eq!(s.layer_wall.len(), sfc.depth(), "one wall-time per layer");
+        // First solve on a cold oracle: misses dominate. Re-solving the
+        // same flow through the same context must now hit the cache.
+        assert!(s.cache_misses > 0, "cold solve should miss");
+        let again = MbbeSolver::new().solve_in(&ctx, &sfc, &flow).unwrap();
+        assert!(
+            again.stats.cache_hits > 0,
+            "warm solve should hit the shared oracle"
+        );
+        assert_eq!(out.embedding, again.embedding);
+        assert!(again.stats.cache_hit_rate() > 0.0);
+    }
 }
 
 #[cfg(test)]
@@ -660,7 +855,7 @@ mod delay_tests {
     use crate::delay::DelayModel;
     use crate::validate::validate;
     use crate::vnf::VnfCatalog;
-    use dagsfc_net::{NodeId, VnfTypeId};
+    use dagsfc_net::{Network, NodeId, VnfTypeId};
 
     /// Two hosts one hop from the source: v1 is pricey but two hops from
     /// the destination; v2 is cheap but five hops away.

@@ -107,10 +107,7 @@ impl SearchTree {
             for &ti in &prev_ring {
                 let n = nodes[ti].node;
                 for &(m, _) in net.neighbors(n) {
-                    if !index_of.contains_key(&m)
-                        && node_ok(m)
-                        && !ring_members.contains(&m)
-                    {
+                    if !index_of.contains_key(&m) && node_ok(m) && !ring_members.contains(&m) {
                         ring_members.push(m);
                     }
                 }
@@ -400,9 +397,7 @@ mod tests {
                 assert!(!n.prev.is_empty(), "non-root must reach the root");
                 for &p in &n.prev {
                     assert_eq!(t.node(p).ring + 1, n.ring);
-                    assert!(g
-                        .link_between(t.node(p).node, n.node)
-                        .is_some());
+                    assert!(g.link_between(t.node(p).node, n.node).is_some());
                 }
             }
         }

@@ -18,7 +18,7 @@
 //! enough to enumerate every loopless path, making it exact outright.
 //! Runtime is exponential — guard rails reject oversized instances.
 
-use super::{precheck, SolveOutcome, Solver, SolverStats};
+use super::{precheck, SolveCtx, SolveOutcome, Solver, SolverStats};
 use crate::chain::DagSfc;
 use crate::embedding::Embedding;
 use crate::error::SolveError;
@@ -78,12 +78,17 @@ impl Solver for ExactSolver {
         "EXACT"
     }
 
-    fn solve(
+    fn solve_in(
         &self,
-        net: &Network,
+        ctx: &SolveCtx<'_>,
         sfc: &DagSfc,
         flow: &Flow,
     ) -> Result<SolveOutcome, SolveError> {
+        // The shared oracle serves single-source shortest-path trees; the
+        // exact solver needs k-shortest *alternatives* per endpoint pair,
+        // so it keeps its own private Yen memo and only reports its
+        // hit/miss counts through the common stats channel.
+        let net = ctx.net;
         let start = Instant::now();
         precheck(net, sfc, flow)?;
         let catalog = sfc.catalog();
@@ -136,12 +141,15 @@ impl Solver for ExactSolver {
             best: None,
             explored: 0,
             path_cache: HashMap::new(),
+            cache_hits: 0,
+            cache_misses: 0,
         };
         let mut assignment: Vec<NodeId> = Vec::with_capacity(slots.len());
         let mut vnf_count: HashMap<(NodeId, VnfTypeId), u32> = HashMap::new();
         search.assign(0, 0.0, &mut assignment, &mut vnf_count);
 
         let explored = search.explored;
+        let (cache_hits, cache_misses) = (search.cache_hits, search.cache_misses);
         let Some((_, assignment, paths)) = search.best else {
             return Err(SolveError::NoFeasibleEmbedding {
                 solver: "EXACT",
@@ -166,6 +174,9 @@ impl Solver for ExactSolver {
                 explored,
                 kept: 1,
                 elapsed: start.elapsed(),
+                cache_hits,
+                cache_misses,
+                ..SolverStats::default()
             },
         })
     }
@@ -174,7 +185,7 @@ impl Solver for ExactSolver {
 /// Mutable search state of the branch and bound.
 struct Search<'a> {
     net: &'a Network,
-        flow: &'a Flow,
+    flow: &'a Flow,
     cfg: &'a ExactConfig,
     slots: &'a [(usize, usize, VnfTypeId)],
     candidates: &'a [Vec<NodeId>],
@@ -184,6 +195,10 @@ struct Search<'a> {
     explored: usize,
     /// Memoized k-cheapest paths per (from, to).
     path_cache: HashMap<(NodeId, NodeId), Vec<Path>>,
+    /// Yen-memo lookups answered from `path_cache`.
+    cache_hits: u64,
+    /// Yen-memo lookups that had to run the k-shortest-path search.
+    cache_misses: u64,
 }
 
 impl Search<'_> {
@@ -210,10 +225,7 @@ impl Search<'_> {
         for i in 0..self.candidates[slot].len() {
             let node = self.candidates[slot][i];
             let count = vnf_count.entry((node, kind)).or_insert(0);
-            let inst = self
-                .net
-                .instance(node, kind)
-                .expect("candidate hosts kind");
+            let inst = self.net.instance(node, kind).expect("candidate hosts kind");
             // Constraint (2): cumulative instance load.
             if (*count + 1) as f64 * self.flow.rate > inst.capacity + CAP_EPS {
                 continue;
@@ -254,15 +266,20 @@ impl Search<'_> {
             let rate = self.flow.rate;
             let net = self.net;
             let k = self.cfg.k_paths;
-            let paths = self
-                .path_cache
-                .entry((from, to))
-                .or_insert_with(|| {
-                    k_shortest_paths(net, from, to, k, &|l: LinkId| {
+            let paths = match self.path_cache.get(&(from, to)) {
+                Some(cached) => {
+                    self.cache_hits += 1;
+                    cached.clone()
+                }
+                None => {
+                    self.cache_misses += 1;
+                    let fresh = k_shortest_paths(net, from, to, k, &|l: LinkId| {
                         net.link(l).capacity + CAP_EPS >= rate
-                    })
-                })
-                .clone();
+                    });
+                    self.path_cache.insert((from, to), fresh.clone());
+                    fresh
+                }
+            };
             if paths.is_empty() {
                 return; // unroutable assignment
             }

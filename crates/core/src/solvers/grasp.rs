@@ -10,15 +10,14 @@
 //! much of BBE/MBBE's advantage a generic metaheuristic can recover
 //! without the paper's structured search.
 
-use super::localsearch::{improve, LocalSearchConfig};
-use super::{precheck, SolveOutcome, Solver, SolverStats};
+use super::localsearch::{improve_in, LocalSearchConfig};
+use super::{oracle_min_cost_path, precheck, SolveCtx, SolveOutcome, Solver, SolverStats};
 use crate::chain::DagSfc;
 use crate::embedding::Embedding;
 use crate::error::SolveError;
 use crate::flow::Flow;
 use crate::metapath::{meta_paths, Endpoint};
-use dagsfc_net::routing::min_cost_path;
-use dagsfc_net::{LinkId, Network, NodeId, CAP_EPS};
+use dagsfc_net::{NodeId, CAP_EPS};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Mutex;
@@ -77,13 +76,14 @@ impl Solver for GraspSolver {
         "GRASP"
     }
 
-    fn solve(
+    fn solve_in(
         &self,
-        net: &Network,
+        ctx: &SolveCtx<'_>,
         sfc: &DagSfc,
         flow: &Flow,
     ) -> Result<SolveOutcome, SolveError> {
         let start = Instant::now();
+        let net = ctx.net;
         precheck(net, sfc, flow)?;
         let catalog = sfc.catalog();
         let mut rng = self.rng.lock().expect("rng poisoned");
@@ -118,9 +118,9 @@ impl Solver for GraspSolver {
         }
 
         let rate = flow.rate;
-        let filter = |l: LinkId| net.link(l).capacity + CAP_EPS >= rate;
         let mut best: Option<(f64, Embedding)> = None;
         let mut explored = 0usize;
+        let (mut cache_hits, mut cache_misses) = (0u64, 0u64);
 
         for _ in 0..self.config.starts.max(1) {
             // Randomized-greedy assignment over the RCL.
@@ -144,7 +144,14 @@ impl Solver for GraspSolver {
             let mut paths = Vec::new();
             let mut routable = true;
             for mp in meta_paths(sfc) {
-                match min_cost_path(net, node_of(mp.from), node_of(mp.to), &filter) {
+                match oracle_min_cost_path(
+                    &ctx.oracle,
+                    node_of(mp.from),
+                    node_of(mp.to),
+                    rate,
+                    &mut cache_hits,
+                    &mut cache_misses,
+                ) {
                     Some(p) => paths.push(p),
                     None => {
                         routable = false;
@@ -162,8 +169,10 @@ impl Solver for GraspSolver {
                 continue;
             }
             // Polish.
-            let polished = improve(net, sfc, flow, &embedding, self.config.local_search);
+            let polished = improve_in(ctx, sfc, flow, &embedding, self.config.local_search);
             explored += 1 + polished.moves;
+            cache_hits += polished.cache_hits;
+            cache_misses += polished.cache_misses;
             let cost = polished.after;
             if best.as_ref().is_none_or(|(b, _)| cost < *b) {
                 best = Some((cost, polished.embedding));
@@ -184,6 +193,9 @@ impl Solver for GraspSolver {
                 explored,
                 kept: 1,
                 elapsed: start.elapsed(),
+                cache_hits,
+                cache_misses,
+                ..SolverStats::default()
             },
         })
     }
@@ -196,6 +208,7 @@ mod tests {
     use crate::solvers::{MbbeSolver, MinvSolver};
     use crate::validate::validate;
     use crate::vnf::VnfCatalog;
+    use dagsfc_net::Network;
     use dagsfc_net::{generator, NetGenConfig, VnfTypeId};
 
     fn net(seed: u64) -> Network {
@@ -244,7 +257,11 @@ mod tests {
                 .unwrap()
                 .cost
                 .total();
-            minv_total += MinvSolver::new().solve(&g, &sfc(), &flow).unwrap().cost.total();
+            minv_total += MinvSolver::new()
+                .solve(&g, &sfc(), &flow)
+                .unwrap()
+                .cost
+                .total();
         }
         assert!(
             grasp_total < minv_total,
@@ -266,7 +283,11 @@ mod tests {
                 .unwrap()
                 .cost
                 .total();
-            mbbe_total += MbbeSolver::new().solve(&g, &sfc(), &flow).unwrap().cost.total();
+            mbbe_total += MbbeSolver::new()
+                .solve(&g, &sfc(), &flow)
+                .unwrap()
+                .cost
+                .total();
         }
         assert!(
             grasp_total <= mbbe_total * 1.25,

@@ -13,14 +13,13 @@
 //! * as a wrapper solver (`ImprovedSolver`) that runs any inner solver
 //!   and then polishes its result.
 
-use super::{SolveOutcome, Solver, SolverStats};
+use super::{oracle_min_cost_path, SolveCtx, SolveOutcome, Solver};
 use crate::chain::DagSfc;
 use crate::embedding::Embedding;
 use crate::error::SolveError;
 use crate::flow::Flow;
 use crate::metapath::{meta_paths, Endpoint, MetaPathKind};
-use dagsfc_net::routing::min_cost_path;
-use dagsfc_net::{LinkId, Network, NodeId, Path, CAP_EPS};
+use dagsfc_net::{Network, NodeId, Path, CAP_EPS};
 use std::time::Instant;
 
 /// Configuration of the local search.
@@ -52,6 +51,10 @@ pub struct Improvement {
     pub after: f64,
     /// Accepted relocation moves.
     pub moves: usize,
+    /// Shortest-path-tree cache hits during rerouting.
+    pub cache_hits: u64,
+    /// Shortest-path-tree cache misses during rerouting.
+    pub cache_misses: u64,
 }
 
 impl Improvement {
@@ -69,13 +72,14 @@ impl Improvement {
 /// (multicast-unaware during routing; the returned embedding is scored
 /// with the full multicast-aware accounting).
 fn reroute(
-    net: &Network,
+    ctx: &SolveCtx<'_>,
     sfc: &DagSfc,
     flow: &Flow,
     assignments: &[Vec<NodeId>],
+    hits: &mut u64,
+    misses: &mut u64,
 ) -> Option<Embedding> {
     let rate = flow.rate;
-    let filter = |l: LinkId| net.link(l).capacity + CAP_EPS >= rate;
     let node_of = |ep: Endpoint| match ep {
         Endpoint::Source => flow.src,
         Endpoint::Destination => flow.dst,
@@ -84,7 +88,7 @@ fn reroute(
     let mut paths = Vec::new();
     for mp in meta_paths(sfc) {
         let (from, to) = (node_of(mp.from), node_of(mp.to));
-        let path: Path = min_cost_path(net, from, to, &filter)?;
+        let path: Path = oracle_min_cost_path(&ctx.oracle, from, to, rate, hits, misses)?;
         debug_assert!(matches!(
             mp.kind,
             MetaPathKind::InterLayer | MetaPathKind::InnerLayer
@@ -96,6 +100,9 @@ fn reroute(
 
 /// Hill-climbs slot relocations starting from `emb`. The result is
 /// always validated; an invalid candidate move is simply not taken.
+///
+/// Convenience wrapper over [`improve_in`] that builds a fresh
+/// [`SolveCtx`] (and thus a cold path-oracle) for this one call.
 pub fn improve(
     net: &Network,
     sfc: &DagSfc,
@@ -103,13 +110,34 @@ pub fn improve(
     emb: &Embedding,
     config: LocalSearchConfig,
 ) -> Improvement {
+    improve_in(&SolveCtx::new(net), sfc, flow, emb, config)
+}
+
+/// [`improve`] against a caller-provided context, sharing its
+/// path-oracle with whatever solver produced `emb`.
+pub fn improve_in(
+    ctx: &SolveCtx<'_>,
+    sfc: &DagSfc,
+    flow: &Flow,
+    emb: &Embedding,
+    config: LocalSearchConfig,
+) -> Improvement {
+    let net = ctx.net;
     let catalog = *sfc.catalog();
+    let (mut cache_hits, mut cache_misses) = (0u64, 0u64);
     let before = emb.cost(net, sfc, flow).total();
     let mut assignments: Vec<Vec<NodeId>> = emb.assignments().to_vec();
     // Re-route the starting point too, so the baseline is consistent
     // with the move evaluator; keep the original if rerouting fails or
     // is worse.
-    let mut current = match reroute(net, sfc, flow, &assignments) {
+    let mut current = match reroute(
+        ctx,
+        sfc,
+        flow,
+        &assignments,
+        &mut cache_hits,
+        &mut cache_misses,
+    ) {
         Some(e)
             if crate::validate::validate(net, sfc, flow, &e).is_ok()
                 && e.cost(net, sfc, flow).total() <= before =>
@@ -140,8 +168,20 @@ pub fn improve(
                         continue;
                     }
                     assignments[l][slot] = candidate;
-                    if let Some(cand) = reroute(net, sfc, flow, &assignments) {
-                        let cost = cand.cost(net, sfc, flow).total();
+                    if let Some(cand) = reroute(
+                        ctx,
+                        sfc,
+                        flow,
+                        &assignments,
+                        &mut cache_hits,
+                        &mut cache_misses,
+                    ) {
+                        // A candidate whose assignment references a
+                        // non-deployed instance is infeasible, not a
+                        // modelling bug — skip it instead of panicking.
+                        let Ok(cost) = cand.try_cost(net, sfc, flow).map(|c| c.total()) else {
+                            continue;
+                        };
                         if cost + config.min_gain < current_cost
                             && best.as_ref().is_none_or(|(b, _, _)| cost < *b)
                             && crate::validate::validate(net, sfc, flow, &cand).is_ok()
@@ -176,6 +216,8 @@ pub fn improve(
             emb.clone()
         },
         moves,
+        cache_hits,
+        cache_misses,
     }
 }
 
@@ -202,24 +244,25 @@ impl<S: Solver> Solver for ImprovedSolver<S> {
         "LS"
     }
 
-    fn solve(
+    fn solve_in(
         &self,
-        net: &Network,
+        ctx: &SolveCtx<'_>,
         sfc: &DagSfc,
         flow: &Flow,
     ) -> Result<SolveOutcome, SolveError> {
         let start = Instant::now();
-        let base = self.inner.solve(net, sfc, flow)?;
-        let improved = improve(net, sfc, flow, &base.embedding, self.config);
-        let cost = improved.embedding.cost(net, sfc, flow);
+        let base = self.inner.solve_in(ctx, sfc, flow)?;
+        let improved = improve_in(ctx, sfc, flow, &base.embedding, self.config);
+        let cost = improved.embedding.cost(ctx.net, sfc, flow);
+        let mut stats = base.stats.clone();
+        stats.explored += improved.moves;
+        stats.cache_hits += improved.cache_hits;
+        stats.cache_misses += improved.cache_misses;
+        stats.elapsed = start.elapsed();
         Ok(SolveOutcome {
             embedding: improved.embedding,
             cost,
-            stats: SolverStats {
-                explored: base.stats.explored + improved.moves,
-                kept: base.stats.kept,
-                elapsed: start.elapsed(),
-            },
+            stats,
         })
     }
 }
@@ -267,7 +310,13 @@ mod tests {
                 MinvSolver::new().solve(&g, &sfc(), &flow).unwrap(),
                 RanvSolver::new(seed).solve(&g, &sfc(), &flow).unwrap(),
             ] {
-                let imp = improve(&g, &sfc(), &flow, &out.embedding, LocalSearchConfig::default());
+                let imp = improve(
+                    &g,
+                    &sfc(),
+                    &flow,
+                    &out.embedding,
+                    LocalSearchConfig::default(),
+                );
                 assert!(
                     imp.after <= imp.before + 1e-9,
                     "seed {seed}: worsened {} → {}",
@@ -292,7 +341,13 @@ mod tests {
             let g = net(seed);
             let flow = Flow::unit(NodeId(1), NodeId(38));
             let ranv = RanvSolver::new(seed).solve(&g, &sfc(), &flow).unwrap();
-            let imp = improve(&g, &sfc(), &flow, &ranv.embedding, LocalSearchConfig::default());
+            let imp = improve(
+                &g,
+                &sfc(),
+                &flow,
+                &ranv.embedding,
+                LocalSearchConfig::default(),
+            );
             let mbbe = MbbeSolver::new().solve(&g, &sfc(), &flow).unwrap();
             ranv_total += imp.before;
             improved_total += imp.after;
@@ -316,7 +371,13 @@ mod tests {
             let g = net(seed);
             let flow = Flow::unit(NodeId(2), NodeId(37));
             let mbbe = MbbeSolver::new().solve(&g, &sfc(), &flow).unwrap();
-            let imp = improve(&g, &sfc(), &flow, &mbbe.embedding, LocalSearchConfig::default());
+            let imp = improve(
+                &g,
+                &sfc(),
+                &flow,
+                &mbbe.embedding,
+                LocalSearchConfig::default(),
+            );
             gains += imp.gain();
         }
         assert!(

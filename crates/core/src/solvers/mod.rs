@@ -12,12 +12,14 @@ pub mod baseline;
 pub mod bbe;
 pub mod exact;
 pub mod grasp;
+pub mod instrument;
 pub mod localsearch;
 
 pub use baseline::{MinvSolver, RanvSolver};
 pub use bbe::{BbeConfig, BbeSolver, DelayConstraint, MbbeSolver, MbbeStSolver};
 pub use exact::ExactSolver;
 pub use grasp::{GraspConfig, GraspSolver};
+pub use instrument::{Counters, Instrument, NoInstrument};
 pub use localsearch::{improve, ImprovedSolver, Improvement, LocalSearchConfig};
 
 use crate::chain::DagSfc;
@@ -25,11 +27,18 @@ use crate::cost::CostBreakdown;
 use crate::embedding::Embedding;
 use crate::error::SolveError;
 use crate::flow::Flow;
-use dagsfc_net::Network;
+use dagsfc_net::{Network, CAP_EPS};
+use dagsfc_net::{NodeId, Path, PathOracle};
 use std::time::Duration;
 
 /// Search statistics reported by every solver.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+///
+/// `explored`/`kept`/`elapsed` are reported by every solver; the finer
+/// counters are populated where they apply (FST/BST sizes only by the
+/// BBE family, cache counters by every solver that routes through the
+/// shared [`PathOracle`] or a private path memo) and stay zero
+/// elsewhere.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SolverStats {
     /// Candidate (sub-)solutions examined during the search.
     pub explored: usize,
@@ -38,6 +47,88 @@ pub struct SolverStats {
     pub kept: usize,
     /// Wall-clock time spent in `solve`.
     pub elapsed: Duration,
+    /// Search-tree nodes expanded (BBE family: sub-solutions extended
+    /// layer by layer; exact: branch-and-bound nodes).
+    pub nodes_expanded: usize,
+    /// Total forward-search-tree placements examined across layers.
+    pub fst_nodes: usize,
+    /// Total backward-search-tree placements examined across layers.
+    pub bst_nodes: usize,
+    /// Candidates produced before any truncation.
+    pub candidates_generated: usize,
+    /// Candidates discarded by `x_d`/level-width truncation; counted at
+    /// every truncation point, so one candidate generated then dropped
+    /// twice counts twice here.
+    pub candidates_pruned: usize,
+    /// Shortest-path queries answered from a cache.
+    pub cache_hits: u64,
+    /// Shortest-path queries that ran a fresh search.
+    pub cache_misses: u64,
+    /// Wall-clock time per SFC layer (BBE family only; empty elsewhere).
+    pub layer_wall: Vec<Duration>,
+}
+
+impl SolverStats {
+    /// Fraction of path queries served from a cache, in `[0, 1]`.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+/// Per-instance solve context shared by every run of every solver.
+///
+/// Owns the [`PathOracle`] so repeated solves on the same network reuse
+/// each other's shortest-path trees. The context is `Sync`: the sim
+/// runner builds one per instance and shares it across worker threads.
+pub struct SolveCtx<'n> {
+    /// The substrate network being embedded into.
+    pub net: &'n Network,
+    /// Memoized shortest-path trees over static link capacities.
+    pub oracle: PathOracle<'n>,
+}
+
+impl<'n> SolveCtx<'n> {
+    /// A fresh context (and oracle) over `net`.
+    pub fn new(net: &'n Network) -> Self {
+        SolveCtx {
+            net,
+            oracle: PathOracle::new(net),
+        }
+    }
+}
+
+/// Cheapest path over the static capacity filter (`capacity + CAP_EPS >=
+/// rate`) via the shared oracle, bumping the caller's per-solve hit/miss
+/// counters. Trivial `from == to` queries bypass the cache entirely.
+pub(crate) fn oracle_min_cost_path(
+    oracle: &PathOracle<'_>,
+    from: NodeId,
+    to: NodeId,
+    rate: f64,
+    hits: &mut u64,
+    misses: &mut u64,
+) -> Option<Path> {
+    if from == to {
+        return Some(Path::trivial(from));
+    }
+    let (tree, hit) = oracle.tree_tracked(from, rate);
+    if hit {
+        *hits += 1;
+    } else {
+        *misses += 1;
+    }
+    tree.path_to(to)
+}
+
+/// Static-capacity admission used by every oracle-backed solver.
+#[allow(dead_code)]
+pub(crate) fn link_admits(net: &Network, link: dagsfc_net::LinkId, rate: f64) -> bool {
+    net.link(link).capacity + CAP_EPS >= rate
 }
 
 /// A successful embedding with its cost and statistics.
@@ -57,9 +148,19 @@ pub trait Solver {
     /// "MINV", …).
     fn name(&self) -> &'static str;
 
-    /// Embeds `sfc` for `flow` into `net`.
-    fn solve(&self, net: &Network, sfc: &DagSfc, flow: &Flow)
-        -> Result<SolveOutcome, SolveError>;
+    /// Embeds `sfc` for `flow` using a shared [`SolveCtx`], so repeated
+    /// solves on one network reuse cached shortest-path trees.
+    fn solve_in(
+        &self,
+        ctx: &SolveCtx<'_>,
+        sfc: &DagSfc,
+        flow: &Flow,
+    ) -> Result<SolveOutcome, SolveError>;
+
+    /// Embeds `sfc` for `flow` into `net` with a fresh private context.
+    fn solve(&self, net: &Network, sfc: &DagSfc, flow: &Flow) -> Result<SolveOutcome, SolveError> {
+        self.solve_in(&SolveCtx::new(net), sfc, flow)
+    }
 }
 
 /// Builds a solver from its lowercase CLI/config name. RANV and GRASP
@@ -139,11 +240,7 @@ mod tests {
     fn precheck_rejects_missing_merger() {
         let g = net(); // hosts f0 but no merger
         let c = VnfCatalog::new(1);
-        let sfc = DagSfc::new(
-            vec![Layer::new(vec![VnfTypeId(0), VnfTypeId(0)])],
-            c,
-        )
-        .unwrap();
+        let sfc = DagSfc::new(vec![Layer::new(vec![VnfTypeId(0), VnfTypeId(0)])], c).unwrap();
         assert!(precheck(&g, &sfc, &Flow::unit(NodeId(0), NodeId(1))).is_err());
     }
 

@@ -167,13 +167,13 @@ pub fn validate(
         }
     }
 
-    // Constraints (2)/(3): capacities under the reuse-aware loads.
-    let acct = emb.account(net, sfc, flow);
+    // Constraints (2)/(3): capacities under the reuse-aware loads. The
+    // lenient accounting path is deliberate: a missing instance is
+    // already reported per-slot by the hosting check above, and the
+    // validator must keep walking the remaining constraints.
+    let acct = emb.account_lenient(net, sfc, flow, &mut None);
     for (&(node, kind), &load) in &acct.vnf_load {
-        let capacity = net
-            .instance(node, kind)
-            .map(|i| i.capacity)
-            .unwrap_or(0.0); // missing instance already reported above
+        let capacity = net.instance(node, kind).map(|i| i.capacity).unwrap_or(0.0); // missing instance already reported above
         if net.hosts(node, kind) && load > capacity + CAP_EPS {
             violations.push(Violation::VnfOverload {
                 node,

@@ -99,8 +99,8 @@ pub fn analyze(net: &Network) -> GraphMetrics {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::topologies::{build, Topology};
     use crate::generator::NetGenConfig;
+    use crate::topologies::{build, Topology};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -156,7 +156,12 @@ mod tests {
             deploy_ratio: 0.5,
             ..NetGenConfig::default()
         };
-        let net = build(Topology::Ring { n: 10 }, &cfg, &mut StdRng::seed_from_u64(1)).unwrap();
+        let net = build(
+            Topology::Ring { n: 10 },
+            &cfg,
+            &mut StdRng::seed_from_u64(1),
+        )
+        .unwrap();
         let m = analyze(&net);
         assert_eq!(m.diameter, Some(5));
         assert_eq!(m.clustering, 0.0);

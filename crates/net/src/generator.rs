@@ -96,7 +96,9 @@ impl NetGenConfig {
             ));
         }
         if self.avg_degree < 0.0 {
-            return Err(NetError::InvalidParameter("avg_degree must be non-negative"));
+            return Err(NetError::InvalidParameter(
+                "avg_degree must be non-negative",
+            ));
         }
         for (v, name) in [
             (self.avg_vnf_price, "avg_vnf_price"),
@@ -202,8 +204,7 @@ pub fn generate<R: Rng + ?Sized>(config: &NetGenConfig, rng: &mut R) -> NetResul
         }
         if !deployed_any && config.ensure_full_coverage && config.deploy_ratio > 0.0 {
             let node = NodeId(rng.gen_range(0..n as u32));
-            let price =
-                fluctuated_price(rng, config.avg_vnf_price, config.vnf_price_fluctuation);
+            let price = fluctuated_price(rng, config.avg_vnf_price, config.vnf_price_fluctuation);
             net.deploy_vnf(node, vnf, price, config.vnf_capacity)?;
         }
     }

@@ -261,16 +261,12 @@ impl Network {
 
     /// Checked node access.
     pub fn try_node(&self, id: NodeId) -> NetResult<&Node> {
-        self.nodes
-            .get(id.index())
-            .ok_or(NetError::UnknownNode(id))
+        self.nodes.get(id.index()).ok_or(NetError::UnknownNode(id))
     }
 
     /// Checked link access.
     pub fn try_link(&self, id: LinkId) -> NetResult<&Link> {
-        self.links
-            .get(id.index())
-            .ok_or(NetError::UnknownLink(id))
+        self.links.get(id.index()).ok_or(NetError::UnknownLink(id))
     }
 
     /// `(neighbor, link)` pairs adjacent to `n`, sorted by neighbor id.
@@ -479,9 +475,7 @@ mod tests {
         let mut g = tiny();
         assert!(g.add_link(NodeId(0), NodeId(2), -1.0, 1.0).is_err());
         assert!(g.add_link(NodeId(0), NodeId(2), f64::NAN, 1.0).is_err());
-        assert!(g
-            .deploy_vnf(NodeId(0), VnfTypeId(0), -0.5, 1.0)
-            .is_err());
+        assert!(g.deploy_vnf(NodeId(0), VnfTypeId(0), -0.5, 1.0).is_err());
         assert!(g
             .deploy_vnf(NodeId(0), VnfTypeId(0), 1.0, f64::INFINITY)
             .is_err());
@@ -501,7 +495,12 @@ mod tests {
         assert_eq!(g.vnf_price(NodeId(0), VnfTypeId(1)).unwrap(), 2.0);
         assert!(g.vnf_price(NodeId(1), VnfTypeId(1)).is_err());
         // instances sorted by type id
-        let types: Vec<_> = g.node(NodeId(0)).instances().iter().map(|i| i.vnf).collect();
+        let types: Vec<_> = g
+            .node(NodeId(0))
+            .instances()
+            .iter()
+            .map(|i| i.vnf)
+            .collect();
         assert_eq!(types, vec![VnfTypeId(0), VnfTypeId(1)]);
     }
 

@@ -1,0 +1,464 @@
+//! Shared path oracle: memoized single-source Dijkstra trees.
+//!
+//! Every solver in the workspace answers the same query shape over and
+//! over — "cheapest path from `v` over links that fit a flow of rate
+//! `R`" — and most of them ask it with the *static* capacity filter
+//! (`capacity + CAP_EPS >= rate`). For a fixed network the admitted link
+//! set depends only on which side of each distinct capacity value the
+//! rate falls, so rates collapse into a small number of **capacity
+//! classes** and one [`ShortestPathTree`] per `(source, class)` serves
+//! every query of that class. The [`PathOracle`] caches exactly those
+//! trees behind a `parking_lot` mutex, so one oracle instance can be
+//! shared by all runs (and threads) of a simulation instance.
+//!
+//! Solvers that route on *residual* capacities (the RANV/MINV baselines
+//! reserve bandwidth as they go) cannot share trees across concurrent
+//! solves: each solve owns a private [`NetworkState`]. For those, an
+//! [`OracleSession`] provides a per-solve cache with explicit
+//! residual-capacity-aware invalidation — the caller invalidates after
+//! every reservation that changed the residuals, and hit/miss traffic
+//! still rolls up into the shared oracle's counters.
+//!
+//! [`NetworkState`]: crate::state::NetworkState
+
+use crate::graph::Network;
+use crate::ids::NodeId;
+use crate::path::Path;
+use crate::routing::{LinkFilter, ShortestPathTree};
+use crate::state::CAP_EPS;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Default bound on cached trees (LRU-evicted beyond this).
+const DEFAULT_CAPACITY: usize = 1024;
+
+/// Counter snapshot of a [`PathOracle`] (see [`PathOracle::stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OracleStats {
+    /// Tree queries answered from the cache.
+    pub hits: u64,
+    /// Tree queries that had to run Dijkstra.
+    pub misses: u64,
+    /// Trees dropped by the LRU bound.
+    pub evictions: u64,
+    /// Explicit invalidations (global flushes and session flushes).
+    pub invalidations: u64,
+}
+
+impl OracleStats {
+    /// Fraction of queries served from the cache, in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// LRU bookkeeping guarded by the oracle's mutex.
+struct TreeCache {
+    map: HashMap<(NodeId, usize), (Arc<ShortestPathTree>, u64)>,
+    tick: u64,
+}
+
+/// Memoized single-source Dijkstra trees over the static-capacity link
+/// filter, keyed by `(source, capacity class)`.
+///
+/// Thread-safe and intended to be shared (`&PathOracle` is `Send + Sync`):
+/// the cache sits behind a [`parking_lot::Mutex`] and the counters are
+/// atomics, so one oracle serves every run of a sim instance.
+pub struct PathOracle<'n> {
+    net: &'n Network,
+    /// Sorted distinct link capacities: the class boundaries.
+    classes: Vec<f64>,
+    capacity: usize,
+    cache: Mutex<TreeCache>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    invalidations: AtomicU64,
+}
+
+impl<'n> PathOracle<'n> {
+    /// An oracle over `net` with the default LRU bound.
+    pub fn new(net: &'n Network) -> Self {
+        Self::with_capacity(net, DEFAULT_CAPACITY)
+    }
+
+    /// An oracle over `net` keeping at most `capacity` trees.
+    pub fn with_capacity(net: &'n Network, capacity: usize) -> Self {
+        let mut classes: Vec<f64> = net.link_ids().map(|l| net.link(l).capacity).collect();
+        classes.sort_by(|a, b| a.partial_cmp(b).expect("finite capacities"));
+        classes.dedup();
+        PathOracle {
+            net,
+            classes,
+            capacity: capacity.max(1),
+            cache: Mutex::new(TreeCache {
+                map: HashMap::new(),
+                tick: 0,
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+        }
+    }
+
+    /// The underlying network.
+    #[inline]
+    pub fn network(&self) -> &'n Network {
+        self.net
+    }
+
+    /// The capacity class of `rate`: the index of the smallest distinct
+    /// link capacity that admits a flow of `rate`. All rates of one class
+    /// admit the identical link set, so their trees are interchangeable.
+    pub fn rate_class(&self, rate: f64) -> usize {
+        self.classes.partition_point(|&c| c + CAP_EPS < rate)
+    }
+
+    /// The shortest-path tree rooted at `source` over links admitting
+    /// `rate`, from the cache when possible.
+    pub fn tree(&self, source: NodeId, rate: f64) -> Arc<ShortestPathTree> {
+        self.tree_tracked(source, rate).0
+    }
+
+    /// Like [`Self::tree`], also reporting whether the query was a cache
+    /// hit — callers use this for per-solve hit/miss accounting.
+    pub fn tree_tracked(&self, source: NodeId, rate: f64) -> (Arc<ShortestPathTree>, bool) {
+        let class = self.rate_class(rate);
+        let mut cache = self.cache.lock();
+        cache.tick += 1;
+        let tick = cache.tick;
+        if let Some((tree, last_used)) = cache.map.get_mut(&(source, class)) {
+            *last_used = tick;
+            let tree = Arc::clone(tree);
+            drop(cache);
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return (tree, true);
+        }
+        // Build with the class's canonical threshold so every rate of the
+        // class produces the bit-identical tree.
+        let threshold = self.classes.get(class).copied().unwrap_or(f64::INFINITY);
+        let net = self.net;
+        let tree = Arc::new(ShortestPathTree::build(
+            net,
+            source,
+            &|l| net.link(l).capacity >= threshold,
+            None,
+        ));
+        if cache.map.len() >= self.capacity {
+            if let Some(&victim) = cache
+                .map
+                .iter()
+                .min_by_key(|(_, (_, used))| *used)
+                .map(|(k, _)| k)
+            {
+                cache.map.remove(&victim);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        cache.map.insert((source, class), (Arc::clone(&tree), tick));
+        drop(cache);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        (tree, false)
+    }
+
+    /// Cheapest path `from → to` over links admitting `rate` (static
+    /// capacities). `from == to` yields the trivial path without touching
+    /// the cache.
+    pub fn min_cost_path(&self, from: NodeId, to: NodeId, rate: f64) -> Option<Path> {
+        if from == to {
+            return Some(Path::trivial(from));
+        }
+        self.tree(from, rate).path_to(to)
+    }
+
+    /// Flushes every cached tree (counted as one invalidation).
+    pub fn invalidate(&self) {
+        self.cache.lock().map.clear();
+        self.invalidations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot of the hit/miss/eviction/invalidation counters.
+    pub fn stats(&self) -> OracleStats {
+        OracleStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Opens a per-solve session for residual-capacity routing (see
+    /// [`OracleSession`]).
+    pub fn session(&self) -> OracleSession<'_, 'n> {
+        OracleSession {
+            oracle: self,
+            cache: HashMap::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    fn record_session(&self, hit: bool) {
+        if hit {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A private, residual-capacity-aware tree cache for one solve.
+///
+/// Residual-filtered trees depend on the solve's own [`NetworkState`]
+/// and on caller context (e.g. which links a multicast group already
+/// owns), so they must never be shared across solves. A session caches
+/// them keyed by `(source, context)`; the caller **must** call
+/// [`OracleSession::invalidate`] after any reservation that changed the
+/// residual capacities — every cached tree may be stale after that.
+/// Hits and misses also accumulate in the parent oracle's counters.
+///
+/// [`NetworkState`]: crate::state::NetworkState
+pub struct OracleSession<'o, 'n> {
+    oracle: &'o PathOracle<'n>,
+    cache: HashMap<(NodeId, u64), Arc<ShortestPathTree>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl OracleSession<'_, '_> {
+    /// Cheapest path `from → to` under a caller-supplied filter
+    /// (typically residual capacity plus shared multicast links).
+    /// `context` must distinguish filters with different semantics
+    /// (e.g. the multicast group index); trees cached under one context
+    /// are reused only for that context.
+    pub fn min_cost_path_with<F: LinkFilter>(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        context: u64,
+        filter: &F,
+    ) -> Option<Path> {
+        if from == to {
+            return Some(Path::trivial(from));
+        }
+        let key = (from, context);
+        if let Some(tree) = self.cache.get(&key) {
+            self.hits += 1;
+            self.oracle.record_session(true);
+            return tree.path_to(to);
+        }
+        let tree = Arc::new(ShortestPathTree::build(self.oracle.net, from, filter, None));
+        let path = tree.path_to(to);
+        self.cache.insert(key, tree);
+        self.misses += 1;
+        self.oracle.record_session(false);
+        path
+    }
+
+    /// Drops every cached tree — call after reserving capacity, which
+    /// makes residual-filtered trees stale.
+    pub fn invalidate(&mut self) {
+        if !self.cache.is_empty() {
+            self.cache.clear();
+        }
+        self.oracle.invalidations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Session-local cache hits.
+    #[inline]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Session-local cache misses.
+    #[inline]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::LinkId;
+    use crate::routing::min_cost_path;
+    use crate::state::NetworkState;
+
+    /// Diamond: 0-1 (1.0), 0-2 (0.4), 1-3 (1.0), 2-3 (0.4), 1-2 (0.1);
+    /// link 2-3 has capacity 1.0, the rest 10.0.
+    fn diamond() -> Network {
+        let mut g = Network::new();
+        g.add_nodes(4);
+        g.add_link(NodeId(0), NodeId(1), 1.0, 10.0).unwrap();
+        g.add_link(NodeId(0), NodeId(2), 0.4, 10.0).unwrap();
+        g.add_link(NodeId(1), NodeId(3), 1.0, 10.0).unwrap();
+        g.add_link(NodeId(2), NodeId(3), 0.4, 1.0).unwrap();
+        g.add_link(NodeId(1), NodeId(2), 0.1, 10.0).unwrap();
+        g
+    }
+
+    #[test]
+    fn cached_paths_match_direct_dijkstra() {
+        let g = diamond();
+        let oracle = PathOracle::new(&g);
+        for rate in [0.5, 2.0] {
+            let direct = min_cost_path(&g, NodeId(0), NodeId(3), &|l: LinkId| {
+                g.link(l).capacity + CAP_EPS >= rate
+            });
+            let cached = oracle.min_cost_path(NodeId(0), NodeId(3), rate);
+            assert_eq!(
+                direct.as_ref().map(Path::nodes),
+                cached.as_ref().map(Path::nodes),
+                "rate {rate}"
+            );
+        }
+        // First query per class was a miss; repeat queries hit.
+        let before = oracle.stats();
+        let again = oracle.min_cost_path(NodeId(0), NodeId(3), 0.5).unwrap();
+        assert_eq!(again.nodes(), &[NodeId(0), NodeId(2), NodeId(3)]);
+        let after = oracle.stats();
+        assert_eq!(after.hits, before.hits + 1);
+        assert_eq!(after.misses, before.misses);
+        assert!(after.hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn rates_of_one_capacity_class_share_a_tree() {
+        let g = diamond();
+        let oracle = PathOracle::new(&g);
+        assert_eq!(oracle.rate_class(0.3), oracle.rate_class(0.9));
+        assert_ne!(oracle.rate_class(0.9), oracle.rate_class(2.0));
+        // Rate above every capacity maps to the all-blocked class.
+        assert_eq!(oracle.rate_class(99.0), 2);
+        assert!(oracle.min_cost_path(NodeId(0), NodeId(3), 99.0).is_none());
+
+        oracle.min_cost_path(NodeId(0), NodeId(3), 0.3);
+        let s1 = oracle.stats();
+        oracle.min_cost_path(NodeId(0), NodeId(3), 0.9); // same class → hit
+        let s2 = oracle.stats();
+        assert_eq!(s2.hits, s1.hits + 1);
+        assert_eq!(s2.misses, s1.misses);
+    }
+
+    #[test]
+    fn class_partition_excludes_small_links() {
+        let g = diamond();
+        let oracle = PathOracle::new(&g);
+        // Rate 2.0 exceeds link 2-3's capacity (1.0): the tree must route
+        // around it via the 1-2 cross link.
+        let p = oracle.min_cost_path(NodeId(0), NodeId(3), 2.0).unwrap();
+        assert_eq!(p.nodes(), &[NodeId(0), NodeId(2), NodeId(1), NodeId(3)]);
+    }
+
+    #[test]
+    fn trivial_queries_bypass_the_cache() {
+        let g = diamond();
+        let oracle = PathOracle::new(&g);
+        let p = oracle.min_cost_path(NodeId(2), NodeId(2), 1.0).unwrap();
+        assert!(p.is_empty());
+        assert_eq!(oracle.stats(), OracleStats::default());
+    }
+
+    #[test]
+    fn lru_bound_evicts_oldest_tree() {
+        let g = diamond();
+        let oracle = PathOracle::with_capacity(&g, 1);
+        oracle.tree(NodeId(0), 0.5);
+        oracle.tree(NodeId(1), 0.5); // evicts the NodeId(0) tree
+        oracle.tree(NodeId(0), 0.5); // rebuilt → miss
+        let s = oracle.stats();
+        assert_eq!(s.evictions, 2);
+        assert_eq!(s.misses, 3);
+        assert_eq!(s.hits, 0);
+    }
+
+    #[test]
+    fn invalidate_flushes_and_counts() {
+        let g = diamond();
+        let oracle = PathOracle::new(&g);
+        oracle.tree(NodeId(0), 0.5);
+        oracle.invalidate();
+        oracle.tree(NodeId(0), 0.5);
+        let s = oracle.stats();
+        assert_eq!(s.invalidations, 1);
+        assert_eq!(s.misses, 2);
+        assert_eq!(s.hits, 0);
+    }
+
+    #[test]
+    fn session_invalidation_tracks_residual_updates() {
+        let g = diamond();
+        let oracle = PathOracle::new(&g);
+        let mut state = NetworkState::new(&g);
+        let mut session = oracle.session();
+
+        let filter = |l: LinkId| state.link_fits(l, 0.8);
+        let p1 = session
+            .min_cost_path_with(NodeId(0), NodeId(3), 0, &filter)
+            .unwrap();
+        assert_eq!(p1.nodes(), &[NodeId(0), NodeId(2), NodeId(3)]);
+        // Cached: the same query hits.
+        let _ = session.min_cost_path_with(NodeId(0), NodeId(3), 0, &filter);
+        assert_eq!(session.hits(), 1);
+
+        // Reserve the cheap 2-3 link to saturation, then invalidate: the
+        // refreshed tree must route around it.
+        state.reserve_link(LinkId(3), 1.0).unwrap();
+        session.invalidate();
+        let filter = |l: LinkId| state.link_fits(l, 0.8);
+        let p2 = session
+            .min_cost_path_with(NodeId(0), NodeId(3), 0, &filter)
+            .unwrap();
+        assert_eq!(p2.nodes(), &[NodeId(0), NodeId(2), NodeId(1), NodeId(3)]);
+        assert_eq!(session.misses(), 2);
+        // Session traffic rolls up into the shared counters.
+        let s = oracle.stats();
+        assert_eq!((s.hits, s.misses, s.invalidations), (1, 2, 1));
+    }
+
+    #[test]
+    fn session_contexts_are_isolated() {
+        let g = diamond();
+        let oracle = PathOracle::new(&g);
+        let mut session = oracle.session();
+        let all = |_l: LinkId| true;
+        let none = |_l: LinkId| false;
+        assert!(session
+            .min_cost_path_with(NodeId(0), NodeId(3), 1, &all)
+            .is_some());
+        // Different context: the permissive tree must not be reused.
+        assert!(session
+            .min_cost_path_with(NodeId(0), NodeId(3), 2, &none)
+            .is_none());
+        assert_eq!(session.misses(), 2);
+    }
+
+    #[test]
+    fn concurrent_queries_agree() {
+        let g = diamond();
+        let oracle = PathOracle::new(&g);
+        let paths: Vec<Option<Path>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| s.spawn(|| oracle.min_cost_path(NodeId(0), NodeId(3), 0.5)))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for p in &paths {
+            assert_eq!(
+                p.as_ref().map(Path::nodes),
+                paths[0].as_ref().map(Path::nodes)
+            );
+        }
+        let s = oracle.stats();
+        assert_eq!(s.hits + s.misses, 4);
+        assert!(s.misses >= 1);
+    }
+}

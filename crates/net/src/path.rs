@@ -38,7 +38,9 @@ impl Path {
             let (from, to) = (nodes[i], nodes[i + 1]);
             let connects = (link.a == from && link.b == to) || (link.a == to && link.b == from);
             if !connects {
-                return Err(NetError::InvalidParameter("path link does not connect its nodes"));
+                return Err(NetError::InvalidParameter(
+                    "path link does not connect its nodes",
+                ));
             }
         }
         Ok(Path { nodes, links })
@@ -51,9 +53,10 @@ impl Path {
         }
         let mut links = Vec::with_capacity(nodes.len() - 1);
         for w in nodes.windows(2) {
-            let l = net
-                .link_between(w[0], w[1])
-                .ok_or(NetError::NoPath { from: w[0], to: w[1] })?;
+            let l = net.link_between(w[0], w[1]).ok_or(NetError::NoPath {
+                from: w[0],
+                to: w[1],
+            })?;
             links.push(l);
         }
         Ok(Path { nodes, links })
@@ -133,7 +136,9 @@ impl Path {
     /// `other` must start where `self` ends.
     pub fn join(&self, other: &Path) -> NetResult<Path> {
         if self.target() != other.source() {
-            return Err(NetError::InvalidParameter("joined paths do not share an endpoint"));
+            return Err(NetError::InvalidParameter(
+                "joined paths do not share an endpoint",
+            ));
         }
         let mut nodes = self.nodes.clone();
         nodes.extend_from_slice(&other.nodes[1..]);
@@ -226,8 +231,7 @@ mod tests {
     fn cycle_detection() {
         let mut g = line(3);
         g.add_link(NodeId(0), NodeId(2), 1.0, 10.0).unwrap();
-        let cyc =
-            Path::from_nodes(&g, vec![NodeId(0), NodeId(1), NodeId(2), NodeId(0)]).unwrap();
+        let cyc = Path::from_nodes(&g, vec![NodeId(0), NodeId(1), NodeId(2), NodeId(0)]).unwrap();
         assert!(cyc.has_node_cycle());
     }
 }

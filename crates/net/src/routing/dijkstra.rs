@@ -147,8 +147,8 @@ pub fn min_cost_path<F: LinkFilter>(
 mod tests {
     use super::*;
     use crate::routing::NoFilter;
-    use crate::state::NetworkState;
     use crate::routing::RateFilter;
+    use crate::state::NetworkState;
 
     /// Diamond: 0-1 (1.0), 0-2 (0.4), 1-3 (1.0), 2-3 (0.4), 1-2 (0.1).
     fn diamond() -> Network {

@@ -79,18 +79,18 @@ pub fn disjoint_path_pair<F: LinkFilter>(
             // Each undirected link yields two arcs unless on P1.
             let arcs: [(NodeId, NodeId, f64); 2] = match p1_arcs.get(&l) {
                 Some(&forward) => {
-                    let (u, v) = if forward { (link.a, link.b) } else { (link.b, link.a) };
+                    let (u, v) = if forward {
+                        (link.a, link.b)
+                    } else {
+                        (link.b, link.a)
+                    };
                     // forward arc (u→v) removed; reverse arc negated.
                     [(v, u, -link.price), (v, u, -link.price)]
                 }
-                None => [
-                    (link.a, link.b, link.price),
-                    (link.b, link.a, link.price),
-                ],
+                None => [(link.a, link.b, link.price), (link.b, link.a, link.price)],
             };
             for &(u, v, w) in &arcs {
-                if dist[u.index()].is_finite() && dist[u.index()] + w < dist[v.index()] - 1e-12
-                {
+                if dist[u.index()].is_finite() && dist[u.index()] + w < dist[v.index()] - 1e-12 {
                     dist[v.index()] = dist[u.index()] + w;
                     prev[v.index()] = Some((u, l));
                     changed = true;
@@ -245,7 +245,10 @@ mod tests {
         let greedy_backup = min_cost_path(&g, NodeId(0), NodeId(3), &move |l: LinkId| {
             !excluded.contains(&l)
         });
-        assert!(greedy_backup.is_none(), "trap must defeat the greedy strategy");
+        assert!(
+            greedy_backup.is_none(),
+            "trap must defeat the greedy strategy"
+        );
         // Bhandari still finds the pair 0-1-3 (3.5) and 0-2-3 (3.5).
         let pair = disjoint_path_pair(&g, NodeId(0), NodeId(3), &NoFilter).unwrap();
         assert!((pair.total_price(&g) - 7.0).abs() < 1e-9);
@@ -275,9 +278,9 @@ mod tests {
         // paths 0-1-3?… Let's just require: if a pair comes back, it is
         // disjoint and avoids the banned link.
         let banned = g.link_between(NodeId(1), NodeId(2)).unwrap();
-        if let Some(pair) = disjoint_path_pair(&g, NodeId(0), NodeId(5), &move |l: LinkId| {
-            l != banned
-        }) {
+        if let Some(pair) =
+            disjoint_path_pair(&g, NodeId(0), NodeId(5), &move |l: LinkId| l != banned)
+        {
             assert!(!pair.primary.links().contains(&banned));
             assert!(!pair.backup.links().contains(&banned));
             for l in pair.primary.links() {

@@ -70,9 +70,7 @@ pub fn k_shortest_paths<F: LinkFilter>(
                     continue;
                 }
                 let price = total.price(net);
-                if !result.contains(&total)
-                    && !candidates.iter().any(|(_, p)| *p == total)
-                {
+                if !result.contains(&total) && !candidates.iter().any(|(_, p)| *p == total) {
                     candidates.push((price, total));
                 }
             }
@@ -141,8 +139,14 @@ mod tests {
     #[test]
     fn k_caps_output() {
         let g = square();
-        assert_eq!(k_shortest_paths(&g, NodeId(0), NodeId(3), 2, &NoFilter).len(), 2);
-        assert_eq!(k_shortest_paths(&g, NodeId(0), NodeId(3), 0, &NoFilter).len(), 0);
+        assert_eq!(
+            k_shortest_paths(&g, NodeId(0), NodeId(3), 2, &NoFilter).len(),
+            2
+        );
+        assert_eq!(
+            k_shortest_paths(&g, NodeId(0), NodeId(3), 0, &NoFilter).len(),
+            0
+        );
     }
 
     #[test]

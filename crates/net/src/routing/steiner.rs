@@ -73,10 +73,7 @@ pub fn multicast_tree<F: LinkFilter>(
             }
             let (d, entry) = closest?; // a terminal can't reach the tree → fail
             let path = spt.path_to(entry).expect("entry is reachable");
-            if best
-                .as_ref()
-                .is_none_or(|(bd, _, _)| d < *bd)
-            {
+            if best.as_ref().is_none_or(|(bd, _, _)| d < *bd) {
                 best = Some((d, i, path));
             }
         }
@@ -219,8 +216,7 @@ mod tests {
         // Ban the chain head 0—1: node 1 must be reached via 0—2—1.
         let head = g.link_between(NodeId(0), NodeId(1)).unwrap();
         let f = move |l: LinkId| l != head;
-        let mt =
-            multicast_tree(&g, NodeId(0), &[NodeId(1), NodeId(2), NodeId(3)], &f).unwrap();
+        let mt = multicast_tree(&g, NodeId(0), &[NodeId(1), NodeId(2), NodeId(3)], &f).unwrap();
         for p in &mt.paths {
             assert!(!p.links().contains(&head));
         }
@@ -232,8 +228,7 @@ mod tests {
     fn tree_is_acyclic() {
         let g = comb();
         let mt =
-            multicast_tree(&g, NodeId(0), &[NodeId(1), NodeId(2), NodeId(3)], &NoFilter)
-                .unwrap();
+            multicast_tree(&g, NodeId(0), &[NodeId(1), NodeId(2), NodeId(3)], &NoFilter).unwrap();
         // |tree nodes| = |tree links| + 1 for a tree; nodes touched:
         let mut nodes: HashSet<NodeId> = HashSet::new();
         for &l in &mt.tree_links {

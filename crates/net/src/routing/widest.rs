@@ -99,7 +99,9 @@ pub fn widest_path<F: LinkFilter>(
     }
     nodes.reverse();
     links.reverse();
-    Path::new(net, nodes, links).ok().map(|p| (p, best[to.index()]))
+    Path::new(net, nodes, links)
+        .ok()
+        .map(|p| (p, best[to.index()]))
 }
 
 /// Widest path over a residual [`NetworkState`] (width = remaining
@@ -171,9 +173,7 @@ mod tests {
         assert!(w.is_infinite());
         let mut g2 = Network::new();
         g2.add_nodes(2);
-        assert!(
-            widest_path(&g2, NodeId(0), NodeId(1), &NoFilter, |_| 1.0).is_none()
-        );
+        assert!(widest_path(&g2, NodeId(0), NodeId(1), &NoFilter, |_| 1.0).is_none());
     }
 
     #[test]

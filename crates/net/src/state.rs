@@ -211,9 +211,7 @@ impl<'a> NetworkState<'a> {
         while self.undo.len() > cp.0 {
             match self.undo.pop().expect("undo log entry") {
                 UndoEntry::Vnf { slot, amount } => self.vnf_remaining[slot] += amount,
-                UndoEntry::Link { link, amount } => {
-                    self.link_remaining[link.index()] += amount
-                }
+                UndoEntry::Link { link, amount } => self.link_remaining[link.index()] += amount,
             }
         }
     }

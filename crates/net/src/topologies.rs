@@ -121,10 +121,7 @@ fn fluctuated<R: Rng + ?Sized>(rng: &mut R, avg: f64, fluct: f64) -> f64 {
     }
 }
 
-fn topology_edges<R: Rng + ?Sized>(
-    topology: Topology,
-    rng: &mut R,
-) -> NetResult<Vec<(u32, u32)>> {
+fn topology_edges<R: Rng + ?Sized>(topology: Topology, rng: &mut R) -> NetResult<Vec<(u32, u32)>> {
     match topology {
         Topology::Ring { n } => {
             if n < 3 {
@@ -156,7 +153,9 @@ fn topology_edges<R: Rng + ?Sized>(
         }
         Topology::FatTree { k } => {
             if k < 2 || k % 2 != 0 {
-                return Err(NetError::InvalidParameter("fat-tree arity must be even ≥ 2"));
+                return Err(NetError::InvalidParameter(
+                    "fat-tree arity must be even ≥ 2",
+                ));
             }
             let half = k / 2;
             let cores = half * half;
@@ -184,10 +183,13 @@ fn topology_edges<R: Rng + ?Sized>(
                 return Err(NetError::InvalidParameter("waxman needs ≥ 2 nodes"));
             }
             if !(0.0 < alpha && alpha <= 1.0 && 0.0 < beta && beta <= 1.0) {
-                return Err(NetError::InvalidParameter("waxman alpha/beta must be in (0,1]"));
+                return Err(NetError::InvalidParameter(
+                    "waxman alpha/beta must be in (0,1]",
+                ));
             }
-            let points: Vec<(f64, f64)> =
-                (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+            let points: Vec<(f64, f64)> = (0..n)
+                .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+                .collect();
             let max_dist = std::f64::consts::SQRT_2;
             let mut edges = Vec::new();
             for a in 0..n {
@@ -205,8 +207,7 @@ fn topology_edges<R: Rng + ?Sized>(
             // guarantee the §5.1 generator provides).
             let mut order: Vec<u32> = (0..n as u32).collect();
             order.shuffle(rng);
-            let mut have: std::collections::HashSet<(u32, u32)> =
-                edges.iter().copied().collect();
+            let mut have: std::collections::HashSet<(u32, u32)> = edges.iter().copied().collect();
             for i in 1..n {
                 let a = order[i];
                 let b = order[rng.gen_range(0..i)];
@@ -280,7 +281,11 @@ mod tests {
     #[test]
     fn grid_and_torus() {
         let mesh = build(
-            Topology::Grid { rows: 3, cols: 4, wrap: false },
+            Topology::Grid {
+                rows: 3,
+                cols: 4,
+                wrap: false,
+            },
             &cfg(),
             &mut StdRng::seed_from_u64(2),
         )
@@ -291,7 +296,11 @@ mod tests {
         assert!(mesh.is_connected());
 
         let torus = build(
-            Topology::Grid { rows: 3, cols: 4, wrap: true },
+            Topology::Grid {
+                rows: 3,
+                cols: 4,
+                wrap: true,
+            },
             &cfg(),
             &mut StdRng::seed_from_u64(2),
         )
@@ -322,7 +331,11 @@ mod tests {
 
     #[test]
     fn waxman_connected_and_seeded() {
-        let t = Topology::Waxman { n: 40, alpha: 0.6, beta: 0.3 };
+        let t = Topology::Waxman {
+            n: 40,
+            alpha: 0.6,
+            beta: 0.3,
+        };
         let a = build(t, &cfg(), &mut StdRng::seed_from_u64(4)).unwrap();
         let b = build(t, &cfg(), &mut StdRng::seed_from_u64(4)).unwrap();
         assert!(a.is_connected());
@@ -350,10 +363,23 @@ mod tests {
     fn invalid_parameters_rejected() {
         let mut rng = StdRng::seed_from_u64(0);
         assert!(build(Topology::Ring { n: 2 }, &cfg(), &mut rng).is_err());
-        assert!(build(Topology::Grid { rows: 1, cols: 5, wrap: false }, &cfg(), &mut rng).is_err());
+        assert!(build(
+            Topology::Grid {
+                rows: 1,
+                cols: 5,
+                wrap: false
+            },
+            &cfg(),
+            &mut rng
+        )
+        .is_err());
         assert!(build(Topology::FatTree { k: 3 }, &cfg(), &mut rng).is_err());
         assert!(build(
-            Topology::Waxman { n: 10, alpha: 0.0, beta: 0.5 },
+            Topology::Waxman {
+                n: 10,
+                alpha: 0.0,
+                beta: 0.5
+            },
             &cfg(),
             &mut rng
         )
@@ -364,7 +390,11 @@ mod tests {
     #[test]
     fn vnfs_deployed_on_structured_topologies() {
         let net = build(
-            Topology::Grid { rows: 5, cols: 5, wrap: false },
+            Topology::Grid {
+                rows: 5,
+                cols: 5,
+                wrap: false,
+            },
             &cfg(),
             &mut StdRng::seed_from_u64(6),
         )
@@ -382,8 +412,12 @@ mod tests {
     #[test]
     fn embedding_works_on_fat_tree() {
         // Structured topologies drop into the normal solve path.
-        let net = build(Topology::FatTree { k: 4 }, &cfg(), &mut StdRng::seed_from_u64(7))
-            .unwrap();
+        let net = build(
+            Topology::FatTree { k: 4 },
+            &cfg(),
+            &mut StdRng::seed_from_u64(7),
+        )
+        .unwrap();
         // Just routing here (solvers live in dagsfc-core): cheapest path
         // between two edge switches crosses the fabric.
         let p = crate::routing::min_cost_path(

@@ -307,7 +307,10 @@ mod tests {
         assert_eq!(conflict(&nat, &fw), Some(ConflictReason::ReadAfterWrite));
         assert_eq!(conflict(&fw, &nat), Some(ConflictReason::WriteAfterRead));
         assert_eq!(
-            conflict(&writer(&[], &[PacketField::Payload]), &writer(&[], &[PacketField::Payload])),
+            conflict(
+                &writer(&[], &[PacketField::Payload]),
+                &writer(&[], &[PacketField::Payload])
+            ),
             Some(ConflictReason::WriteWrite)
         );
         assert_eq!(conflict(&fw, &mon), Some(ConflictReason::DropVsCount));

@@ -52,7 +52,15 @@ pub const PRESETS: &[ChainPreset] = &[
     ChainPreset {
         name: "full-gauntlet",
         description: "Everything a paranoid enterprise deploys inline",
-        nfs: &["policer", "firewall", "ids", "ips", "dpi", "nat", "qos_marker"],
+        nfs: &[
+            "policer",
+            "firewall",
+            "ids",
+            "ips",
+            "dpi",
+            "nat",
+            "qos_marker",
+        ],
     },
 ];
 
@@ -161,11 +169,8 @@ mod tests {
 
     #[test]
     fn width_cap_applies_to_presets() {
-        let capped = hybrid_preset(
-            "full-gauntlet",
-            TransformOptions { max_width: Some(2) },
-        )
-        .unwrap();
+        let capped =
+            hybrid_preset("full-gauntlet", TransformOptions { max_width: Some(2) }).unwrap();
         assert!(capped.max_width() <= 2);
     }
 }

@@ -110,7 +110,9 @@ impl FieldSet {
 
     /// Iterates the contained fields in discriminant order.
     pub fn iter(self) -> impl Iterator<Item = PacketField> {
-        PacketField::ALL.into_iter().filter(move |f| self.contains(*f))
+        PacketField::ALL
+            .into_iter()
+            .filter(move |f| self.contains(*f))
     }
 }
 

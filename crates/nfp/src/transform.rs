@@ -142,13 +142,7 @@ mod tests {
     #[test]
     fn width_cap_respected() {
         let chain = ids(&["firewall", "ids", "dpi", "policer"]);
-        let h = to_hybrid(
-            &chain,
-            &deps(),
-            TransformOptions {
-                max_width: Some(2),
-            },
-        );
+        let h = to_hybrid(&chain, &deps(), TransformOptions { max_width: Some(2) });
         assert_eq!(h.depth(), 2);
         assert!(h.max_width() <= 2);
         assert_eq!(h.flatten(), chain);

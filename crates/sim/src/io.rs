@@ -135,9 +135,9 @@ pub fn load_solution(path: &Path) -> Result<SavedSolution, IoError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::runner::Algo;
     use crate::runner::{instance_network, instance_request};
     use crate::sweep;
-    use crate::runner::Algo;
 
     fn tmpdir() -> std::path::PathBuf {
         let dir = std::env::temp_dir().join(format!(

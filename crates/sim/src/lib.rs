@@ -35,6 +35,6 @@ pub use lifecycle::{run_lifecycle, LifecycleConfig, LifecycleMetrics};
 pub use online::{acceptance_sweep, run_online, OnlineConfig, OnlineMetrics};
 pub use runner::{run_instance, Algo, AlgoResult, InstanceResult};
 pub use stats::Summary;
+pub use sweep::{SweepPoint, SweepResult};
 pub use trace::{head_to_head, trace_instance, AlgoTrace, Percentiles, RunRecord};
 pub use workload::EndpointModel;
-pub use sweep::{SweepPoint, SweepResult};

@@ -98,10 +98,14 @@ pub fn run_lifecycle(cfg: &LifecycleConfig) -> LifecycleMetrics {
             departures.pop();
             let c = commitments[id].take().expect("departs once");
             for (node, kind, rate) in c.vnf {
-                state.release_vnf(node, kind, rate).expect("release matches reserve");
+                state
+                    .release_vnf(node, kind, rate)
+                    .expect("release matches reserve");
             }
             for (link, rate) in c.links {
-                state.release_link(link, rate).expect("release matches reserve");
+                state
+                    .release_link(link, rate)
+                    .expect("release matches reserve");
             }
             concurrent -= 1;
         }
@@ -152,10 +156,14 @@ pub fn run_lifecycle(cfg: &LifecycleConfig) -> LifecycleMetrics {
     while let Some((_, id)) = departures.pop() {
         let c = commitments[id].take().expect("departs once");
         for (node, kind, rate) in c.vnf {
-            state.release_vnf(node, kind, rate).expect("release matches reserve");
+            state
+                .release_vnf(node, kind, rate)
+                .expect("release matches reserve");
         }
         for (link, rate) in c.links {
-            state.release_link(link, rate).expect("release matches reserve");
+            state
+                .release_link(link, rate)
+                .expect("release matches reserve");
         }
     }
 

@@ -231,7 +231,10 @@ mod tests {
             algo: Algo::Minv,
         };
         let m = run_online(&cfg);
-        assert!(m.rejected > 0, "120 requests must overrun 6-unit capacities");
+        assert!(
+            m.rejected > 0,
+            "120 requests must overrun 6-unit capacities"
+        );
         assert!(m.accepted > 0);
         assert!(m.link_utilization > 0.05);
         assert!(m.vnf_utilization > 0.0);

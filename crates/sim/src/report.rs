@@ -27,8 +27,12 @@ fn present_algos(result: &SweepResult) -> Vec<&'static str> {
 pub fn ascii_table(result: &SweepResult) -> String {
     let algos = present_algos(result);
     let mut out = String::new();
-    writeln!(out, "== {} — mean embedding cost vs {} ==", result.id, result.x_label)
-        .expect("string write");
+    writeln!(
+        out,
+        "== {} — mean embedding cost vs {} ==",
+        result.id, result.x_label
+    )
+    .expect("string write");
     write!(out, "{:>12}", result.x_label_short()).expect("string write");
     for a in &algos {
         write!(out, "{a:>12}").expect("string write");
@@ -52,8 +56,13 @@ pub fn csv(result: &SweepResult) -> String {
     let algos = present_algos(result);
     let mut out = String::from("x");
     for a in &algos {
-        write!(out, ",{}_mean_cost,{}_successes", a.to_lowercase(), a.to_lowercase())
-            .expect("string write");
+        write!(
+            out,
+            ",{}_mean_cost,{}_successes",
+            a.to_lowercase(),
+            a.to_lowercase()
+        )
+        .expect("string write");
     }
     out.push('\n');
     for p in &result.points {
@@ -130,6 +139,42 @@ pub fn runtime_table(result: &SweepResult) -> String {
     out
 }
 
+/// Renders the instrumentation view: per-algorithm shortest-path cache
+/// hit rate and mean candidate counts, plus the shared oracle's hit rate
+/// for the whole point (all algorithms pooled).
+pub fn instrumentation_table(result: &SweepResult) -> String {
+    let algos = present_algos(result);
+    let mut out = String::new();
+    writeln!(
+        out,
+        "== {} — path-cache hit rate (%) vs {} ==",
+        result.id, result.x_label
+    )
+    .expect("string write");
+    write!(out, "{:>12}", result.x_label_short()).expect("string write");
+    for a in &algos {
+        write!(out, "{a:>12}").expect("string write");
+    }
+    write!(out, "{:>12}{:>14}", "oracle", "mean_cands").expect("string write");
+    writeln!(out).expect("string write");
+    for p in &result.points {
+        write!(out, "{:>12}", trim_float(p.x)).expect("string write");
+        let mut cands = 0.0;
+        for a in &algos {
+            match p.algos.iter().find(|r| r.name == *a) {
+                Some(r) => {
+                    cands += r.mean_candidates_generated;
+                    write!(out, "{:>12.1}", r.cache_hit_rate * 100.0).expect("string write")
+                }
+                None => write!(out, "{:>12}", "-").expect("string write"),
+            }
+        }
+        write!(out, "{:>12.1}{cands:>14.1}", p.oracle.hit_rate * 100.0).expect("string write");
+        writeln!(out).expect("string write");
+    }
+    out
+}
+
 impl SweepResult {
     fn x_label_short(&self) -> &'static str {
         match self.id {
@@ -184,7 +229,10 @@ mod tests {
         let header: Vec<&str> = t.lines().nth(1).unwrap().split_whitespace().collect();
         assert!(header.contains(&"MBBE"));
         assert!(header.contains(&"MINV"));
-        assert!(!header.contains(&"BBE"), "absent algorithms must not appear");
+        assert!(
+            !header.contains(&"BBE"),
+            "absent algorithms must not appear"
+        );
         assert_eq!(t.lines().count(), 2 + r.points.len());
     }
 
@@ -194,7 +242,10 @@ mod tests {
         let c = csv(&r);
         let mut lines = c.lines();
         let header = lines.next().unwrap();
-        assert_eq!(header, "x,mbbe_mean_cost,mbbe_successes,minv_mean_cost,minv_successes");
+        assert_eq!(
+            header,
+            "x,mbbe_mean_cost,mbbe_successes,minv_mean_cost,minv_successes"
+        );
         for line in lines {
             assert_eq!(line.split(',').count(), 5);
         }
@@ -219,6 +270,20 @@ mod tests {
         let t = runtime_table(&r);
         assert!(t.contains("solve time"));
         assert!(t.lines().count() >= 3);
+    }
+
+    #[test]
+    fn instrumentation_table_reports_hit_rates() {
+        let r = tiny_sweep();
+        let t = instrumentation_table(&r);
+        assert!(t.contains("path-cache hit rate"));
+        assert!(t.lines().count() >= 3);
+        // Fig-6-style workloads must actually exercise the cache.
+        assert!(
+            r.points.iter().any(|p| p.oracle.hit_rate > 0.0),
+            "expected oracle hits in {:?}",
+            r.points.iter().map(|p| p.oracle).collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -43,11 +43,7 @@ pub fn random_sfc<R: Rng + ?Sized>(cfg: &SimConfig, rng: &mut R) -> DagSfc {
 
 /// Same as [`random_sfc`] with an explicit size (used by the SFC-size
 /// sweep).
-pub fn random_sfc_of_size<R: Rng + ?Sized>(
-    cfg: &SimConfig,
-    size: usize,
-    rng: &mut R,
-) -> DagSfc {
+pub fn random_sfc_of_size<R: Rng + ?Sized>(cfg: &SimConfig, size: usize, rng: &mut R) -> DagSfc {
     assert!(
         size <= cfg.vnf_kinds,
         "SFC size {size} exceeds available kinds {}",
@@ -129,10 +125,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let a = random_sfc(&cfg, &mut rng);
         let b = random_sfc(&cfg, &mut rng);
-        let shape =
-            |s: &DagSfc| s.layers().iter().map(|l| l.width()).collect::<Vec<_>>();
+        let shape = |s: &DagSfc| s.layers().iter().map(|l| l.width()).collect::<Vec<_>>();
         assert_eq!(shape(&a), shape(&b));
-        assert_ne!(a, b, "kind sets should differ with overwhelming probability");
+        assert_ne!(
+            a, b,
+            "kind sets should differ with overwhelming probability"
+        );
     }
 
     #[test]
@@ -162,11 +160,8 @@ mod tests {
     #[test]
     fn random_flow_endpoints_distinct() {
         let cfg = SimConfig::quick();
-        let net = dagsfc_net::generator::generate(
-            &cfg.net_gen(),
-            &mut StdRng::seed_from_u64(1),
-        )
-        .unwrap();
+        let net =
+            dagsfc_net::generator::generate(&cfg.net_gen(), &mut StdRng::seed_from_u64(1)).unwrap();
         let mut rng = StdRng::seed_from_u64(2);
         for _ in 0..50 {
             let f = random_flow(&cfg, &net, &mut rng);

@@ -182,13 +182,7 @@ mod tests {
     fn hotspot_traffic_saturates_earlier() {
         // Concentrated destinations exhaust the hot region's resources
         // sooner than uniform traffic at equal capacity.
-        let uniform = capacity_sweep(
-            &base(),
-            &[Algo::Mbbe],
-            &[4.0],
-            60,
-            &EndpointModel::Uniform,
-        );
+        let uniform = capacity_sweep(&base(), &[Algo::Mbbe], &[4.0], 60, &EndpointModel::Uniform);
         let hotspot = capacity_sweep(
             &base(),
             &[Algo::Mbbe],

@@ -12,8 +12,8 @@ pub mod deploy_ratio;
 pub mod fluctuation;
 pub mod network_size;
 pub mod price_ratio;
-pub mod runtime;
 pub mod quality;
+pub mod runtime;
 pub mod sfc_size;
 pub mod topology;
 
@@ -23,13 +23,13 @@ pub use deploy_ratio::fig6d;
 pub use fluctuation::fig6f;
 pub use network_size::fig6b;
 pub use price_ratio::fig6e;
-pub use runtime::runtime_sweep;
 pub use quality::{quality_experiment, quality_table, QualityRow};
+pub use runtime::runtime_sweep;
 pub use sfc_size::fig6a;
 pub use topology::{topology_sweep, topology_table, TopologyPoint};
 
 use crate::config::SimConfig;
-use crate::runner::{run_instance, Algo, AlgoResult};
+use crate::runner::{run_instance, Algo, AlgoResult, OracleSnapshot};
 use serde::Serialize;
 
 /// BBE's practical SFC-size limit: the paper stops plotting BBE at size
@@ -43,6 +43,8 @@ pub struct SweepPoint {
     pub x: f64,
     /// Per-algorithm aggregates at this point.
     pub algos: Vec<AlgoResult>,
+    /// Shared path-oracle counters for this point's instance.
+    pub oracle: OracleSnapshot,
 }
 
 impl SweepPoint {
@@ -99,6 +101,7 @@ pub fn sweep(
         points.push(SweepPoint {
             x,
             algos: result.algos,
+            oracle: result.oracle,
         });
     }
     SweepResult {
@@ -154,14 +157,7 @@ mod tests {
     #[test]
     fn series_skips_absent_algorithms() {
         let base = tiny();
-        let r = sweep(
-            "test",
-            "x",
-            &base,
-            &[1.0],
-            |_, _| {},
-            |_| vec![Algo::Minv],
-        );
+        let r = sweep("test", "x", &base, &[1.0], |_, _| {}, |_| vec![Algo::Minv]);
         assert!(r.series("BBE").is_empty());
         assert!(r.points[0].mean_cost("MBBE").is_none());
     }

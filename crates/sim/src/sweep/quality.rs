@@ -71,8 +71,7 @@ pub fn quality_experiment(cfg: &SimConfig, algos: &[Algo], with_exact: bool) -> 
         .enumerate()
         .map(|(ai, &algo)| QualityRow {
             name: algo.name(),
-            mean_vs_optimum: (opt_counted[ai] > 0)
-                .then(|| sums_opt[ai] / opt_counted[ai] as f64),
+            mean_vs_optimum: (opt_counted[ai] > 0).then(|| sums_opt[ai] / opt_counted[ai] as f64),
             mean_vs_bound: if counted[ai] == 0 {
                 f64::NAN
             } else {
@@ -87,9 +86,17 @@ pub fn quality_experiment(cfg: &SimConfig, algos: &[Algo], with_exact: bool) -> 
 pub fn quality_table(rows: &[QualityRow]) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
-    writeln!(out, "== solution quality — mean ratios (lower is better) ==").expect("fmt");
-    writeln!(out, "{:>8} {:>12} {:>12} {:>6}", "algo", "vs optimum", "vs bound", "runs")
-        .expect("fmt");
+    writeln!(
+        out,
+        "== solution quality — mean ratios (lower is better) =="
+    )
+    .expect("fmt");
+    writeln!(
+        out,
+        "{:>8} {:>12} {:>12} {:>6}",
+        "algo", "vs optimum", "vs bound", "runs"
+    )
+    .expect("fmt");
     for r in rows {
         writeln!(
             out,

@@ -64,8 +64,12 @@ pub fn topology_sweep(
         .map(|&(label, topology)| {
             let mut cfg = base.clone();
             cfg.network_size = topology.node_count();
-            let net = build(topology, &cfg.net_gen(), &mut StdRng::seed_from_u64(cfg.seed))
-                .expect("valid topology parameters");
+            let net = build(
+                topology,
+                &cfg.net_gen(),
+                &mut StdRng::seed_from_u64(cfg.seed),
+            )
+            .expect("valid topology parameters");
             let result = run_instance_on(&cfg, &net, algos);
             TopologyPoint {
                 label,
@@ -86,7 +90,12 @@ pub fn topology_table(points: &[TopologyPoint]) -> String {
         "== topology robustness — mean embedding cost per substrate =="
     )
     .expect("string write");
-    write!(out, "{:>12} {:>6} {:>5} {:>6}", "topology", "nodes", "diam", "deg").expect("fmt");
+    write!(
+        out,
+        "{:>12} {:>6} {:>5} {:>6}",
+        "topology", "nodes", "diam", "deg"
+    )
+    .expect("fmt");
     if let Some(first) = points.first() {
         for a in &first.algos {
             write!(out, "{:>10}", a.name).expect("fmt");
@@ -133,11 +142,7 @@ mod tests {
 
     #[test]
     fn battery_builds_and_orders_hold() {
-        let points = topology_sweep(
-            &base(),
-            &[Algo::Mbbe, Algo::Minv],
-            &default_battery(36),
-        );
+        let points = topology_sweep(&base(), &[Algo::Mbbe, Algo::Minv], &default_battery(36));
         assert_eq!(points.len(), 5);
         for p in &points {
             let mbbe = p.algos.iter().find(|a| a.name == "MBBE").unwrap();
@@ -157,11 +162,7 @@ mod tests {
 
     #[test]
     fn table_renders_every_row() {
-        let points = topology_sweep(
-            &base(),
-            &[Algo::Minv],
-            &default_battery(25)[..2],
-        );
+        let points = topology_sweep(&base(), &[Algo::Minv], &default_battery(25)[..2]);
         let t = topology_table(&points);
         assert!(t.contains("ring"));
         assert!(t.contains("torus"));
@@ -188,11 +189,7 @@ mod tests {
             ],
         );
         let cost = |label: &str| {
-            points
-                .iter()
-                .find(|p| p.label == label)
-                .unwrap()
-                .algos[0]
+            points.iter().find(|p| p.label == label).unwrap().algos[0]
                 .cost
                 .mean
         };

@@ -43,7 +43,13 @@ impl AlgoTrace {
 
     /// Solve-time percentiles over all runs (µs).
     pub fn time_percentiles(&self) -> Percentiles {
-        Percentiles::of(&self.records.iter().map(|r| r.elapsed_us).collect::<Vec<_>>())
+        Percentiles::of(
+            &self
+                .records
+                .iter()
+                .map(|r| r.elapsed_us)
+                .collect::<Vec<_>>(),
+        )
     }
 }
 

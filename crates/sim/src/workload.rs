@@ -84,10 +84,7 @@ impl EndpointModel {
                 }
             }
             EndpointModel::Gravity => {
-                let total: usize = net
-                    .node_ids()
-                    .map(|v| net.degree(v) + 1)
-                    .sum();
+                let total: usize = net.node_ids().map(|v| net.degree(v) + 1).sum();
                 let mut ticket = rng.gen_range(0..total);
                 for v in net.node_ids() {
                     let w = net.degree(v) + 1;

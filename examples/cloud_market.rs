@@ -39,12 +39,7 @@ fn main() {
             }
             println!(
                 "    {:>5}: {:7.3} = {:6.3} vnf + {:6.3} link   ({} ok / {} failed)",
-                a.name,
-                a.cost.mean,
-                a.mean_vnf_cost,
-                a.mean_link_cost,
-                a.successes,
-                a.failures
+                a.name, a.cost.mean, a.mean_vnf_cost, a.mean_link_cost, a.successes, a.failures
             );
         }
     }

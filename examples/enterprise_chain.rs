@@ -71,11 +71,8 @@ fn main() {
         generator::generate(&net_cfg, &mut StdRng::seed_from_u64(42)).expect("valid config");
     let flow = Flow::unit(NodeId(3), NodeId(197));
 
-    let sequential_sfc = DagSfc::from_hybrid(
-        &dagsfc::nfp::sequentialize(&chain),
-        vnf_catalog,
-    )
-    .expect("valid chain");
+    let sequential_sfc =
+        DagSfc::from_hybrid(&dagsfc::nfp::sequentialize(&chain), vnf_catalog).expect("valid chain");
     let hybrid_sfc = DagSfc::from_hybrid(&hybrid, vnf_catalog).expect("valid chain");
 
     let solver = MbbeSolver::new();

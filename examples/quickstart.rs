@@ -54,7 +54,10 @@ fn main() {
         Box::new(MinvSolver::new()),
         Box::new(RanvSolver::new(7)),
     ];
-    println!("\n{:>6} {:>12} {:>12} {:>12} {:>10}", "algo", "total", "vnf", "link", "time");
+    println!(
+        "\n{:>6} {:>12} {:>12} {:>12} {:>10}",
+        "algo", "total", "vnf", "link", "time"
+    );
     for solver in solvers {
         match solver.solve(&network, &sfc, &flow) {
             Ok(out) => {

@@ -53,8 +53,12 @@ fn main() {
     //    link-disjoint backups.
     println!("\n-- 1+1 protection on a 6-ary fat-tree --");
     let cfg = base.net_gen();
-    let net = build(Topology::FatTree { k: 6 }, &cfg, &mut StdRng::seed_from_u64(11))
-        .expect("valid fat-tree");
+    let net = build(
+        Topology::FatTree { k: 6 },
+        &cfg,
+        &mut StdRng::seed_from_u64(11),
+    )
+    .expect("valid fat-tree");
     let m = analyze(&net);
     println!(
         "fabric: {} nodes, {} links, diameter {:?}",
@@ -71,7 +75,9 @@ fn main() {
     )
     .expect("valid chain");
     let flow = Flow::unit(NodeId(10), NodeId(net.node_count() as u32 - 1));
-    let out = MbbeSolver::new().solve(&net, &sfc, &flow).expect("embeddable");
+    let out = MbbeSolver::new()
+        .solve(&net, &sfc, &flow)
+        .expect("embeddable");
     let protected = protect(&net, &sfc, &flow, &out.embedding).expect("fat-trees have no bridges");
     validate(&net, &sfc, &flow, &protected.embedding).expect("valid working paths");
 

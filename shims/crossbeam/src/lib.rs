@@ -1,0 +1,131 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Provides the two pieces this workspace uses:
+//!
+//! * [`channel::unbounded`] — a multi-producer *multi-consumer* channel.
+//!   Implemented as `std::sync::mpsc` with the receiver behind an
+//!   `Arc<Mutex<..>>` so worker threads can share it as a work queue.
+//! * [`thread::scope`] — scoped threads, re-exported from
+//!   `std::thread` (available since Rust 1.63, with the same borrowing
+//!   guarantees crossbeam pioneered). Note the `std` signature: `spawn`
+//!   takes a zero-argument closure and `scope` returns the closure's
+//!   value directly rather than a `Result`.
+
+pub mod channel {
+    use std::sync::{mpsc, Arc, Mutex};
+
+    /// Sending half; clone freely across producers.
+    pub struct Sender<T> {
+        inner: mpsc::Sender<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    /// Error returned when sending on a channel with no receivers left.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned when receiving on an empty, disconnected channel.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl<T> Sender<T> {
+        /// Enqueues `value`, failing if all receivers are gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.inner
+                .send(value)
+                .map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    /// Receiving half; clone freely across consumers (work-queue style).
+    pub struct Receiver<T> {
+        inner: Arc<Mutex<mpsc::Receiver<T>>>,
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Dequeues the next value, blocking; fails once the channel is
+        /// empty and every sender is gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let guard = match self.inner.lock() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            guard.recv().map_err(|_| RecvError)
+        }
+
+        /// Dequeues without blocking, `None` when currently empty.
+        pub fn try_recv(&self) -> Option<T> {
+            let guard = match self.inner.lock() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            guard.try_recv().ok()
+        }
+    }
+
+    /// Creates an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (
+            Sender { inner: tx },
+            Receiver {
+                inner: Arc::new(Mutex::new(rx)),
+            },
+        )
+    }
+}
+
+pub mod thread {
+    pub use std::thread::{scope, Scope, ScopedJoinHandle};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+
+    #[test]
+    fn work_queue_drains_across_consumers() {
+        let (tx, rx) = channel::unbounded::<usize>();
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let total = std::sync::atomic::AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let rx = rx.clone();
+                let total = &total;
+                s.spawn(move || {
+                    while let Ok(v) = rx.recv() {
+                        total.fetch_add(v, std::sync::atomic::Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert_eq!(total.into_inner(), (0..100).sum());
+    }
+
+    #[test]
+    fn recv_fails_after_disconnect() {
+        let (tx, rx) = channel::unbounded::<u8>();
+        tx.send(7).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(7));
+        assert!(rx.recv().is_err());
+    }
+}

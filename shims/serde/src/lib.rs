@@ -1,0 +1,332 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a minimal serialization framework with the same surface the
+//! code uses: `#[derive(Serialize, Deserialize)]` plus generic
+//! serialization through `serde_json`.
+//!
+//! Unlike real serde's visitor architecture, this shim serializes
+//! through an owned [`value::Value`] tree (the JSON data model). That is
+//! slower but dramatically simpler, and every consumer in this workspace
+//! only serializes reports and instance files where simplicity wins.
+//! The JSON shapes match serde's defaults: structs are objects, newtype
+//! structs are transparent, unit enum variants are strings, and data
+//! variants are externally tagged one-key objects.
+
+pub mod value;
+
+pub use serde_derive::{Deserialize, Serialize};
+pub use value::{DeError, Number, Value};
+
+use std::collections::{BTreeMap, HashMap};
+use std::hash::Hash;
+use std::time::Duration;
+
+/// Types convertible into the JSON data model.
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// Types reconstructible from the JSON data model.
+pub trait Deserialize: Sized {
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::type_mismatch("bool", other)),
+        }
+    }
+}
+
+macro_rules! int_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                if *self >= 0 as $t {
+                    Value::Number(Number::U64(*self as u64))
+                } else {
+                    Value::Number(Number::I64(*self as i64))
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Number(Number::U64(n)) => <$t>::try_from(*n)
+                        .map_err(|_| DeError::msg(concat!("integer out of range for ", stringify!($t)))),
+                    Value::Number(Number::I64(n)) => <$t>::try_from(*n)
+                        .map_err(|_| DeError::msg(concat!("integer out of range for ", stringify!($t)))),
+                    Value::Number(Number::F64(f)) if f.fract() == 0.0 && f.is_finite() => {
+                        Ok(*f as $t)
+                    }
+                    other => Err(DeError::type_mismatch(stringify!($t), other)),
+                }
+            }
+        }
+    )*};
+}
+
+int_impls!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::F64(*self))
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Number(n) => Ok(n.as_f64()),
+            other => Err(DeError::type_mismatch("f64", other)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::F64(*self as f64))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(DeError::type_mismatch("string", other)),
+        }
+    }
+}
+
+/// Deserializes into a leaked `'static` string. The real serde only
+/// borrows `&str` from borrowed input; this shim's data model is owned,
+/// so the deserialized string is intentionally leaked — acceptable for
+/// the workspace's use (small catalog/config structs read once).
+impl Deserialize for &'static str {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        String::from_value(v).map(|s| &*Box::leak(s.into_boxed_str()))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::type_mismatch("array", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) if items.len() == 2 => {
+                Ok((A::from_value(&items[0])?, B::from_value(&items[1])?))
+            }
+            other => Err(DeError::type_mismatch("2-tuple", other)),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![
+            self.0.to_value(),
+            self.1.to_value(),
+            self.2.to_value(),
+        ])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) if items.len() == 3 => Ok((
+                A::from_value(&items[0])?,
+                B::from_value(&items[1])?,
+                C::from_value(&items[2])?,
+            )),
+            other => Err(DeError::type_mismatch("3-tuple", other)),
+        }
+    }
+}
+
+/// Map keys must render as JSON object keys (strings).
+pub trait SerializeKey {
+    fn to_key(&self) -> String;
+    fn from_key(key: &str) -> Result<Self, DeError>
+    where
+        Self: Sized;
+}
+
+impl SerializeKey for String {
+    fn to_key(&self) -> String {
+        self.clone()
+    }
+    fn from_key(key: &str) -> Result<Self, DeError> {
+        Ok(key.to_string())
+    }
+}
+
+macro_rules! int_keys {
+    ($($t:ty),*) => {$(
+        impl SerializeKey for $t {
+            fn to_key(&self) -> String {
+                self.to_string()
+            }
+            fn from_key(key: &str) -> Result<Self, DeError> {
+                key.parse().map_err(|_| DeError::msg("bad integer map key"))
+            }
+        }
+    )*};
+}
+
+int_keys!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<K: SerializeKey, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_key(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: SerializeKey + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Object(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((K::from_key(k)?, V::from_value(v)?)))
+                .collect(),
+            other => Err(DeError::type_mismatch("object", other)),
+        }
+    }
+}
+
+impl<K: SerializeKey, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        // Sorted for deterministic output.
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.to_key(), v.to_value()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(entries)
+    }
+}
+
+impl<K: SerializeKey + Eq + Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Object(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((K::from_key(k)?, V::from_value(v)?)))
+                .collect(),
+            other => Err(DeError::type_mismatch("object", other)),
+        }
+    }
+}
+
+impl Serialize for Duration {
+    fn to_value(&self) -> Value {
+        // serde's default shape for Duration.
+        Value::Object(vec![
+            ("secs".to_string(), self.as_secs().to_value()),
+            ("nanos".to_string(), self.subsec_nanos().to_value()),
+        ])
+    }
+}
+
+impl Deserialize for Duration {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| DeError::type_mismatch("Duration object", v))?;
+        let secs = u64::from_value(obj.field("secs")?)?;
+        let nanos = u32::from_value(obj.field("nanos")?)?;
+        Ok(Duration::new(secs, nanos))
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}

@@ -1,0 +1,134 @@
+//! The JSON data model shared by the `serde` and `serde_json` shims.
+
+use std::fmt;
+
+/// A JSON number, preserving integer exactness where possible.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// Negative integers.
+    I64(i64),
+    /// Non-negative integers.
+    U64(u64),
+    /// Everything else.
+    F64(f64),
+}
+
+impl Number {
+    /// Lossy view as `f64`.
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::I64(n) => n as f64,
+            Number::U64(n) => n as f64,
+            Number::F64(f) => f,
+        }
+    }
+}
+
+/// An owned JSON value. Objects preserve insertion order so serialized
+/// structs keep their field declaration order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Number(Number),
+    String(String),
+    Array(Vec<Value>),
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Object view, if this is an object.
+    pub fn as_object(&self) -> Option<ObjectRef<'_>> {
+        match self {
+            Value::Object(entries) => Some(ObjectRef { entries }),
+            _ => None,
+        }
+    }
+
+    /// String view, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Short name of the value's kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Borrowed view of a JSON object with field lookup.
+#[derive(Debug, Clone, Copy)]
+pub struct ObjectRef<'a> {
+    entries: &'a [(String, Value)],
+}
+
+impl<'a> ObjectRef<'a> {
+    /// The field's value, or `Value::Null` when absent (so `Option`
+    /// fields tolerate missing keys, matching serde's common usage).
+    pub fn get(&self, key: &str) -> &'a Value {
+        self.entries
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .unwrap_or(&Value::Null)
+    }
+
+    /// The field's value, failing when absent.
+    pub fn field(&self, key: &str) -> Result<&'a Value, DeError> {
+        self.entries
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .ok_or_else(|| DeError::msg_owned(format!("missing field `{key}`")))
+    }
+
+    /// All entries in insertion order.
+    pub fn entries(&self) -> &'a [(String, Value)] {
+        self.entries
+    }
+}
+
+/// Deserialization failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeError {
+    message: String,
+}
+
+impl DeError {
+    /// Error from a static message.
+    pub fn msg(message: &str) -> Self {
+        DeError {
+            message: message.to_string(),
+        }
+    }
+
+    /// Error from an owned message.
+    pub fn msg_owned(message: String) -> Self {
+        DeError { message }
+    }
+
+    /// "expected X, found Y" error.
+    pub fn type_mismatch(expected: &str, found: &Value) -> Self {
+        DeError {
+            message: format!("expected {expected}, found {}", found.kind()),
+        }
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for DeError {}

@@ -1,0 +1,429 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! shimmed `serde` crate without `syn`/`quote` (unavailable offline): a
+//! small hand-rolled token walker extracts the item's shape and the
+//! impls are emitted as formatted source text.
+//!
+//! Supported shapes — exactly what this workspace derives on:
+//! named-field structs, tuple structs (newtypes are transparent, like
+//! serde), unit structs, and enums whose variants are unit, named-field,
+//! or tuple (externally tagged, like serde's default). Generic items are
+//! rejected with a clear compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Data {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+#[derive(Debug)]
+enum VariantFields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+struct Parsed {
+    name: String,
+    data: Data,
+}
+
+fn is_punct(tt: &TokenTree, ch: char) -> bool {
+    matches!(tt, TokenTree::Punct(p) if p.as_char() == ch)
+}
+
+fn is_ident(tt: &TokenTree, word: &str) -> bool {
+    matches!(tt, TokenTree::Ident(i) if i.to_string() == word)
+}
+
+/// Consumes leading attributes (`#[...]`) and visibility (`pub`,
+/// `pub(...)`) from the token cursor.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut pos: usize) -> usize {
+    loop {
+        if pos < tokens.len() && is_punct(&tokens[pos], '#') {
+            pos += 1; // '#'
+            if pos < tokens.len()
+                && matches!(&tokens[pos], TokenTree::Group(g) if g.delimiter() == Delimiter::Bracket)
+            {
+                pos += 1; // [...]
+                continue;
+            }
+            panic!("serde_derive shim: malformed attribute");
+        }
+        if pos < tokens.len() && is_ident(&tokens[pos], "pub") {
+            pos += 1;
+            if pos < tokens.len()
+                && matches!(&tokens[pos], TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                pos += 1; // pub(crate) etc.
+            }
+            continue;
+        }
+        return pos;
+    }
+}
+
+/// Advances past one type (or expression) up to a top-level comma,
+/// tracking `<...>` nesting. Returns the position of the comma or end.
+fn skip_to_toplevel_comma(tokens: &[TokenTree], mut pos: usize) -> usize {
+    let mut angle_depth = 0i32;
+    while pos < tokens.len() {
+        match &tokens[pos] {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => return pos,
+            _ => {}
+        }
+        pos += 1;
+    }
+    pos
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        pos = skip_attrs_and_vis(&tokens, pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let TokenTree::Ident(name) = &tokens[pos] else {
+            panic!(
+                "serde_derive shim: expected field name, got {:?}",
+                tokens[pos]
+            );
+        };
+        fields.push(name.to_string());
+        pos += 1;
+        assert!(
+            pos < tokens.len() && is_punct(&tokens[pos], ':'),
+            "serde_derive shim: expected ':' after field name"
+        );
+        pos = skip_to_toplevel_comma(&tokens, pos + 1);
+        pos += 1; // past the comma (or end)
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut pos = 0;
+    while pos < tokens.len() {
+        pos = skip_attrs_and_vis(&tokens, pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        count += 1;
+        pos = skip_to_toplevel_comma(&tokens, pos);
+        pos += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        pos = skip_attrs_and_vis(&tokens, pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let TokenTree::Ident(name) = &tokens[pos] else {
+            panic!(
+                "serde_derive shim: expected variant name, got {:?}",
+                tokens[pos]
+            );
+        };
+        let name = name.to_string();
+        pos += 1;
+        let fields = if pos < tokens.len() {
+            match &tokens[pos] {
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                    pos += 1;
+                    VariantFields::Named(parse_named_fields(g.stream()))
+                }
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                    pos += 1;
+                    VariantFields::Tuple(count_tuple_fields(g.stream()))
+                }
+                _ => VariantFields::Unit,
+            }
+        } else {
+            VariantFields::Unit
+        };
+        // Skip an explicit discriminant (`= expr`) and the separator.
+        pos = skip_to_toplevel_comma(&tokens, pos);
+        pos += 1;
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Parsed {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = skip_attrs_and_vis(&tokens, 0);
+    let is_enum = if is_ident(&tokens[pos], "struct") {
+        false
+    } else if is_ident(&tokens[pos], "enum") {
+        true
+    } else {
+        panic!(
+            "serde_derive shim: expected `struct` or `enum`, got {:?}",
+            tokens[pos]
+        );
+    };
+    pos += 1;
+    let TokenTree::Ident(name) = &tokens[pos] else {
+        panic!("serde_derive shim: expected type name");
+    };
+    let name = name.to_string();
+    pos += 1;
+    if pos < tokens.len() && is_punct(&tokens[pos], '<') {
+        panic!("serde_derive shim: generic types are not supported (derive on `{name}`)");
+    }
+    let data = if is_enum {
+        let TokenTree::Group(g) = &tokens[pos] else {
+            panic!("serde_derive shim: expected enum body");
+        };
+        Data::Enum(parse_variants(g.stream()))
+    } else {
+        match &tokens[pos] {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                Data::NamedStruct(parse_named_fields(g.stream()))
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                Data::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            tt if is_punct(tt, ';') => Data::UnitStruct,
+            other => panic!("serde_derive shim: unexpected struct body {other:?}"),
+        }
+    };
+    Parsed { name, data }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let Parsed { name, data } = parse_item(input);
+    let body = match &data {
+        Data::NamedStruct(fields) => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "__fields.push((::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f})));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "let mut __fields: ::std::vec::Vec<(::std::string::String, \
+                 ::serde::value::Value)> = ::std::vec::Vec::new();\n{pushes}\
+                 ::serde::value::Value::Object(__fields)"
+            )
+        }
+        Data::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Data::TupleStruct(n) => {
+            let pushes: String = (0..*n)
+                .map(|i| format!("__items.push(::serde::Serialize::to_value(&self.{i}));\n"))
+                .collect();
+            format!(
+                "let mut __items: ::std::vec::Vec<::serde::value::Value> = \
+                 ::std::vec::Vec::new();\n{pushes}\
+                 ::serde::value::Value::Array(__items)"
+            )
+        }
+        Data::UnitStruct => "::serde::value::Value::Null".to_string(),
+        Data::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        VariantFields::Unit => format!(
+                            "{name}::{vn} => ::serde::value::Value::String(\
+                             ::std::string::String::from(\"{vn}\")),\n"
+                        ),
+                        VariantFields::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let pushes: String = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "__inner.push((::std::string::String::from(\"{f}\"), \
+                                         ::serde::Serialize::to_value({f})));\n"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => {{\n\
+                                 let mut __inner: ::std::vec::Vec<(::std::string::String, \
+                                 ::serde::value::Value)> = ::std::vec::Vec::new();\n{pushes}\
+                                 ::serde::value::Value::Object(::std::vec::Vec::from([\
+                                 (::std::string::String::from(\"{vn}\"), \
+                                 ::serde::value::Value::Object(__inner))]))\n}},\n"
+                            )
+                        }
+                        VariantFields::Tuple(1) => format!(
+                            "{name}::{vn}(__x0) => ::serde::value::Value::Object(\
+                             ::std::vec::Vec::from([(::std::string::String::from(\"{vn}\"), \
+                             ::serde::Serialize::to_value(__x0))])),\n"
+                        ),
+                        VariantFields::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("__x{i}")).collect();
+                            let pushes: String = binds
+                                .iter()
+                                .map(|b| {
+                                    format!("__inner.push(::serde::Serialize::to_value({b}));\n")
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => {{\n\
+                                 let mut __inner: ::std::vec::Vec<::serde::value::Value> = \
+                                 ::std::vec::Vec::new();\n{pushes}\
+                                 ::serde::value::Value::Object(::std::vec::Vec::from([\
+                                 (::std::string::String::from(\"{vn}\"), \
+                                 ::serde::value::Value::Array(__inner))]))\n}},\n",
+                                binds.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{\n{arms}\n}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::value::Value {{\n{body}\n}}\n}}\n"
+    )
+    .parse()
+    .expect("serde_derive shim: generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let Parsed { name, data } = parse_item(input);
+    let body = match &data {
+        Data::NamedStruct(fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::Deserialize::from_value(__obj.get(\"{f}\"))?,\n"))
+                .collect();
+            format!(
+                "let __obj = __v.as_object().ok_or_else(|| \
+                 ::serde::value::DeError::type_mismatch(\"struct {name}\", __v))?;\n\
+                 ::std::result::Result::Ok({name} {{\n{inits}}})"
+            )
+        }
+        Data::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Data::TupleStruct(n) => {
+            let inits: String = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?,\n"))
+                .collect();
+            format!(
+                "match __v {{\n\
+                 ::serde::value::Value::Array(__items) if __items.len() == {n} => \
+                 ::std::result::Result::Ok({name}({inits})),\n\
+                 __other => ::std::result::Result::Err(\
+                 ::serde::value::DeError::type_mismatch(\"tuple struct {name}\", __other)),\n}}"
+            )
+        }
+        Data::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Data::Enum(variants) => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.fields, VariantFields::Unit))
+                .map(|v| {
+                    format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n",
+                        vn = v.name
+                    )
+                })
+                .collect();
+            let tagged_arms: String = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        VariantFields::Unit => None,
+                        VariantFields::Named(fields) => {
+                            let inits: String = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::from_value(\
+                                         __obj.get(\"{f}\"))?,\n"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{\nlet __obj = __inner.as_object().ok_or_else(|| \
+                                 ::serde::value::DeError::type_mismatch(\
+                                 \"variant {name}::{vn}\", __inner))?;\n\
+                                 ::std::result::Result::Ok({name}::{vn} {{\n{inits}}})\n}},\n"
+                            ))
+                        }
+                        VariantFields::Tuple(1) => Some(format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                             ::serde::Deserialize::from_value(__inner)?)),\n"
+                        )),
+                        VariantFields::Tuple(n) => {
+                            let inits: String = (0..*n)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::from_value(&__items[{i}])?,\n")
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => match __inner {{\n\
+                                 ::serde::value::Value::Array(__items) if __items.len() == {n} \
+                                 => ::std::result::Result::Ok({name}::{vn}({inits})),\n\
+                                 __other => ::std::result::Result::Err(\
+                                 ::serde::value::DeError::type_mismatch(\
+                                 \"variant {name}::{vn}\", __other)),\n}},\n"
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match __v {{\n\
+                 ::serde::value::Value::String(__s) => match __s.as_str() {{\n{unit_arms}\
+                 __other => ::std::result::Result::Err(::serde::value::DeError::msg_owned(\
+                 ::std::format!(\"unknown variant `{{__other}}` of {name}\"))),\n}},\n\
+                 ::serde::value::Value::Object(__entries) if __entries.len() == 1 => {{\n\
+                 let (__tag, __inner) = &__entries[0];\n\
+                 match __tag.as_str() {{\n{tagged_arms}\
+                 __other => ::std::result::Result::Err(::serde::value::DeError::msg_owned(\
+                 ::std::format!(\"unknown variant `{{__other}}` of {name}\"))),\n}}\n}},\n\
+                 __other => ::std::result::Result::Err(\
+                 ::serde::value::DeError::type_mismatch(\"enum {name}\", __other)),\n}}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::value::Value) -> \
+         ::std::result::Result<Self, ::serde::value::DeError> {{\n{body}\n}}\n}}\n"
+    )
+    .parse()
+    .expect("serde_derive shim: generated Deserialize impl must parse")
+}

@@ -93,9 +93,7 @@ impl Opts {
                         flags.insert(key.to_string(), "true".to_string());
                     }
                     _ => {
-                        let value = it
-                            .next()
-                            .ok_or_else(|| format!("--{key} needs a value"))?;
+                        let value = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
                         flags.insert(key.to_string(), value.clone());
                     }
                 }
@@ -231,6 +229,16 @@ fn cmd_embed(opts: &Opts) -> Result<(), String> {
         out.stats.explored,
         out.stats.elapsed.as_secs_f64() * 1e6
     );
+    println!(
+        "stats:  {} nodes expanded, {} candidates generated ({} pruned), \
+         path cache {:.0}% hit ({}h/{}m)",
+        out.stats.nodes_expanded,
+        out.stats.candidates_generated,
+        out.stats.candidates_pruned,
+        out.stats.cache_hit_rate() * 100.0,
+        out.stats.cache_hits,
+        out.stats.cache_misses
+    );
     for (l, slots) in out.embedding.assignments().iter().enumerate() {
         let layer = sfc.layer(l);
         for (s, node) in slots.iter().enumerate() {
@@ -321,11 +329,7 @@ fn cmd_online(opts: &Opts) -> Result<(), String> {
 }
 
 fn cmd_figures(opts: &Opts) -> Result<(), String> {
-    let which = opts
-        .positional
-        .first()
-        .map(String::as_str)
-        .unwrap_or("all");
+    let which = opts.positional.first().map(String::as_str).unwrap_or("all");
     let base = if opts.has("full") {
         SimConfig::default()
     } else {
@@ -360,6 +364,7 @@ fn cmd_figures(opts: &Opts) -> Result<(), String> {
             println!("{}", report::runtime_table(&result));
         }
         println!("{}", report::ascii_table(&result));
+        println!("{}", report::instrumentation_table(&result));
         std::fs::write(out_dir.join(format!("{id}.csv")), report::csv(&result))
             .map_err(|e| e.to_string())?;
         sim_io::save_sweep(&out_dir.join(format!("{id}.json")), &result)

@@ -35,13 +35,23 @@ fn generate_writes_network_and_dot() {
     let dot = tmp("net.dot");
     let out = bin()
         .args([
-            "generate", "--nodes", "20", "--seed", "5",
-            "--out", json.to_str().unwrap(),
-            "--dot", dot.to_str().unwrap(),
+            "generate",
+            "--nodes",
+            "20",
+            "--seed",
+            "5",
+            "--out",
+            json.to_str().unwrap(),
+            "--dot",
+            dot.to_str().unwrap(),
         ])
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let net_text = std::fs::read_to_string(&json).expect("network written");
     assert!(net_text.contains("\"links\""));
     let dot_text = std::fs::read_to_string(&dot).expect("dot written");
@@ -53,16 +63,33 @@ fn instance_then_embed_roundtrip() {
     let inst = tmp("inst.json");
     let out = bin()
         .args([
-            "instance", "--nodes", "30", "--sfc-size", "3", "--seed", "9",
-            "--out", inst.to_str().unwrap(),
+            "instance",
+            "--nodes",
+            "30",
+            "--sfc-size",
+            "3",
+            "--seed",
+            "9",
+            "--out",
+            inst.to_str().unwrap(),
         ])
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     for algo in ["mbbe", "mbbe-st", "minv", "ranv", "bbe"] {
         let out = bin()
-            .args(["embed", "--instance", inst.to_str().unwrap(), "--algo", algo])
+            .args([
+                "embed",
+                "--instance",
+                inst.to_str().unwrap(),
+                "--algo",
+                algo,
+            ])
             .output()
             .expect("binary runs");
         assert!(
@@ -93,7 +120,11 @@ fn figures_single_id_writes_series() {
         .args(["figures", "fig6c", "--out-dir", dir.to_str().unwrap()])
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8_lossy(&out.stdout).contains("fig6c"));
     assert!(dir.join("fig6c.csv").exists());
     assert!(dir.join("fig6c.json").exists());
@@ -101,7 +132,10 @@ fn figures_single_id_writes_series() {
 
 #[test]
 fn figures_unknown_id_fails() {
-    let out = bin().args(["figures", "fig9z"]).output().expect("binary runs");
+    let out = bin()
+        .args(["figures", "fig9z"])
+        .output()
+        .expect("binary runs");
     assert!(!out.status.success());
 }
 
@@ -111,7 +145,11 @@ fn ilp_emits_model() {
         .args(["ilp", "--nodes", "6", "--sfc-size", "1", "--seed", "3"])
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("min:"));
     assert!(text.contains("subject to:"));
@@ -122,12 +160,23 @@ fn ilp_emits_model() {
 fn online_prints_acceptance_table() {
     let out = bin()
         .args([
-            "online", "--nodes", "25", "--requests", "20", "--capacity", "5",
-            "--algo", "mbbe,minv",
+            "online",
+            "--nodes",
+            "25",
+            "--requests",
+            "20",
+            "--capacity",
+            "5",
+            "--algo",
+            "mbbe,minv",
         ])
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("acceptance ratio"));
     assert!(text.contains("MBBE"));
@@ -139,12 +188,26 @@ fn embed_with_protect_and_save() {
     let sol = tmp("solution.json");
     let out = bin()
         .args([
-            "embed", "--nodes", "30", "--sfc-size", "3", "--seed", "4",
-            "--algo", "grasp", "--protect", "--save", sol.to_str().unwrap(),
+            "embed",
+            "--nodes",
+            "30",
+            "--sfc-size",
+            "3",
+            "--seed",
+            "4",
+            "--algo",
+            "grasp",
+            "--protect",
+            "--save",
+            sol.to_str().unwrap(),
         ])
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("protection:"));
     assert!(text.contains("solution written"));
@@ -159,14 +222,30 @@ fn quality_and_topology_subcommands() {
         .args(["quality", "--nodes", "30", "--runs", "3"])
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8_lossy(&out.stdout).contains("vs bound"));
 
     let out = bin()
-        .args(["topology", "--nodes", "16", "--runs", "2", "--sfc-size", "3"])
+        .args([
+            "topology",
+            "--nodes",
+            "16",
+            "--runs",
+            "2",
+            "--sfc-size",
+            "3",
+        ])
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("ring"));
     assert!(text.contains("fat-tree"));

@@ -20,7 +20,10 @@ fn nfp_to_embedding_pipeline() {
     let deps = DependencyMatrix::analyze(&nfs);
     let chain = [0usize, 1, 9, 11, 3]; // firewall, ids, dpi, policer, nat
     let hybrid = to_hybrid(&chain, &deps, TransformOptions { max_width: Some(3) });
-    assert!(hybrid.depth() < chain.len(), "some parallelism must be found");
+    assert!(
+        hybrid.depth() < chain.len(),
+        "some parallelism must be found"
+    );
 
     let catalog = VnfCatalog::new(nfs.len() as u16);
     let sfc = DagSfc::from_hybrid(&hybrid, catalog).unwrap();

@@ -43,9 +43,7 @@ fn deep_sequential_chain() {
 fn wide_parallel_layer() {
     let g = net(2, 60, 6);
     let sfc = DagSfc::new(
-        vec![Layer::new(
-            (0..5u16).map(VnfTypeId).collect::<Vec<_>>(),
-        )],
+        vec![Layer::new((0..5u16).map(VnfTypeId).collect::<Vec<_>>())],
         VnfCatalog::new(6),
     )
     .unwrap();
@@ -83,9 +81,11 @@ fn duplicate_kind_within_layer() {
 #[test]
 fn repeated_kind_across_layers() {
     let g = net(4, 50, 4);
-    let sfc =
-        DagSfc::sequential(&[VnfTypeId(1), VnfTypeId(1), VnfTypeId(1)], VnfCatalog::new(4))
-            .unwrap();
+    let sfc = DagSfc::sequential(
+        &[VnfTypeId(1), VnfTypeId(1), VnfTypeId(1)],
+        VnfCatalog::new(4),
+    )
+    .unwrap();
     let flow = Flow::unit(NodeId(0), NodeId(49));
     let out = MbbeSolver::new().solve(&g, &sfc, &flow).unwrap();
     validate(&g, &sfc, &flow, &out.embedding).unwrap();
@@ -109,10 +109,7 @@ fn same_endpoint_round_trip() {
     let out = MbbeSolver::new().solve(&g, &sfc, &flow).unwrap();
     validate(&g, &sfc, &flow, &out.embedding).unwrap();
     assert_eq!(out.embedding.paths()[0].source(), NodeId(7));
-    assert_eq!(
-        out.embedding.paths().last().unwrap().target(),
-        NodeId(7)
-    );
+    assert_eq!(out.embedding.paths().last().unwrap().target(), NodeId(7));
 }
 
 /// Extreme engine bounds: a 1-wide beam (`max_level_width = 1`) still

@@ -44,7 +44,13 @@ fn full_extension_pipeline() {
     let lb = cost_lower_bound(&net, &sfc, &flow).unwrap();
     assert!(out.cost.total() >= lb.total() - 1e-9);
 
-    let polished = improve(&net, &sfc, &flow, &out.embedding, LocalSearchConfig::default());
+    let polished = improve(
+        &net,
+        &sfc,
+        &flow,
+        &out.embedding,
+        LocalSearchConfig::default(),
+    );
     assert!(polished.after <= polished.before + 1e-9);
     assert!(polished.after >= lb.total() - 1e-9);
 
@@ -113,7 +119,11 @@ fn routing_extensions_on_structured_topologies() {
         ..dagsfc::net::NetGenConfig::default()
     };
     let batteries = [
-        Topology::Grid { rows: 5, cols: 5, wrap: true },
+        Topology::Grid {
+            rows: 5,
+            cols: 5,
+            wrap: true,
+        },
         Topology::FatTree { k: 4 },
         Topology::BarabasiAlbert { n: 30, m: 3 },
     ];

@@ -4,7 +4,7 @@
 //! constraint family rather than rubber-stamping solver output.
 
 use dagsfc::core::solvers::{MbbeSolver, Solver};
-use dagsfc::core::{validate, DagSfc, Embedding, Flow, Layer, VnfCatalog, Violation};
+use dagsfc::core::{validate, DagSfc, Embedding, Flow, Layer, Violation, VnfCatalog};
 use dagsfc::net::{generator, NetGenConfig, Network, NodeId, Path, VnfTypeId};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -89,7 +89,10 @@ fn detects_swapped_path() {
 fn detects_reversed_path() {
     let (net, sfc, flow, emb) = setup(7);
     let mut paths = emb.paths().to_vec();
-    if let Some(idx) = paths.iter().position(|p| p.source() != p.target() && !p.is_empty()) {
+    if let Some(idx) = paths
+        .iter()
+        .position(|p| p.source() != p.target() && !p.is_empty())
+    {
         paths[idx] = paths[idx].clone().reversed();
         let mutated = Embedding::new(&sfc, emb.assignments().to_vec(), paths).unwrap();
         assert!(validate(&net, &sfc, &flow, &mutated).is_err());

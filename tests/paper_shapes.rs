@@ -38,7 +38,10 @@ fn fig6b_stability_and_expanding_advantage() {
     let ranv = r.series("RANV");
     let mbbe_growth = mbbe[1].1 / mbbe[0].1;
     let ranv_growth = ranv[1].1 / ranv[0].1;
-    assert!(mbbe_growth < 1.25, "MBBE should be stable, grew {mbbe_growth:.2}×");
+    assert!(
+        mbbe_growth < 1.25,
+        "MBBE should be stable, grew {mbbe_growth:.2}×"
+    );
     assert!(ranv_growth > mbbe_growth);
     let adv_small = 1.0 - mbbe[0].1 / ranv[0].1;
     let adv_large = 1.0 - mbbe[1].1 / ranv[1].1;
@@ -55,7 +58,10 @@ fn fig6c_fig6d_monotone_declines() {
 
     let rd = sweep::deploy_ratio::fig6d_on(&base(), &[0.15, 0.65]);
     let mbbe_d = rd.series("MBBE");
-    assert!(mbbe_d[1].1 < mbbe_d[0].1, "denser deployment must cost less");
+    assert!(
+        mbbe_d[1].1 < mbbe_d[0].1,
+        "denser deployment must cost less"
+    );
 }
 
 /// §5.2.5 — everything rises with the price ratio; the baseline gap
@@ -69,8 +75,14 @@ fn fig6e_price_ratio_dynamics() {
     assert!(minv[1].1 > minv[0].1);
     let gap_lo = (minv[0].1 - mbbe[0].1) / mbbe[0].1;
     let gap_hi = (minv[1].1 - mbbe[1].1) / mbbe[1].1;
-    assert!(gap_lo < 0.10, "at 1% ratio MINV must be near MBBE ({gap_lo:.3})");
-    assert!(gap_hi > gap_lo + 0.10, "gap must expand: {gap_lo:.3} → {gap_hi:.3}");
+    assert!(
+        gap_lo < 0.10,
+        "at 1% ratio MINV must be near MBBE ({gap_lo:.3})"
+    );
+    assert!(
+        gap_hi > gap_lo + 0.10,
+        "gap must expand: {gap_lo:.3} → {gap_hi:.3}"
+    );
 }
 
 /// §5.2.6 — fluctuation narrows the MINV gap without crossing; RANV is
@@ -83,11 +95,17 @@ fn fig6f_fluctuation_dynamics() {
     let ranv = r.series("RANV");
     let gap_lo = minv[0].1 - mbbe[0].1;
     let gap_hi = minv[1].1 - mbbe[1].1;
-    assert!(gap_hi < gap_lo, "MINV gap must narrow: {gap_lo:.3} → {gap_hi:.3}");
+    assert!(
+        gap_hi < gap_lo,
+        "MINV gap must narrow: {gap_lo:.3} → {gap_hi:.3}"
+    );
     assert!(gap_hi > -1e-9, "MINV must not cross below MBBE");
     // RANV ignores prices entirely: flat within noise.
     let ranv_change = (ranv[1].1 - ranv[0].1).abs() / ranv[0].1;
-    assert!(ranv_change < 0.15, "RANV moved {ranv_change:.2} with fluctuation");
+    assert!(
+        ranv_change < 0.15,
+        "RANV moved {ranv_change:.2} with fluctuation"
+    );
 }
 
 /// §4.5 — MBBE explores a fraction of BBE's candidates at matching cost.

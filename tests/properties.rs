@@ -6,9 +6,7 @@ use dagsfc::core::solvers::{MbbeSolver, MinvSolver, Solver};
 use dagsfc::core::{validate, DagSfc, Flow, Layer, VnfCatalog};
 use dagsfc::net::routing::{k_shortest_paths, min_cost_path, NoFilter};
 use dagsfc::net::{generator, NetGenConfig, Network, NetworkState, NodeId, VnfTypeId};
-use dagsfc::nfp::{
-    catalog::enterprise_catalog, to_hybrid, DependencyMatrix, TransformOptions,
-};
+use dagsfc::nfp::{catalog::enterprise_catalog, to_hybrid, DependencyMatrix, TransformOptions};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -235,7 +233,11 @@ fn generator_fingerprint_stable() {
     let b = generator::generate(&cfg, &mut StdRng::seed_from_u64(77)).unwrap();
     let fingerprint = |net: &Network| {
         let s = net.stats();
-        (s.links, format!("{:.9}", s.avg_vnf_price), format!("{:.9}", s.avg_link_price))
+        (
+            s.links,
+            format!("{:.9}", s.avg_vnf_price),
+            format!("{:.9}", s.avg_link_price),
+        )
     };
     assert_eq!(fingerprint(&a), fingerprint(&b));
 }

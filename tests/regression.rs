@@ -39,7 +39,9 @@ fn costs_for(run: usize) -> Vec<(&'static str, f64)> {
     solvers
         .into_iter()
         .map(|s| {
-            let out = s.solve(&net, &sfc, &flow).expect("anchor instance solvable");
+            let out = s
+                .solve(&net, &sfc, &flow)
+                .expect("anchor instance solvable");
             (s.name(), out.cost.total())
         })
         .collect()

@@ -3,12 +3,10 @@
 //! accepts, (b) report failures as typed errors, and (c) respect the
 //! qualitative orderings the paper claims.
 
-use dagsfc::core::solvers::{
-    BbeConfig, BbeSolver, MbbeSolver, MinvSolver, RanvSolver, Solver,
-};
+use dagsfc::core::solvers::{BbeConfig, BbeSolver, MbbeSolver, MinvSolver, RanvSolver, Solver};
 use dagsfc::core::{validate, Flow, SolveError};
-use dagsfc::sim::{runner::instance_network, runner::instance_request, SimConfig};
 use dagsfc::net::NodeId;
+use dagsfc::sim::{runner::instance_network, runner::instance_request, SimConfig};
 
 fn solvers() -> Vec<Box<dyn Solver>> {
     vec![
@@ -65,18 +63,39 @@ fn bbe_family_beats_baselines_on_average() {
     let runs = 8;
     for run in 0..runs {
         let (sfc, flow) = instance_request(&c, &net, run);
-        bbe_sum += BbeSolver::new().solve(&net, &sfc, &flow).unwrap().cost.total();
-        mbbe_sum += MbbeSolver::new().solve(&net, &sfc, &flow).unwrap().cost.total();
-        minv_sum += MinvSolver::new().solve(&net, &sfc, &flow).unwrap().cost.total();
+        bbe_sum += BbeSolver::new()
+            .solve(&net, &sfc, &flow)
+            .unwrap()
+            .cost
+            .total();
+        mbbe_sum += MbbeSolver::new()
+            .solve(&net, &sfc, &flow)
+            .unwrap()
+            .cost
+            .total();
+        minv_sum += MinvSolver::new()
+            .solve(&net, &sfc, &flow)
+            .unwrap()
+            .cost
+            .total();
         ranv_sum += RanvSolver::new(run as u64)
             .solve(&net, &sfc, &flow)
             .unwrap()
             .cost
             .total();
     }
-    assert!(bbe_sum <= minv_sum + 1e-9, "BBE {bbe_sum} vs MINV {minv_sum}");
-    assert!(mbbe_sum <= minv_sum + 1e-9, "MBBE {mbbe_sum} vs MINV {minv_sum}");
-    assert!(mbbe_sum <= ranv_sum + 1e-9, "MBBE {mbbe_sum} vs RANV {ranv_sum}");
+    assert!(
+        bbe_sum <= minv_sum + 1e-9,
+        "BBE {bbe_sum} vs MINV {minv_sum}"
+    );
+    assert!(
+        mbbe_sum <= minv_sum + 1e-9,
+        "MBBE {mbbe_sum} vs MINV {minv_sum}"
+    );
+    assert!(
+        mbbe_sum <= ranv_sum + 1e-9,
+        "MBBE {mbbe_sum} vs RANV {ranv_sum}"
+    );
     // §4.5: MBBE within a whisker of BBE.
     assert!(
         mbbe_sum <= bbe_sum * 1.10 + 1e-9,
@@ -114,7 +133,10 @@ fn bad_endpoints_rejected() {
     let flow = Flow::unit(NodeId(0), NodeId(10_000));
     for solver in solvers() {
         assert!(
-            matches!(solver.solve(&net, &sfc, &flow), Err(SolveError::Infeasible(_))),
+            matches!(
+                solver.solve(&net, &sfc, &flow),
+                Err(SolveError::Infeasible(_))
+            ),
             "{} must reject out-of-range endpoints",
             solver.name()
         );
@@ -129,28 +151,41 @@ fn mbbe_strategy_ablation_stays_valid() {
     let net = instance_network(&c);
     let (sfc, flow) = instance_request(&c, &net, 1);
     let variants = [
-        ("xmax-only", BbeConfig {
-            x_max: Some(40),
-            x_d: None,
-            use_min_cost_paths: false,
-            adaptive_x_max: true,
-            ..BbeConfig::default()
-        }),
-        ("mincost-only", BbeConfig {
-            x_max: None,
-            x_d: None,
-            use_min_cost_paths: true,
-            ..BbeConfig::default()
-        }),
-        ("xd-only", BbeConfig {
-            x_max: None,
-            x_d: Some(4),
-            use_min_cost_paths: false,
-            ..BbeConfig::default()
-        }),
+        (
+            "xmax-only",
+            BbeConfig {
+                x_max: Some(40),
+                x_d: None,
+                use_min_cost_paths: false,
+                adaptive_x_max: true,
+                ..BbeConfig::default()
+            },
+        ),
+        (
+            "mincost-only",
+            BbeConfig {
+                x_max: None,
+                x_d: None,
+                use_min_cost_paths: true,
+                ..BbeConfig::default()
+            },
+        ),
+        (
+            "xd-only",
+            BbeConfig {
+                x_max: None,
+                x_d: Some(4),
+                use_min_cost_paths: false,
+                ..BbeConfig::default()
+            },
+        ),
         ("all-three", BbeConfig::mbbe()),
     ];
-    let reference = BbeSolver::new().solve(&net, &sfc, &flow).unwrap().cost.total();
+    let reference = BbeSolver::new()
+        .solve(&net, &sfc, &flow)
+        .unwrap()
+        .cost
+        .total();
     for (name, config) in variants {
         let out = MbbeSolver { config }
             .solve(&net, &sfc, &flow)
@@ -172,7 +207,9 @@ fn extreme_pruning_still_correct() {
     let c = cfg(9);
     let net = instance_network(&c);
     let (sfc, flow) = instance_request(&c, &net, 2);
-    let out = MbbeSolver::with_limits(10, 1).solve(&net, &sfc, &flow).unwrap();
+    let out = MbbeSolver::with_limits(10, 1)
+        .solve(&net, &sfc, &flow)
+        .unwrap();
     validate(&net, &sfc, &flow, &out.embedding).unwrap();
 }
 
