@@ -98,22 +98,12 @@ impl Embedding {
 
     /// Full reuse accounting: objective cost plus per-resource loads.
     ///
-    /// # Panics
-    ///
-    /// Panics if the embedding references a VNF instance the network
-    /// does not deploy. Solver code evaluating *speculative* assignments
-    /// must use [`Self::try_account`] (or [`Self::try_cost`]) instead,
-    /// which reports the miss as [`ModelError::MissingVnfInstance`].
-    pub fn account(&self, net: &Network, sfc: &DagSfc, flow: &Flow) -> Accounting {
-        match self.try_account(net, sfc, flow) {
-            Ok(acct) => acct,
-            Err(e) => panic!("Embedding::account on an invalid embedding: {e}"),
-        }
-    }
-
-    /// Full reuse accounting, failing on a reference to a VNF instance
-    /// the network does not deploy instead of silently pricing it as
-    /// `f64::INFINITY`.
+    /// Fails with [`ModelError::MissingVnfInstance`] when the embedding
+    /// references a VNF instance the network does not deploy, instead of
+    /// silently pricing it as `f64::INFINITY` — so a malformed embedding
+    /// is an ordinary error, never an abort. (The panicking `account`
+    /// shortcut this replaced is gone: long-lived services must not die
+    /// on one bad request.)
     pub fn try_account(
         &self,
         net: &Network,
@@ -203,17 +193,8 @@ impl Embedding {
     }
 
     /// Convenience: just the objective value.
-    ///
-    /// # Panics
-    ///
-    /// As [`Self::account`] — use [`Self::try_cost`] for speculative
-    /// embeddings.
-    pub fn cost(&self, net: &Network, sfc: &DagSfc, flow: &Flow) -> CostBreakdown {
-        self.account(net, sfc, flow).cost
-    }
-
-    /// Fallible objective value: `Err(ModelError::MissingVnfInstance)`
-    /// when the embedding references an undeployed instance.
+    /// `Err(ModelError::MissingVnfInstance)` when the embedding
+    /// references an undeployed instance.
     pub fn try_cost(
         &self,
         net: &Network,
@@ -295,7 +276,7 @@ pub struct EmbeddingStats {
     pub mean_hops: f64,
 }
 
-/// Result of [`Embedding::account`]: objective cost plus the resource
+/// Result of [`Embedding::try_account`]: objective cost plus the resource
 /// loads needed for the capacity constraints (2) and (3).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Accounting {
@@ -377,7 +358,7 @@ mod tests {
         let g = net();
         let emb = embedding(&g);
         let flow = Flow::unit(NodeId(0), NodeId(3));
-        let acct = emb.account(&g, &sfc(), &flow);
+        let acct = emb.try_account(&g, &sfc(), &flow).unwrap();
         // VNF: f0@v1 (2.0) + f1@v2 (3.0) + f2@v2 (4.0) + merger@v2 (1.0) = 10.
         assert!((acct.cost.vnf - 10.0).abs() < 1e-12);
         // Links: e(0-1) once + e(1-2) ONCE (multicast dedup) + e(2-3) once = 3.
@@ -408,7 +389,7 @@ mod tests {
         )
         .unwrap();
         let flow = Flow::unit(NodeId(0), NodeId(3));
-        let acct = emb.account(&g, &s, &flow);
+        let acct = emb.try_account(&g, &s, &flow).unwrap();
         // Links: e01 (1) + e12 (1, dedup) + e23 ×2 (inner) = 4.
         assert!((acct.cost.link - 4.0).abs() < 1e-12);
         let l23 = g.link_between(NodeId(2), NodeId(3)).unwrap();
@@ -432,7 +413,7 @@ mod tests {
         )
         .unwrap();
         let flow = Flow::unit(NodeId(0), NodeId(3));
-        let acct = emb.account(&g, &s, &flow);
+        let acct = emb.try_account(&g, &s, &flow).unwrap();
         // α_{v2,f1} = 2 → vnf cost 2·3.0 = 6; load 2·rate.
         assert!((acct.cost.vnf - 6.0).abs() < 1e-12);
         assert!((acct.vnf_load[&(NodeId(2), VnfTypeId(1))] - 2.0).abs() < 1e-12);
@@ -445,17 +426,21 @@ mod tests {
         let g = net();
         let emb = embedding(&g);
         let s = sfc();
-        let base = emb.account(&g, &s, &Flow::unit(NodeId(0), NodeId(3)));
-        let scaled = emb.account(
-            &g,
-            &s,
-            &Flow {
-                src: NodeId(0),
-                dst: NodeId(3),
-                rate: 2.0,
-                size: 3.0,
-            },
-        );
+        let base = emb
+            .try_account(&g, &s, &Flow::unit(NodeId(0), NodeId(3)))
+            .unwrap();
+        let scaled = emb
+            .try_account(
+                &g,
+                &s,
+                &Flow {
+                    src: NodeId(0),
+                    dst: NodeId(3),
+                    rate: 2.0,
+                    size: 3.0,
+                },
+            )
+            .unwrap();
         assert!((scaled.cost.total() - 3.0 * base.cost.total()).abs() < 1e-9);
         let l01 = g.link_between(NodeId(0), NodeId(1)).unwrap();
         assert!((scaled.link_load[l01.index()] - 2.0).abs() < 1e-12);
@@ -556,28 +541,7 @@ mod tests {
         // Valid embeddings round-trip through both entry points.
         let ok = embedding(&g);
         let acct = ok.try_account(&g, &s, &flow).unwrap();
-        assert_eq!(acct, ok.account(&g, &s, &flow));
-    }
-
-    #[test]
-    #[should_panic(expected = "invalid embedding")]
-    fn account_panics_on_missing_instance() {
-        let g = net();
-        let s = sfc();
-        let emb = Embedding::new(
-            &s,
-            vec![vec![NodeId(0)], vec![NodeId(2), NodeId(2), NodeId(2)]],
-            vec![
-                Path::trivial(NodeId(0)),
-                path(&g, &[0, 1, 2]),
-                path(&g, &[0, 1, 2]),
-                Path::trivial(NodeId(2)),
-                Path::trivial(NodeId(2)),
-                path(&g, &[2, 3]),
-            ],
-        )
-        .unwrap();
-        let _ = emb.account(&g, &s, &Flow::unit(NodeId(0), NodeId(3)));
+        assert_eq!(acct.cost, ok.try_cost(&g, &s, &flow).unwrap());
     }
 
     #[test]

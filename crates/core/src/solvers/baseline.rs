@@ -222,7 +222,7 @@ fn assign_then_route(
     }
 
     let embedding = Embedding::new(sfc, assignments, paths)?;
-    let cost = embedding.cost(net, sfc, flow);
+    let cost = embedding.try_cost(net, sfc, flow)?;
     Ok(SolveOutcome {
         embedding,
         cost,

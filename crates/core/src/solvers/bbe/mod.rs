@@ -287,7 +287,7 @@ fn run(
         let mut ins = Counters::default();
         match attempt(ctx, sfc, flow, &cfg, solver, &mut ins) {
             Ok((embedding, explored, kept)) => {
-                let cost = embedding.cost(net, sfc, flow);
+                let cost = embedding.try_cost(net, sfc, flow)?;
                 let mut stats = ins.stats;
                 stats.explored = explored;
                 stats.kept = kept;

@@ -166,7 +166,7 @@ impl Solver for ExactSolver {
             shaped[l].push(n);
         }
         let embedding = Embedding::new(sfc, shaped, paths)?;
-        let cost = embedding.cost(net, sfc, flow);
+        let cost = embedding.try_cost(net, sfc, flow)?;
         Ok(SolveOutcome {
             embedding,
             cost,

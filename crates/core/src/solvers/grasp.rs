@@ -185,7 +185,7 @@ impl Solver for GraspSolver {
                 reason: "no randomized start produced a feasible embedding".into(),
             });
         };
-        let cost = embedding.cost(net, sfc, flow);
+        let cost = embedding.try_cost(net, sfc, flow)?;
         Ok(SolveOutcome {
             embedding,
             cost,

@@ -68,6 +68,15 @@ impl Improvement {
     }
 }
 
+/// Objective value of `emb`, or `+∞` when the embedding references an
+/// undeployed instance — an infinite cost is never an improvement, so
+/// the hill-climber discards such candidates without aborting.
+fn total_or_inf(emb: &Embedding, net: &Network, sfc: &DagSfc, flow: &Flow) -> f64 {
+    emb.try_cost(net, sfc, flow)
+        .map(|c| c.total())
+        .unwrap_or(f64::INFINITY)
+}
+
 /// Rebuilds every real-path of an assignment with min-cost routing
 /// (multicast-unaware during routing; the returned embedding is scored
 /// with the full multicast-aware accounting).
@@ -125,7 +134,7 @@ pub fn improve_in(
     let net = ctx.net;
     let catalog = *sfc.catalog();
     let (mut cache_hits, mut cache_misses) = (0u64, 0u64);
-    let before = emb.cost(net, sfc, flow).total();
+    let before = total_or_inf(emb, net, sfc, flow);
     let mut assignments: Vec<Vec<NodeId>> = emb.assignments().to_vec();
     // Re-route the starting point too, so the baseline is consistent
     // with the move evaluator; keep the original if rerouting fails or
@@ -140,13 +149,13 @@ pub fn improve_in(
     ) {
         Some(e)
             if crate::validate::validate(net, sfc, flow, &e).is_ok()
-                && e.cost(net, sfc, flow).total() <= before =>
+                && total_or_inf(&e, net, sfc, flow) <= before =>
         {
             e
         }
         _ => emb.clone(),
     };
-    let mut current_cost = current.cost(net, sfc, flow).total();
+    let mut current_cost = total_or_inf(&current, net, sfc, flow);
     let mut moves = 0usize;
 
     for _ in 0..config.max_rounds {
@@ -253,7 +262,7 @@ impl<S: Solver> Solver for ImprovedSolver<S> {
         let start = Instant::now();
         let base = self.inner.solve_in(ctx, sfc, flow)?;
         let improved = improve_in(ctx, sfc, flow, &base.embedding, self.config);
-        let cost = improved.embedding.cost(ctx.net, sfc, flow);
+        let cost = improved.embedding.try_cost(ctx.net, sfc, flow)?;
         let mut stats = base.stats.clone();
         stats.explored += improved.moves;
         stats.cache_hits += improved.cache_hits;
@@ -324,7 +333,7 @@ mod tests {
                     imp.after
                 );
                 validate(&g, &sfc(), &flow, &imp.embedding).unwrap();
-                let reported = imp.embedding.cost(&g, &sfc(), &flow).total();
+                let reported = imp.embedding.try_cost(&g, &sfc(), &flow).unwrap().total();
                 assert!((reported - imp.after).abs() < 1e-9);
             }
         }

@@ -185,7 +185,11 @@ pub fn by_name(name: &str, seed: u64) -> Option<Box<dyn Solver>> {
 /// Fast infeasibility screen shared by all solvers: every required VNF
 /// kind (mergers included) must be hosted somewhere, and the flow
 /// endpoints must exist.
-pub(crate) fn precheck(net: &Network, sfc: &DagSfc, flow: &Flow) -> Result<(), SolveError> {
+///
+/// Public so serving-layer admission control can turn requests away
+/// before they ever occupy a queue slot, with the exact same
+/// feasibility judgement the solvers apply.
+pub fn precheck(net: &Network, sfc: &DagSfc, flow: &Flow) -> Result<(), SolveError> {
     if flow.src.index() >= net.node_count() || flow.dst.index() >= net.node_count() {
         return Err(SolveError::Infeasible(
             "flow endpoints outside the network".into(),

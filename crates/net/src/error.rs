@@ -50,6 +50,8 @@ pub enum NetError {
     },
     /// A price or capacity parameter was negative or non-finite.
     InvalidParameter(&'static str),
+    /// A ledger lease id was never issued or has already been released.
+    UnknownLease(u64),
 }
 
 impl fmt::Display for NetError {
@@ -81,6 +83,9 @@ impl fmt::Display for NetError {
             ),
             NetError::NoPath { from, to } => write!(f, "no feasible path from {from} to {to}"),
             NetError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+            NetError::UnknownLease(id) => {
+                write!(f, "unknown or already released lease#{id}")
+            }
         }
     }
 }

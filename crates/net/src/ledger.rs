@@ -1,0 +1,320 @@
+//! Commit/release ledger: leased resource commitments over a
+//! [`NetworkState`].
+//!
+//! An online embedding service admits a request, commits its VNF and
+//! link loads, and hands the caller back a **lease**. When the request
+//! departs (a client disconnects, a trace event fires), the lease is
+//! released and exactly the committed resources return to the pool. The
+//! [`CommitLedger`] packages that lifecycle:
+//!
+//! * [`CommitLedger::commit`] reserves a whole load set **atomically** —
+//!   if any single reservation fails, everything already reserved for
+//!   the lease is rolled back and the state is untouched;
+//! * [`CommitLedger::release`] returns a lease's resources and rejects
+//!   unknown or double releases with [`NetError::UnknownLease`];
+//! * every successful commit/release bumps an **epoch** counter, so
+//!   residual-network caches (e.g. a daemon's shared solve context) know
+//!   exactly when their snapshot went stale.
+//!
+//! The ledger is the serving-path twin of the solver-facing
+//! checkpoint/rollback API on [`NetworkState`]: solvers backtrack within
+//! one request, the ledger tracks commitments *across* requests.
+
+use crate::error::{NetError, NetResult};
+use crate::graph::Network;
+use crate::ids::{LinkId, NodeId, VnfTypeId};
+use crate::state::NetworkState;
+
+/// Opaque handle to one committed load set (monotonically increasing,
+/// never reused within a ledger's lifetime).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LeaseId(pub u64);
+
+impl std::fmt::Display for LeaseId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lease#{}", self.0)
+    }
+}
+
+/// The loads one lease committed (kept verbatim so release restores
+/// exactly what was reserved).
+#[derive(Debug, Clone)]
+struct LeaseRecord {
+    id: LeaseId,
+    vnf: Vec<(NodeId, VnfTypeId, f64)>,
+    links: Vec<(LinkId, f64)>,
+}
+
+/// Lease-tracked resource commitments over a residual [`NetworkState`].
+#[derive(Debug)]
+pub struct CommitLedger<'a> {
+    state: NetworkState<'a>,
+    /// Active leases, in commit order (linear scan is fine: release is
+    /// rare relative to path queries and the set stays small).
+    active: Vec<LeaseRecord>,
+    next_lease: u64,
+    epoch: u64,
+    total_committed: u64,
+    total_released: u64,
+}
+
+impl<'a> CommitLedger<'a> {
+    /// A fresh ledger over `net` with all capacities available.
+    pub fn new(net: &'a Network) -> Self {
+        CommitLedger {
+            state: NetworkState::new(net),
+            active: Vec::new(),
+            next_lease: 0,
+            epoch: 0,
+            total_committed: 0,
+            total_released: 0,
+        }
+    }
+
+    /// The underlying immutable network.
+    #[inline]
+    pub fn network(&self) -> &'a Network {
+        self.state.network()
+    }
+
+    /// Read access to the residual state (remaining capacities).
+    #[inline]
+    pub fn state(&self) -> &NetworkState<'a> {
+        &self.state
+    }
+
+    /// The change epoch: bumped by every successful commit or release.
+    /// Caches of the residual network are valid exactly while the epoch
+    /// they were built at is still current.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of currently outstanding leases.
+    #[inline]
+    pub fn active_leases(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Total leases ever committed.
+    #[inline]
+    pub fn committed_total(&self) -> u64 {
+        self.total_committed
+    }
+
+    /// Total leases ever released.
+    #[inline]
+    pub fn released_total(&self) -> u64 {
+        self.total_released
+    }
+
+    /// Materializes the current residual capacities as a fresh
+    /// [`Network`] (topology and prices unchanged).
+    pub fn residual(&self) -> Network {
+        self.state.to_residual_network()
+    }
+
+    /// Committed-but-unreleased load across all resources — a leak
+    /// detector once every lease has been released (must be ~0).
+    pub fn outstanding_load(&self) -> f64 {
+        self.state.total_link_load() + self.state.total_vnf_load()
+    }
+
+    /// Atomically reserves a whole load set and opens a lease for it.
+    ///
+    /// `vnf_loads` are `(node, kind, rate)` triples; `link_loads` are
+    /// `(link, rate)` pairs (zero-rate entries are skipped). On any
+    /// individual failure the partial reservation is rolled back, the
+    /// state is left untouched, and the error is returned.
+    pub fn commit<V, L>(&mut self, vnf_loads: V, link_loads: L) -> NetResult<LeaseId>
+    where
+        V: IntoIterator<Item = (NodeId, VnfTypeId, f64)>,
+        L: IntoIterator<Item = (LinkId, f64)>,
+    {
+        let cp = self.state.checkpoint();
+        let mut record = LeaseRecord {
+            id: LeaseId(self.next_lease),
+            vnf: Vec::new(),
+            links: Vec::new(),
+        };
+        for (node, kind, rate) in vnf_loads {
+            if rate <= 0.0 {
+                continue;
+            }
+            if let Err(e) = self.state.reserve_vnf(node, kind, rate) {
+                self.state.rollback(cp);
+                return Err(e);
+            }
+            record.vnf.push((node, kind, rate));
+        }
+        for (link, rate) in link_loads {
+            if rate <= 0.0 {
+                continue;
+            }
+            if let Err(e) = self.state.reserve_link(link, rate) {
+                self.state.rollback(cp);
+                return Err(e);
+            }
+            record.links.push((link, rate));
+        }
+        let id = record.id;
+        self.next_lease += 1;
+        self.epoch += 1;
+        self.total_committed += 1;
+        self.active.push(record);
+        Ok(id)
+    }
+
+    /// Releases every resource `lease` committed. Unknown ids — never
+    /// issued, or already released — fail with
+    /// [`NetError::UnknownLease`] and leave the state untouched.
+    pub fn release(&mut self, lease: LeaseId) -> NetResult<()> {
+        let pos = self
+            .active
+            .iter()
+            .position(|r| r.id == lease)
+            .ok_or(NetError::UnknownLease(lease.0))?;
+        let record = self.active.swap_remove(pos);
+        for &(node, kind, rate) in &record.vnf {
+            self.state
+                .release_vnf(node, kind, rate)
+                .expect("release mirrors a recorded reservation");
+        }
+        for &(link, rate) in &record.links {
+            self.state
+                .release_link(link, rate)
+                .expect("release mirrors a recorded reservation");
+        }
+        self.epoch += 1;
+        self.total_released += 1;
+        Ok(())
+    }
+
+    /// Whether `lease` is currently outstanding.
+    pub fn is_active(&self, lease: LeaseId) -> bool {
+        self.active.iter().any(|r| r.id == lease)
+    }
+
+    /// The ids of all outstanding leases, in commit order.
+    pub fn active_lease_ids(&self) -> Vec<LeaseId> {
+        let mut ids: Vec<LeaseId> = self.active.iter().map(|r| r.id).collect();
+        ids.sort_unstable();
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net() -> Network {
+        let mut g = Network::new();
+        g.add_nodes(3);
+        g.add_link(NodeId(0), NodeId(1), 1.0, 2.0).unwrap();
+        g.add_link(NodeId(1), NodeId(2), 1.0, 2.0).unwrap();
+        g.deploy_vnf(NodeId(0), VnfTypeId(0), 1.0, 3.0).unwrap();
+        g.deploy_vnf(NodeId(1), VnfTypeId(1), 1.0, 3.0).unwrap();
+        g
+    }
+
+    #[test]
+    fn commit_then_release_round_trips() {
+        let g = net();
+        let mut ledger = CommitLedger::new(&g);
+        let lease = ledger
+            .commit(
+                [(NodeId(0), VnfTypeId(0), 2.0)],
+                [(LinkId(0), 1.5), (LinkId(1), 0.0)],
+            )
+            .unwrap();
+        assert_eq!(ledger.active_leases(), 1);
+        assert!(ledger.is_active(lease));
+        assert_eq!(ledger.epoch(), 1);
+        assert!(ledger.outstanding_load() > 0.0);
+        let residual = ledger.residual();
+        assert_eq!(residual.link(LinkId(0)).capacity, 0.5);
+
+        ledger.release(lease).unwrap();
+        assert_eq!(ledger.active_leases(), 0);
+        assert!(!ledger.is_active(lease));
+        assert_eq!(ledger.epoch(), 2);
+        assert!(ledger.outstanding_load().abs() < 1e-12);
+        assert_eq!(ledger.committed_total(), 1);
+        assert_eq!(ledger.released_total(), 1);
+    }
+
+    #[test]
+    fn commit_is_atomic_on_failure() {
+        let g = net();
+        let mut ledger = CommitLedger::new(&g);
+        // Second reservation exceeds link 0's bandwidth: the first VNF
+        // reservation must be rolled back.
+        let err = ledger
+            .commit([(NodeId(0), VnfTypeId(0), 1.0)], [(LinkId(0), 5.0)])
+            .unwrap_err();
+        assert!(matches!(err, NetError::InsufficientBandwidth { .. }));
+        assert_eq!(ledger.active_leases(), 0);
+        assert_eq!(ledger.epoch(), 0, "failed commit must not bump the epoch");
+        assert!(ledger.outstanding_load().abs() < 1e-12);
+    }
+
+    #[test]
+    fn vnf_failure_also_rolls_back() {
+        let g = net();
+        let mut ledger = CommitLedger::new(&g);
+        let err = ledger
+            .commit(
+                [
+                    (NodeId(0), VnfTypeId(0), 1.0),
+                    (NodeId(2), VnfTypeId(0), 1.0),
+                ],
+                [],
+            )
+            .unwrap_err();
+        assert!(matches!(err, NetError::VnfNotDeployed { .. }));
+        assert!(ledger.outstanding_load().abs() < 1e-12);
+    }
+
+    #[test]
+    fn double_release_rejected() {
+        let g = net();
+        let mut ledger = CommitLedger::new(&g);
+        let lease = ledger.commit([(NodeId(0), VnfTypeId(0), 1.0)], []).unwrap();
+        ledger.release(lease).unwrap();
+        assert_eq!(ledger.release(lease), Err(NetError::UnknownLease(lease.0)));
+        assert_eq!(
+            ledger.release(LeaseId(999)),
+            Err(NetError::UnknownLease(999))
+        );
+    }
+
+    #[test]
+    fn lease_ids_are_unique_and_ordered() {
+        let g = net();
+        let mut ledger = CommitLedger::new(&g);
+        let a = ledger.commit([(NodeId(0), VnfTypeId(0), 0.5)], []).unwrap();
+        let b = ledger.commit([(NodeId(1), VnfTypeId(1), 0.5)], []).unwrap();
+        assert!(a < b);
+        assert_eq!(ledger.active_lease_ids(), vec![a, b]);
+        ledger.release(a).unwrap();
+        // Ids are never reused, even after a release.
+        let c = ledger.commit([(NodeId(1), VnfTypeId(1), 0.5)], []).unwrap();
+        assert!(b < c);
+        assert_eq!(ledger.active_lease_ids(), vec![b, c]);
+    }
+
+    #[test]
+    fn interleaved_commits_and_releases_track_capacity() {
+        let g = net();
+        let mut ledger = CommitLedger::new(&g);
+        let a = ledger.commit([], [(LinkId(0), 1.0)]).unwrap();
+        let _b = ledger.commit([], [(LinkId(0), 1.0)]).unwrap();
+        // Link 0 is full: a third unit must be refused.
+        assert!(ledger.commit([], [(LinkId(0), 1.0)]).is_err());
+        ledger.release(a).unwrap();
+        // ...and admitted again after a release frees the bandwidth.
+        assert!(ledger.commit([], [(LinkId(0), 1.0)]).is_ok());
+        assert_eq!(ledger.active_leases(), 2);
+    }
+}

@@ -47,6 +47,7 @@ pub mod export;
 pub mod generator;
 pub mod graph;
 pub mod ids;
+pub mod ledger;
 pub mod oracle;
 pub mod path;
 pub mod routing;
@@ -59,6 +60,7 @@ pub use export::{to_dot, DotOptions};
 pub use generator::NetGenConfig;
 pub use graph::{Link, Network, NetworkStats, Node, VnfInstance};
 pub use ids::{LinkId, NodeId, VnfTypeId};
+pub use ledger::{CommitLedger, LeaseId};
 pub use oracle::{OracleSession, OracleStats, PathOracle};
 pub use path::Path;
 pub use state::{Checkpoint, NetworkState, CAP_EPS};

@@ -9,6 +9,39 @@
 use crate::catalog::{enterprise_catalog, find, NfSpec};
 use crate::dependency::DependencyMatrix;
 use crate::transform::{to_hybrid, HybridChain, TransformOptions};
+use std::fmt;
+
+/// A preset lookup failure — an ordinary error, so a service daemon can
+/// surface a bad chain name as a protocol-level rejection instead of
+/// aborting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PresetError {
+    /// No preset with the given name exists.
+    UnknownPreset(String),
+    /// A preset references an NF name the catalog does not define.
+    UnknownNf {
+        /// The preset being resolved.
+        preset: String,
+        /// The NF name missing from the catalog.
+        nf: String,
+    },
+}
+
+impl fmt::Display for PresetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PresetError::UnknownPreset(name) => write!(f, "unknown chain preset '{name}'"),
+            PresetError::UnknownNf { preset, nf } => {
+                write!(
+                    f,
+                    "preset '{preset}' references NF '{nf}' missing from the catalog"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for PresetError {}
 
 /// A named service chain preset.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -71,28 +104,31 @@ pub fn preset(name: &str) -> Option<&'static ChainPreset> {
 
 /// Resolves a preset's NF names to catalog indices.
 ///
-/// # Panics
-/// Panics if a preset references an NF missing from `catalog` — the
-/// built-in presets over the built-in catalog never do.
-pub fn resolve(preset: &ChainPreset, catalog: &[NfSpec]) -> Vec<usize> {
+/// Fails with [`PresetError::UnknownNf`] if the preset references an
+/// NF missing from `catalog` — the built-in presets over the built-in
+/// catalog never do, but custom catalogs can be sparse.
+pub fn resolve(preset: &ChainPreset, catalog: &[NfSpec]) -> Result<Vec<usize>, PresetError> {
     preset
         .nfs
         .iter()
         .map(|n| {
             find(catalog, n)
-                .unwrap_or_else(|| panic!("preset NF '{n}' missing from catalog"))
-                .0
+                .map(|(i, _)| i)
+                .ok_or_else(|| PresetError::UnknownNf {
+                    preset: preset.name.to_string(),
+                    nf: n.to_string(),
+                })
         })
         .collect()
 }
 
 /// Convenience: resolve and transform a preset into its hybrid form over
 /// the built-in catalog.
-pub fn hybrid_preset(name: &str, opts: TransformOptions) -> Option<HybridChain> {
-    let p = preset(name)?;
+pub fn hybrid_preset(name: &str, opts: TransformOptions) -> Result<HybridChain, PresetError> {
+    let p = preset(name).ok_or_else(|| PresetError::UnknownPreset(name.to_string()))?;
     let catalog = enterprise_catalog();
     let deps = DependencyMatrix::analyze(&catalog);
-    Some(to_hybrid(&resolve(p, &catalog), &deps, opts))
+    Ok(to_hybrid(&resolve(p, &catalog)?, &deps, opts))
 }
 
 #[cfg(test)]
@@ -103,7 +139,7 @@ mod tests {
     fn all_presets_resolve() {
         let catalog = enterprise_catalog();
         for p in PRESETS {
-            let ids = resolve(p, &catalog);
+            let ids = resolve(p, &catalog).unwrap();
             assert_eq!(ids.len(), p.nfs.len(), "{}", p.name);
             assert!(!p.description.is_empty());
         }
@@ -113,6 +149,32 @@ mod tests {
     fn preset_lookup() {
         assert!(preset("web-ingress").is_some());
         assert!(preset("quantum-mesh").is_none());
+    }
+
+    #[test]
+    fn unknown_preset_is_an_error() {
+        let err = hybrid_preset("quantum-mesh", TransformOptions::default()).unwrap_err();
+        assert_eq!(err, PresetError::UnknownPreset("quantum-mesh".into()));
+        assert!(err.to_string().contains("quantum-mesh"));
+    }
+
+    #[test]
+    fn missing_nf_is_an_error_not_a_panic() {
+        // A sparse custom catalog lacking "dpi" must fail cleanly.
+        let catalog: Vec<NfSpec> = enterprise_catalog()
+            .into_iter()
+            .filter(|nf| nf.name != "dpi")
+            .collect();
+        let p = preset("web-ingress").unwrap();
+        let err = resolve(p, &catalog).unwrap_err();
+        assert_eq!(
+            err,
+            PresetError::UnknownNf {
+                preset: "web-ingress".into(),
+                nf: "dpi".into(),
+            }
+        );
+        assert!(err.to_string().contains("dpi"));
     }
 
     #[test]

@@ -39,7 +39,7 @@ pub mod transform;
 
 pub use action::{conflict, parallelism, ActionProfile, ConflictReason, Parallelism};
 pub use catalog::{enterprise_catalog, NfSpec};
-pub use chains::{hybrid_preset, ChainPreset, PRESETS};
+pub use chains::{hybrid_preset, ChainPreset, PresetError, PRESETS};
 pub use dependency::{DependencyMatrix, PairStats};
 pub use field::{FieldSet, PacketField};
 pub use transform::{sequentialize, to_hybrid, HybridChain, TransformOptions};

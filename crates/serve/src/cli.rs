@@ -1,0 +1,331 @@
+//! Command-line entry points shared by the `dagsfc-serve` binary and
+//! the root `dagsfc` CLI's `serve`/`client`/`trace`/`replay`
+//! subcommands — one implementation, two front doors.
+
+use crate::client::{Client, EmbedReply};
+use crate::protocol::parse_algo;
+use crate::replay::replay;
+use crate::server::{self, ServeConfig};
+use dagsfc_net::LeaseId;
+use dagsfc_sim::runner::instance_network;
+use dagsfc_sim::{
+    export_trace, io as sim_io, run_lifecycle_detailed, Algo, LifecycleConfig, SimConfig,
+};
+use std::collections::HashMap;
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+
+/// Minimal `--key value` flag parser (mirrors the root CLI's).
+struct Flags {
+    map: HashMap<String, String>,
+    positional: Vec<String>,
+}
+
+impl Flags {
+    fn parse(args: &[String]) -> Result<Flags, String> {
+        let mut map = HashMap::new();
+        let mut positional = Vec::new();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                match key {
+                    // boolean flags
+                    "verify" => {
+                        map.insert(key.to_string(), "true".to_string());
+                    }
+                    _ => {
+                        let value = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
+                        map.insert(key.to_string(), value.clone());
+                    }
+                }
+            } else {
+                positional.push(a.clone());
+            }
+        }
+        Ok(Flags { map, positional })
+    }
+
+    fn str(&self, key: &str) -> Option<&str> {
+        self.map.get(key).map(String::as_str)
+    }
+
+    fn usize_or(&self, key: &str, default: usize) -> Result<usize, String> {
+        match self.str(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key}: bad integer '{v}'")),
+        }
+    }
+
+    fn u64_or(&self, key: &str, default: u64) -> Result<u64, String> {
+        match self.str(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key}: bad integer '{v}'")),
+        }
+    }
+
+    fn f64_or(&self, key: &str, default: f64) -> Result<f64, String> {
+        match self.str(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key}: bad number '{v}'")),
+        }
+    }
+
+    fn algo_or(&self, key: &str, default: Algo) -> Result<Algo, String> {
+        match self.str(key) {
+            None => Ok(default),
+            Some(v) => parse_algo(v).ok_or_else(|| format!("--{key}: unknown algorithm '{v}'")),
+        }
+    }
+
+    fn has(&self, key: &str) -> bool {
+        self.map.contains_key(key)
+    }
+}
+
+fn sim_config(flags: &Flags) -> Result<SimConfig, String> {
+    Ok(SimConfig {
+        network_size: flags.usize_or("nodes", 60)?,
+        connectivity: flags.f64_or("degree", 6.0)?,
+        vnf_kinds: flags.usize_or("kinds", 12)?,
+        sfc_size: flags.usize_or("sfc-size", 5)?,
+        seed: flags.u64_or("seed", SimConfig::default().seed)?,
+        vnf_capacity: flags.f64_or("capacity", 8.0)?,
+        link_capacity: flags.f64_or("capacity", 8.0)?,
+        ..SimConfig::default()
+    })
+}
+
+fn serve_config(flags: &Flags) -> Result<ServeConfig, String> {
+    Ok(ServeConfig {
+        workers: flags.usize_or("workers", 2)?.max(1),
+        queue_capacity: flags.usize_or("queue", 64)?,
+        algo: flags.algo_or("algo", Algo::Mbbe)?,
+    })
+}
+
+/// `dagsfc-serve` / `dagsfc serve`: run the daemon until a client sends
+/// `shutdown` (or the process is killed).
+///
+/// ```text
+/// dagsfc-serve [--addr 127.0.0.1:4600] [--workers 2] [--queue 64] [--algo mbbe]
+///              [--network FILE | --nodes N --seed S --capacity C ...]
+/// ```
+pub fn daemon_main(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let cfg = serve_config(&flags)?;
+    let net = match flags.str("network") {
+        Some(path) => sim_io::load_network(&PathBuf::from(path)).map_err(|e| e.to_string())?,
+        None => instance_network(&sim_config(&flags)?),
+    };
+    let addr = flags.str("addr").unwrap_or("127.0.0.1:4600");
+    let listener = TcpListener::bind(addr).map_err(|e| format!("bind {addr}: {e}"))?;
+    let local = listener.local_addr().map_err(|e| e.to_string())?;
+    // Parsed by scripts (and the CI smoke job): keep this line stable.
+    println!("dagsfc-serve listening on {local}");
+    let report = server::run(&net, &cfg, listener, Arc::new(AtomicBool::new(false)));
+    println!(
+        "{}",
+        serde_json::to_string(&report).map_err(|e| e.to_string())?
+    );
+    Ok(())
+}
+
+/// `dagsfc trace`: freeze a lifecycle schedule to a JSON file for
+/// replay.
+///
+/// ```text
+/// dagsfc trace --out trace.json [--arrivals 50] [--mean-holding 8]
+///              [--algo mbbe] [--nodes N --seed S --capacity C ...]
+/// ```
+pub fn trace_main(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let out = flags
+        .str("out")
+        .ok_or("trace requires --out FILE".to_string())?;
+    let cfg = LifecycleConfig {
+        base: sim_config(&flags)?,
+        arrivals: flags.usize_or("arrivals", 50)?,
+        mean_holding: flags.f64_or("mean-holding", 8.0)?,
+        algo: flags.algo_or("algo", Algo::Mbbe)?,
+    };
+    let trace = export_trace(&cfg);
+    sim_io::save_trace(&PathBuf::from(out), &trace).map_err(|e| e.to_string())?;
+    println!(
+        "trace: {} arrivals, mean holding {}, algo {} -> {out}",
+        trace.arrivals,
+        trace.mean_holding,
+        trace.algo.name()
+    );
+    Ok(())
+}
+
+/// `dagsfc client`: one-shot protocol operations against a daemon.
+///
+/// ```text
+/// dagsfc client ping     --addr HOST:PORT
+/// dagsfc client stats    --addr HOST:PORT
+/// dagsfc client embed    --addr HOST:PORT --preset NAME [--src A --dst B]
+///                        [--algo mbbe] [--seed S] [--max-width W]
+/// dagsfc client release  --addr HOST:PORT --lease ID
+/// dagsfc client replay   --addr HOST:PORT --trace FILE
+/// dagsfc client shutdown --addr HOST:PORT
+/// ```
+pub fn client_main(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let op = flags
+        .positional
+        .first()
+        .map(String::as_str)
+        .ok_or("client requires an operation (ping|stats|embed|release|replay|shutdown)")?;
+    let addr = flags
+        .str("addr")
+        .ok_or("client requires --addr HOST:PORT".to_string())?;
+    let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
+    match op {
+        "ping" => {
+            client.ping().map_err(|e| e.to_string())?;
+            println!("ok");
+        }
+        "stats" => {
+            let stats = client.stats().map_err(|e| e.to_string())?;
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&stats).map_err(|e| e.to_string())?
+            );
+        }
+        "embed" => {
+            let preset = flags
+                .str("preset")
+                .ok_or("client embed requires --preset NAME".to_string())?;
+            let flow = dagsfc_core::Flow::unit(
+                dagsfc_net::NodeId(flags.usize_or("src", 0)? as u32),
+                dagsfc_net::NodeId(flags.usize_or("dst", 1)? as u32),
+            );
+            let algo = flags
+                .str("algo")
+                .map(|a| parse_algo(a).ok_or_else(|| format!("unknown algorithm '{a}'")));
+            let algo = match algo {
+                Some(r) => Some(r?),
+                None => None,
+            };
+            let max_width = match flags.str("max-width") {
+                Some(_) => Some(flags.usize_or("max-width", 3)?),
+                None => None,
+            };
+            let reply = client
+                .embed_preset(preset, &flow, max_width, algo, flags.u64_or("seed", 0)?)
+                .map_err(|e| e.to_string())?;
+            match reply {
+                EmbedReply::Accepted { lease, cost } => {
+                    println!("accepted: {lease}, cost {cost}");
+                }
+                EmbedReply::Rejected(reason) => println!("rejected: {reason}"),
+            }
+        }
+        "release" => {
+            let lease = flags
+                .str("lease")
+                .ok_or("client release requires --lease ID".to_string())?
+                .parse::<u64>()
+                .map_err(|_| "bad --lease".to_string())?;
+            client.release(LeaseId(lease)).map_err(|e| e.to_string())?;
+            println!("released lease#{lease}");
+        }
+        "replay" => {
+            let path = flags
+                .str("trace")
+                .ok_or("client replay requires --trace FILE".to_string())?;
+            let trace = sim_io::load_trace(&PathBuf::from(path)).map_err(|e| e.to_string())?;
+            let report = replay(&mut client, &trace).map_err(|e| e.to_string())?;
+            println!(
+                "replayed {} arrivals: {} accepted, {} rejected (ratio {:.3}), total cost {:.6}",
+                trace.arrivals,
+                report.accepted,
+                report.rejected,
+                report.acceptance_ratio(),
+                report.total_cost()
+            );
+            if report.accepted == 0 {
+                return Err("replay accepted zero requests".into());
+            }
+        }
+        "shutdown" => {
+            client.shutdown().map_err(|e| e.to_string())?;
+            println!("server draining");
+        }
+        other => return Err(format!("unknown client operation '{other}'")),
+    }
+    Ok(())
+}
+
+/// `dagsfc replay`: the self-contained equivalence harness — spawn an
+/// in-process daemon, replay the trace through a real socket, and
+/// verify the outcome against the in-process simulation.
+///
+/// ```text
+/// dagsfc replay --trace FILE [--workers 2] [--queue 64] [--verify]
+/// ```
+pub fn replay_main(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let path = flags
+        .str("trace")
+        .ok_or("replay requires --trace FILE".to_string())?;
+    let trace = sim_io::load_trace(&PathBuf::from(path)).map_err(|e| e.to_string())?;
+    let cfg = ServeConfig {
+        workers: flags.usize_or("workers", 2)?.max(1),
+        queue_capacity: flags.usize_or("queue", 64)?,
+        algo: trace.algo,
+    };
+    let net = instance_network(&trace.base);
+    let handle =
+        server::spawn(net, cfg, "127.0.0.1:0").map_err(|e| format!("spawn server: {e}"))?;
+    let mut client = Client::connect(handle.addr()).map_err(|e| e.to_string())?;
+    let report = replay(&mut client, &trace).map_err(|e| e.to_string())?;
+    drop(client);
+    let final_stats = handle.join();
+    println!(
+        "replayed {} arrivals over TCP: {} accepted, {} rejected (ratio {:.3}), total cost {:.6}",
+        trace.arrivals,
+        report.accepted,
+        report.rejected,
+        report.acceptance_ratio(),
+        report.total_cost()
+    );
+    println!(
+        "server: oracle {}h/{}m, solver cache {}h/{}m, {} leases released",
+        final_stats.oracle.hits,
+        final_stats.oracle.misses,
+        final_stats.solver_cache_hits,
+        final_stats.solver_cache_misses,
+        final_stats.released
+    );
+    if flags.has("verify") {
+        let sim = run_lifecycle_detailed(&LifecycleConfig {
+            base: trace.base.clone(),
+            arrivals: trace.arrivals,
+            mean_holding: trace.mean_holding,
+            algo: trace.algo,
+        });
+        let sim_per: &[_] = &sim.per_arrival;
+        if sim_per != report.per_arrival.as_slice() || sim.departure_order != report.departure_order
+        {
+            return Err(format!(
+                "replay DIVERGED from simulation: sim accepted {} (cost {:.6}), \
+                 replay accepted {} (cost {:.6})",
+                sim.metrics.accepted,
+                sim.total_cost(),
+                report.accepted,
+                report.total_cost()
+            ));
+        }
+        println!(
+            "verified: bit-for-bit equal to in-process lifecycle \
+             ({} accepted, total cost {:.6})",
+            sim.metrics.accepted,
+            sim.total_cost()
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,204 @@
+//! `dagsfc-client`: a line-oriented client for the `dagsfc-serve`
+//! protocol, used by the CLI subcommand, the trace replayer, and the
+//! integration tests.
+
+use crate::protocol::{algo_wire_name, StatsReport, WireRequest, WireResponse};
+use dagsfc_core::{DagSfc, Flow};
+use dagsfc_net::LeaseId;
+use dagsfc_sim::Algo;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket failure.
+    Io(std::io::Error),
+    /// The server's reply was not valid JSON.
+    Json(serde_json::Error),
+    /// The server closed the connection mid-request.
+    Disconnected,
+    /// The server answered `status: "error"`.
+    Server(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io error: {e}"),
+            ClientError::Json(e) => write!(f, "bad server reply: {e}"),
+            ClientError::Disconnected => write!(f, "server closed the connection"),
+            ClientError::Server(reason) => write!(f, "server error: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for ClientError {
+    fn from(e: serde_json::Error) -> Self {
+        ClientError::Json(e)
+    }
+}
+
+/// The fate of one embed request, as seen over the wire.
+#[derive(Debug, Clone)]
+pub enum EmbedReply {
+    /// Committed: the lease handle and the embedding's cost.
+    Accepted {
+        /// Release this on departure.
+        lease: LeaseId,
+        /// Objective cost (vnf + link terms).
+        cost: dagsfc_core::CostBreakdown,
+    },
+    /// Turned away (admission, backpressure, or solver), with cause.
+    Rejected(String),
+}
+
+/// A connected protocol client. One request/response at a time, in
+/// order — exactly the lock-step discipline the trace replayer needs.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a running daemon.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            reader,
+            writer: stream,
+        })
+    }
+
+    /// Sends one raw request and reads its reply.
+    pub fn request(&mut self, req: &WireRequest) -> Result<WireResponse, ClientError> {
+        let mut line = serde_json::to_string(req)?;
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())?;
+        let mut reply = String::new();
+        let n = self.reader.read_line(&mut reply)?;
+        if n == 0 {
+            return Err(ClientError::Disconnected);
+        }
+        Ok(serde_json::from_str(reply.trim())?)
+    }
+
+    /// Embeds an explicit chain; `algo`/`seed` default server-side when
+    /// `None`.
+    pub fn embed(
+        &mut self,
+        sfc: &DagSfc,
+        flow: &Flow,
+        algo: Option<Algo>,
+        seed: u64,
+    ) -> Result<EmbedReply, ClientError> {
+        let resp = self.request(&WireRequest {
+            cmd: "embed".into(),
+            sfc: Some(sfc.clone()),
+            flow: Some(*flow),
+            seed: Some(seed),
+            algo: algo.map(|a| algo_wire_name(a).to_string()),
+            ..WireRequest::default()
+        })?;
+        Self::embed_reply(resp)
+    }
+
+    /// Embeds a named `nfp` chain preset.
+    pub fn embed_preset(
+        &mut self,
+        preset: &str,
+        flow: &Flow,
+        max_width: Option<usize>,
+        algo: Option<Algo>,
+        seed: u64,
+    ) -> Result<EmbedReply, ClientError> {
+        let resp = self.request(&WireRequest {
+            cmd: "embed_preset".into(),
+            preset: Some(preset.to_string()),
+            flow: Some(*flow),
+            seed: Some(seed),
+            max_width,
+            algo: algo.map(|a| algo_wire_name(a).to_string()),
+            ..WireRequest::default()
+        })?;
+        Self::embed_reply(resp)
+    }
+
+    fn embed_reply(resp: WireResponse) -> Result<EmbedReply, ClientError> {
+        match resp.status.as_str() {
+            "accepted" => {
+                let lease = resp
+                    .lease
+                    .ok_or_else(|| ClientError::Server("accepted without lease".into()))?;
+                let cost = resp
+                    .cost
+                    .ok_or_else(|| ClientError::Server("accepted without cost".into()))?;
+                Ok(EmbedReply::Accepted {
+                    lease: LeaseId(lease),
+                    cost,
+                })
+            }
+            "rejected" => Ok(EmbedReply::Rejected(
+                resp.reason.unwrap_or_else(|| "unspecified".into()),
+            )),
+            _ => Err(ClientError::Server(resp.reason.unwrap_or(resp.status))),
+        }
+    }
+
+    /// Releases a lease; `Err(ClientError::Server(..))` on unknown or
+    /// double release.
+    pub fn release(&mut self, lease: LeaseId) -> Result<(), ClientError> {
+        let resp = self.request(&WireRequest {
+            cmd: "release".into(),
+            lease: Some(lease.0),
+            ..WireRequest::default()
+        })?;
+        match resp.status.as_str() {
+            "ok" => Ok(()),
+            _ => Err(ClientError::Server(resp.reason.unwrap_or(resp.status))),
+        }
+    }
+
+    /// Fetches the daemon's counter report.
+    pub fn stats(&mut self) -> Result<StatsReport, ClientError> {
+        let resp = self.request(&WireRequest {
+            cmd: "stats".into(),
+            ..WireRequest::default()
+        })?;
+        resp.stats
+            .ok_or_else(|| ClientError::Server("stats reply without stats".into()))
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        let resp = self.request(&WireRequest {
+            cmd: "ping".into(),
+            ..WireRequest::default()
+        })?;
+        match resp.status.as_str() {
+            "ok" => Ok(()),
+            other => Err(ClientError::Server(other.to_string())),
+        }
+    }
+
+    /// Asks the daemon to shut down (it drains queued work first).
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        let resp = self.request(&WireRequest {
+            cmd: "shutdown".into(),
+            ..WireRequest::default()
+        })?;
+        match resp.status.as_str() {
+            "bye" => Ok(()),
+            other => Err(ClientError::Server(other.to_string())),
+        }
+    }
+}

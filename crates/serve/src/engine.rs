@@ -1,0 +1,276 @@
+//! The serving engine: one mutable residual state behind a
+//! commit/release ledger, plus the counters the `stats` endpoint
+//! reports.
+//!
+//! The engine is deliberately single-threaded — the server wraps it in
+//! a mutex and serializes solve+commit in ticket order, which is what
+//! makes a replayed trace bit-for-bit equal to the in-process
+//! simulation regardless of worker-pool size (see `docs/SERVICE.md`).
+//! Every embed routes through [`dagsfc_sim::embed_and_commit`], the
+//! exact kernel `sim::lifecycle` runs: the serving path and the
+//! research path cannot drift apart.
+
+use crate::protocol::{AlgoLatency, StatsReport};
+use dagsfc_core::{DagSfc, Flow};
+use dagsfc_net::{CommitLedger, LeaseId, NetResult, Network};
+use dagsfc_sim::{embed_and_commit, Algo, EmbedRejection};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// An accepted embed, as the engine reports it to the wire layer.
+#[derive(Debug, Clone, Copy)]
+pub struct Accepted {
+    /// Handle the client releases on departure.
+    pub lease: LeaseId,
+    /// Objective cost of the embedding.
+    pub cost: dagsfc_core::CostBreakdown,
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct LatencyAcc {
+    solves: u64,
+    total: Duration,
+}
+
+/// Ledger, residual-network cache, and counters for one daemon.
+pub struct Engine<'n> {
+    ledger: CommitLedger<'n>,
+    /// The residual network the solvers see, rebuilt only when the
+    /// ledger's epoch moves (each commit/release bumps it). `Arc` so
+    /// the borrow is decoupled from `&mut self.ledger` during a solve.
+    residual: Arc<Network>,
+    residual_epoch: u64,
+    accepted: u64,
+    rejected: u64,
+    total_cost: f64,
+    solver_cache_hits: u64,
+    solver_cache_misses: u64,
+    per_algo: BTreeMap<&'static str, LatencyAcc>,
+}
+
+impl<'n> Engine<'n> {
+    /// A fresh engine over `net` with all capacities available.
+    pub fn new(net: &'n Network) -> Self {
+        let ledger = CommitLedger::new(net);
+        let residual = Arc::new(ledger.residual());
+        Engine {
+            ledger,
+            residual,
+            residual_epoch: 0,
+            accepted: 0,
+            rejected: 0,
+            total_cost: 0.0,
+            solver_cache_hits: 0,
+            solver_cache_misses: 0,
+            per_algo: BTreeMap::new(),
+        }
+    }
+
+    /// The base (full-capacity) network.
+    pub fn network(&self) -> &'n Network {
+        self.ledger.network()
+    }
+
+    /// The residual network at the current epoch (shared snapshot).
+    pub fn residual(&mut self) -> Arc<Network> {
+        if self.ledger.epoch() != self.residual_epoch {
+            self.residual = Arc::new(self.ledger.residual());
+            self.residual_epoch = self.ledger.epoch();
+        }
+        Arc::clone(&self.residual)
+    }
+
+    /// Solves and commits one request: the whole admission-to-lease
+    /// path, counted either way.
+    pub fn embed(
+        &mut self,
+        sfc: &DagSfc,
+        flow: &Flow,
+        algo: Algo,
+        seed: u64,
+    ) -> Result<Accepted, EmbedRejection> {
+        let residual = self.residual();
+        let started = Instant::now();
+        let result = embed_and_commit(&mut self.ledger, &residual, sfc, flow, algo, seed);
+        let elapsed = started.elapsed();
+        let acc = self.per_algo.entry(algo.name()).or_default();
+        acc.solves += 1;
+        acc.total += elapsed;
+        match result {
+            Ok(s) => {
+                self.accepted += 1;
+                self.total_cost += s.cost.total();
+                self.solver_cache_hits += s.stats.cache_hits;
+                self.solver_cache_misses += s.stats.cache_misses;
+                Ok(Accepted {
+                    lease: s.lease,
+                    cost: s.cost,
+                })
+            }
+            Err(e) => {
+                self.rejected += 1;
+                Err(e)
+            }
+        }
+    }
+
+    /// Counts a request turned away before it reached a solver
+    /// (queue-full backpressure, admission precheck).
+    pub fn count_admission_rejection(&mut self) {
+        self.rejected += 1;
+    }
+
+    /// Releases a lease's resources back to the pool.
+    pub fn release(&mut self, lease: LeaseId) -> NetResult<()> {
+        self.ledger.release(lease)
+    }
+
+    /// Whether `lease` is currently outstanding.
+    pub fn is_active(&self, lease: LeaseId) -> bool {
+        self.ledger.is_active(lease)
+    }
+
+    /// Leases currently outstanding.
+    pub fn active_leases(&self) -> usize {
+        self.ledger.active_leases()
+    }
+
+    /// Assembles the stats report; the caller supplies the queue view
+    /// and the shared admission-oracle counters it owns.
+    pub fn stats(
+        &self,
+        queue_depth: usize,
+        queue_capacity: usize,
+        oracle: crate::protocol::OracleCounters,
+    ) -> StatsReport {
+        let offered = self.accepted + self.rejected;
+        StatsReport {
+            accepted: self.accepted,
+            rejected: self.rejected,
+            acceptance_ratio: if offered == 0 {
+                0.0
+            } else {
+                self.accepted as f64 / offered as f64
+            },
+            total_cost: self.total_cost,
+            active_leases: self.ledger.active_leases() as u64,
+            released: self.ledger.released_total(),
+            queue_depth: queue_depth as u64,
+            queue_capacity: queue_capacity as u64,
+            epoch: self.ledger.epoch(),
+            outstanding_load: self.ledger.outstanding_load(),
+            oracle,
+            solver_cache_hits: self.solver_cache_hits,
+            solver_cache_misses: self.solver_cache_misses,
+            per_algo: self
+                .per_algo
+                .iter()
+                .map(|(name, acc)| AlgoLatency {
+                    algo: name.to_string(),
+                    solves: acc.solves,
+                    total_micros: acc.total.as_micros() as u64,
+                    mean_micros: if acc.solves == 0 {
+                        0.0
+                    } else {
+                        acc.total.as_micros() as f64 / acc.solves as f64
+                    },
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::OracleCounters;
+    use dagsfc_sim::runner::{instance_network, instance_request};
+    use dagsfc_sim::{arrival_seed, SimConfig};
+
+    fn cfg() -> SimConfig {
+        SimConfig {
+            network_size: 24,
+            sfc_size: 3,
+            vnf_capacity: 8.0,
+            link_capacity: 8.0,
+            seed: 0xE46,
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn embed_release_cycle_updates_counters() {
+        let c = cfg();
+        let net = instance_network(&c);
+        let mut engine = Engine::new(&net);
+        let (sfc, flow) = instance_request(&c, &net, 0);
+        let a = engine
+            .embed(&sfc, &flow, Algo::Minv, arrival_seed(c.seed, 0))
+            .expect("fresh network admits");
+        assert!(engine.is_active(a.lease));
+        assert_eq!(engine.active_leases(), 1);
+
+        let stats = engine.stats(0, 16, OracleCounters::default());
+        assert_eq!(stats.accepted, 1);
+        assert_eq!(stats.rejected, 0);
+        assert_eq!(stats.acceptance_ratio, 1.0);
+        assert!(stats.total_cost > 0.0);
+        assert!(stats.outstanding_load > 0.0);
+        assert_eq!(stats.per_algo.len(), 1);
+        assert_eq!(stats.per_algo[0].algo, "MINV");
+        assert_eq!(stats.per_algo[0].solves, 1);
+
+        engine.release(a.lease).unwrap();
+        let stats = engine.stats(0, 16, OracleCounters::default());
+        assert_eq!(stats.active_leases, 0);
+        assert_eq!(stats.released, 1);
+        assert!(stats.outstanding_load.abs() < 1e-12);
+    }
+
+    #[test]
+    fn residual_cache_tracks_epoch() {
+        let c = cfg();
+        let net = instance_network(&c);
+        let mut engine = Engine::new(&net);
+        let before = engine.residual();
+        // No state change: the same snapshot is reused.
+        assert!(Arc::ptr_eq(&before, &engine.residual()));
+        let (sfc, flow) = instance_request(&c, &net, 0);
+        engine
+            .embed(&sfc, &flow, Algo::Minv, arrival_seed(c.seed, 0))
+            .unwrap();
+        // The commit bumped the epoch: a new snapshot must be built.
+        assert!(!Arc::ptr_eq(&before, &engine.residual()));
+    }
+
+    #[test]
+    fn engine_matches_lifecycle_kernel_decisions() {
+        // Saturate a tiny network: the engine must reject exactly when
+        // the kernel rejects, because it IS the kernel.
+        let c = SimConfig {
+            network_size: 12,
+            sfc_size: 3,
+            vnf_capacity: 2.0,
+            link_capacity: 2.0,
+            seed: 0xE47,
+            ..SimConfig::default()
+        };
+        let net = instance_network(&c);
+        let mut engine = Engine::new(&net);
+        let mut ledger = CommitLedger::new(&net);
+        for arrival in 0..20 {
+            let (sfc, flow) = instance_request(&c, &net, arrival);
+            let seed = arrival_seed(c.seed, arrival);
+            let direct = {
+                let residual = ledger.residual();
+                embed_and_commit(&mut ledger, &residual, &sfc, &flow, Algo::Minv, seed)
+            };
+            let served = engine.embed(&sfc, &flow, Algo::Minv, seed);
+            assert_eq!(direct.is_ok(), served.is_ok(), "arrival {arrival}");
+            if let (Ok(d), Ok(s)) = (direct, served) {
+                assert_eq!(d.cost.total(), s.cost.total(), "arrival {arrival}");
+            }
+        }
+    }
+}

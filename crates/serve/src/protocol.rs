@@ -1,0 +1,236 @@
+//! The JSON-lines wire protocol spoken by `dagsfc-serve`.
+//!
+//! One JSON object per `\n`-terminated line, request → response, in
+//! order, over a plain TCP stream. The shapes are deliberately *flat*
+//! structs with optional fields rather than tagged enums: every client
+//! in any language can build them with a dictionary literal, and absent
+//! fields simply decode as `None`. `docs/SERVICE.md` is the normative
+//! spec; this module is its executable form.
+
+use dagsfc_core::{CostBreakdown, DagSfc, Flow};
+use dagsfc_sim::Algo;
+use serde::{Deserialize, Serialize};
+
+/// A client → server command.
+///
+/// `cmd` selects the operation; the other fields are its operands:
+///
+/// | `cmd`           | required fields          | optional fields        |
+/// |-----------------|--------------------------|------------------------|
+/// | `"embed"`       | `sfc`, `flow`            | `algo`, `seed`         |
+/// | `"embed_preset"`| `preset`, `flow`         | `algo`, `seed`, `max_width` |
+/// | `"release"`     | `lease`                  |                        |
+/// | `"stats"`       |                          |                        |
+/// | `"ping"`        |                          |                        |
+/// | `"shutdown"`    |                          |                        |
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct WireRequest {
+    /// The operation to perform.
+    pub cmd: String,
+    /// `embed`: the chain to embed.
+    pub sfc: Option<DagSfc>,
+    /// `embed`/`embed_preset`: the flow to carry.
+    pub flow: Option<Flow>,
+    /// Solver seed (defaults to 0).
+    pub seed: Option<u64>,
+    /// Algorithm name (`"mbbe"`, `"bbe"`, …); defaults to the daemon's
+    /// configured algorithm.
+    pub algo: Option<String>,
+    /// `embed_preset`: the chain-preset name from the `nfp` library.
+    pub preset: Option<String>,
+    /// `embed_preset`: optional parallel-width cap for the transform.
+    pub max_width: Option<usize>,
+    /// `release`: the lease to release.
+    pub lease: Option<u64>,
+}
+
+/// A server → client reply. `status` is one of `"accepted"`,
+/// `"rejected"`, `"ok"`, `"error"`, or `"bye"`; the optional fields are
+/// populated per status (see `docs/SERVICE.md`).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct WireResponse {
+    /// Outcome class of the request.
+    pub status: String,
+    /// `accepted`: the lease handle for the committed resources.
+    pub lease: Option<u64>,
+    /// `accepted`: objective cost of the embedding.
+    pub cost: Option<CostBreakdown>,
+    /// `rejected`/`error`: human-readable cause.
+    pub reason: Option<String>,
+    /// `stats` replies: the full counter report.
+    pub stats: Option<StatsReport>,
+}
+
+impl WireResponse {
+    /// An `"error"` reply with a reason.
+    pub fn error(reason: impl Into<String>) -> Self {
+        WireResponse {
+            status: "error".into(),
+            reason: Some(reason.into()),
+            ..WireResponse::default()
+        }
+    }
+
+    /// A `"rejected"` reply with a reason.
+    pub fn rejected(reason: impl Into<String>) -> Self {
+        WireResponse {
+            status: "rejected".into(),
+            reason: Some(reason.into()),
+            ..WireResponse::default()
+        }
+    }
+
+    /// A bare `"ok"` reply.
+    pub fn ok() -> Self {
+        WireResponse {
+            status: "ok".into(),
+            ..WireResponse::default()
+        }
+    }
+}
+
+/// Path-oracle counters, wire-shaped (mirrors
+/// `dagsfc_net::OracleStats`, which the daemon reads from its shared
+/// admission oracle).
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct OracleCounters {
+    /// Shortest-path trees served from the cache.
+    pub hits: u64,
+    /// Shortest-path trees computed fresh.
+    pub misses: u64,
+    /// Trees evicted by the LRU bound.
+    pub evictions: u64,
+    /// Whole-cache invalidations.
+    pub invalidations: u64,
+    /// hits / (hits + misses), 0.0 when never queried.
+    pub hit_rate: f64,
+}
+
+/// Per-algorithm solve-latency aggregate (wall-clock around the whole
+/// solve-account-commit path, accepted and rejected alike).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct AlgoLatency {
+    /// Algorithm name as reported by the solver.
+    pub algo: String,
+    /// Number of solves routed to this algorithm.
+    pub solves: u64,
+    /// Total wall-clock microseconds across those solves.
+    pub total_micros: u64,
+    /// Mean wall-clock microseconds per solve.
+    pub mean_micros: f64,
+}
+
+/// The full counter report returned by the `stats` command (and by the
+/// daemon on exit).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct StatsReport {
+    /// Requests embedded and committed.
+    pub accepted: u64,
+    /// Requests turned away (admission, queue-full, or solver).
+    pub rejected: u64,
+    /// accepted / (accepted + rejected), 0.0 before any request.
+    pub acceptance_ratio: f64,
+    /// Sum of accepted embedding costs.
+    pub total_cost: f64,
+    /// Leases currently outstanding.
+    pub active_leases: u64,
+    /// Leases released over the daemon's lifetime.
+    pub released: u64,
+    /// Embed jobs waiting in the bounded queue right now.
+    pub queue_depth: u64,
+    /// The queue's capacity (admission rejects beyond it).
+    pub queue_capacity: u64,
+    /// The ledger's change epoch (commits + releases).
+    pub epoch: u64,
+    /// Committed-but-unreleased load across all resources.
+    pub outstanding_load: f64,
+    /// Counters of the shared admission path-oracle.
+    pub oracle: OracleCounters,
+    /// Path-cache hits summed over every solver run.
+    pub solver_cache_hits: u64,
+    /// Path-cache misses summed over every solver run.
+    pub solver_cache_misses: u64,
+    /// Per-algorithm solve latency, sorted by algorithm name.
+    pub per_algo: Vec<AlgoLatency>,
+}
+
+/// Parses a lowercase algorithm name as used on the wire and the CLI.
+pub fn parse_algo(name: &str) -> Option<Algo> {
+    Some(match name {
+        "bbe" => Algo::Bbe,
+        "mbbe" => Algo::Mbbe,
+        "mbbe-st" => Algo::MbbeSt,
+        "ranv" => Algo::Ranv,
+        "minv" => Algo::Minv,
+        "grasp" => Algo::Grasp,
+        "exact" => Algo::Exact,
+        _ => return None,
+    })
+}
+
+/// The wire name of an algorithm (inverse of [`parse_algo`]).
+pub fn algo_wire_name(algo: Algo) -> &'static str {
+    match algo {
+        Algo::Bbe => "bbe",
+        Algo::Mbbe => "mbbe",
+        Algo::MbbeSt => "mbbe-st",
+        Algo::Ranv => "ranv",
+        Algo::Minv => "minv",
+        Algo::Grasp => "grasp",
+        Algo::Exact => "exact",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_roundtrip_with_absent_fields() {
+        let line = r#"{"cmd":"stats"}"#;
+        let req: WireRequest = serde_json::from_str(line).unwrap();
+        assert_eq!(req.cmd, "stats");
+        assert!(req.sfc.is_none());
+        assert!(req.lease.is_none());
+    }
+
+    #[test]
+    fn release_carries_lease() {
+        let req: WireRequest = serde_json::from_str(r#"{"cmd":"release","lease":7}"#).unwrap();
+        assert_eq!(req.lease, Some(7));
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        let resp = WireResponse {
+            status: "accepted".into(),
+            lease: Some(3),
+            cost: Some(CostBreakdown {
+                vnf: 1.25,
+                link: 0.5,
+            }),
+            ..WireResponse::default()
+        };
+        let json = serde_json::to_string(&resp).unwrap();
+        let back: WireResponse = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.status, "accepted");
+        assert_eq!(back.lease, Some(3));
+        assert_eq!(back.cost.unwrap().total(), 1.75);
+    }
+
+    #[test]
+    fn algo_names_roundtrip() {
+        for algo in [
+            Algo::Bbe,
+            Algo::Mbbe,
+            Algo::MbbeSt,
+            Algo::Ranv,
+            Algo::Minv,
+            Algo::Grasp,
+            Algo::Exact,
+        ] {
+            assert_eq!(parse_algo(algo_wire_name(algo)), Some(algo));
+        }
+        assert_eq!(parse_algo("simulated-annealing"), None);
+    }
+}

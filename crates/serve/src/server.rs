@@ -1,0 +1,509 @@
+//! The `dagsfc-serve` daemon: JSON-lines over TCP, bounded queue with
+//! backpressure, admission control, a deterministic worker pool, and
+//! graceful drain on shutdown.
+//!
+//! ## Threading model
+//!
+//! * the **accept loop** (the thread that called [`run`]) polls a
+//!   non-blocking listener and spawns one handler per connection;
+//! * **handlers** parse lines, run admission control (shared
+//!   static-capacity [`PathOracle`] + `dagsfc_core::solvers::precheck`),
+//!   and either answer immediately (`stats`, `release`, rejections) or
+//!   enqueue an embed job and wait for its reply;
+//! * **workers** pop jobs FIFO and serve them through a ticket gate, so
+//!   solve+commit happens in exactly the admission order no matter how
+//!   many workers run — the property behind the trace-replay
+//!   equivalence guarantee.
+//!
+//! Shutdown (flag or `shutdown` command) stops admission, drains every
+//! queued embed to its reply, keeps all committed leases on the books,
+//! and returns the final [`StatsReport`].
+
+use crate::engine::Engine;
+use crate::protocol::{parse_algo, OracleCounters, StatsReport, WireRequest, WireResponse};
+use dagsfc_core::solvers::precheck;
+use dagsfc_core::{DagSfc, Flow, VnfCatalog};
+use dagsfc_net::{LeaseId, Network, PathOracle};
+use dagsfc_nfp::transform::TransformOptions;
+use dagsfc_sim::Algo;
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads solving embeds (≥ 1; results are identical for
+    /// any value by construction).
+    pub workers: usize,
+    /// Bounded queue capacity; admission rejects with `queue full`
+    /// beyond it (backpressure).
+    pub queue_capacity: usize,
+    /// Default algorithm when a request names none.
+    pub algo: Algo,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 2,
+            queue_capacity: 64,
+            algo: Algo::Mbbe,
+        }
+    }
+}
+
+/// One queued embed, ticketed at admission.
+struct EmbedJob {
+    ticket: u64,
+    sfc: DagSfc,
+    flow: Flow,
+    algo: Algo,
+    seed: u64,
+    reply: mpsc::Sender<WireResponse>,
+}
+
+#[derive(Default)]
+struct QueueInner {
+    jobs: VecDeque<EmbedJob>,
+    next_ticket: u64,
+    closed: bool,
+}
+
+/// Bounded FIFO job queue (std `Mutex` + `Condvar`; the `parking_lot`
+/// shim has no condvar).
+struct JobQueue {
+    capacity: usize,
+    inner: Mutex<QueueInner>,
+    ready: Condvar,
+}
+
+enum EnqueueError {
+    Full,
+    Closed,
+}
+
+impl JobQueue {
+    fn new(capacity: usize) -> Self {
+        JobQueue {
+            capacity,
+            inner: Mutex::new(QueueInner::default()),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Admits a job if there is room, assigning its serving ticket
+    /// under the same lock so FIFO order and ticket order coincide.
+    fn try_enqueue(
+        &self,
+        sfc: DagSfc,
+        flow: Flow,
+        algo: Algo,
+        seed: u64,
+    ) -> Result<mpsc::Receiver<WireResponse>, EnqueueError> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        if inner.closed {
+            return Err(EnqueueError::Closed);
+        }
+        if inner.jobs.len() >= self.capacity {
+            return Err(EnqueueError::Full);
+        }
+        let (tx, rx) = mpsc::channel();
+        let ticket = inner.next_ticket;
+        inner.next_ticket += 1;
+        inner.jobs.push_back(EmbedJob {
+            ticket,
+            sfc,
+            flow,
+            algo,
+            seed,
+            reply: tx,
+        });
+        self.ready.notify_one();
+        Ok(rx)
+    }
+
+    /// Next job, blocking; `None` once the queue is closed **and**
+    /// empty — the drain guarantee.
+    fn pop(&self) -> Option<EmbedJob> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        loop {
+            if let Some(job) = inner.jobs.pop_front() {
+                return Some(job);
+            }
+            if inner.closed {
+                return None;
+            }
+            let (guard, _) = self
+                .ready
+                .wait_timeout(inner, Duration::from_millis(50))
+                .expect("queue wait");
+            inner = guard;
+        }
+    }
+
+    fn close(&self) {
+        self.inner.lock().expect("queue lock").closed = true;
+        self.ready.notify_all();
+    }
+
+    fn depth(&self) -> usize {
+        self.inner.lock().expect("queue lock").jobs.len()
+    }
+}
+
+/// Serializes job completion in ticket order: a worker may hold job
+/// *n+1* solved-ready, but commits only after *n* has been served.
+struct TicketGate {
+    next: Mutex<u64>,
+    turn: Condvar,
+}
+
+impl TicketGate {
+    fn new() -> Self {
+        TicketGate {
+            next: Mutex::new(0),
+            turn: Condvar::new(),
+        }
+    }
+
+    fn wait_for(&self, ticket: u64) {
+        let mut next = self.next.lock().expect("gate lock");
+        while *next != ticket {
+            next = self.turn.wait(next).expect("gate wait");
+        }
+    }
+
+    fn advance(&self) {
+        *self.next.lock().expect("gate lock") += 1;
+        self.turn.notify_all();
+    }
+}
+
+/// Everything the handler and worker threads share.
+struct Shared<'n> {
+    engine: Mutex<Engine<'n>>,
+    /// Static-capacity path oracle over the base network, shared across
+    /// every handler thread for admission prechecks.
+    oracle: PathOracle<'n>,
+    queue: JobQueue,
+    gate: TicketGate,
+    shutdown: Arc<AtomicBool>,
+    default_algo: Algo,
+}
+
+impl Shared<'_> {
+    fn oracle_counters(&self) -> OracleCounters {
+        let s = self.oracle.stats();
+        OracleCounters {
+            hits: s.hits,
+            misses: s.misses,
+            evictions: s.evictions,
+            invalidations: s.invalidations,
+            hit_rate: s.hit_rate(),
+        }
+    }
+}
+
+/// Runs the daemon over `net` until `shutdown` is raised (by a client's
+/// `shutdown` command or externally), then drains and returns the final
+/// stats. Blocking; bind the listener first so the caller knows the
+/// address — see [`spawn`] for the owned-thread variant.
+pub fn run(
+    net: &Network,
+    cfg: &ServeConfig,
+    listener: TcpListener,
+    shutdown: Arc<AtomicBool>,
+) -> StatsReport {
+    listener
+        .set_nonblocking(true)
+        .expect("nonblocking listener");
+    let shared = Shared {
+        engine: Mutex::new(Engine::new(net)),
+        oracle: PathOracle::new(net),
+        queue: JobQueue::new(cfg.queue_capacity),
+        gate: TicketGate::new(),
+        shutdown: Arc::clone(&shutdown),
+        default_algo: cfg.algo,
+    };
+    crossbeam::thread::scope(|s| {
+        for _ in 0..cfg.workers.max(1) {
+            s.spawn(|| worker_loop(&shared));
+        }
+        loop {
+            if shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    s.spawn(|| handle_connection(stream, &shared));
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(_) => break,
+            }
+        }
+        // Stop admission; workers drain what is already queued.
+        shared.queue.close();
+    });
+    let engine = shared.engine.into_inner().expect("engine lock");
+    engine.stats(0, cfg.queue_capacity, {
+        let s = shared.oracle.stats();
+        OracleCounters {
+            hits: s.hits,
+            misses: s.misses,
+            evictions: s.evictions,
+            invalidations: s.invalidations,
+            hit_rate: s.hit_rate(),
+        }
+    })
+}
+
+/// A running daemon with an owned network, for tests and the CLI.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    thread: std::thread::JoinHandle<StatsReport>,
+}
+
+impl ServerHandle {
+    /// The bound address (use with `Client::connect`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Raises the shutdown flag without waiting.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Raises the shutdown flag and waits for the drain, returning the
+    /// final stats report.
+    pub fn join(self) -> StatsReport {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.thread.join().expect("server thread")
+    }
+}
+
+/// Binds `bind` (e.g. `"127.0.0.1:0"`) and runs the daemon on a
+/// background thread that owns `net`.
+pub fn spawn(net: Network, cfg: ServeConfig, bind: &str) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(bind)?;
+    let addr = listener.local_addr()?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let flag = Arc::clone(&shutdown);
+    let thread = std::thread::spawn(move || run(&net, &cfg, listener, flag));
+    Ok(ServerHandle {
+        addr,
+        shutdown,
+        thread,
+    })
+}
+
+fn worker_loop(shared: &Shared<'_>) {
+    while let Some(job) = shared.queue.pop() {
+        // Ticket gate: commit strictly in admission order, so results
+        // are independent of the worker-pool size.
+        shared.gate.wait_for(job.ticket);
+        let outcome = {
+            let mut engine = shared.engine.lock().expect("engine lock");
+            engine.embed(&job.sfc, &job.flow, job.algo, job.seed)
+        };
+        shared.gate.advance();
+        let resp = match outcome {
+            Ok(a) => WireResponse {
+                status: "accepted".into(),
+                lease: Some(a.lease.0),
+                cost: Some(a.cost),
+                ..WireResponse::default()
+            },
+            Err(e) => WireResponse::rejected(e.to_string()),
+        };
+        // A vanished client (dropped receiver) is not a server error.
+        let _ = job.reply.send(resp);
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Shared<'_>) {
+    stream
+        .set_read_timeout(Some(Duration::from_millis(100)))
+        .ok();
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    let mut line = String::new();
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match reader.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {
+                let resp = dispatch(&line, shared);
+                let done = resp.status == "bye";
+                let mut payload = serde_json::to_string(&resp)
+                    .unwrap_or_else(|_| "{\"status\":\"error\"}".into());
+                payload.push('\n');
+                if writer.write_all(payload.as_bytes()).is_err() {
+                    break;
+                }
+                line.clear();
+                if done {
+                    break;
+                }
+            }
+            // Timeout mid-line: the bytes read so far stay in `line`;
+            // keep appending on the next pass.
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {}
+            Err(_) => break,
+        }
+    }
+}
+
+fn dispatch(line: &str, shared: &Shared<'_>) -> WireResponse {
+    let trimmed = line.trim();
+    if trimmed.is_empty() {
+        return WireResponse::error("empty request line");
+    }
+    let mut req: WireRequest = match serde_json::from_str(trimmed) {
+        Ok(r) => r,
+        Err(e) => return WireResponse::error(format!("bad request: {e}")),
+    };
+    match req.cmd.as_str() {
+        "ping" => WireResponse::ok(),
+        "stats" => {
+            let engine = shared.engine.lock().expect("engine lock");
+            let stats = engine.stats(
+                shared.queue.depth(),
+                shared.queue.capacity,
+                shared.oracle_counters(),
+            );
+            WireResponse {
+                status: "ok".into(),
+                stats: Some(stats),
+                ..WireResponse::default()
+            }
+        }
+        "release" => {
+            let Some(lease) = req.lease else {
+                return WireResponse::error("release requires 'lease'");
+            };
+            let mut engine = shared.engine.lock().expect("engine lock");
+            match engine.release(LeaseId(lease)) {
+                Ok(()) => WireResponse::ok(),
+                Err(e) => WireResponse::error(e.to_string()),
+            }
+        }
+        "shutdown" => {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            shared.queue.close();
+            WireResponse {
+                status: "bye".into(),
+                ..WireResponse::default()
+            }
+        }
+        "embed" => {
+            let Some(sfc) = req.sfc.take() else {
+                return WireResponse::error("embed requires 'sfc'");
+            };
+            let Some(flow) = req.flow else {
+                return WireResponse::error("embed requires 'flow'");
+            };
+            embed_via_queue(sfc, flow, req.algo.take(), req.seed, shared)
+        }
+        "embed_preset" => {
+            let Some(name) = req.preset.as_deref() else {
+                return WireResponse::error("embed_preset requires 'preset'");
+            };
+            let Some(flow) = req.flow else {
+                return WireResponse::error("embed_preset requires 'flow'");
+            };
+            // A bad preset name or a sparse catalog is a protocol-level
+            // error, never a panic (`nfp::PresetError` is ordinary).
+            let hybrid = match dagsfc_nfp::hybrid_preset(
+                name,
+                TransformOptions {
+                    max_width: req.max_width,
+                },
+            ) {
+                Ok(h) => h,
+                Err(e) => return WireResponse::error(e.to_string()),
+            };
+            let catalog = VnfCatalog::new(dagsfc_nfp::enterprise_catalog().len() as u16);
+            let sfc = match DagSfc::from_hybrid(&hybrid, catalog) {
+                Ok(s) => s,
+                Err(e) => return WireResponse::error(format!("preset chain invalid: {e}")),
+            };
+            embed_via_queue(sfc, flow, req.algo.take(), req.seed, shared)
+        }
+        other => WireResponse::error(format!("unknown command '{other}'")),
+    }
+}
+
+/// Admission control, then the bounded queue, then the worker's reply.
+fn embed_via_queue(
+    sfc: DagSfc,
+    flow: Flow,
+    algo: Option<String>,
+    seed: Option<u64>,
+    shared: &Shared<'_>,
+) -> WireResponse {
+    let algo = match algo.as_deref() {
+        None => shared.default_algo,
+        Some(name) => match parse_algo(name) {
+            Some(a) => a,
+            None => return WireResponse::error(format!("unknown algorithm '{name}'")),
+        },
+    };
+    let seed = seed.unwrap_or(0);
+
+    // Admission 1: the solvers' own feasibility screen, against the
+    // base network (conservative: rejects only what every solver would
+    // reject too, so replay equivalence is preserved).
+    {
+        let mut engine = shared.engine.lock().expect("engine lock");
+        if let Err(e) = precheck(engine.network(), &sfc, &flow) {
+            engine.count_admission_rejection();
+            return WireResponse::rejected(format!("infeasible: {e}"));
+        }
+    }
+    // Admission 2: static-capacity reachability via the shared oracle.
+    if flow.src != flow.dst
+        && shared
+            .oracle
+            .tree(flow.src, flow.rate)
+            .path_to(flow.dst)
+            .is_none()
+    {
+        shared
+            .engine
+            .lock()
+            .expect("engine lock")
+            .count_admission_rejection();
+        return WireResponse::rejected(format!(
+            "infeasible: no path {} -> {} at rate {}",
+            flow.src, flow.dst, flow.rate
+        ));
+    }
+    // Admission 3: bounded queue (backpressure).
+    match shared.queue.try_enqueue(sfc, flow, algo, seed) {
+        Ok(reply) => reply
+            .recv()
+            .unwrap_or_else(|_| WireResponse::error("server shutting down")),
+        Err(EnqueueError::Full) => {
+            shared
+                .engine
+                .lock()
+                .expect("engine lock")
+                .count_admission_rejection();
+            WireResponse::rejected("queue full")
+        }
+        Err(EnqueueError::Closed) => WireResponse::error("server shutting down"),
+    }
+}

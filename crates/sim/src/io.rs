@@ -104,6 +104,22 @@ pub fn save_sweep(path: &Path, sweep: &SweepResult) -> Result<(), IoError> {
     Ok(())
 }
 
+/// Saves a replay trace (see [`crate::lifecycle::ReplayTrace`]) as
+/// pretty JSON.
+pub fn save_trace(path: &Path, trace: &crate::lifecycle::ReplayTrace) -> Result<(), IoError> {
+    fs::write(path, serde_json::to_string_pretty(trace)?)?;
+    Ok(())
+}
+
+/// Loads a replay trace saved by [`save_trace`], checking the version.
+pub fn load_trace(path: &Path) -> Result<crate::lifecycle::ReplayTrace, IoError> {
+    let trace: crate::lifecycle::ReplayTrace = serde_json::from_str(&fs::read_to_string(path)?)?;
+    if trace.format_version != crate::lifecycle::TRACE_FORMAT_VERSION {
+        return Err(IoError::UnsupportedVersion(trace.format_version));
+    }
+    Ok(trace)
+}
+
 /// A solved instance: the embedding a solver produced, with provenance.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SavedSolution {
@@ -279,6 +295,29 @@ mod tests {
         // reproduces the saved cost exactly.
         let cost = validate(&inst.network, &inst.sfc, &inst.flow, &loaded.embedding).unwrap();
         assert!((cost.total() - loaded.cost.total()).abs() < 1e-12);
+        fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn trace_roundtrip() {
+        use crate::lifecycle::{export_trace, LifecycleConfig};
+        let dir = tmpdir();
+        let path = dir.join("trace.json");
+        let trace = export_trace(&LifecycleConfig {
+            base: SimConfig {
+                network_size: 20,
+                sfc_size: 3,
+                ..SimConfig::default()
+            },
+            arrivals: 25,
+            mean_holding: 4.0,
+            algo: Algo::Mbbe,
+        });
+        save_trace(&path, &trace).unwrap();
+        let loaded = load_trace(&path).unwrap();
+        assert_eq!(loaded.depart_at, trace.depart_at);
+        assert_eq!(loaded.arrivals, trace.arrivals);
+        assert_eq!(loaded.algo, trace.algo);
         fs::remove_dir_all(dir).ok();
     }
 

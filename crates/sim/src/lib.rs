@@ -31,7 +31,11 @@ pub mod trace;
 pub mod workload;
 
 pub use config::SimConfig;
-pub use lifecycle::{run_lifecycle, LifecycleConfig, LifecycleMetrics};
+pub use lifecycle::{
+    arrival_seed, embed_and_commit, export_trace, run_lifecycle, run_lifecycle_detailed, run_trace,
+    ArrivalOutcome, EmbedRejection, EmbedSuccess, LifecycleConfig, LifecycleMetrics,
+    LifecycleOutcome, ReplayTrace,
+};
 pub use online::{acceptance_sweep, run_online, OnlineConfig, OnlineMetrics};
 pub use runner::{run_instance, Algo, AlgoResult, InstanceResult};
 pub use stats::Summary;

@@ -8,18 +8,33 @@
 //! system reaches a steady state whose acceptance ratio measures how
 //! much traffic an embedding algorithm can *sustain*, not just admit
 //! once — the metric cloud operators actually tune for.
+//!
+//! The module is built around two serving-grade primitives that
+//! `dagsfc-serve` shares verbatim, so the research path and the
+//! daemon's serving path cannot drift apart:
+//!
+//! * [`embed_and_commit`] — the per-request kernel: solve over the
+//!   residual network, account the loads, and commit them atomically to
+//!   a [`CommitLedger`], yielding a lease;
+//! * [`ReplayTrace`] — a solver-independent arrival/departure schedule.
+//!   Holding times are drawn for **every** arrival up front (accepted
+//!   or not), so the schedule depends only on the seed: an external
+//!   replayer that learns acceptance per-request still produces the
+//!   exact event order of the in-process simulation.
 
 use crate::config::SimConfig;
 use crate::runner::{instance_network, instance_request, Algo};
-use dagsfc_net::{LinkId, NetworkState, NodeId, VnfTypeId};
+use dagsfc_core::solvers::{SolveOutcome, SolverStats};
+use dagsfc_core::{CostBreakdown, DagSfc, Flow, ModelError, SolveError};
+use dagsfc_net::{CommitLedger, LeaseId, LinkId, NetError, Network};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 /// Configuration of a lifecycle simulation.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct LifecycleConfig {
     /// Network/chain/flow parameters (finite capacities make it
     /// interesting).
@@ -64,20 +79,202 @@ impl LifecycleMetrics {
     }
 }
 
-/// The resources one accepted request committed.
-struct Commitment {
-    vnf: Vec<(NodeId, VnfTypeId, f64)>,
-    links: Vec<(LinkId, f64)>,
+/// One arrival's fate, in arrival order.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ArrivalOutcome {
+    /// Whether the request was embedded.
+    pub accepted: bool,
+    /// Its objective cost (`0.0` when rejected).
+    pub cost: f64,
 }
 
-/// Runs the lifecycle simulation.
-pub fn run_lifecycle(cfg: &LifecycleConfig) -> LifecycleMetrics {
-    let net = instance_network(&cfg.base);
-    let mut state = NetworkState::new(&net);
-    // Departure queue: (Reverse(time in fixed-point µ-intervals), id).
-    let mut departures: BinaryHeap<(Reverse<u64>, usize)> = BinaryHeap::new();
-    let mut commitments: Vec<Option<Commitment>> = Vec::new();
+/// Full per-event record of a lifecycle run — everything the
+/// replay-equivalence check compares bit-for-bit.
+#[derive(Debug, Clone, Serialize)]
+pub struct LifecycleOutcome {
+    /// The aggregate metrics.
+    pub metrics: LifecycleMetrics,
+    /// Per-arrival acceptance and cost, in arrival order.
+    pub per_arrival: Vec<ArrivalOutcome>,
+    /// Arrival indices in the order their leases were released
+    /// (including the final drain).
+    pub departure_order: Vec<usize>,
+}
 
+impl LifecycleOutcome {
+    /// Sum of accepted costs (bit-identical across runs: summation is
+    /// in arrival order).
+    pub fn total_cost(&self) -> f64 {
+        self.per_arrival.iter().map(|a| a.cost).sum()
+    }
+}
+
+/// Current trace format version (see [`ReplayTrace::format_version`]).
+pub const TRACE_FORMAT_VERSION: u32 = 1;
+
+/// A solver-independent arrival/departure schedule: the offered load of
+/// a lifecycle run, frozen so it can be replayed through an external
+/// serving process.
+///
+/// `depart_at[i]` is the **absolute** departure time of arrival `i` in
+/// fixed-point µ-intervals (see [`to_fixed`]), valid whether or not the
+/// request ends up accepted — the replayer simply never schedules the
+/// departure of a rejected request.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReplayTrace {
+    /// Version tag for forward compatibility.
+    pub format_version: u32,
+    /// Network/chain/flow parameters (the replayer regenerates the
+    /// network and per-arrival requests from this).
+    pub base: SimConfig,
+    /// The embedding algorithm to run.
+    pub algo: Algo,
+    /// Number of arrivals (one per time unit).
+    pub arrivals: usize,
+    /// Mean holding time the schedule was drawn with (provenance).
+    pub mean_holding: f64,
+    /// Fixed-point absolute departure time per arrival.
+    pub depart_at: Vec<u64>,
+}
+
+/// Time in fixed-point µ-intervals: the lifecycle's event clock.
+/// Integer comparison keeps departure-vs-arrival ordering exact across
+/// processes.
+pub fn to_fixed(t: f64) -> u64 {
+    (t * 1_000_000.0) as u64
+}
+
+/// The solver seed for arrival `i` under base seed `base` — shared by
+/// the simulator and the daemon so both solve identically.
+pub fn arrival_seed(base: u64, arrival: usize) -> u64 {
+    base ^ ((arrival as u64) << 1)
+}
+
+/// Why [`embed_and_commit`] turned a request away.
+#[derive(Debug, Clone)]
+pub enum EmbedRejection {
+    /// The solver found no feasible embedding.
+    Solve(SolveError),
+    /// The solver's embedding failed reuse accounting (references an
+    /// undeployed instance) — should not happen, but never aborts.
+    Account(ModelError),
+    /// The ledger refused the commit (capacity raced away) — should not
+    /// happen when solving over the ledger's own residual.
+    Commit(NetError),
+}
+
+impl std::fmt::Display for EmbedRejection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EmbedRejection::Solve(e) => write!(f, "{e}"),
+            EmbedRejection::Account(e) => write!(f, "accounting failed: {e}"),
+            EmbedRejection::Commit(e) => write!(f, "commit failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EmbedRejection {}
+
+/// An accepted request: its lease plus the solve it came from.
+#[derive(Debug)]
+pub struct EmbedSuccess {
+    /// Handle for the committed resources (release on departure).
+    pub lease: LeaseId,
+    /// Objective cost of the embedding.
+    pub cost: CostBreakdown,
+    /// The solver's instrumentation counters.
+    pub stats: SolverStats,
+    /// The full solve outcome (embedding included).
+    pub outcome: SolveOutcome,
+}
+
+/// The per-request serving kernel: solve `(sfc, flow)` over `residual`
+/// with `algo` seeded by `seed`, account the embedding's loads, and
+/// commit them atomically to `ledger`.
+///
+/// `residual` must reflect `ledger`'s current state (callers either
+/// pass `ledger.residual()` or an epoch-tagged cache of it); the commit
+/// then cannot fail, but if it ever does the ledger is left untouched
+/// and the request is merely rejected. Both `run_lifecycle` and the
+/// `dagsfc-serve` daemon route every request through this function —
+/// that shared path is what makes trace replay bit-for-bit equivalent.
+pub fn embed_and_commit(
+    ledger: &mut CommitLedger<'_>,
+    residual: &Network,
+    sfc: &DagSfc,
+    flow: &Flow,
+    algo: Algo,
+    seed: u64,
+) -> Result<EmbedSuccess, EmbedRejection> {
+    let solver = algo.build(seed);
+    let out = solver
+        .solve(residual, sfc, flow)
+        .map_err(EmbedRejection::Solve)?;
+    let acct = out
+        .embedding
+        .try_account(residual, sfc, flow)
+        .map_err(EmbedRejection::Account)?;
+    let vnf_loads = acct
+        .vnf_load
+        .iter()
+        .map(|(&(node, kind), &load)| (node, kind, load));
+    let link_loads = acct
+        .link_load
+        .iter()
+        .enumerate()
+        .map(|(i, &load)| (LinkId(i as u32), load));
+    let lease = ledger
+        .commit(vnf_loads, link_loads)
+        .map_err(EmbedRejection::Commit)?;
+    Ok(EmbedSuccess {
+        lease,
+        cost: out.cost,
+        stats: out.stats.clone(),
+        outcome: out,
+    })
+}
+
+/// Freezes the offered load of `cfg` into a replayable schedule.
+///
+/// Exponential holding: `-mean · ln(U)` with a floor of one interval so
+/// every request occupies at least one slot. The draw happens for every
+/// arrival — accepted or not — so the schedule is independent of which
+/// solver runs and of what it decides.
+pub fn export_trace(cfg: &LifecycleConfig) -> ReplayTrace {
+    let mut holding_rng = StdRng::seed_from_u64(cfg.base.seed ^ 0x11FE_C7C1E);
+    let depart_at = (0..cfg.arrivals)
+        .map(|arrival| {
+            let u: f64 = holding_rng.gen_range(1e-12..1.0);
+            let holding = (-cfg.mean_holding * u.ln()).max(1.0);
+            to_fixed(arrival as f64 + holding)
+        })
+        .collect();
+    ReplayTrace {
+        format_version: TRACE_FORMAT_VERSION,
+        base: cfg.base.clone(),
+        algo: cfg.algo,
+        arrivals: cfg.arrivals,
+        mean_holding: cfg.mean_holding,
+        depart_at,
+    }
+}
+
+/// Runs a frozen schedule in-process against `net`.
+///
+/// Event order: before arrival `i`, every scheduled departure with time
+/// `≤ i` fires, ties broken by ascending arrival index; then arrival
+/// `i` is offered. This is exactly the order an external replayer
+/// produces over the wire, which is what makes the daemon's results
+/// comparable bit-for-bit.
+pub fn run_trace(net: &Network, trace: &ReplayTrace) -> LifecycleOutcome {
+    let mut ledger = CommitLedger::new(net);
+    // Departure queue: Reverse((time, arrival)) — min-time first,
+    // ascending arrival index on ties.
+    let mut departures: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+    let mut leases: Vec<Option<LeaseId>> = vec![None; trace.arrivals];
+
+    let mut per_arrival = Vec::with_capacity(trace.arrivals);
+    let mut departure_order = Vec::new();
     let mut accepted = 0usize;
     let mut rejected = 0usize;
     let mut total_cost = 0.0;
@@ -85,105 +282,92 @@ pub fn run_lifecycle(cfg: &LifecycleConfig) -> LifecycleMetrics {
     let mut peak = 0usize;
     let mut concurrent_integral = 0.0;
 
-    let mut holding_rng = StdRng::seed_from_u64(cfg.base.seed ^ 0x11FE_C7C1E);
-    let to_fixed = |t: f64| (t * 1_000_000.0) as u64;
-
-    for arrival in 0..cfg.arrivals {
-        let now = arrival as f64;
-        // Process departures due before this arrival.
-        while let Some(&(Reverse(t), id)) = departures.peek() {
-            if t > to_fixed(now) {
+    for arrival in 0..trace.arrivals {
+        let now = to_fixed(arrival as f64);
+        while let Some(&Reverse((t, id))) = departures.peek() {
+            if t > now {
                 break;
             }
             departures.pop();
-            let c = commitments[id].take().expect("departs once");
-            for (node, kind, rate) in c.vnf {
-                state
-                    .release_vnf(node, kind, rate)
-                    .expect("release matches reserve");
-            }
-            for (link, rate) in c.links {
-                state
-                    .release_link(link, rate)
-                    .expect("release matches reserve");
-            }
+            let lease = leases[id].take().expect("departs once");
+            ledger.release(lease).expect("lease is active");
+            departure_order.push(id);
             concurrent -= 1;
         }
         concurrent_integral += concurrent as f64;
 
-        let (sfc, flow) = instance_request(&cfg.base, &net, arrival);
-        let residual = state.to_residual_network();
-        let solver = cfg.algo.build(cfg.base.seed ^ (arrival as u64) << 1);
-        match solver.solve(&residual, &sfc, &flow) {
-            Ok(out) => {
-                let acct = out.embedding.account(&residual, &sfc, &flow);
-                let mut commitment = Commitment {
-                    vnf: Vec::new(),
-                    links: Vec::new(),
-                };
-                for (&(node, kind), &load) in &acct.vnf_load {
-                    state
-                        .reserve_vnf(node, kind, load)
-                        .expect("solver respected residual capacity");
-                    commitment.vnf.push((node, kind, load));
-                }
-                for (i, &load) in acct.link_load.iter().enumerate() {
-                    if load > 0.0 {
-                        let link = LinkId(i as u32);
-                        state
-                            .reserve_link(link, load)
-                            .expect("solver respected residual bandwidth");
-                        commitment.links.push((link, load));
-                    }
-                }
-                let id = commitments.len();
-                commitments.push(Some(commitment));
-                // Exponential holding: -mean · ln(U), with a floor of one
-                // interval so every request occupies at least one slot.
-                let u: f64 = holding_rng.gen_range(1e-12..1.0);
-                let holding = (-cfg.mean_holding * u.ln()).max(1.0);
-                departures.push((Reverse(to_fixed(now + holding)), id));
+        let (sfc, flow) = instance_request(&trace.base, net, arrival);
+        let residual = ledger.residual();
+        match embed_and_commit(
+            &mut ledger,
+            &residual,
+            &sfc,
+            &flow,
+            trace.algo,
+            arrival_seed(trace.base.seed, arrival),
+        ) {
+            Ok(s) => {
+                leases[arrival] = Some(s.lease);
+                departures.push(Reverse((trace.depart_at[arrival], arrival)));
                 concurrent += 1;
                 peak = peak.max(concurrent);
                 accepted += 1;
-                total_cost += out.cost.total();
+                let cost = s.cost.total();
+                total_cost += cost;
+                per_arrival.push(ArrivalOutcome {
+                    accepted: true,
+                    cost,
+                });
             }
-            Err(_) => rejected += 1,
+            Err(_) => {
+                rejected += 1;
+                per_arrival.push(ArrivalOutcome {
+                    accepted: false,
+                    cost: 0.0,
+                });
+            }
         }
     }
 
     // Drain all remaining departures to measure leakage.
-    while let Some((_, id)) = departures.pop() {
-        let c = commitments[id].take().expect("departs once");
-        for (node, kind, rate) in c.vnf {
-            state
-                .release_vnf(node, kind, rate)
-                .expect("release matches reserve");
-        }
-        for (link, rate) in c.links {
-            state
-                .release_link(link, rate)
-                .expect("release matches reserve");
-        }
+    while let Some(Reverse((_, id))) = departures.pop() {
+        let lease = leases[id].take().expect("departs once");
+        ledger.release(lease).expect("lease is active");
+        departure_order.push(id);
     }
 
-    LifecycleMetrics {
-        algo: cfg.algo.name(),
-        accepted,
-        rejected,
-        mean_cost: if accepted == 0 {
-            0.0
-        } else {
-            total_cost / accepted as f64
+    LifecycleOutcome {
+        metrics: LifecycleMetrics {
+            algo: trace.algo.name(),
+            accepted,
+            rejected,
+            mean_cost: if accepted == 0 {
+                0.0
+            } else {
+                total_cost / accepted as f64
+            },
+            peak_concurrent: peak,
+            mean_concurrent: if trace.arrivals == 0 {
+                0.0
+            } else {
+                concurrent_integral / trace.arrivals as f64
+            },
+            final_leak: ledger.outstanding_load(),
         },
-        peak_concurrent: peak,
-        mean_concurrent: if cfg.arrivals == 0 {
-            0.0
-        } else {
-            concurrent_integral / cfg.arrivals as f64
-        },
-        final_leak: state.total_link_load() + state.total_vnf_load(),
+        per_arrival,
+        departure_order,
     }
+}
+
+/// Runs the lifecycle simulation with full per-event detail.
+pub fn run_lifecycle_detailed(cfg: &LifecycleConfig) -> LifecycleOutcome {
+    let net = instance_network(&cfg.base);
+    run_trace(&net, &export_trace(cfg))
+}
+
+/// Runs the lifecycle simulation (aggregate metrics only).
+pub fn run_lifecycle(cfg: &LifecycleConfig) -> LifecycleMetrics {
+    run_lifecycle_detailed(cfg).metrics
 }
 
 #[cfg(test)]
@@ -242,18 +426,54 @@ mod tests {
     }
 
     #[test]
-    fn deterministic() {
+    fn deterministic_bit_for_bit() {
+        // Same seed + config ⇒ identical acceptance, cost series, and
+        // departure order — the property the trace-replay equivalence
+        // acceptance criterion builds on.
         let cfg = LifecycleConfig {
             base: base(),
             arrivals: 40,
             mean_holding: 5.0,
             algo: Algo::Minv,
         };
-        let a = run_lifecycle(&cfg);
-        let b = run_lifecycle(&cfg);
-        assert_eq!(a.accepted, b.accepted);
-        assert_eq!(a.peak_concurrent, b.peak_concurrent);
-        assert!((a.mean_cost - b.mean_cost).abs() < 1e-12);
+        let a = run_lifecycle_detailed(&cfg);
+        let b = run_lifecycle_detailed(&cfg);
+        assert_eq!(a.metrics.accepted, b.metrics.accepted);
+        assert_eq!(a.metrics.peak_concurrent, b.metrics.peak_concurrent);
+        // Bit-for-bit: exact f64 equality, not tolerance.
+        assert_eq!(a.per_arrival, b.per_arrival);
+        assert_eq!(a.departure_order, b.departure_order);
+        assert_eq!(a.total_cost(), b.total_cost());
+        assert_eq!(a.metrics.mean_cost, b.metrics.mean_cost);
+    }
+
+    #[test]
+    fn trace_schedule_is_solver_independent() {
+        // The frozen schedule must not depend on which algorithm runs.
+        let mk = |algo| LifecycleConfig {
+            base: base(),
+            arrivals: 30,
+            mean_holding: 4.0,
+            algo,
+        };
+        let a = export_trace(&mk(Algo::Minv));
+        let b = export_trace(&mk(Algo::Mbbe));
+        assert_eq!(a.depart_at, b.depart_at);
+    }
+
+    #[test]
+    fn replaying_exported_trace_matches_direct_run() {
+        let cfg = LifecycleConfig {
+            base: base(),
+            arrivals: 40,
+            mean_holding: 5.0,
+            algo: Algo::Mbbe,
+        };
+        let direct = run_lifecycle_detailed(&cfg);
+        let net = instance_network(&cfg.base);
+        let replayed = run_trace(&net, &export_trace(&cfg));
+        assert_eq!(direct.per_arrival, replayed.per_arrival);
+        assert_eq!(direct.departure_order, replayed.departure_order);
     }
 
     #[test]
@@ -273,5 +493,28 @@ mod tests {
         });
         assert_eq!(lc.accepted, ol.accepted);
         assert_eq!(lc.rejected, ol.rejected);
+    }
+
+    #[test]
+    fn embed_and_commit_round_trips_through_ledger() {
+        let cfg = base();
+        let net = instance_network(&cfg);
+        let mut ledger = CommitLedger::new(&net);
+        let (sfc, flow) = instance_request(&cfg, &net, 0);
+        let residual = ledger.residual();
+        let s = embed_and_commit(
+            &mut ledger,
+            &residual,
+            &sfc,
+            &flow,
+            Algo::Minv,
+            arrival_seed(cfg.seed, 0),
+        )
+        .expect("fresh network admits the first request");
+        assert!(ledger.is_active(s.lease));
+        assert!(ledger.outstanding_load() > 0.0);
+        assert!(s.cost.total() > 0.0);
+        ledger.release(s.lease).unwrap();
+        assert!(ledger.outstanding_load().abs() < 1e-12);
     }
 }

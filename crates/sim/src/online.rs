@@ -84,12 +84,18 @@ pub fn run_online(cfg: &OnlineConfig) -> OnlineMetrics {
         // the capacity that is still available.
         let residual = state.to_residual_network();
         let solver = cfg.algo.build(cfg.base.seed ^ (run as u64) << 1);
-        match solver.solve(&residual, &sfc, &flow) {
-            Ok(out) => {
+        // A solver success whose embedding fails accounting (it should
+        // never happen: solvers only place deployed instances) counts as
+        // a rejection rather than aborting the sweep.
+        let solved = solver.solve(&residual, &sfc, &flow).ok().and_then(|out| {
+            let acct = out.embedding.try_account(&residual, &sfc, &flow).ok()?;
+            Some((out, acct))
+        });
+        match solved {
+            Some((out, acct)) => {
                 // Commit the accepted embedding's loads. The solver
                 // validated against the residual capacities, so all
                 // reservations must succeed.
-                let acct = out.embedding.account(&residual, &sfc, &flow);
                 for (&(node, kind), &load) in &acct.vnf_load {
                     state
                         .reserve_vnf(node, kind, load)
@@ -105,7 +111,7 @@ pub fn run_online(cfg: &OnlineConfig) -> OnlineMetrics {
                 accepted += 1;
                 total_cost += out.cost.total();
             }
-            Err(_) => rejected += 1,
+            None => rejected += 1,
         }
     }
 

@@ -80,9 +80,12 @@ fn run_with_endpoints(
         let flow = endpoints.draw(cfg, net, &mut rng);
         let residual = state.to_residual_network();
         let solver = algo.build(cfg.seed ^ run as u64);
-        match solver.solve(&residual, &sfc, &flow) {
-            Ok(out) => {
-                let acct = out.embedding.account(&residual, &sfc, &flow);
+        let solved = solver.solve(&residual, &sfc, &flow).ok().and_then(|out| {
+            let acct = out.embedding.try_account(&residual, &sfc, &flow).ok()?;
+            Some((out, acct))
+        });
+        match solved {
+            Some((out, acct)) => {
                 for (&(node, kind), &load) in &acct.vnf_load {
                     state
                         .reserve_vnf(node, kind, load)
@@ -98,7 +101,7 @@ fn run_with_endpoints(
                 accepted += 1;
                 total_cost += out.cost.total();
             }
-            Err(_) => rejected += 1,
+            None => rejected += 1,
         }
     }
     OnlineMetrics {

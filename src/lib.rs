@@ -11,7 +11,11 @@
 //! * [`core`] — the DAG-SFC abstraction, cost model, validator, and the
 //!   BBE/MBBE/RANV/MINV/exact solvers;
 //! * [`sim`] — the evaluation harness regenerating every figure of the
-//!   paper.
+//!   paper;
+//! * [`serve`] — the `dagsfc-serve` daemon: a long-lived embedding
+//!   service with admission control, a lease ledger, and trace replay
+//!   that reproduces the simulation bit for bit over TCP (see
+//!   `docs/SERVICE.md`).
 //!
 //! ## Quickstart
 //!
@@ -43,4 +47,5 @@
 pub use dagsfc_core as core;
 pub use dagsfc_net as net;
 pub use dagsfc_nfp as nfp;
+pub use dagsfc_serve as serve;
 pub use dagsfc_sim as sim;

@@ -8,6 +8,10 @@
 //! dagsfc online    --nodes 60 --requests 100 --capacity 8 --algo mbbe,ranv
 //! dagsfc figures   [fig6a|...|runtime|all] [--full]
 //! dagsfc ilp       --nodes 8 --sfc-size 2 --seed 1 [--out model.lp]
+//! dagsfc serve     --addr 127.0.0.1:4600 --workers 2 --queue 64 --algo mbbe
+//! dagsfc client    ping|stats|embed|release|replay|shutdown --addr HOST:PORT
+//! dagsfc trace     --out trace.json --arrivals 50 --mean-holding 8
+//! dagsfc replay    --trace trace.json --workers 4 --verify
 //! ```
 //!
 //! Everything is deterministic in `--seed`.
@@ -29,6 +33,24 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     };
     let rest: Vec<String> = args.collect();
+    // The serving subcommands share the serve crate's own CLI layer
+    // (the same code behind the standalone `dagsfc-serve` binary).
+    let served = match command.as_str() {
+        "serve" => Some(dagsfc::serve::cli::daemon_main(&rest)),
+        "client" => Some(dagsfc::serve::cli::client_main(&rest)),
+        "trace" => Some(dagsfc::serve::cli::trace_main(&rest)),
+        "replay" => Some(dagsfc::serve::cli::replay_main(&rest)),
+        _ => None,
+    };
+    if let Some(result) = served {
+        return match result {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let opts = match Opts::parse(&rest) {
         Ok(o) => o,
         Err(e) => {
@@ -72,7 +94,12 @@ USAGE:
   dagsfc figures   [fig6a|fig6b|fig6c|fig6d|fig6e|fig6f|runtime|all] [--full] [--out-dir DIR]
   dagsfc topology  [--nodes N] [--runs R] [--sfc-size L]
   dagsfc quality   [--nodes N] [--runs R] [--exact]
-  dagsfc ilp       [--nodes N] [--sfc-size L] [--seed S] [--k K] [--out FILE]";
+  dagsfc ilp       [--nodes N] [--sfc-size L] [--seed S] [--k K] [--out FILE]
+  dagsfc serve     [--addr A] [--workers W] [--queue Q] [--algo NAME]
+                   [--network FILE | --nodes N --seed S --capacity C]
+  dagsfc client    ping|stats|embed|release|replay|shutdown --addr HOST:PORT [...]
+  dagsfc trace     --out FILE [--arrivals R] [--mean-holding H] [--algo NAME]
+  dagsfc replay    --trace FILE [--workers W] [--queue Q] [--verify]";
 
 /// Minimal `--key value` / positional argument parser.
 struct Opts {

@@ -99,7 +99,7 @@ fn all_presets_embed() {
     let flow = Flow::unit(NodeId(0), NodeId(59));
     for preset in PRESETS {
         let hybrid = hybrid_preset(preset.name, TransformOptions { max_width: Some(3) })
-            .expect("preset exists");
+            .expect("preset resolves");
         let sfc = dagsfc::core::DagSfc::from_hybrid(&hybrid, catalog).unwrap();
         let out = MbbeSolver::new()
             .solve(&net, &sfc, &flow)

@@ -135,7 +135,7 @@ fn validator_cost_matches_account() {
     for seed in 10u64..16 {
         let (net, sfc, flow, emb) = setup(seed);
         let v = validate(&net, &sfc, &flow, &emb).unwrap();
-        let a = emb.cost(&net, &sfc, &flow);
+        let a = emb.try_cost(&net, &sfc, &flow).unwrap();
         assert!((v.total() - a.total()).abs() < 1e-12);
         assert!((v.vnf - a.vnf).abs() < 1e-12);
         assert!((v.link - a.link).abs() < 1e-12);

@@ -206,7 +206,7 @@ proptest! {
         ).expect("valid chain");
         let flow = Flow::unit(NodeId(0), NodeId(19));
         if let Ok(out) = MbbeSolver::new().solve(&net, &sfc, &flow) {
-            let acct = out.embedding.account(&net, &sfc, &flow);
+            let acct = out.embedding.try_account(&net, &sfc, &flow).unwrap();
             // Naive accounting: every path charged independently.
             let naive: f64 = out
                 .embedding
