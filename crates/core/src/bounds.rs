@@ -47,6 +47,7 @@ pub fn cost_lower_bound(net: &Network, sfc: &DagSfc, flow: &Flow) -> Option<Cost
     let link = if flow.src == flow.dst {
         0.0
     } else {
+        // lint:allow(raw-routing) — one-shot static bound over the full network; no oracle in scope
         min_cost_path(net, flow.src, flow.dst, &NoFilter)?.price(net) * flow.size
     };
     Some(CostBreakdown { vnf, link })

@@ -89,6 +89,7 @@ impl DelayModel {
             }
         }
         // Final hop to the destination.
+        // lint:allow(expect) — invariant: final path exists
         total += self.path_us(paths.last().expect("final path exists"));
         total
     }
@@ -132,6 +133,7 @@ impl DelayModel {
             }
             out.push((l, slowest));
         }
+        // lint:allow(expect) — invariant: final path
         out.push((usize::MAX, self.path_us(paths.last().expect("final path"))));
         out
     }
@@ -166,6 +168,7 @@ impl DelayModel {
                 total += self.merge_us;
             }
         }
+        // lint:allow(expect) — invariant: final path exists
         total += self.path_us(paths.last().expect("final path exists"));
         total
     }

@@ -69,6 +69,16 @@ pub enum SolveError {
     Infeasible(String),
     /// Model-level failure.
     Model(ModelError),
+    /// The solver produced an embedding, but the audit gate
+    /// ([`crate::solvers::audit_outcome`]) found it violates the model
+    /// constraints or misreports its cost — a solver bug surfaced as an
+    /// error instead of a corrupted result.
+    AuditFailed {
+        /// Solver that produced the offending embedding.
+        solver: &'static str,
+        /// The violations, rendered one per entry.
+        violations: Vec<String>,
+    },
 }
 
 impl fmt::Display for SolveError {
@@ -79,6 +89,13 @@ impl fmt::Display for SolveError {
             }
             SolveError::Infeasible(why) => write!(f, "request infeasible: {why}"),
             SolveError::Model(e) => write!(f, "model error: {e}"),
+            SolveError::AuditFailed { solver, violations } => {
+                write!(
+                    f,
+                    "{solver}: embedding failed the constraint audit: {}",
+                    violations.join("; ")
+                )
+            }
         }
     }
 }

@@ -37,8 +37,8 @@ pub use ilp::{IlpModel, IlpStats};
 pub use metapath::{meta_path_count, meta_paths, Endpoint, MetaPath, MetaPathKind};
 pub use protect::{protect, ProtectError, ProtectedEmbedding};
 pub use solvers::{
-    BbeConfig, BbeSolver, ExactSolver, MbbeSolver, MbbeStSolver, MinvSolver, RanvSolver,
-    SolveOutcome, Solver, SolverStats,
+    audit_outcome, BbeConfig, BbeSolver, ExactSolver, MbbeSolver, MbbeStSolver, MinvSolver,
+    RanvSolver, SolveCtx, SolveOutcome, Solver, SolverStats, AUDIT_COST_TOLERANCE,
 };
 pub use validate::{validate, Violation};
 pub use vnf::VnfCatalog;

@@ -45,7 +45,13 @@ impl RanvSolver {
 impl PickNode for RanvSolver {
     fn pick(&self, _net: &Network, _kind: VnfTypeId, feasible: &[NodeId]) -> NodeId {
         *feasible
-            .choose(&mut *self.rng.lock().expect("rng poisoned"))
+            .choose(
+                &mut *self
+                    .rng
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner),
+            )
+            // lint:allow(expect) — invariant: feasible set checked non-empty
             .expect("feasible set checked non-empty")
     }
 }
@@ -55,7 +61,7 @@ impl Solver for RanvSolver {
         "RANV"
     }
 
-    fn solve_in(
+    fn solve_raw(
         &self,
         ctx: &SolveCtx<'_>,
         sfc: &DagSfc,
@@ -83,8 +89,9 @@ impl PickNode for MinvSolver {
             .min_by(|&&a, &&b| {
                 let pa = net.vnf_price(a, kind).unwrap_or(f64::INFINITY);
                 let pb = net.vnf_price(b, kind).unwrap_or(f64::INFINITY);
-                pa.partial_cmp(&pb).expect("finite prices").then(a.cmp(&b))
+                pa.total_cmp(&pb).then(a.cmp(&b))
             })
+            // lint:allow(expect) — invariant: feasible set checked non-empty
             .expect("feasible set checked non-empty")
     }
 }
@@ -94,7 +101,7 @@ impl Solver for MinvSolver {
         "MINV"
     }
 
-    fn solve_in(
+    fn solve_raw(
         &self,
         ctx: &SolveCtx<'_>,
         sfc: &DagSfc,
@@ -149,6 +156,7 @@ fn assign_then_route(
             let node = pick.pick(net, kind, &feasible);
             state
                 .reserve_vnf(node, kind, flow.rate)
+                // lint:allow(expect) — invariant: feasibility just checked
                 .expect("feasibility just checked");
             slots.push(node);
         }

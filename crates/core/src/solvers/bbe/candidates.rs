@@ -236,7 +236,7 @@ fn slot_candidates(
     cands.sort_by(|&a, &b| {
         let pa = ctx.net.vnf_price(a, kind).unwrap_or(f64::INFINITY);
         let pb = ctx.net.vnf_price(b, kind).unwrap_or(f64::INFINITY);
-        pa.partial_cmp(&pb).expect("finite prices").then(a.cmp(&b))
+        pa.total_cmp(&pb).then(a.cmp(&b))
     });
     cands.truncate(ctx.cfg.max_candidates_per_slot);
     cands
@@ -253,6 +253,7 @@ pub(crate) fn singleton_layer_subs(
     let kind = layer.vnfs()[0];
     let mut subs = Vec::new();
     for node in slot_candidates(ctx, fst, kind) {
+        // lint:allow(expect) — invariant: candidate hosts kind
         let price = ctx.net.vnf_price(node, kind).expect("candidate hosts kind");
         for path in inter_path_options(ctx, fst, node) {
             let cost = layer_cost(ctx, price, std::slice::from_ref(&path), &[]);
@@ -318,6 +319,7 @@ pub(crate) fn parallel_layer_subs(
                     let vnf_prices: f64 = assignment
                         .iter()
                         .zip(layer.vnfs())
+                        // lint:allow(expect) — invariant: candidate hosts kind
                         .map(|(&n, &k)| ctx.net.vnf_price(n, k).expect("candidate hosts kind"))
                         .sum::<f64>()
                         + merger_inst.price;
@@ -353,7 +355,9 @@ pub(crate) fn parallel_layer_subs(
             )
             .into_iter()
             .map(|mut v| {
+                // lint:allow(expect) — invariant: pair
                 let inner = v.pop().expect("pair");
+                // lint:allow(expect) — invariant: pair
                 let inter = v.pop().expect("pair");
                 (inter, inner)
             })
@@ -366,6 +370,7 @@ pub(crate) fn parallel_layer_subs(
         let vnf_prices: f64 = assignment
             .iter()
             .zip(layer.vnfs())
+            // lint:allow(expect) — invariant: candidate hosts kind
             .map(|(&n, &k)| ctx.net.vnf_price(n, k).expect("candidate hosts kind"))
             .sum::<f64>()
             + merger_inst.price;
@@ -388,12 +393,7 @@ pub(crate) fn parallel_layer_subs(
     // Step (iv): the static feasibility filters are applied inline above
     // (capacity-vs-rate on every candidate node and path link); order
     // candidates cheapest-first for downstream X_d pruning.
-    subs.sort_by(|a, b| {
-        a.cost
-            .total()
-            .partial_cmp(&b.cost.total())
-            .expect("finite costs")
-    });
+    subs.sort_by(|a, b| a.cost.total().total_cmp(&b.cost.total()));
     subs
 }
 

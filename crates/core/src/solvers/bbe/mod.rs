@@ -170,7 +170,7 @@ impl Solver for BbeSolver {
         "BBE"
     }
 
-    fn solve_in(
+    fn solve_raw(
         &self,
         ctx: &SolveCtx<'_>,
         sfc: &DagSfc,
@@ -218,7 +218,7 @@ impl Solver for MbbeSolver {
         "MBBE"
     }
 
-    fn solve_in(
+    fn solve_raw(
         &self,
         ctx: &SolveCtx<'_>,
         sfc: &DagSfc,
@@ -258,7 +258,7 @@ impl Solver for MbbeStSolver {
         "MBBE-ST"
     }
 
-    fn solve_in(
+    fn solve_raw(
         &self,
         ctx: &SolveCtx<'_>,
         sfc: &DagSfc,
@@ -452,12 +452,7 @@ fn attempt<I: Instrument>(
             explored += subs.len();
             // Strategy (3), per sub-solution-tree node: cheapest X_d
             // children (the X_d-tree of the paper).
-            subs.sort_by(|a, b| {
-                a.cost
-                    .total()
-                    .partial_cmp(&b.cost.total())
-                    .expect("finite costs")
-            });
+            subs.sort_by(|a, b| a.cost.total().total_cmp(&b.cost.total()));
             if let Some(xd) = cfg.x_d {
                 if subs.len() > xd {
                     ins.candidates_pruned(subs.len() - xd);
@@ -477,12 +472,7 @@ fn attempt<I: Instrument>(
             });
         }
         // Global level cap: keep the cheapest prefixes.
-        next_level.sort_by(|&a, &b| {
-            tree.node(a)
-                .cum_cost
-                .partial_cmp(&tree.node(b).cum_cost)
-                .expect("finite costs")
-        });
+        next_level.sort_by(|&a, &b| tree.node(a).cum_cost.total_cmp(&tree.node(b).cum_cost));
         if next_level.len() > cfg.max_level_width {
             ins.candidates_pruned(next_level.len() - cfg.max_level_width);
             next_level.truncate(cfg.max_level_width);
@@ -503,7 +493,7 @@ fn attempt<I: Instrument>(
             finals.push((total, leaf, p));
         }
     }
-    finals.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite costs"));
+    finals.sort_by(|a, b| a.0.total_cmp(&b.0));
     let kept = tree.len();
     let (h, m) = ctx.cache_counts();
     ins.cache(h, m);

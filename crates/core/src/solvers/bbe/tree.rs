@@ -269,8 +269,7 @@ impl SearchTree {
             .collect();
         paths.sort_by(|a, b| {
             a.price(net)
-                .partial_cmp(&b.price(net))
-                .expect("finite prices")
+                .total_cmp(&b.price(net))
                 .then_with(|| a.nodes().cmp(b.nodes()))
         });
         paths.truncate(max_keep);

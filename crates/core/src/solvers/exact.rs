@@ -78,7 +78,7 @@ impl Solver for ExactSolver {
         "EXACT"
     }
 
-    fn solve_in(
+    fn solve_raw(
         &self,
         ctx: &SolveCtx<'_>,
         sfc: &DagSfc,
@@ -225,6 +225,7 @@ impl Search<'_> {
         for i in 0..self.candidates[slot].len() {
             let node = self.candidates[slot][i];
             let count = vnf_count.entry((node, kind)).or_insert(0);
+            // lint:allow(expect) — invariant: candidate hosts kind
             let inst = self.net.instance(node, kind).expect("candidate hosts kind");
             // Constraint (2): cumulative instance load.
             if (*count + 1) as f64 * self.flow.rate > inst.capacity + CAP_EPS {
@@ -235,6 +236,7 @@ impl Search<'_> {
             let add = inst.price * self.flow.size;
             self.assign(slot + 1, vnf_cost + add, assignment, vnf_count);
             assignment.pop();
+            // lint:allow(expect) — invariant: just inserted
             *vnf_count.get_mut(&(node, kind)).expect("just inserted") -= 1;
         }
     }
@@ -248,6 +250,7 @@ impl Search<'_> {
                     .slots
                     .iter()
                     .position(|&(l, s, _)| l == layer && s == slot)
+                    // lint:allow(expect) — invariant: slot exists
                     .expect("slot exists");
                 assignment[flat]
             }
@@ -368,13 +371,16 @@ impl Search<'_> {
             for &l in touched.iter().rev() {
                 match mp.kind {
                     MetaPathKind::InterLayer => {
+                        // lint:allow(expect) — invariant: accounted
                         let m = group_used.get_mut(&(mp.group, l)).expect("accounted");
                         *m -= 1;
                         if *m == 0 {
+                            // lint:allow(expect) — invariant: loaded
                             *link_load.get_mut(&l).expect("loaded") -= self.flow.rate;
                         }
                     }
                     MetaPathKind::InnerLayer => {
+                        // lint:allow(expect) — invariant: loaded
                         *link_load.get_mut(&l).expect("loaded") -= self.flow.rate;
                     }
                 }

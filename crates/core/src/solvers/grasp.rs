@@ -76,7 +76,7 @@ impl Solver for GraspSolver {
         "GRASP"
     }
 
-    fn solve_in(
+    fn solve_raw(
         &self,
         ctx: &SolveCtx<'_>,
         sfc: &DagSfc,
@@ -86,7 +86,10 @@ impl Solver for GraspSolver {
         let net = ctx.net;
         precheck(net, sfc, flow)?;
         let catalog = sfc.catalog();
-        let mut rng = self.rng.lock().expect("rng poisoned");
+        let mut rng = self
+            .rng
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
 
         // Pre-sort each slot's feasible hosts by rental price.
         let mut slot_candidates: Vec<Vec<NodeId>> = Vec::new();
@@ -111,7 +114,7 @@ impl Solver for GraspSolver {
                 hosts.sort_by(|&a, &b| {
                     let pa = net.vnf_price(a, kind).unwrap_or(f64::INFINITY);
                     let pb = net.vnf_price(b, kind).unwrap_or(f64::INFINITY);
-                    pa.partial_cmp(&pb).expect("finite prices").then(a.cmp(&b))
+                    pa.total_cmp(&pb).then(a.cmp(&b))
                 });
                 slot_candidates.push(hosts);
             }
@@ -129,6 +132,7 @@ impl Solver for GraspSolver {
             for layer in sfc.layers() {
                 let mut slots = Vec::with_capacity(layer.slot_count());
                 for _ in 0..layer.slot_count() {
+                    // lint:allow(expect) — invariant: pre-sorted per slot
                     let hosts = flat.next().expect("pre-sorted per slot");
                     let rcl = self.config.alpha.max(1).min(hosts.len());
                     slots.push(hosts[rng.gen_range(0..rcl)]);

@@ -253,7 +253,7 @@ impl<S: Solver> Solver for ImprovedSolver<S> {
         "LS"
     }
 
-    fn solve_in(
+    fn solve_raw(
         &self,
         ctx: &SolveCtx<'_>,
         sfc: &DagSfc,

@@ -90,6 +90,13 @@ pub struct SolveCtx<'n> {
     pub net: &'n Network,
     /// Memoized shortest-path trees over static link capacities.
     pub oracle: PathOracle<'n>,
+    /// Whether [`Solver::solve_in`] re-validates every produced
+    /// embedding against the model constraints and cross-checks the
+    /// reported cost before returning it (the built-in audit gate).
+    /// Defaults to on under `debug_assertions` — so every test run
+    /// audits every solve — and off in release builds, where callers
+    /// opt in via [`SolveCtx::with_audit`].
+    pub audit: bool,
 }
 
 impl<'n> SolveCtx<'n> {
@@ -98,7 +105,53 @@ impl<'n> SolveCtx<'n> {
         SolveCtx {
             net,
             oracle: PathOracle::new(net),
+            audit: cfg!(debug_assertions),
         }
+    }
+
+    /// Same context with the audit gate forced on or off.
+    pub fn with_audit(mut self, audit: bool) -> Self {
+        self.audit = audit;
+        self
+    }
+}
+
+/// Absolute tolerance of the audit gate's reported-vs-revalidated cost
+/// comparison.
+pub const AUDIT_COST_TOLERANCE: f64 = 1e-9;
+
+/// The built-in audit gate run by [`Solver::solve_in`]: re-validates the
+/// outcome's embedding against every model constraint
+/// ([`crate::validate::validate`]) and cross-checks the cost the solver
+/// reported against the re-derived objective. The full solver-independent
+/// recomputation lives in the `dagsfc-audit` crate; this gate is the
+/// in-crate guard every solve passes through when `ctx.audit` is set.
+pub fn audit_outcome(
+    solver: &'static str,
+    net: &Network,
+    sfc: &DagSfc,
+    flow: &Flow,
+    out: &SolveOutcome,
+) -> Result<(), SolveError> {
+    match crate::validate::validate(net, sfc, flow, &out.embedding) {
+        Ok(cost) => {
+            let drift = (cost.total() - out.cost.total()).abs();
+            if drift > AUDIT_COST_TOLERANCE {
+                return Err(SolveError::AuditFailed {
+                    solver,
+                    violations: vec![format!(
+                        "reported cost {} deviates from revalidated cost {} by {drift:e}",
+                        out.cost.total(),
+                        cost.total()
+                    )],
+                });
+            }
+            Ok(())
+        }
+        Err(violations) => Err(SolveError::AuditFailed {
+            solver,
+            violations: violations.iter().map(|v| v.to_string()).collect(),
+        }),
     }
 }
 
@@ -148,14 +201,35 @@ pub trait Solver {
     /// "MINV", …).
     fn name(&self) -> &'static str;
 
-    /// Embeds `sfc` for `flow` using a shared [`SolveCtx`], so repeated
-    /// solves on one network reuse cached shortest-path trees.
-    fn solve_in(
+    /// The algorithm body: embeds `sfc` for `flow` without the audit
+    /// gate. Implementations provide this; callers go through
+    /// [`Solver::solve_in`] so the gate cannot be skipped by accident.
+    fn solve_raw(
         &self,
         ctx: &SolveCtx<'_>,
         sfc: &DagSfc,
         flow: &Flow,
     ) -> Result<SolveOutcome, SolveError>;
+
+    /// Embeds `sfc` for `flow` using a shared [`SolveCtx`], so repeated
+    /// solves on one network reuse cached shortest-path trees. When
+    /// `ctx.audit` is set (the default under `debug_assertions`), every
+    /// produced embedding is re-validated against the model constraints
+    /// and its reported cost cross-checked before being returned —
+    /// failures surface as [`SolveError::AuditFailed`], never as a
+    /// silently wrong embedding.
+    fn solve_in(
+        &self,
+        ctx: &SolveCtx<'_>,
+        sfc: &DagSfc,
+        flow: &Flow,
+    ) -> Result<SolveOutcome, SolveError> {
+        let out = self.solve_raw(ctx, sfc, flow)?;
+        if ctx.audit {
+            audit_outcome(self.name(), ctx.net, sfc, flow, &out)?;
+        }
+        Ok(out)
+    }
 
     /// Embeds `sfc` for `flow` into `net` with a fresh private context.
     fn solve(&self, net: &Network, sfc: &DagSfc, flow: &Flow) -> Result<SolveOutcome, SolveError> {

@@ -42,13 +42,13 @@ pub fn to_dot(net: &Network, opts: &DotOptions) -> String {
     let hi_nodes: HashSet<NodeId> = opts.highlight_nodes.iter().copied().collect();
     let hi_links: HashSet<LinkId> = opts.highlight_links.iter().copied().collect();
     let mut out = String::new();
-    writeln!(out, "graph {} {{", sanitize(&opts.name)).expect("string write");
-    writeln!(out, "  node [shape=box, fontsize=10];").expect("string write");
+    writeln!(out, "graph {} {{", sanitize(&opts.name)).ok();
+    writeln!(out, "  node [shape=box, fontsize=10];").ok();
     for v in net.node_ids() {
         let mut label = format!("{v}");
         if opts.show_vnfs {
             for inst in net.node(v).instances() {
-                write!(label, "\\n{}:{:.2}", inst.vnf, inst.price).expect("string write");
+                write!(label, "\\n{}:{:.2}", inst.vnf, inst.price).ok();
             }
         }
         let style = if hi_nodes.contains(&v) {
@@ -56,7 +56,7 @@ pub fn to_dot(net: &Network, opts: &DotOptions) -> String {
         } else {
             ""
         };
-        writeln!(out, "  {} [label=\"{label}\"{style}];", v.0).expect("string write");
+        writeln!(out, "  {} [label=\"{label}\"{style}];", v.0).ok();
     }
     for l in net.link_ids() {
         let link = net.link(l);
@@ -72,9 +72,9 @@ pub fn to_dot(net: &Network, opts: &DotOptions) -> String {
         } else {
             format!(" [{}]", attrs.join(", "))
         };
-        writeln!(out, "  {} -- {}{attr_str};", link.a.0, link.b.0).expect("string write");
+        writeln!(out, "  {} -- {}{attr_str};", link.a.0, link.b.0).ok();
     }
-    writeln!(out, "}}").expect("string write");
+    writeln!(out, "}}").ok();
     out
 }
 

@@ -179,11 +179,13 @@ impl<'a> CommitLedger<'a> {
         for &(node, kind, rate) in &record.vnf {
             self.state
                 .release_vnf(node, kind, rate)
+                // lint:allow(expect) — invariant: release mirrors a recorded reservation
                 .expect("release mirrors a recorded reservation");
         }
         for &(link, rate) in &record.links {
             self.state
                 .release_link(link, rate)
+                // lint:allow(expect) — invariant: release mirrors a recorded reservation
                 .expect("release mirrors a recorded reservation");
         }
         self.epoch += 1;

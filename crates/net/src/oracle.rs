@@ -92,7 +92,7 @@ impl<'n> PathOracle<'n> {
     /// An oracle over `net` keeping at most `capacity` trees.
     pub fn with_capacity(net: &'n Network, capacity: usize) -> Self {
         let mut classes: Vec<f64> = net.link_ids().map(|l| net.link(l).capacity).collect();
-        classes.sort_by(|a, b| a.partial_cmp(b).expect("finite capacities"));
+        classes.sort_by(|a, b| a.total_cmp(b));
         classes.dedup();
         PathOracle {
             net,

@@ -80,6 +80,7 @@ impl Path {
     /// Target node of the path.
     #[inline]
     pub fn target(&self) -> NodeId {
+        // lint:allow(expect) — invariant: path has at least one node
         *self.nodes.last().expect("path has at least one node")
     }
 

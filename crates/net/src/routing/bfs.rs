@@ -88,6 +88,7 @@ pub fn hop_distances(net: &Network, start: NodeId) -> Vec<Option<u32>> {
     dist[start.index()] = Some(0);
     let mut queue = std::collections::VecDeque::from([start]);
     while let Some(n) = queue.pop_front() {
+        // lint:allow(expect) — invariant: queued nodes have distances
         let d = dist[n.index()].expect("queued nodes have distances");
         for &(m, _) in net.neighbors(n) {
             if dist[m.index()].is_none() {

@@ -23,11 +23,9 @@ impl Eq for HeapEntry {}
 impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reverse so BinaryHeap (a max-heap) pops the minimum distance.
-        // Prices are finite, so partial_cmp never fails.
         other
             .dist
-            .partial_cmp(&self.dist)
-            .expect("finite distances")
+            .total_cmp(&self.dist)
             .then_with(|| other.node.cmp(&self.node))
     }
 }

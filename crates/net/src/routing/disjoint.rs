@@ -110,6 +110,7 @@ pub fn disjoint_path_pair<F: LinkFilter>(
         let mut cur = to;
         let mut guard = 0;
         while cur != from {
+            // lint:allow(expect) — invariant: finite dist implies predecessor
             let (p, l) = prev[cur.index()].expect("finite dist implies predecessor");
             p2_links.push(l);
             cur = p;

@@ -38,6 +38,7 @@ pub fn k_shortest_paths<F: LinkFilter>(
     let mut candidates: Vec<(f64, Path)> = Vec::new();
 
     while result.len() < k {
+        // lint:allow(expect) — invariant: at least the first path
         let last = result.last().expect("at least the first path").clone();
         // Each prefix of the last accepted path spawns a spur search.
         for spur_idx in 0..last.len() {
@@ -65,6 +66,7 @@ pub fn k_shortest_paths<F: LinkFilter>(
             };
             if let Some(spur) = min_cost_path(net, spur_node, to, &spur_filter) {
                 let root = Path::from_parts_unchecked(root_nodes.to_vec(), root_links.to_vec());
+                // lint:allow(expect) — invariant: root ends at spur node
                 let total = root.join(&spur).expect("root ends at spur node");
                 if total.has_node_cycle() {
                     continue;
@@ -81,8 +83,7 @@ pub fn k_shortest_paths<F: LinkFilter>(
             .enumerate()
             .min_by(|a, b| {
                 a.1 .0
-                    .partial_cmp(&b.1 .0)
-                    .expect("finite prices")
+                    .total_cmp(&b.1 .0)
                     .then_with(|| a.1 .1.nodes().cmp(b.1 .1.nodes()))
             })
             .map(|(i, _)| i)

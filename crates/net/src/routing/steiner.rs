@@ -72,6 +72,7 @@ pub fn multicast_tree<F: LinkFilter>(
                 }
             }
             let (d, entry) = closest?; // a terminal can't reach the tree → fail
+                                       // lint:allow(expect) — invariant: entry is reachable
             let path = spt.path_to(entry).expect("entry is reachable");
             if best.as_ref().is_none_or(|(bd, _, _)| d < *bd) {
                 best = Some((d, i, path));
@@ -106,6 +107,7 @@ pub fn multicast_tree<F: LinkFilter>(
         let mut links = Vec::new();
         let mut cur = t;
         while cur != root {
+            // lint:allow(expect) — invariant: terminal is in the tree
             let &(p, l) = parent.get(&cur).expect("terminal is in the tree");
             nodes.push(p);
             links.push(l);
@@ -116,6 +118,7 @@ pub fn multicast_tree<F: LinkFilter>(
         paths.push(if links.is_empty() {
             Path::trivial(root)
         } else {
+            // lint:allow(expect) — invariant: tree paths are contiguous
             Path::new(net, nodes, links).expect("tree paths are contiguous")
         });
     }

@@ -26,8 +26,7 @@ impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
         // Max-heap on width: the widest frontier pops first.
         self.width
-            .partial_cmp(&other.width)
-            .expect("finite widths")
+            .total_cmp(&other.width)
             .then_with(|| other.node.cmp(&self.node))
     }
 }

@@ -159,6 +159,7 @@ impl<'a> NetworkState<'a> {
         let capacity = self
             .net
             .instance(node, vnf)
+            // lint:allow(expect) — invariant: slot implies instance
             .expect("slot implies instance")
             .capacity;
         if self.vnf_remaining[slot] + rate > capacity + CAP_EPS {
@@ -209,6 +210,7 @@ impl<'a> NetworkState<'a> {
             "rollback to a checkpoint from the future"
         );
         while self.undo.len() > cp.0 {
+            // lint:allow(expect) — invariant: undo log entry
             match self.undo.pop().expect("undo log entry") {
                 UndoEntry::Vnf { slot, amount } => self.vnf_remaining[slot] += amount,
                 UndoEntry::Link { link, amount } => self.link_remaining[link.index()] += amount,
@@ -232,10 +234,12 @@ impl<'a> NetworkState<'a> {
         self.net.map_capacities(
             |node, vnf, _| {
                 self.vnf_remaining(node, vnf)
+                    // lint:allow(expect) — invariant: instance exists in source network
                     .expect("instance exists in source network")
             },
             |link, _| {
                 self.link_remaining(link)
+                    // lint:allow(expect) — invariant: link exists in source network
                     .expect("link exists in source network")
             },
         )

@@ -76,6 +76,7 @@ pub fn to_hybrid(chain: &[usize], deps: &DependencyMatrix, opts: TransformOption
                     .all(|&m| deps.parallelizable(m, nf) && deps.parallelizable(nf, m))
         });
         if fits_last {
+            // lint:allow(expect) — invariant: checked non-empty
             layers.last_mut().expect("checked non-empty").push(nf);
         } else {
             layers.push(vec![nf]);

@@ -11,6 +11,7 @@
 //! research path cannot drift apart.
 
 use crate::protocol::{AlgoLatency, StatsReport};
+use dagsfc_audit::ConstraintAuditor;
 use dagsfc_core::{DagSfc, Flow};
 use dagsfc_net::{CommitLedger, LeaseId, NetResult, Network};
 use dagsfc_sim::{embed_and_commit, Algo, EmbedRejection};
@@ -47,6 +48,9 @@ pub struct Engine<'n> {
     solver_cache_hits: u64,
     solver_cache_misses: u64,
     per_algo: BTreeMap<&'static str, LatencyAcc>,
+    auditor: ConstraintAuditor,
+    audits_run: u64,
+    audits_failed: u64,
 }
 
 impl<'n> Engine<'n> {
@@ -64,6 +68,9 @@ impl<'n> Engine<'n> {
             solver_cache_hits: 0,
             solver_cache_misses: 0,
             per_algo: BTreeMap::new(),
+            auditor: ConstraintAuditor::new(),
+            audits_run: 0,
+            audits_failed: 0,
         }
     }
 
@@ -99,6 +106,19 @@ impl<'n> Engine<'n> {
         acc.total += elapsed;
         match result {
             Ok(s) => {
+                // Audit-on-commit: re-derive every paper constraint from
+                // the residual the solver saw. A violating embedding is
+                // rolled back — the daemon never serves resources an
+                // independent check refuses to certify.
+                self.audits_run += 1;
+                let report = self.auditor.audit_outcome(&residual, sfc, flow, &s.outcome);
+                if !report.is_clean() {
+                    self.audits_failed += 1;
+                    // lint:allow(expect) — invariant: fresh lease is active
+                    self.ledger.release(s.lease).expect("fresh lease is active");
+                    self.rejected += 1;
+                    return Err(EmbedRejection::Audit(report.summary()));
+                }
                 self.accepted += 1;
                 self.total_cost += s.cost.total();
                 self.solver_cache_hits += s.stats.cache_hits;
@@ -163,6 +183,8 @@ impl<'n> Engine<'n> {
             oracle,
             solver_cache_hits: self.solver_cache_hits,
             solver_cache_misses: self.solver_cache_misses,
+            audits_run: self.audits_run,
+            audits_failed: self.audits_failed,
             per_algo: self
                 .per_algo
                 .iter()
@@ -215,6 +237,8 @@ mod tests {
         assert_eq!(stats.accepted, 1);
         assert_eq!(stats.rejected, 0);
         assert_eq!(stats.acceptance_ratio, 1.0);
+        assert_eq!(stats.audits_run, 1, "every commit is audited");
+        assert_eq!(stats.audits_failed, 0);
         assert!(stats.total_cost > 0.0);
         assert!(stats.outstanding_load > 0.0);
         assert_eq!(stats.per_algo.len(), 1);
@@ -242,6 +266,23 @@ mod tests {
             .unwrap();
         // The commit bumped the epoch: a new snapshot must be built.
         assert!(!Arc::ptr_eq(&before, &engine.residual()));
+    }
+
+    #[test]
+    fn every_commit_is_audited_and_clean_under_load() {
+        // Drive the engine to saturation: every accepted commit must
+        // have been audited, and none may fail.
+        let c = cfg();
+        let net = instance_network(&c);
+        let mut engine = Engine::new(&net);
+        for arrival in 0..30 {
+            let (sfc, flow) = instance_request(&c, &net, arrival);
+            let _ = engine.embed(&sfc, &flow, Algo::Mbbe, arrival_seed(c.seed, arrival));
+        }
+        let stats = engine.stats(0, 16, OracleCounters::default());
+        assert!(stats.accepted > 0);
+        assert_eq!(stats.audits_run, stats.accepted);
+        assert_eq!(stats.audits_failed, 0);
     }
 
     #[test]

@@ -150,6 +150,11 @@ pub struct StatsReport {
     pub solver_cache_hits: u64,
     /// Path-cache misses summed over every solver run.
     pub solver_cache_misses: u64,
+    /// Solver commits re-checked by the constraint auditor (every one).
+    pub audits_run: u64,
+    /// Audits that found a violation (the commit was rolled back) —
+    /// must be 0; anything else is a solver or accounting bug.
+    pub audits_failed: u64,
     /// Per-algorithm solve latency, sorted by algorithm name.
     pub per_algo: Vec<AlgoLatency>,
 }

@@ -70,6 +70,7 @@ pub fn replay(client: &mut Client, trace: &ReplayTrace) -> Result<ReplayReport, 
                 break;
             }
             departures.pop();
+            // lint:allow(expect) — invariant: departs once
             let lease = leases[id].take().expect("departs once");
             client.release(lease)?;
             departure_order.push(id);
@@ -103,6 +104,7 @@ pub fn replay(client: &mut Client, trace: &ReplayTrace) -> Result<ReplayReport, 
     }
 
     while let Some(Reverse((_, id))) = departures.pop() {
+        // lint:allow(expect) — invariant: departs once
         let lease = leases[id].take().expect("departs once");
         client.release(lease)?;
         departure_order.push(id);

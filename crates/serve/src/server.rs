@@ -30,8 +30,14 @@ use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::Duration;
+
+/// Locks `m`, recovering the data if a previous holder panicked — one
+/// crashed connection handler must not wedge the whole daemon.
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Daemon configuration.
 #[derive(Debug, Clone)]
@@ -104,7 +110,7 @@ impl JobQueue {
         algo: Algo,
         seed: u64,
     ) -> Result<mpsc::Receiver<WireResponse>, EnqueueError> {
-        let mut inner = self.inner.lock().expect("queue lock");
+        let mut inner = lock_recover(&self.inner);
         if inner.closed {
             return Err(EnqueueError::Closed);
         }
@@ -129,7 +135,7 @@ impl JobQueue {
     /// Next job, blocking; `None` once the queue is closed **and**
     /// empty — the drain guarantee.
     fn pop(&self) -> Option<EmbedJob> {
-        let mut inner = self.inner.lock().expect("queue lock");
+        let mut inner = lock_recover(&self.inner);
         loop {
             if let Some(job) = inner.jobs.pop_front() {
                 return Some(job);
@@ -140,18 +146,18 @@ impl JobQueue {
             let (guard, _) = self
                 .ready
                 .wait_timeout(inner, Duration::from_millis(50))
-                .expect("queue wait");
+                .unwrap_or_else(PoisonError::into_inner);
             inner = guard;
         }
     }
 
     fn close(&self) {
-        self.inner.lock().expect("queue lock").closed = true;
+        lock_recover(&self.inner).closed = true;
         self.ready.notify_all();
     }
 
     fn depth(&self) -> usize {
-        self.inner.lock().expect("queue lock").jobs.len()
+        lock_recover(&self.inner).jobs.len()
     }
 }
 
@@ -171,14 +177,14 @@ impl TicketGate {
     }
 
     fn wait_for(&self, ticket: u64) {
-        let mut next = self.next.lock().expect("gate lock");
+        let mut next = lock_recover(&self.next);
         while *next != ticket {
-            next = self.turn.wait(next).expect("gate wait");
+            next = self.turn.wait(next).unwrap_or_else(PoisonError::into_inner);
         }
     }
 
     fn advance(&self) {
-        *self.next.lock().expect("gate lock") += 1;
+        *lock_recover(&self.next) += 1;
         self.turn.notify_all();
     }
 }
@@ -220,6 +226,7 @@ pub fn run(
 ) -> StatsReport {
     listener
         .set_nonblocking(true)
+        // lint:allow(expect) — fatal at startup, before any request is admitted
         .expect("nonblocking listener");
     let shared = Shared {
         engine: Mutex::new(Engine::new(net)),
@@ -250,7 +257,10 @@ pub fn run(
         // Stop admission; workers drain what is already queued.
         shared.queue.close();
     });
-    let engine = shared.engine.into_inner().expect("engine lock");
+    let engine = shared
+        .engine
+        .into_inner()
+        .unwrap_or_else(PoisonError::into_inner);
     engine.stats(0, cfg.queue_capacity, {
         let s = shared.oracle.stats();
         OracleCounters {
@@ -285,6 +295,7 @@ impl ServerHandle {
     /// final stats report.
     pub fn join(self) -> StatsReport {
         self.shutdown.store(true, Ordering::SeqCst);
+        // lint:allow(expect) — the daemon thread panicked; there is no report to return
         self.thread.join().expect("server thread")
     }
 }
@@ -310,7 +321,7 @@ fn worker_loop(shared: &Shared<'_>) {
         // are independent of the worker-pool size.
         shared.gate.wait_for(job.ticket);
         let outcome = {
-            let mut engine = shared.engine.lock().expect("engine lock");
+            let mut engine = lock_recover(&shared.engine);
             engine.embed(&job.sfc, &job.flow, job.algo, job.seed)
         };
         shared.gate.advance();
@@ -321,6 +332,10 @@ fn worker_loop(shared: &Shared<'_>) {
                 cost: Some(a.cost),
                 ..WireResponse::default()
             },
+            // An audit failure is a server-side bug (a solver emitted a
+            // constraint-violating embedding), not an ordinary capacity
+            // rejection — surface it as a protocol error.
+            Err(e @ dagsfc_sim::EmbedRejection::Audit(_)) => WireResponse::error(e.to_string()),
             Err(e) => WireResponse::rejected(e.to_string()),
         };
         // A vanished client (dropped receiver) is not a server error.
@@ -378,7 +393,7 @@ fn dispatch(line: &str, shared: &Shared<'_>) -> WireResponse {
     match req.cmd.as_str() {
         "ping" => WireResponse::ok(),
         "stats" => {
-            let engine = shared.engine.lock().expect("engine lock");
+            let engine = lock_recover(&shared.engine);
             let stats = engine.stats(
                 shared.queue.depth(),
                 shared.queue.capacity,
@@ -394,7 +409,7 @@ fn dispatch(line: &str, shared: &Shared<'_>) -> WireResponse {
             let Some(lease) = req.lease else {
                 return WireResponse::error("release requires 'lease'");
             };
-            let mut engine = shared.engine.lock().expect("engine lock");
+            let mut engine = lock_recover(&shared.engine);
             match engine.release(LeaseId(lease)) {
                 Ok(()) => WireResponse::ok(),
                 Err(e) => WireResponse::error(e.to_string()),
@@ -467,7 +482,7 @@ fn embed_via_queue(
     // base network (conservative: rejects only what every solver would
     // reject too, so replay equivalence is preserved).
     {
-        let mut engine = shared.engine.lock().expect("engine lock");
+        let mut engine = lock_recover(&shared.engine);
         if let Err(e) = precheck(engine.network(), &sfc, &flow) {
             engine.count_admission_rejection();
             return WireResponse::rejected(format!("infeasible: {e}"));
@@ -481,11 +496,7 @@ fn embed_via_queue(
             .path_to(flow.dst)
             .is_none()
     {
-        shared
-            .engine
-            .lock()
-            .expect("engine lock")
-            .count_admission_rejection();
+        lock_recover(&shared.engine).count_admission_rejection();
         return WireResponse::rejected(format!(
             "infeasible: no path {} -> {} at rate {}",
             flow.src, flow.dst, flow.rate
@@ -497,11 +508,7 @@ fn embed_via_queue(
             .recv()
             .unwrap_or_else(|_| WireResponse::error("server shutting down")),
         Err(EnqueueError::Full) => {
-            shared
-                .engine
-                .lock()
-                .expect("engine lock")
-                .count_admission_rejection();
+            lock_recover(&shared.engine).count_admission_rejection();
             WireResponse::rejected("queue full")
         }
         Err(EnqueueError::Closed) => WireResponse::error("server shutting down"),

@@ -1,0 +1,201 @@
+//! Exhaustive trace auditing: replay a frozen [`ReplayTrace`] and run
+//! the solver-independent constraint auditor over **every** accepted
+//! embedding (the lifecycle itself only samples — see
+//! [`crate::lifecycle::AUDIT_SAMPLE_INTERVAL`]).
+//!
+//! The replay follows the exact event order of [`run_trace`]: before
+//! arrival `i`, every departure with time `≤ i` fires (ties by
+//! ascending arrival index), then arrival `i` is offered over the
+//! ledger's residual. Each accepted embedding is audited against that
+//! residual — the network state the solver actually saw — so capacity
+//! findings reflect the online constraints, not the empty network.
+
+use crate::lifecycle::{arrival_seed, embed_and_commit, run_trace, ReplayTrace};
+use crate::runner::instance_request;
+use dagsfc_audit::{ConstraintAuditor, Violation};
+use dagsfc_net::{CommitLedger, LeaseId, Network};
+use serde::Serialize;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// The auditor's findings for one accepted arrival.
+#[derive(Debug, Clone, Serialize)]
+pub struct ArrivalAudit {
+    /// Arrival index within the trace.
+    pub arrival: usize,
+    /// Objective cost the solver reported for this embedding.
+    pub reported_cost: f64,
+    /// The constraint violations found (non-empty by construction).
+    pub violations: Vec<Violation>,
+}
+
+/// Aggregate outcome of an exhaustive trace audit.
+#[derive(Debug, Clone, Serialize)]
+pub struct TraceAuditOutcome {
+    /// Algorithm the trace ran.
+    pub algo: &'static str,
+    /// Arrivals offered.
+    pub arrivals: usize,
+    /// Requests embedded (each one audited).
+    pub accepted: usize,
+    /// Requests rejected (nothing to audit).
+    pub rejected: usize,
+    /// Audited embeddings with zero violations.
+    pub clean: usize,
+    /// Largest |recomputed − reported| objective gap over clean audits —
+    /// must stay within the auditor's cost tolerance.
+    pub max_cost_drift: f64,
+    /// Per-arrival findings for every audit that was *not* clean.
+    pub findings: Vec<ArrivalAudit>,
+}
+
+impl TraceAuditOutcome {
+    /// True when every accepted embedding passed every constraint check.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// Replays `trace` against `net` auditing every accepted embedding.
+///
+/// The event order, solver seeds, and residual-network states match
+/// [`run_trace`] exactly, so a clean audit here certifies the very
+/// embeddings a lifecycle run (or the serve daemon replaying the same
+/// trace) commits.
+pub fn audit_trace(net: &Network, trace: &ReplayTrace) -> TraceAuditOutcome {
+    let auditor = ConstraintAuditor::new();
+    let mut ledger = CommitLedger::new(net);
+    let mut departures: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+    let mut leases: Vec<Option<LeaseId>> = vec![None; trace.arrivals];
+
+    let mut accepted = 0usize;
+    let mut rejected = 0usize;
+    let mut clean = 0usize;
+    let mut max_cost_drift = 0.0f64;
+    let mut findings = Vec::new();
+
+    for arrival in 0..trace.arrivals {
+        let now = crate::lifecycle::to_fixed(arrival as f64);
+        while let Some(&Reverse((t, id))) = departures.peek() {
+            if t > now {
+                break;
+            }
+            departures.pop();
+            // lint:allow(expect) — invariant: departs once
+            let lease = leases[id].take().expect("departs once");
+            // lint:allow(expect) — invariant: lease is active
+            ledger.release(lease).expect("lease is active");
+        }
+
+        let (sfc, flow) = instance_request(&trace.base, net, arrival);
+        let residual = ledger.residual();
+        match embed_and_commit(
+            &mut ledger,
+            &residual,
+            &sfc,
+            &flow,
+            trace.algo,
+            arrival_seed(trace.base.seed, arrival),
+        ) {
+            Ok(s) => {
+                let report = auditor.audit_outcome(&residual, &sfc, &flow, &s.outcome);
+                if report.is_clean() {
+                    clean += 1;
+                    max_cost_drift =
+                        max_cost_drift.max((report.recomputed.total() - s.cost.total()).abs());
+                } else {
+                    findings.push(ArrivalAudit {
+                        arrival,
+                        reported_cost: s.cost.total(),
+                        violations: report.violations,
+                    });
+                }
+                leases[arrival] = Some(s.lease);
+                departures.push(Reverse((trace.depart_at[arrival], arrival)));
+                accepted += 1;
+            }
+            Err(_) => rejected += 1,
+        }
+    }
+
+    TraceAuditOutcome {
+        algo: trace.algo.name(),
+        arrivals: trace.arrivals,
+        accepted,
+        rejected,
+        clean,
+        max_cost_drift,
+        findings,
+    }
+}
+
+/// Convenience: audit a trace and cross-check its acceptance counts
+/// against an ordinary [`run_trace`] replay (they share every seed, so
+/// any divergence is a determinism bug).
+pub fn audit_trace_checked(net: &Network, trace: &ReplayTrace) -> TraceAuditOutcome {
+    let out = audit_trace(net, trace);
+    let lifecycle = run_trace(net, trace);
+    debug_assert_eq!(out.accepted, lifecycle.metrics.accepted);
+    debug_assert_eq!(out.rejected, lifecycle.metrics.rejected);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use crate::lifecycle::{export_trace, LifecycleConfig};
+    use crate::runner::{instance_network, Algo};
+
+    fn cfg() -> LifecycleConfig {
+        LifecycleConfig {
+            base: SimConfig {
+                network_size: 30,
+                sfc_size: 4,
+                vnf_capacity: 6.0,
+                link_capacity: 6.0,
+                seed: 0xBEEF,
+                ..SimConfig::default()
+            },
+            arrivals: 50,
+            mean_holding: 6.0,
+            algo: Algo::Mbbe,
+        }
+    }
+
+    #[test]
+    fn full_audit_of_a_lifecycle_trace_is_clean() {
+        let cfg = cfg();
+        let net = instance_network(&cfg.base);
+        let trace = export_trace(&cfg);
+        let out = audit_trace(&net, &trace);
+        assert!(out.accepted > 0, "trace must admit something");
+        assert!(out.is_clean(), "findings: {:?}", out.findings);
+        assert_eq!(out.clean, out.accepted);
+        assert!(
+            out.max_cost_drift <= dagsfc_audit::COST_TOLERANCE,
+            "cost drift {}",
+            out.max_cost_drift
+        );
+    }
+
+    #[test]
+    fn audit_replay_matches_lifecycle_acceptance() {
+        let cfg = cfg();
+        let net = instance_network(&cfg.base);
+        let trace = export_trace(&cfg);
+        let audit = audit_trace(&net, &trace);
+        let lifecycle = run_trace(&net, &trace);
+        assert_eq!(audit.accepted, lifecycle.metrics.accepted);
+        assert_eq!(audit.rejected, lifecycle.metrics.rejected);
+    }
+
+    #[test]
+    fn outcome_serializes_for_cli_reports() {
+        let cfg = cfg();
+        let net = instance_network(&cfg.base);
+        let out = audit_trace(&net, &export_trace(&cfg));
+        let json = serde_json::to_string(&out).unwrap();
+        assert!(json.contains("max_cost_drift"), "{json}");
+    }
+}

@@ -18,6 +18,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod audit;
 pub mod config;
 pub mod io;
 pub mod lifecycle;
@@ -30,6 +31,7 @@ pub mod sweep;
 pub mod trace;
 pub mod workload;
 
+pub use audit::{audit_trace, audit_trace_checked, ArrivalAudit, TraceAuditOutcome};
 pub use config::SimConfig;
 pub use lifecycle::{
     arrival_seed, embed_and_commit, export_trace, run_lifecycle, run_lifecycle_detailed, run_trace,

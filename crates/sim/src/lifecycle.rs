@@ -24,6 +24,7 @@
 
 use crate::config::SimConfig;
 use crate::runner::{instance_network, instance_request, Algo};
+use dagsfc_audit::ConstraintAuditor;
 use dagsfc_core::solvers::{SolveOutcome, SolverStats};
 use dagsfc_core::{CostBreakdown, DagSfc, Flow, ModelError, SolveError};
 use dagsfc_net::{CommitLedger, LeaseId, LinkId, NetError, Network};
@@ -65,6 +66,12 @@ pub struct LifecycleMetrics {
     /// Residual committed load after every request departed — a leak
     /// detector; must be ~0.
     pub final_leak: f64,
+    /// Accepted embeddings re-checked by the solver-independent
+    /// constraint auditor (every [`AUDIT_SAMPLE_INTERVAL`]-th arrival).
+    pub audited: usize,
+    /// Sampled audits that reported at least one constraint violation —
+    /// must be 0; anything else is a solver or accounting bug.
+    pub audit_violations: usize,
 }
 
 impl LifecycleMetrics {
@@ -111,6 +118,13 @@ impl LifecycleOutcome {
 
 /// Current trace format version (see [`ReplayTrace::format_version`]).
 pub const TRACE_FORMAT_VERSION: u32 = 1;
+
+/// Sampling stride of the lifecycle's constraint audits: every n-th
+/// arrival's accepted embedding is re-checked against the paper's
+/// integer program by `dagsfc-audit` (auditing every arrival would
+/// roughly double the per-request cost for a check that should never
+/// fire; use [`crate::audit_trace`] for exhaustive audits).
+pub const AUDIT_SAMPLE_INTERVAL: usize = 8;
 
 /// A solver-independent arrival/departure schedule: the offered load of
 /// a lifecycle run, frozen so it can be replayed through an external
@@ -161,6 +175,10 @@ pub enum EmbedRejection {
     /// The ledger refused the commit (capacity raced away) — should not
     /// happen when solving over the ledger's own residual.
     Commit(NetError),
+    /// The committed embedding failed its post-commit constraint audit
+    /// and was rolled back (serve daemon's audit-on-commit gate). The
+    /// payload is the audit summary.
+    Audit(String),
 }
 
 impl std::fmt::Display for EmbedRejection {
@@ -169,6 +187,7 @@ impl std::fmt::Display for EmbedRejection {
             EmbedRejection::Solve(e) => write!(f, "{e}"),
             EmbedRejection::Account(e) => write!(f, "accounting failed: {e}"),
             EmbedRejection::Commit(e) => write!(f, "commit failed: {e}"),
+            EmbedRejection::Audit(summary) => write!(f, "audit failed: {summary}"),
         }
     }
 }
@@ -281,6 +300,9 @@ pub fn run_trace(net: &Network, trace: &ReplayTrace) -> LifecycleOutcome {
     let mut concurrent = 0usize;
     let mut peak = 0usize;
     let mut concurrent_integral = 0.0;
+    let auditor = ConstraintAuditor::new();
+    let mut audited = 0usize;
+    let mut audit_violations = 0usize;
 
     for arrival in 0..trace.arrivals {
         let now = to_fixed(arrival as f64);
@@ -289,7 +311,9 @@ pub fn run_trace(net: &Network, trace: &ReplayTrace) -> LifecycleOutcome {
                 break;
             }
             departures.pop();
+            // lint:allow(expect) — invariant: departs once
             let lease = leases[id].take().expect("departs once");
+            // lint:allow(expect) — invariant: lease is active
             ledger.release(lease).expect("lease is active");
             departure_order.push(id);
             concurrent -= 1;
@@ -307,6 +331,15 @@ pub fn run_trace(net: &Network, trace: &ReplayTrace) -> LifecycleOutcome {
             arrival_seed(trace.base.seed, arrival),
         ) {
             Ok(s) => {
+                if arrival % AUDIT_SAMPLE_INTERVAL == 0 {
+                    // Audit against the residual the solver saw, not the
+                    // base network — capacity constraints are per-state.
+                    let report = auditor.audit_outcome(&residual, &sfc, &flow, &s.outcome);
+                    audited += 1;
+                    if !report.is_clean() {
+                        audit_violations += 1;
+                    }
+                }
                 leases[arrival] = Some(s.lease);
                 departures.push(Reverse((trace.depart_at[arrival], arrival)));
                 concurrent += 1;
@@ -331,7 +364,9 @@ pub fn run_trace(net: &Network, trace: &ReplayTrace) -> LifecycleOutcome {
 
     // Drain all remaining departures to measure leakage.
     while let Some(Reverse((_, id))) = departures.pop() {
+        // lint:allow(expect) — invariant: departs once
         let lease = leases[id].take().expect("departs once");
+        // lint:allow(expect) — invariant: lease is active
         ledger.release(lease).expect("lease is active");
         departure_order.push(id);
     }
@@ -353,6 +388,8 @@ pub fn run_trace(net: &Network, trace: &ReplayTrace) -> LifecycleOutcome {
                 concurrent_integral / trace.arrivals as f64
             },
             final_leak: ledger.outstanding_load(),
+            audited,
+            audit_violations,
         },
         per_arrival,
         departure_order,
@@ -398,6 +435,8 @@ mod tests {
         assert!(m.peak_concurrent >= 1);
         assert!(m.mean_concurrent > 0.0);
         assert!(m.peak_concurrent as f64 >= m.mean_concurrent);
+        assert!(m.audited > 0, "sampled audits must run");
+        assert_eq!(m.audit_violations, 0, "sampled audits must be clean");
     }
 
     #[test]

@@ -32,21 +32,21 @@ pub fn ascii_table(result: &SweepResult) -> String {
         "== {} — mean embedding cost vs {} ==",
         result.id, result.x_label
     )
-    .expect("string write");
-    write!(out, "{:>12}", result.x_label_short()).expect("string write");
+    .ok();
+    write!(out, "{:>12}", result.x_label_short()).ok();
     for a in &algos {
-        write!(out, "{a:>12}").expect("string write");
+        write!(out, "{a:>12}").ok();
     }
-    writeln!(out).expect("string write");
+    writeln!(out).ok();
     for p in &result.points {
-        write!(out, "{:>12}", trim_float(p.x)).expect("string write");
+        write!(out, "{:>12}", trim_float(p.x)).ok();
         for a in &algos {
             match p.mean_cost(a) {
-                Some(c) => write!(out, "{c:>12.3}").expect("string write"),
-                None => write!(out, "{:>12}", "-").expect("string write"),
-            }
+                Some(c) => write!(out, "{c:>12.3}").ok(),
+                None => write!(out, "{:>12}", "-").ok(),
+            };
         }
-        writeln!(out).expect("string write");
+        writeln!(out).ok();
     }
     out
 }
@@ -62,20 +62,23 @@ pub fn csv(result: &SweepResult) -> String {
             a.to_lowercase(),
             a.to_lowercase()
         )
-        .expect("string write");
+        .ok();
     }
     out.push('\n');
     for p in &result.points {
-        write!(out, "{}", trim_float(p.x)).expect("string write");
+        write!(out, "{}", trim_float(p.x)).ok();
         for a in &algos {
             let entry = p.algos.iter().find(|r| r.name == *a);
             match entry {
                 Some(r) if r.successes > 0 => {
-                    write!(out, ",{:.6},{}", r.cost.mean, r.successes).expect("string write")
+                    write!(out, ",{:.6},{}", r.cost.mean, r.successes).ok()
                 }
-                Some(r) => write!(out, ",,{}", r.successes).expect("string write"),
-                None => out.push_str(",,"),
-            }
+                Some(r) => write!(out, ",,{}", r.successes).ok(),
+                None => {
+                    out.push_str(",,");
+                    None
+                }
+            };
         }
         out.push('\n');
     }
@@ -87,21 +90,23 @@ pub fn csv(result: &SweepResult) -> String {
 pub fn markdown(result: &SweepResult) -> String {
     let algos = present_algos(result);
     let mut out = String::new();
-    write!(out, "| {} |", result.x_label).expect("string write");
+    write!(out, "| {} |", result.x_label).ok();
     for a in &algos {
-        write!(out, " {a} |").expect("string write");
+        write!(out, " {a} |").ok();
     }
     out.push('\n');
-    write!(out, "|---:|").expect("string write");
+    write!(out, "|---:|").ok();
     for _ in &algos {
         out.push_str("---:|");
     }
     out.push('\n');
     for p in &result.points {
-        write!(out, "| {} |", trim_float(p.x)).expect("string write");
+        write!(out, "| {} |", trim_float(p.x)).ok();
         for a in &algos {
             match p.mean_cost(a) {
-                Some(c) => write!(out, " {c:.2} |").expect("string write"),
+                Some(c) => {
+                    write!(out, " {c:.2} |").ok();
+                }
                 None => out.push_str(" — |"),
             }
         }
@@ -119,22 +124,21 @@ pub fn runtime_table(result: &SweepResult) -> String {
         "== {} — mean solve time (µs) vs {} ==",
         result.id, result.x_label
     )
-    .expect("string write");
-    write!(out, "{:>12}", result.x_label_short()).expect("string write");
+    .ok();
+    write!(out, "{:>12}", result.x_label_short()).ok();
     for a in &algos {
-        write!(out, "{a:>12}").expect("string write");
+        write!(out, "{a:>12}").ok();
     }
-    writeln!(out).expect("string write");
+    writeln!(out).ok();
     for p in &result.points {
-        write!(out, "{:>12}", trim_float(p.x)).expect("string write");
+        write!(out, "{:>12}", trim_float(p.x)).ok();
         for a in &algos {
             match p.algos.iter().find(|r| r.name == *a) {
-                Some(r) => write!(out, "{:>12.1}", r.mean_elapsed.as_secs_f64() * 1e6)
-                    .expect("string write"),
-                None => write!(out, "{:>12}", "-").expect("string write"),
-            }
+                Some(r) => write!(out, "{:>12.1}", r.mean_elapsed.as_secs_f64() * 1e6).ok(),
+                None => write!(out, "{:>12}", "-").ok(),
+            };
         }
-        writeln!(out).expect("string write");
+        writeln!(out).ok();
     }
     out
 }
@@ -150,27 +154,27 @@ pub fn instrumentation_table(result: &SweepResult) -> String {
         "== {} — path-cache hit rate (%) vs {} ==",
         result.id, result.x_label
     )
-    .expect("string write");
-    write!(out, "{:>12}", result.x_label_short()).expect("string write");
+    .ok();
+    write!(out, "{:>12}", result.x_label_short()).ok();
     for a in &algos {
-        write!(out, "{a:>12}").expect("string write");
+        write!(out, "{a:>12}").ok();
     }
-    write!(out, "{:>12}{:>14}", "oracle", "mean_cands").expect("string write");
-    writeln!(out).expect("string write");
+    write!(out, "{:>12}{:>14}", "oracle", "mean_cands").ok();
+    writeln!(out).ok();
     for p in &result.points {
-        write!(out, "{:>12}", trim_float(p.x)).expect("string write");
+        write!(out, "{:>12}", trim_float(p.x)).ok();
         let mut cands = 0.0;
         for a in &algos {
             match p.algos.iter().find(|r| r.name == *a) {
                 Some(r) => {
                     cands += r.mean_candidates_generated;
-                    write!(out, "{:>12.1}", r.cache_hit_rate * 100.0).expect("string write")
+                    write!(out, "{:>12.1}", r.cache_hit_rate * 100.0).ok()
                 }
-                None => write!(out, "{:>12}", "-").expect("string write"),
-            }
+                None => write!(out, "{:>12}", "-").ok(),
+            };
         }
-        write!(out, "{:>12.1}{cands:>14.1}", p.oracle.hit_rate * 100.0).expect("string write");
-        writeln!(out).expect("string write");
+        write!(out, "{:>12.1}{cands:>14.1}", p.oracle.hit_rate * 100.0).ok();
+        writeln!(out).ok();
     }
     out
 }

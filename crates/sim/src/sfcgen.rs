@@ -57,6 +57,7 @@ pub fn random_sfc_of_size<R: Rng + ?Sized>(cfg: &SimConfig, size: usize, rng: &m
     for width in layer_shape(size, cfg.max_layer_width) {
         layers.push(Layer::new((&mut it).take(width).collect()));
     }
+    // lint:allow(expect) — invariant: generated chain is valid
     DagSfc::new(layers, cfg.catalog()).expect("generated chain is valid")
 }
 

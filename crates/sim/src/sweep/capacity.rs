@@ -89,12 +89,14 @@ fn run_with_endpoints(
                 for (&(node, kind), &load) in &acct.vnf_load {
                     state
                         .reserve_vnf(node, kind, load)
+                        // lint:allow(expect) — invariant: solver respected residual capacity
                         .expect("solver respected residual capacity");
                 }
                 for (i, &load) in acct.link_load.iter().enumerate() {
                     if load > 0.0 {
                         state
                             .reserve_link(LinkId(i as u32), load)
+                            // lint:allow(expect) — invariant: solver respected residual bandwidth
                             .expect("solver respected residual bandwidth");
                     }
                 }

@@ -90,13 +90,13 @@ pub fn quality_table(rows: &[QualityRow]) -> String {
         out,
         "== solution quality — mean ratios (lower is better) =="
     )
-    .expect("fmt");
+    .ok();
     writeln!(
         out,
         "{:>8} {:>12} {:>12} {:>6}",
         "algo", "vs optimum", "vs bound", "runs"
     )
-    .expect("fmt");
+    .ok();
     for r in rows {
         writeln!(
             out,
@@ -108,7 +108,7 @@ pub fn quality_table(rows: &[QualityRow]) -> String {
             r.mean_vs_bound,
             r.runs
         )
-        .expect("fmt");
+        .ok();
     }
     out
 }

@@ -78,7 +78,7 @@ impl Percentiles {
             };
         }
         let mut sorted = xs.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+        sorted.sort_by(|a, b| a.total_cmp(b));
         let rank = |p: f64| {
             let idx = ((p / 100.0 * sorted.len() as f64).ceil() as usize).max(1) - 1;
             sorted[idx.min(sorted.len() - 1)]
@@ -87,6 +87,7 @@ impl Percentiles {
             p50: rank(50.0),
             p90: rank(90.0),
             p99: rank(99.0),
+            // lint:allow(expect) — invariant: non-empty
             max: *sorted.last().expect("non-empty"),
         }
     }

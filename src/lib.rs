@@ -10,6 +10,9 @@
 //!   dependency rules, sequential→hybrid transformation);
 //! * [`core`] — the DAG-SFC abstraction, cost model, validator, and the
 //!   BBE/MBBE/RANV/MINV/exact solvers;
+//! * [`audit`] — the solver-independent constraint auditor re-deriving
+//!   every paper constraint from first principles (see
+//!   `docs/VERIFICATION.md`);
 //! * [`sim`] — the evaluation harness regenerating every figure of the
 //!   paper;
 //! * [`serve`] — the `dagsfc-serve` daemon: a long-lived embedding
@@ -44,6 +47,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub use dagsfc_audit as audit;
 pub use dagsfc_core as core;
 pub use dagsfc_net as net;
 pub use dagsfc_nfp as nfp;

@@ -12,6 +12,7 @@
 //! dagsfc client    ping|stats|embed|release|replay|shutdown --addr HOST:PORT
 //! dagsfc trace     --out trace.json --arrivals 50 --mean-holding 8
 //! dagsfc replay    --trace trace.json --workers 4 --verify
+//! dagsfc audit     --trace trace.json [--network net.json] [--json]
 //! ```
 //!
 //! Everything is deterministic in `--seed`.
@@ -67,6 +68,7 @@ fn main() -> ExitCode {
         "topology" => cmd_topology(&opts),
         "quality" => cmd_quality(&opts),
         "ilp" => cmd_ilp(&opts),
+        "audit" => cmd_audit(&opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -99,7 +101,8 @@ USAGE:
                    [--network FILE | --nodes N --seed S --capacity C]
   dagsfc client    ping|stats|embed|release|replay|shutdown --addr HOST:PORT [...]
   dagsfc trace     --out FILE [--arrivals R] [--mean-holding H] [--algo NAME]
-  dagsfc replay    --trace FILE [--workers W] [--queue Q] [--verify]";
+  dagsfc replay    --trace FILE [--workers W] [--queue Q] [--verify]
+  dagsfc audit     --trace FILE [--network FILE] [--json]";
 
 /// Minimal `--key value` / positional argument parser.
 struct Opts {
@@ -116,7 +119,7 @@ impl Opts {
             if let Some(key) = a.strip_prefix("--") {
                 match key {
                     // boolean flags
-                    "full" | "exact" | "protect" => {
+                    "full" | "exact" | "protect" | "json" => {
                         flags.insert(key.to_string(), "true".to_string());
                     }
                     _ => {
@@ -464,6 +467,56 @@ fn cmd_ilp(opts: &Opts) -> Result<(), String> {
         None => print!("{}", model.to_lp_string()),
     }
     Ok(())
+}
+
+fn cmd_audit(opts: &Opts) -> Result<(), String> {
+    let trace_path = opts
+        .path("trace")
+        .ok_or("audit requires --trace FILE".to_string())?;
+    let trace = sim_io::load_trace(&trace_path).map_err(|e| e.to_string())?;
+    // The trace's base config regenerates the exact network the replay
+    // ran against; --network overrides it for externally saved nets.
+    let net = match opts.path("network") {
+        Some(p) => sim_io::load_network(&p).map_err(|e| e.to_string())?,
+        None => instance_network(&trace.base),
+    };
+    let outcome = dagsfc::sim::audit_trace(&net, &trace);
+    if opts.has("json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&outcome).map_err(|e| e.to_string())?
+        );
+    } else {
+        println!(
+            "audited {} ({} arrivals): {} accepted, {} rejected",
+            trace_path.display(),
+            outcome.arrivals,
+            outcome.accepted,
+            outcome.rejected
+        );
+        println!(
+            "constraint audit: {}/{} clean, max cost drift {:.3e}",
+            outcome.clean, outcome.accepted, outcome.max_cost_drift
+        );
+        for finding in &outcome.findings {
+            println!(
+                "  arrival {} (reported cost {:.6}):",
+                finding.arrival, finding.reported_cost
+            );
+            for v in &finding.violations {
+                println!("    {v}");
+            }
+        }
+    }
+    if outcome.is_clean() {
+        Ok(())
+    } else {
+        Err(format!(
+            "{} of {} accepted embeddings violated paper constraints",
+            outcome.findings.len(),
+            outcome.accepted
+        ))
+    }
 }
 
 fn write_dot(path: &Path, dot: &str) -> Result<(), String> {
