@@ -1,0 +1,335 @@
+//! `dagsfc-baseline` — a criterion-free, machine-readable benchmark
+//! harness built on `std::time::Instant`.
+//!
+//! Measures the embedding hot path end to end and emits one JSON
+//! document (`BENCH_baseline.json` when run with `--out`):
+//!
+//! * per-solver ns/solve and success rate on a fixed instance,
+//! * the path oracle's cache hit rate per solver,
+//! * wall-clock time of a figure sweep on the parallel executor and on
+//!   the serial reference, plus their ratio.
+//!
+//! `--compare <file>` re-measures and fails (exit code 2) when any
+//! per-solver ns/solve regressed by more than `--tolerance` (default
+//! 0.25) against the committed baseline — that is the CI `bench-smoke`
+//! gate. Comparisons are keyed by solver name; solvers present in only
+//! one file are reported but never fail the gate, so adding a solver
+//! does not require regenerating the baseline first.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use dagsfc_sim::runner::{run_instance, Algo};
+use dagsfc_sim::sweep::{sweep, sweep_serial, BBE_SFC_SIZE_LIMIT};
+use dagsfc_sim::SimConfig;
+use serde::{Deserialize, Serialize};
+
+/// Schema tag: bump when the JSON layout changes incompatibly.
+const SCHEMA: &str = "dagsfc-bench/1";
+
+/// One solver's steady-state measurement.
+#[derive(Debug, Serialize, Deserialize)]
+struct SolverSample {
+    /// Solver name as reported by the runner ("MBBE", "BBE", …).
+    name: String,
+    /// Substrate node count of the measured instance.
+    network_size: usize,
+    /// Chain length of the measured instance.
+    sfc_size: usize,
+    /// Independent (SFC, flow) draws solved.
+    runs: usize,
+    /// Mean wall-clock nanoseconds per solve over all runs.
+    ns_per_solve: f64,
+    /// Fraction of runs that produced a feasible embedding.
+    success_rate: f64,
+    /// Solver-internal shortest-path cache hit rate.
+    solver_cache_hit_rate: f64,
+    /// Shared path-oracle hit rate for the instance.
+    oracle_hit_rate: f64,
+}
+
+/// Wall-clock comparison of the two sweep executors on one figure spec.
+#[derive(Debug, Serialize, Deserialize)]
+struct SweepSample {
+    /// Figure id the spec mirrors.
+    id: String,
+    /// Number of x points.
+    points: usize,
+    /// Runs per point.
+    runs_per_point: usize,
+    /// Parallel executor wall-clock milliseconds.
+    parallel_ms: f64,
+    /// Serial reference wall-clock milliseconds.
+    serial_ms: f64,
+    /// serial_ms / parallel_ms (1.0 on a single-core host).
+    speedup: f64,
+}
+
+/// A free-form `key=value` annotation recorded verbatim in the output
+/// (provenance: revision hashes, cross-revision timings, host notes).
+#[derive(Debug, Serialize, Deserialize)]
+struct Annotation {
+    key: String,
+    value: String,
+}
+
+/// The whole baseline document.
+#[derive(Debug, Serialize, Deserialize)]
+struct Baseline {
+    schema: String,
+    /// "full" or "quick".
+    profile: String,
+    /// Worker threads available to the parallel executor.
+    threads: usize,
+    solvers: Vec<SolverSample>,
+    sweeps: Vec<SweepSample>,
+    annotations: Vec<Annotation>,
+}
+
+/// Which measurement scale to run.
+#[derive(Clone, Copy, PartialEq)]
+enum Profile {
+    /// Paper-scale instance (500 nodes), more runs. Minutes.
+    Full,
+    /// CI-scale instance (60 nodes), few runs. Seconds.
+    Quick,
+}
+
+fn solver_config(profile: Profile) -> SimConfig {
+    match profile {
+        Profile::Full => SimConfig {
+            runs: 20,
+            ..SimConfig::default()
+        },
+        Profile::Quick => SimConfig {
+            runs: 5,
+            ..SimConfig::quick()
+        },
+    }
+}
+
+/// Times every paper solver on the profile's fixed instance.
+fn measure_solvers(profile: Profile) -> Vec<SolverSample> {
+    let cfg = solver_config(profile);
+    [Algo::Mbbe, Algo::Bbe, Algo::Minv, Algo::Ranv]
+        .iter()
+        .map(|&algo| {
+            let result = run_instance(&cfg, &[algo]);
+            let a = &result.algos[0];
+            SolverSample {
+                name: a.name.to_string(),
+                network_size: cfg.network_size,
+                sfc_size: cfg.sfc_size,
+                runs: cfg.runs,
+                ns_per_solve: a.mean_elapsed.as_nanos() as f64,
+                success_rate: a.successes as f64 / cfg.runs.max(1) as f64,
+                solver_cache_hit_rate: a.cache_hit_rate,
+                oracle_hit_rate: result.oracle.hit_rate,
+            }
+        })
+        .collect()
+}
+
+/// Times the fig6a spec (SFC size sweep) on both executors.
+fn measure_sweep(profile: Profile) -> SweepSample {
+    let (base, xs): (SimConfig, &[f64]) = match profile {
+        Profile::Full => (
+            SimConfig {
+                runs: 20,
+                ..SimConfig::default()
+            },
+            &[1.0, 2.0, 3.0, 4.0, 5.0],
+        ),
+        Profile::Quick => (
+            SimConfig {
+                runs: 5,
+                ..SimConfig::quick()
+            },
+            &[2.0, 3.0, 4.0],
+        ),
+    };
+    let set = |cfg: &mut SimConfig, x: f64| cfg.sfc_size = x as usize;
+    let algos = |x: f64| {
+        if x as usize <= BBE_SFC_SIZE_LIMIT {
+            vec![Algo::Mbbe, Algo::Bbe, Algo::Minv, Algo::Ranv]
+        } else {
+            vec![Algo::Mbbe, Algo::Minv, Algo::Ranv]
+        }
+    };
+
+    let t = Instant::now();
+    let par = sweep("fig6a", "sfc size", &base, xs, set, algos);
+    let parallel_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    let t = Instant::now();
+    let ser = sweep_serial("fig6a", "sfc size", &base, xs, set, algos);
+    let serial_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    assert_eq!(
+        dagsfc_sim::report::csv(&par),
+        dagsfc_sim::report::csv(&ser),
+        "executors diverged — determinism bug, timings are meaningless"
+    );
+
+    SweepSample {
+        id: "fig6a".to_string(),
+        points: xs.len(),
+        runs_per_point: base.runs,
+        parallel_ms,
+        serial_ms,
+        speedup: serial_ms / parallel_ms.max(1e-9),
+    }
+}
+
+fn measure(profile: Profile, annotations: Vec<Annotation>) -> Baseline {
+    Baseline {
+        schema: SCHEMA.to_string(),
+        profile: match profile {
+            Profile::Full => "full",
+            Profile::Quick => "quick",
+        }
+        .to_string(),
+        threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        solvers: measure_solvers(profile),
+        sweeps: vec![measure_sweep(profile)],
+        annotations,
+    }
+}
+
+/// Compares `current` against `reference`; returns regression messages.
+fn regressions(current: &Baseline, reference: &Baseline, tolerance: f64) -> Vec<String> {
+    let mut out = Vec::new();
+    for cur in &current.solvers {
+        let Some(base) = reference.solvers.iter().find(|s| s.name == cur.name) else {
+            eprintln!("note: solver {} absent from baseline, skipping", cur.name);
+            continue;
+        };
+        let ratio = cur.ns_per_solve / base.ns_per_solve.max(1.0);
+        if ratio > 1.0 + tolerance {
+            out.push(format!(
+                "{}: {:.0} ns/solve vs baseline {:.0} ({:+.1}% > {:.0}% tolerance)",
+                cur.name,
+                cur.ns_per_solve,
+                base.ns_per_solve,
+                (ratio - 1.0) * 100.0,
+                tolerance * 100.0,
+            ));
+        }
+    }
+    out
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("dagsfc-baseline: {msg}");
+    std::process::exit(1)
+}
+
+fn main() -> ExitCode {
+    let mut profile = Profile::Full;
+    let mut out: Option<String> = None;
+    let mut compare: Option<String> = None;
+    let mut tolerance = 0.25;
+    let mut annotations = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => profile = Profile::Quick,
+            "--full" => profile = Profile::Full,
+            "--out" => {
+                out = Some(args.next().unwrap_or_else(|| fail("--out needs a path")));
+            }
+            "--compare" => {
+                compare = Some(
+                    args.next()
+                        .unwrap_or_else(|| fail("--compare needs a path")),
+                );
+            }
+            "--tolerance" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| fail("--tolerance needs a value"));
+                tolerance = v
+                    .parse()
+                    .unwrap_or_else(|_| fail("--tolerance must be a number"));
+            }
+            "--annotate" => {
+                let kv = args
+                    .next()
+                    .unwrap_or_else(|| fail("--annotate needs key=value"));
+                let (k, v) = kv
+                    .split_once('=')
+                    .unwrap_or_else(|| fail("--annotate needs key=value"));
+                annotations.push(Annotation {
+                    key: k.to_string(),
+                    value: v.to_string(),
+                });
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: dagsfc-baseline [--quick|--full] [--out FILE] \
+                     [--compare FILE [--tolerance F]] [--annotate k=v ...]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => fail(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    let current = measure(profile, annotations);
+
+    for s in &current.solvers {
+        eprintln!(
+            "{:8} {:>12.0} ns/solve  success {:>5.1}%  oracle hit {:>5.1}%",
+            s.name,
+            s.ns_per_solve,
+            s.success_rate * 100.0,
+            s.oracle_hit_rate * 100.0
+        );
+    }
+    for s in &current.sweeps {
+        eprintln!(
+            "{:8} parallel {:.0} ms, serial {:.0} ms, speedup {:.2}x",
+            s.id, s.parallel_ms, s.serial_ms, s.speedup
+        );
+    }
+
+    let json =
+        serde_json::to_string_pretty(&current).unwrap_or_else(|e| fail(&format!("serialize: {e}")));
+    match &out {
+        Some(path) => {
+            std::fs::write(path, json + "\n").unwrap_or_else(|e| fail(&format!("write: {e}")));
+            eprintln!("wrote {path}");
+        }
+        None => println!("{json}"),
+    }
+
+    if let Some(path) = compare {
+        let text =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| fail(&format!("read {path}: {e}")));
+        let reference: Baseline =
+            serde_json::from_str(&text).unwrap_or_else(|e| fail(&format!("parse {path}: {e}")));
+        if reference.schema != SCHEMA {
+            fail(&format!(
+                "baseline schema {:?} != {SCHEMA:?}; regenerate it",
+                reference.schema
+            ));
+        }
+        if reference.profile != current.profile {
+            eprintln!(
+                "note: comparing {} run against {} baseline",
+                current.profile, reference.profile
+            );
+        }
+        let bad = regressions(&current, &reference, tolerance);
+        if !bad.is_empty() {
+            for b in &bad {
+                eprintln!("REGRESSION {b}");
+            }
+            return ExitCode::from(2);
+        }
+        eprintln!("within {:.0}% of baseline {path}", tolerance * 100.0);
+    }
+
+    ExitCode::SUCCESS
+}

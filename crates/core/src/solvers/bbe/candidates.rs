@@ -18,9 +18,10 @@ use crate::chain::Layer;
 use crate::cost::CostBreakdown;
 use crate::flow::Flow;
 use crate::vnf::VnfCatalog;
-use dagsfc_net::{LinkId, Network, NodeId, Path, PathOracle, CAP_EPS};
-use std::collections::HashSet;
+use dagsfc_net::routing::ShortestPathTree;
+use dagsfc_net::{FxHashSet, LinkId, Network, NodeId, Path, PathOracle, CAP_EPS};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// One embedded layer: the paper's per-layer sub-solution.
 #[derive(Debug, Clone)]
@@ -97,6 +98,21 @@ impl<'a> EngineCtx<'a> {
         tree.path_to(to)
     }
 
+    /// The full Dijkstra tree rooted at `root` over rate-feasible links,
+    /// from the shared oracle (hit/miss tracked like
+    /// [`Self::min_cost_path`]). The finals stage uses one
+    /// destination-rooted tree to price every leaf instead of building
+    /// one tree per distinct leaf end node.
+    pub fn oracle_tree(&self, root: NodeId) -> Arc<ShortestPathTree> {
+        let (tree, hit) = self.oracle.tree_tracked(root, self.flow.rate);
+        if hit {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.cache_misses.fetch_add(1, Ordering::Relaxed);
+        }
+        tree
+    }
+
     /// This solve's path-cache traffic as `(hits, misses)`.
     pub fn cache_counts(&self) -> (u64, u64) {
         (
@@ -149,7 +165,7 @@ pub(crate) fn layer_cost(
     inter: &[Path],
     inner: &[Path],
 ) -> CostBreakdown {
-    let mut seen: HashSet<LinkId> = HashSet::new();
+    let mut seen: FxHashSet<LinkId> = FxHashSet::default();
     let mut link_price = 0.0;
     for p in inter {
         for &l in p.links() {

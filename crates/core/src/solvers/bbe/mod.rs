@@ -397,6 +397,91 @@ fn score_mergers(
     scored.into_iter().filter_map(|(_, s)| s).collect()
 }
 
+/// The memoized expansion of one layer from one start node.
+///
+/// Within a layer, everything downstream of a sub-solution-tree parent —
+/// forward search, backward searches, candidate generation, the per-node
+/// `X_d` truncation — is a pure function of the parent's *end node*; the
+/// parent only contributes its accumulated cost. Levels hold up to
+/// `max_level_width` parents but at most `|V|` distinct end nodes, so
+/// caching by end node collapses the layer's dominant cost by the
+/// level-width / distinct-end-node ratio (often 30x+ deep in a BBE
+/// search). Instrumentation totals are stored alongside and replayed per
+/// parent, keeping every counter identical to the unmemoized loop.
+struct StartMemo {
+    /// Final sub-solutions (sorted cheapest-first, `X_d`-truncated).
+    subs: Vec<LayerSub>,
+    /// FST size (replayed into `fst_nodes` per parent).
+    fst_nodes: usize,
+    /// Whether the FST covered the layer (uncovered ⇒ no subs).
+    covered: bool,
+    /// Summed BST sizes over all merger candidates.
+    bst_nodes: usize,
+    /// Candidates generated before any truncation.
+    generated: usize,
+    /// Candidates dropped by per-pair and per-node truncation.
+    pruned: usize,
+    /// Per-parent `explored` increment (candidates after per-pair, before
+    /// per-node truncation — the pre-memoization accounting).
+    explored: usize,
+}
+
+/// Expands `layer` from `start_node`: forward search, merger scoring (or
+/// singleton generation), sort, and `X_d` truncation. Pure in
+/// `start_node`; see [`StartMemo`].
+fn expand_start(
+    ctx: &EngineCtx<'_>,
+    layer: &Layer,
+    start_node: NodeId,
+    cfg: &BbeConfig,
+    catalog: &VnfCatalog,
+) -> StartMemo {
+    let fst = forward_search(ctx.net, start_node, layer, catalog, cfg.x_max);
+    let mut memo = StartMemo {
+        subs: Vec::new(),
+        fst_nodes: fst.len(),
+        covered: fst.covered(),
+        bst_nodes: 0,
+        generated: 0,
+        pruned: 0,
+        explored: 0,
+    };
+    if !memo.covered {
+        return memo;
+    }
+    let mut subs: Vec<LayerSub> = if layer.needs_merger() {
+        let mergers: Vec<NodeId> = fst
+            .hosting(catalog.merger())
+            .into_iter()
+            .map(|i| fst.node(i).node)
+            .collect();
+        let mut collected = Vec::new();
+        for score in score_mergers(ctx, layer, &fst, &mergers, cfg, catalog) {
+            memo.bst_nodes += score.bst_nodes;
+            memo.generated += score.generated;
+            memo.pruned += score.generated - score.subs.len();
+            collected.extend(score.subs);
+        }
+        collected
+    } else {
+        let subs = singleton_layer_subs(ctx, layer, &fst);
+        memo.generated += subs.len();
+        subs
+    };
+    memo.explored = subs.len();
+    // Strategy (3), per sub-solution-tree node: cheapest X_d children
+    // (the X_d-tree of the paper).
+    subs.sort_by(|a, b| a.cost.total().total_cmp(&b.cost.total()));
+    if let Some(xd) = cfg.x_d {
+        if subs.len() > xd {
+            memo.pruned += subs.len() - xd;
+            subs.truncate(xd);
+        }
+    }
+    memo.subs = subs;
+    memo
+}
+
 /// One search attempt under a fixed configuration.
 fn attempt<I: Instrument>(
     ctx: &SolveCtx<'_>,
@@ -412,6 +497,7 @@ fn attempt<I: Instrument>(
     let mut tree = SubTree::new(flow.src);
     let mut level: Vec<usize> = vec![0];
     let mut explored = 0usize;
+    let substrate_n = net.node_count();
 
     for l in 0..sfc.depth() {
         // Per-layer wall clock only when a recording sink asks for it.
@@ -422,45 +508,28 @@ fn attempt<I: Instrument>(
         };
         let layer = sfc.layer(l);
         let mut next_level: Vec<usize> = Vec::new();
+        // End-node memo, fresh per layer (expansions depend on the layer).
+        let mut memo: Vec<Option<StartMemo>> =
+            std::iter::repeat_with(|| None).take(substrate_n).collect();
         for &parent in &level {
             ins.nodes_expanded(1);
             let start_node = tree.node(parent).end_node;
-            let fst = forward_search(net, start_node, layer, &catalog, cfg.x_max);
-            ins.fst_nodes(fst.len());
-            if !fst.covered() {
+            let slot = &mut memo[start_node.index()];
+            if slot.is_none() {
+                *slot = Some(expand_start(&ctx, layer, start_node, cfg, &catalog));
+            }
+            // lint:allow(expect) — invariant: filled just above
+            let m = slot.as_ref().expect("memo slot filled");
+            ins.fst_nodes(m.fst_nodes);
+            if !m.covered {
                 continue;
             }
-            let mut subs: Vec<LayerSub> = if layer.needs_merger() {
-                let mergers: Vec<NodeId> = fst
-                    .hosting(catalog.merger())
-                    .into_iter()
-                    .map(|i| fst.node(i).node)
-                    .collect();
-                let mut collected = Vec::new();
-                for score in score_mergers(&ctx, layer, &fst, &mergers, cfg, &catalog) {
-                    ins.bst_nodes(score.bst_nodes);
-                    ins.candidates_generated(score.generated);
-                    ins.candidates_pruned(score.generated - score.subs.len());
-                    collected.extend(score.subs);
-                }
-                collected
-            } else {
-                let subs = singleton_layer_subs(&ctx, layer, &fst);
-                ins.candidates_generated(subs.len());
-                subs
-            };
-            explored += subs.len();
-            // Strategy (3), per sub-solution-tree node: cheapest X_d
-            // children (the X_d-tree of the paper).
-            subs.sort_by(|a, b| a.cost.total().total_cmp(&b.cost.total()));
-            if let Some(xd) = cfg.x_d {
-                if subs.len() > xd {
-                    ins.candidates_pruned(subs.len() - xd);
-                    subs.truncate(xd);
-                }
-            }
-            for sub in subs {
-                next_level.push(tree.insert(parent, sub));
+            ins.bst_nodes(m.bst_nodes);
+            ins.candidates_generated(m.generated);
+            ins.candidates_pruned(m.pruned);
+            explored += m.explored;
+            for sub in &m.subs {
+                next_level.push(tree.insert(parent, sub.clone()));
             }
         }
         if next_level.is_empty() {
@@ -485,19 +554,63 @@ fn attempt<I: Instrument>(
 
     // Connect each leaf to the destination with a minimum-cost path
     // (Algorithm 1, lines 9–10), then take the cheapest valid candidate.
-    let mut finals: Vec<(f64, usize, Path)> = Vec::new();
+    //
+    // Every leaf shares the one destination, so a single dst-rooted
+    // Dijkstra tree prices them all: links are undirected, so the tree's
+    // distance to a leaf's end node *is* the exact end → dst min-cost —
+    // the per-leaf exact version of the `bounds.rs` link-term lower
+    // bound. Candidates are ranked best-first by that completed total
+    // and the final path is materialized lazily (reversed tree walk)
+    // only for candidates actually attempted, so the common case
+    // extracts exactly one path instead of one per leaf. Under a delay
+    // SLA the per-leaf forward search is kept: equal-cost final paths
+    // can differ in hop count, which the delay model observes.
+    let dst_tree = if cfg.delay_constraint.is_none() {
+        Some(ctx.oracle_tree(flow.dst))
+    } else {
+        None
+    };
+    let mut finals: Vec<(f64, usize, Option<Path>)> = Vec::new();
     for &leaf in &level {
         let end = tree.node(leaf).end_node;
-        if let Some(p) = ctx.min_cost_path(end, flow.dst) {
-            let total = tree.node(leaf).cum_cost + p.price(net) * flow.size;
-            finals.push((total, leaf, p));
+        match &dst_tree {
+            Some(dt) => {
+                let remaining = if end == flow.dst {
+                    Some(0.0)
+                } else {
+                    dt.dist_to(end)
+                };
+                if let Some(d) = remaining {
+                    finals.push((tree.node(leaf).cum_cost + d * flow.size, leaf, None));
+                }
+            }
+            None => {
+                if let Some(p) = ctx.min_cost_path(end, flow.dst) {
+                    let total = tree.node(leaf).cum_cost + p.price(net) * flow.size;
+                    finals.push((total, leaf, Some(p)));
+                }
+            }
         }
     }
     finals.sort_by(|a, b| a.0.total_cmp(&b.0));
     let kept = tree.len();
     let (h, m) = ctx.cache_counts();
     ins.cache(h, m);
-    for (_, leaf, final_path) in finals {
+    for (_, leaf, eager_path) in finals {
+        let final_path = match eager_path {
+            Some(p) => p,
+            None => {
+                let end = tree.node(leaf).end_node;
+                if end == flow.dst {
+                    Path::trivial(end)
+                } else {
+                    match dst_tree.as_ref().and_then(|dt| dt.path_to(end)) {
+                        Some(p) => p.reversed(),
+                        None => continue,
+                    }
+                }
+            }
+        };
         let embedding = assemble(sfc, &tree, leaf, final_path)?;
         if let Some(dc) = &cfg.delay_constraint {
             let delay = dc.model.embedding_delay(sfc, &embedding, flow);

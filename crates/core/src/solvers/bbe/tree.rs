@@ -9,7 +9,9 @@
 //! iterations, which is what real-path instantiation walks.
 
 use dagsfc_net::{Network, NodeId, Path, VnfTypeId};
-use std::collections::HashMap;
+
+/// Sentinel for "network node not in the tree" in the index vector.
+const NOT_IN_TREE: u32 = u32::MAX;
 
 /// One node of a search tree (the seven elements of Table 1).
 #[derive(Debug, Clone)]
@@ -35,10 +37,15 @@ pub struct TreeNode {
 }
 
 /// A grown search tree: the result of one forward or backward search.
+///
+/// Membership lookups go through a `NodeId`-indexed vector sized off the
+/// substrate (sentinel [`NOT_IN_TREE`]) instead of a hash map: the tree
+/// is rebuilt for every BBE attempt, so cheap O(1) array probes on the
+/// hot `contains`/`index_of` calls matter more than sparse storage.
 #[derive(Debug, Clone)]
 pub struct SearchTree {
     nodes: Vec<TreeNode>,
-    index_of: HashMap<NodeId, usize>,
+    index_of: Vec<u32>,
     covered: bool,
 }
 
@@ -76,8 +83,13 @@ impl SearchTree {
                 .collect::<Vec<_>>()
         };
 
+        let substrate_n = net.node_count();
         let mut nodes: Vec<TreeNode> = Vec::new();
-        let mut index_of: HashMap<NodeId, usize> = HashMap::new();
+        let mut index_of: Vec<u32> = vec![NOT_IN_TREE; substrate_n];
+        // Ring-stamped dedup for candidate collection: `ring_seen[v] ==
+        // ring_no` marks v as already queued for the current ring, so the
+        // per-neighbor membership probe is O(1) instead of a linear scan.
+        let mut ring_seen: Vec<usize> = vec![0; substrate_n];
 
         let root_avail = avail(start);
         remaining.retain(|&k| !net.hosts(start, k));
@@ -91,7 +103,7 @@ impl SearchTree {
             next: Vec::new(),
             ring: 0,
         });
-        index_of.insert(start, 0);
+        index_of[start.index()] = 0;
 
         let mut prev_ring: Vec<usize> = vec![0];
         let mut ring_no = 0usize;
@@ -107,7 +119,11 @@ impl SearchTree {
             for &ti in &prev_ring {
                 let n = nodes[ti].node;
                 for &(m, _) in net.neighbors(n) {
-                    if !index_of.contains_key(&m) && node_ok(m) && !ring_members.contains(&m) {
+                    if index_of[m.index()] == NOT_IN_TREE
+                        && ring_seen[m.index()] != ring_no
+                        && node_ok(m)
+                    {
+                        ring_seen[m.index()] = ring_no;
                         ring_members.push(m);
                     }
                 }
@@ -144,14 +160,16 @@ impl SearchTree {
                 } else {
                     nodes[this_ring[i - 1]].right_child = Some(idx);
                 }
-                index_of.insert(m, idx);
+                index_of[m.index()] = idx as u32;
                 this_ring.push(idx);
             }
             // Dotted arrows: adjacency between consecutive iterations.
             for &ti in &this_ring {
                 let n = nodes[ti].node;
                 for &(m, _) in net.neighbors(n) {
-                    if let Some(&pi) = index_of.get(&m) {
+                    let pi = index_of[m.index()];
+                    if pi != NOT_IN_TREE {
+                        let pi = pi as usize;
                         if nodes[pi].ring + 1 == ring_no {
                             nodes[ti].prev.push(pi);
                             nodes[pi].next.push(ti);
@@ -207,13 +225,16 @@ impl SearchTree {
 
     /// Tree index of a network node, if discovered.
     pub fn index_of(&self, n: NodeId) -> Option<usize> {
-        self.index_of.get(&n).copied()
+        match self.index_of.get(n.index()) {
+            Some(&i) if i != NOT_IN_TREE => Some(i as usize),
+            _ => None,
+        }
     }
 
     /// Whether `n` belongs to the search node set.
     #[inline]
     pub fn contains(&self, n: NodeId) -> bool {
-        self.index_of.contains_key(&n)
+        matches!(self.index_of.get(n.index()), Some(&i) if i != NOT_IN_TREE)
     }
 
     /// Tree indices of discovered nodes hosting `kind`, in discovery

@@ -1,0 +1,164 @@
+//! Vendored seeded FxHash-style hasher for hot-path maps.
+//!
+//! The workspace builds fully offline, so instead of pulling in the
+//! `rustc-hash` crate this module vendors the ~40-line multiply-xor
+//! hasher the rust compiler itself uses for its internal tables. It is
+//! dramatically cheaper than std's SipHash for the small integer keys
+//! the [`PathOracle`](crate::PathOracle) and
+//! [`CommitLedger`](crate::CommitLedger) hash on every solve, and —
+//! unlike `RandomState` — it is *deterministically seeded*, so map
+//! iteration order (where we rely on it we still sort) and hash values
+//! are identical across runs and processes.
+//!
+//! Not DoS-resistant: only use for trusted, internally generated keys
+//! (node ids, lease ids, capacity classes), never for attacker-chosen
+//! input.
+
+use std::hash::{BuildHasher, Hasher};
+
+/// Multiplier from the FxHash scheme (derived from the golden ratio).
+const SEED64: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+/// Fixed deterministic seed mixed into every hasher instance.
+const FIXED_STATE: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// A fast, deterministic, non-cryptographic hasher.
+#[derive(Debug, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl Default for FxHasher {
+    fn default() -> Self {
+        FxHasher { hash: FIXED_STATE }
+    }
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED64);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// [`BuildHasher`] producing [`FxHasher`] instances with a fixed seed.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxBuildHasher;
+
+impl BuildHasher for FxBuildHasher {
+    type Hasher = FxHasher;
+
+    #[inline]
+    fn build_hasher(&self) -> FxHasher {
+        FxHasher::default()
+    }
+}
+
+/// `HashMap` keyed with the deterministic [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// `HashSet` keyed with the deterministic [`FxHasher`].
+pub type FxHashSet<K> = std::collections::HashSet<K, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        let mut h = FxHasher::default();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        // Same value hashes identically regardless of when/where the
+        // hasher was built — this is what makes replay bit-stable.
+        for k in [0u64, 1, 42, u64::MAX, 0xdead_beef] {
+            assert_eq!(hash_of(&k), hash_of(&k));
+        }
+        let pair = (7u32, 3usize);
+        assert_eq!(hash_of(&pair), hash_of(&pair));
+    }
+
+    #[test]
+    fn distinct_keys_spread() {
+        // Not a cryptographic property, but the oracle keys
+        // (node, class) must not trivially collide in small domains.
+        let mut seen = std::collections::HashSet::new();
+        for node in 0u32..200 {
+            for class in 0usize..8 {
+                seen.insert(hash_of(&(node, class)));
+            }
+        }
+        assert_eq!(seen.len(), 200 * 8, "collision in small key domain");
+    }
+
+    #[test]
+    fn map_behaves_like_std() {
+        let mut m: FxHashMap<u64, &str> = FxHashMap::default();
+        m.insert(1, "a");
+        m.insert(2, "b");
+        m.insert(1, "c");
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.get(&1), Some(&"c"));
+        assert!(m.remove(&2).is_some());
+        assert!(m.is_empty() || m.len() == 1);
+    }
+
+    #[test]
+    fn insertion_heavy_determinism() {
+        // Build two maps with the same inserts in different orders and
+        // confirm the *sorted* view matches — the pattern production
+        // code uses whenever order matters.
+        let mut a: FxHashMap<u64, u64> = FxHashMap::default();
+        let mut b: FxHashMap<u64, u64> = FxHashMap::default();
+        for i in 0..1000u64 {
+            a.insert(i, i * 3);
+        }
+        for i in (0..1000u64).rev() {
+            b.insert(i, i * 3);
+        }
+        let mut ka: Vec<_> = a.iter().map(|(k, v)| (*k, *v)).collect();
+        let mut kb: Vec<_> = b.iter().map(|(k, v)| (*k, *v)).collect();
+        ka.sort_unstable();
+        kb.sort_unstable();
+        assert_eq!(ka, kb);
+    }
+}

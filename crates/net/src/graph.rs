@@ -12,7 +12,9 @@
 
 use crate::error::{NetError, NetResult};
 use crate::ids::{LinkId, NodeId, VnfTypeId};
+use crate::snapshot::{NetworkSnapshot, SnapshotCell};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// A deployed VNF instance `f_v(i)` on some node `v`.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -102,6 +104,9 @@ pub struct Network {
     /// `hosts[i]` lists the nodes hosting VNF type `i` (the paper's `V_i`),
     /// sorted by node id. Indexed by `VnfTypeId`.
     hosts: Vec<Vec<NodeId>>,
+    /// Lazily built CSR snapshot, dropped on every topology mutation.
+    /// Serializes as null (rebuilt on demand) and resets on `Clone`.
+    csr: SnapshotCell,
 }
 
 impl Network {
@@ -137,6 +142,7 @@ impl Network {
         let id = NodeId(self.nodes.len() as u32);
         self.nodes.push(Node::default());
         self.adj.push(Vec::new());
+        self.csr.invalidate();
         id
     }
 
@@ -185,6 +191,9 @@ impl Network {
                 if let Err(hpos) = hosts.binary_search(&node) {
                     hosts.insert(hpos, node);
                 }
+                // The CSR snapshot holds no VNF data today, but
+                // invalidating here keeps the cache safe if it ever does.
+                self.csr.invalidate();
                 Ok(())
             }
         }
@@ -238,7 +247,19 @@ impl Network {
         self.adj[a.index()].insert(pos_a, (b, id));
         let pos_b = self.adj[b.index()].partition_point(|&(n, _)| n < a);
         self.adj[b.index()].insert(pos_b, (a, id));
+        self.csr.invalidate();
         Ok(id)
+    }
+
+    /// The cached CSR snapshot of this network, built on first use.
+    ///
+    /// The snapshot is invalidated by every topology mutation
+    /// ([`add_node`](Self::add_node), [`add_link`](Self::add_link),
+    /// [`deploy_vnf`](Self::deploy_vnf)) and rebuilt lazily, so hot
+    /// routing loops always see arc data consistent with the graph.
+    #[inline]
+    pub fn snapshot(&self) -> &Arc<NetworkSnapshot> {
+        self.csr.get_or_build(self)
     }
 
     /// The node data for `id`.

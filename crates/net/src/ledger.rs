@@ -21,6 +21,7 @@
 //! one request, the ledger tracks commitments *across* requests.
 
 use crate::error::{NetError, NetResult};
+use crate::fxmap::FxHashMap;
 use crate::graph::Network;
 use crate::ids::{LinkId, NodeId, VnfTypeId};
 use crate::state::NetworkState;
@@ -40,7 +41,6 @@ impl std::fmt::Display for LeaseId {
 /// exactly what was reserved).
 #[derive(Debug, Clone)]
 struct LeaseRecord {
-    id: LeaseId,
     vnf: Vec<(NodeId, VnfTypeId, f64)>,
     links: Vec<(LinkId, f64)>,
 }
@@ -49,9 +49,9 @@ struct LeaseRecord {
 #[derive(Debug)]
 pub struct CommitLedger<'a> {
     state: NetworkState<'a>,
-    /// Active leases, in commit order (linear scan is fine: release is
-    /// rare relative to path queries and the set stays small).
-    active: Vec<LeaseRecord>,
+    /// Active leases keyed by id: O(1) release/liveness checks with the
+    /// deterministic in-repo [`FxHashMap`] (ordered views sort the ids).
+    active: FxHashMap<u64, LeaseRecord>,
     next_lease: u64,
     epoch: u64,
     total_committed: u64,
@@ -63,7 +63,7 @@ impl<'a> CommitLedger<'a> {
     pub fn new(net: &'a Network) -> Self {
         CommitLedger {
             state: NetworkState::new(net),
-            active: Vec::new(),
+            active: FxHashMap::default(),
             next_lease: 0,
             epoch: 0,
             total_committed: 0,
@@ -134,7 +134,6 @@ impl<'a> CommitLedger<'a> {
     {
         let cp = self.state.checkpoint();
         let mut record = LeaseRecord {
-            id: LeaseId(self.next_lease),
             vnf: Vec::new(),
             links: Vec::new(),
         };
@@ -158,11 +157,11 @@ impl<'a> CommitLedger<'a> {
             }
             record.links.push((link, rate));
         }
-        let id = record.id;
+        let id = LeaseId(self.next_lease);
         self.next_lease += 1;
         self.epoch += 1;
         self.total_committed += 1;
-        self.active.push(record);
+        self.active.insert(id.0, record);
         Ok(id)
     }
 
@@ -170,12 +169,10 @@ impl<'a> CommitLedger<'a> {
     /// issued, or already released — fail with
     /// [`NetError::UnknownLease`] and leave the state untouched.
     pub fn release(&mut self, lease: LeaseId) -> NetResult<()> {
-        let pos = self
+        let record = self
             .active
-            .iter()
-            .position(|r| r.id == lease)
+            .remove(&lease.0)
             .ok_or(NetError::UnknownLease(lease.0))?;
-        let record = self.active.swap_remove(pos);
         for &(node, kind, rate) in &record.vnf {
             self.state
                 .release_vnf(node, kind, rate)
@@ -195,12 +192,13 @@ impl<'a> CommitLedger<'a> {
 
     /// Whether `lease` is currently outstanding.
     pub fn is_active(&self, lease: LeaseId) -> bool {
-        self.active.iter().any(|r| r.id == lease)
+        self.active.contains_key(&lease.0)
     }
 
-    /// The ids of all outstanding leases, in commit order.
+    /// The ids of all outstanding leases, in commit order (ids are
+    /// issued monotonically, so sorted order *is* commit order).
     pub fn active_lease_ids(&self) -> Vec<LeaseId> {
-        let mut ids: Vec<LeaseId> = self.active.iter().map(|r| r.id).collect();
+        let mut ids: Vec<LeaseId> = self.active.keys().map(|&id| LeaseId(id)).collect();
         ids.sort_unstable();
         ids
     }

@@ -44,6 +44,7 @@
 pub mod analysis;
 pub mod error;
 pub mod export;
+pub mod fxmap;
 pub mod generator;
 pub mod graph;
 pub mod ids;
@@ -51,17 +52,20 @@ pub mod ledger;
 pub mod oracle;
 pub mod path;
 pub mod routing;
+pub mod snapshot;
 pub mod state;
 pub mod topologies;
 
 pub use analysis::{analyze, GraphMetrics};
 pub use error::{NetError, NetResult};
 pub use export::{to_dot, DotOptions};
+pub use fxmap::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use generator::NetGenConfig;
 pub use graph::{Link, Network, NetworkStats, Node, VnfInstance};
 pub use ids::{LinkId, NodeId, VnfTypeId};
 pub use ledger::{CommitLedger, LeaseId};
 pub use oracle::{OracleSession, OracleStats, PathOracle};
 pub use path::Path;
+pub use snapshot::{Arc32, NetworkSnapshot};
 pub use state::{Checkpoint, NetworkState, CAP_EPS};
 pub use topologies::Topology;

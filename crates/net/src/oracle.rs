@@ -21,13 +21,13 @@
 //!
 //! [`NetworkState`]: crate::state::NetworkState
 
+use crate::fxmap::FxHashMap;
 use crate::graph::Network;
 use crate::ids::NodeId;
 use crate::path::Path;
-use crate::routing::{LinkFilter, ShortestPathTree};
+use crate::routing::{LinkFilter, RoutingScratch, ShortestPathTree};
 use crate::state::CAP_EPS;
 use parking_lot::Mutex;
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -60,9 +60,14 @@ impl OracleStats {
 }
 
 /// LRU bookkeeping guarded by the oracle's mutex.
+///
+/// The [`RoutingScratch`] lives here because tree builds happen while
+/// the mutex is held: every cache fill on every thread reuses one set
+/// of search buffers, allocation-free in the steady state.
 struct TreeCache {
-    map: HashMap<(NodeId, usize), (Arc<ShortestPathTree>, u64)>,
+    map: FxHashMap<(NodeId, usize), (Arc<ShortestPathTree>, u64)>,
     tick: u64,
+    scratch: RoutingScratch,
 }
 
 /// Memoized single-source Dijkstra trees over the static-capacity link
@@ -99,8 +104,9 @@ impl<'n> PathOracle<'n> {
             classes,
             capacity: capacity.max(1),
             cache: Mutex::new(TreeCache {
-                map: HashMap::new(),
+                map: FxHashMap::default(),
                 tick: 0,
+                scratch: RoutingScratch::new(),
             }),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -146,11 +152,12 @@ impl<'n> PathOracle<'n> {
         // class produces the bit-identical tree.
         let threshold = self.classes.get(class).copied().unwrap_or(f64::INFINITY);
         let net = self.net;
-        let tree = Arc::new(ShortestPathTree::build(
+        let tree = Arc::new(ShortestPathTree::build_in(
             net,
             source,
             &|l| net.link(l).capacity >= threshold,
             None,
+            &mut cache.scratch,
         ));
         if cache.map.len() >= self.capacity {
             if let Some(&victim) = cache
@@ -200,7 +207,8 @@ impl<'n> PathOracle<'n> {
     pub fn session(&self) -> OracleSession<'_, 'n> {
         OracleSession {
             oracle: self,
-            cache: HashMap::new(),
+            cache: FxHashMap::default(),
+            scratch: RoutingScratch::new(),
             hits: 0,
             misses: 0,
         }
@@ -228,7 +236,10 @@ impl<'n> PathOracle<'n> {
 /// [`NetworkState`]: crate::state::NetworkState
 pub struct OracleSession<'o, 'n> {
     oracle: &'o PathOracle<'n>,
-    cache: HashMap<(NodeId, u64), Arc<ShortestPathTree>>,
+    cache: FxHashMap<(NodeId, u64), Arc<ShortestPathTree>>,
+    /// Session-owned search buffers, reused by every tree build of the
+    /// solve (see [`RoutingScratch`]).
+    scratch: RoutingScratch,
     hits: u64,
     misses: u64,
 }
@@ -255,7 +266,13 @@ impl OracleSession<'_, '_> {
             self.oracle.record_session(true);
             return tree.path_to(to);
         }
-        let tree = Arc::new(ShortestPathTree::build(self.oracle.net, from, filter, None));
+        let tree = Arc::new(ShortestPathTree::build_in(
+            self.oracle.net,
+            from,
+            filter,
+            None,
+            &mut self.scratch,
+        ));
         let path = tree.path_to(to);
         self.cache.insert(key, tree);
         self.misses += 1;

@@ -5,16 +5,23 @@
 //! search does the same from a merger candidate, *restricted to the forward
 //! node set* (§4.3). [`RingSearch`] is that primitive: each call to
 //! [`RingSearch::next_ring`] returns the nodes at the next hop distance.
+//!
+//! Both searches walk the network's CSR snapshot (contiguous arc scans
+//! instead of nested-`Vec` pointer chasing); [`hop_distances_in`] runs
+//! in a caller-provided [`RoutingScratch`] so repeated distance maps
+//! reuse one queue and one stamp array.
 
+use super::scratch::{with_thread_scratch, RoutingScratch};
 use crate::graph::Network;
 use crate::ids::NodeId;
+use crate::snapshot::NetworkSnapshot;
 
 /// Incremental BFS producing one hop-ring at a time.
 ///
 /// Ring 0 is the start node itself (the paper's first iteration where
 /// `V^{F,l}_{v,1} = {v}`).
 pub struct RingSearch<'a, F> {
-    net: &'a Network,
+    snap: &'a NetworkSnapshot,
     node_ok: F,
     visited: Vec<bool>,
     frontier: Vec<NodeId>,
@@ -27,10 +34,11 @@ impl<'a, F: Fn(NodeId) -> bool> RingSearch<'a, F> {
     /// Starts a ring search at `start`; only nodes satisfying `node_ok`
     /// are entered (the start node is always admitted).
     pub fn new(net: &'a Network, start: NodeId, node_ok: F) -> Self {
-        let mut visited = vec![false; net.node_count()];
+        let snap: &NetworkSnapshot = net.snapshot();
+        let mut visited = vec![false; snap.node_count()];
         visited[start.index()] = true;
         RingSearch {
-            net,
+            snap,
             node_ok,
             visited,
             frontier: vec![start],
@@ -49,7 +57,8 @@ impl<'a, F: Fn(NodeId) -> bool> RingSearch<'a, F> {
         self.discovered.extend_from_slice(&ring);
         let mut next = Vec::new();
         for &n in &ring {
-            for &(m, _) in self.net.neighbors(n) {
+            for i in self.snap.arc_range(n) {
+                let m = self.snap.arc_target(i);
                 if !self.visited[m.index()] && (self.node_ok)(m) {
                     self.visited[m.index()] = true;
                     next.push(m);
@@ -84,20 +93,35 @@ impl<'a, F: Fn(NodeId) -> bool> RingSearch<'a, F> {
 
 /// Hop distance from `start` to every node (`None` if unreachable).
 pub fn hop_distances(net: &Network, start: NodeId) -> Vec<Option<u32>> {
-    let mut dist = vec![None; net.node_count()];
-    dist[start.index()] = Some(0);
-    let mut queue = std::collections::VecDeque::from([start]);
-    while let Some(n) = queue.pop_front() {
-        // lint:allow(expect) — invariant: queued nodes have distances
-        let d = dist[n.index()].expect("queued nodes have distances");
-        for &(m, _) in net.neighbors(n) {
-            if dist[m.index()].is_none() {
-                dist[m.index()] = Some(d + 1);
-                queue.push_back(m);
+    with_thread_scratch(|scratch| hop_distances_in(net, start, scratch))
+}
+
+/// Like [`hop_distances`], but runs in a caller-provided scratch: the
+/// only steady-state allocation is the returned distance vector.
+pub fn hop_distances_in(
+    net: &Network,
+    start: NodeId,
+    scratch: &mut RoutingScratch,
+) -> Vec<Option<u32>> {
+    let snap: &NetworkSnapshot = net.snapshot();
+    scratch.bfs_begin(snap.node_count());
+    scratch.bfs_visit(start, 0);
+    scratch.queue.push_back(start);
+    while let Some(n) = scratch.queue.pop_front() {
+        // Queued nodes always have a hop count; unwrap_or keeps the
+        // loop panic-free if that invariant ever breaks.
+        let d = scratch.bfs_hops(n).unwrap_or(0);
+        for i in snap.arc_range(n) {
+            let m = snap.arc_target(i);
+            if !scratch.bfs_visited(m) {
+                scratch.bfs_visit(m, d + 1);
+                scratch.queue.push_back(m);
             }
         }
     }
-    dist
+    (0..snap.node_count() as u32)
+        .map(|v| scratch.bfs_hops(NodeId(v)))
+        .collect()
 }
 
 #[cfg(test)]
@@ -179,5 +203,16 @@ mod tests {
         let d = hop_distances(&g, NodeId(0));
         assert_eq!(d[0], Some(0));
         assert_eq!(d[1], None);
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_runs() {
+        let g = graph();
+        let mut scratch = RoutingScratch::new();
+        for start in g.node_ids() {
+            let fresh = hop_distances(&g, start);
+            let reused = hop_distances_in(&g, start, &mut scratch);
+            assert_eq!(fresh, reused);
+        }
     }
 }

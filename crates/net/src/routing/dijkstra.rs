@@ -3,36 +3,61 @@
 //! Link prices are the edge weights; all prices are finite and
 //! non-negative by construction ([`crate::Network::add_link`] validates
 //! this), so Dijkstra's preconditions hold.
+//!
+//! The search runs over the network's cached CSR
+//! [`NetworkSnapshot`](crate::NetworkSnapshot) — a flat
+//! struct-of-arrays adjacency whose arc order matches
+//! [`Network::neighbors`] exactly, so results are bit-identical to the
+//! historical adjacency-list implementation — and keeps its working
+//! state in an epoch-tagged [`RoutingScratch`], making steady-state
+//! searches allocation-free. Entry points without a scratch parameter
+//! borrow a per-thread scratch transparently.
 
+use super::scratch::{with_thread_scratch, MinCostEntry, RoutingScratch};
 use super::LinkFilter;
 use crate::graph::Network;
 use crate::ids::{LinkId, NodeId};
 use crate::path::Path;
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use crate::snapshot::NetworkSnapshot;
 
-/// Max-heap entry ordered so the *cheapest* distance pops first.
-#[derive(Debug, PartialEq)]
-struct HeapEntry {
-    dist: f64,
-    node: NodeId,
-}
-
-impl Eq for HeapEntry {}
-
-impl Ord for HeapEntry {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse so BinaryHeap (a max-heap) pops the minimum distance.
-        other
-            .dist
-            .total_cmp(&self.dist)
-            .then_with(|| other.node.cmp(&self.node))
-    }
-}
-
-impl PartialOrd for HeapEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
+/// Runs the CSR Dijkstra loop, leaving distances/predecessors in
+/// `scratch` under a fresh epoch.
+pub(crate) fn search_in<F: LinkFilter>(
+    snap: &NetworkSnapshot,
+    source: NodeId,
+    filter: &F,
+    target: Option<NodeId>,
+    scratch: &mut RoutingScratch,
+) {
+    scratch.begin(snap.node_count());
+    scratch.relax(source, 0.0, None);
+    scratch.heap.push(MinCostEntry {
+        dist: 0.0,
+        node: source,
+    });
+    while let Some(MinCostEntry { dist: d, node }) = scratch.heap.pop() {
+        if scratch.is_settled(node) {
+            continue;
+        }
+        scratch.settle(node);
+        if target == Some(node) {
+            break;
+        }
+        for i in snap.arc_range(node) {
+            let next = snap.arc_target(i);
+            let link = snap.arc_link(i);
+            if scratch.is_settled(next) || !filter.allows(link) {
+                continue;
+            }
+            let nd = d + snap.arc_price(i);
+            if nd < scratch.dist(next) {
+                scratch.relax(next, nd, Some((node, link)));
+                scratch.heap.push(MinCostEntry {
+                    dist: nd,
+                    node: next,
+                });
+            }
+        }
     }
 }
 
@@ -56,38 +81,27 @@ impl ShortestPathTree {
         filter: &F,
         target: Option<NodeId>,
     ) -> Self {
-        let n = net.node_count();
-        let mut dist = vec![f64::INFINITY; n];
-        let mut prev: Vec<Option<(NodeId, LinkId)>> = vec![None; n];
-        let mut settled = vec![false; n];
-        let mut heap = BinaryHeap::new();
-        dist[source.index()] = 0.0;
-        heap.push(HeapEntry {
-            dist: 0.0,
-            node: source,
-        });
-        while let Some(HeapEntry { dist: d, node }) = heap.pop() {
-            if settled[node.index()] {
-                continue;
-            }
-            settled[node.index()] = true;
-            if target == Some(node) {
-                break;
-            }
-            for &(next, link) in net.neighbors(node) {
-                if settled[next.index()] || !filter.allows(link) {
-                    continue;
-                }
-                let nd = d + net.link(link).price;
-                if nd < dist[next.index()] {
-                    dist[next.index()] = nd;
-                    prev[next.index()] = Some((node, link));
-                    heap.push(HeapEntry {
-                        dist: nd,
-                        node: next,
-                    });
-                }
-            }
+        with_thread_scratch(|scratch| Self::build_in(net, source, filter, target, scratch))
+    }
+
+    /// Like [`build`](Self::build), but runs in a caller-provided
+    /// scratch so repeated builds (oracle cache fills, Steiner rounds)
+    /// reuse one set of working buffers.
+    pub fn build_in<F: LinkFilter>(
+        net: &Network,
+        source: NodeId,
+        filter: &F,
+        target: Option<NodeId>,
+        scratch: &mut RoutingScratch,
+    ) -> Self {
+        let snap: &NetworkSnapshot = net.snapshot();
+        search_in(snap, source, filter, target, scratch);
+        let n = snap.node_count();
+        let mut dist = Vec::with_capacity(n);
+        let mut prev = Vec::with_capacity(n);
+        for v in 0..n as u32 {
+            dist.push(scratch.dist(NodeId(v)));
+            prev.push(scratch.prev_of(NodeId(v)));
         }
         ShortestPathTree { source, dist, prev }
     }
@@ -135,10 +149,24 @@ pub fn min_cost_path<F: LinkFilter>(
     to: NodeId,
     filter: &F,
 ) -> Option<Path> {
+    with_thread_scratch(|scratch| min_cost_path_in(net, from, to, filter, scratch))
+}
+
+/// Like [`min_cost_path`], but runs in a caller-provided scratch: the
+/// only allocation in the steady state is the returned [`Path`].
+pub fn min_cost_path_in<F: LinkFilter>(
+    net: &Network,
+    from: NodeId,
+    to: NodeId,
+    filter: &F,
+    scratch: &mut RoutingScratch,
+) -> Option<Path> {
     if from == to {
         return Some(Path::trivial(from));
     }
-    ShortestPathTree::build(net, from, filter, Some(to)).path_to(to)
+    let snap: &NetworkSnapshot = net.snapshot();
+    search_in(snap, from, filter, Some(to), scratch);
+    scratch.extract_path(from, to)
 }
 
 #[cfg(test)]
@@ -226,6 +254,25 @@ mod tests {
             assert_eq!(p.source(), NodeId(3));
             assert_eq!(p.target(), n);
             assert!(!p.has_node_cycle());
+        }
+    }
+
+    #[test]
+    fn shared_scratch_reproduces_per_call_results() {
+        let g = diamond();
+        let mut scratch = RoutingScratch::new();
+        for from in g.node_ids() {
+            for to in g.node_ids() {
+                let fresh = min_cost_path(&g, from, to, &NoFilter);
+                let reused = min_cost_path_in(&g, from, to, &NoFilter, &mut scratch);
+                match (fresh, reused) {
+                    (Some(a), Some(b)) => {
+                        assert_eq!(a.nodes(), b.nodes());
+                        assert_eq!(a.links(), b.links());
+                    }
+                    (a, b) => assert_eq!(a.is_none(), b.is_none()),
+                }
+            }
         }
     }
 }

@@ -16,10 +16,10 @@
 //!    into two link-disjoint paths.
 
 use super::{dijkstra::min_cost_path, LinkFilter};
+use crate::fxmap::FxHashMap;
 use crate::graph::Network;
 use crate::ids::{LinkId, NodeId};
 use crate::path::Path;
-use std::collections::{HashMap, HashSet};
 
 /// A link-disjoint pair of paths with minimal total price.
 #[derive(Debug, Clone)]
@@ -55,7 +55,7 @@ pub fn disjoint_path_pair<F: LinkFilter>(
     // Directed arc view: arc = (link, forward?) where forward means
     // a→b with a = link.a. P1's arcs become: forward direction removed,
     // reverse direction negated.
-    let mut p1_arcs: HashMap<LinkId, bool> = HashMap::new(); // link -> traversed a→b?
+    let mut p1_arcs: FxHashMap<LinkId, bool> = FxHashMap::default(); // link -> traversed a→b?
     {
         let nodes = p1.nodes();
         for (i, &l) in p1.links().iter().enumerate() {
@@ -122,16 +122,21 @@ pub fn disjoint_path_pair<F: LinkFilter>(
     }
 
     // Cancellation: links used by P1 and re-used (reversed) by P2 vanish.
-    let mut surviving: HashSet<LinkId> = p1.links().iter().copied().collect();
+    // A sorted Vec (paths are short) keeps the decomposition below
+    // deterministic, unlike the randomly-seeded std HashSet it replaces.
+    let mut surviving: Vec<LinkId> = p1.links().to_vec();
     for l in &p2_links {
-        if !surviving.remove(l) {
-            surviving.insert(*l);
+        if let Some(pos) = surviving.iter().position(|x| x == l) {
+            surviving.swap_remove(pos);
+        } else {
+            surviving.push(*l);
         }
     }
+    surviving.sort_unstable();
 
     // Decompose the surviving link set into two link-disjoint from→to
     // paths by walking adjacency.
-    let mut adj: HashMap<NodeId, Vec<LinkId>> = HashMap::new();
+    let mut adj: FxHashMap<NodeId, Vec<LinkId>> = FxHashMap::default();
     for &l in &surviving {
         let link = net.link(l);
         adj.entry(link.a).or_default().push(l);

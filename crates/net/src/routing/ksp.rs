@@ -4,8 +4,14 @@
 //! (the paper's `p^a_{b,ρ} ∈ P^a_b`), which requires more than the single
 //! cheapest path. Yen's algorithm yields them in non-decreasing price
 //! order without repetition.
+//!
+//! All spur searches of one invocation share a single
+//! [`RoutingScratch`], so Yen's O(k·n) Dijkstra calls reuse one set of
+//! working buffers.
 
-use super::{dijkstra::min_cost_path, LinkFilter};
+use super::dijkstra::min_cost_path_in;
+use super::scratch::{with_thread_scratch, RoutingScratch};
+use super::LinkFilter;
 use crate::graph::Network;
 use crate::ids::{LinkId, NodeId};
 use crate::path::Path;
@@ -22,6 +28,19 @@ pub fn k_shortest_paths<F: LinkFilter>(
     k: usize,
     filter: &F,
 ) -> Vec<Path> {
+    with_thread_scratch(|scratch| k_shortest_paths_in(net, from, to, k, filter, scratch))
+}
+
+/// Like [`k_shortest_paths`], but runs every spur search in a
+/// caller-provided scratch.
+pub fn k_shortest_paths_in<F: LinkFilter>(
+    net: &Network,
+    from: NodeId,
+    to: NodeId,
+    k: usize,
+    filter: &F,
+    scratch: &mut RoutingScratch,
+) -> Vec<Path> {
     if k == 0 {
         return Vec::new();
     }
@@ -29,7 +48,7 @@ pub fn k_shortest_paths<F: LinkFilter>(
         return vec![Path::trivial(from)];
     }
     let mut result: Vec<Path> = Vec::with_capacity(k);
-    let Some(first) = min_cost_path(net, from, to, filter) else {
+    let Some(first) = min_cost_path_in(net, from, to, filter, scratch) else {
         return result;
     };
     result.push(first);
@@ -64,7 +83,7 @@ pub fn k_shortest_paths<F: LinkFilter>(
                 let link = net.link(l);
                 !banned_nodes.contains(&link.a) && !banned_nodes.contains(&link.b)
             };
-            if let Some(spur) = min_cost_path(net, spur_node, to, &spur_filter) {
+            if let Some(spur) = min_cost_path_in(net, spur_node, to, &spur_filter, scratch) {
                 let root = Path::from_parts_unchecked(root_nodes.to_vec(), root_links.to_vec());
                 // lint:allow(expect) — invariant: root ends at spur node
                 let total = root.join(&spur).expect("root ends at spur node");
@@ -98,6 +117,7 @@ pub fn k_shortest_paths<F: LinkFilter>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::routing::min_cost_path;
     use crate::routing::NoFilter;
 
     /// Square with a diagonal: 0-1 (1), 1-3 (1), 0-2 (1.5), 2-3 (1.5), 0-3 (5).
@@ -181,5 +201,14 @@ mod tests {
         let d = min_cost_path(&g, NodeId(0), NodeId(3), &NoFilter).unwrap();
         let ps = k_shortest_paths(&g, NodeId(0), NodeId(3), 1, &NoFilter);
         assert_eq!(ps[0], d);
+    }
+
+    #[test]
+    fn explicit_scratch_matches_thread_local() {
+        let g = square();
+        let mut scratch = RoutingScratch::new();
+        let a = k_shortest_paths(&g, NodeId(0), NodeId(3), 5, &NoFilter);
+        let b = k_shortest_paths_in(&g, NodeId(0), NodeId(3), 5, &NoFilter, &mut scratch);
+        assert_eq!(a, b);
     }
 }

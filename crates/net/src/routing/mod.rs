@@ -17,13 +17,15 @@ pub mod bfs;
 pub mod dijkstra;
 pub mod disjoint;
 pub mod ksp;
+pub mod scratch;
 pub mod steiner;
 pub mod widest;
 
 pub use bfs::{hop_distances, RingSearch};
-pub use dijkstra::{min_cost_path, ShortestPathTree};
+pub use dijkstra::{min_cost_path, min_cost_path_in, ShortestPathTree};
 pub use disjoint::{disjoint_path_pair, DisjointPair};
 pub use ksp::k_shortest_paths;
+pub use scratch::{with_thread_scratch, RoutingScratch};
 pub use steiner::{multicast_tree, MulticastTree};
 pub use widest::{widest_path, widest_residual_path};
 

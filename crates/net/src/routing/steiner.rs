@@ -10,13 +10,23 @@
 //! closest unconnected terminal via its cheapest path to the current
 //! tree.
 //!
+//! Tree membership and parent pointers are `NodeId`-indexed vectors
+//! (not hash structures), and every per-terminal Dijkstra of every
+//! round shares one [`RoutingScratch`]; tree members are scanned in
+//! insertion order, so distance ties resolve deterministically.
+//!
 //! This powers the `MBBE-ST` extension solver in `dagsfc-core`.
 
-use super::{dijkstra::ShortestPathTree, LinkFilter};
+use super::dijkstra::search_in;
+use super::scratch::{with_thread_scratch, RoutingScratch};
+use super::LinkFilter;
 use crate::graph::Network;
 use crate::ids::{LinkId, NodeId};
 use crate::path::Path;
-use std::collections::{HashMap, HashSet};
+use crate::snapshot::NetworkSnapshot;
+
+/// Sentinel for "no parent pointer" in the tree arrays.
+const NO_PARENT: u32 = u32::MAX;
 
 /// A multicast routing solution: a tree spanning the root and all
 /// terminals, plus the per-terminal root→terminal paths inside it.
@@ -42,10 +52,27 @@ pub fn multicast_tree<F: LinkFilter>(
     targets: &[NodeId],
     filter: &F,
 ) -> Option<MulticastTree> {
-    // Tree state: member nodes and adjacency (parent pointers toward the
-    // root) so final per-terminal paths are unique tree walks.
-    let mut in_tree: HashSet<NodeId> = HashSet::from([root]);
-    let mut parent: HashMap<NodeId, (NodeId, LinkId)> = HashMap::new();
+    with_thread_scratch(|scratch| multicast_tree_in(net, root, targets, filter, scratch))
+}
+
+/// Like [`multicast_tree`], but runs every per-terminal search in a
+/// caller-provided scratch.
+pub fn multicast_tree_in<F: LinkFilter>(
+    net: &Network,
+    root: NodeId,
+    targets: &[NodeId],
+    filter: &F,
+    scratch: &mut RoutingScratch,
+) -> Option<MulticastTree> {
+    let snap: &NetworkSnapshot = net.snapshot();
+    let n = snap.node_count();
+    // Tree state: membership flags, members in insertion order (for
+    // deterministic closest-member scans), and parent pointers toward
+    // the root so final per-terminal paths are unique tree walks.
+    let mut in_tree = vec![false; n];
+    in_tree[root.index()] = true;
+    let mut tree_nodes: Vec<NodeId> = vec![root];
+    let mut parent: Vec<(u32, u32)> = vec![(NO_PARENT, NO_PARENT); n];
     let mut tree_links: Vec<LinkId> = Vec::new();
 
     let mut remaining: Vec<NodeId> = {
@@ -62,19 +89,18 @@ pub fn multicast_tree<F: LinkFilter>(
         // settled. (Terminal count is small — the layer width.)
         let mut best: Option<(f64, usize, Path)> = None;
         for (i, &t) in remaining.iter().enumerate() {
-            let spt = ShortestPathTree::build(net, t, filter, None);
+            search_in(snap, t, filter, None, scratch);
             let mut closest: Option<(f64, NodeId)> = None;
-            for &m in &in_tree {
-                if let Some(d) = spt.dist_to(m) {
-                    if closest.is_none_or(|(bd, _)| d < bd) {
-                        closest = Some((d, m));
-                    }
+            for &m in &tree_nodes {
+                let d = scratch.dist(m);
+                if d.is_finite() && closest.is_none_or(|(bd, _)| d < bd) {
+                    closest = Some((d, m));
                 }
             }
             let (d, entry) = closest?; // a terminal can't reach the tree → fail
-                                       // lint:allow(expect) — invariant: entry is reachable
-            let path = spt.path_to(entry).expect("entry is reachable");
             if best.as_ref().is_none_or(|(bd, _, _)| d < *bd) {
+                // The entry was reached this search, so the path exists.
+                let path = scratch.extract_path(t, entry)?;
                 best = Some((d, i, path));
             }
         }
@@ -89,13 +115,14 @@ pub fn multicast_tree<F: LinkFilter>(
         for i in (0..links.len()).rev() {
             let child = nodes[i];
             let par = nodes[i + 1];
-            if in_tree.contains(&child) {
+            if in_tree[child.index()] {
                 // The spur re-touches the tree; everything from here to
                 // the terminal is already grafted in later iterations.
                 continue;
             }
-            in_tree.insert(child);
-            parent.insert(child, (par, links[i]));
+            in_tree[child.index()] = true;
+            tree_nodes.push(child);
+            parent[child.index()] = (par.0, links[i].0);
             tree_links.push(links[i]);
         }
     }
@@ -107,11 +134,11 @@ pub fn multicast_tree<F: LinkFilter>(
         let mut links = Vec::new();
         let mut cur = t;
         while cur != root {
-            // lint:allow(expect) — invariant: terminal is in the tree
-            let &(p, l) = parent.get(&cur).expect("terminal is in the tree");
-            nodes.push(p);
-            links.push(l);
-            cur = p;
+            let (p, l) = parent[cur.index()];
+            debug_assert_ne!(p, NO_PARENT, "terminal is in the tree");
+            nodes.push(NodeId(p));
+            links.push(LinkId(l));
+            cur = NodeId(p);
         }
         nodes.reverse();
         links.reverse();
@@ -135,6 +162,7 @@ pub fn multicast_tree<F: LinkFilter>(
 mod tests {
     use super::*;
     use crate::routing::NoFilter;
+    use std::collections::HashSet;
 
     /// A "comb": a cheap chain 0—1—2—3 (1.0, 0.5, 0.5) with pricier
     /// direct shortcuts 0—2 and 0—3 (1.3 each). Each terminal's own
@@ -239,5 +267,19 @@ mod tests {
             nodes.insert(g.link(l).b);
         }
         assert_eq!(nodes.len(), mt.tree_links.len() + 1);
+    }
+
+    #[test]
+    fn explicit_scratch_matches_thread_local() {
+        let g = comb();
+        let targets = [NodeId(1), NodeId(2), NodeId(3)];
+        let mut scratch = RoutingScratch::new();
+        let a = multicast_tree(&g, NodeId(0), &targets, &NoFilter).unwrap();
+        let b = multicast_tree_in(&g, NodeId(0), &targets, &NoFilter, &mut scratch).unwrap();
+        assert_eq!(a.tree_links, b.tree_links);
+        assert_eq!(a.paths.len(), b.paths.len());
+        for (pa, pb) in a.paths.iter().zip(&b.paths) {
+            assert_eq!(pa.nodes(), pb.nodes());
+        }
     }
 }

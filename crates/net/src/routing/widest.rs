@@ -5,11 +5,17 @@
 //! routes whose bottleneck link leaves the most residual bandwidth.
 //! This is the classic widest-path problem — Dijkstra with `min` instead
 //! of `+` and `max`-relaxation — over the residual capacities.
+//!
+//! The relaxation loop scans the network's CSR snapshot like the other
+//! kernels; the width semiring needs its own heap ordering and
+//! sentinels, so it keeps local working vectors rather than sharing the
+//! min-cost [`RoutingScratch`](super::RoutingScratch).
 
 use super::LinkFilter;
 use crate::graph::Network;
 use crate::ids::{LinkId, NodeId};
 use crate::path::Path;
+use crate::snapshot::NetworkSnapshot;
 use crate::state::NetworkState;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -51,7 +57,8 @@ pub fn widest_path<F: LinkFilter>(
     if from == to {
         return Some((Path::trivial(from), f64::INFINITY));
     }
-    let n = net.node_count();
+    let snap: &NetworkSnapshot = net.snapshot();
+    let n = snap.node_count();
     let mut best = vec![f64::NEG_INFINITY; n];
     let mut prev: Vec<Option<(NodeId, LinkId)>> = vec![None; n];
     let mut settled = vec![false; n];
@@ -69,7 +76,9 @@ pub fn widest_path<F: LinkFilter>(
         if node == to {
             break;
         }
-        for &(next, link) in net.neighbors(node) {
+        for i in snap.arc_range(node) {
+            let next = snap.arc_target(i);
+            let link = snap.arc_link(i);
             if settled[next.index()] || !filter.allows(link) {
                 continue;
             }

@@ -29,7 +29,7 @@ pub use sfc_size::fig6a;
 pub use topology::{topology_sweep, topology_table, TopologyPoint};
 
 use crate::config::SimConfig;
-use crate::runner::{run_instance, Algo, AlgoResult, OracleSnapshot};
+use crate::runner::{run_instance, run_instances, Algo, AlgoResult, OracleSnapshot};
 use serde::Serialize;
 
 /// BBE's practical SFC-size limit: the paper stops plotting BBE at size
@@ -80,9 +80,37 @@ impl SweepResult {
     }
 }
 
+/// Expands a sweep's x grid into per-point `(config, algorithms)` plans.
+/// Both executors derive point seeds through this one function, which is
+/// what keeps them interchangeable.
+fn point_plans(
+    base: &SimConfig,
+    xs: &[f64],
+    set: impl Fn(&mut SimConfig, f64),
+    algos: impl Fn(f64) -> Vec<Algo>,
+) -> Vec<(SimConfig, Vec<Algo>)> {
+    xs.iter()
+        .enumerate()
+        .map(|(i, &x)| {
+            let mut cfg = base.clone();
+            // Decorrelate point seeds while keeping the sweep reproducible.
+            cfg.seed = base.seed.wrapping_add(1 + i as u64);
+            set(&mut cfg, x);
+            let a = algos(x);
+            (cfg, a)
+        })
+        .collect()
+}
+
 /// Generic sweep driver: for every `x`, clone the base config, apply
 /// `set(cfg, x)`, pick the algorithm list via `algos(x)`, and run the
 /// instance. Every point reseeds deterministically from the base seed.
+///
+/// Points execute on the deterministic parallel executor
+/// ([`run_instances`]): every `(point, run)` pair goes through one
+/// shared work queue and the reduction is index-ordered, so the result —
+/// including the rendered CSV, byte for byte — is identical to the
+/// serial reference [`sweep_serial`] regardless of thread interleaving.
 pub fn sweep(
     id: &'static str,
     x_label: &'static str,
@@ -91,19 +119,47 @@ pub fn sweep(
     set: impl Fn(&mut SimConfig, f64),
     algos: impl Fn(f64) -> Vec<Algo>,
 ) -> SweepResult {
-    let mut points = Vec::with_capacity(xs.len());
-    for (i, &x) in xs.iter().enumerate() {
-        let mut cfg = base.clone();
-        // Decorrelate point seeds while keeping the sweep reproducible.
-        cfg.seed = base.seed.wrapping_add(1 + i as u64);
-        set(&mut cfg, x);
-        let result = run_instance(&cfg, &algos(x));
-        points.push(SweepPoint {
+    let plans = point_plans(base, xs, set, algos);
+    let points = run_instances(&plans)
+        .into_iter()
+        .zip(xs)
+        .map(|(result, &x)| SweepPoint {
             x,
             algos: result.algos,
             oracle: result.oracle,
-        });
+        })
+        .collect();
+    SweepResult {
+        id,
+        x_label,
+        points,
     }
+}
+
+/// The serial reference executor: one instance at a time, in x order.
+/// Kept as the differential baseline the parallel [`sweep`] is tested
+/// against (bit-identical CSV output).
+pub fn sweep_serial(
+    id: &'static str,
+    x_label: &'static str,
+    base: &SimConfig,
+    xs: &[f64],
+    set: impl Fn(&mut SimConfig, f64),
+    algos: impl Fn(f64) -> Vec<Algo>,
+) -> SweepResult {
+    let plans = point_plans(base, xs, set, algos);
+    let points = plans
+        .iter()
+        .zip(xs)
+        .map(|((cfg, a), &x)| {
+            let result = run_instance(cfg, a);
+            SweepPoint {
+                x,
+                algos: result.algos,
+                oracle: result.oracle,
+            }
+        })
+        .collect();
     SweepResult {
         id,
         x_label,

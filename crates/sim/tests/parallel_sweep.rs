@@ -1,0 +1,134 @@
+//! Differential test: the parallel sweep executor must be
+//! observationally identical to the serial reference.
+//!
+//! For every Fig. 6 knob dimension we run the same sweep spec through
+//! both executors and require the rendered CSV to match **byte for
+//! byte**. The grids are scaled-down versions of the paper grids (the
+//! full quick-profile figure run lives in CI's release-mode figures
+//! job); what matters here is that every knob setter and every
+//! algorithm mix goes through both code paths.
+
+use dagsfc_sim::report;
+use dagsfc_sim::runner::Algo;
+use dagsfc_sim::sweep::{paper_algos, paper_algos_no_bbe, sweep, sweep_serial, BBE_SFC_SIZE_LIMIT};
+use dagsfc_sim::SimConfig;
+
+/// Quick-profile base configuration (the same profile `dagsfc figures`
+/// uses without `--full`): 60-node substrate, 10 runs per point.
+fn quick_base() -> SimConfig {
+    SimConfig::quick()
+}
+
+/// One knob dimension of the Fig. 6 family: an id, an x grid, a config
+/// setter, and the algorithm mix per point.
+struct Dim {
+    id: &'static str,
+    xs: &'static [f64],
+    set: fn(&mut SimConfig, f64),
+    algos: fn(f64) -> Vec<Algo>,
+}
+
+fn fig6_dims() -> Vec<Dim> {
+    vec![
+        // fig6a: SFC size, BBE dropped beyond its practical limit.
+        Dim {
+            id: "fig6a",
+            xs: &[3.0, 6.0],
+            set: |cfg, x| cfg.sfc_size = x as usize,
+            algos: |x| {
+                if x as usize <= BBE_SFC_SIZE_LIMIT {
+                    paper_algos()
+                } else {
+                    paper_algos_no_bbe()
+                }
+            },
+        },
+        // fig6b: substrate size (scaled-down grid).
+        Dim {
+            id: "fig6b",
+            xs: &[30.0, 60.0],
+            set: |cfg, x| cfg.network_size = x as usize,
+            algos: |_| paper_algos(),
+        },
+        // fig6c: connectivity degree.
+        Dim {
+            id: "fig6c",
+            xs: &[4.0, 8.0],
+            set: |cfg, x| cfg.connectivity = x,
+            algos: |_| paper_algos(),
+        },
+        // fig6d: VNF deployment ratio.
+        Dim {
+            id: "fig6d",
+            xs: &[0.3, 0.6],
+            set: |cfg, x| cfg.vnf_deploy_ratio = x,
+            algos: |_| paper_algos(),
+        },
+        // fig6e: average VNF/link price ratio.
+        Dim {
+            id: "fig6e",
+            xs: &[0.05, 0.3],
+            set: |cfg, x| cfg.avg_price_ratio = x,
+            algos: |_| paper_algos(),
+        },
+        // fig6f: VNF price fluctuation.
+        Dim {
+            id: "fig6f",
+            xs: &[0.1, 0.4],
+            set: |cfg, x| cfg.vnf_price_fluctuation = x,
+            algos: |_| paper_algos(),
+        },
+    ]
+}
+
+#[test]
+fn parallel_sweep_csv_matches_serial_for_all_fig6_dims() {
+    let base = quick_base();
+    for dim in fig6_dims() {
+        let par = sweep(dim.id, "x", &base, dim.xs, dim.set, dim.algos);
+        let ser = sweep_serial(dim.id, "x", &base, dim.xs, dim.set, dim.algos);
+        let par_csv = report::csv(&par);
+        let ser_csv = report::csv(&ser);
+        assert_eq!(
+            par_csv, ser_csv,
+            "{}: parallel CSV diverged from serial reference",
+            dim.id
+        );
+        // Beyond the CSV: per-algorithm aggregates must agree exactly.
+        for (pp, sp) in par.points.iter().zip(&ser.points) {
+            for (pa, sa) in pp.algos.iter().zip(&sp.algos) {
+                assert_eq!(pa.name, sa.name, "{}: algo order diverged", dim.id);
+                assert_eq!(
+                    pa.successes, sa.successes,
+                    "{}: success count diverged for {}",
+                    dim.id, pa.name
+                );
+                assert_eq!(
+                    pa.cost.mean.to_bits(),
+                    sa.cost.mean.to_bits(),
+                    "{}: mean cost not bit-identical for {}",
+                    dim.id,
+                    pa.name
+                );
+                assert_eq!(
+                    pa.mean_explored.to_bits(),
+                    sa.mean_explored.to_bits(),
+                    "{}: mean explored count diverged for {}",
+                    dim.id,
+                    pa.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_sweep_is_stable_across_repeats() {
+    // Two parallel executions of the same spec must agree with each
+    // other too (no run-to-run interleaving sensitivity).
+    let base = quick_base();
+    let spec = |_: &mut SimConfig, _: f64| {};
+    let a = sweep("rep", "x", &base, &[1.0, 2.0], spec, |_| paper_algos());
+    let b = sweep("rep", "x", &base, &[1.0, 2.0], spec, |_| paper_algos());
+    assert_eq!(report::csv(&a), report::csv(&b));
+}

@@ -48,6 +48,9 @@ enum Scope {
     Workspace,
     /// Every non-test source file outside `crates/net/src/`.
     OutsideNet,
+    /// Only the routing/solver hot paths (`crates/net/src/routing/`,
+    /// `solvers/bbe/`).
+    HotPaths,
 }
 
 /// Pattern fragments are concatenated at runtime; a literal pattern in
@@ -101,6 +104,15 @@ fn rules() -> Vec<Rule> {
                 glue(&["ShortestPathTree", "::build"]),
             ],
             scope: Scope::OutsideNet,
+        },
+        Rule {
+            name: "std-hashmap",
+            rationale: "hot paths must use the seeded FxHashMap/FxHashSet or index vectors; \
+                        std's SipHash tables dominate probe-heavy inner loops",
+            // Matched structurally (bare identifier) so `FxHashMap`
+            // does not fire; see scan_file.
+            patterns: vec![],
+            scope: Scope::HotPaths,
         },
         Rule {
             name: "float-eq",
@@ -193,7 +205,7 @@ fn code_portion(line: &str) -> &str {
     }
 }
 
-fn scan_file(path: &Path, rules: &[Rule], in_net: bool, out: &mut Vec<Violation>) {
+fn scan_file(path: &Path, rules: &[Rule], in_net: bool, in_hot: bool, out: &mut Vec<Violation>) {
     let Ok(src) = std::fs::read_to_string(path) else {
         return;
     };
@@ -206,6 +218,8 @@ fn scan_file(path: &Path, rules: &[Rule], in_net: bool, out: &mut Vec<Violation>
     let mut depth: i64 = 0;
 
     let bare_min_cost = glue(&["min_cost_path", "("]);
+    let bare_hashmap = glue(&["Hash", "Map"]);
+    let bare_hashset = glue(&["Hash", "Set"]);
 
     for (idx, raw) in lines.iter().enumerate() {
         if !in_test && raw.trim_start().starts_with("#[cfg(test)]") {
@@ -236,12 +250,24 @@ fn scan_file(path: &Path, rules: &[Rule], in_net: bool, out: &mut Vec<Violation>
         }
         let prev = idx.checked_sub(1).map(|i| lines[i]);
         for rule in rules {
-            if rule.scope == Scope::OutsideNet && in_net {
+            let applies = match rule.scope {
+                Scope::Workspace => true,
+                Scope::OutsideNet => !in_net,
+                Scope::HotPaths => in_hot,
+            };
+            if !applies {
                 continue;
             }
             let mut hit = rule.patterns.iter().any(|p| code.contains(p.as_str()));
             if !hit && rule.name == "raw-routing" {
                 hit = bare_routing_call(code, &bare_min_cost);
+            }
+            if !hit && rule.name == "std-hashmap" {
+                // Bare `HashMap`/`HashSet` identifiers: `FxHashMap` (the
+                // sanctioned replacement) never fires because its `x`
+                // blocks the lookbehind.
+                hit = bare_routing_call(code, &bare_hashmap)
+                    || bare_routing_call(code, &bare_hashset);
             }
             if hit && !allowed(rule.name, raw, prev) {
                 out.push(Violation {
@@ -304,7 +330,12 @@ fn main() -> ExitCode {
             .collect::<Vec<_>>()
             .windows(2)
             .any(|w| w[0].as_os_str() == "crates" && w[1].as_os_str() == "net");
-        scan_file(file, &rules, in_net, &mut violations);
+        // Hot paths: the routing kernels and the BBE engine, where the
+        // std-hashmap rule bites.
+        let normalized = file.to_string_lossy().replace('\\', "/");
+        let in_hot =
+            normalized.contains("crates/net/src/routing/") || normalized.contains("solvers/bbe/");
+        scan_file(file, &rules, in_net, in_hot, &mut violations);
     }
 
     if format_json {
