@@ -1,0 +1,118 @@
+//! End-to-end chaos equivalence: a scenario replayed through a live
+//! daemon — faults, dropped releases, slow clients, disconnect probes
+//! and all — must match the in-process chaos runner bit for bit, at any
+//! worker-pool size, and must never serve an uncertified embedding.
+
+use dagsfc_chaos::{replay_chaos, run_chaos, ChaosIntensity, ChaosScenario};
+use dagsfc_serve::{serve, Client, ServeConfig};
+use dagsfc_sim::{Algo, LifecycleConfig, SimConfig};
+
+fn scenario() -> ChaosScenario {
+    ChaosScenario::generate(
+        &LifecycleConfig {
+            base: SimConfig {
+                network_size: 30,
+                sfc_size: 4,
+                vnf_capacity: 6.0,
+                link_capacity: 6.0,
+                seed: 0xBEEF,
+                ..SimConfig::default()
+            },
+            arrivals: 40,
+            mean_holding: 6.0,
+            algo: Algo::Mbbe,
+        },
+        0xFA11,
+        &ChaosIntensity::default(),
+    )
+}
+
+#[test]
+fn daemon_chaos_replay_matches_runner_for_any_worker_count() {
+    let s = scenario();
+    let net = s.network();
+    let truth = run_chaos(&net, &s);
+    assert!(truth.accepted > 0, "scenario must accept something");
+    assert!(truth.rejected > 0, "scenario must reject something");
+    assert!(truth.faults_applied > 0, "the plan must fire");
+    assert!(truth.dropped_releases > 0, "misbehavior must occur");
+    assert_eq!(truth.audits_failed, 0);
+
+    for workers in [1usize, 4] {
+        let handle = serve::spawn(
+            net.clone(),
+            ServeConfig {
+                workers,
+                ..ServeConfig::default()
+            },
+            "127.0.0.1:0",
+        )
+        .expect("bind");
+        let addr = handle.addr();
+        let mut client = Client::connect(addr).expect("connect");
+        let report = replay_chaos(&mut client, addr, &s).expect("chaos replay");
+        drop(client);
+        let stats = handle.join();
+
+        assert_eq!(
+            report.per_arrival, truth.per_arrival,
+            "per-arrival fates diverged at workers={workers}"
+        );
+        assert_eq!(
+            report.departure_order, truth.departure_order,
+            "departure order diverged at workers={workers}"
+        );
+        assert_eq!(report.total_cost(), truth.total_cost());
+        assert_eq!(report.dropped_releases, truth.dropped_releases);
+        assert_eq!(report.reclaimed as usize, truth.orphans_reclaimed);
+        assert_eq!(stats.faults_applied, truth.faults_applied);
+        assert_eq!(stats.orphans_reclaimed, truth.orphans_reclaimed as u64);
+        // Every accepted embedding was audited; none failed.
+        assert_eq!(stats.audits_run, stats.accepted + stats.audits_failed);
+        assert_eq!(stats.audits_failed, 0, "uncertified embedding served");
+        // The ledger balances: drain + reclaim leaves nothing behind.
+        assert_eq!(stats.active_leases, 0);
+        assert!(
+            stats.outstanding_load.abs() < 1e-9,
+            "leaked {} at workers={workers}",
+            stats.outstanding_load
+        );
+    }
+}
+
+#[test]
+fn two_daemon_runs_print_identical_final_state() {
+    // The CI chaos-smoke determinism check, in miniature: run the same
+    // scenario twice at different worker counts and require the
+    // deterministic slice of the final stats to be identical.
+    let s = scenario();
+    let net = s.network();
+    let mut finals = Vec::new();
+    for workers in [1usize, 3] {
+        let handle = serve::spawn(
+            net.clone(),
+            ServeConfig {
+                workers,
+                ..ServeConfig::default()
+            },
+            "127.0.0.1:0",
+        )
+        .expect("bind");
+        let addr = handle.addr();
+        let mut client = Client::connect(addr).expect("connect");
+        let report = replay_chaos(&mut client, addr, &s).expect("chaos replay");
+        drop(client);
+        let stats = handle.join();
+        finals.push((
+            stats.accepted,
+            stats.rejected,
+            stats.released,
+            stats.epoch,
+            stats.faults_applied,
+            stats.orphans_reclaimed,
+            stats.outstanding_load.to_bits(),
+            report.total_cost().to_bits(),
+        ));
+    }
+    assert_eq!(finals[0], finals[1], "final state depends on worker count");
+}

@@ -52,6 +52,10 @@ pub enum NetError {
     InvalidParameter(&'static str),
     /// A ledger lease id was never issued or has already been released.
     UnknownLease(u64),
+    /// The link is out of service after a fault event.
+    LinkUnavailable(LinkId),
+    /// The node is out of service after a fault event.
+    NodeUnavailable(NodeId),
 }
 
 impl fmt::Display for NetError {
@@ -86,6 +90,8 @@ impl fmt::Display for NetError {
             NetError::UnknownLease(id) => {
                 write!(f, "unknown or already released lease#{id}")
             }
+            NetError::LinkUnavailable(l) => write!(f, "link {l} is out of service"),
+            NetError::NodeUnavailable(n) => write!(f, "node {n} is out of service"),
         }
     }
 }

@@ -1,0 +1,176 @@
+//! Substrate fault events: link/node failures, recoveries, and
+//! capacity churn.
+//!
+//! A [`FaultEvent`] describes one change to the substrate that the
+//! embedding layers must survive: a link or node going down (and coming
+//! back), or the effective capacity of a resource being rescaled while
+//! leases are outstanding. Events are plain serializable data so a
+//! chaos scenario can be frozen to JSON and replayed bit-for-bit; the
+//! stateful application lives in [`crate::state::NetworkState`] (and is
+//! surfaced with epoch bumping through
+//! [`crate::ledger::CommitLedger::apply_fault`]).
+
+use crate::ids::{LinkId, NodeId, VnfTypeId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One substrate fault (or recovery) event.
+///
+/// Capacity factors are multipliers on the *base* capacity: `1.0`
+/// restores the original capacity, `0.5` halves it, `1.5` grows it.
+/// Rescaling never cancels existing reservations — the remaining
+/// capacity absorbs the delta and may go negative (overcommitted) until
+/// enough leases release, which is exactly the transient the auditor
+/// and admission control are exercised against.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FaultEvent {
+    /// Take a link out of service: no new reservations route over it.
+    LinkDown {
+        /// The failed link.
+        link: LinkId,
+    },
+    /// Return a failed link to service at its current effective capacity.
+    LinkUp {
+        /// The recovered link.
+        link: LinkId,
+    },
+    /// Take a node out of service: its VNF instances stop accepting new
+    /// load and every incident link becomes unroutable.
+    NodeDown {
+        /// The failed node.
+        node: NodeId,
+    },
+    /// Return a failed node (and its incident links) to service.
+    NodeUp {
+        /// The recovered node.
+        node: NodeId,
+    },
+    /// Rescale a link's effective bandwidth to `factor x` base capacity.
+    LinkCapacity {
+        /// The churned link.
+        link: LinkId,
+        /// Multiplier on the base capacity (finite, `>= 0`).
+        factor: f64,
+    },
+    /// Rescale one VNF instance's effective processing capacity to
+    /// `factor x` base capacity.
+    VnfCapacity {
+        /// Node hosting the instance.
+        node: NodeId,
+        /// VNF type of the instance.
+        vnf: VnfTypeId,
+        /// Multiplier on the base capacity (finite, `>= 0`).
+        factor: f64,
+    },
+}
+
+impl fmt::Display for FaultEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultEvent::LinkDown { link } => write!(f, "link {link} down"),
+            FaultEvent::LinkUp { link } => write!(f, "link {link} up"),
+            FaultEvent::NodeDown { node } => write!(f, "node {node} down"),
+            FaultEvent::NodeUp { node } => write!(f, "node {node} up"),
+            FaultEvent::LinkCapacity { link, factor } => {
+                write!(f, "link {link} capacity x{factor}")
+            }
+            FaultEvent::VnfCapacity { node, vnf, factor } => {
+                write!(f, "vnf {vnf} on {node} capacity x{factor}")
+            }
+        }
+    }
+}
+
+impl FaultEvent {
+    /// Whether this event can change routing reachability (and therefore
+    /// must flush any cached shortest-path trees).
+    pub fn affects_reachability(&self) -> bool {
+        matches!(
+            self,
+            FaultEvent::LinkDown { .. }
+                | FaultEvent::LinkUp { .. }
+                | FaultEvent::NodeDown { .. }
+                | FaultEvent::NodeUp { .. }
+        )
+    }
+
+    /// The inverse event, when one exists: `LinkDown <-> LinkUp`,
+    /// `NodeDown <-> NodeUp`. Capacity churn inverts to restoring factor
+    /// `1.0` (the base capacity), which is only the true inverse when
+    /// the previous factor was `1.0`.
+    pub fn inverse(&self) -> FaultEvent {
+        match *self {
+            FaultEvent::LinkDown { link } => FaultEvent::LinkUp { link },
+            FaultEvent::LinkUp { link } => FaultEvent::LinkDown { link },
+            FaultEvent::NodeDown { node } => FaultEvent::NodeUp { node },
+            FaultEvent::NodeUp { node } => FaultEvent::NodeDown { node },
+            FaultEvent::LinkCapacity { link, .. } => FaultEvent::LinkCapacity { link, factor: 1.0 },
+            FaultEvent::VnfCapacity { node, vnf, .. } => FaultEvent::VnfCapacity {
+                node,
+                vnf,
+                factor: 1.0,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_through_json() {
+        let events = vec![
+            FaultEvent::LinkDown { link: LinkId(3) },
+            FaultEvent::NodeUp { node: NodeId(7) },
+            FaultEvent::LinkCapacity {
+                link: LinkId(0),
+                factor: 0.5,
+            },
+            FaultEvent::VnfCapacity {
+                node: NodeId(2),
+                vnf: VnfTypeId(1),
+                factor: 1.25,
+            },
+        ];
+        for e in events {
+            let s = serde_json::to_string(&e).unwrap();
+            let back: FaultEvent = serde_json::from_str(&s).unwrap();
+            assert_eq!(back, e);
+        }
+    }
+
+    #[test]
+    fn reachability_classification() {
+        assert!(FaultEvent::LinkDown { link: LinkId(0) }.affects_reachability());
+        assert!(FaultEvent::NodeUp { node: NodeId(0) }.affects_reachability());
+        assert!(!FaultEvent::LinkCapacity {
+            link: LinkId(0),
+            factor: 0.5
+        }
+        .affects_reachability());
+    }
+
+    #[test]
+    fn inverse_pairs() {
+        let down = FaultEvent::NodeDown { node: NodeId(4) };
+        assert_eq!(down.inverse().inverse(), down);
+        let churn = FaultEvent::LinkCapacity {
+            link: LinkId(1),
+            factor: 0.25,
+        };
+        assert_eq!(
+            churn.inverse(),
+            FaultEvent::LinkCapacity {
+                link: LinkId(1),
+                factor: 1.0
+            }
+        );
+    }
+
+    #[test]
+    fn display_names_the_resource() {
+        let e = FaultEvent::LinkDown { link: LinkId(9) };
+        assert!(e.to_string().contains("e9"));
+    }
+}

@@ -21,6 +21,7 @@
 //! one request, the ledger tracks commitments *across* requests.
 
 use crate::error::{NetError, NetResult};
+use crate::fault::FaultEvent;
 use crate::fxmap::FxHashMap;
 use crate::graph::Network;
 use crate::ids::{LinkId, NodeId, VnfTypeId};
@@ -43,6 +44,11 @@ impl std::fmt::Display for LeaseId {
 struct LeaseRecord {
     vnf: Vec<(NodeId, VnfTypeId, f64)>,
     links: Vec<(LinkId, f64)>,
+    /// The client session that committed this lease, when known. Leases
+    /// whose owner disappears without releasing are *orphans*, found by
+    /// [`CommitLedger::leases_owned_by`] and freed in bulk by
+    /// [`CommitLedger::reclaim_owner`].
+    owner: Option<u64>,
 }
 
 /// Lease-tracked resource commitments over a residual [`NetworkState`].
@@ -56,6 +62,11 @@ pub struct CommitLedger<'a> {
     epoch: u64,
     total_committed: u64,
     total_released: u64,
+    /// Owner tag stamped onto subsequent commits (serving-path sessions
+    /// set this around each request; simulation paths leave it `None`).
+    default_owner: Option<u64>,
+    faults_applied: u64,
+    orphans_reclaimed: u64,
 }
 
 impl<'a> CommitLedger<'a> {
@@ -68,6 +79,9 @@ impl<'a> CommitLedger<'a> {
             epoch: 0,
             total_committed: 0,
             total_released: 0,
+            default_owner: None,
+            faults_applied: 0,
+            orphans_reclaimed: 0,
         }
     }
 
@@ -136,6 +150,7 @@ impl<'a> CommitLedger<'a> {
         let mut record = LeaseRecord {
             vnf: Vec::new(),
             links: Vec::new(),
+            owner: None,
         };
         for (node, kind, rate) in vnf_loads {
             if rate <= 0.0 {
@@ -157,6 +172,7 @@ impl<'a> CommitLedger<'a> {
             }
             record.links.push((link, rate));
         }
+        record.owner = self.default_owner;
         let id = LeaseId(self.next_lease);
         self.next_lease += 1;
         self.epoch += 1;
@@ -201,6 +217,65 @@ impl<'a> CommitLedger<'a> {
         let mut ids: Vec<LeaseId> = self.active.keys().map(|&id| LeaseId(id)).collect();
         ids.sort_unstable();
         ids
+    }
+
+    /// Sets the owner tag stamped onto every subsequent commit (`None`
+    /// clears it). The serving path wraps each request's commit with the
+    /// client session's id so the leases of a vanished client can be
+    /// found and reclaimed; simulation paths never set an owner.
+    pub fn set_default_owner(&mut self, owner: Option<u64>) {
+        self.default_owner = owner;
+    }
+
+    /// The outstanding leases committed under `owner`, in commit order.
+    pub fn leases_owned_by(&self, owner: u64) -> Vec<LeaseId> {
+        let mut ids: Vec<LeaseId> = self
+            .active
+            .iter()
+            .filter(|(_, r)| r.owner == Some(owner))
+            .map(|(&id, _)| LeaseId(id))
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Releases every outstanding lease committed under `owner` (orphan
+    /// reclaim after a client disconnect or dropped release). Returns
+    /// the reclaimed ids in commit order; empty when the owner holds
+    /// nothing — that is not an error.
+    pub fn reclaim_owner(&mut self, owner: u64) -> Vec<LeaseId> {
+        let ids = self.leases_owned_by(owner);
+        for &id in &ids {
+            self.release(id)
+                // lint:allow(expect) — invariant: id came from the live lease set
+                .expect("reclaimed lease is active");
+            self.orphans_reclaimed += 1;
+        }
+        ids
+    }
+
+    /// Applies one substrate [`FaultEvent`] to the residual state,
+    /// bumping the epoch when the state actually changed so residual
+    /// caches rebuild. Returns whether the state changed.
+    pub fn apply_fault(&mut self, event: &FaultEvent) -> NetResult<bool> {
+        let changed = self.state.apply_fault(event)?;
+        if changed {
+            self.epoch += 1;
+            self.faults_applied += 1;
+        }
+        Ok(changed)
+    }
+
+    /// Total fault events that changed the substrate state.
+    #[inline]
+    pub fn faults_applied(&self) -> u64 {
+        self.faults_applied
+    }
+
+    /// Total leases released through [`Self::reclaim_owner`].
+    #[inline]
+    pub fn orphans_reclaimed(&self) -> u64 {
+        self.orphans_reclaimed
     }
 }
 
@@ -316,5 +391,95 @@ mod tests {
         // ...and admitted again after a release frees the bandwidth.
         assert!(ledger.commit([], [(LinkId(0), 1.0)]).is_ok());
         assert_eq!(ledger.active_leases(), 2);
+    }
+
+    #[test]
+    fn owner_tagging_and_reclaim() {
+        let g = net();
+        let mut ledger = CommitLedger::new(&g);
+        ledger.set_default_owner(Some(7));
+        let a = ledger.commit([], [(LinkId(0), 0.5)]).unwrap();
+        let b = ledger.commit([], [(LinkId(1), 0.5)]).unwrap();
+        ledger.set_default_owner(Some(8));
+        let c = ledger.commit([], [(LinkId(0), 0.5)]).unwrap();
+        ledger.set_default_owner(None);
+        let d = ledger.commit([], [(LinkId(1), 0.5)]).unwrap();
+
+        assert_eq!(ledger.leases_owned_by(7), vec![a, b]);
+        assert_eq!(ledger.leases_owned_by(9), vec![]);
+
+        let epoch_before = ledger.epoch();
+        let reclaimed = ledger.reclaim_owner(7);
+        assert_eq!(reclaimed, vec![a, b]);
+        assert_eq!(ledger.orphans_reclaimed(), 2);
+        // Each reclaim is a real release: epoch moved, leases are gone,
+        // untagged and other-owner leases survive.
+        assert_eq!(ledger.epoch(), epoch_before + 2);
+        assert!(!ledger.is_active(a));
+        assert!(ledger.is_active(c));
+        assert!(ledger.is_active(d));
+        // Reclaiming again is a clean no-op.
+        assert!(ledger.reclaim_owner(7).is_empty());
+        assert_eq!(ledger.orphans_reclaimed(), 2);
+    }
+
+    #[test]
+    fn fault_bumps_epoch_only_on_change() {
+        let g = net();
+        let mut ledger = CommitLedger::new(&g);
+        let e0 = ledger.epoch();
+        assert!(ledger
+            .apply_fault(&FaultEvent::LinkDown { link: LinkId(0) })
+            .unwrap());
+        assert_eq!(ledger.epoch(), e0 + 1);
+        assert_eq!(ledger.faults_applied(), 1);
+        // No-op repeat: epoch must NOT move, so caches stay warm.
+        assert!(!ledger
+            .apply_fault(&FaultEvent::LinkDown { link: LinkId(0) })
+            .unwrap());
+        assert_eq!(ledger.epoch(), e0 + 1);
+        assert_eq!(ledger.faults_applied(), 1);
+        // Residual view reflects the down link.
+        assert_eq!(ledger.residual().link(LinkId(0)).capacity, 0.0);
+        // Unknown target surfaces the NetError and changes nothing.
+        assert!(ledger
+            .apply_fault(&FaultEvent::LinkDown { link: LinkId(42) })
+            .is_err());
+        assert_eq!(ledger.epoch(), e0 + 1);
+    }
+
+    #[test]
+    fn commit_fails_onto_down_resources_and_recovers() {
+        let g = net();
+        let mut ledger = CommitLedger::new(&g);
+        ledger
+            .apply_fault(&FaultEvent::NodeDown { node: NodeId(0) })
+            .unwrap();
+        let err = ledger
+            .commit([(NodeId(0), VnfTypeId(0), 1.0)], [])
+            .unwrap_err();
+        assert_eq!(err, NetError::NodeUnavailable(NodeId(0)));
+        assert!(ledger.outstanding_load().abs() < 1e-12);
+        ledger
+            .apply_fault(&FaultEvent::NodeUp { node: NodeId(0) })
+            .unwrap();
+        assert!(ledger.commit([(NodeId(0), VnfTypeId(0), 1.0)], []).is_ok());
+    }
+
+    #[test]
+    fn churn_then_release_leaves_no_leak() {
+        let g = net();
+        let mut ledger = CommitLedger::new(&g);
+        let lease = ledger.commit([], [(LinkId(0), 1.5)]).unwrap();
+        ledger
+            .apply_fault(&FaultEvent::LinkCapacity {
+                link: LinkId(0),
+                factor: 0.5,
+            })
+            .unwrap();
+        // Outstanding load still reports the committed 1.5.
+        assert!((ledger.outstanding_load() - 1.5).abs() < 1e-12);
+        ledger.release(lease).unwrap();
+        assert!(ledger.outstanding_load().abs() < 1e-12);
     }
 }

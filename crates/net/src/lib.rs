@@ -44,6 +44,7 @@
 pub mod analysis;
 pub mod error;
 pub mod export;
+pub mod fault;
 pub mod fxmap;
 pub mod generator;
 pub mod graph;
@@ -59,6 +60,7 @@ pub mod topologies;
 pub use analysis::{analyze, GraphMetrics};
 pub use error::{NetError, NetResult};
 pub use export::{to_dot, DotOptions};
+pub use fault::FaultEvent;
 pub use fxmap::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use generator::NetGenConfig;
 pub use graph::{Link, Network, NetworkStats, Node, VnfInstance};

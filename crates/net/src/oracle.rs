@@ -21,9 +21,10 @@
 //!
 //! [`NetworkState`]: crate::state::NetworkState
 
+use crate::fault::FaultEvent;
 use crate::fxmap::FxHashMap;
 use crate::graph::Network;
-use crate::ids::NodeId;
+use crate::ids::{LinkId, NodeId};
 use crate::path::Path;
 use crate::routing::{LinkFilter, RoutingScratch, ShortestPathTree};
 use crate::state::CAP_EPS;
@@ -68,6 +69,14 @@ struct TreeCache {
     map: FxHashMap<(NodeId, usize), (Arc<ShortestPathTree>, u64)>,
     tick: u64,
     scratch: RoutingScratch,
+    /// Fault overlay: links taken out of service. Trees built while a
+    /// resource is down exclude it, and flipping any flag flushes the
+    /// cache (counted as an invalidation) — the fault-injection
+    /// analogue of an epoch bump.
+    down_links: Vec<bool>,
+    /// Fault overlay: nodes taken out of service (incident links are
+    /// excluded too).
+    down_nodes: Vec<bool>,
 }
 
 /// Memoized single-source Dijkstra trees over the static-capacity link
@@ -107,6 +116,8 @@ impl<'n> PathOracle<'n> {
                 map: FxHashMap::default(),
                 tick: 0,
                 scratch: RoutingScratch::new(),
+                down_links: vec![false; net.link_count()],
+                down_nodes: vec![false; net.node_count()],
             }),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -149,28 +160,42 @@ impl<'n> PathOracle<'n> {
             return (tree, true);
         }
         // Build with the class's canonical threshold so every rate of the
-        // class produces the bit-identical tree.
+        // class produces the bit-identical tree. Destructured so the
+        // filter can read the down flags while the scratch is borrowed
+        // mutably for the build.
         let threshold = self.classes.get(class).copied().unwrap_or(f64::INFINITY);
         let net = self.net;
+        let TreeCache {
+            map,
+            scratch,
+            down_links,
+            down_nodes,
+            ..
+        } = &mut *cache;
+        let filter = |l: LinkId| {
+            if down_links[l.index()] {
+                return false;
+            }
+            let link = net.link(l);
+            if down_nodes[link.a.index()] || down_nodes[link.b.index()] {
+                return false;
+            }
+            link.capacity >= threshold
+        };
         let tree = Arc::new(ShortestPathTree::build_in(
-            net,
-            source,
-            &|l| net.link(l).capacity >= threshold,
-            None,
-            &mut cache.scratch,
+            net, source, &filter, None, scratch,
         ));
-        if cache.map.len() >= self.capacity {
-            if let Some(&victim) = cache
-                .map
+        if map.len() >= self.capacity {
+            if let Some(&victim) = map
                 .iter()
                 .min_by_key(|(_, (_, used))| *used)
                 .map(|(k, _)| k)
             {
-                cache.map.remove(&victim);
+                map.remove(&victim);
                 self.evictions.fetch_add(1, Ordering::Relaxed);
             }
         }
-        cache.map.insert((source, class), (Arc::clone(&tree), tick));
+        map.insert((source, class), (Arc::clone(&tree), tick));
         drop(cache);
         self.misses.fetch_add(1, Ordering::Relaxed);
         (tree, false)
@@ -190,6 +215,60 @@ impl<'n> PathOracle<'n> {
     pub fn invalidate(&self) {
         self.cache.lock().map.clear();
         self.invalidations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Marks `link` in or out of service. Returns whether the flag
+    /// changed; a change flushes every cached tree (one invalidation),
+    /// since any of them may route over the link.
+    pub fn set_link_down(&self, link: LinkId, down: bool) -> bool {
+        let mut cache = self.cache.lock();
+        let flag = match cache.down_links.get_mut(link.index()) {
+            Some(f) => f,
+            None => return false,
+        };
+        if *flag == down {
+            return false;
+        }
+        *flag = down;
+        cache.map.clear();
+        drop(cache);
+        self.invalidations.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Marks `node` in or out of service (incident links are excluded
+    /// from routing while it is down). Returns whether the flag changed;
+    /// a change flushes every cached tree.
+    pub fn set_node_down(&self, node: NodeId, down: bool) -> bool {
+        let mut cache = self.cache.lock();
+        let flag = match cache.down_nodes.get_mut(node.index()) {
+            Some(f) => f,
+            None => return false,
+        };
+        if *flag == down {
+            return false;
+        }
+        *flag = down;
+        cache.map.clear();
+        drop(cache);
+        self.invalidations.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Mirrors a substrate [`FaultEvent`] into the oracle's overlay.
+    /// Reachability events toggle the down flags (flushing the cache on
+    /// change); capacity churn is a no-op here because class trees
+    /// filter on *base* capacities — churned-down capacity is caught by
+    /// the solve against the residual network. Returns whether the
+    /// overlay changed.
+    pub fn apply_fault(&self, event: &FaultEvent) -> bool {
+        match *event {
+            FaultEvent::LinkDown { link } => self.set_link_down(link, true),
+            FaultEvent::LinkUp { link } => self.set_link_down(link, false),
+            FaultEvent::NodeDown { node } => self.set_node_down(node, true),
+            FaultEvent::NodeUp { node } => self.set_node_down(node, false),
+            FaultEvent::LinkCapacity { .. } | FaultEvent::VnfCapacity { .. } => false,
+        }
     }
 
     /// Snapshot of the hit/miss/eviction/invalidation counters.
@@ -456,6 +535,55 @@ mod tests {
             .min_cost_path_with(NodeId(0), NodeId(3), 2, &none)
             .is_none());
         assert_eq!(session.misses(), 2);
+    }
+
+    #[test]
+    fn down_link_reroutes_and_recovery_restores() {
+        let g = diamond();
+        let oracle = PathOracle::new(&g);
+        let cheap = oracle.min_cost_path(NodeId(0), NodeId(3), 0.5).unwrap();
+        assert_eq!(cheap.nodes(), &[NodeId(0), NodeId(2), NodeId(3)]);
+        // Fail the cheap 2-3 link: trees rebuild around it.
+        assert!(oracle.set_link_down(LinkId(3), true));
+        // Repeat is a no-op and must not count another invalidation.
+        assert!(!oracle.set_link_down(LinkId(3), true));
+        let rerouted = oracle.min_cost_path(NodeId(0), NodeId(3), 0.5).unwrap();
+        assert_eq!(
+            rerouted.nodes(),
+            &[NodeId(0), NodeId(2), NodeId(1), NodeId(3)]
+        );
+        assert_eq!(oracle.stats().invalidations, 1);
+        // Recovery flushes again and the cheap route returns.
+        assert!(oracle.apply_fault(&FaultEvent::LinkUp { link: LinkId(3) }));
+        let back = oracle.min_cost_path(NodeId(0), NodeId(3), 0.5).unwrap();
+        assert_eq!(back.nodes(), cheap.nodes());
+        assert_eq!(oracle.stats().invalidations, 2);
+    }
+
+    #[test]
+    fn down_node_partitions_the_oracle() {
+        let g = diamond();
+        let oracle = PathOracle::new(&g);
+        // Nodes 1 AND 2 down: 0 and 3 are disconnected.
+        oracle.set_node_down(NodeId(1), true);
+        oracle.set_node_down(NodeId(2), true);
+        assert!(oracle.min_cost_path(NodeId(0), NodeId(3), 0.5).is_none());
+        oracle.apply_fault(&FaultEvent::NodeUp { node: NodeId(1) });
+        assert!(oracle.min_cost_path(NodeId(0), NodeId(3), 0.5).is_some());
+    }
+
+    #[test]
+    fn capacity_churn_does_not_flush_class_trees() {
+        let g = diamond();
+        let oracle = PathOracle::new(&g);
+        oracle.tree(NodeId(0), 0.5);
+        assert!(!oracle.apply_fault(&FaultEvent::LinkCapacity {
+            link: LinkId(0),
+            factor: 0.5
+        }));
+        assert_eq!(oracle.stats().invalidations, 0);
+        // Out-of-range targets are a safe no-op.
+        assert!(!oracle.set_link_down(LinkId(99), true));
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! log so that backtracking is O(#operations undone), not O(network size).
 
 use crate::error::{NetError, NetResult};
+use crate::fault::FaultEvent;
 use crate::graph::Network;
 use crate::ids::{LinkId, NodeId, VnfTypeId};
 use crate::path::Path;
@@ -25,16 +26,32 @@ enum UndoEntry {
     Link { link: LinkId, amount: f64 },
 }
 
-/// Mutable residual capacities layered over an immutable [`Network`].
+/// Mutable residual capacities layered over an immutable [`Network`],
+/// plus a fault overlay (down flags and effective capacities) applied
+/// through [`Self::apply_fault`].
+///
+/// The fault overlay is deliberately *not* part of the undo log:
+/// faults come from the substrate, not from solver exploration, and are
+/// only applied between solves — never while a checkpoint is live.
 #[derive(Debug, Clone)]
 pub struct NetworkState<'a> {
     net: &'a Network,
     /// Remaining capacity per VNF instance, indexed by flat slot id.
+    /// May transiently go negative after a downward capacity churn
+    /// (overcommitted); recovers as leases release.
     vnf_remaining: Vec<f64>,
     /// First slot id of each node's instances.
     node_slot_base: Vec<usize>,
-    /// Remaining bandwidth per link.
+    /// Remaining bandwidth per link (may go negative under churn).
     link_remaining: Vec<f64>,
+    /// Effective capacity per VNF instance (base capacity until churned).
+    vnf_eff: Vec<f64>,
+    /// Effective bandwidth per link (base capacity until churned).
+    link_eff: Vec<f64>,
+    /// Links currently out of service.
+    link_down: Vec<bool>,
+    /// Nodes currently out of service (implies incident links down).
+    node_down: Vec<bool>,
     undo: Vec<UndoEntry>,
 }
 
@@ -52,12 +69,18 @@ impl<'a> NetworkState<'a> {
             base += net.node(n).instances().len();
         }
         node_slot_base.push(base);
-        let link_remaining = net.link_ids().map(|l| net.link(l).capacity).collect();
+        let link_remaining: Vec<f64> = net.link_ids().map(|l| net.link(l).capacity).collect();
+        let vnf_eff = vnf_remaining.clone();
+        let link_eff = link_remaining.clone();
         NetworkState {
             net,
             vnf_remaining,
             node_slot_base,
             link_remaining,
+            vnf_eff,
+            link_eff,
+            link_down: vec![false; net.link_count()],
+            node_down: vec![false; net.node_count()],
             undo: Vec::new(),
         }
     }
@@ -89,24 +112,45 @@ impl<'a> NetworkState<'a> {
             .ok_or(NetError::UnknownLink(link))
     }
 
+    /// Whether `node` is currently in service.
+    #[inline]
+    pub fn node_available(&self, node: NodeId) -> bool {
+        !self.node_down.get(node.index()).copied().unwrap_or(true)
+    }
+
+    /// Whether `link` is currently in service (the link itself up and
+    /// both endpoints up).
+    #[inline]
+    pub fn link_available(&self, link: LinkId) -> bool {
+        if self.link_down.get(link.index()).copied().unwrap_or(true) {
+            return false;
+        }
+        let l = self.net.link(link);
+        self.node_available(l.a) && self.node_available(l.b)
+    }
+
     /// Whether `vnf` on `node` can absorb `rate` more traffic.
     pub fn vnf_fits(&self, node: NodeId, vnf: VnfTypeId, rate: f64) -> bool {
-        self.slot(node, vnf)
-            .map(|s| self.vnf_remaining[s] + CAP_EPS >= rate)
-            .unwrap_or(false)
+        self.node_available(node)
+            && self
+                .slot(node, vnf)
+                .map(|s| self.vnf_remaining[s] + CAP_EPS >= rate)
+                .unwrap_or(false)
     }
 
     /// Whether `link` can absorb `rate` more traffic.
     pub fn link_fits(&self, link: LinkId, rate: f64) -> bool {
-        self.link_remaining
-            .get(link.index())
-            .map(|&r| r + CAP_EPS >= rate)
-            .unwrap_or(false)
+        link.index() < self.link_remaining.len()
+            && self.link_available(link)
+            && self.link_remaining[link.index()] + CAP_EPS >= rate
     }
 
     /// Reserves `rate` units of processing on `vnf@node`.
     pub fn reserve_vnf(&mut self, node: NodeId, vnf: VnfTypeId, rate: f64) -> NetResult<()> {
         let slot = self.slot(node, vnf)?;
+        if !self.node_available(node) {
+            return Err(NetError::NodeUnavailable(node));
+        }
         let avail = self.vnf_remaining[slot];
         if avail + CAP_EPS < rate {
             return Err(NetError::InsufficientVnfCapacity {
@@ -124,6 +168,9 @@ impl<'a> NetworkState<'a> {
     /// Reserves `rate` units of bandwidth on `link`.
     pub fn reserve_link(&mut self, link: LinkId, rate: f64) -> NetResult<()> {
         let avail = self.link_remaining(link)?;
+        if !self.link_available(link) {
+            return Err(NetError::LinkUnavailable(link));
+        }
         if avail + CAP_EPS < rate {
             return Err(NetError::InsufficientBandwidth {
                 link,
@@ -156,12 +203,10 @@ impl<'a> NetworkState<'a> {
     /// that always indicates a double-release bug in the caller.
     pub fn release_vnf(&mut self, node: NodeId, vnf: VnfTypeId, rate: f64) -> NetResult<()> {
         let slot = self.slot(node, vnf)?;
-        let capacity = self
-            .net
-            .instance(node, vnf)
-            // lint:allow(expect) — invariant: slot implies instance
-            .expect("slot implies instance")
-            .capacity;
+        // Compare against the *effective* capacity: the invariant
+        // `remaining + total_reserved == effective` holds under churn, so
+        // an over-release is still exactly a double-free.
+        let capacity = self.vnf_eff[slot];
         if self.vnf_remaining[slot] + rate > capacity + CAP_EPS {
             return Err(NetError::InvalidParameter(
                 "VNF release exceeds reserved amount",
@@ -178,7 +223,8 @@ impl<'a> NetworkState<'a> {
     /// Releases `rate` units of bandwidth on `link` (the inverse of
     /// [`Self::reserve_link`]).
     pub fn release_link(&mut self, link: LinkId, rate: f64) -> NetResult<()> {
-        let capacity = self.net.try_link(link)?.capacity;
+        self.net.try_link(link)?;
+        let capacity = self.link_eff[link.index()];
         let remaining = self.link_remaining[link.index()];
         if remaining + rate > capacity + CAP_EPS {
             return Err(NetError::InvalidParameter(
@@ -233,37 +279,132 @@ impl<'a> NetworkState<'a> {
     pub fn to_residual_network(&self) -> Network {
         self.net.map_capacities(
             |node, vnf, _| {
+                if !self.node_available(node) {
+                    return 0.0;
+                }
                 self.vnf_remaining(node, vnf)
                     // lint:allow(expect) — invariant: instance exists in source network
                     .expect("instance exists in source network")
+                    .max(0.0)
             },
             |link, _| {
+                if !self.link_available(link) {
+                    return 0.0;
+                }
                 self.link_remaining(link)
                     // lint:allow(expect) — invariant: link exists in source network
                     .expect("link exists in source network")
+                    .max(0.0)
             },
         )
     }
 
+    /// Applies one substrate [`FaultEvent`]. Returns `true` when the
+    /// state actually changed (e.g. `LinkDown` on an already-down link
+    /// returns `false`).
+    ///
+    /// Down/up events toggle availability flags; capacity churn moves
+    /// the effective capacity to `factor x` base and shifts the
+    /// remaining capacity by the same delta, so outstanding
+    /// reservations are preserved exactly (remaining may transiently go
+    /// negative when shrinking below the committed load).
+    pub fn apply_fault(&mut self, event: &FaultEvent) -> NetResult<bool> {
+        match *event {
+            FaultEvent::LinkDown { link } => {
+                self.net.try_link(link)?;
+                Ok(!std::mem::replace(&mut self.link_down[link.index()], true))
+            }
+            FaultEvent::LinkUp { link } => {
+                self.net.try_link(link)?;
+                Ok(std::mem::replace(&mut self.link_down[link.index()], false))
+            }
+            FaultEvent::NodeDown { node } => {
+                self.net.try_node(node)?;
+                Ok(!std::mem::replace(&mut self.node_down[node.index()], true))
+            }
+            FaultEvent::NodeUp { node } => {
+                self.net.try_node(node)?;
+                Ok(std::mem::replace(&mut self.node_down[node.index()], false))
+            }
+            FaultEvent::LinkCapacity { link, factor } => {
+                if !(factor.is_finite() && factor >= 0.0) {
+                    return Err(NetError::InvalidParameter(
+                        "capacity factor must be finite and non-negative",
+                    ));
+                }
+                let base = self.net.try_link(link)?.capacity;
+                let new_eff = base * factor;
+                let delta = new_eff - self.link_eff[link.index()];
+                if delta == 0.0 {
+                    return Ok(false);
+                }
+                self.link_eff[link.index()] = new_eff;
+                self.link_remaining[link.index()] += delta;
+                Ok(true)
+            }
+            FaultEvent::VnfCapacity { node, vnf, factor } => {
+                if !(factor.is_finite() && factor >= 0.0) {
+                    return Err(NetError::InvalidParameter(
+                        "capacity factor must be finite and non-negative",
+                    ));
+                }
+                let slot = self.slot(node, vnf)?;
+                let base = self
+                    .net
+                    .instance(node, vnf)
+                    // lint:allow(expect) — invariant: slot implies instance
+                    .expect("slot implies instance")
+                    .capacity;
+                let new_eff = base * factor;
+                let delta = new_eff - self.vnf_eff[slot];
+                if delta == 0.0 {
+                    return Ok(false);
+                }
+                self.vnf_eff[slot] = new_eff;
+                self.vnf_remaining[slot] += delta;
+                Ok(true)
+            }
+        }
+    }
+
+    /// Effective bandwidth of `link` (base capacity after any churn).
+    pub fn effective_link_capacity(&self, link: LinkId) -> NetResult<f64> {
+        self.net.try_link(link)?;
+        Ok(self.link_eff[link.index()])
+    }
+
+    /// Effective capacity of `vnf@node` (base capacity after any churn).
+    pub fn effective_vnf_capacity(&self, node: NodeId, vnf: VnfTypeId) -> NetResult<f64> {
+        Ok(self.vnf_eff[self.slot(node, vnf)?])
+    }
+
+    /// Number of links currently out of service (directly or via a down
+    /// endpoint).
+    pub fn links_down(&self) -> usize {
+        self.net
+            .link_ids()
+            .filter(|&l| !self.link_available(l))
+            .count()
+    }
+
     /// Total reserved bandwidth across all links (diagnostics).
+    ///
+    /// Load is measured against the *effective* capacity so the figure
+    /// tracks actual reservations, not churn deltas.
     pub fn total_link_load(&self) -> f64 {
         self.net
             .link_ids()
-            .map(|l| self.net.link(l).capacity - self.link_remaining[l.index()])
+            .map(|l| self.link_eff[l.index()] - self.link_remaining[l.index()])
             .sum()
     }
 
     /// Total reserved VNF processing across all instances (diagnostics).
     pub fn total_vnf_load(&self) -> f64 {
-        let mut total = 0.0;
-        let mut slot = 0usize;
-        for n in self.net.node_ids() {
-            for inst in self.net.node(n).instances() {
-                total += inst.capacity - self.vnf_remaining[slot];
-                slot += 1;
-            }
-        }
-        total
+        self.vnf_eff
+            .iter()
+            .zip(&self.vnf_remaining)
+            .map(|(eff, rem)| eff - rem)
+            .sum()
     }
 }
 
@@ -433,5 +574,168 @@ mod tests {
         let mut s = NetworkState::new(&g);
         s.reserve_path(&Path::trivial(NodeId(0)), 5.0).unwrap();
         assert_eq!(s.reservation_count(), 0);
+    }
+
+    #[test]
+    fn link_down_blocks_reservation_until_recovery() {
+        let g = net();
+        let mut s = NetworkState::new(&g);
+        assert!(s
+            .apply_fault(&FaultEvent::LinkDown { link: LinkId(0) })
+            .unwrap());
+        // Idempotent: second down is a no-op.
+        assert!(!s
+            .apply_fault(&FaultEvent::LinkDown { link: LinkId(0) })
+            .unwrap());
+        assert!(!s.link_available(LinkId(0)));
+        assert!(!s.link_fits(LinkId(0), 0.1));
+        assert_eq!(
+            s.reserve_link(LinkId(0), 0.1),
+            Err(NetError::LinkUnavailable(LinkId(0)))
+        );
+        assert_eq!(s.links_down(), 1);
+        assert!(s
+            .apply_fault(&FaultEvent::LinkUp { link: LinkId(0) })
+            .unwrap());
+        assert!(s.reserve_link(LinkId(0), 0.1).is_ok());
+    }
+
+    #[test]
+    fn node_down_blocks_vnf_and_incident_links() {
+        let g = net();
+        let mut s = NetworkState::new(&g);
+        s.apply_fault(&FaultEvent::NodeDown { node: NodeId(1) })
+            .unwrap();
+        assert!(!s.vnf_fits(NodeId(1), VnfTypeId(0), 0.1));
+        assert_eq!(
+            s.reserve_vnf(NodeId(1), VnfTypeId(0), 0.1),
+            Err(NetError::NodeUnavailable(NodeId(1)))
+        );
+        // Both links touch node 1, so both become unroutable.
+        assert_eq!(s.links_down(), 2);
+        assert!(s.reserve_link(LinkId(0), 0.1).is_err());
+        s.apply_fault(&FaultEvent::NodeUp { node: NodeId(1) })
+            .unwrap();
+        assert_eq!(s.links_down(), 0);
+        assert!(s.reserve_vnf(NodeId(1), VnfTypeId(0), 0.1).is_ok());
+    }
+
+    #[test]
+    fn release_still_works_while_resource_is_down() {
+        let g = net();
+        let mut s = NetworkState::new(&g);
+        s.reserve_link(LinkId(0), 1.5).unwrap();
+        s.reserve_vnf(NodeId(0), VnfTypeId(0), 2.0).unwrap();
+        s.apply_fault(&FaultEvent::LinkDown { link: LinkId(0) })
+            .unwrap();
+        s.apply_fault(&FaultEvent::NodeDown { node: NodeId(0) })
+            .unwrap();
+        // Departing requests must still credit their capacity back.
+        s.release_link(LinkId(0), 1.5).unwrap();
+        s.release_vnf(NodeId(0), VnfTypeId(0), 2.0).unwrap();
+        assert_eq!(s.link_remaining(LinkId(0)).unwrap(), 2.0);
+        assert_eq!(s.total_link_load(), 0.0);
+        assert_eq!(s.total_vnf_load(), 0.0);
+    }
+
+    #[test]
+    fn capacity_churn_preserves_reservations() {
+        let g = net();
+        let mut s = NetworkState::new(&g);
+        s.reserve_link(LinkId(0), 1.5).unwrap();
+        // Shrink to half capacity: 2.0 -> 1.0 effective, remaining 0.5 -> -0.5.
+        s.apply_fault(&FaultEvent::LinkCapacity {
+            link: LinkId(0),
+            factor: 0.5,
+        })
+        .unwrap();
+        assert_eq!(s.effective_link_capacity(LinkId(0)).unwrap(), 1.0);
+        assert_eq!(s.link_remaining(LinkId(0)).unwrap(), -0.5);
+        assert!(!s.link_fits(LinkId(0), 0.1));
+        // Load accounting still reports the 1.5 actually reserved.
+        assert!((s.total_link_load() - 1.5).abs() < 1e-12);
+        // The overcommitted release is legal and restores balance.
+        s.release_link(LinkId(0), 1.5).unwrap();
+        assert_eq!(s.link_remaining(LinkId(0)).unwrap(), 1.0);
+        assert_eq!(s.total_link_load(), 0.0);
+        // Restoring factor 1.0 returns to base capacity.
+        s.apply_fault(&FaultEvent::LinkCapacity {
+            link: LinkId(0),
+            factor: 1.0,
+        })
+        .unwrap();
+        assert_eq!(s.link_remaining(LinkId(0)).unwrap(), 2.0);
+    }
+
+    #[test]
+    fn vnf_capacity_churn_and_release_check_use_effective() {
+        let g = net();
+        let mut s = NetworkState::new(&g);
+        s.reserve_vnf(NodeId(0), VnfTypeId(0), 1.0).unwrap();
+        // Grow 3.0 -> 4.5; the release check must allow exactly the 1.0
+        // reserved and reject anything beyond.
+        s.apply_fault(&FaultEvent::VnfCapacity {
+            node: NodeId(0),
+            vnf: VnfTypeId(0),
+            factor: 1.5,
+        })
+        .unwrap();
+        assert_eq!(
+            s.effective_vnf_capacity(NodeId(0), VnfTypeId(0)).unwrap(),
+            4.5
+        );
+        assert_eq!(s.vnf_remaining(NodeId(0), VnfTypeId(0)).unwrap(), 3.5);
+        assert!(s.release_vnf(NodeId(0), VnfTypeId(0), 1.5).is_err());
+        s.release_vnf(NodeId(0), VnfTypeId(0), 1.0).unwrap();
+        assert!((s.total_vnf_load()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_fault_targets_and_factors_rejected() {
+        let g = net();
+        let mut s = NetworkState::new(&g);
+        assert!(s
+            .apply_fault(&FaultEvent::LinkDown { link: LinkId(99) })
+            .is_err());
+        assert!(s
+            .apply_fault(&FaultEvent::NodeUp { node: NodeId(99) })
+            .is_err());
+        assert!(s
+            .apply_fault(&FaultEvent::LinkCapacity {
+                link: LinkId(0),
+                factor: f64::NAN,
+            })
+            .is_err());
+        assert!(s
+            .apply_fault(&FaultEvent::VnfCapacity {
+                node: NodeId(0),
+                vnf: VnfTypeId(0),
+                factor: -1.0,
+            })
+            .is_err());
+    }
+
+    #[test]
+    fn residual_network_zeroes_down_resources() {
+        let g = net();
+        let mut s = NetworkState::new(&g);
+        s.apply_fault(&FaultEvent::NodeDown { node: NodeId(0) })
+            .unwrap();
+        s.apply_fault(&FaultEvent::LinkCapacity {
+            link: LinkId(1),
+            factor: 0.25,
+        })
+        .unwrap();
+        let r = s.to_residual_network();
+        // Down node: its instance and incident link read as empty.
+        assert_eq!(r.instance(NodeId(0), VnfTypeId(0)).unwrap().capacity, 0.0);
+        assert_eq!(r.link(LinkId(0)).capacity, 0.0);
+        // Churned link reflects the shrunken effective capacity.
+        assert_eq!(r.link(LinkId(1)).capacity, 0.5);
+        // Recovery restores the full residual view.
+        s.apply_fault(&FaultEvent::NodeUp { node: NodeId(0) })
+            .unwrap();
+        let r2 = s.to_residual_network();
+        assert_eq!(r2.link(LinkId(0)).capacity, 2.0);
     }
 }

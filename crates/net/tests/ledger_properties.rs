@@ -1,0 +1,187 @@
+//! Property-based tests for [`CommitLedger`]: arbitrary interleavings
+//! of commits, releases, owner reclaims, and fault events never
+//! double-free a lease, never leak outstanding load, and keep
+//! `outstanding_load` equal to the sum of live leases' loads at every
+//! step.
+
+use dagsfc_net::{CommitLedger, FaultEvent, LeaseId, LinkId, Network, NodeId, VnfTypeId};
+use proptest::prelude::*;
+
+/// A fixed 4-node substrate with generous capacities so that most
+/// commits succeed; churn and failures drive it into scarcity.
+fn substrate() -> Network {
+    let mut g = Network::new();
+    g.add_nodes(4);
+    // lint:allow(unwrap) — test fixture
+    g.add_link(NodeId(0), NodeId(1), 1.0, 50.0).unwrap();
+    g.add_link(NodeId(1), NodeId(2), 1.0, 50.0).unwrap();
+    g.add_link(NodeId(2), NodeId(3), 1.0, 50.0).unwrap();
+    g.add_link(NodeId(0), NodeId(2), 1.0, 50.0).unwrap();
+    for n in 0..4 {
+        g.deploy_vnf(NodeId(n), VnfTypeId(0), 1.0, 50.0).unwrap();
+    }
+    g
+}
+
+/// One scripted operation against the ledger.
+///
+/// `kind` selects the op; the remaining fields parameterize it (indices
+/// are taken modulo the relevant population so every draw is valid).
+type Op = (u8, usize, f64, f64);
+
+/// Model record for one issued lease.
+struct Issued {
+    id: LeaseId,
+    load: f64,
+    owner: u64,
+    live: bool,
+}
+
+fn model_outstanding(issued: &[Issued]) -> f64 {
+    issued.iter().filter(|r| r.live).map(|r| r.load).sum()
+}
+
+fn run_script(ops: &[Op]) {
+    let net = substrate();
+    let mut ledger = CommitLedger::new(&net);
+    let mut issued: Vec<Issued> = Vec::new();
+
+    for &(kind, idx, rate, factor) in ops {
+        match kind {
+            // Commit a VNF + link load under owner `idx % 2`.
+            0 => {
+                let owner = (idx % 2) as u64;
+                let node = NodeId((idx % 4) as u32);
+                let link = LinkId((idx % 4) as u32);
+                ledger.set_default_owner(Some(owner));
+                let before = ledger.outstanding_load();
+                match ledger.commit([(node, VnfTypeId(0), rate)], [(link, rate)]) {
+                    Ok(id) => issued.push(Issued {
+                        id,
+                        load: 2.0 * rate,
+                        owner,
+                        live: true,
+                    }),
+                    Err(_) => {
+                        // Failed commits must be fully rolled back.
+                        let after = ledger.outstanding_load();
+                        assert!((after - before).abs() < 1e-9, "partial commit leaked");
+                    }
+                }
+                ledger.set_default_owner(None);
+            }
+            // Release some issued lease (possibly already released).
+            1 => {
+                if issued.is_empty() {
+                    continue;
+                }
+                let pick = idx % issued.len();
+                let r = &mut issued[pick];
+                let result = ledger.release(r.id);
+                if r.live {
+                    assert!(result.is_ok(), "live release failed: {result:?}");
+                    r.live = false;
+                } else {
+                    // Double release must be rejected and change nothing.
+                    assert!(result.is_err(), "double release accepted");
+                }
+            }
+            // Capacity churn on a link (epoch interleaving).
+            2 => {
+                ledger
+                    .apply_fault(&FaultEvent::LinkCapacity {
+                        link: LinkId((idx % 4) as u32),
+                        factor,
+                    })
+                    // lint:allow(expect) — valid link and finite factor by construction
+                    .expect("valid churn event");
+            }
+            // Node down/up toggle: commits may fail while down, but
+            // accounting must stay exact.
+            3 => {
+                let node = NodeId((idx % 4) as u32);
+                let event = if idx % 2 == 0 {
+                    FaultEvent::NodeDown { node }
+                } else {
+                    FaultEvent::NodeUp { node }
+                };
+                // lint:allow(expect) — valid node by construction
+                ledger.apply_fault(&event).expect("valid node event");
+            }
+            // Reclaim every lease of one owner.
+            _ => {
+                let owner = (idx % 2) as u64;
+                let reclaimed = ledger.reclaim_owner(owner);
+                let expected: Vec<LeaseId> = issued
+                    .iter()
+                    .filter(|r| r.live && r.owner == owner)
+                    .map(|r| r.id)
+                    .collect();
+                assert_eq!(reclaimed, expected, "reclaim set mismatch");
+                for r in issued.iter_mut() {
+                    if r.live && r.owner == owner {
+                        r.live = false;
+                    }
+                }
+            }
+        }
+
+        // Core invariants, re-checked after every single op.
+        let live = issued.iter().filter(|r| r.live).count();
+        assert_eq!(ledger.active_leases(), live, "live-lease count diverged");
+        let expect = model_outstanding(&issued);
+        let got = ledger.outstanding_load();
+        assert!(
+            (got - expect).abs() < 1e-6,
+            "outstanding load {got} != sum of live leases {expect}"
+        );
+        for r in &issued {
+            assert_eq!(ledger.is_active(r.id), r.live, "liveness diverged");
+        }
+    }
+
+    // Drain: release everything still live; the pool must balance to
+    // zero outstanding load (no leak), and every id must now be dead.
+    let still_live: Vec<LeaseId> = issued.iter().filter(|r| r.live).map(|r| r.id).collect();
+    for id in still_live {
+        // lint:allow(expect) — model says the lease is live
+        ledger.release(id).expect("draining a live lease");
+    }
+    assert_eq!(ledger.active_leases(), 0);
+    assert!(
+        ledger.outstanding_load().abs() < 1e-6,
+        "leak after full drain: {}",
+        ledger.outstanding_load()
+    );
+    assert_eq!(
+        ledger.committed_total(),
+        ledger.released_total(),
+        "every committed lease must be released exactly once"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn interleavings_never_double_free_or_leak(
+        ops in prop::collection::vec(
+            (0u8..5, 0usize..64, 0.1f64..4.0, 0.25f64..1.75),
+            1..60,
+        )
+    ) {
+        run_script(&ops);
+    }
+
+    #[test]
+    fn commit_heavy_scripts_balance(
+        ops in prop::collection::vec(
+            // Bias toward commits and releases only: the pure
+            // lease-lifecycle algebra without faults.
+            (0u8..2, 0usize..64, 0.1f64..4.0, 1.0f64..1.0000001),
+            1..80,
+        )
+    ) {
+        run_script(&ops);
+    }
+}

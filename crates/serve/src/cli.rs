@@ -32,7 +32,7 @@ impl Flags {
             if let Some(key) = a.strip_prefix("--") {
                 match key {
                     // boolean flags
-                    "verify" => {
+                    "verify" | "reclaim-on-disconnect" => {
                         map.insert(key.to_string(), "true".to_string());
                     }
                     _ => {
@@ -102,6 +102,7 @@ fn serve_config(flags: &Flags) -> Result<ServeConfig, String> {
         workers: flags.usize_or("workers", 2)?.max(1),
         queue_capacity: flags.usize_or("queue", 64)?,
         algo: flags.algo_or("algo", Algo::Mbbe)?,
+        reclaim_on_disconnect: flags.has("reclaim-on-disconnect"),
     })
 }
 
@@ -277,6 +278,7 @@ pub fn replay_main(args: &[String]) -> Result<(), String> {
         workers: flags.usize_or("workers", 2)?.max(1),
         queue_capacity: flags.usize_or("queue", 64)?,
         algo: trace.algo,
+        reclaim_on_disconnect: false,
     };
     let net = instance_network(&trace.base);
     let handle =

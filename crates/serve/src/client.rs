@@ -2,9 +2,11 @@
 //! protocol, used by the CLI subcommand, the trace replayer, and the
 //! integration tests.
 
-use crate::protocol::{algo_wire_name, StatsReport, WireRequest, WireResponse};
+use crate::protocol::{
+    algo_wire_name, fault_event_to_wire, StatsReport, WireRequest, WireResponse,
+};
 use dagsfc_core::{DagSfc, Flow};
-use dagsfc_net::LeaseId;
+use dagsfc_net::{FaultEvent, LeaseId};
 use dagsfc_sim::Algo;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -84,6 +86,45 @@ impl Client {
         let mut line = serde_json::to_string(req)?;
         line.push('\n');
         self.writer.write_all(line.as_bytes())?;
+        self.read_reply()
+    }
+
+    /// Sends one raw request in `chunk`-byte slices with a flush after
+    /// each — a deterministic "slow client" that exercises the server's
+    /// partial-line read path — then reads the reply normally.
+    pub fn request_chunked(
+        &mut self,
+        req: &WireRequest,
+        chunk: usize,
+    ) -> Result<WireResponse, ClientError> {
+        let mut line = serde_json::to_string(req)?;
+        line.push('\n');
+        let bytes = line.as_bytes();
+        for piece in bytes.chunks(chunk.max(1)) {
+            self.writer.write_all(piece)?;
+            self.writer.flush()?;
+        }
+        self.read_reply()
+    }
+
+    /// Sends the first `prefix` bytes of a request and then drops the
+    /// connection without finishing the line — a misbehaving client the
+    /// server must survive without leaking a worker or a lease.
+    pub fn abandon_mid_request(
+        mut self,
+        req: &WireRequest,
+        prefix: usize,
+    ) -> Result<(), ClientError> {
+        let line = serde_json::to_string(req)?;
+        let bytes = line.as_bytes();
+        let cut = prefix.min(bytes.len());
+        self.writer.write_all(&bytes[..cut])?;
+        self.writer.flush()?;
+        Ok(())
+        // `self` drops here, closing both halves of the socket.
+    }
+
+    fn read_reply(&mut self) -> Result<WireResponse, ClientError> {
         let mut reply = String::new();
         let n = self.reader.read_line(&mut reply)?;
         if n == 0 {
@@ -180,13 +221,50 @@ impl Client {
 
     /// Liveness probe.
     pub fn ping(&mut self) -> Result<(), ClientError> {
+        self.owner().map(|_| ())
+    }
+
+    /// Liveness probe that also returns this connection's owner id —
+    /// the tag the server stamps on every lease committed through this
+    /// connection (used by `reclaim`).
+    pub fn owner(&mut self) -> Result<u64, ClientError> {
         let resp = self.request(&WireRequest {
             cmd: "ping".into(),
             ..WireRequest::default()
         })?;
         match resp.status.as_str() {
-            "ok" => Ok(()),
+            "ok" => resp
+                .owner
+                .ok_or_else(|| ClientError::Server("ping reply without owner".into())),
             other => Err(ClientError::Server(other.to_string())),
+        }
+    }
+
+    /// Injects a fault event into the serving substrate. Returns
+    /// whether the event changed any state (idempotent re-sends return
+    /// `false`).
+    pub fn fault(&mut self, event: &FaultEvent) -> Result<bool, ClientError> {
+        let resp = self.request(&fault_event_to_wire(event))?;
+        match resp.status.as_str() {
+            "ok" => Ok(resp.changed.unwrap_or(false)),
+            "rejected" => Err(ClientError::Server(
+                resp.reason.unwrap_or_else(|| "rejected".into()),
+            )),
+            _ => Err(ClientError::Server(resp.reason.unwrap_or(resp.status))),
+        }
+    }
+
+    /// Releases every live lease committed under `owner` (`None` means
+    /// this connection's own owner id). Returns the number reclaimed.
+    pub fn reclaim(&mut self, owner: Option<u64>) -> Result<u64, ClientError> {
+        let resp = self.request(&WireRequest {
+            cmd: "reclaim".into(),
+            owner,
+            ..WireRequest::default()
+        })?;
+        match resp.status.as_str() {
+            "ok" => Ok(resp.reclaimed.unwrap_or(0)),
+            _ => Err(ClientError::Server(resp.reason.unwrap_or(resp.status))),
         }
     }
 

@@ -13,11 +13,16 @@
 use crate::protocol::{AlgoLatency, StatsReport};
 use dagsfc_audit::ConstraintAuditor;
 use dagsfc_core::{DagSfc, Flow};
-use dagsfc_net::{CommitLedger, LeaseId, NetResult, Network};
+use dagsfc_net::{CommitLedger, FaultEvent, LeaseId, NetResult, Network};
 use dagsfc_sim::{embed_and_commit, Algo, EmbedRejection};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Bounded retry budget for transient commit failures: the residual is
+/// force-refreshed and the request re-solved at most this many extra
+/// times before the rejection is surfaced.
+pub const MAX_COMMIT_RETRIES: u32 = 2;
 
 /// An accepted embed, as the engine reports it to the wire layer.
 #[derive(Debug, Clone, Copy)]
@@ -51,6 +56,13 @@ pub struct Engine<'n> {
     auditor: ConstraintAuditor,
     audits_run: u64,
     audits_failed: u64,
+    /// Per-request solve time budget. `None` (the default) disables the
+    /// check; enabling it makes accept/reject decisions depend on wall
+    /// time and therefore non-reproducible — deterministic replay and
+    /// chaos scenarios leave it off.
+    solve_timeout: Option<Duration>,
+    solve_timeouts: u64,
+    commit_retries: u64,
 }
 
 impl<'n> Engine<'n> {
@@ -71,7 +83,18 @@ impl<'n> Engine<'n> {
             auditor: ConstraintAuditor::new(),
             audits_run: 0,
             audits_failed: 0,
+            solve_timeout: None,
+            solve_timeouts: 0,
+            commit_retries: 0,
         }
+    }
+
+    /// Sets the per-request solve time budget (`None` disables). Solves
+    /// that exceed it are rolled back and rejected with
+    /// [`EmbedRejection::Timeout`]. Wall-clock dependent: never enable
+    /// it in deterministic replay or chaos verification runs.
+    pub fn set_solve_timeout(&mut self, timeout: Option<Duration>) {
+        self.solve_timeout = timeout;
     }
 
     /// The base (full-capacity) network.
@@ -90,6 +113,13 @@ impl<'n> Engine<'n> {
 
     /// Solves and commits one request: the whole admission-to-lease
     /// path, counted either way.
+    ///
+    /// Transient [`EmbedRejection::Commit`] failures (the residual
+    /// snapshot raced a fault or release) are retried up to
+    /// [`MAX_COMMIT_RETRIES`] times with a force-refreshed residual —
+    /// deterministic, because the engine is serialized behind its mutex
+    /// and the retry re-solves with the same seed over the actual
+    /// current state.
     pub fn embed(
         &mut self,
         sfc: &DagSfc,
@@ -97,42 +127,86 @@ impl<'n> Engine<'n> {
         algo: Algo,
         seed: u64,
     ) -> Result<Accepted, EmbedRejection> {
-        let residual = self.residual();
-        let started = Instant::now();
-        let result = embed_and_commit(&mut self.ledger, &residual, sfc, flow, algo, seed);
-        let elapsed = started.elapsed();
-        let acc = self.per_algo.entry(algo.name()).or_default();
-        acc.solves += 1;
-        acc.total += elapsed;
-        match result {
-            Ok(s) => {
-                // Audit-on-commit: re-derive every paper constraint from
-                // the residual the solver saw. A violating embedding is
-                // rolled back — the daemon never serves resources an
-                // independent check refuses to certify.
-                self.audits_run += 1;
-                let report = self.auditor.audit_outcome(&residual, sfc, flow, &s.outcome);
-                if !report.is_clean() {
-                    self.audits_failed += 1;
-                    // lint:allow(expect) — invariant: fresh lease is active
-                    self.ledger.release(s.lease).expect("fresh lease is active");
-                    self.rejected += 1;
-                    return Err(EmbedRejection::Audit(report.summary()));
+        let mut attempt = 0u32;
+        loop {
+            let residual = self.residual();
+            let started = Instant::now();
+            let result = embed_and_commit(&mut self.ledger, &residual, sfc, flow, algo, seed);
+            let elapsed = started.elapsed();
+            let acc = self.per_algo.entry(algo.name()).or_default();
+            acc.solves += 1;
+            acc.total += elapsed;
+            match result {
+                Ok(s) => {
+                    // Graceful degradation: a solve that blew its time
+                    // budget is rolled back rather than served late.
+                    if let Some(limit) = self.solve_timeout {
+                        if elapsed > limit {
+                            self.solve_timeouts += 1;
+                            // lint:allow(expect) — invariant: fresh lease is active
+                            self.ledger.release(s.lease).expect("fresh lease is active");
+                            self.rejected += 1;
+                            return Err(EmbedRejection::Timeout {
+                                elapsed_millis: elapsed.as_millis() as u64,
+                            });
+                        }
+                    }
+                    // Audit-on-commit: re-derive every paper constraint from
+                    // the residual the solver saw. A violating embedding is
+                    // rolled back — the daemon never serves resources an
+                    // independent check refuses to certify.
+                    self.audits_run += 1;
+                    let report = self.auditor.audit_outcome(&residual, sfc, flow, &s.outcome);
+                    if !report.is_clean() {
+                        self.audits_failed += 1;
+                        // lint:allow(expect) — invariant: fresh lease is active
+                        self.ledger.release(s.lease).expect("fresh lease is active");
+                        self.rejected += 1;
+                        return Err(EmbedRejection::Audit(report.summary()));
+                    }
+                    self.accepted += 1;
+                    self.total_cost += s.cost.total();
+                    self.solver_cache_hits += s.stats.cache_hits;
+                    self.solver_cache_misses += s.stats.cache_misses;
+                    return Ok(Accepted {
+                        lease: s.lease,
+                        cost: s.cost,
+                    });
                 }
-                self.accepted += 1;
-                self.total_cost += s.cost.total();
-                self.solver_cache_hits += s.stats.cache_hits;
-                self.solver_cache_misses += s.stats.cache_misses;
-                Ok(Accepted {
-                    lease: s.lease,
-                    cost: s.cost,
-                })
-            }
-            Err(e) => {
-                self.rejected += 1;
-                Err(e)
+                Err(EmbedRejection::Commit(_)) if attempt < MAX_COMMIT_RETRIES => {
+                    attempt += 1;
+                    self.commit_retries += 1;
+                    // Force the next residual() to rebuild even if the
+                    // epoch looks current.
+                    self.residual_epoch = u64::MAX;
+                }
+                Err(e) => {
+                    self.rejected += 1;
+                    return Err(e);
+                }
             }
         }
+    }
+
+    /// Applies one substrate fault to the ledger (epoch-bumping, so the
+    /// next solve sees the faulted residual) and reports whether the
+    /// state changed. The caller is responsible for mirroring
+    /// reachability events into its admission `PathOracle` — see
+    /// [`dagsfc_net::PathOracle::apply_fault`].
+    pub fn apply_fault(&mut self, event: &FaultEvent) -> NetResult<bool> {
+        self.ledger.apply_fault(event)
+    }
+
+    /// Sets the owner tag for subsequent commits (wrapped around each
+    /// request by the server; `None` clears).
+    pub fn set_request_owner(&mut self, owner: Option<u64>) {
+        self.ledger.set_default_owner(owner);
+    }
+
+    /// Releases every lease committed under `owner` (orphan reclaim
+    /// after a client vanished). Returns the reclaimed lease ids.
+    pub fn reclaim_owner(&mut self, owner: u64) -> Vec<LeaseId> {
+        self.ledger.reclaim_owner(owner)
     }
 
     /// Counts a request turned away before it reached a solver
@@ -185,6 +259,10 @@ impl<'n> Engine<'n> {
             solver_cache_misses: self.solver_cache_misses,
             audits_run: self.audits_run,
             audits_failed: self.audits_failed,
+            faults_applied: self.ledger.faults_applied(),
+            orphans_reclaimed: self.ledger.orphans_reclaimed(),
+            solve_timeouts: self.solve_timeouts,
+            commit_retries: self.commit_retries,
             per_algo: self
                 .per_algo
                 .iter()
@@ -283,6 +361,96 @@ mod tests {
         assert!(stats.accepted > 0);
         assert_eq!(stats.audits_run, stats.accepted);
         assert_eq!(stats.audits_failed, 0);
+    }
+
+    #[test]
+    fn fault_flips_epoch_and_blocks_then_recovers() {
+        let c = cfg();
+        let net = instance_network(&c);
+        let mut engine = Engine::new(&net);
+        let (sfc, flow) = instance_request(&c, &net, 0);
+        let seed = arrival_seed(c.seed, 0);
+
+        // Take every node down: no embedding can possibly commit.
+        for n in 0..net.node_count() {
+            let changed = engine
+                .apply_fault(&FaultEvent::NodeDown {
+                    node: dagsfc_net::NodeId(n as u32),
+                })
+                .unwrap();
+            assert!(changed);
+        }
+        let before = engine.residual();
+        assert!(engine.embed(&sfc, &flow, Algo::Minv, seed).is_err());
+
+        // Recovery: bring everything back, and the same request embeds.
+        for n in 0..net.node_count() {
+            engine
+                .apply_fault(&FaultEvent::NodeUp {
+                    node: dagsfc_net::NodeId(n as u32),
+                })
+                .unwrap();
+        }
+        // Faults bump the epoch, so the residual snapshot was rebuilt.
+        assert!(!Arc::ptr_eq(&before, &engine.residual()));
+        engine
+            .embed(&sfc, &flow, Algo::Minv, seed)
+            .expect("recovered substrate admits");
+        let stats = engine.stats(0, 16, OracleCounters::default());
+        assert_eq!(stats.faults_applied, 2 * net.node_count() as u64);
+        assert_eq!(stats.audits_failed, 0);
+    }
+
+    #[test]
+    fn reclaim_owner_releases_only_that_owners_leases() {
+        let c = cfg();
+        let net = instance_network(&c);
+        let mut engine = Engine::new(&net);
+
+        engine.set_request_owner(Some(7));
+        let (sfc, flow) = instance_request(&c, &net, 0);
+        let a = engine
+            .embed(&sfc, &flow, Algo::Minv, arrival_seed(c.seed, 0))
+            .unwrap();
+        engine.set_request_owner(Some(8));
+        let (sfc, flow) = instance_request(&c, &net, 1);
+        let b = engine
+            .embed(&sfc, &flow, Algo::Minv, arrival_seed(c.seed, 1))
+            .unwrap();
+        engine.set_request_owner(None);
+
+        let reclaimed = engine.reclaim_owner(7);
+        assert_eq!(reclaimed, vec![a.lease]);
+        assert!(!engine.is_active(a.lease));
+        assert!(engine.is_active(b.lease), "other owner untouched");
+        let stats = engine.stats(0, 16, OracleCounters::default());
+        assert_eq!(stats.orphans_reclaimed, 1);
+        // A second reclaim of the same owner finds nothing.
+        assert!(engine.reclaim_owner(7).is_empty());
+    }
+
+    #[test]
+    fn solve_timeout_rolls_back_the_lease() {
+        let c = cfg();
+        let net = instance_network(&c);
+        let mut engine = Engine::new(&net);
+        // A zero budget trips on any solve; the lease must be rolled
+        // back and the rejection counted.
+        engine.set_solve_timeout(Some(Duration::from_secs(0)));
+        let (sfc, flow) = instance_request(&c, &net, 0);
+        let r = engine.embed(&sfc, &flow, Algo::Minv, arrival_seed(c.seed, 0));
+        assert!(matches!(r, Err(EmbedRejection::Timeout { .. })));
+        assert_eq!(engine.active_leases(), 0, "timed-out lease rolled back");
+        let stats = engine.stats(0, 16, OracleCounters::default());
+        assert_eq!(stats.solve_timeouts, 1);
+        assert_eq!(stats.rejected, 1);
+        assert!(stats.outstanding_load.abs() < 1e-12);
+
+        // Disabled again, the same request goes through.
+        engine.set_solve_timeout(None);
+        engine
+            .embed(&sfc, &flow, Algo::Minv, arrival_seed(c.seed, 0))
+            .expect("no budget, no timeout");
     }
 
     #[test]

@@ -42,9 +42,10 @@ pub mod replay;
 pub mod server;
 
 pub use client::{Client, ClientError, EmbedReply};
-pub use engine::Engine;
+pub use engine::{Engine, MAX_COMMIT_RETRIES};
 pub use protocol::{
-    algo_wire_name, parse_algo, AlgoLatency, OracleCounters, StatsReport, WireRequest, WireResponse,
+    algo_wire_name, fault_event_from_wire, fault_event_to_wire, parse_algo, AlgoLatency,
+    OracleCounters, StatsReport, WireRequest, WireResponse,
 };
 pub use replay::{replay, ReplayReport};
 pub use server::{run, spawn, ServeConfig, ServerHandle};

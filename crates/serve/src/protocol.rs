@@ -8,6 +8,7 @@
 //! spec; this module is its executable form.
 
 use dagsfc_core::{CostBreakdown, DagSfc, Flow};
+use dagsfc_net::{FaultEvent, LinkId, NodeId, VnfTypeId};
 use dagsfc_sim::Algo;
 use serde::{Deserialize, Serialize};
 
@@ -23,6 +24,12 @@ use serde::{Deserialize, Serialize};
 /// | `"stats"`       |                          |                        |
 /// | `"ping"`        |                          |                        |
 /// | `"shutdown"`    |                          |                        |
+/// | `"fault"`       | `event`, + its operands  | see below              |
+/// | `"reclaim"`     | `owner`                  |                        |
+///
+/// `fault` operands: `event` is one of `"link_down"`, `"link_up"`,
+/// `"node_down"`, `"node_up"`, `"link_capacity"`, `"vnf_capacity"`;
+/// `link`/`node`/`vnf` name the resource and `factor` scales capacity.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct WireRequest {
     /// The operation to perform.
@@ -42,6 +49,18 @@ pub struct WireRequest {
     pub max_width: Option<usize>,
     /// `release`: the lease to release.
     pub lease: Option<u64>,
+    /// `fault`: the event kind (`"link_down"`, `"node_up"`, …).
+    pub event: Option<String>,
+    /// `fault`: target link index (for link events).
+    pub link: Option<u32>,
+    /// `fault`: target node index (for node and VNF events).
+    pub node: Option<u32>,
+    /// `fault`: target VNF type (for `vnf_capacity`).
+    pub vnf: Option<u16>,
+    /// `fault`: capacity multiplier (for `*_capacity`).
+    pub factor: Option<f64>,
+    /// `reclaim`: the owner session whose leases to reclaim.
+    pub owner: Option<u64>,
 }
 
 /// A server → client reply. `status` is one of `"accepted"`,
@@ -59,6 +78,13 @@ pub struct WireResponse {
     pub reason: Option<String>,
     /// `stats` replies: the full counter report.
     pub stats: Option<StatsReport>,
+    /// `ping` replies: this connection's owner-session id (commits made
+    /// over the connection are tagged with it; `reclaim` frees them).
+    pub owner: Option<u64>,
+    /// `fault` replies: whether the event changed the substrate state.
+    pub changed: Option<bool>,
+    /// `reclaim` replies: how many orphaned leases were released.
+    pub reclaimed: Option<u64>,
 }
 
 impl WireResponse {
@@ -155,8 +181,94 @@ pub struct StatsReport {
     /// Audits that found a violation (the commit was rolled back) —
     /// must be 0; anything else is a solver or accounting bug.
     pub audits_failed: u64,
+    /// Substrate fault events that changed the state (chaos mode).
+    pub faults_applied: u64,
+    /// Leases reclaimed from vanished or misbehaving owners.
+    pub orphans_reclaimed: u64,
+    /// Solves rolled back for exceeding the per-request time budget
+    /// (0 unless a solve timeout is configured).
+    pub solve_timeouts: u64,
+    /// Transient commit failures that were retried with a refreshed
+    /// residual.
+    pub commit_retries: u64,
     /// Per-algorithm solve latency, sorted by algorithm name.
     pub per_algo: Vec<AlgoLatency>,
+}
+
+/// Decodes the flat `fault` operand fields of a [`WireRequest`] into a
+/// typed [`FaultEvent`], validating that the operands the event kind
+/// needs are present.
+pub fn fault_event_from_wire(req: &WireRequest) -> Result<FaultEvent, String> {
+    let kind = req.event.as_deref().ok_or("fault requires an event kind")?;
+    let link = || {
+        req.link
+            .map(LinkId)
+            .ok_or_else(|| format!("{kind} requires a link"))
+    };
+    let node = || {
+        req.node
+            .map(NodeId)
+            .ok_or_else(|| format!("{kind} requires a node"))
+    };
+    let factor = || {
+        req.factor
+            .ok_or_else(|| format!("{kind} requires a factor"))
+    };
+    Ok(match kind {
+        "link_down" => FaultEvent::LinkDown { link: link()? },
+        "link_up" => FaultEvent::LinkUp { link: link()? },
+        "node_down" => FaultEvent::NodeDown { node: node()? },
+        "node_up" => FaultEvent::NodeUp { node: node()? },
+        "link_capacity" => FaultEvent::LinkCapacity {
+            link: link()?,
+            factor: factor()?,
+        },
+        "vnf_capacity" => FaultEvent::VnfCapacity {
+            node: node()?,
+            vnf: VnfTypeId(req.vnf.ok_or("vnf_capacity requires a vnf")?),
+            factor: factor()?,
+        },
+        other => return Err(format!("unknown fault event {other:?}")),
+    })
+}
+
+/// Encodes a typed [`FaultEvent`] into the flat wire operand fields
+/// (inverse of [`fault_event_from_wire`]).
+pub fn fault_event_to_wire(event: &FaultEvent) -> WireRequest {
+    let mut req = WireRequest {
+        cmd: "fault".into(),
+        ..WireRequest::default()
+    };
+    match *event {
+        FaultEvent::LinkDown { link } => {
+            req.event = Some("link_down".into());
+            req.link = Some(link.0);
+        }
+        FaultEvent::LinkUp { link } => {
+            req.event = Some("link_up".into());
+            req.link = Some(link.0);
+        }
+        FaultEvent::NodeDown { node } => {
+            req.event = Some("node_down".into());
+            req.node = Some(node.0);
+        }
+        FaultEvent::NodeUp { node } => {
+            req.event = Some("node_up".into());
+            req.node = Some(node.0);
+        }
+        FaultEvent::LinkCapacity { link, factor } => {
+            req.event = Some("link_capacity".into());
+            req.link = Some(link.0);
+            req.factor = Some(factor);
+        }
+        FaultEvent::VnfCapacity { node, vnf, factor } => {
+            req.event = Some("vnf_capacity".into());
+            req.node = Some(node.0);
+            req.vnf = Some(vnf.0);
+            req.factor = Some(factor);
+        }
+    }
+    req
 }
 
 /// Parses a lowercase algorithm name as used on the wire and the CLI.
@@ -221,6 +333,52 @@ mod tests {
         assert_eq!(back.status, "accepted");
         assert_eq!(back.lease, Some(3));
         assert_eq!(back.cost.unwrap().total(), 1.75);
+    }
+
+    #[test]
+    fn fault_operands_roundtrip() {
+        let events = [
+            FaultEvent::LinkDown { link: LinkId(4) },
+            FaultEvent::NodeUp { node: NodeId(2) },
+            FaultEvent::LinkCapacity {
+                link: LinkId(1),
+                factor: 0.5,
+            },
+            FaultEvent::VnfCapacity {
+                node: NodeId(3),
+                vnf: VnfTypeId(1),
+                factor: 1.5,
+            },
+        ];
+        for e in events {
+            let wire = fault_event_to_wire(&e);
+            assert_eq!(wire.cmd, "fault");
+            let back = fault_event_from_wire(&wire).unwrap();
+            assert_eq!(back, e);
+        }
+    }
+
+    #[test]
+    fn fault_decoding_rejects_missing_operands() {
+        let req = WireRequest {
+            cmd: "fault".into(),
+            event: Some("link_down".into()),
+            ..WireRequest::default()
+        };
+        assert!(fault_event_from_wire(&req).is_err());
+        let req = WireRequest {
+            cmd: "fault".into(),
+            event: Some("meteor_strike".into()),
+            ..WireRequest::default()
+        };
+        assert!(fault_event_from_wire(&req)
+            .unwrap_err()
+            .contains("meteor_strike"));
+        let req = WireRequest {
+            cmd: "fault".into(),
+            ..WireRequest::default()
+        };
+        assert!(fault_event_from_wire(&req).is_err());
     }
 
     #[test]

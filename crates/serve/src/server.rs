@@ -20,16 +20,18 @@
 //! and returns the final [`StatsReport`].
 
 use crate::engine::Engine;
-use crate::protocol::{parse_algo, OracleCounters, StatsReport, WireRequest, WireResponse};
+use crate::protocol::{
+    fault_event_from_wire, parse_algo, OracleCounters, StatsReport, WireRequest, WireResponse,
+};
 use dagsfc_core::solvers::precheck;
 use dagsfc_core::{DagSfc, Flow, VnfCatalog};
-use dagsfc_net::{LeaseId, Network, PathOracle};
+use dagsfc_net::{FaultEvent, LeaseId, Network, PathOracle};
 use dagsfc_nfp::transform::TransformOptions;
 use dagsfc_sim::Algo;
 use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::Duration;
 
@@ -50,6 +52,11 @@ pub struct ServeConfig {
     pub queue_capacity: usize,
     /// Default algorithm when a request names none.
     pub algo: Algo,
+    /// When a connection drops (EOF or IO error), automatically enqueue
+    /// a reclaim of every lease that connection still owns. Off by
+    /// default: the one-shot CLI client opens a fresh connection per
+    /// operation, which would make every normal workflow self-destruct.
+    pub reclaim_on_disconnect: bool,
 }
 
 impl Default for ServeConfig {
@@ -58,23 +65,40 @@ impl Default for ServeConfig {
             workers: 2,
             queue_capacity: 64,
             algo: Algo::Mbbe,
+            reclaim_on_disconnect: false,
         }
     }
 }
 
-/// One queued embed, ticketed at admission.
-struct EmbedJob {
+/// The payload of one queued job. Faults and reclaims flow through the
+/// same ticketed queue as embeds so the interleaving of "substrate
+/// changed" and "request solved" is fixed by admission order — the
+/// property chaos replay's determinism rests on.
+enum JobKind {
+    Embed {
+        sfc: DagSfc,
+        flow: Flow,
+        algo: Algo,
+        seed: u64,
+        /// The admitting connection's owner id (tags the lease).
+        owner: u64,
+    },
+    Fault(FaultEvent),
+    Reclaim {
+        owner: u64,
+    },
+}
+
+/// One queued job, ticketed at admission.
+struct Job {
     ticket: u64,
-    sfc: DagSfc,
-    flow: Flow,
-    algo: Algo,
-    seed: u64,
+    kind: JobKind,
     reply: mpsc::Sender<WireResponse>,
 }
 
 #[derive(Default)]
 struct QueueInner {
-    jobs: VecDeque<EmbedJob>,
+    jobs: VecDeque<Job>,
     next_ticket: u64,
     closed: bool,
 }
@@ -103,13 +127,7 @@ impl JobQueue {
 
     /// Admits a job if there is room, assigning its serving ticket
     /// under the same lock so FIFO order and ticket order coincide.
-    fn try_enqueue(
-        &self,
-        sfc: DagSfc,
-        flow: Flow,
-        algo: Algo,
-        seed: u64,
-    ) -> Result<mpsc::Receiver<WireResponse>, EnqueueError> {
+    fn try_enqueue(&self, kind: JobKind) -> Result<mpsc::Receiver<WireResponse>, EnqueueError> {
         let mut inner = lock_recover(&self.inner);
         if inner.closed {
             return Err(EnqueueError::Closed);
@@ -120,12 +138,9 @@ impl JobQueue {
         let (tx, rx) = mpsc::channel();
         let ticket = inner.next_ticket;
         inner.next_ticket += 1;
-        inner.jobs.push_back(EmbedJob {
+        inner.jobs.push_back(Job {
             ticket,
-            sfc,
-            flow,
-            algo,
-            seed,
+            kind,
             reply: tx,
         });
         self.ready.notify_one();
@@ -134,7 +149,7 @@ impl JobQueue {
 
     /// Next job, blocking; `None` once the queue is closed **and**
     /// empty — the drain guarantee.
-    fn pop(&self) -> Option<EmbedJob> {
+    fn pop(&self) -> Option<Job> {
         let mut inner = lock_recover(&self.inner);
         loop {
             if let Some(job) = inner.jobs.pop_front() {
@@ -199,6 +214,11 @@ struct Shared<'n> {
     gate: TicketGate,
     shutdown: Arc<AtomicBool>,
     default_algo: Algo,
+    /// Monotonic owner-id source: every connection gets one at accept
+    /// time, its commits are tagged with it, and `reclaim` (or
+    /// disconnect, when configured) frees everything it still holds.
+    next_owner: AtomicU64,
+    reclaim_on_disconnect: bool,
 }
 
 impl Shared<'_> {
@@ -235,6 +255,8 @@ pub fn run(
         gate: TicketGate::new(),
         shutdown: Arc::clone(&shutdown),
         default_algo: cfg.algo,
+        next_owner: AtomicU64::new(1),
+        reclaim_on_disconnect: cfg.reclaim_on_disconnect,
     };
     crossbeam::thread::scope(|s| {
         for _ in 0..cfg.workers.max(1) {
@@ -317,27 +339,74 @@ pub fn spawn(net: Network, cfg: ServeConfig, bind: &str) -> std::io::Result<Serv
 
 fn worker_loop(shared: &Shared<'_>) {
     while let Some(job) = shared.queue.pop() {
-        // Ticket gate: commit strictly in admission order, so results
-        // are independent of the worker-pool size.
+        // Ticket gate: serve strictly in admission order, so results
+        // are independent of the worker-pool size. Faults and reclaims
+        // ride the same gate, pinning their interleaving with embeds.
         shared.gate.wait_for(job.ticket);
-        let outcome = {
-            let mut engine = lock_recover(&shared.engine);
-            engine.embed(&job.sfc, &job.flow, job.algo, job.seed)
+        let resp = match job.kind {
+            JobKind::Embed {
+                sfc,
+                flow,
+                algo,
+                seed,
+                owner,
+            } => {
+                let outcome = {
+                    let mut engine = lock_recover(&shared.engine);
+                    engine.set_request_owner(Some(owner));
+                    let outcome = engine.embed(&sfc, &flow, algo, seed);
+                    engine.set_request_owner(None);
+                    outcome
+                };
+                match outcome {
+                    Ok(a) => WireResponse {
+                        status: "accepted".into(),
+                        lease: Some(a.lease.0),
+                        cost: Some(a.cost),
+                        ..WireResponse::default()
+                    },
+                    // An audit failure is a server-side bug (a solver emitted a
+                    // constraint-violating embedding), not an ordinary capacity
+                    // rejection — surface it as a protocol error.
+                    Err(e @ dagsfc_sim::EmbedRejection::Audit(_)) => {
+                        WireResponse::error(e.to_string())
+                    }
+                    Err(e) => WireResponse::rejected(e.to_string()),
+                }
+            }
+            JobKind::Fault(event) => {
+                let applied = {
+                    let mut engine = lock_recover(&shared.engine);
+                    engine.apply_fault(&event)
+                };
+                match applied {
+                    Ok(changed) => {
+                        // Mirror reachability changes into the admission
+                        // oracle so a partitioned substrate rejects at
+                        // admission instead of queueing doomed solves.
+                        shared.oracle.apply_fault(&event);
+                        WireResponse {
+                            status: "ok".into(),
+                            changed: Some(changed),
+                            ..WireResponse::default()
+                        }
+                    }
+                    Err(e) => WireResponse::error(e.to_string()),
+                }
+            }
+            JobKind::Reclaim { owner } => {
+                let reclaimed = {
+                    let mut engine = lock_recover(&shared.engine);
+                    engine.reclaim_owner(owner)
+                };
+                WireResponse {
+                    status: "ok".into(),
+                    reclaimed: Some(reclaimed.len() as u64),
+                    ..WireResponse::default()
+                }
+            }
         };
         shared.gate.advance();
-        let resp = match outcome {
-            Ok(a) => WireResponse {
-                status: "accepted".into(),
-                lease: Some(a.lease.0),
-                cost: Some(a.cost),
-                ..WireResponse::default()
-            },
-            // An audit failure is a server-side bug (a solver emitted a
-            // constraint-violating embedding), not an ordinary capacity
-            // rejection — surface it as a protocol error.
-            Err(e @ dagsfc_sim::EmbedRejection::Audit(_)) => WireResponse::error(e.to_string()),
-            Err(e) => WireResponse::rejected(e.to_string()),
-        };
         // A vanished client (dropped receiver) is not a server error.
         let _ = job.reply.send(resp);
     }
@@ -350,6 +419,7 @@ fn handle_connection(stream: TcpStream, shared: &Shared<'_>) {
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
+    let owner = shared.next_owner.fetch_add(1, Ordering::SeqCst);
     let mut reader = BufReader::new(read_half);
     let mut writer = stream;
     let mut line = String::new();
@@ -360,7 +430,7 @@ fn handle_connection(stream: TcpStream, shared: &Shared<'_>) {
         match reader.read_line(&mut line) {
             Ok(0) => break,
             Ok(_) => {
-                let resp = dispatch(&line, shared);
+                let resp = dispatch(&line, owner, shared);
                 let done = resp.status == "bye";
                 let mut payload = serde_json::to_string(&resp)
                     .unwrap_or_else(|_| "{\"status\":\"error\"}".into());
@@ -379,9 +449,16 @@ fn handle_connection(stream: TcpStream, shared: &Shared<'_>) {
             Err(_) => break,
         }
     }
+    // A vanished client may leave committed leases behind. When the
+    // operator opted in, queue an orphan reclaim (fire-and-forget: the
+    // reply channel is dropped, and a closed queue at shutdown keeps the
+    // books as-is for the final report).
+    if shared.reclaim_on_disconnect && !shared.shutdown.load(Ordering::SeqCst) {
+        let _ = shared.queue.try_enqueue(JobKind::Reclaim { owner });
+    }
 }
 
-fn dispatch(line: &str, shared: &Shared<'_>) -> WireResponse {
+fn dispatch(line: &str, owner: u64, shared: &Shared<'_>) -> WireResponse {
     let trimmed = line.trim();
     if trimmed.is_empty() {
         return WireResponse::error("empty request line");
@@ -391,7 +468,11 @@ fn dispatch(line: &str, shared: &Shared<'_>) -> WireResponse {
         Err(e) => return WireResponse::error(format!("bad request: {e}")),
     };
     match req.cmd.as_str() {
-        "ping" => WireResponse::ok(),
+        "ping" => WireResponse {
+            status: "ok".into(),
+            owner: Some(owner),
+            ..WireResponse::default()
+        },
         "stats" => {
             let engine = lock_recover(&shared.engine);
             let stats = engine.stats(
@@ -423,6 +504,33 @@ fn dispatch(line: &str, shared: &Shared<'_>) -> WireResponse {
                 ..WireResponse::default()
             }
         }
+        "fault" => {
+            let event = match fault_event_from_wire(&req) {
+                Ok(e) => e,
+                Err(e) => return WireResponse::error(e),
+            };
+            // Through the ticketed queue: the fault lands between the
+            // embeds admitted before and after it, deterministically.
+            match shared.queue.try_enqueue(JobKind::Fault(event)) {
+                Ok(reply) => reply
+                    .recv()
+                    .unwrap_or_else(|_| WireResponse::error("server shutting down")),
+                Err(EnqueueError::Full) => WireResponse::rejected("queue full"),
+                Err(EnqueueError::Closed) => WireResponse::error("server shutting down"),
+            }
+        }
+        "reclaim" => {
+            // Default to the requesting connection's own leases; an
+            // explicit owner reclaims on behalf of a vanished client.
+            let target = req.owner.unwrap_or(owner);
+            match shared.queue.try_enqueue(JobKind::Reclaim { owner: target }) {
+                Ok(reply) => reply
+                    .recv()
+                    .unwrap_or_else(|_| WireResponse::error("server shutting down")),
+                Err(EnqueueError::Full) => WireResponse::rejected("queue full"),
+                Err(EnqueueError::Closed) => WireResponse::error("server shutting down"),
+            }
+        }
         "embed" => {
             let Some(sfc) = req.sfc.take() else {
                 return WireResponse::error("embed requires 'sfc'");
@@ -430,7 +538,7 @@ fn dispatch(line: &str, shared: &Shared<'_>) -> WireResponse {
             let Some(flow) = req.flow else {
                 return WireResponse::error("embed requires 'flow'");
             };
-            embed_via_queue(sfc, flow, req.algo.take(), req.seed, shared)
+            embed_via_queue(sfc, flow, req.algo.take(), req.seed, owner, shared)
         }
         "embed_preset" => {
             let Some(name) = req.preset.as_deref() else {
@@ -455,7 +563,7 @@ fn dispatch(line: &str, shared: &Shared<'_>) -> WireResponse {
                 Ok(s) => s,
                 Err(e) => return WireResponse::error(format!("preset chain invalid: {e}")),
             };
-            embed_via_queue(sfc, flow, req.algo.take(), req.seed, shared)
+            embed_via_queue(sfc, flow, req.algo.take(), req.seed, owner, shared)
         }
         other => WireResponse::error(format!("unknown command '{other}'")),
     }
@@ -467,6 +575,7 @@ fn embed_via_queue(
     flow: Flow,
     algo: Option<String>,
     seed: Option<u64>,
+    owner: u64,
     shared: &Shared<'_>,
 ) -> WireResponse {
     let algo = match algo.as_deref() {
@@ -489,6 +598,9 @@ fn embed_via_queue(
         }
     }
     // Admission 2: static-capacity reachability via the shared oracle.
+    // The oracle carries the fault overlay, so a substrate partitioned
+    // by link/node failures rejects here — fast, and without blocking a
+    // worker on a solve that cannot succeed.
     if flow.src != flow.dst
         && shared
             .oracle
@@ -503,7 +615,13 @@ fn embed_via_queue(
         ));
     }
     // Admission 3: bounded queue (backpressure).
-    match shared.queue.try_enqueue(sfc, flow, algo, seed) {
+    match shared.queue.try_enqueue(JobKind::Embed {
+        sfc,
+        flow,
+        algo,
+        seed,
+        owner,
+    }) {
         Ok(reply) => reply
             .recv()
             .unwrap_or_else(|_| WireResponse::error("server shutting down")),

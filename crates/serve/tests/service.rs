@@ -3,8 +3,8 @@
 //! control, backpressure, lease bookkeeping, stats, and graceful
 //! shutdown — all over real sockets.
 
-use dagsfc_net::{LeaseId, NodeId};
-use dagsfc_serve::{replay, serve, Client, ClientError, EmbedReply, ServeConfig};
+use dagsfc_net::{FaultEvent, LeaseId, NodeId};
+use dagsfc_serve::{replay, serve, Client, ClientError, EmbedReply, ServeConfig, WireRequest};
 use dagsfc_sim::runner::{instance_network, instance_request};
 use dagsfc_sim::{export_trace, run_lifecycle_detailed, Algo, LifecycleConfig, SimConfig};
 
@@ -230,6 +230,163 @@ fn unknown_preset_is_a_protocol_error_not_a_crash() {
     // The connection survives the error; the daemon still answers.
     client.ping().expect("ping after error");
     drop(client);
+    handle.join();
+}
+
+#[test]
+fn faults_over_the_wire_block_and_recover() {
+    let sim = base();
+    let handle = spawn(ServeConfig::default(), &sim);
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let net = instance_network(&sim);
+    let (sfc, flow) = instance_request(&sim, &net, 0);
+
+    // Take the flow's source node down: the request must be rejected
+    // (at admission — the shared oracle carries the down overlay — or
+    // at solve time), never accepted onto a dead node.
+    assert!(client
+        .fault(&FaultEvent::NodeDown { node: flow.src })
+        .expect("fault reply"));
+    // Idempotent re-send reports no change.
+    assert!(!client
+        .fault(&FaultEvent::NodeDown { node: flow.src })
+        .expect("fault reply"));
+    match client.embed(&sfc, &flow, None, 1).expect("reply") {
+        EmbedReply::Rejected(_) => {}
+        other => panic!("embed onto a down source must fail, got {other:?}"),
+    }
+
+    // Recovery: the same request embeds again.
+    assert!(client
+        .fault(&FaultEvent::NodeUp { node: flow.src })
+        .expect("fault reply"));
+    match client.embed(&sfc, &flow, None, 1).expect("reply") {
+        EmbedReply::Accepted { .. } => {}
+        other => panic!("recovered substrate must admit, got {other:?}"),
+    }
+
+    // An out-of-range fault target is a protocol error, not a crash.
+    assert!(client
+        .fault(&FaultEvent::NodeDown {
+            node: NodeId(10_000)
+        })
+        .is_err());
+    client.ping().expect("daemon survives bad fault");
+
+    let stats = client.stats().expect("stats");
+    // Only state-changing events count: down + up, not the no-op re-send.
+    assert_eq!(stats.faults_applied, 2);
+    assert_eq!(stats.audits_failed, 0);
+    drop(client);
+    handle.join();
+}
+
+#[test]
+fn reclaim_command_releases_a_vanished_clients_leases() {
+    let sim = base();
+    let handle = spawn(ServeConfig::default(), &sim);
+    let net = instance_network(&sim);
+
+    // Client A commits a lease, then vanishes without releasing it.
+    let mut a = Client::connect(handle.addr()).expect("connect");
+    let owner_a = a.owner().expect("owner");
+    let (sfc, flow) = instance_request(&sim, &net, 0);
+    let lease = match a.embed(&sfc, &flow, None, 1).expect("reply") {
+        EmbedReply::Accepted { lease, .. } => lease,
+        other => panic!("expected acceptance, got {other:?}"),
+    };
+    drop(a);
+
+    // Client B commits its own lease, then reclaims A's orphans.
+    let mut b = Client::connect(handle.addr()).expect("connect");
+    assert_ne!(b.owner().expect("owner"), owner_a, "owners are distinct");
+    let (sfc, flow) = instance_request(&sim, &net, 1);
+    let own = match b.embed(&sfc, &flow, None, 2).expect("reply") {
+        EmbedReply::Accepted { lease, .. } => lease,
+        other => panic!("expected acceptance, got {other:?}"),
+    };
+    assert_eq!(b.reclaim(Some(owner_a)).expect("reclaim"), 1);
+    // A's lease is gone; B's survives. A second reclaim finds nothing.
+    assert!(matches!(b.release(lease), Err(ClientError::Server(_))));
+    assert_eq!(b.reclaim(Some(owner_a)).expect("reclaim"), 0);
+    b.release(own).expect("own lease still live");
+
+    let stats = b.stats().expect("stats");
+    assert_eq!(stats.orphans_reclaimed, 1);
+    assert_eq!(stats.active_leases, 0);
+    assert!(stats.outstanding_load.abs() < 1e-9);
+    drop(b);
+    handle.join();
+}
+
+#[test]
+fn reclaim_on_disconnect_sweeps_orphans_automatically() {
+    let sim = base();
+    let handle = spawn(
+        ServeConfig {
+            reclaim_on_disconnect: true,
+            ..ServeConfig::default()
+        },
+        &sim,
+    );
+    let net = instance_network(&sim);
+    let mut a = Client::connect(handle.addr()).expect("connect");
+    let (sfc, flow) = instance_request(&sim, &net, 0);
+    match a.embed(&sfc, &flow, None, 1).expect("reply") {
+        EmbedReply::Accepted { .. } => {}
+        other => panic!("expected acceptance, got {other:?}"),
+    }
+    drop(a); // vanish without releasing
+
+    let mut b = Client::connect(handle.addr()).expect("connect");
+    // The disconnect sweep rides the same job queue; wait for it.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    loop {
+        let stats = b.stats().expect("stats");
+        if stats.orphans_reclaimed == 1 {
+            assert_eq!(stats.active_leases, 0);
+            assert!(stats.outstanding_load.abs() < 1e-9);
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "disconnect sweep never reclaimed the orphan"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    drop(b);
+    handle.join();
+}
+
+#[test]
+fn slow_and_abandoning_clients_do_not_wedge_the_daemon() {
+    let sim = base();
+    let handle = spawn(ServeConfig::default(), &sim);
+    let net = instance_network(&sim);
+    let (sfc, flow) = instance_request(&sim, &net, 0);
+
+    // A slow client dribbling 7-byte chunks still gets a full reply.
+    let mut slow = Client::connect(handle.addr()).expect("connect");
+    let req = WireRequest {
+        cmd: "embed".into(),
+        sfc: Some(sfc.clone()),
+        flow: Some(flow),
+        seed: Some(1),
+        ..WireRequest::default()
+    };
+    let resp = slow.request_chunked(&req, 7).expect("chunked reply");
+    assert_eq!(resp.status, "accepted");
+
+    // A client that dies mid-request must not take the daemon with it.
+    let dead = Client::connect(handle.addr()).expect("connect");
+    dead.abandon_mid_request(&req, 20).expect("partial write");
+
+    // The daemon still serves new connections afterwards.
+    let mut fresh = Client::connect(handle.addr()).expect("connect");
+    fresh.ping().expect("daemon alive after abandoned request");
+    let stats = fresh.stats().expect("stats");
+    assert_eq!(stats.accepted, 1, "only the slow client's embed landed");
+    drop((slow, fresh));
     handle.join();
 }
 

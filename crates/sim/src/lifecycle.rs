@@ -179,6 +179,13 @@ pub enum EmbedRejection {
     /// and was rolled back (serve daemon's audit-on-commit gate). The
     /// payload is the audit summary.
     Audit(String),
+    /// The solve exceeded the server's per-request time budget and was
+    /// rolled back (graceful degradation under fault load; only raised
+    /// when a solve timeout is explicitly configured).
+    Timeout {
+        /// Wall time the solve actually took.
+        elapsed_millis: u64,
+    },
 }
 
 impl std::fmt::Display for EmbedRejection {
@@ -188,6 +195,9 @@ impl std::fmt::Display for EmbedRejection {
             EmbedRejection::Account(e) => write!(f, "accounting failed: {e}"),
             EmbedRejection::Commit(e) => write!(f, "commit failed: {e}"),
             EmbedRejection::Audit(summary) => write!(f, "audit failed: {summary}"),
+            EmbedRejection::Timeout { elapsed_millis } => {
+                write!(f, "solve timed out after {elapsed_millis}ms")
+            }
         }
     }
 }
@@ -243,6 +253,7 @@ pub fn embed_and_commit(
         .enumerate()
         .map(|(i, &load)| (LinkId(i as u32), load));
     let lease = ledger
+        // lint:allow(raw-commit) — this *is* the sanctioned wrapper
         .commit(vnf_loads, link_loads)
         .map_err(EmbedRejection::Commit)?;
     Ok(EmbedSuccess {

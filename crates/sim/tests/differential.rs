@@ -1,0 +1,228 @@
+//! Differential tests over *randomized* instances: every parallel fast
+//! path must be observationally identical to its serial reference.
+//!
+//! Two independent parallelism layers are pinned here:
+//!
+//! * the sweep executor (`sweep` vs `sweep_serial`) — work-queue
+//!   scheduling over whole instances must not change any reported
+//!   aggregate;
+//! * MBBE/BBE merger-candidate scoring
+//!   ([`BbeConfig::parallel_merger_scoring`]) — the scoped-thread
+//!   fan-out inside a single solve must reproduce the sequential
+//!   search bit for bit, **including the instrumentation counters**.
+//!
+//! What is deliberately *excluded* from each comparison, and why:
+//!
+//! * `mean_elapsed` / `SolverStats::elapsed` / `layer_wall` — wall
+//!   clock, the one thing parallelism is allowed to change;
+//! * per-algorithm `cache_hits`/`cache_misses` in the *sweep* tests —
+//!   the instance runner shares one path oracle across concurrently
+//!   scheduled runs, so which run pays a given miss is
+//!   scheduling-dependent (totals are conserved, attribution is not).
+//!   Per-solve counters in the merger tests have no such ambiguity
+//!   (fresh oracle per solve, builds serialized under the cache lock),
+//!   so there they are compared exactly.
+
+use dagsfc_core::solvers::{BbeSolver, MbbeSolver, Solver};
+use dagsfc_core::SolveOutcome;
+use dagsfc_sim::report;
+use dagsfc_sim::runner::{instance_network, instance_request};
+use dagsfc_sim::sweep::{paper_algos, sweep, sweep_serial};
+use dagsfc_sim::SimConfig;
+
+/// Randomized sweep bases: small but structurally diverse configs drawn
+/// from fixed seeds (different substrate sizes, chain shapes, prices).
+fn random_bases() -> Vec<SimConfig> {
+    [0x05EE_D001u64, 0x05EE_D002, 0x05EE_D003]
+        .iter()
+        .enumerate()
+        .map(|(i, &seed)| SimConfig {
+            network_size: 24 + 8 * i,
+            sfc_size: 3 + i,
+            vnf_deploy_ratio: 0.4 + 0.1 * i as f64,
+            avg_price_ratio: 0.1 + 0.1 * i as f64,
+            runs: 6,
+            seed,
+            ..SimConfig::quick()
+        })
+        .collect()
+}
+
+#[test]
+fn parallel_sweep_matches_serial_on_randomized_instances() {
+    for (bi, base) in random_bases().iter().enumerate() {
+        let xs = [3.0, 4.0];
+        let set = |cfg: &mut SimConfig, x: f64| cfg.sfc_size = x as usize;
+        let par = sweep("diff", "sfc size", base, &xs, set, |_| paper_algos());
+        let ser = sweep_serial("diff", "sfc size", base, &xs, set, |_| paper_algos());
+
+        // The rendered CSV (x, mean cost, successes) must match byte
+        // for byte.
+        assert_eq!(
+            report::csv(&par),
+            report::csv(&ser),
+            "base {bi}: CSV diverged"
+        );
+
+        // And beyond the CSV: every deterministic aggregate field, bit
+        // for bit.
+        assert_eq!(par.points.len(), ser.points.len());
+        for (pp, sp) in par.points.iter().zip(&ser.points) {
+            assert_eq!(pp.x.to_bits(), sp.x.to_bits());
+            assert_eq!(pp.algos.len(), sp.algos.len());
+            for (pa, sa) in pp.algos.iter().zip(&sp.algos) {
+                let tag = format!("base {bi}, x={}, algo {}", pp.x, pa.name);
+                assert_eq!(pa.name, sa.name, "{tag}: algo order");
+                assert_eq!(pa.successes, sa.successes, "{tag}: successes");
+                assert_eq!(pa.failures, sa.failures, "{tag}: failures");
+                assert_eq!(pa.cost.n, sa.cost.n, "{tag}: cost.n");
+                assert_eq!(
+                    pa.cost.mean.to_bits(),
+                    sa.cost.mean.to_bits(),
+                    "{tag}: cost.mean"
+                );
+                assert_eq!(
+                    pa.cost.std_dev.to_bits(),
+                    sa.cost.std_dev.to_bits(),
+                    "{tag}: cost.std_dev"
+                );
+                assert_eq!(
+                    pa.cost.min.to_bits(),
+                    sa.cost.min.to_bits(),
+                    "{tag}: cost.min"
+                );
+                assert_eq!(
+                    pa.cost.max.to_bits(),
+                    sa.cost.max.to_bits(),
+                    "{tag}: cost.max"
+                );
+                assert_eq!(
+                    pa.mean_vnf_cost.to_bits(),
+                    sa.mean_vnf_cost.to_bits(),
+                    "{tag}: mean_vnf_cost"
+                );
+                assert_eq!(
+                    pa.mean_link_cost.to_bits(),
+                    sa.mean_link_cost.to_bits(),
+                    "{tag}: mean_link_cost"
+                );
+                assert_eq!(
+                    pa.mean_explored.to_bits(),
+                    sa.mean_explored.to_bits(),
+                    "{tag}: mean_explored"
+                );
+                assert_eq!(
+                    pa.mean_nodes_expanded.to_bits(),
+                    sa.mean_nodes_expanded.to_bits(),
+                    "{tag}: mean_nodes_expanded"
+                );
+                assert_eq!(
+                    pa.mean_candidates_generated.to_bits(),
+                    sa.mean_candidates_generated.to_bits(),
+                    "{tag}: mean_candidates_generated"
+                );
+                assert_eq!(
+                    pa.mean_candidates_pruned.to_bits(),
+                    sa.mean_candidates_pruned.to_bits(),
+                    "{tag}: mean_candidates_pruned"
+                );
+            }
+        }
+    }
+}
+
+/// Asserts two solve outcomes of the same instance are identical in
+/// everything but wall clock.
+fn assert_outcomes_identical(serial: &SolveOutcome, parallel: &SolveOutcome, tag: &str) {
+    assert_eq!(serial.embedding, parallel.embedding, "{tag}: embedding");
+    assert_eq!(
+        serial.cost.total().to_bits(),
+        parallel.cost.total().to_bits(),
+        "{tag}: total cost"
+    );
+    assert_eq!(
+        serial.cost.vnf.to_bits(),
+        parallel.cost.vnf.to_bits(),
+        "{tag}: vnf cost"
+    );
+    assert_eq!(
+        serial.cost.link.to_bits(),
+        parallel.cost.link.to_bits(),
+        "{tag}: link cost"
+    );
+    let (s, p) = (&serial.stats, &parallel.stats);
+    assert_eq!(s.explored, p.explored, "{tag}: explored");
+    assert_eq!(s.kept, p.kept, "{tag}: kept");
+    assert_eq!(s.nodes_expanded, p.nodes_expanded, "{tag}: nodes_expanded");
+    assert_eq!(s.fst_nodes, p.fst_nodes, "{tag}: fst_nodes");
+    assert_eq!(s.bst_nodes, p.bst_nodes, "{tag}: bst_nodes");
+    assert_eq!(
+        s.candidates_generated, p.candidates_generated,
+        "{tag}: candidates_generated"
+    );
+    assert_eq!(
+        s.candidates_pruned, p.candidates_pruned,
+        "{tag}: candidates_pruned"
+    );
+    assert_eq!(s.cache_hits, p.cache_hits, "{tag}: cache_hits");
+    assert_eq!(s.cache_misses, p.cache_misses, "{tag}: cache_misses");
+}
+
+#[test]
+fn parallel_merger_scoring_matches_serial_on_randomized_instances() {
+    // Many small randomized instances: fresh network and hybrid chain
+    // per seed, solved twice — sequential merger scoring vs the
+    // scoped-thread fan-out — with identical outcomes demanded down to
+    // the instrumentation counters.
+    let mut solved = 0usize;
+    for seed in 0..12u64 {
+        let cfg = SimConfig {
+            network_size: 24 + (seed as usize % 3) * 8,
+            sfc_size: 3 + (seed as usize % 3),
+            runs: 1,
+            seed: 0xD1FF ^ (seed << 8),
+            ..SimConfig::quick()
+        };
+        let net = instance_network(&cfg);
+        let (sfc, flow) = instance_request(&cfg, &net, 0);
+
+        let serial = MbbeSolver::new().solve(&net, &sfc, &flow);
+        let mut par_solver = MbbeSolver::new();
+        par_solver.config.parallel_merger_scoring = true;
+        let parallel = par_solver.solve(&net, &sfc, &flow);
+
+        match (serial, parallel) {
+            (Ok(s), Ok(p)) => {
+                assert_outcomes_identical(&s, &p, &format!("mbbe seed {seed}"));
+                solved += 1;
+            }
+            (Err(_), Err(_)) => {}
+            (s, p) => panic!(
+                "mbbe seed {seed}: feasibility diverged (serial ok={}, parallel ok={})",
+                s.is_ok(),
+                p.is_ok()
+            ),
+        }
+
+        // Classic BBE exercises the tree-traversal candidate path; its
+        // chains stay within the practical size limit by construction
+        // (sfc_size ≤ 5 above).
+        let bbe_serial = BbeSolver::new().solve(&net, &sfc, &flow);
+        let mut bbe_par_solver = BbeSolver::new();
+        bbe_par_solver.config.parallel_merger_scoring = true;
+        let bbe_parallel = bbe_par_solver.solve(&net, &sfc, &flow);
+        match (bbe_serial, bbe_parallel) {
+            (Ok(s), Ok(p)) => assert_outcomes_identical(&s, &p, &format!("bbe seed {seed}")),
+            (Err(_), Err(_)) => {}
+            (s, p) => panic!(
+                "bbe seed {seed}: feasibility diverged (serial ok={}, parallel ok={})",
+                s.is_ok(),
+                p.is_ok()
+            ),
+        }
+    }
+    assert!(
+        solved >= 6,
+        "too few feasible instances ({solved}/12) for the differential to mean anything"
+    );
+}

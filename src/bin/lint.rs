@@ -16,6 +16,9 @@
 //! * `raw-routing` — single-path routing goes through the shared
 //!   `PathOracle`; direct Dijkstra calls bypass its cache and its
 //!   invalidation discipline.
+//! * `raw-commit` — embeddings reach the `CommitLedger` only through
+//!   the auditing `embed_and_commit` wrapper, never by calling the
+//!   ledger directly.
 //! * `float-eq` — objective costs are `f64`; compare with a tolerance,
 //!   not `==`.
 //!
@@ -113,6 +116,13 @@ fn rules() -> Vec<Rule> {
             // does not fire; see scan_file.
             patterns: vec![],
             scope: Scope::HotPaths,
+        },
+        Rule {
+            name: "raw-commit",
+            rationale: "embeddings are committed through the auditing embed_and_commit \
+                        wrapper, never by calling the ledger directly",
+            patterns: vec![glue(&[".com", "mit("])],
+            scope: Scope::OutsideNet,
         },
         Rule {
             name: "float-eq",

@@ -18,7 +18,11 @@
 //! * [`serve`] — the `dagsfc-serve` daemon: a long-lived embedding
 //!   service with admission control, a lease ledger, and trace replay
 //!   that reproduces the simulation bit for bit over TCP (see
-//!   `docs/SERVICE.md`).
+//!   `docs/SERVICE.md`);
+//! * [`chaos`] — the deterministic fault-injection harness: seeded
+//!   fault plans (link/node failures, capacity churn, misbehaving
+//!   clients) replayed in-process or through the daemon with
+//!   bit-for-bit reproducible outcomes (see `docs/TESTING.md`).
 //!
 //! ## Quickstart
 //!
@@ -48,6 +52,7 @@
 #![forbid(unsafe_code)]
 
 pub use dagsfc_audit as audit;
+pub use dagsfc_chaos as chaos;
 pub use dagsfc_core as core;
 pub use dagsfc_net as net;
 pub use dagsfc_nfp as nfp;

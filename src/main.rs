@@ -13,6 +13,8 @@
 //! dagsfc trace     --out trace.json --arrivals 50 --mean-holding 8
 //! dagsfc replay    --trace trace.json --workers 4 --verify
 //! dagsfc audit     --trace trace.json [--network net.json] [--json]
+//! dagsfc chaos     gen --out chaos.json --arrivals 50 --chaos-seed 7
+//! dagsfc chaos     run --scenario chaos.json --workers 4 --verify
 //! ```
 //!
 //! Everything is deterministic in `--seed`.
@@ -41,6 +43,7 @@ fn main() -> ExitCode {
         "client" => Some(dagsfc::serve::cli::client_main(&rest)),
         "trace" => Some(dagsfc::serve::cli::trace_main(&rest)),
         "replay" => Some(dagsfc::serve::cli::replay_main(&rest)),
+        "chaos" => Some(dagsfc::chaos::chaos_main(&rest)),
         _ => None,
     };
     if let Some(result) = served {
@@ -59,6 +62,27 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    // `audit` distinguishes its failure modes via exit code: 0 clean,
+    // 1 constraint violations, 2 usage, 3 unreadable/invalid input —
+    // so CI and scripts can tell "the embeddings are bad" apart from
+    // "the file is bad".
+    if command == "audit" {
+        return match cmd_audit(&opts) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(AuditCmdError::Usage(e)) => {
+                eprintln!("error: {e}\n\n{USAGE}");
+                ExitCode::from(2)
+            }
+            Err(AuditCmdError::Input(e)) => {
+                eprintln!("error: {e}");
+                ExitCode::from(3)
+            }
+            Err(AuditCmdError::Violations(e)) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let result = match command.as_str() {
         "generate" => cmd_generate(&opts),
         "instance" => cmd_instance(&opts),
@@ -68,7 +92,6 @@ fn main() -> ExitCode {
         "topology" => cmd_topology(&opts),
         "quality" => cmd_quality(&opts),
         "ilp" => cmd_ilp(&opts),
-        "audit" => cmd_audit(&opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -102,7 +125,10 @@ USAGE:
   dagsfc client    ping|stats|embed|release|replay|shutdown --addr HOST:PORT [...]
   dagsfc trace     --out FILE [--arrivals R] [--mean-holding H] [--algo NAME]
   dagsfc replay    --trace FILE [--workers W] [--queue Q] [--verify]
-  dagsfc audit     --trace FILE [--network FILE] [--json]";
+  dagsfc audit     --trace FILE [--network FILE] [--json]
+                   (exit codes: 0 clean, 1 violations, 2 usage, 3 bad input)
+  dagsfc chaos     gen --out FILE [--arrivals R] [--chaos-seed C] [...]
+  dagsfc chaos     run --scenario FILE [--workers W] [--verify]";
 
 /// Minimal `--key value` / positional argument parser.
 struct Opts {
@@ -469,22 +495,32 @@ fn cmd_ilp(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_audit(opts: &Opts) -> Result<(), String> {
+/// Why `dagsfc audit` failed — each variant maps to a distinct exit
+/// code so callers can react differently to "bad embeddings" (1),
+/// "bad invocation" (2), and "bad input file" (3).
+enum AuditCmdError {
+    Usage(String),
+    Input(String),
+    Violations(String),
+}
+
+fn cmd_audit(opts: &Opts) -> Result<(), AuditCmdError> {
     let trace_path = opts
         .path("trace")
-        .ok_or("audit requires --trace FILE".to_string())?;
-    let trace = sim_io::load_trace(&trace_path).map_err(|e| e.to_string())?;
+        .ok_or_else(|| AuditCmdError::Usage("audit requires --trace FILE".to_string()))?;
+    let trace = sim_io::load_trace(&trace_path).map_err(|e| AuditCmdError::Input(e.to_string()))?;
     // The trace's base config regenerates the exact network the replay
     // ran against; --network overrides it for externally saved nets.
     let net = match opts.path("network") {
-        Some(p) => sim_io::load_network(&p).map_err(|e| e.to_string())?,
+        Some(p) => sim_io::load_network(&p).map_err(|e| AuditCmdError::Input(e.to_string()))?,
         None => instance_network(&trace.base),
     };
     let outcome = dagsfc::sim::audit_trace(&net, &trace);
     if opts.has("json") {
         println!(
             "{}",
-            serde_json::to_string_pretty(&outcome).map_err(|e| e.to_string())?
+            serde_json::to_string_pretty(&outcome)
+                .map_err(|e| AuditCmdError::Input(e.to_string()))?
         );
     } else {
         println!(
@@ -511,11 +547,11 @@ fn cmd_audit(opts: &Opts) -> Result<(), String> {
     if outcome.is_clean() {
         Ok(())
     } else {
-        Err(format!(
+        Err(AuditCmdError::Violations(format!(
             "{} of {} accepted embeddings violated paper constraints",
             outcome.findings.len(),
             outcome.accepted
-        ))
+        )))
     }
 }
 

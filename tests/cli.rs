@@ -217,6 +217,114 @@ fn embed_with_protect_and_save() {
 }
 
 #[test]
+fn audit_exit_codes_distinguish_failure_modes() {
+    // 0 — a freshly exported trace audits clean.
+    let trace = tmp("audit-clean.json");
+    let out = bin()
+        .args([
+            "trace",
+            "--out",
+            trace.to_str().unwrap(),
+            "--arrivals",
+            "12",
+            "--nodes",
+            "20",
+            "--seed",
+            "3",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let out = bin()
+        .args(["audit", "--trace", trace.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(0), "clean audit exits 0");
+
+    // 2 — missing --trace is a usage error, and prints usage.
+    let out = bin().arg("audit").output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(2), "usage error exits 2");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("USAGE"));
+
+    // 3 — a nonexistent trace file is an input error, not a violation.
+    let out = bin()
+        .args(["audit", "--trace", "/nonexistent/trace.json"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(3), "missing file exits 3");
+
+    // 3 — garbage JSON is an input error too.
+    let garbage = tmp("audit-garbage.json");
+    std::fs::write(&garbage, "{not json").expect("write garbage");
+    let out = bin()
+        .args(["audit", "--trace", garbage.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(3), "parse failure exits 3");
+}
+
+#[test]
+fn chaos_gen_and_run_verify_end_to_end() {
+    let scenario = tmp("chaos.json");
+    let out = bin()
+        .args([
+            "chaos",
+            "gen",
+            "--out",
+            scenario.to_str().unwrap(),
+            "--arrivals",
+            "20",
+            "--nodes",
+            "24",
+            "--seed",
+            "11",
+            "--chaos-seed",
+            "5",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("fault events"));
+
+    let out = bin()
+        .args([
+            "chaos",
+            "run",
+            "--scenario",
+            scenario.to_str().unwrap(),
+            "--workers",
+            "2",
+            "--verify",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("verified: bit-for-bit"));
+    assert!(
+        text.lines().last().unwrap().contains("\"audits_failed\":0")
+            || text
+                .lines()
+                .last()
+                .unwrap()
+                .contains("\"audits_failed\": 0"),
+        "summary line must report zero audit failures: {text}"
+    );
+}
+
+#[test]
 fn quality_and_topology_subcommands() {
     let out = bin()
         .args(["quality", "--nodes", "30", "--runs", "3"])
