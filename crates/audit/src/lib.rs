@@ -20,6 +20,9 @@
 //!   shared link is charged at most once per layer (`min{·, 1}`);
 //! * **(10)** — inner-layer (parallel VNF → merger) paths carry
 //!   distinct traffic versions: every link occurrence is charged.
+//! * **(D)** — end-to-end delay (QoS extension): when the flow carries
+//!   a `delay_budget_us`, the embedding's delay under the canonical
+//!   substrate model ([`DelayModel::for_network`]) must stay within it.
 //!
 //! The auditor deliberately re-implements the charging rules instead of
 //! calling [`Embedding::try_account`], then *compares* its figures with
@@ -32,7 +35,8 @@
 #![forbid(unsafe_code)]
 
 use dagsfc_core::{
-    meta_paths, CostBreakdown, DagSfc, Embedding, Endpoint, Flow, MetaPathKind, SolveOutcome,
+    meta_paths, CostBreakdown, DagSfc, DelayModel, Embedding, Endpoint, Flow, MetaPathKind,
+    SolveOutcome,
 };
 use dagsfc_net::{LinkId, Network, NodeId, VnfTypeId, CAP_EPS};
 use serde::Serialize;
@@ -63,6 +67,9 @@ pub enum Constraint {
     C10,
     /// Objective (1): solver-reported cost vs the recomputation.
     Objective,
+    /// End-to-end delay budget (QoS extension, not a numbered paper
+    /// constraint): delay under the canonical model ≤ `delay_budget_us`.
+    Delay,
 }
 
 impl fmt::Display for Constraint {
@@ -76,6 +83,7 @@ impl fmt::Display for Constraint {
             Constraint::C9 => write!(f, "(9)"),
             Constraint::C10 => write!(f, "(10)"),
             Constraint::Objective => write!(f, "(1)"),
+            Constraint::Delay => write!(f, "(D)"),
         }
     }
 }
@@ -173,6 +181,14 @@ pub enum Violation {
         /// The accounting error, rendered.
         detail: String,
     },
+    /// (D): the embedding's end-to-end delay under the canonical
+    /// substrate model exceeds the flow's delay budget.
+    DelayBudgetExceeded {
+        /// Recomputed end-to-end delay (µs).
+        delay_us: f64,
+        /// The flow's budget (µs).
+        budget_us: f64,
+    },
 }
 
 impl Violation {
@@ -190,6 +206,7 @@ impl Violation {
             }
             Violation::LinkChargeMismatch { .. } => Constraint::C9,
             Violation::CostMismatch { .. } => Constraint::Objective,
+            Violation::DelayBudgetExceeded { .. } => Constraint::Delay,
         }
     }
 }
@@ -246,6 +263,13 @@ impl fmt::Display for Violation {
             Violation::AccountingRejected { detail } => {
                 write!(f, "production accounting rejected the embedding: {detail}")
             }
+            Violation::DelayBudgetExceeded {
+                delay_us,
+                budget_us,
+            } => write!(
+                f,
+                "end-to-end delay {delay_us} us exceeds the flow budget {budget_us} us"
+            ),
         }
     }
 }
@@ -492,6 +516,19 @@ impl ConstraintAuditor {
             Err(_) => {} // already reported per-slot under (4)
         }
 
+        // --- Constraint (D): end-to-end delay within the flow budget,
+        // recomputed under the canonical substrate model — independent
+        // of whatever model (or delay logic) the solver used.
+        if let Some(budget_us) = flow.delay_budget_us {
+            let delay_us = DelayModel::for_network(net).embedding_delay(sfc, emb, flow);
+            if delay_us > budget_us + COST_TOLERANCE {
+                violations.push(Violation::DelayBudgetExceeded {
+                    delay_us,
+                    budget_us,
+                });
+            }
+        }
+
         // --- Objective (1) vs the producer's claim.
         if let Some(rep) = reported {
             if (rep.total() - recomputed.total()).abs() > self.cost_tolerance {
@@ -677,6 +714,44 @@ mod tests {
         let report =
             ConstraintAuditor::new().audit_with_reported(&g, &sfc(), &flow, &emb, Some(nudged));
         assert!(report.is_clean(), "{}", report.summary());
+    }
+
+    /// The delay check only arms when the flow carries a budget, and
+    /// recomputes the delay from the substrate's own link-delay table.
+    #[test]
+    fn delay_budget_is_audited_against_substrate_delays() {
+        let mut g = net();
+        for l in 0..3u32 {
+            g.set_link_delay(LinkId(l), 10.0).unwrap();
+        }
+        // good(): e01 (L0) + max(e12, e12) (L1, multicast dedup does not
+        // apply to delay: both branches ride e12) + final e23 = 30 µs.
+        let s = sfc();
+        let emb = good(&g);
+        let auditor = ConstraintAuditor::new();
+        // No budget: not armed, clean.
+        let free = Flow::unit(NodeId(0), NodeId(3));
+        assert!(auditor.audit(&g, &s, &free, &emb).is_clean());
+        // Loose budget: clean.
+        let loose = free.with_delay_budget(30.0);
+        let report = auditor.audit(&g, &s, &loose, &emb);
+        assert!(report.is_clean(), "{}", report.summary());
+        // Tight budget: exactly one (D) violation with the right figures.
+        let tight = free.with_delay_budget(25.0);
+        let report = auditor.audit(&g, &s, &tight, &emb);
+        assert_eq!(report.violations.len(), 1, "{}", report.summary());
+        match &report.violations[0] {
+            Violation::DelayBudgetExceeded {
+                delay_us,
+                budget_us,
+            } => {
+                assert!((delay_us - 30.0).abs() < 1e-9);
+                assert!((budget_us - 25.0).abs() < 1e-9);
+            }
+            v => panic!("expected a delay violation, got {v}"),
+        }
+        assert_eq!(report.violations[0].constraint(), Constraint::Delay);
+        assert!(report.violations[0].to_string().starts_with("(D) "));
     }
 
     #[test]

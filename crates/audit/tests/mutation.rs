@@ -142,6 +142,7 @@ fn overbooked_link_fires_3() {
         dst: NodeId(3),
         rate: 2.5,
         size: 1.0,
+        delay_budget_us: None,
     };
     let vs = audit(&g, &good(&g), &f);
     let overbooked: Vec<_> = vs
@@ -175,6 +176,7 @@ fn multicast_sharing_loads_once_where_unicast_would_overbook() {
         dst: NodeId(3),
         rate: 1.5,
         size: 1.0,
+        delay_budget_us: None,
     };
     let vs = audit(&g, &good(&g), &f);
     assert!(vs.is_empty(), "{vs:?}");
@@ -233,6 +235,7 @@ fn vnf_past_capacity_fires_2() {
         dst: NodeId(3),
         rate: 6.0,
         size: 0.0, // zero size: isolate the load checks from cost terms
+        delay_budget_us: None,
     };
     let vs = ConstraintAuditor::new().audit(&g, &s, &f, &emb).violations;
     let vnf: Vec<_> = vs
@@ -301,4 +304,32 @@ fn violations_serialize_for_machine_reports() {
     };
     let json = serde_json::to_string(&v).unwrap();
     assert!(json.contains("LinkBandwidthExceeded"), "{json}");
+}
+
+#[test]
+fn blown_delay_budget_fires_d() {
+    // Mutation: the substrate's link delays push the (otherwise clean)
+    // embedding past the flow's deadline — the delay check must fire,
+    // and relaxing the budget must disarm it.
+    let mut g = net();
+    for l in 0..3u32 {
+        g.set_link_delay(dagsfc_net::LinkId(l), 10.0).unwrap();
+    }
+    // good(): e01 + e12 (slowest branch) + e23 = 30 µs end to end.
+    let f = flow().with_delay_budget(29.0);
+    let vs = audit(&g, &good(&g), &f);
+    assert_eq!(vs.len(), 1, "{vs:?}");
+    match &vs[0] {
+        Violation::DelayBudgetExceeded {
+            delay_us,
+            budget_us,
+        } => {
+            assert!((delay_us - 30.0).abs() < 1e-9);
+            assert!((budget_us - 29.0).abs() < 1e-9);
+        }
+        other => panic!("expected a (D) violation, got {other}"),
+    }
+    assert_eq!(vs[0].constraint(), Constraint::Delay);
+    // Same embedding, loose budget: clean again.
+    assert!(audit(&g, &good(&g), &flow().with_delay_budget(30.0)).is_empty());
 }

@@ -68,6 +68,7 @@ fn every_solver_survives_the_auditor_on_standard_topologies() {
             dst: NodeId((nodes - 1) as u32),
             rate: 1.0,
             size: 1.0,
+            delay_budget_us: None,
         };
         for sfc in chains() {
             for name in solvers {

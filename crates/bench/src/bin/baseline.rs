@@ -19,6 +19,7 @@
 use std::process::ExitCode;
 use std::time::Instant;
 
+use dagsfc_sim::config::DEFAULT_LINK_DELAY_US;
 use dagsfc_sim::runner::{run_instance, Algo};
 use dagsfc_sim::sweep::{sweep, sweep_serial, BBE_SFC_SIZE_LIMIT};
 use dagsfc_sim::SimConfig;
@@ -181,6 +182,56 @@ fn measure_sweep(profile: Profile) -> SweepSample {
     }
 }
 
+/// Times the delay-budget sweep (QoS-constrained embedding: LARAC
+/// bounded routing + early delay pruning on the hot path) on both
+/// executors.
+fn measure_delay_sweep(profile: Profile) -> SweepSample {
+    let (base, xs): (SimConfig, &[f64]) = match profile {
+        Profile::Full => (
+            SimConfig {
+                runs: 20,
+                ..SimConfig::default()
+            },
+            &[40.0, 80.0, 200.0, 400.0],
+        ),
+        Profile::Quick => (
+            SimConfig {
+                runs: 5,
+                ..SimConfig::quick()
+            },
+            &[60.0, 120.0, 400.0],
+        ),
+    };
+    let set = |cfg: &mut SimConfig, x: f64| {
+        cfg.link_delay_us = Some(DEFAULT_LINK_DELAY_US);
+        cfg.delay_budget_us = Some(x);
+    };
+    let algos = |_: f64| vec![Algo::Mbbe, Algo::Minv, Algo::Ranv];
+
+    let t = Instant::now();
+    let par = sweep("delay_budget", "delay budget (us)", &base, xs, set, algos);
+    let parallel_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    let t = Instant::now();
+    let ser = sweep_serial("delay_budget", "delay budget (us)", &base, xs, set, algos);
+    let serial_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    assert_eq!(
+        dagsfc_sim::report::csv(&par),
+        dagsfc_sim::report::csv(&ser),
+        "executors diverged — determinism bug, timings are meaningless"
+    );
+
+    SweepSample {
+        id: "delay_budget".to_string(),
+        points: xs.len(),
+        runs_per_point: base.runs,
+        parallel_ms,
+        serial_ms,
+        speedup: serial_ms / parallel_ms.max(1e-9),
+    }
+}
+
 fn measure(profile: Profile, annotations: Vec<Annotation>) -> Baseline {
     Baseline {
         schema: SCHEMA.to_string(),
@@ -191,7 +242,7 @@ fn measure(profile: Profile, annotations: Vec<Annotation>) -> Baseline {
         .to_string(),
         threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
         solvers: measure_solvers(profile),
-        sweeps: vec![measure_sweep(profile)],
+        sweeps: vec![measure_sweep(profile), measure_delay_sweep(profile)],
         annotations,
     }
 }

@@ -276,6 +276,47 @@ mod tests {
     }
 
     #[test]
+    fn delay_constrained_chaos_routes_around_down_links_within_budget() {
+        // Every flow carries a delay budget; the fault plan takes links
+        // and nodes down mid-run. Accepted embeddings must route around
+        // the outages AND stay within budget — the auditor re-derives
+        // the end-to-end delay from the substrate's per-link delays, so
+        // a solver that leaked a down link or blew the SLA would show up
+        // as an audit failure here.
+        let mut s = scenario(0xFA11);
+        s.trace.base.link_delay_us = Some(10.0);
+        s.trace.base.delay_budget_us = Some(150.0);
+        let net = s.network();
+        let out = run_chaos(&net, &s);
+        assert!(
+            s.plan
+                .faults
+                .iter()
+                .any(|f| matches!(f.event, dagsfc_net::FaultEvent::LinkDown { .. })),
+            "plan must actually take links down"
+        );
+        assert!(out.faults_applied > 0);
+        assert!(out.accepted > 0, "budget 150 us must admit some requests");
+        assert_eq!(
+            out.audits_failed, 0,
+            "an accepted embedding crossed a down link or blew its delay budget"
+        );
+        // Determinism holds for the delay-constrained run too.
+        let again = run_chaos(&net, &s);
+        assert_eq!(out.per_arrival, again.per_arrival);
+
+        // Tightening the budget to the impossible rejects everything —
+        // and cleanly (no audit failures, no leaks), proving rejections
+        // flow through the deadline path rather than panicking mid-run.
+        let mut strict = s.clone();
+        strict.trace.base.delay_budget_us = Some(0.001);
+        let out = run_chaos(&net, &strict);
+        assert_eq!(out.accepted, 0);
+        assert_eq!(out.audits_failed, 0);
+        assert!(out.final_leak.abs() < 1e-6);
+    }
+
+    #[test]
     fn drop_release_orphans_are_fully_reclaimed() {
         let mut s = scenario(0x0DD);
         // Drop every release: every accepted lease becomes an orphan.

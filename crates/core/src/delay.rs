@@ -11,45 +11,96 @@
 //!         + final_path
 //! ```
 //!
-//! Path latency is hop count × a per-hop propagation/forwarding delay.
-//! Processing delays per VNF kind come from the caller (e.g. the
-//! `dagsfc-nfp` catalog).
+//! Path latency is the sum of real per-link propagation delays (when
+//! the model carries the substrate's link-delay table) plus hop count ×
+//! a per-hop forwarding overhead. Models without a table fall back to
+//! pure hop counting — the legacy behavior, still used by catalogs that
+//! predate per-link delays. Processing delays per VNF kind come from
+//! the caller (e.g. the `dagsfc-nfp` catalog).
+//!
+//! This module is the **only** place allowed to turn hop counts into
+//! delays (enforced by a `dagsfc-lint` rule): every other crate must go
+//! through [`DelayModel::path_us`] or [`Path::delay_us`] so the
+//! hop-vs-link-delay distinction cannot silently diverge.
 
 use crate::chain::DagSfc;
 use crate::embedding::Embedding;
 use crate::flow::Flow;
 use crate::metapath::meta_paths;
-use dagsfc_net::Path;
+use dagsfc_net::{LinkId, Network, Path};
 use serde::{Deserialize, Serialize};
 
 /// Parameters of the delay model.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DelayModel {
-    /// Per-hop link traversal delay in microseconds.
+    /// Per-hop link traversal (forwarding) delay in microseconds.
     pub per_hop_us: f64,
     /// Fixed merger processing delay in microseconds.
     pub merge_us: f64,
     /// Per-VNF-kind processing delay in microseconds, indexed by
     /// [`dagsfc_net::VnfTypeId`]. Kinds beyond the vector default to 0.
     pub proc_us: Vec<f64>,
+    /// Per-link propagation delay table in microseconds, indexed by
+    /// [`LinkId`] (see [`Network::link_delays_us`]). `None` falls back
+    /// to pure hop counting — the legacy model. Links beyond the table
+    /// contribute 0.
+    pub link_delay_us: Option<Vec<f64>>,
 }
 
 impl DelayModel {
-    /// A model with uniform processing delay for every kind.
+    /// A model with uniform processing delay for every kind
+    /// (hop-count path latency, no link-delay table).
     pub fn uniform(kinds: usize, proc_us: f64, per_hop_us: f64, merge_us: f64) -> Self {
         DelayModel {
             per_hop_us,
             merge_us,
             proc_us: vec![proc_us; kinds],
+            link_delay_us: None,
         }
     }
 
-    fn proc(&self, kind: dagsfc_net::VnfTypeId) -> f64 {
+    /// The canonical substrate model for `net`: path latency is exactly
+    /// the summed link propagation delays, with zero forwarding,
+    /// processing, and merge overheads. This is the model the solver
+    /// delay gate, the auditor, and the serve layer share, so one
+    /// definition of "end-to-end delay" backs enforcement, audit, and
+    /// reporting.
+    pub fn for_network(net: &Network) -> Self {
+        DelayModel {
+            per_hop_us: 0.0,
+            merge_us: 0.0,
+            proc_us: Vec::new(),
+            link_delay_us: Some(net.link_delays_us()),
+        }
+    }
+
+    /// Attaches a per-link propagation delay table (builder style).
+    pub fn with_link_delays(mut self, delays: Vec<f64>) -> Self {
+        self.link_delay_us = Some(delays);
+        self
+    }
+
+    /// Processing delay of a VNF kind (0 for kinds beyond the table).
+    pub fn proc(&self, kind: dagsfc_net::VnfTypeId) -> f64 {
         self.proc_us.get(kind.index()).copied().unwrap_or(0.0)
     }
 
-    fn path_us(&self, p: &Path) -> f64 {
-        p.len() as f64 * self.per_hop_us
+    /// Latency of a real-path: summed link propagation delays (when the
+    /// model has a table) plus the per-hop forwarding overhead. Trivial
+    /// paths are free in both terms.
+    pub fn path_us(&self, p: &Path) -> f64 {
+        let forwarding = p.len() as f64 * self.per_hop_us;
+        match &self.link_delay_us {
+            Some(table) => {
+                let propagation: f64 = p
+                    .links()
+                    .iter()
+                    .map(|l: &LinkId| table.get(l.index()).copied().unwrap_or(0.0))
+                    .sum();
+                forwarding + propagation
+            }
+            None => forwarding,
+        }
     }
 
     /// End-to-end delay of `emb` in microseconds.
@@ -232,6 +283,7 @@ mod tests {
             per_hop_us: 5.0,
             merge_us: 2.0,
             proc_us: vec![10.0, 20.0, 30.0, 0.0, 0.0],
+            link_delay_us: None,
         };
         let flow = Flow::unit(NodeId(0), NodeId(3));
         let d = model.embedding_delay(&sfc, &emb, &flow);
@@ -248,6 +300,7 @@ mod tests {
             per_hop_us: 5.0,
             merge_us: 2.0,
             proc_us: vec![10.0, 20.0, 30.0, 0.0, 0.0],
+            link_delay_us: None,
         };
         let flow = Flow::unit(NodeId(0), NodeId(3));
         let seq = model.sequentialized_delay(&sfc, &emb, &flow);
@@ -265,6 +318,7 @@ mod tests {
             per_hop_us: 5.0,
             merge_us: 2.0,
             proc_us: vec![10.0, 20.0, 30.0, 0.0, 0.0],
+            link_delay_us: None,
         };
         let flow = Flow::unit(NodeId(0), NodeId(3));
         let parts = model.delay_breakdown(&sfc, &emb, &flow);
@@ -283,6 +337,46 @@ mod tests {
         let m = DelayModel::uniform(2, 7.0, 1.0, 0.5);
         assert_eq!(m.proc(VnfTypeId(0)), 7.0);
         assert_eq!(m.proc(VnfTypeId(9)), 0.0); // out of table → 0
+    }
+
+    /// Pins the hop-count semantics: a β-link path is charged exactly β
+    /// per-hop delays — trivial (colocated) paths are charged zero, not
+    /// one, and there is no node-count off-by-one.
+    #[test]
+    fn path_us_counts_edges_not_nodes() {
+        let g = net();
+        let m = DelayModel::uniform(2, 0.0, 5.0, 0.0);
+        assert_eq!(m.path_us(&Path::trivial(NodeId(1))), 0.0);
+        assert_eq!(m.path_us(&path(&g, &[0, 1])), 5.0);
+        assert_eq!(m.path_us(&path(&g, &[0, 1, 2])), 10.0);
+    }
+
+    #[test]
+    fn link_delay_table_adds_real_propagation() {
+        let mut g = net();
+        g.set_link_delay(dagsfc_net::LinkId(0), 7.0).unwrap();
+        g.set_link_delay(dagsfc_net::LinkId(1), 11.0).unwrap();
+        // Canonical model: pure propagation, no per-hop overhead.
+        let m = DelayModel::for_network(&g);
+        assert_eq!(m.path_us(&path(&g, &[0, 1, 2])), 18.0);
+        assert_eq!(m.path_us(&Path::trivial(NodeId(0))), 0.0);
+        // Forwarding overhead stacks on top of propagation.
+        let m2 = DelayModel::uniform(2, 0.0, 5.0, 0.0).with_link_delays(g.link_delays_us());
+        assert_eq!(m2.path_us(&path(&g, &[0, 1, 2])), 28.0);
+        // Links beyond a short table contribute zero propagation.
+        let m3 = DelayModel::uniform(2, 0.0, 0.0, 0.0).with_link_delays(vec![7.0]);
+        assert_eq!(m3.path_us(&path(&g, &[0, 1, 2])), 7.0);
+    }
+
+    /// The canonical model and [`Path::delay_us`] must agree — one
+    /// definition of propagation delay across all crates.
+    #[test]
+    fn canonical_model_matches_path_delay() {
+        let mut g = net();
+        g.set_link_delay(dagsfc_net::LinkId(2), 3.5).unwrap();
+        let m = DelayModel::for_network(&g);
+        let p = path(&g, &[1, 2, 3]);
+        assert!((m.path_us(&p) - p.delay_us(&g)).abs() < 1e-12);
     }
 
     #[test]

@@ -438,6 +438,7 @@ mod tests {
                     dst: NodeId(3),
                     rate: 2.0,
                     size: 3.0,
+                    delay_budget_us: None,
                 },
             )
             .unwrap();

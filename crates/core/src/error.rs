@@ -54,6 +54,18 @@ impl From<NetError> for ModelError {
     }
 }
 
+/// Stable prefix of [`SolveError::NoFeasibleEmbedding`] reasons that
+/// report a *deadline* failure (the embedding search found no candidate
+/// within the flow's delay budget) as opposed to a capacity failure.
+/// Serve-side statistics classify rejections on this prefix, so it must
+/// never change without migrating the classifiers.
+pub const DEADLINE_INFEASIBLE_PREFIX: &str = "deadline infeasible";
+
+/// Formats the canonical deadline-infeasible reason string.
+pub fn deadline_infeasible_reason(delay_us: f64, budget_us: f64) -> String {
+    format!("{DEADLINE_INFEASIBLE_PREFIX}: best delay {delay_us:.3} us > budget {budget_us:.3} us")
+}
+
 /// Errors from embedding solvers.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SolveError {
@@ -100,6 +112,20 @@ impl fmt::Display for SolveError {
     }
 }
 
+impl SolveError {
+    /// Whether this failure reports a blown delay budget rather than a
+    /// capacity/coverage problem. True exactly for
+    /// [`SolveError::NoFeasibleEmbedding`] reasons carrying the
+    /// [`DEADLINE_INFEASIBLE_PREFIX`].
+    pub fn is_deadline_infeasible(&self) -> bool {
+        matches!(
+            self,
+            SolveError::NoFeasibleEmbedding { reason, .. }
+                if reason.starts_with(DEADLINE_INFEASIBLE_PREFIX)
+        )
+    }
+}
+
 impl std::error::Error for SolveError {}
 
 impl From<ModelError> for SolveError {
@@ -130,6 +156,22 @@ mod tests {
             reason: "layer 2 uncovered".into(),
         };
         assert!(se.to_string().contains("BBE"));
+    }
+
+    #[test]
+    fn deadline_classification() {
+        let deadline = SolveError::NoFeasibleEmbedding {
+            solver: "BBE",
+            reason: deadline_infeasible_reason(57.0, 40.0),
+        };
+        assert!(deadline.is_deadline_infeasible());
+        assert!(deadline.to_string().contains("57.000"));
+        let capacity = SolveError::NoFeasibleEmbedding {
+            solver: "BBE",
+            reason: "links saturated".into(),
+        };
+        assert!(!capacity.is_deadline_infeasible());
+        assert!(!SolveError::Infeasible("no such VNF".into()).is_deadline_infeasible());
     }
 
     #[test]

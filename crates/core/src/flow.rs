@@ -16,6 +16,12 @@ pub struct Flow {
     pub rate: f64,
     /// Flow size `z`; multiplies every price term of the objective.
     pub size: f64,
+    /// Optional end-to-end delay budget `D_max` in microseconds. `None`
+    /// means best-effort: no deadline is enforced anywhere. `Some(d)`
+    /// makes every solver reject embeddings whose modeled delay exceeds
+    /// `d`, and the auditor re-checks the bound independently.
+    /// (`Option` also keeps pre-budget serialized requests loadable.)
+    pub delay_budget_us: Option<f64>,
 }
 
 impl Flow {
@@ -27,7 +33,14 @@ impl Flow {
             dst,
             rate: 1.0,
             size: 1.0,
+            delay_budget_us: None,
         }
+    }
+
+    /// The same flow with an end-to-end delay budget attached.
+    pub fn with_delay_budget(mut self, budget_us: f64) -> Self {
+        self.delay_budget_us = Some(budget_us);
+        self
     }
 }
 
@@ -61,6 +74,28 @@ mod tests {
         assert_eq!(f.size, 1.0);
         assert_eq!(f.src, NodeId(0));
         assert_eq!(f.dst, NodeId(5));
+        assert_eq!(f.delay_budget_us, None);
+        let g = f.with_delay_budget(120.0);
+        assert_eq!(g.delay_budget_us, Some(120.0));
+    }
+
+    /// Pre-budget payloads (no `delay_budget_us` key) must keep
+    /// deserializing: the Option field decodes missing keys to `None`.
+    #[test]
+    fn flow_payload_without_budget_still_loads() {
+        let legacy = Flow::unit(NodeId(3), NodeId(7));
+        let mut v = legacy.to_value();
+        if let serde::value::Value::Object(entries) = &mut v {
+            entries.retain(|(k, _)| k.as_str() != "delay_budget_us");
+        } else {
+            panic!("flow must serialize as an object");
+        }
+        let back = Flow::from_value(&v).unwrap();
+        assert_eq!(back, legacy);
+        // And budgets round-trip when present.
+        let budgeted = legacy.with_delay_budget(50.0);
+        let back = Flow::from_value(&budgeted.to_value()).unwrap();
+        assert_eq!(back.delay_budget_us, Some(50.0));
     }
 
     #[test]

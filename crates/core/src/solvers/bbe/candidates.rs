@@ -98,6 +98,21 @@ impl<'a> EngineCtx<'a> {
         tree.path_to(to)
     }
 
+    /// Cheapest path `from → to` over rate-feasible links whose summed
+    /// substrate propagation delay stays within `max_delay_us`, via the
+    /// oracle's LARAC (Lagrangian relaxation) mode. `None` means no
+    /// rate-feasible route meets the bound. The λ-keyed trees live in
+    /// the oracle's shared cache, not this solve's hit/miss counters.
+    pub fn min_cost_path_bounded(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        max_delay_us: f64,
+    ) -> Option<Path> {
+        self.oracle
+            .min_cost_path_bounded(from, to, self.flow.rate, max_delay_us)
+    }
+
     /// The full Dijkstra tree rooted at `root` over rate-feasible links,
     /// from the shared oracle (hit/miss tracked like
     /// [`Self::min_cost_path`]). The finals stage uses one
@@ -541,6 +556,7 @@ mod tests {
             dst: NodeId(2),
             rate: 20.0,
             size: 1.0,
+            delay_budget_us: None,
         };
         let oracle = PathOracle::new(&g);
         let ctx = EngineCtx::new(&g, c, flow, &cfg, &oracle);

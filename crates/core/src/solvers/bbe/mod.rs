@@ -42,7 +42,7 @@ use super::{precheck, SolveCtx, SolveOutcome, Solver};
 use crate::chain::{DagSfc, Layer};
 use crate::delay::DelayModel;
 use crate::embedding::Embedding;
-use crate::error::SolveError;
+use crate::error::{deadline_infeasible_reason, SolveError};
 use crate::flow::Flow;
 use crate::vnf::VnfCatalog;
 use dagsfc_net::{NodeId, Path};
@@ -89,7 +89,18 @@ pub struct BbeConfig {
     /// Optional end-to-end delay SLA (extension): among the complete
     /// candidates, return the cheapest whose delay under the given model
     /// stays within the bound; candidates violating it are skipped.
+    /// When `None` but the flow carries a `delay_budget_us`, the engine
+    /// promotes the budget to a constraint under the canonical
+    /// substrate model ([`DelayModel::for_network`]).
     pub delay_constraint: Option<DelayConstraint>,
+    /// Prune sub-solution-tree nodes as soon as their accumulated
+    /// per-layer delay exceeds the active delay constraint, instead of
+    /// scoring delays only on finished leaves. Safe: the accumulated
+    /// layer delays are a lower bound on every completion's end-to-end
+    /// delay (the final path only adds non-negative latency), so
+    /// pruning never removes a feasible candidate. On by default; the
+    /// flag exists for the pruned-vs-unpruned differential test.
+    pub early_delay_pruning: bool,
     /// Score the merger candidates of a parallel layer on crossbeam
     /// scoped threads. The reduction is deterministic (results are
     /// re-ordered by merger index), so this only changes wall-clock, not
@@ -123,6 +134,7 @@ impl Default for BbeConfig {
             max_candidates_per_slot: 8,
             max_level_width: 2048,
             delay_constraint: None,
+            early_delay_pruning: true,
             parallel_merger_scoring: false,
         }
     }
@@ -280,6 +292,19 @@ fn run(
     let net = ctx.net;
     precheck(net, sfc, flow)?;
     let mut cfg = config.clone();
+    // Promote a request-level delay budget to a solver-level constraint
+    // under the canonical substrate model, so the search itself prunes
+    // and ranks deadline-aware instead of relying solely on the
+    // post-hoc gate in `Solver::solve_in`. An explicit SLA in the
+    // config keeps precedence (it may carry a richer model).
+    if cfg.delay_constraint.is_none() {
+        if let Some(budget) = flow.delay_budget_us {
+            cfg.delay_constraint = Some(DelayConstraint {
+                model: ctx.delay_model().clone(),
+                max_delay_us: budget,
+            });
+        }
+    }
     loop {
         // Counters is the always-on sink so every solve surfaces its
         // statistics; search code internal to `attempt` stays generic so
@@ -482,6 +507,30 @@ fn expand_start(
     memo
 }
 
+/// Exact delay contribution of one layer sub-solution under `model`:
+/// the slowest branch (inter-layer path + processing + inner path)
+/// plus the merge overhead for parallel layers. Mirrors one layer term
+/// of [`DelayModel::embedding_delay`], so accumulating it down the
+/// sub-solution tree yields each node's share of the end-to-end delay
+/// exactly — and a lower bound on any completion, since the final path
+/// only adds non-negative latency.
+fn sub_delay_us(model: &DelayModel, layer: &Layer, catalog: &VnfCatalog, sub: &LayerSub) -> f64 {
+    let merger = layer.needs_merger();
+    let mut slowest: f64 = 0.0;
+    for slot in 0..layer.width() {
+        let kind = layer.slot_kind(slot, catalog);
+        let mut branch = model.path_us(&sub.inter_paths[slot]) + model.proc(kind);
+        if merger {
+            branch += model.path_us(&sub.inner_paths[slot]);
+        }
+        slowest = slowest.max(branch);
+    }
+    if merger {
+        slowest += model.merge_us;
+    }
+    slowest
+}
+
 /// One search attempt under a fixed configuration.
 fn attempt<I: Instrument>(
     ctx: &SolveCtx<'_>,
@@ -498,6 +547,11 @@ fn attempt<I: Instrument>(
     let mut level: Vec<usize> = vec![0];
     let mut explored = 0usize;
     let substrate_n = net.node_count();
+    let dc = cfg.delay_constraint.as_ref();
+    // Accumulated layer delays per sub-solution-tree node, indexed like
+    // the tree's arena (root = 0.0). Maintained only under a delay
+    // constraint; drives early pruning and the LARAC final-path repair.
+    let mut node_delay: Vec<f64> = vec![0.0];
 
     for l in 0..sfc.depth() {
         // Per-layer wall clock only when a recording sink asks for it.
@@ -508,6 +562,10 @@ fn attempt<I: Instrument>(
         };
         let layer = sfc.layer(l);
         let mut next_level: Vec<usize> = Vec::new();
+        // Cheapest accumulated delay among this layer's delay-pruned
+        // nodes — evidence for classifying an empty level as a deadline
+        // (not capacity) failure.
+        let mut layer_delay_pruned: Option<f64> = None;
         // End-node memo, fresh per layer (expansions depend on the layer).
         let mut memo: Vec<Option<StartMemo>> =
             std::iter::repeat_with(|| None).take(substrate_n).collect();
@@ -529,12 +587,36 @@ fn attempt<I: Instrument>(
             ins.candidates_pruned(m.pruned);
             explored += m.explored;
             for sub in &m.subs {
-                next_level.push(tree.insert(parent, sub.clone()));
+                let Some(dc) = dc else {
+                    next_level.push(tree.insert(parent, sub.clone()));
+                    continue;
+                };
+                let d = node_delay[parent] + sub_delay_us(&dc.model, layer, &catalog, sub);
+                if cfg.early_delay_pruning && d > dc.max_delay_us + 1e-9 {
+                    // Already over budget with layers still to embed and
+                    // the final path unpaid: no completion can recover.
+                    ins.candidates_delay_rejected(1);
+                    layer_delay_pruned = Some(layer_delay_pruned.map_or(d, |b: f64| b.min(d)));
+                    continue;
+                }
+                let idx = tree.insert(parent, sub.clone());
+                debug_assert_eq!(idx, node_delay.len());
+                node_delay.push(d);
+                next_level.push(idx);
             }
         }
         if next_level.is_empty() {
             let (h, m) = ctx.cache_counts();
             ins.cache(h, m);
+            // A level emptied by delay pruning is a deadline failure:
+            // capacity-feasible sub-solutions existed, every one blew
+            // the budget.
+            if let (Some(dc), Some(best)) = (dc, layer_delay_pruned) {
+                return Err(SolveError::NoFeasibleEmbedding {
+                    solver,
+                    reason: deadline_infeasible_reason(best, dc.max_delay_us),
+                });
+            }
             return Err(SolveError::NoFeasibleEmbedding {
                 solver,
                 reason: format!("layer {l} produced no feasible sub-solution"),
@@ -596,6 +678,10 @@ fn attempt<I: Instrument>(
     let kept = tree.len();
     let (h, m) = ctx.cache_counts();
     ins.cache(h, m);
+    // Cheapest end-to-end delay among deadline-rejected candidates, and
+    // the rejected leaves themselves (for the LARAC repair pass).
+    let mut best_rejected: Option<f64> = None;
+    let mut deadline_rejected: Vec<usize> = Vec::new();
     for (_, leaf, eager_path) in finals {
         let final_path = match eager_path {
             Some(p) => p,
@@ -612,15 +698,65 @@ fn attempt<I: Instrument>(
             }
         };
         let embedding = assemble(sfc, &tree, leaf, final_path)?;
-        if let Some(dc) = &cfg.delay_constraint {
+        if let Some(dc) = dc {
             let delay = dc.model.embedding_delay(sfc, &embedding, flow);
             if delay > dc.max_delay_us + 1e-9 {
+                // Blown SLA is counted and remembered — the rejection
+                // split (deadline vs capacity) and the failure reason
+                // below depend on it. The leaf stays in play for the
+                // LARAC repair pass.
+                ins.candidates_delay_rejected(1);
+                best_rejected = Some(best_rejected.map_or(delay, |b: f64| b.min(delay)));
+                deadline_rejected.push(leaf);
                 continue; // violates the SLA; try the next-cheapest
             }
         }
         if crate::validate::validate(net, sfc, flow, &embedding).is_ok() {
             return Ok((embedding, explored, kept));
         }
+    }
+
+    // LARAC repair pass: every candidate blew the budget with its
+    // min-cost final path. A delay-bounded final path (constrained
+    // shortest path via the oracle's LARAC mode) trades final-hop price
+    // for latency headroom; the repaired candidate is re-scored under
+    // the SLA model and re-validated, so the swap is sound even when
+    // the SLA model differs from the substrate propagation table LARAC
+    // optimizes over. Leaves are tried cheapest-lineage-first.
+    if let Some(dc) = dc {
+        if dc.model.link_delay_us.is_some() {
+            for leaf in deadline_rejected {
+                let end = tree.node(leaf).end_node;
+                if end == flow.dst {
+                    continue; // final path already trivial: nothing to repair
+                }
+                let slack = dc.max_delay_us - node_delay[leaf];
+                if !(slack > 0.0) {
+                    continue;
+                }
+                let Some(p) = ctx.min_cost_path_bounded(end, flow.dst, slack) else {
+                    continue;
+                };
+                let repaired_delay = node_delay[leaf] + dc.model.path_us(&p);
+                if repaired_delay > dc.max_delay_us + 1e-9 {
+                    continue;
+                }
+                let embedding = assemble(sfc, &tree, leaf, p)?;
+                if crate::validate::validate(net, sfc, flow, &embedding).is_ok() {
+                    return Ok((embedding, explored, kept));
+                }
+            }
+        }
+    }
+
+    // Candidates that reached the destination but blew the budget make
+    // this a deadline failure; otherwise it is the capacity/coverage
+    // fallthrough.
+    if let (Some(dc), Some(best)) = (dc, best_rejected) {
+        return Err(SolveError::NoFeasibleEmbedding {
+            solver,
+            reason: deadline_infeasible_reason(best, dc.max_delay_us),
+        });
     }
     Err(SolveError::NoFeasibleEmbedding {
         solver,
@@ -1009,6 +1145,135 @@ mod delay_tests {
         assert!(d <= 30.0 + 1e-9);
         assert!(bounded.cost.total() > free.cost.total());
         validate(&g, &sfc, &flow, &bounded.embedding).unwrap();
+    }
+
+    /// `sla_net` with real substrate propagation delays (10 µs per
+    /// link): via v1 the route totals 20 µs, via v2 it totals 50 µs.
+    fn delayed_sla_net() -> Network {
+        let mut g = sla_net();
+        for l in 0..7u32 {
+            g.set_link_delay(dagsfc_net::LinkId(l), 10.0).unwrap();
+        }
+        g
+    }
+
+    /// A flow-level `delay_budget_us` must shape the search itself
+    /// (promoted to a canonical-model constraint), and rejected
+    /// candidates must surface in `candidates_delay_rejected`.
+    #[test]
+    fn flow_budget_is_promoted_and_counted() {
+        let g = delayed_sla_net();
+        let sfc = DagSfc::sequential(&[VnfTypeId(0)], VnfCatalog::new(1)).unwrap();
+        let free = MbbeSolver::new()
+            .solve(&g, &sfc, &Flow::unit(NodeId(0), NodeId(6)))
+            .unwrap();
+        assert_eq!(free.embedding.node_of(0, 0), NodeId(2));
+        assert_eq!(free.stats.candidates_delay_rejected, 0);
+
+        let flow = Flow::unit(NodeId(0), NodeId(6)).with_delay_budget(30.0);
+        let out = MbbeSolver::new().solve(&g, &sfc, &flow).unwrap();
+        assert_eq!(out.embedding.node_of(0, 0), NodeId(1));
+        let d = DelayModel::for_network(&g).embedding_delay(&sfc, &out.embedding, &flow);
+        assert!(d <= 30.0 + 1e-9, "budget violated: {d}");
+        assert!(
+            out.stats.candidates_delay_rejected >= 1,
+            "the cheap-but-slow candidate must be counted as a deadline rejection"
+        );
+        assert!(out.cost.total() > free.cost.total());
+        validate(&g, &sfc, &flow, &out.embedding).unwrap();
+    }
+
+    /// An unreachable budget must be reported as *deadline* infeasible —
+    /// the serve-side rejection split keys off this classification.
+    #[test]
+    fn unsatisfiable_flow_budget_is_deadline_classified() {
+        let g = delayed_sla_net();
+        let sfc = DagSfc::sequential(&[VnfTypeId(0)], VnfCatalog::new(1)).unwrap();
+        let flow = Flow::unit(NodeId(0), NodeId(6)).with_delay_budget(5.0);
+        let err = MbbeSolver::new().solve(&g, &sfc, &flow).unwrap_err();
+        assert!(err.is_deadline_infeasible(), "misclassified: {err}");
+        // A capacity failure must NOT be classified as a deadline one.
+        let thick = Flow {
+            rate: 1e6,
+            ..Flow::unit(NodeId(0), NodeId(6))
+        };
+        let err = MbbeSolver::new().solve(&g, &sfc, &thick).unwrap_err();
+        assert!(!err.is_deadline_infeasible(), "misclassified: {err}");
+    }
+
+    /// Early delay pruning is a pure speed-up: identical embedding,
+    /// bit-identical cost, and the same infeasibility classification as
+    /// the lazy leaves-only filter.
+    #[test]
+    fn early_pruning_matches_unpruned_search() {
+        let g = delayed_sla_net();
+        let sfc = DagSfc::sequential(&[VnfTypeId(0)], VnfCatalog::new(1)).unwrap();
+        let flow = Flow::unit(NodeId(0), NodeId(6)).with_delay_budget(30.0);
+        let pruned = MbbeSolver::new().solve(&g, &sfc, &flow).unwrap();
+        let mut lazy = MbbeSolver::new();
+        lazy.config.early_delay_pruning = false;
+        let lazy_out = lazy.solve(&g, &sfc, &flow).unwrap();
+        assert_eq!(pruned.embedding, lazy_out.embedding);
+        assert_eq!(
+            pruned.cost.total().to_bits(),
+            lazy_out.cost.total().to_bits()
+        );
+        // Infeasible instances classify identically.
+        let tight = Flow::unit(NodeId(0), NodeId(6)).with_delay_budget(5.0);
+        let a = MbbeSolver::new().solve(&g, &sfc, &tight).unwrap_err();
+        let b = lazy.solve(&g, &sfc, &tight).unwrap_err();
+        assert!(a.is_deadline_infeasible(), "{a}");
+        assert!(b.is_deadline_infeasible(), "{b}");
+    }
+
+    /// When the min-cost final path alone blows the budget, the LARAC
+    /// repair pass must swap in a delay-bounded final path instead of
+    /// rejecting the request.
+    #[test]
+    fn larac_repair_swaps_in_a_bounded_final_path() {
+        let mut g = Network::new();
+        g.add_nodes(5);
+        g.add_link_with_delay(NodeId(0), NodeId(1), 1.0, 10.0, 10.0)
+            .unwrap();
+        // Cheap but slow direct final hop …
+        g.add_link_with_delay(NodeId(1), NodeId(4), 0.5, 10.0, 100.0)
+            .unwrap();
+        // … vs a pricey fast detour.
+        g.add_link_with_delay(NodeId(1), NodeId(2), 1.0, 10.0, 10.0)
+            .unwrap();
+        g.add_link_with_delay(NodeId(2), NodeId(3), 1.0, 10.0, 10.0)
+            .unwrap();
+        g.add_link_with_delay(NodeId(3), NodeId(4), 1.0, 10.0, 10.0)
+            .unwrap();
+        g.deploy_vnf(NodeId(1), VnfTypeId(0), 1.0, 10.0).unwrap();
+        let sfc = DagSfc::sequential(&[VnfTypeId(0)], VnfCatalog::new(1)).unwrap();
+        let flow = Flow::unit(NodeId(0), NodeId(4)).with_delay_budget(50.0);
+        let out = MbbeSolver::new().solve(&g, &sfc, &flow).unwrap();
+        let d = DelayModel::for_network(&g).embedding_delay(&sfc, &out.embedding, &flow);
+        assert!(d <= 50.0 + 1e-9, "repair missed the budget: {d}");
+        // Direct final rejected once, detour accepted: vnf 1 + links
+        // (0-1) 1 + (1-2-3-4) 3 = 5.
+        assert_eq!(out.stats.candidates_delay_rejected, 1);
+        assert!((out.cost.total() - 5.0).abs() < 1e-9, "{}", out.cost);
+        validate(&g, &sfc, &flow, &out.embedding).unwrap();
+    }
+
+    /// Delay-oblivious baselines go through the same central gate in
+    /// `Solver::solve_in`: an over-budget embedding comes back as a
+    /// deadline-classified rejection, not a silent SLA violation.
+    #[test]
+    fn central_gate_covers_baseline_solvers() {
+        use crate::solvers::baseline::MinvSolver;
+        let g = delayed_sla_net();
+        let sfc = DagSfc::sequential(&[VnfTypeId(0)], VnfCatalog::new(1)).unwrap();
+        // MINV picks the cheapest host (v2, 50 µs route), blind to the
+        // 30 µs budget — the gate must catch it.
+        let flow = Flow::unit(NodeId(0), NodeId(6)).with_delay_budget(30.0);
+        let err = MinvSolver.solve(&g, &sfc, &flow).unwrap_err();
+        assert!(err.is_deadline_infeasible(), "gate missed: {err}");
+        // Without a budget the same solve succeeds.
+        let free = MinvSolver.solve(&g, &sfc, &Flow::unit(NodeId(0), NodeId(6)));
+        assert!(free.is_ok());
     }
 
     #[test]

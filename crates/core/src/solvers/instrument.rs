@@ -50,6 +50,14 @@ pub trait Instrument {
         let _ = n;
     }
 
+    /// `n` candidates were rejected for blowing the delay budget
+    /// (early tree pruning or the finals SLA filter) — the deadline
+    /// half of the deadline-vs-capacity rejection split.
+    #[inline]
+    fn candidates_delay_rejected(&mut self, n: usize) {
+        let _ = n;
+    }
+
     /// One SFC layer finished after `wall` of work.
     #[inline]
     fn layer_wall(&mut self, wall: Duration) {
@@ -107,6 +115,11 @@ impl Instrument for Counters {
     }
 
     #[inline]
+    fn candidates_delay_rejected(&mut self, n: usize) {
+        self.stats.candidates_delay_rejected += n;
+    }
+
+    #[inline]
     fn layer_wall(&mut self, wall: Duration) {
         self.stats.layer_wall.push(wall);
     }
@@ -131,6 +144,7 @@ mod tests {
         c.bst_nodes(5);
         c.candidates_generated(10);
         c.candidates_pruned(6);
+        c.candidates_delay_rejected(2);
         c.layer_wall(Duration::from_micros(7));
         c.cache(8, 9);
         assert_eq!(c.stats.nodes_expanded, 5);
@@ -138,6 +152,7 @@ mod tests {
         assert_eq!(c.stats.bst_nodes, 5);
         assert_eq!(c.stats.candidates_generated, 10);
         assert_eq!(c.stats.candidates_pruned, 6);
+        assert_eq!(c.stats.candidates_delay_rejected, 2);
         assert_eq!(c.stats.layer_wall, vec![Duration::from_micros(7)]);
         assert_eq!((c.stats.cache_hits, c.stats.cache_misses), (8, 9));
         assert!(c.stats.cache_hit_rate() > 0.0);

@@ -24,11 +24,13 @@ pub use localsearch::{improve, ImprovedSolver, Improvement, LocalSearchConfig};
 
 use crate::chain::DagSfc;
 use crate::cost::CostBreakdown;
+use crate::delay::DelayModel;
 use crate::embedding::Embedding;
-use crate::error::SolveError;
+use crate::error::{deadline_infeasible_reason, SolveError};
 use crate::flow::Flow;
 use dagsfc_net::{Network, CAP_EPS};
 use dagsfc_net::{NodeId, Path, PathOracle};
+use std::sync::OnceLock;
 use std::time::Duration;
 
 /// Search statistics reported by every solver.
@@ -60,6 +62,11 @@ pub struct SolverStats {
     /// every truncation point, so one candidate generated then dropped
     /// twice counts twice here.
     pub candidates_pruned: usize,
+    /// Candidates discarded because their modeled end-to-end delay (or a
+    /// per-layer lower bound on it) exceeded the delay budget. Rejections
+    /// here are *deadline* failures, not capacity failures — serve-side
+    /// statistics report the two separately.
+    pub candidates_delay_rejected: usize,
     /// Shortest-path queries answered from a cache.
     pub cache_hits: u64,
     /// Shortest-path queries that ran a fresh search.
@@ -97,6 +104,10 @@ pub struct SolveCtx<'n> {
     /// audits every solve — and off in release builds, where callers
     /// opt in via [`SolveCtx::with_audit`].
     pub audit: bool,
+    /// Lazily-built canonical delay model for `net` (see
+    /// [`DelayModel::for_network`]); shared by the delay gate and any
+    /// solver that prunes on the flow's delay budget.
+    canonical_delay: OnceLock<DelayModel>,
 }
 
 impl<'n> SolveCtx<'n> {
@@ -106,6 +117,7 @@ impl<'n> SolveCtx<'n> {
             net,
             oracle: PathOracle::new(net),
             audit: cfg!(debug_assertions),
+            canonical_delay: OnceLock::new(),
         }
     }
 
@@ -114,6 +126,46 @@ impl<'n> SolveCtx<'n> {
         self.audit = audit;
         self
     }
+
+    /// The canonical substrate delay model (pure link-propagation), built
+    /// on first use and shared by every solve through this context.
+    pub fn delay_model(&self) -> &DelayModel {
+        self.canonical_delay
+            .get_or_init(|| DelayModel::for_network(self.net))
+    }
+}
+
+/// Slack applied by the delay gate so float accumulation order cannot
+/// flip a boundary decision.
+pub const DELAY_GATE_EPS: f64 = 1e-9;
+
+/// The central delay gate run by [`Solver::solve_in`] whenever the flow
+/// carries a [`delay budget`](Flow::delay_budget_us): re-derives the
+/// embedding's end-to-end delay under the canonical substrate model and
+/// rejects it as *deadline infeasible* (a [`SolveError`] whose reason
+/// carries [`crate::error::DEADLINE_INFEASIBLE_PREFIX`]) when it blows
+/// the budget. Running after `solve_raw` makes every solver — including
+/// the baselines and the exact reference, which do not search
+/// delay-aware — respect the budget rather than silently returning a
+/// late embedding.
+pub fn enforce_delay_budget(
+    solver: &'static str,
+    ctx: &SolveCtx<'_>,
+    sfc: &DagSfc,
+    flow: &Flow,
+    out: &SolveOutcome,
+) -> Result<(), SolveError> {
+    let Some(budget) = flow.delay_budget_us else {
+        return Ok(());
+    };
+    let delay = ctx.delay_model().embedding_delay(sfc, &out.embedding, flow);
+    if delay > budget + DELAY_GATE_EPS {
+        return Err(SolveError::NoFeasibleEmbedding {
+            solver,
+            reason: deadline_infeasible_reason(delay, budget),
+        });
+    }
+    Ok(())
 }
 
 /// Absolute tolerance of the audit gate's reported-vs-revalidated cost
@@ -225,6 +277,7 @@ pub trait Solver {
         flow: &Flow,
     ) -> Result<SolveOutcome, SolveError> {
         let out = self.solve_raw(ctx, sfc, flow)?;
+        enforce_delay_budget(self.name(), ctx, sfc, flow, &out)?;
         if ctx.audit {
             audit_outcome(self.name(), ctx.net, sfc, flow, &out)?;
         }

@@ -318,6 +318,7 @@ mod tests {
             dst: NodeId(3),
             rate: 2.0, // exceeds 1.5
             size: 1.0,
+            delay_budget_us: None,
         };
         let errs = validate(&g, &sfc(), &flow, &good_embedding(&g)).unwrap_err();
         assert!(errs.iter().any(|v| matches!(
@@ -335,6 +336,7 @@ mod tests {
             dst: NodeId(3),
             rate: 3.0,
             size: 1.0,
+            delay_budget_us: None,
         };
         let errs = validate(&g, &sfc(), &flow, &good_embedding(&g)).unwrap_err();
         assert!(errs
@@ -353,6 +355,7 @@ mod tests {
             dst: NodeId(3),
             rate: 1.5,
             size: 1.0,
+            delay_budget_us: None,
         };
         assert!(validate(&g, &sfc(), &flow, &good_embedding(&g)).is_ok());
     }

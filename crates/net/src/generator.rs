@@ -52,6 +52,13 @@ pub struct NetGenConfig {
     pub vnf_capacity: f64,
     /// Bandwidth capacity of every link, in rate units.
     pub link_capacity: f64,
+    /// Mean link propagation delay in microseconds. Delays are drawn
+    /// *after* every price draw so topologies and prices stay
+    /// bit-identical to pre-delay seeds.
+    pub avg_link_delay_us: f64,
+    /// Link delay fluctuation ratio (same `avg·(1 ± fluctuation)`
+    /// convention as the price fluctuations).
+    pub link_delay_fluctuation: f64,
     /// Guarantee that every VNF kind is deployed on at least one node even
     /// when the deploying ratio leaves it out entirely (keeps tiny
     /// networks embeddable).
@@ -71,6 +78,8 @@ impl Default for NetGenConfig {
             link_price_fluctuation: 0.05,
             vnf_capacity: 1e6,
             link_capacity: 1e6,
+            avg_link_delay_us: 10.0,
+            link_delay_fluctuation: 0.05,
             ensure_full_coverage: true,
         }
     }
@@ -95,6 +104,11 @@ impl NetGenConfig {
                 "price fluctuation ratios must be in [0,1]",
             ));
         }
+        if !(0.0..=1.0).contains(&self.link_delay_fluctuation) {
+            return Err(NetError::InvalidParameter(
+                "link_delay_fluctuation must be in [0,1]",
+            ));
+        }
         if self.avg_degree < 0.0 {
             return Err(NetError::InvalidParameter(
                 "avg_degree must be non-negative",
@@ -105,6 +119,7 @@ impl NetGenConfig {
             (self.avg_price_ratio, "avg_price_ratio"),
             (self.vnf_capacity, "vnf_capacity"),
             (self.link_capacity, "link_capacity"),
+            (self.avg_link_delay_us, "avg_link_delay_us"),
         ] {
             if !(v.is_finite() && v >= 0.0) {
                 return Err(NetError::InvalidParameter(name));
@@ -216,6 +231,14 @@ pub fn generate<R: Rng + ?Sized>(config: &NetGenConfig, rng: &mut R) -> NetResul
         net.add_link(NodeId(a), NodeId(b), price, config.link_capacity)?;
     }
 
+    // Step 5: link propagation delays, drawn in a dedicated pass *after*
+    // every topology/price draw — pre-delay seeds keep generating
+    // bit-identical networks apart from the new delay attribute.
+    for l in 0..net.link_count() as u32 {
+        let delay = fluctuated_price(rng, config.avg_link_delay_us, config.link_delay_fluctuation);
+        net.set_link_delay(crate::ids::LinkId(l), delay)?;
+    }
+
     debug_assert!(net.is_connected());
     Ok(net)
 }
@@ -256,6 +279,7 @@ mod tests {
             assert_eq!(a.link(l).a, b.link(l).a);
             assert_eq!(a.link(l).b, b.link(l).b);
             assert_eq!(a.link(l).price, b.link(l).price);
+            assert_eq!(a.link(l).delay_us, b.link(l).delay_us);
         }
         for v in a.node_ids() {
             assert_eq!(a.node(v).instances(), b.node(v).instances());
@@ -300,6 +324,29 @@ mod tests {
             let p = net.link(l).price;
             assert!(p >= avg_link * 0.7 - 1e-12 && p <= avg_link * 1.3 + 1e-12);
         }
+    }
+
+    #[test]
+    fn link_delays_drawn_within_fluctuation_bounds() {
+        let mut c = cfg(100);
+        c.avg_link_delay_us = 20.0;
+        c.link_delay_fluctuation = 0.25;
+        let net = generate(&c, &mut StdRng::seed_from_u64(12)).unwrap();
+        let mut sum = 0.0;
+        for l in net.link_ids() {
+            let d = net.link(l).delay_us;
+            assert!(d >= 15.0 - 1e-12 && d <= 25.0 + 1e-12, "delay off: {d}");
+            sum += d;
+        }
+        let avg = sum / net.link_count() as f64;
+        assert!((avg - 20.0).abs() < 2.0, "mean delay off: {avg}");
+        // Invalid delay parameters are rejected.
+        let mut bad = cfg(10);
+        bad.link_delay_fluctuation = 1.5;
+        assert!(generate(&bad, &mut StdRng::seed_from_u64(0)).is_err());
+        let mut bad = cfg(10);
+        bad.avg_link_delay_us = f64::NAN;
+        assert!(generate(&bad, &mut StdRng::seed_from_u64(0)).is_err());
     }
 
     #[test]

@@ -70,6 +70,9 @@ pub struct Link {
     pub price: f64,
     /// Bandwidth capacity `r_e` (units of rate, shared by both directions).
     pub capacity: f64,
+    /// Propagation/forwarding delay `d_e` in microseconds (both
+    /// directions). Zero on links built without an explicit delay.
+    pub delay_us: f64,
 }
 
 impl Link {
@@ -206,7 +209,7 @@ impl Network {
         &mut self.hosts
     }
 
-    /// Adds a bi-directional link between `a` and `b`.
+    /// Adds a bi-directional link between `a` and `b` with zero delay.
     ///
     /// Fails on self-loops, duplicate links, unknown endpoints, or invalid
     /// price/capacity values.
@@ -216,6 +219,22 @@ impl Network {
         b: NodeId,
         price: f64,
         capacity: f64,
+    ) -> NetResult<LinkId> {
+        self.add_link_with_delay(a, b, price, capacity, 0.0)
+    }
+
+    /// Adds a bi-directional link between `a` and `b` carrying an
+    /// explicit propagation delay (microseconds).
+    ///
+    /// Fails on self-loops, duplicate links, unknown endpoints, or invalid
+    /// price/capacity/delay values.
+    pub fn add_link_with_delay(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        price: f64,
+        capacity: f64,
+        delay_us: f64,
     ) -> NetResult<LinkId> {
         if a == b {
             return Err(NetError::SelfLoop(a));
@@ -232,6 +251,9 @@ impl Network {
         if !(capacity.is_finite() && capacity >= 0.0) {
             return Err(NetError::InvalidParameter("link capacity"));
         }
+        if !(delay_us.is_finite() && delay_us >= 0.0) {
+            return Err(NetError::InvalidParameter("link delay"));
+        }
         if self.link_between(a, b).is_some() {
             return Err(NetError::DuplicateLink(a, b));
         }
@@ -242,6 +264,7 @@ impl Network {
             b: hi,
             price,
             capacity,
+            delay_us,
         });
         let pos_a = self.adj[a.index()].partition_point(|&(n, _)| n < b);
         self.adj[a.index()].insert(pos_a, (b, id));
@@ -249,6 +272,28 @@ impl Network {
         self.adj[b.index()].insert(pos_b, (a, id));
         self.csr.invalidate();
         Ok(id)
+    }
+
+    /// Sets the propagation delay of an existing link (microseconds).
+    ///
+    /// Fails on unknown links or non-finite/negative delays.
+    pub fn set_link_delay(&mut self, link: LinkId, delay_us: f64) -> NetResult<()> {
+        if !(delay_us.is_finite() && delay_us >= 0.0) {
+            return Err(NetError::InvalidParameter("link delay"));
+        }
+        let l = self
+            .links
+            .get_mut(link.index())
+            .ok_or(NetError::UnknownLink(link))?;
+        l.delay_us = delay_us;
+        self.csr.invalidate();
+        Ok(())
+    }
+
+    /// Per-link delays in microseconds, indexed by [`LinkId`] — the
+    /// lookup table the core delay model consumes.
+    pub fn link_delays_us(&self) -> Vec<f64> {
+        self.links.iter().map(|l| l.delay_us).collect()
     }
 
     /// The cached CSR snapshot of this network, built on first use.
@@ -400,6 +445,7 @@ impl Network {
             vnf_price_sum += n.instances.iter().map(|i| i.price).sum::<f64>();
         }
         let link_price_sum: f64 = self.links.iter().map(|l| l.price).sum();
+        let link_delay_sum: f64 = self.links.iter().map(|l| l.delay_us).sum();
         NetworkStats {
             nodes: self.nodes.len(),
             links: self.links.len(),
@@ -414,6 +460,11 @@ impl Network {
                 0.0
             } else {
                 link_price_sum / self.links.len() as f64
+            },
+            avg_link_delay_us: if self.links.is_empty() {
+                0.0
+            } else {
+                link_delay_sum / self.links.len() as f64
             },
         }
     }
@@ -434,6 +485,8 @@ pub struct NetworkStats {
     pub avg_vnf_price: f64,
     /// Mean link price.
     pub avg_link_price: f64,
+    /// Mean link propagation delay in microseconds.
+    pub avg_link_delay_us: f64,
 }
 
 #[cfg(test)]
@@ -553,6 +606,41 @@ mod tests {
         assert_eq!(s.vnf_instances, 2);
         assert!((s.avg_vnf_price - 3.0).abs() < 1e-12);
         assert!((s.avg_link_price - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn link_delays_default_zero_and_are_settable() {
+        let mut g = Network::new();
+        g.add_nodes(3);
+        let l0 = g.add_link(NodeId(0), NodeId(1), 1.0, 10.0).unwrap();
+        let l1 = g
+            .add_link_with_delay(NodeId(1), NodeId(2), 1.0, 10.0, 25.0)
+            .unwrap();
+        assert_eq!(g.link(l0).delay_us, 0.0);
+        assert_eq!(g.link(l1).delay_us, 25.0);
+        g.set_link_delay(l0, 7.5).unwrap();
+        assert_eq!(g.link(l0).delay_us, 7.5);
+        assert_eq!(g.link_delays_us(), vec![7.5, 25.0]);
+        let s = g.stats();
+        assert!((s.avg_link_delay_us - 16.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_invalid_delays() {
+        let mut g = Network::new();
+        g.add_nodes(2);
+        assert!(g
+            .add_link_with_delay(NodeId(0), NodeId(1), 1.0, 1.0, -1.0)
+            .is_err());
+        assert!(g
+            .add_link_with_delay(NodeId(0), NodeId(1), 1.0, 1.0, f64::NAN)
+            .is_err());
+        let l = g
+            .add_link_with_delay(NodeId(0), NodeId(1), 1.0, 1.0, 2.0)
+            .unwrap();
+        assert!(g.set_link_delay(l, f64::INFINITY).is_err());
+        assert!(g.set_link_delay(LinkId(9), 1.0).is_err());
+        assert_eq!(g.link(l).delay_us, 2.0);
     }
 
     #[test]

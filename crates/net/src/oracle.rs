@@ -26,7 +26,8 @@ use crate::fxmap::FxHashMap;
 use crate::graph::Network;
 use crate::ids::{LinkId, NodeId};
 use crate::path::Path;
-use crate::routing::{LinkFilter, RoutingScratch, ShortestPathTree};
+use crate::routing::csp::{larac_core, ConstrainedPath};
+use crate::routing::{ArcWeight, LinkFilter, RoutingScratch, ShortestPathTree};
 use crate::state::CAP_EPS;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -67,6 +68,10 @@ impl OracleStats {
 /// of search buffers, allocation-free in the steady state.
 struct TreeCache {
     map: FxHashMap<(NodeId, usize), (Arc<ShortestPathTree>, u64)>,
+    /// Weighted (delay / Lagrangian) trees for the LARAC bounded mode,
+    /// keyed by `(source, capacity class, ArcWeight::cache_key())`.
+    /// Flushed together with `map` on every invalidation.
+    wmap: FxHashMap<(NodeId, usize, u64), (Arc<ShortestPathTree>, u64)>,
     tick: u64,
     scratch: RoutingScratch,
     /// Fault overlay: links taken out of service. Trees built while a
@@ -114,6 +119,7 @@ impl<'n> PathOracle<'n> {
             capacity: capacity.max(1),
             cache: Mutex::new(TreeCache {
                 map: FxHashMap::default(),
+                wmap: FxHashMap::default(),
                 tick: 0,
                 scratch: RoutingScratch::new(),
                 down_links: vec![false; net.link_count()],
@@ -211,9 +217,102 @@ impl<'n> PathOracle<'n> {
         self.tree(from, rate).path_to(to)
     }
 
+    /// The shortest-path tree rooted at `source` under an explicit
+    /// [`ArcWeight`], from the weighted cache when possible. `Price`
+    /// delegates to the classic per-class cache; `Delay` and
+    /// `Lagrange(λ)` trees are keyed by `(source, class, λ-bits)` so the
+    /// LARAC iteration reuses trees across queries sharing a λ. The
+    /// fault overlay (down links / nodes) applies exactly as it does to
+    /// price trees.
+    pub fn weighted_tree(&self, source: NodeId, rate: f64, weight: ArcWeight) -> Arc<ShortestPathTree> {
+        if weight == ArcWeight::Price {
+            return self.tree(source, rate);
+        }
+        let class = self.rate_class(rate);
+        let key = (source, class, weight.cache_key());
+        let mut cache = self.cache.lock();
+        cache.tick += 1;
+        let tick = cache.tick;
+        if let Some((tree, last_used)) = cache.wmap.get_mut(&key) {
+            *last_used = tick;
+            let tree = Arc::clone(tree);
+            drop(cache);
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return tree;
+        }
+        let threshold = self.classes.get(class).copied().unwrap_or(f64::INFINITY);
+        let net = self.net;
+        let TreeCache {
+            wmap,
+            scratch,
+            down_links,
+            down_nodes,
+            ..
+        } = &mut *cache;
+        let filter = |l: LinkId| {
+            if down_links[l.index()] {
+                return false;
+            }
+            let link = net.link(l);
+            if down_nodes[link.a.index()] || down_nodes[link.b.index()] {
+                return false;
+            }
+            link.capacity >= threshold
+        };
+        let tree = Arc::new(ShortestPathTree::build_weighted_in(
+            net, source, &filter, None, scratch, weight,
+        ));
+        if wmap.len() >= self.capacity {
+            if let Some(&victim) = wmap
+                .iter()
+                .min_by_key(|(_, (_, used))| *used)
+                .map(|(k, _)| k)
+            {
+                wmap.remove(&victim);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        wmap.insert(key, (Arc::clone(&tree), tick));
+        drop(cache);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        tree
+    }
+
+    /// Delay-bounded cheapest path `from → to` over links admitting
+    /// `rate`: LARAC over cached weighted trees. Guarantees the returned
+    /// path's summed link delay is within `max_delay_us` (plus float
+    /// slack) and returns `None` only when no admitted path can meet the
+    /// budget — including when faults have taken the fast links down.
+    pub fn min_cost_path_bounded(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        rate: f64,
+        max_delay_us: f64,
+    ) -> Option<Path> {
+        if !(max_delay_us >= 0.0) {
+            return None;
+        }
+        if from == to {
+            return Some(Path::trivial(from));
+        }
+        larac_core(
+            |w| {
+                let tree = self.weighted_tree(from, rate, w);
+                tree.path_to(to)
+                    .map(|p| ConstrainedPath::evaluate(self.net, p))
+            },
+            max_delay_us,
+        )
+        .map(|c| c.path)
+    }
+
     /// Flushes every cached tree (counted as one invalidation).
     pub fn invalidate(&self) {
-        self.cache.lock().map.clear();
+        let mut cache = self.cache.lock();
+        cache.map.clear();
+        cache.wmap.clear();
+        drop(cache);
         self.invalidations.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -231,6 +330,7 @@ impl<'n> PathOracle<'n> {
         }
         *flag = down;
         cache.map.clear();
+        cache.wmap.clear();
         drop(cache);
         self.invalidations.fetch_add(1, Ordering::Relaxed);
         true
@@ -250,6 +350,7 @@ impl<'n> PathOracle<'n> {
         }
         *flag = down;
         cache.map.clear();
+        cache.wmap.clear();
         drop(cache);
         self.invalidations.fetch_add(1, Ordering::Relaxed);
         true
@@ -535,6 +636,105 @@ mod tests {
             .min_cost_path_with(NodeId(0), NodeId(3), 2, &none)
             .is_none());
         assert_eq!(session.misses(), 2);
+    }
+
+    /// Diamond with delays: 0-1 and 1-3 are fast (5 µs) but pricey,
+    /// 0-2 and 2-3 are cheap but slow (50 µs), 1-2 is fast (5 µs).
+    fn delayed_diamond() -> Network {
+        let mut g = Network::new();
+        g.add_nodes(4);
+        g.add_link_with_delay(NodeId(0), NodeId(1), 1.0, 10.0, 5.0)
+            .unwrap();
+        g.add_link_with_delay(NodeId(0), NodeId(2), 0.4, 10.0, 50.0)
+            .unwrap();
+        g.add_link_with_delay(NodeId(1), NodeId(3), 1.0, 10.0, 5.0)
+            .unwrap();
+        g.add_link_with_delay(NodeId(2), NodeId(3), 0.4, 10.0, 50.0)
+            .unwrap();
+        g.add_link_with_delay(NodeId(1), NodeId(2), 0.1, 10.0, 5.0)
+            .unwrap();
+        g
+    }
+
+    #[test]
+    fn bounded_path_switches_route_under_tight_budget() {
+        let g = delayed_diamond();
+        let oracle = PathOracle::new(&g);
+        // Loose budget: the classic cheapest route (0-2-3, delay 100).
+        let loose = oracle
+            .min_cost_path_bounded(NodeId(0), NodeId(3), 0.5, 200.0)
+            .unwrap();
+        assert_eq!(loose.nodes(), &[NodeId(0), NodeId(2), NodeId(3)]);
+        // Tight budget: forced onto the fast 0-1-3 route (delay 10).
+        let tight = oracle
+            .min_cost_path_bounded(NodeId(0), NodeId(3), 0.5, 20.0)
+            .unwrap();
+        assert_eq!(tight.nodes(), &[NodeId(0), NodeId(1), NodeId(3)]);
+        assert!(tight.delay_us(&g) <= 20.0);
+        // Budget below the fastest path: provably infeasible.
+        assert!(oracle
+            .min_cost_path_bounded(NodeId(0), NodeId(3), 0.5, 5.0)
+            .is_none());
+        // Negative budgets and trivial queries behave sanely.
+        assert!(oracle
+            .min_cost_path_bounded(NodeId(0), NodeId(3), 0.5, -1.0)
+            .is_none());
+        assert!(oracle
+            .min_cost_path_bounded(NodeId(2), NodeId(2), 0.5, 0.0)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn bounded_mode_excludes_down_links() {
+        let g = delayed_diamond();
+        let oracle = PathOracle::new(&g);
+        let tight = oracle
+            .min_cost_path_bounded(NodeId(0), NodeId(3), 0.5, 20.0)
+            .unwrap();
+        assert_eq!(tight.nodes(), &[NodeId(0), NodeId(1), NodeId(3)]);
+        // Fail the fast 0-1 link: budget 20 is now unreachable (best
+        // remaining is 0-2-1-3 at 60 µs) — the bounded mode must not
+        // route over the dead link.
+        assert!(oracle.set_link_down(LinkId(0), true));
+        assert!(oracle
+            .min_cost_path_bounded(NodeId(0), NodeId(3), 0.5, 20.0)
+            .is_none());
+        // A 90 µs budget admits only the detour via the cross link.
+        let detour = oracle
+            .min_cost_path_bounded(NodeId(0), NodeId(3), 0.5, 90.0)
+            .unwrap();
+        assert_eq!(
+            detour.nodes(),
+            &[NodeId(0), NodeId(2), NodeId(1), NodeId(3)]
+        );
+        assert!(!detour.links().contains(&LinkId(0)));
+        // Recovery restores the fast route.
+        assert!(oracle.set_link_down(LinkId(0), false));
+        let back = oracle
+            .min_cost_path_bounded(NodeId(0), NodeId(3), 0.5, 20.0)
+            .unwrap();
+        assert_eq!(back.nodes(), &[NodeId(0), NodeId(1), NodeId(3)]);
+    }
+
+    #[test]
+    fn weighted_trees_are_cached_per_lambda() {
+        let g = delayed_diamond();
+        let oracle = PathOracle::new(&g);
+        let t1 = oracle.weighted_tree(NodeId(0), 0.5, ArcWeight::Delay);
+        let before = oracle.stats();
+        let t2 = oracle.weighted_tree(NodeId(0), 0.5, ArcWeight::Delay);
+        let after = oracle.stats();
+        assert!(Arc::ptr_eq(&t1, &t2));
+        assert_eq!(after.hits, before.hits + 1);
+        assert_eq!(after.misses, before.misses);
+        // A different λ is a different tree.
+        let t3 = oracle.weighted_tree(NodeId(0), 0.5, ArcWeight::Lagrange(0.5));
+        assert!(!Arc::ptr_eq(&t1, &t3));
+        // Invalidation flushes the weighted cache too.
+        oracle.invalidate();
+        let t4 = oracle.weighted_tree(NodeId(0), 0.5, ArcWeight::Delay);
+        assert!(!Arc::ptr_eq(&t1, &t4));
     }
 
     #[test]

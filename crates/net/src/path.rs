@@ -113,6 +113,12 @@ impl Path {
         self.links.iter().map(|&l| net.link(l).price).sum()
     }
 
+    /// Sum of link propagation delays along the path, in microseconds.
+    /// Trivial paths traverse no link and therefore cost zero delay.
+    pub fn delay_us(&self, net: &Network) -> f64 {
+        self.links.iter().map(|&l| net.link(l).delay_us).sum()
+    }
+
     /// Whether the path visits any node twice.
     pub fn has_node_cycle(&self) -> bool {
         let mut sorted = self.nodes.clone();
@@ -169,8 +175,14 @@ mod tests {
         let mut g = Network::new();
         g.add_nodes(n);
         for i in 0..n - 1 {
-            g.add_link(NodeId(i as u32), NodeId(i as u32 + 1), (i + 1) as f64, 10.0)
-                .unwrap();
+            g.add_link_with_delay(
+                NodeId(i as u32),
+                NodeId(i as u32 + 1),
+                (i + 1) as f64,
+                10.0,
+                10.0 * (i + 1) as f64,
+            )
+            .unwrap();
         }
         g
     }
@@ -192,7 +204,14 @@ mod tests {
         assert_eq!(p.len(), 2);
         assert_eq!(p.links(), &[LinkId(0), LinkId(1)]);
         assert!((p.price(&g) - 3.0).abs() < 1e-12);
+        assert!((p.delay_us(&g) - 30.0).abs() < 1e-12);
         assert_eq!(p.to_string(), "v0-v1-v2");
+    }
+
+    #[test]
+    fn trivial_path_has_zero_delay() {
+        let g = line(3);
+        assert_eq!(Path::trivial(NodeId(1)).delay_us(&g), 0.0);
     }
 
     #[test]

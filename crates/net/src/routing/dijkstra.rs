@@ -20,6 +20,44 @@ use crate::ids::{LinkId, NodeId};
 use crate::path::Path;
 use crate::snapshot::NetworkSnapshot;
 
+/// Which per-arc scalar a weighted tree build minimizes.
+///
+/// `Price` is the classic min-cost search; `Delay` minimizes the summed
+/// link propagation delay; `Lagrange(λ)` minimizes the LARAC aggregate
+/// `price + λ·delay` used by the delay-constrained oracle mode.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArcWeight {
+    /// Link price `c_e`.
+    Price,
+    /// Link propagation delay `d_e` (microseconds).
+    Delay,
+    /// The Lagrangian aggregate `c_e + λ·d_e`.
+    Lagrange(f64),
+}
+
+impl ArcWeight {
+    /// The weight of arc `i` under this criterion.
+    #[inline]
+    fn of(self, snap: &NetworkSnapshot, i: usize) -> f64 {
+        match self {
+            ArcWeight::Price => snap.arc_price(i),
+            ArcWeight::Delay => snap.arc_delay(i),
+            ArcWeight::Lagrange(lambda) => snap.arc_price(i) + lambda * snap.arc_delay(i),
+        }
+    }
+
+    /// A stable cache key: `Price` and `Delay` are reserved sentinels,
+    /// `Lagrange(λ)` keys on the bits of λ.
+    #[inline]
+    pub fn cache_key(self) -> u64 {
+        match self {
+            ArcWeight::Price => u64::MAX,
+            ArcWeight::Delay => u64::MAX - 1,
+            ArcWeight::Lagrange(lambda) => lambda.to_bits(),
+        }
+    }
+}
+
 /// Runs the CSR Dijkstra loop, leaving distances/predecessors in
 /// `scratch` under a fresh epoch.
 pub(crate) fn search_in<F: LinkFilter>(
@@ -28,6 +66,20 @@ pub(crate) fn search_in<F: LinkFilter>(
     filter: &F,
     target: Option<NodeId>,
     scratch: &mut RoutingScratch,
+) {
+    search_weighted_in(snap, source, filter, target, scratch, ArcWeight::Price)
+}
+
+/// The weighted CSR Dijkstra loop. With [`ArcWeight::Price`] it relaxes
+/// the identical values in the identical order as the historical
+/// price-only search, so trees stay bit-identical.
+pub(crate) fn search_weighted_in<F: LinkFilter>(
+    snap: &NetworkSnapshot,
+    source: NodeId,
+    filter: &F,
+    target: Option<NodeId>,
+    scratch: &mut RoutingScratch,
+    weight: ArcWeight,
 ) {
     scratch.begin(snap.node_count());
     scratch.relax(source, 0.0, None);
@@ -49,7 +101,7 @@ pub(crate) fn search_in<F: LinkFilter>(
             if scratch.is_settled(next) || !filter.allows(link) {
                 continue;
             }
-            let nd = d + snap.arc_price(i);
+            let nd = d + weight.of(snap, i);
             if nd < scratch.dist(next) {
                 scratch.relax(next, nd, Some((node, link)));
                 scratch.heap.push(MinCostEntry {
@@ -94,8 +146,26 @@ impl ShortestPathTree {
         target: Option<NodeId>,
         scratch: &mut RoutingScratch,
     ) -> Self {
+        Self::build_weighted_in(net, source, filter, target, scratch, ArcWeight::Price)
+    }
+
+    /// Builds the tree under an explicit [`ArcWeight`] criterion. The
+    /// LARAC oracle mode uses this with `Delay` and `Lagrange(λ)`
+    /// weights; `Price` reproduces [`build_in`](Self::build_in) exactly.
+    ///
+    /// `dist` values are *weights* under the chosen criterion, not
+    /// prices — evaluate returned paths with [`Path::price`] /
+    /// [`Path::delay_us`] when both axes matter.
+    pub fn build_weighted_in<F: LinkFilter>(
+        net: &Network,
+        source: NodeId,
+        filter: &F,
+        target: Option<NodeId>,
+        scratch: &mut RoutingScratch,
+        weight: ArcWeight,
+    ) -> Self {
         let snap: &NetworkSnapshot = net.snapshot();
-        search_in(snap, source, filter, target, scratch);
+        search_weighted_in(snap, source, filter, target, scratch, weight);
         let n = snap.node_count();
         let mut dist = Vec::with_capacity(n);
         let mut prev = Vec::with_capacity(n);

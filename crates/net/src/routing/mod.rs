@@ -12,8 +12,12 @@
 //!   1+1 protection extension in `dagsfc-core`.
 //! * [`widest`] — maximum-bottleneck paths over residual capacities,
 //!   for admission-oriented routing under pressure.
+//! * [`csp`] — delay-constrained cheapest paths: the LARAC Lagrangian
+//!   relaxation plus an exact pareto-label reference, powering the
+//!   QoS-constrained oracle mode.
 
 pub mod bfs;
+pub mod csp;
 pub mod dijkstra;
 pub mod disjoint;
 pub mod ksp;
@@ -22,7 +26,11 @@ pub mod steiner;
 pub mod widest;
 
 pub use bfs::{hop_distances, RingSearch};
-pub use dijkstra::{min_cost_path, min_cost_path_in, ShortestPathTree};
+pub use csp::{
+    constrained_min_cost_path, constrained_min_cost_path_exact, constrained_path,
+    constrained_path_in, ConstrainedPath,
+};
+pub use dijkstra::{min_cost_path, min_cost_path_in, ArcWeight, ShortestPathTree};
 pub use disjoint::{disjoint_path_pair, DisjointPair};
 pub use ksp::k_shortest_paths;
 pub use scratch::{with_thread_scratch, RoutingScratch};

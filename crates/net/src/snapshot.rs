@@ -32,6 +32,8 @@ pub struct Arc32 {
     pub price: f64,
     /// Link bandwidth capacity `r_e` (shared by both directions).
     pub capacity: f64,
+    /// Link propagation delay `d_e` in microseconds (both directions).
+    pub delay_us: f64,
 }
 
 /// Flat struct-of-arrays adjacency of a [`Network`].
@@ -47,6 +49,7 @@ pub struct NetworkSnapshot {
     arc_link: Vec<u32>,
     arc_price: Vec<f64>,
     arc_capacity: Vec<f64>,
+    arc_delay: Vec<f64>,
 }
 
 impl NetworkSnapshot {
@@ -60,6 +63,7 @@ impl NetworkSnapshot {
         let mut arc_link = Vec::with_capacity(arc_total);
         let mut arc_price = Vec::with_capacity(arc_total);
         let mut arc_capacity = Vec::with_capacity(arc_total);
+        let mut arc_delay = Vec::with_capacity(arc_total);
         offsets.push(0);
         for v in net.node_ids() {
             for &(m, l) in net.neighbors(v) {
@@ -68,6 +72,7 @@ impl NetworkSnapshot {
                 arc_link.push(l.0);
                 arc_price.push(link.price);
                 arc_capacity.push(link.capacity);
+                arc_delay.push(link.delay_us);
             }
             offsets.push(targets.len() as u32);
         }
@@ -78,6 +83,7 @@ impl NetworkSnapshot {
             arc_link,
             arc_price,
             arc_capacity,
+            arc_delay,
         }
     }
 
@@ -125,6 +131,12 @@ impl NetworkSnapshot {
         self.arc_capacity[i]
     }
 
+    /// Propagation delay of arc `i` in microseconds.
+    #[inline]
+    pub fn arc_delay(&self, i: usize) -> f64 {
+        self.arc_delay[i]
+    }
+
     /// Iterator over the arcs leaving `v`, in neighbor-id order.
     #[inline]
     pub fn arcs(&self, v: NodeId) -> impl Iterator<Item = Arc32> + '_ {
@@ -133,6 +145,7 @@ impl NetworkSnapshot {
             link: LinkId(self.arc_link[i]),
             price: self.arc_price[i],
             capacity: self.arc_capacity[i],
+            delay_us: self.arc_delay[i],
         })
     }
 }
@@ -209,6 +222,7 @@ mod tests {
                 let l = g.link(a.link);
                 assert_eq!(a.price, l.price);
                 assert_eq!(a.capacity, l.capacity);
+                assert_eq!(a.delay_us, l.delay_us);
             }
         }
     }

@@ -110,6 +110,12 @@ pub fn build<R: Rng + ?Sized>(
         let price = fluctuated(rng, avg_link, config.link_price_fluctuation);
         net.add_link(NodeId(a), NodeId(b), price, config.link_capacity)?;
     }
+    // Propagation delays in a dedicated trailing pass, mirroring the
+    // §5.1 generator: pre-delay seeds keep their topology and prices.
+    for l in 0..net.link_count() as u32 {
+        let delay = fluctuated(rng, config.avg_link_delay_us, config.link_delay_fluctuation);
+        net.set_link_delay(crate::ids::LinkId(l), delay)?;
+    }
     Ok(net)
 }
 
@@ -275,6 +281,14 @@ mod tests {
         assert!(net.is_connected());
         for v in net.node_ids() {
             assert_eq!(net.degree(v), 2);
+        }
+        // Delays follow the configured fluctuation band.
+        let c = cfg();
+        for l in net.link_ids() {
+            let d = net.link(l).delay_us;
+            let lo = c.avg_link_delay_us * (1.0 - c.link_delay_fluctuation);
+            let hi = c.avg_link_delay_us * (1.0 + c.link_delay_fluctuation);
+            assert!(d >= lo - 1e-12 && d <= hi + 1e-12, "delay off: {d}");
         }
     }
 

@@ -72,6 +72,16 @@ impl Flags {
         }
     }
 
+    fn f64_opt(&self, key: &str) -> Result<Option<f64>, String> {
+        match self.str(key) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("--{key}: bad number '{v}'")),
+        }
+    }
+
     fn algo_or(&self, key: &str, default: Algo) -> Result<Algo, String> {
         match self.str(key) {
             None => Ok(default),
@@ -93,6 +103,8 @@ fn sim_config(flags: &Flags) -> Result<SimConfig, String> {
         seed: flags.u64_or("seed", SimConfig::default().seed)?,
         vnf_capacity: flags.f64_or("capacity", 8.0)?,
         link_capacity: flags.f64_or("capacity", 8.0)?,
+        link_delay_us: flags.f64_opt("link-delay")?,
+        delay_budget_us: flags.f64_opt("delay-budget")?,
         ..SimConfig::default()
     })
 }

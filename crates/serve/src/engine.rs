@@ -49,6 +49,8 @@ pub struct Engine<'n> {
     residual_epoch: u64,
     accepted: u64,
     rejected: u64,
+    rejected_deadline: u64,
+    rejected_capacity: u64,
     total_cost: f64,
     solver_cache_hits: u64,
     solver_cache_misses: u64,
@@ -76,6 +78,8 @@ impl<'n> Engine<'n> {
             residual_epoch: 0,
             accepted: 0,
             rejected: 0,
+            rejected_deadline: 0,
+            rejected_capacity: 0,
             total_cost: 0.0,
             solver_cache_hits: 0,
             solver_cache_misses: 0,
@@ -182,6 +186,13 @@ impl<'n> Engine<'n> {
                 }
                 Err(e) => {
                     self.rejected += 1;
+                    // Split solver rejections so operators can tell an
+                    // over-tight SLA from a saturated substrate.
+                    if e.is_deadline_infeasible() {
+                        self.rejected_deadline += 1;
+                    } else if matches!(e, EmbedRejection::Solve(_)) {
+                        self.rejected_capacity += 1;
+                    }
                     return Err(e);
                 }
             }
@@ -242,6 +253,8 @@ impl<'n> Engine<'n> {
         StatsReport {
             accepted: self.accepted,
             rejected: self.rejected,
+            rejected_deadline: self.rejected_deadline,
+            rejected_capacity: self.rejected_capacity,
             acceptance_ratio: if offered == 0 {
                 0.0
             } else {
@@ -451,6 +464,40 @@ mod tests {
         engine
             .embed(&sfc, &flow, Algo::Minv, arrival_seed(c.seed, 0))
             .expect("no budget, no timeout");
+    }
+
+    #[test]
+    fn rejection_stats_split_deadline_from_capacity() {
+        let c = cfg();
+        let net = instance_network(&c);
+        let mut engine = Engine::new(&net);
+        let (sfc, flow) = instance_request(&c, &net, 0);
+
+        // An unmeetable delay budget: generated links carry ~10 µs each,
+        // so 0.001 µs end-to-end is provably deadline-infeasible.
+        let mut strict = flow.clone();
+        strict.delay_budget_us = Some(0.001);
+        let r = engine.embed(&sfc, &strict, Algo::Mbbe, arrival_seed(c.seed, 0));
+        assert!(r.is_err());
+        assert!(r.unwrap_err().is_deadline_infeasible());
+
+        // An unmeetable rate with no budget: capacity-infeasible.
+        let mut heavy = flow.clone();
+        heavy.rate = 1e9;
+        let r = engine.embed(&sfc, &heavy, Algo::Mbbe, arrival_seed(c.seed, 0));
+        assert!(r.is_err());
+        assert!(!r.unwrap_err().is_deadline_infeasible());
+
+        let stats = engine.stats(0, 16, OracleCounters::default());
+        assert_eq!(stats.rejected, 2);
+        assert_eq!(stats.rejected_deadline, 1);
+        assert_eq!(stats.rejected_capacity, 1);
+
+        // The original best-effort request still embeds, untouched by
+        // the rejected attempts.
+        engine
+            .embed(&sfc, &flow, Algo::Mbbe, arrival_seed(c.seed, 0))
+            .expect("best-effort request admits");
     }
 
     #[test]

@@ -154,6 +154,12 @@ pub struct StatsReport {
     pub accepted: u64,
     /// Requests turned away (admission, queue-full, or solver).
     pub rejected: u64,
+    /// Of `rejected`: solver rejections proven deadline-infeasible (the
+    /// flow's delay budget cannot be met on the current residual).
+    pub rejected_deadline: u64,
+    /// Of `rejected`: solver rejections that are capacity/topology
+    /// infeasibility (no feasible embedding irrespective of any SLA).
+    pub rejected_capacity: u64,
     /// accepted / (accepted + rejected), 0.0 before any request.
     pub acceptance_ratio: f64,
     /// Sum of accepted embedding costs.

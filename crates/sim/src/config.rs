@@ -45,6 +45,15 @@ pub struct SimConfig {
     pub vnf_capacity: f64,
     /// Bandwidth per link (same remark).
     pub link_capacity: f64,
+    /// Average per-link propagation delay (µs) fed to the network
+    /// generator; `None` uses the generator's default. `Option`
+    /// because committed traces predate per-link delays and must keep
+    /// deserializing.
+    pub link_delay_us: Option<f64>,
+    /// End-to-end delay budget (µs) attached to every generated flow;
+    /// `None` runs best-effort (the paper's setting). `Option` for the
+    /// same trace-compatibility reason.
+    pub delay_budget_us: Option<f64>,
 }
 
 impl Default for SimConfig {
@@ -64,6 +73,8 @@ impl Default for SimConfig {
             flow_size: 1.0,
             vnf_capacity: 1e6,
             link_capacity: 1e6,
+            link_delay_us: None,
+            delay_budget_us: None,
         }
     }
 }
@@ -98,10 +109,16 @@ impl SimConfig {
             link_price_fluctuation: self.vnf_price_fluctuation,
             vnf_capacity: self.vnf_capacity,
             link_capacity: self.link_capacity,
+            avg_link_delay_us: self.link_delay_us.unwrap_or(DEFAULT_LINK_DELAY_US),
+            link_delay_fluctuation: 0.05,
             ensure_full_coverage: true,
         }
     }
 }
+
+/// Generator default mean link delay (µs) when the profile does not pin
+/// one; matches `NetGenConfig::default()`.
+pub const DEFAULT_LINK_DELAY_US: f64 = 10.0;
 
 #[cfg(test)]
 mod tests {

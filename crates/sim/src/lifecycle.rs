@@ -202,6 +202,15 @@ impl std::fmt::Display for EmbedRejection {
     }
 }
 
+impl EmbedRejection {
+    /// Whether this rejection is deadline-classified: the solver proved
+    /// the flow's delay budget unmeetable (as opposed to capacity or
+    /// topology infeasibility, commit races, audit failures, timeouts).
+    pub fn is_deadline_infeasible(&self) -> bool {
+        matches!(self, EmbedRejection::Solve(e) if e.is_deadline_infeasible())
+    }
+}
+
 impl std::error::Error for EmbedRejection {}
 
 /// An accepted request: its lease plus the solve it came from.

@@ -81,6 +81,7 @@ pub fn random_flow<R: Rng + ?Sized>(cfg: &SimConfig, net: &Network, rng: &mut R)
         dst,
         rate: cfg.rate,
         size: cfg.flow_size,
+        delay_budget_us: cfg.delay_budget_us,
     }
 }
 

@@ -1,0 +1,113 @@
+//! Fig. 6-style extension: impact of the end-to-end delay budget.
+//!
+//! Not a figure of the source paper (which embeds best-effort); this
+//! sweep attaches a per-flow delay budget and varies it from tight to
+//! effectively unconstrained while keeping every other knob at the basic
+//! configuration. Tight budgets force the LARAC-repaired search onto
+//! faster (and usually pricier) routes or reject the request outright,
+//! so cost and deadline-failure counts both trend down as the budget
+//! loosens.
+
+use super::{paper_algos_no_bbe, sweep, SweepResult};
+use crate::config::{SimConfig, DEFAULT_LINK_DELAY_US};
+
+/// Delay budgets (µs) from tight to effectively unconstrained, scaled to
+/// the generator's default 10 µs mean link delay.
+pub const DELAY_BUDGETS: [f64; 6] = [40.0, 60.0, 80.0, 120.0, 200.0, 400.0];
+
+/// Runs the delay-budget sweep on the default grid.
+pub fn delay_sweep(base: &SimConfig) -> SweepResult {
+    delay_sweep_on(base, &DELAY_BUDGETS)
+}
+
+/// Runs the delay-budget sweep on a custom grid. The base's mean link
+/// delay is pinned to the generator default so the x grid keeps its
+/// meaning regardless of the caller's profile.
+pub fn delay_sweep_on(base: &SimConfig, xs: &[f64]) -> SweepResult {
+    sweep(
+        "delay_budget",
+        "end-to-end delay budget (us)",
+        base,
+        xs,
+        |cfg, x| {
+            cfg.link_delay_us = Some(cfg.link_delay_us.unwrap_or(DEFAULT_LINK_DELAY_US));
+            cfg.delay_budget_us = Some(x);
+        },
+        |_| paper_algos_no_bbe(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::csv;
+    use crate::sweep::sweep_serial;
+
+    fn base() -> SimConfig {
+        SimConfig {
+            network_size: 50,
+            runs: 8,
+            sfc_size: 4,
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn loose_budget_recovers_best_effort_behaviour() {
+        // With an effectively unconstrained budget the sweep point must
+        // match the same instance run without any budget at all.
+        let b = base();
+        let constrained = delay_sweep_on(&b, &[1e12]);
+        let mut free = b.clone();
+        free.seed = b.seed.wrapping_add(1); // same reseed as point 0
+        free.link_delay_us = Some(DEFAULT_LINK_DELAY_US);
+        let reference = crate::runner::run_instance(&free, &paper_algos_no_bbe());
+        let point = &constrained.points[0];
+        for (a, r) in point.algos.iter().zip(&reference.algos) {
+            assert_eq!(a.name, r.name);
+            assert_eq!(a.successes, r.successes, "{}", a.name);
+            assert_eq!(a.deadline_failures, 0, "{}", a.name);
+            if a.successes > 0 {
+                assert!((a.cost.mean - r.cost.mean).abs() < 1e-12, "{}", a.name);
+            }
+        }
+    }
+
+    #[test]
+    fn tight_budgets_reject_and_loosening_admits() {
+        let r = delay_sweep_on(&base(), &[20.0, 1e12]);
+        let tight = &r.points[0];
+        let loose = &r.points[1];
+        let t = tight.algos.iter().find(|a| a.name == "MBBE").unwrap();
+        let l = loose.algos.iter().find(|a| a.name == "MBBE").unwrap();
+        assert!(
+            t.deadline_failures > 0,
+            "a 20 us budget over 10 us links must reject some requests"
+        );
+        assert!(t.deadline_failures <= t.failures);
+        assert_eq!(l.deadline_failures, 0);
+        assert!(l.successes >= t.successes, "loosening must not lose admits");
+    }
+
+    #[test]
+    fn csv_is_byte_stable_and_matches_serial_reference() {
+        let b = base();
+        let xs = [60.0, 200.0];
+        let set = |cfg: &mut SimConfig, x: f64| {
+            cfg.link_delay_us = Some(cfg.link_delay_us.unwrap_or(DEFAULT_LINK_DELAY_US));
+            cfg.delay_budget_us = Some(x);
+        };
+        let a = delay_sweep_on(&b, &xs);
+        let c = delay_sweep_on(&b, &xs);
+        let s = sweep_serial(
+            "delay_budget",
+            "end-to-end delay budget (us)",
+            &b,
+            &xs,
+            set,
+            |_| paper_algos_no_bbe(),
+        );
+        assert_eq!(csv(&a), csv(&c), "parallel sweep must be run-to-run stable");
+        assert_eq!(csv(&a), csv(&s), "parallel sweep must match serial reference");
+    }
+}

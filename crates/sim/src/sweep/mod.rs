@@ -8,6 +8,7 @@
 
 pub mod capacity;
 pub mod connectivity;
+pub mod delay_budget;
 pub mod deploy_ratio;
 pub mod fluctuation;
 pub mod network_size;
@@ -19,6 +20,7 @@ pub mod topology;
 
 pub use capacity::{capacity_sweep, CapacityPoint};
 pub use connectivity::fig6c;
+pub use delay_budget::delay_sweep;
 pub use deploy_ratio::fig6d;
 pub use fluctuation::fig6f;
 pub use network_size::fig6b;

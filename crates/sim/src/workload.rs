@@ -59,6 +59,7 @@ impl EndpointModel {
             dst,
             rate: cfg.rate,
             size: cfg.flow_size,
+            delay_budget_us: cfg.delay_budget_us,
         }
     }
 

@@ -92,6 +92,7 @@ fn main() {
         per_hop_us: 50.0,
         merge_us: 5.0,
         proc_us,
+        link_delay_us: None,
     };
     let seq_delay = delay.embedding_delay(&sequential_sfc, &seq_out.embedding, &flow);
     let hyb_delay = delay.embedding_delay(&hybrid_sfc, &hyb_out.embedding, &flow);

@@ -21,6 +21,11 @@
 //!   ledger directly.
 //! * `float-eq` — objective costs are `f64`; compare with a tolerance,
 //!   not `==`.
+//! * `raw-hop-delay` — turning hop counts into delays is the delay
+//!   model's job (`crates/core/src/delay.rs`); everywhere else consumes
+//!   per-link delays through `DelayModel::path_us`, so an ad-hoc
+//!   `hops × per-hop` product silently disagrees with the substrate's
+//!   real delay table.
 //!
 //! Escape hatch: a `lint:allow(rule)` marker in a comment on the same
 //! line or the line immediately above suppresses the finding. Test
@@ -54,6 +59,9 @@ enum Scope {
     /// Only the routing/solver hot paths (`crates/net/src/routing/`,
     /// `solvers/bbe/`).
     HotPaths,
+    /// Every non-test source file except the canonical delay model
+    /// (`crates/core/src/delay.rs`).
+    OutsideDelayModel,
 }
 
 /// Pattern fragments are concatenated at runtime; a literal pattern in
@@ -123,6 +131,18 @@ fn rules() -> Vec<Rule> {
                         wrapper, never by calling the ledger directly",
             patterns: vec![glue(&[".com", "mit("])],
             scope: Scope::OutsideNet,
+        },
+        Rule {
+            name: "raw-hop-delay",
+            rationale: "hop-count → delay conversion lives only in the delay model \
+                        (crates/core/src/delay.rs); use DelayModel::path_us",
+            patterns: vec![
+                glue(&["per_hop", "_us *"]),
+                glue(&["* per_", "hop_us"]),
+                glue(&["hops() ", "as f64"]),
+                glue(&["len() as f64 ", "* per_hop"]),
+            ],
+            scope: Scope::OutsideDelayModel,
         },
         Rule {
             name: "float-eq",
@@ -215,7 +235,14 @@ fn code_portion(line: &str) -> &str {
     }
 }
 
-fn scan_file(path: &Path, rules: &[Rule], in_net: bool, in_hot: bool, out: &mut Vec<Violation>) {
+fn scan_file(
+    path: &Path,
+    rules: &[Rule],
+    in_net: bool,
+    in_hot: bool,
+    in_delay_model: bool,
+    out: &mut Vec<Violation>,
+) {
     let Ok(src) = std::fs::read_to_string(path) else {
         return;
     };
@@ -264,6 +291,7 @@ fn scan_file(path: &Path, rules: &[Rule], in_net: bool, in_hot: bool, out: &mut 
                 Scope::Workspace => true,
                 Scope::OutsideNet => !in_net,
                 Scope::HotPaths => in_hot,
+                Scope::OutsideDelayModel => !in_delay_model,
             };
             if !applies {
                 continue;
@@ -345,7 +373,8 @@ fn main() -> ExitCode {
         let normalized = file.to_string_lossy().replace('\\', "/");
         let in_hot =
             normalized.contains("crates/net/src/routing/") || normalized.contains("solvers/bbe/");
-        scan_file(file, &rules, in_net, in_hot, &mut violations);
+        let in_delay_model = normalized.ends_with("crates/core/src/delay.rs");
+        scan_file(file, &rules, in_net, in_hot, in_delay_model, &mut violations);
     }
 
     if format_json {

@@ -61,6 +61,7 @@ fn hybrid_embedding_cuts_delay() {
         per_hop_us: 20.0,
         merge_us: 5.0,
         proc_us,
+        link_delay_us: None,
     };
 
     for seed in [1u64, 2, 3] {

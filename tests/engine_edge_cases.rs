@@ -150,6 +150,7 @@ fn zero_size_flow() {
         dst: NodeId(39),
         rate: 1.0,
         size: 0.0,
+        delay_budget_us: None,
     };
     let out = MbbeSolver::new().solve(&g, &sfc, &flow).unwrap();
     validate(&g, &sfc, &flow, &out.embedding).unwrap();
