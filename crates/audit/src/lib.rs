@@ -586,6 +586,45 @@ fn shape_mismatch(sfc: &DagSfc, emb: &Embedding) -> Option<String> {
     None
 }
 
+/// Stitched-embedding scope check (the sharded serving path).
+///
+/// A cross-shard embedding is only valid if every resource it touches
+/// was actually *exposed* by the stitched view it was solved over: VNF
+/// slots in the home or destination shard, path links inside those
+/// shards, on their shared boundary, or on the precomputed gateway
+/// corridor. The numbered-constraint audit cannot see this — a solver
+/// bug that leaks onto an unexposed (zero-capacity-in-view) resource
+/// still produces an embedding that is feasible against the
+/// unpartitioned residual. This walks the embedding against the
+/// caller's exposure predicates and returns one human-readable line per
+/// out-of-scope resource (empty = in scope everywhere).
+pub fn stitched_scope_violations(
+    emb: &Embedding,
+    node_in_scope: &dyn Fn(NodeId) -> bool,
+    link_in_scope: &dyn Fn(LinkId) -> bool,
+) -> Vec<String> {
+    let mut violations = Vec::new();
+    for (layer, slots) in emb.assignments().iter().enumerate() {
+        for (slot, &node) in slots.iter().enumerate() {
+            if !node_in_scope(node) {
+                violations.push(format!(
+                    "stitch scope: slot ({layer},{slot}) assigned to unexposed node {node}"
+                ));
+            }
+        }
+    }
+    for (index, path) in emb.paths().iter().enumerate() {
+        for &link in path.links() {
+            if !link_in_scope(link) {
+                violations.push(format!(
+                    "stitch scope: meta-path {index} routed over unexposed link {link}"
+                ));
+            }
+        }
+    }
+    violations
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -91,6 +91,8 @@ impl Flags {
 struct ChaosSummary {
     accepted: u64,
     rejected: u64,
+    rejected_deadline: u64,
+    rejected_capacity: u64,
     acceptance_ratio: f64,
     total_cost: f64,
     audits_run: u64,
@@ -232,6 +234,8 @@ fn run_main(flags: &Flags) -> Result<(), String> {
     let summary = ChaosSummary {
         accepted: stats.accepted,
         rejected: stats.rejected,
+        rejected_deadline: stats.rejected_deadline,
+        rejected_capacity: stats.rejected_capacity,
         acceptance_ratio: report.acceptance_ratio(),
         total_cost: report.total_cost(),
         audits_run: stats.audits_run,

@@ -731,7 +731,7 @@ fn attempt<I: Instrument>(
                     continue; // final path already trivial: nothing to repair
                 }
                 let slack = dc.max_delay_us - node_delay[leaf];
-                if !(slack > 0.0) {
+                if slack.is_nan() || slack <= 0.0 {
                     continue;
                 }
                 let Some(p) = ctx.min_cost_path_bounded(end, flow.dst, slack) else {

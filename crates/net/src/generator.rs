@@ -335,7 +335,7 @@ mod tests {
         let mut sum = 0.0;
         for l in net.link_ids() {
             let d = net.link(l).delay_us;
-            assert!(d >= 15.0 - 1e-12 && d <= 25.0 + 1e-12, "delay off: {d}");
+            assert!((15.0 - 1e-12..=25.0 + 1e-12).contains(&d), "delay off: {d}");
             sum += d;
         }
         let avg = sum / net.link_count() as f64;

@@ -224,7 +224,12 @@ impl<'n> PathOracle<'n> {
     /// LARAC iteration reuses trees across queries sharing a λ. The
     /// fault overlay (down links / nodes) applies exactly as it does to
     /// price trees.
-    pub fn weighted_tree(&self, source: NodeId, rate: f64, weight: ArcWeight) -> Arc<ShortestPathTree> {
+    pub fn weighted_tree(
+        &self,
+        source: NodeId,
+        rate: f64,
+        weight: ArcWeight,
+    ) -> Arc<ShortestPathTree> {
         if weight == ArcWeight::Price {
             return self.tree(source, rate);
         }
@@ -290,7 +295,7 @@ impl<'n> PathOracle<'n> {
         rate: f64,
         max_delay_us: f64,
     ) -> Option<Path> {
-        if !(max_delay_us >= 0.0) {
+        if max_delay_us.is_nan() || max_delay_us < 0.0 {
             return None;
         }
         if from == to {

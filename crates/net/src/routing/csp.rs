@@ -71,7 +71,7 @@ pub(crate) fn larac_core(
     mut cheapest: impl FnMut(ArcWeight) -> Option<ConstrainedPath>,
     max_delay_us: f64,
 ) -> Option<ConstrainedPath> {
-    if !(max_delay_us >= 0.0) {
+    if max_delay_us.is_nan() || max_delay_us < 0.0 {
         return None;
     }
     let p_cost = cheapest(ArcWeight::Price)?;
@@ -133,7 +133,7 @@ pub fn constrained_path_in<F: LinkFilter>(
     max_delay_us: f64,
     scratch: &mut RoutingScratch,
 ) -> Option<ConstrainedPath> {
-    if !(max_delay_us >= 0.0) {
+    if max_delay_us.is_nan() || max_delay_us < 0.0 {
         return None;
     }
     if from == to {
@@ -214,7 +214,7 @@ pub fn constrained_min_cost_path_exact<F: LinkFilter>(
     filter: &F,
     max_delay_us: f64,
 ) -> Option<ConstrainedPath> {
-    if !(max_delay_us >= 0.0) {
+    if max_delay_us.is_nan() || max_delay_us < 0.0 {
         return None;
     }
     if from == to {

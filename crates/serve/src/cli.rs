@@ -2,6 +2,7 @@
 //! the root `dagsfc` CLI's `serve`/`client`/`trace`/`replay`
 //! subcommands — one implementation, two front doors.
 
+use crate::batch::{self, BatchConfig};
 use crate::client::{Client, EmbedReply};
 use crate::protocol::parse_algo;
 use crate::replay::replay;
@@ -32,7 +33,7 @@ impl Flags {
             if let Some(key) = a.strip_prefix("--") {
                 match key {
                     // boolean flags
-                    "verify" | "reclaim-on-disconnect" => {
+                    "verify" | "reclaim-on-disconnect" | "batch" | "legacy" => {
                         map.insert(key.to_string(), "true".to_string());
                     }
                     _ => {
@@ -121,13 +122,18 @@ fn serve_config(flags: &Flags) -> Result<ServeConfig, String> {
 /// `dagsfc-serve` / `dagsfc serve`: run the daemon until a client sends
 /// `shutdown` (or the process is killed).
 ///
+/// Serves through the event-driven batched front end by default
+/// (`--shards N` partitions the substrate into N region shards;
+/// `--workers` sizes each shard's pool). `--legacy` selects the
+/// original thread-per-connection server.
+///
 /// ```text
 /// dagsfc-serve [--addr 127.0.0.1:4600] [--workers 2] [--queue 64] [--algo mbbe]
+///              [--shards 1] [--legacy]
 ///              [--network FILE | --nodes N --seed S --capacity C ...]
 /// ```
 pub fn daemon_main(args: &[String]) -> Result<(), String> {
     let flags = Flags::parse(args)?;
-    let cfg = serve_config(&flags)?;
     let net = match flags.str("network") {
         Some(path) => sim_io::load_network(&PathBuf::from(path)).map_err(|e| e.to_string())?,
         None => instance_network(&sim_config(&flags)?),
@@ -137,7 +143,21 @@ pub fn daemon_main(args: &[String]) -> Result<(), String> {
     let local = listener.local_addr().map_err(|e| e.to_string())?;
     // Parsed by scripts (and the CI smoke job): keep this line stable.
     println!("dagsfc-serve listening on {local}");
-    let report = server::run(&net, &cfg, listener, Arc::new(AtomicBool::new(false)));
+    let report = if flags.has("legacy") {
+        let cfg = serve_config(&flags)?;
+        server::run(&net, &cfg, listener, Arc::new(AtomicBool::new(false)))
+    } else {
+        let shards = flags.usize_or("shards", 1)?.max(1);
+        let plan = dagsfc_shard::ShardPlan::partition(&net, shards).map_err(|e| e.to_string())?;
+        let cfg = BatchConfig {
+            shards,
+            workers_per_shard: flags.usize_or("workers", 2)?.max(1),
+            queue_capacity: flags.usize_or("queue", 64)?,
+            algo: flags.algo_or("algo", Algo::Mbbe)?,
+            reclaim_on_disconnect: flags.has("reclaim-on-disconnect"),
+        };
+        batch::run_batched(&net, plan, &cfg, listener, Arc::new(AtomicBool::new(false)))
+    };
     println!(
         "{}",
         serde_json::to_string(&report).map_err(|e| e.to_string())?
@@ -277,8 +297,15 @@ pub fn client_main(args: &[String]) -> Result<(), String> {
 /// in-process daemon, replay the trace through a real socket, and
 /// verify the outcome against the in-process simulation.
 ///
+/// `--batch` routes the replay through the event-driven batched front
+/// end; `--shards N` (implies `--batch`) partitions the substrate into
+/// N region shards with gateway stitching. The final stats are checked
+/// in-process: `audits_failed` must be zero, and a multi-shard replay
+/// must actually exercise cross-shard stitching.
+///
 /// ```text
 /// dagsfc replay --trace FILE [--workers 2] [--queue 64] [--verify]
+///               [--batch] [--shards N]
 /// ```
 pub fn replay_main(args: &[String]) -> Result<(), String> {
     let flags = Flags::parse(args)?;
@@ -286,15 +313,28 @@ pub fn replay_main(args: &[String]) -> Result<(), String> {
         .str("trace")
         .ok_or("replay requires --trace FILE".to_string())?;
     let trace = sim_io::load_trace(&PathBuf::from(path)).map_err(|e| e.to_string())?;
-    let cfg = ServeConfig {
-        workers: flags.usize_or("workers", 2)?.max(1),
-        queue_capacity: flags.usize_or("queue", 64)?,
-        algo: trace.algo,
-        reclaim_on_disconnect: false,
-    };
+    let shards = flags.usize_or("shards", 1)?.max(1);
+    let batched = flags.has("batch") || flags.has("shards");
     let net = instance_network(&trace.base);
-    let handle =
-        server::spawn(net, cfg, "127.0.0.1:0").map_err(|e| format!("spawn server: {e}"))?;
+    let handle = if batched {
+        let cfg = BatchConfig {
+            shards,
+            workers_per_shard: flags.usize_or("workers", 2)?.max(1),
+            queue_capacity: flags.usize_or("queue", 64)?,
+            algo: trace.algo,
+            reclaim_on_disconnect: false,
+        };
+        batch::spawn_batched(net, shards, cfg, "127.0.0.1:0")
+            .map_err(|e| format!("spawn batched server: {e}"))?
+    } else {
+        let cfg = ServeConfig {
+            workers: flags.usize_or("workers", 2)?.max(1),
+            queue_capacity: flags.usize_or("queue", 64)?,
+            algo: trace.algo,
+            reclaim_on_disconnect: false,
+        };
+        server::spawn(net, cfg, "127.0.0.1:0").map_err(|e| format!("spawn server: {e}"))?
+    };
     let mut client = Client::connect(handle.addr()).map_err(|e| e.to_string())?;
     let report = replay(&mut client, &trace).map_err(|e| e.to_string())?;
     drop(client);
@@ -315,6 +355,26 @@ pub fn replay_main(args: &[String]) -> Result<(), String> {
         final_stats.solver_cache_misses,
         final_stats.released
     );
+    if batched {
+        println!(
+            "shards: {} regions, cross-shard {}/{} accepted, audits_failed {}",
+            final_stats.shards,
+            final_stats.cross_shard_accepted,
+            final_stats.cross_shard_offered,
+            final_stats.audits_failed
+        );
+        if final_stats.audits_failed != 0 {
+            return Err(format!(
+                "constraint auditor rejected {} committed embeddings",
+                final_stats.audits_failed
+            ));
+        }
+        if shards > 1 && final_stats.cross_shard_accepted == 0 {
+            return Err("multi-shard replay accepted zero cross-shard embeddings; \
+                 the gateway-stitching path was never exercised"
+                .into());
+        }
+    }
     if flags.has("verify") {
         let sim = run_lifecycle_detailed(&LifecycleConfig {
             base: trace.base.clone(),

@@ -3,7 +3,7 @@
 //! integration tests.
 
 use crate::protocol::{
-    algo_wire_name, fault_event_to_wire, StatsReport, WireRequest, WireResponse,
+    algo_wire_name, fault_event_to_wire, StatsReport, WireRequest, WireResponse, PROTOCOL_VERSION,
 };
 use dagsfc_core::{DagSfc, Flow};
 use dagsfc_net::{FaultEvent, LeaseId};
@@ -22,6 +22,15 @@ pub enum ClientError {
     Disconnected,
     /// The server answered `status: "error"`.
     Server(String),
+    /// The `hello` handshake found incompatible protocol versions.
+    /// `server` is `None` when the daemon predates versioning entirely
+    /// (it rejected `hello` as an unknown command).
+    ProtocolMismatch {
+        /// The version this client speaks ([`PROTOCOL_VERSION`]).
+        client: u32,
+        /// The version the daemon reported, if it reported one.
+        server: Option<u32>,
+    },
 }
 
 impl std::fmt::Display for ClientError {
@@ -31,6 +40,10 @@ impl std::fmt::Display for ClientError {
             ClientError::Json(e) => write!(f, "bad server reply: {e}"),
             ClientError::Disconnected => write!(f, "server closed the connection"),
             ClientError::Server(reason) => write!(f, "server error: {reason}"),
+            ClientError::ProtocolMismatch { client, server } => match server {
+                Some(s) => write!(f, "protocol mismatch: client v{client}, server v{s}"),
+                None => write!(f, "protocol mismatch: client v{client}, unversioned server"),
+            },
         }
     }
 }
@@ -71,14 +84,45 @@ pub struct Client {
 }
 
 impl Client {
-    /// Connects to a running daemon.
+    /// Connects to a running daemon and performs the `hello` version
+    /// handshake. A version mismatch — or a pre-versioning daemon that
+    /// rejects `hello` outright — fails fast with
+    /// [`ClientError::ProtocolMismatch`] before any request is sent.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
+        let mut client = Self::connect_unversioned(addr)?;
+        client.hello()?;
+        Ok(client)
+    }
+
+    /// Connects without the version handshake — for protocol-level
+    /// tests that need to speak raw lines (including malformed ones) to
+    /// the daemon. Normal clients use [`Client::connect`].
+    pub fn connect_unversioned(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
         let stream = TcpStream::connect(addr)?;
         let reader = BufReader::new(stream.try_clone()?);
         Ok(Client {
             reader,
             writer: stream,
         })
+    }
+
+    /// Sends the `hello` handshake on an already-open connection.
+    pub fn hello(&mut self) -> Result<(), ClientError> {
+        let resp = self.request(&WireRequest {
+            cmd: "hello".into(),
+            proto: Some(PROTOCOL_VERSION),
+            ..WireRequest::default()
+        })?;
+        match resp.status.as_str() {
+            "ok" if resp.proto == Some(PROTOCOL_VERSION) => Ok(()),
+            // An "error" carrying a version is a versioned daemon we
+            // disagree with; one without (e.g. "unknown command
+            // 'hello'") is a daemon from before versioning existed.
+            _ => Err(ClientError::ProtocolMismatch {
+                client: PROTOCOL_VERSION,
+                server: resp.proto,
+            }),
+        }
     }
 
     /// Sends one raw request and reads its reply.

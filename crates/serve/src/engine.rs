@@ -276,6 +276,10 @@ impl<'n> Engine<'n> {
             orphans_reclaimed: self.ledger.orphans_reclaimed(),
             solve_timeouts: self.solve_timeouts,
             commit_retries: self.commit_retries,
+            shards: 1,
+            cross_shard_offered: 0,
+            cross_shard_accepted: 0,
+            per_shard: Vec::new(),
             per_algo: self
                 .per_algo
                 .iter()
@@ -475,14 +479,14 @@ mod tests {
 
         // An unmeetable delay budget: generated links carry ~10 µs each,
         // so 0.001 µs end-to-end is provably deadline-infeasible.
-        let mut strict = flow.clone();
+        let mut strict = flow;
         strict.delay_budget_us = Some(0.001);
         let r = engine.embed(&sfc, &strict, Algo::Mbbe, arrival_seed(c.seed, 0));
         assert!(r.is_err());
         assert!(r.unwrap_err().is_deadline_infeasible());
 
         // An unmeetable rate with no budget: capacity-infeasible.
-        let mut heavy = flow.clone();
+        let mut heavy = flow;
         heavy.rate = 1e9;
         let r = engine.embed(&sfc, &heavy, Algo::Mbbe, arrival_seed(c.seed, 0));
         assert!(r.is_err());

@@ -34,6 +34,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod batch;
 pub mod cli;
 pub mod client;
 pub mod engine;
@@ -41,11 +42,12 @@ pub mod protocol;
 pub mod replay;
 pub mod server;
 
+pub use batch::{run_batched, spawn_batched, BatchConfig};
 pub use client::{Client, ClientError, EmbedReply};
 pub use engine::{Engine, MAX_COMMIT_RETRIES};
 pub use protocol::{
     algo_wire_name, fault_event_from_wire, fault_event_to_wire, parse_algo, AlgoLatency,
-    OracleCounters, StatsReport, WireRequest, WireResponse,
+    OracleCounters, ShardLane, StatsReport, WireRequest, WireResponse, PROTOCOL_VERSION,
 };
 pub use replay::{replay, ReplayReport};
 pub use server::{run, spawn, ServeConfig, ServerHandle};

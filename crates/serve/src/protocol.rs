@@ -12,6 +12,17 @@ use dagsfc_net::{FaultEvent, LinkId, NodeId, VnfTypeId};
 use dagsfc_sim::Algo;
 use serde::{Deserialize, Serialize};
 
+/// The wire-protocol version this build speaks.
+///
+/// Clients open with `{"cmd":"hello","proto":N}`; the daemon replies
+/// `ok` (echoing its own version in `proto`) when the versions match
+/// and a `"protocol mismatch"` error otherwise, so incompatible pairs
+/// fail fast with a typed error instead of a mid-session parse failure.
+/// History: 1 — the unversioned JSON-lines protocol (no `hello`);
+/// 2 — `hello` handshake, shard-aware stats (`shards`, `per_shard`,
+/// cross-shard counters).
+pub const PROTOCOL_VERSION: u32 = 2;
+
 /// A client → server command.
 ///
 /// `cmd` selects the operation; the other fields are its operands:
@@ -26,6 +37,7 @@ use serde::{Deserialize, Serialize};
 /// | `"shutdown"`    |                          |                        |
 /// | `"fault"`       | `event`, + its operands  | see below              |
 /// | `"reclaim"`     | `owner`                  |                        |
+/// | `"hello"`       | `proto`                  |                        |
 ///
 /// `fault` operands: `event` is one of `"link_down"`, `"link_up"`,
 /// `"node_down"`, `"node_up"`, `"link_capacity"`, `"vnf_capacity"`;
@@ -61,6 +73,8 @@ pub struct WireRequest {
     pub factor: Option<f64>,
     /// `reclaim`: the owner session whose leases to reclaim.
     pub owner: Option<u64>,
+    /// `hello`: the client's [`PROTOCOL_VERSION`].
+    pub proto: Option<u32>,
 }
 
 /// A server → client reply. `status` is one of `"accepted"`,
@@ -85,6 +99,9 @@ pub struct WireResponse {
     pub changed: Option<bool>,
     /// `reclaim` replies: how many orphaned leases were released.
     pub reclaimed: Option<u64>,
+    /// `hello` replies (and `hello` mismatch errors): the daemon's
+    /// [`PROTOCOL_VERSION`].
+    pub proto: Option<u32>,
 }
 
 impl WireResponse {
@@ -199,6 +216,35 @@ pub struct StatsReport {
     pub commit_retries: u64,
     /// Per-algorithm solve latency, sorted by algorithm name.
     pub per_algo: Vec<AlgoLatency>,
+    /// Number of region shards serving the substrate (1 = unsharded).
+    pub shards: u64,
+    /// Requests whose source and destination shards differed.
+    pub cross_shard_offered: u64,
+    /// Cross-shard requests that were stitched and committed.
+    pub cross_shard_accepted: u64,
+    /// Per-shard load figures (empty on the unsharded daemon).
+    pub per_shard: Vec<ShardLane>,
+}
+
+/// One region shard's load figures inside a [`StatsReport`].
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ShardLane {
+    /// Shard index.
+    pub shard: u64,
+    /// Embed jobs waiting in this shard's queue right now.
+    pub queue_depth: u64,
+    /// Sub-leases outstanding in this shard's ledger.
+    pub active_leases: u64,
+    /// Sub-leases released over the shard's lifetime.
+    pub released: u64,
+    /// The shard ledger's change epoch.
+    pub epoch: u64,
+    /// Committed-but-unreleased load in this shard.
+    pub outstanding_load: f64,
+    /// Fault events that changed this shard's state.
+    pub faults_applied: u64,
+    /// Gateway nodes of this shard.
+    pub gateways: u64,
 }
 
 /// Decodes the flat `fault` operand fields of a [`WireRequest`] into a

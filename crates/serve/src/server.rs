@@ -22,6 +22,7 @@
 use crate::engine::Engine;
 use crate::protocol::{
     fault_event_from_wire, parse_algo, OracleCounters, StatsReport, WireRequest, WireResponse,
+    PROTOCOL_VERSION,
 };
 use dagsfc_core::solvers::precheck;
 use dagsfc_core::{DagSfc, Flow, VnfCatalog};
@@ -37,7 +38,7 @@ use std::time::Duration;
 
 /// Locks `m`, recovering the data if a previous holder panicked — one
 /// crashed connection handler must not wedge the whole daemon.
-fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+pub(crate) fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
@@ -178,27 +179,29 @@ impl JobQueue {
 
 /// Serializes job completion in ticket order: a worker may hold job
 /// *n+1* solved-ready, but commits only after *n* has been served.
-struct TicketGate {
+/// Shared with the batched server, where it additionally serializes
+/// *across* the per-shard worker pools.
+pub(crate) struct TicketGate {
     next: Mutex<u64>,
     turn: Condvar,
 }
 
 impl TicketGate {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         TicketGate {
             next: Mutex::new(0),
             turn: Condvar::new(),
         }
     }
 
-    fn wait_for(&self, ticket: u64) {
+    pub(crate) fn wait_for(&self, ticket: u64) {
         let mut next = lock_recover(&self.next);
         while *next != ticket {
             next = self.turn.wait(next).unwrap_or_else(PoisonError::into_inner);
         }
     }
 
-    fn advance(&self) {
+    pub(crate) fn advance(&self) {
         *lock_recover(&self.next) += 1;
         self.turn.notify_all();
     }
@@ -295,11 +298,12 @@ pub fn run(
     })
 }
 
-/// A running daemon with an owned network, for tests and the CLI.
+/// A running daemon with an owned network, for tests and the CLI (both
+/// the thread-per-connection and the batched server return one).
 pub struct ServerHandle {
-    addr: SocketAddr,
-    shutdown: Arc<AtomicBool>,
-    thread: std::thread::JoinHandle<StatsReport>,
+    pub(crate) addr: SocketAddr,
+    pub(crate) shutdown: Arc<AtomicBool>,
+    pub(crate) thread: std::thread::JoinHandle<StatsReport>,
 }
 
 impl ServerHandle {
@@ -473,6 +477,7 @@ fn dispatch(line: &str, owner: u64, shared: &Shared<'_>) -> WireResponse {
             owner: Some(owner),
             ..WireResponse::default()
         },
+        "hello" => hello_response(req.proto, owner),
         "stats" => {
             let engine = lock_recover(&shared.engine);
             let stats = engine.stats(
@@ -547,25 +552,51 @@ fn dispatch(line: &str, owner: u64, shared: &Shared<'_>) -> WireResponse {
             let Some(flow) = req.flow else {
                 return WireResponse::error("embed_preset requires 'flow'");
             };
-            // A bad preset name or a sparse catalog is a protocol-level
-            // error, never a panic (`nfp::PresetError` is ordinary).
-            let hybrid = match dagsfc_nfp::hybrid_preset(
-                name,
-                TransformOptions {
-                    max_width: req.max_width,
-                },
-            ) {
-                Ok(h) => h,
-                Err(e) => return WireResponse::error(e.to_string()),
-            };
-            let catalog = VnfCatalog::new(dagsfc_nfp::enterprise_catalog().len() as u16);
-            let sfc = match DagSfc::from_hybrid(&hybrid, catalog) {
+            let sfc = match preset_chain(name, req.max_width) {
                 Ok(s) => s,
-                Err(e) => return WireResponse::error(format!("preset chain invalid: {e}")),
+                Err(e) => return WireResponse::error(e),
             };
             embed_via_queue(sfc, flow, req.algo.take(), req.seed, owner, shared)
         }
         other => WireResponse::error(format!("unknown command '{other}'")),
+    }
+}
+
+/// Builds the chain for a named `nfp` preset. A bad preset name or a
+/// sparse catalog is a protocol-level error, never a panic
+/// (`nfp::PresetError` is ordinary). Shared by the thread-per-connection
+/// and batched servers.
+pub(crate) fn preset_chain(name: &str, max_width: Option<usize>) -> Result<DagSfc, String> {
+    let hybrid = dagsfc_nfp::hybrid_preset(name, TransformOptions { max_width })
+        .map_err(|e| e.to_string())?;
+    let catalog = VnfCatalog::new(dagsfc_nfp::enterprise_catalog().len() as u16);
+    DagSfc::from_hybrid(&hybrid, catalog).map_err(|e| format!("preset chain invalid: {e}"))
+}
+
+/// Answers a `hello` handshake: `ok` (echoing the daemon's version and
+/// the connection's owner id) on a version match, a `"protocol
+/// mismatch"` error naming both versions otherwise — the fail-fast path
+/// versioned clients rely on. Shared by both servers.
+pub(crate) fn hello_response(client_proto: Option<u32>, owner: u64) -> WireResponse {
+    match client_proto {
+        Some(v) if v == PROTOCOL_VERSION => WireResponse {
+            status: "ok".into(),
+            owner: Some(owner),
+            proto: Some(PROTOCOL_VERSION),
+            ..WireResponse::default()
+        },
+        Some(v) => WireResponse {
+            proto: Some(PROTOCOL_VERSION),
+            ..WireResponse::error(format!(
+                "protocol mismatch: client speaks v{v}, daemon speaks v{PROTOCOL_VERSION}"
+            ))
+        },
+        None => WireResponse {
+            proto: Some(PROTOCOL_VERSION),
+            ..WireResponse::error(format!(
+                "protocol mismatch: hello carried no version (daemon speaks v{PROTOCOL_VERSION})"
+            ))
+        },
     }
 }
 

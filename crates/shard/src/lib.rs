@@ -1,0 +1,32 @@
+//! # dagsfc-shard — region-partitioned substrate serving
+//!
+//! Splits one substrate [`Network`](dagsfc_net::Network) into `N`
+//! region shards, each backed by its own
+//! [`CommitLedger`](dagsfc_net::CommitLedger) (and therefore its own
+//! lock domain), and serves embedding requests across them without
+//! giving up a single guarantee of the unsharded pipeline:
+//!
+//! - **[`ShardPlan`]** — contiguous-range node partition, per-link
+//!   owner shards, gateway nodes, boundary links.
+//! - **[`GatewayTable`]** — precomputed min-cost gateway-to-gateway
+//!   corridors per shard pair (the stitching price oracle).
+//! - **[`ShardRouter`]** — pure, deterministic request → home-shard
+//!   assignment.
+//! - **[`ShardedEngine`]** — stitched residual views, two-phase commit
+//!   across the involved ledgers (reserve → audit → commit, rollback on
+//!   any failure), and the solver-independent audit of every stitched
+//!   embedding against the **unpartitioned** substrate.
+//!
+//! The gateway API on [`ShardedEngine`] is the only sanctioned way to
+//! touch a shard's ledger; the `shard-ledger` lint rule fails CI on any
+//! direct access from outside this crate.
+
+#![warn(missing_docs)]
+
+mod engine;
+mod plan;
+mod router;
+
+pub use engine::{Accepted, ShardLoad, ShardedEngine, ShardedStats, StitchId, MAX_COMMIT_RETRIES};
+pub use plan::{GatewayTable, PlanSummary, ShardError, ShardPlan, TransitRoute};
+pub use router::{RoutePolicy, ShardRouter};

@@ -108,6 +108,10 @@ mod tests {
             |_| paper_algos_no_bbe(),
         );
         assert_eq!(csv(&a), csv(&c), "parallel sweep must be run-to-run stable");
-        assert_eq!(csv(&a), csv(&s), "parallel sweep must match serial reference");
+        assert_eq!(
+            csv(&a),
+            csv(&s),
+            "parallel sweep must match serial reference"
+        );
     }
 }

@@ -26,6 +26,11 @@
 //!   per-link delays through `DelayModel::path_us`, so an ad-hoc
 //!   `hops × per-hop` product silently disagrees with the substrate's
 //!   real delay table.
+//! * `shard-ledger` — a region shard's `CommitLedger` is reached only
+//!   through the shard gateway API (`ShardedEngine`'s two-phase
+//!   commit/release/reclaim); touching a shard's ledger directly from
+//!   outside `crates/shard` bypasses the 2PC rollback discipline and
+//!   the unpartitioned constraint audit.
 //!
 //! Escape hatch: a `lint:allow(rule)` marker in a comment on the same
 //! line or the line immediately above suppresses the finding. Test
@@ -62,6 +67,8 @@ enum Scope {
     /// Every non-test source file except the canonical delay model
     /// (`crates/core/src/delay.rs`).
     OutsideDelayModel,
+    /// Every non-test source file outside `crates/shard/src/`.
+    OutsideShard,
 }
 
 /// Pattern fragments are concatenated at runtime; a literal pattern in
@@ -143,6 +150,13 @@ fn rules() -> Vec<Rule> {
                 glue(&["len() as f64 ", "* per_hop"]),
             ],
             scope: Scope::OutsideDelayModel,
+        },
+        Rule {
+            name: "shard-ledger",
+            rationale: "a shard's CommitLedger is private to the shard gateway API; go \
+                        through ShardedEngine's two-phase commit/release/reclaim",
+            patterns: vec![glue(&["raw_led", "ger("]), glue(&[".led", "gers["])],
+            scope: Scope::OutsideShard,
         },
         Rule {
             name: "float-eq",
@@ -241,6 +255,7 @@ fn scan_file(
     in_net: bool,
     in_hot: bool,
     in_delay_model: bool,
+    in_shard: bool,
     out: &mut Vec<Violation>,
 ) {
     let Ok(src) = std::fs::read_to_string(path) else {
@@ -292,6 +307,7 @@ fn scan_file(
                 Scope::OutsideNet => !in_net,
                 Scope::HotPaths => in_hot,
                 Scope::OutsideDelayModel => !in_delay_model,
+                Scope::OutsideShard => !in_shard,
             };
             if !applies {
                 continue;
@@ -374,7 +390,16 @@ fn main() -> ExitCode {
         let in_hot =
             normalized.contains("crates/net/src/routing/") || normalized.contains("solvers/bbe/");
         let in_delay_model = normalized.ends_with("crates/core/src/delay.rs");
-        scan_file(file, &rules, in_net, in_hot, in_delay_model, &mut violations);
+        let in_shard = normalized.contains("crates/shard/src/");
+        scan_file(
+            file,
+            &rules,
+            in_net,
+            in_hot,
+            in_delay_model,
+            in_shard,
+            &mut violations,
+        );
     }
 
     if format_json {
