@@ -1,0 +1,133 @@
+//! The checked-in baseline/suppression file.
+//!
+//! A baseline entry is `rule<TAB>path<TAB>trimmed line text` — no line
+//! numbers, so entries survive unrelated edits above them. Matching is
+//! multiset-style: each entry suppresses at most one identical
+//! violation, so *new* occurrences of a baselined pattern still fail.
+//!
+//! `--update-baseline` rewrites the file from the current findings;
+//! `#`-lines are comments and let entries carry a rationale.
+
+use crate::Violation;
+use std::collections::BTreeMap;
+
+/// A parsed baseline: entry → how many identical findings it absorbs.
+#[derive(Debug, Default)]
+pub struct Baseline {
+    entries: BTreeMap<(String, String, String), usize>,
+}
+
+impl Baseline {
+    /// Parses baseline `text` (comments and blank lines ignored).
+    pub fn parse(text: &str) -> Baseline {
+        let mut entries = BTreeMap::new();
+        for line in text.lines() {
+            let line = line.trim_end();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.splitn(3, '\t');
+            let (Some(rule), Some(path), Some(txt)) = (parts.next(), parts.next(), parts.next())
+            else {
+                continue;
+            };
+            *entries
+                .entry((rule.to_string(), path.to_string(), txt.to_string()))
+                .or_insert(0) += 1;
+        }
+        Baseline { entries }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.values().sum()
+    }
+
+    /// Whether the baseline is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Splits `violations` into (new, baselined) and reports how many
+    /// baseline entries matched nothing (stale).
+    pub fn apply(&self, violations: Vec<Violation>) -> (Vec<Violation>, Vec<Violation>, usize) {
+        let mut budget = self.entries.clone();
+        let mut fresh = Vec::new();
+        let mut absorbed = Vec::new();
+        for v in violations {
+            let key = (v.rule.to_string(), v.path.clone(), v.text.clone());
+            match budget.get_mut(&key) {
+                Some(n) if *n > 0 => {
+                    *n -= 1;
+                    absorbed.push(v);
+                }
+                _ => fresh.push(v),
+            }
+        }
+        let stale: usize = budget.values().sum();
+        (fresh, absorbed, stale)
+    }
+
+    /// Renders `violations` as baseline file content.
+    pub fn render(violations: &[Violation]) -> String {
+        let mut out = String::from(
+            "# dagsfc-lint baseline — accepted findings, matched by (rule, file, text).\n\
+             # Regenerate with: cargo run --bin dagsfc-lint -- --update-baseline\n\
+             # Every entry should carry (or point to) a rationale; prefer fixing or a\n\
+             # site-local lint:allow over growing this file.\n",
+        );
+        for v in violations {
+            out.push_str(v.rule);
+            out.push('\t');
+            out.push_str(&v.path);
+            out.push('\t');
+            out.push_str(&v.text);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(rule: &'static str, path: &str, text: &str) -> Violation {
+        Violation {
+            rule,
+            path: path.to_string(),
+            line: 1,
+            text: text.to_string(),
+        }
+    }
+
+    #[test]
+    fn baseline_absorbs_exactly_once() {
+        let b = Baseline::parse("unordered-iter\ta.rs\tfor k in m.iter() {\n");
+        let (fresh, absorbed, stale) = b.apply(vec![
+            v("unordered-iter", "a.rs", "for k in m.iter() {"),
+            v("unordered-iter", "a.rs", "for k in m.iter() {"),
+        ]);
+        assert_eq!(absorbed.len(), 1);
+        assert_eq!(fresh.len(), 1, "a second identical finding is new");
+        assert_eq!(stale, 0);
+    }
+
+    #[test]
+    fn stale_entries_are_counted() {
+        let b = Baseline::parse("unwrap\tgone.rs\tx.unwrap();\n");
+        let (fresh, _, stale) = b.apply(vec![]);
+        assert!(fresh.is_empty());
+        assert_eq!(stale, 1);
+    }
+
+    #[test]
+    fn round_trips_through_render() {
+        let vs = vec![v("expect", "b.rs", "y.expect(\"z\");")];
+        let b = Baseline::parse(&Baseline::render(&vs));
+        assert_eq!(b.len(), 1);
+        let (fresh, absorbed, _) = b.apply(vs);
+        assert!(fresh.is_empty());
+        assert_eq!(absorbed.len(), 1);
+    }
+}

@@ -1,0 +1,144 @@
+//! The command-line front end (`src/bin/lint.rs` is a thin shim over
+//! [`run_cli`]).
+//!
+//! ```text
+//! dagsfc-lint [--root DIR] [--format text|json|sarif]
+//!             [--baseline FILE | --no-baseline] [--update-baseline]
+//! ```
+//!
+//! Exit codes: 0 clean (or everything baselined), 1 unbaselined
+//! violations, 2 usage error.
+
+use crate::baseline::Baseline;
+use crate::output::{render_json, render_sarif, render_text};
+use crate::{analyze, SourceFile};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Directories never scanned (vendored, generated, or exempt-by-class).
+const SKIP_DIRS: &[&str] = &[
+    "target", "shims", ".git", "tests", "benches", "examples", ".github",
+];
+
+/// Default baseline file name, looked up under `--root`.
+pub const BASELINE_FILE: &str = "lint-baseline.txt";
+
+fn collect_files(root: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(root) else {
+        return;
+    };
+    let mut entries: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if SKIP_DIRS.contains(&name) {
+                continue;
+            }
+            collect_files(&path, out);
+        } else if path.extension().and_then(|e| e.to_str()) == Some("rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Output format selector.
+#[derive(PartialEq, Clone, Copy)]
+enum Format {
+    Text,
+    Json,
+    Sarif,
+}
+
+/// Runs the lint CLI over `args` (program name already stripped).
+pub fn run_cli(args: Vec<String>) -> ExitCode {
+    let mut format = Format::Text;
+    let mut root = PathBuf::from(".");
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut use_baseline = true;
+    let mut update_baseline = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--format" => match it.next().map(String::as_str) {
+                Some("json") => format = Format::Json,
+                Some("sarif") => format = Format::Sarif,
+                Some("text") | None => format = Format::Text,
+                Some(other) => {
+                    eprintln!("unknown format '{other}' (text|json|sarif)");
+                    return ExitCode::from(2);
+                }
+            },
+            "--root" => {
+                if let Some(dir) = it.next() {
+                    root = PathBuf::from(dir);
+                }
+            }
+            "--baseline" => {
+                if let Some(p) = it.next() {
+                    baseline_path = Some(PathBuf::from(p));
+                }
+            }
+            "--no-baseline" => use_baseline = false,
+            "--update-baseline" => update_baseline = true,
+            other => {
+                eprintln!("unknown argument '{other}'");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let mut paths = Vec::new();
+    collect_files(&root, &mut paths);
+    let files: Vec<SourceFile> = paths
+        .iter()
+        .filter_map(|p| {
+            let text = std::fs::read_to_string(p).ok()?;
+            let rel = p.strip_prefix(&root).unwrap_or(p);
+            Some(SourceFile {
+                path: rel.to_string_lossy().replace('\\', "/"),
+                text,
+            })
+        })
+        .collect();
+    let violations = analyze(&files);
+
+    let baseline_file = baseline_path.unwrap_or_else(|| root.join(BASELINE_FILE));
+    if update_baseline {
+        let rendered = Baseline::render(&violations);
+        if std::fs::write(&baseline_file, rendered).is_err() {
+            eprintln!("cannot write {}", baseline_file.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "dagsfc-lint: baseline updated ({} entr{}) -> {}",
+            violations.len(),
+            if violations.len() == 1 { "y" } else { "ies" },
+            baseline_file.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline = if use_baseline {
+        std::fs::read_to_string(&baseline_file)
+            .map(|t| Baseline::parse(&t))
+            .unwrap_or_default()
+    } else {
+        Baseline::default()
+    };
+    let (fresh, absorbed, stale) = baseline.apply(violations);
+
+    match format {
+        Format::Json => println!("{}", render_json(&fresh)),
+        Format::Sarif => println!("{}", render_sarif(&fresh)),
+        Format::Text => print!(
+            "{}",
+            render_text(&fresh, files.len(), absorbed.len(), stale)
+        ),
+    }
+    if fresh.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

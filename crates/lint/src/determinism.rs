@@ -1,0 +1,297 @@
+//! The determinism pass: unordered-container iteration feeding ordered
+//! output, and float accumulation over unordered sources.
+//!
+//! The whole system's replay story (chaos replay, parallel-vs-serial
+//! differentials, byte-identical figure CSVs) rests on every observable
+//! ordering being a function of the seed. `HashMap`/`HashSet` (and the
+//! seeded `FxHashMap`/`FxHashSet`, whose iteration order is still
+//! arbitrary) silently break that the moment their iteration order
+//! escapes into output, and float sums over such iterations are
+//! order-dependent even when the *set* of values is deterministic.
+//!
+//! The pass is intentionally conservative, in both directions:
+//!
+//! * Only identifiers whose declaration (let binding, field, or
+//!   parameter with a type annotation, or a `::new`/`::default`
+//!   constructor) is visible **in the same file** are tracked — a type
+//!   the pass cannot see is never flagged.
+//! * An iteration whose enclosing statement visibly restores or never
+//!   needs an order — sorting, collecting into a `BTreeMap`/`BTreeSet`
+//!   or another keyed map, pure counting/membership sinks — is exempt.
+//!
+//! Everything else needs a `lint:allow(unordered-iter)` with a stated
+//! reason, or a baseline entry.
+
+use crate::lexer::{Tok, TokKind};
+use crate::scan::FileModel;
+use crate::{emit, Violation};
+
+/// Container types whose iteration order is arbitrary.
+const UNORDERED_TYPES: &[&str] = &["HashMap", "HashSet", "FxHashMap", "FxHashSet"];
+
+/// Iterator-producing methods that expose the arbitrary order.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+];
+
+/// Sinks that make the order unobservable: either an explicit reorder
+/// (`sort*`, BTree collection) or an order-insensitive terminal.
+const ORDER_SINKS: &[&str] = &[
+    "sort",
+    "sort_unstable",
+    "sort_by",
+    "sort_by_key",
+    "sort_unstable_by",
+    "sort_unstable_by_key",
+    "BTreeMap",
+    "BTreeSet",
+    "count",
+    "len",
+    "any",
+    "all",
+    "contains",
+    "contains_key",
+    "is_empty",
+    "min",
+    "max",
+];
+
+/// Integer types: `sum::<u64>()` over an unordered source is exact and
+/// therefore order-insensitive (float sums are not).
+const INT_TYPES: &[&str] = &[
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize",
+];
+
+/// Collects every identifier declared in this file with an unordered
+/// container type: `let x: FxHashMap<…>`, `x: HashSet<…>` (field or
+/// parameter), or `let x = HashMap::new()`.
+fn unordered_idents(model: &FileModel) -> Vec<String> {
+    let toks = &model.toks;
+    let mut found = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || !UNORDERED_TYPES.contains(&t.text.as_str()) {
+            continue;
+        }
+        // Walk back to the binding: skip over type/expression tokens
+        // until we hit `:` (annotation) or `=` (initializer) and take
+        // the identifier just before it. Statement boundaries stop the
+        // walk, so a `-> FxHashMap<…>` return type binds nothing.
+        let stmt_start = model.stmt_of(i).map(|s| s.start).unwrap_or(0);
+        let mut j = i;
+        while j > stmt_start {
+            j -= 1;
+            let p = &toks[j];
+            if p.is_punct(":") || p.is_punct("=") {
+                if j > stmt_start && toks[j - 1].kind == TokKind::Ident {
+                    let name = &toks[j - 1].text;
+                    if name != "mut" && !found.contains(name) {
+                        found.push(name.clone());
+                    }
+                }
+                break;
+            }
+            // A `->`, `(`, `)` or `,` before any `:`/`=` means this
+            // occurrence is a return type, turbofish, or similar.
+            if p.is_punct("->") || p.is_punct(",") || p.is_punct("(") || p.is_punct(")") {
+                break;
+            }
+        }
+    }
+    found
+}
+
+/// Whether the statement containing token `i` mentions a sink that
+/// makes iteration order unobservable. The common burn-down shape
+/// `let mut v: Vec<_> = map.iter().collect(); v.sort();` spans two
+/// statements, so an explicit `sort*` in the immediately following
+/// statement also counts.
+fn stmt_has_order_sink(model: &FileModel, i: usize) -> bool {
+    let Some(pos) = model.stmts.iter().position(|s| i >= s.start && i <= s.end) else {
+        return false;
+    };
+    if let Some(next) = model.stmts.get(pos + 1) {
+        let sorted_next = model.toks[next.start..=next.end]
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && t.text.starts_with("sort"));
+        if sorted_next {
+            return true;
+        }
+    }
+    let stmt = &model.stmts[pos];
+    let toks = &model.toks[stmt.start..=stmt.end];
+    for (k, t) in toks.iter().enumerate() {
+        if t.kind == TokKind::Ident && ORDER_SINKS.contains(&t.text.as_str()) {
+            return true;
+        }
+        // Integer turbofish sums: `sum::<u64>()`.
+        if t.is_ident("sum")
+            && toks.get(k + 1).map(|t| t.is_punct("::")).unwrap_or(false)
+            && toks.get(k + 2).map(|t| t.is_punct("<")).unwrap_or(false)
+            && toks
+                .get(k + 3)
+                .map(|t| INT_TYPES.contains(&t.text.as_str()))
+                .unwrap_or(false)
+        {
+            return true;
+        }
+        // Collecting back into a keyed container is order-insensitive.
+        if t.is_ident("collect") {
+            let tail = &toks[k..];
+            if tail
+                .iter()
+                .take(12)
+                .any(|t| t.kind == TokKind::Ident && UNORDERED_TYPES.contains(&t.text.as_str()))
+            {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Whether the statement feeds a float reduction (`sum::<f64>` or a
+/// `fold` seeded with a float literal).
+fn stmt_has_float_reduction(model: &FileModel, i: usize) -> bool {
+    let Some(stmt) = model.stmt_of(i) else {
+        return false;
+    };
+    let toks = &model.toks[stmt.start..=stmt.end];
+    for (k, t) in toks.iter().enumerate() {
+        if t.is_ident("sum")
+            && toks.get(k + 1).map(|t| t.is_punct("::")).unwrap_or(false)
+            && toks.get(k + 2).map(|t| t.is_punct("<")).unwrap_or(false)
+            && toks
+                .get(k + 3)
+                .map(|t| t.is_ident("f64") || t.is_ident("f32"))
+                .unwrap_or(false)
+        {
+            return true;
+        }
+        if t.is_ident("fold")
+            && toks.get(k + 1).map(|t| t.is_punct("(")).unwrap_or(false)
+            && toks
+                .get(k + 2)
+                .map(|t| t.kind == TokKind::Num && t.text.contains('.'))
+                .unwrap_or(false)
+        {
+            return true;
+        }
+    }
+    false
+}
+
+/// Runs the pass over one file.
+pub fn check(model: &FileModel, out: &mut Vec<Violation>) {
+    let unordered = unordered_idents(model);
+    if unordered.is_empty() {
+        return;
+    }
+    let toks = &model.toks;
+
+    // Method-chain iteration sites: `name.iter()`, `self.name.keys()`, …
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident || !unordered.contains(&t.text) {
+            continue;
+        }
+        let is_iter_call = toks.get(i + 1).map(|t| t.is_punct(".")).unwrap_or(false)
+            && toks
+                .get(i + 2)
+                .map(|t| t.kind == TokKind::Ident && ITER_METHODS.contains(&t.text.as_str()))
+                .unwrap_or(false)
+            && toks.get(i + 3).map(|t| t.is_punct("(")).unwrap_or(false);
+        if !is_iter_call {
+            continue;
+        }
+        if stmt_has_float_reduction(model, i) {
+            emit(model, "float-accum", i, out);
+        } else if !stmt_has_order_sink(model, i) {
+            emit(model, "unordered-iter", i, out);
+        }
+    }
+
+    // Direct `for x in map` / `for x in &map` loops: the header is just
+    // the identifier (method-chain headers were handled above).
+    for l in &model.loops {
+        let header: Vec<&Tok> = toks[l.header_start..l.header_end]
+            .iter()
+            .filter(|t| !t.is_punct("&") && !t.is_ident("mut"))
+            .collect();
+        let [only] = header.as_slice() else {
+            continue;
+        };
+        if only.kind != TokKind::Ident || !unordered.contains(&only.text) {
+            continue;
+        }
+        emit(model, "unordered-iter", l.header_start, out);
+        // Float accumulation inside the loop body: `acc += <expr with a
+        // float literal>` is order-dependent.
+        let mut k = l.body_start;
+        while k < l.body_end {
+            if toks[k].is_punct("+=") {
+                let mut j = k + 1;
+                while j < l.body_end && !toks[j].is_punct(";") {
+                    if toks[j].kind == TokKind::Num && toks[j].text.contains('.') {
+                        emit(model, "float-accum", k, out);
+                        break;
+                    }
+                    j += 1;
+                }
+            }
+            k += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::analyze_one;
+
+    #[test]
+    fn unordered_iteration_fires_and_sorting_exempts() {
+        let src = "fn f() {\n    let m: FxHashMap<u32, u32> = FxHashMap::default();\n    let v: Vec<_> = m.iter().collect::<Vec<_>>();\n}\n";
+        assert!(analyze_one("crates/x/src/a.rs", src)
+            .iter()
+            .any(|v| v.rule == "unordered-iter"));
+
+        let src = "fn f() {\n    let m: FxHashMap<u32, u32> = FxHashMap::default();\n    let mut v: Vec<_> = m.iter().collect::<Vec<_>>();\n    v.sort_unstable();\n}\n";
+        // The sort in the immediately following statement exempts the
+        // collect — the standard burn-down shape.
+        let hits = analyze_one("crates/x/src/a.rs", src);
+        assert!(hits.iter().all(|v| v.rule != "unordered-iter"));
+    }
+
+    #[test]
+    fn btree_iteration_is_silent() {
+        let src =
+            "fn f(m: &BTreeMap<u32, u32>) {\n    for (k, v) in m.iter() { use_it(k, v); }\n}\n";
+        assert!(analyze_one("crates/x/src/a.rs", src)
+            .iter()
+            .all(|v| v.rule != "unordered-iter"));
+    }
+
+    #[test]
+    fn float_sum_over_unordered_is_float_accum() {
+        let src =
+            "fn f(weights: FxHashMap<u32, f64>) -> f64 {\n    weights.values().sum::<f64>()\n}\n";
+        let v = analyze_one("crates/x/src/a.rs", src);
+        assert!(v.iter().any(|v| v.rule == "float-accum"));
+        assert!(v.iter().all(|v| v.rule != "unordered-iter"));
+    }
+
+    #[test]
+    fn counting_sinks_are_exempt() {
+        let src = "fn f(m: FxHashSet<u32>) -> usize {\n    m.iter().count()\n}\n";
+        assert!(analyze_one("crates/x/src/a.rs", src)
+            .iter()
+            .all(|v| v.rule != "unordered-iter"));
+    }
+}

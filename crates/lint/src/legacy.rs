@@ -1,0 +1,128 @@
+//! The retired substring engine, preserved behavior-for-behavior.
+//!
+//! This module exists for one reason: the fixture suite demonstrates
+//! *differentially* that the old line/substring matcher misclassifies
+//! real shapes — patterns inside string literals and block comments
+//! (false positives), patterns after a `//` that sits inside a string
+//! (false negatives), `#[cfg(test)]` regions ended early by a `}` in a
+//! string literal, and `lint:allow` markers that fail to cover the
+//! later lines of a multi-line statement — and that the token engine
+//! classifies every one of them correctly.
+//!
+//! Nothing in production calls this; do not extend it. (That its rule
+//! patterns can live here as plain string literals without tripping
+//! the new engine is itself the point: to a lexer they are `Str`
+//! tokens, not code.)
+
+/// A legacy finding: rule name and 1-based line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LegacyFinding {
+    /// Rule name.
+    pub rule: &'static str,
+    /// 1-based line number.
+    pub line: usize,
+}
+
+struct Rule {
+    name: &'static str,
+    patterns: &'static [&'static str],
+}
+
+const RULES: &[Rule] = &[
+    Rule {
+        name: "unwrap",
+        patterns: &[".unwrap()"],
+    },
+    Rule {
+        name: "expect",
+        patterns: &[".expect("],
+    },
+    Rule {
+        name: "wallclock",
+        patterns: &["SystemTime::now"],
+    },
+    Rule {
+        name: "unseeded-rng",
+        patterns: &["thread_rng(", "from_entropy(", "rand::random"],
+    },
+    Rule {
+        name: "raw-commit",
+        patterns: &[".commit("],
+    },
+];
+
+/// Whether `line` (or `prev`) carries an allow marker for `rule` —
+/// the old same-line/previous-line check, verbatim.
+fn allowed(rule: &str, line: &str, prev: Option<&str>) -> bool {
+    let marker_on = |s: &str| {
+        s.find("lint:allow(").is_some_and(|pos| {
+            let rest = &s[pos + "lint:allow(".len()..];
+            rest.split(')')
+                .next()
+                .is_some_and(|inner| inner.split(',').any(|r| r.trim() == rule))
+        })
+    };
+    marker_on(line) || prev.is_some_and(marker_on)
+}
+
+/// The old naive comment stripper: truncates at the first `//`, even
+/// when it sits inside a string literal.
+fn code_portion(line: &str) -> &str {
+    match line.find("//") {
+        Some(pos) => &line[..pos],
+        None => line,
+    }
+}
+
+/// Scans `src` with the old engine's exact logic (workspace-scope
+/// rules only) and returns its findings.
+pub fn legacy_scan(src: &str) -> Vec<LegacyFinding> {
+    let lines: Vec<&str> = src.lines().collect();
+    let mut out = Vec::new();
+
+    // The old `#[cfg(test)]` tracker: brace depth counted on raw
+    // characters, so braces inside string literals corrupt it.
+    let mut in_test = false;
+    let mut saw_open = false;
+    let mut depth: i64 = 0;
+
+    for (idx, raw) in lines.iter().enumerate() {
+        if !in_test && raw.trim_start().starts_with("#[cfg(test)]") {
+            in_test = true;
+            saw_open = false;
+            depth = 0;
+        }
+        if in_test {
+            for c in raw.chars() {
+                match c {
+                    '{' => {
+                        saw_open = true;
+                        depth += 1;
+                    }
+                    '}' => depth -= 1,
+                    _ => {}
+                }
+            }
+            if saw_open && depth <= 0 {
+                in_test = false;
+            }
+            continue;
+        }
+
+        let code = code_portion(raw);
+        if code.trim().is_empty() {
+            continue;
+        }
+        let prev = idx.checked_sub(1).map(|i| lines[i]);
+        for rule in RULES {
+            let hit = rule.patterns.iter().any(|p| code.contains(p));
+            if hit && !allowed(rule.name, raw, prev) {
+                out.push(LegacyFinding {
+                    rule: rule.name,
+                    line: idx + 1,
+                });
+            }
+        }
+    }
+    out
+}

@@ -1,0 +1,460 @@
+//! A hand-rolled Rust lexer: tokens with line spans, fully aware of
+//! string literals (including raw/byte/C strings), character literals
+//! vs lifetimes, line comments, and *nested* block comments.
+//!
+//! The lexer is deliberately lossy in ways a compiler's cannot be — it
+//! keeps only what the rule engine needs (token kind, text, line) — but
+//! it is exact about the one thing the old substring engine got wrong:
+//! *classification*. A `.unwrap()` inside a string literal is a `Str`
+//! token; a `}` inside a string never closes a module; a rule pattern
+//! split across physical lines is still one token sequence.
+
+/// What kind of lexeme a [`Tok`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`foo`, `fn`, `r#type`).
+    Ident,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Numeric literal (`42`, `1.0e-5`, `0xff_u32`).
+    Num,
+    /// String literal of any flavor (`"…"`, `r#"…"#`, `b"…"`, `c"…"`).
+    Str,
+    /// Character or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// Punctuation / operator, longest-match (`::`, `..=`, `+`).
+    Punct,
+}
+
+/// One token: its kind, exact text, and the 1-based line it starts on.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Lexeme class.
+    pub kind: TokKind,
+    /// The exact source text of the token.
+    pub text: String,
+    /// 1-based line number of the token's first character.
+    pub line: u32,
+}
+
+impl Tok {
+    /// Whether this token is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == name
+    }
+
+    /// Whether this token is the punctuation `p`.
+    pub fn is_punct(&self, p: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == p
+    }
+}
+
+/// One physical comment line (block comments are split per line so
+/// marker lookup is uniform).
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line this comment text sits on.
+    pub line: u32,
+    /// The comment text of that line (delimiters included on the first
+    /// line of a block comment).
+    pub text: String,
+}
+
+/// The result of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens, in source order.
+    pub toks: Vec<Tok>,
+    /// Comment lines, in source order (doc comments included).
+    pub comments: Vec<Comment>,
+}
+
+/// Three-character operators, longest-match first.
+const PUNCT3: &[&str] = &["..=", "<<=", ">>=", "..."];
+/// Two-character operators.
+const PUNCT2: &[&str] = &[
+    "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "+=", "-=", "*=", "/=", "%=", "^=", "&=",
+    "|=", "<<", ">>", "..",
+];
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `src` into tokens and comment lines. Never fails: unterminated
+/// literals are closed at end of file (a linter must degrade, not die).
+pub fn lex(src: &str) -> Lexed {
+    let b: Vec<char> = src.chars().collect();
+    let n = b.len();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    // Consumes chars of a quoted run (after the opening quote),
+    // honoring backslash escapes; returns the index just past the
+    // closing quote and the number of newlines crossed.
+    fn quoted_end(b: &[char], mut i: usize, quote: char) -> (usize, u32) {
+        let mut nl = 0;
+        while i < b.len() {
+            match b[i] {
+                '\\' => i = (i + 2).min(b.len()),
+                '\n' => {
+                    nl += 1;
+                    i += 1;
+                }
+                c if c == quote => return (i + 1, nl),
+                _ => i += 1,
+            }
+        }
+        (i, nl)
+    }
+
+    while i < n {
+        let c = b[i];
+        // Whitespace.
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < n && b[i + 1] == '/' {
+            let start = i;
+            while i < n && b[i] != '\n' {
+                i += 1;
+            }
+            out.comments.push(Comment {
+                line,
+                text: b[start..i].iter().collect(),
+            });
+            continue;
+        }
+        if c == '/' && i + 1 < n && b[i + 1] == '*' {
+            // Nested block comment; emit one Comment record per
+            // physical line so marker lookup works anywhere inside.
+            let mut depth = 1;
+            let mut seg_start = i;
+            i += 2;
+            while i < n && depth > 0 {
+                if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                    depth -= 1;
+                    i += 2;
+                } else if b[i] == '\n' {
+                    out.comments.push(Comment {
+                        line,
+                        text: b[seg_start..i].iter().collect(),
+                    });
+                    line += 1;
+                    i += 1;
+                    seg_start = i;
+                } else {
+                    i += 1;
+                }
+            }
+            out.comments.push(Comment {
+                line,
+                text: b[seg_start..i].iter().collect(),
+            });
+            continue;
+        }
+        // String-ish literals, including raw/byte/C prefixes. A raw
+        // string r"…" / r#"…"# never processes escapes and may nest
+        // quotes up to its # fence.
+        if is_ident_start(c) {
+            // Check for a literal prefix: r, b, c, br, cr followed by
+            // `"` or (for raw forms) `#…"`.
+            let mut j = i;
+            while j < n && is_ident_continue(b[j]) {
+                j += 1;
+            }
+            let word: String = b[i..j].iter().collect();
+            let raw_prefix = matches!(word.as_str(), "r" | "br" | "cr");
+            let plain_prefix = matches!(word.as_str(), "b" | "c");
+            if raw_prefix && j < n && (b[j] == '"' || b[j] == '#') {
+                // Raw string: count the fence.
+                let start = i;
+                let start_line = line;
+                let mut k = j;
+                let mut fence = 0usize;
+                while k < n && b[k] == '#' {
+                    fence += 1;
+                    k += 1;
+                }
+                if k < n && b[k] == '"' {
+                    k += 1;
+                    // Scan for `"` followed by `fence` hashes.
+                    loop {
+                        if k >= n {
+                            break;
+                        }
+                        if b[k] == '\n' {
+                            line += 1;
+                            k += 1;
+                            continue;
+                        }
+                        if b[k] == '"' {
+                            let mut h = 0usize;
+                            while k + 1 + h < n && h < fence && b[k + 1 + h] == '#' {
+                                h += 1;
+                            }
+                            if h == fence {
+                                k += 1 + fence;
+                                break;
+                            }
+                        }
+                        k += 1;
+                    }
+                    out.toks.push(Tok {
+                        kind: TokKind::Str,
+                        text: b[start..k.min(n)].iter().collect(),
+                        line: start_line,
+                    });
+                    i = k;
+                    continue;
+                }
+                // `r#ident` raw identifier falls through below.
+            }
+            if plain_prefix && j < n && b[j] == '"' {
+                let start = i;
+                let start_line = line;
+                let (end, nl) = quoted_end(&b, j + 1, '"');
+                out.toks.push(Tok {
+                    kind: TokKind::Str,
+                    text: b[start..end].iter().collect(),
+                    line: start_line,
+                });
+                line += nl;
+                i = end;
+                continue;
+            }
+            if word == "b" && j < n && b[j] == '\'' {
+                let start = i;
+                let (end, nl) = quoted_end(&b, j + 1, '\'');
+                out.toks.push(Tok {
+                    kind: TokKind::Char,
+                    text: b[start..end].iter().collect(),
+                    line,
+                });
+                line += nl;
+                i = end;
+                continue;
+            }
+            // `r#ident` raw identifier: strip the sigil, keep the name.
+            if word == "r" && j + 1 < n && b[j] == '#' && is_ident_start(b[j + 1]) {
+                let mut k = j + 1;
+                while k < n && is_ident_continue(b[k]) {
+                    k += 1;
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text: b[j + 1..k].iter().collect(),
+                    line,
+                });
+                i = k;
+                continue;
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Ident,
+                text: word,
+                line,
+            });
+            i = j;
+            continue;
+        }
+        if c == '"' {
+            let start = i;
+            let start_line = line;
+            let (end, nl) = quoted_end(&b, i + 1, '"');
+            out.toks.push(Tok {
+                kind: TokKind::Str,
+                text: b[start..end].iter().collect(),
+                line: start_line,
+            });
+            line += nl;
+            i = end;
+            continue;
+        }
+        // `'` begins either a char literal or a lifetime.
+        if c == '\'' {
+            let next = b.get(i + 1).copied();
+            let is_char = match next {
+                Some('\\') => true,
+                Some(x) if is_ident_continue(x) => {
+                    // 'a' is a char, 'a is a lifetime: look past the
+                    // ident run for a closing quote.
+                    let mut k = i + 1;
+                    while k < n && is_ident_continue(b[k]) {
+                        k += 1;
+                    }
+                    k < n && b[k] == '\''
+                }
+                Some(_) => true, // '(' etc — a one-char literal
+                None => false,
+            };
+            if is_char {
+                let (end, nl) = quoted_end(&b, i + 1, '\'');
+                out.toks.push(Tok {
+                    kind: TokKind::Char,
+                    text: b[i..end].iter().collect(),
+                    line,
+                });
+                line += nl;
+                i = end;
+            } else {
+                let mut k = i + 1;
+                while k < n && is_ident_continue(b[k]) {
+                    k += 1;
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Lifetime,
+                    text: b[i..k].iter().collect(),
+                    line,
+                });
+                i = k;
+            }
+            continue;
+        }
+        // Numbers: digits, then suffix/hex alnum run, then an optional
+        // fractional part (only when the dot is followed by a digit, so
+        // ranges like `0..10` stay two tokens) and exponent.
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < n && (is_ident_continue(b[i])) {
+                i += 1;
+            }
+            if i < n && b[i] == '.' && i + 1 < n && b[i + 1].is_ascii_digit() {
+                i += 1;
+                while i < n && is_ident_continue(b[i]) {
+                    i += 1;
+                }
+                if i < n && (b[i - 1] == 'e' || b[i - 1] == 'E') && (b[i] == '+' || b[i] == '-') {
+                    i += 1;
+                    while i < n && b[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+            } else if i < n && (b[i] == '+' || b[i] == '-') && (b[i - 1] == 'e' || b[i - 1] == 'E')
+            {
+                i += 1;
+                while i < n && b[i].is_ascii_digit() {
+                    i += 1;
+                }
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Num,
+                text: b[start..i].iter().collect(),
+                line,
+            });
+            continue;
+        }
+        // Punctuation, longest match first.
+        let rest: String = b[i..(i + 3).min(n)].iter().collect();
+        let hit3 = PUNCT3.iter().find(|p| rest.starts_with(**p));
+        if let Some(p) = hit3 {
+            out.toks.push(Tok {
+                kind: TokKind::Punct,
+                text: (*p).to_string(),
+                line,
+            });
+            i += p.len();
+            continue;
+        }
+        let hit2 = PUNCT2.iter().find(|p| rest.starts_with(**p));
+        if let Some(p) = hit2 {
+            out.toks.push(Tok {
+                kind: TokKind::Punct,
+                text: (*p).to_string(),
+                line,
+            });
+            i += p.len();
+            continue;
+        }
+        out.toks.push(Tok {
+            kind: TokKind::Punct,
+            text: c.to_string(),
+            line,
+        });
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .toks
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn strings_are_single_tokens() {
+        let t = kinds(r#"let x = "a.unwrap() } {";"#);
+        assert!(t
+            .iter()
+            .any(|(k, s)| *k == TokKind::Str && s.contains("unwrap")));
+        // None of the braces inside the string became punctuation.
+        assert!(!t.iter().any(|(k, s)| *k == TokKind::Punct && s == "}"));
+    }
+
+    #[test]
+    fn raw_strings_and_fences() {
+        let t = kinds("let x = r#\"quote \" inside\"#; y");
+        assert_eq!(t.iter().filter(|(k, _)| *k == TokKind::Str).count(), 1);
+        assert!(t.iter().any(|(k, s)| *k == TokKind::Ident && s == "y"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("a /* outer /* inner */ still comment */ b");
+        let idents: Vec<_> = l.toks.iter().filter(|t| t.kind == TokKind::Ident).collect();
+        assert_eq!(idents.len(), 2);
+        assert_eq!(idents[0].text, "a");
+        assert_eq!(idents[1].text, "b");
+    }
+
+    #[test]
+    fn lifetime_vs_char() {
+        let t = kinds("&'a str; let c = 'x'; let q = '\\n';");
+        assert!(t.iter().any(|(k, s)| *k == TokKind::Lifetime && s == "'a"));
+        assert_eq!(t.iter().filter(|(k, _)| *k == TokKind::Char).count(), 2);
+    }
+
+    #[test]
+    fn multiline_statement_tokens_carry_lines() {
+        let l = lex("foo\n    .bar()\n    .baz();");
+        let bar = l.toks.iter().find(|t| t.is_ident("bar")).unwrap();
+        let baz = l.toks.iter().find(|t| t.is_ident("baz")).unwrap();
+        assert_eq!(bar.line, 2);
+        assert_eq!(baz.line, 3);
+    }
+
+    #[test]
+    fn ranges_do_not_eat_floats() {
+        let t = kinds("0..10; 1.5e-3; x.0");
+        assert!(t.iter().any(|(k, s)| *k == TokKind::Num && s == "1.5e-3"));
+        assert!(t.iter().any(|(k, s)| *k == TokKind::Punct && s == ".."));
+    }
+
+    #[test]
+    fn comments_split_per_line() {
+        let l = lex("/* a\nb\nc */ x // tail");
+        assert_eq!(l.comments.len(), 4);
+        assert_eq!(l.comments[1].line, 2);
+    }
+}

@@ -1,0 +1,93 @@
+//! Data-driven fixture corpus: every rule has at least one `fires/`
+//! snippet (the rule must report) and one `clean/` snippet (it must
+//! not), plus regression fixtures for the whole-statement `lint:allow`
+//! scope and the token-based `#[cfg(test)]` region tracker.
+//!
+//! Each fixture's first line is a directive naming the virtual
+//! workspace path (which drives scope gating) and the rule under test:
+//!
+//! ```text
+//! //! lint-fixture: path=crates/sim/src/fx.rs rule=unwrap
+//! ```
+
+use dagsfc_lint::{analyze_one, RULES};
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+fn directive(fixture: &Path, text: &str) -> (String, String) {
+    let first = text.lines().next().unwrap_or("");
+    let rest = first
+        .strip_prefix("//! lint-fixture:")
+        .unwrap_or_else(|| panic!("{} lacks a lint-fixture directive", fixture.display()));
+    let mut path = None;
+    let mut rule = None;
+    for field in rest.split_whitespace() {
+        if let Some(v) = field.strip_prefix("path=") {
+            path = Some(v.to_string());
+        } else if let Some(v) = field.strip_prefix("rule=") {
+            rule = Some(v.to_string());
+        }
+    }
+    match (path, rule) {
+        (Some(p), Some(r)) => (p, r),
+        _ => panic!("{}: directive needs path= and rule=", fixture.display()),
+    }
+}
+
+fn fixture_files(dir: &Path) -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", dir.display()))
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.extension().and_then(|e| e.to_str()) == Some("rs"))
+        .collect();
+    files.sort();
+    files
+}
+
+#[test]
+fn fixture_corpus() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let known: BTreeSet<&str> = RULES.iter().map(|(name, _)| *name).collect();
+    let mut fired_rules = BTreeSet::new();
+    let mut clean_rules = BTreeSet::new();
+
+    for (dir, should_fire) in [("fires", true), ("clean", false)] {
+        for fixture in fixture_files(&root.join(dir)) {
+            let text = std::fs::read_to_string(&fixture).unwrap();
+            let (vpath, rule) = directive(&fixture, &text);
+            assert!(
+                known.contains(rule.as_str()),
+                "{}: unknown rule '{rule}'",
+                fixture.display()
+            );
+            let hits = analyze_one(&vpath, &text);
+            let fired = hits.iter().any(|v| v.rule == rule);
+            assert_eq!(
+                fired,
+                should_fire,
+                "{}: expected rule '{rule}' to {} at path {vpath}; engine reported {:#?}",
+                fixture.display(),
+                if should_fire { "fire" } else { "stay silent" },
+                hits
+            );
+            if should_fire {
+                fired_rules.insert(rule);
+            } else {
+                clean_rules.insert(rule);
+            }
+        }
+    }
+
+    // Every rule in the catalog must be exercised from both sides.
+    for (name, _) in RULES {
+        assert!(
+            fired_rules.contains(*name),
+            "no fires/ fixture for '{name}'"
+        );
+        assert!(
+            clean_rules.contains(*name),
+            "no clean/ fixture for '{name}'"
+        );
+    }
+}

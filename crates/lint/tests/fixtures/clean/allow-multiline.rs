@@ -1,0 +1,7 @@
+//! lint-fixture: path=crates/sim/src/fx.rs rule=expect
+fn f(b: Builder) -> Plan {
+    let plan = b // lint:allow(expect) — validated by the caller
+        .with_defaults()
+        .expect("validated");
+    plan
+}

@@ -1,0 +1,6 @@
+//! lint-fixture: path=crates/serve/src/pool.rs rule=audit-gate
+fn serve_checked(ledger: &mut CommitLedger, auditor: &Auditor, req: &Request) -> Outcome {
+    let out = embed_and_commit(ledger, req);
+    auditor.audit_outcome(&out);
+    out
+}

@@ -1,0 +1,9 @@
+//! lint-fixture: path=crates/sim/src/fx.rs rule=expect
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        let v = probe().expect("test-only panics are fine");
+        assert!(v > 0);
+    }
+}

@@ -1,0 +1,4 @@
+//! lint-fixture: path=crates/sim/src/fx.rs rule=float-accum
+fn total_weight(weights: &BTreeMap<u32, f64>) -> f64 {
+    weights.values().sum::<f64>()
+}

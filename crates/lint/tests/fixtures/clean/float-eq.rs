@@ -1,0 +1,4 @@
+//! lint-fixture: path=crates/sim/src/fx.rs rule=float-eq
+fn f(total_cost: f64, best_cost: f64) -> bool {
+    (total_cost - best_cost).abs() < 1e-9
+}

@@ -1,0 +1,7 @@
+//! lint-fixture: path=crates/shard/src/engine.rs rule=lock-order
+// lint:ascending(parts)
+fn rollback(ledgers: &mut [CommitLedger], parts: &[(usize, LeaseId)]) {
+    for &(shard, sub) in parts.iter().rev() {
+        ledgers[shard].release(sub).ok();
+    }
+}

@@ -1,0 +1,4 @@
+//! lint-fixture: path=crates/sim/src/fx.rs rule=raw-routing
+fn f(oracle: &PathOracle, a: NodeId, b: NodeId, rate: f64) -> Option<Path> {
+    oracle.min_cost_path(a, b, rate)
+}

@@ -1,0 +1,4 @@
+//! lint-fixture: path=crates/sim/src/fx.rs rule=retired-accounting
+fn f(ledger: &Ledger, loads: &Loads) -> Result<f64, E> {
+    ledger.try_account(loads)
+}

@@ -1,0 +1,4 @@
+//! lint-fixture: path=crates/net/src/routing/dij.rs rule=std-hashmap
+fn f() -> FxHashMap<u32, u32> {
+    FxHashMap::default()
+}

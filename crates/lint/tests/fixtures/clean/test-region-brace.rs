@@ -1,0 +1,9 @@
+//! lint-fixture: path=crates/sim/src/fx.rs rule=unwrap
+#[cfg(test)]
+mod tests {
+    const BRACE: &str = "}";
+    #[test]
+    fn t() {
+        probe(BRACE).unwrap();
+    }
+}

@@ -1,0 +1,6 @@
+//! lint-fixture: path=crates/sim/src/fx.rs rule=unseeded-rng
+fn f(seed: u64) -> u64 {
+    // thread_rng() in a comment is not a call
+    let mut rng = StdRng::seed_from_u64(seed);
+    rng.gen()
+}

@@ -1,0 +1,6 @@
+//! lint-fixture: path=crates/sim/src/fx.rs rule=unwrap
+fn f() {
+    let msg = "never call .unwrap() in prod";
+    /* .unwrap() discussed in a block comment */
+    log(msg);
+}

@@ -1,0 +1,5 @@
+//! lint-fixture: path=crates/sim/src/fx.rs rule=wallclock
+fn f() -> &'static str {
+    // SystemTime::now is banned outside the harness
+    "SystemTime::now is banned"
+}

@@ -1,0 +1,4 @@
+//! lint-fixture: path=crates/serve/src/pool.rs rule=audit-gate
+fn serve_unchecked(ledger: &mut CommitLedger, req: &Request) -> Outcome {
+    embed_and_commit(ledger, req)
+}

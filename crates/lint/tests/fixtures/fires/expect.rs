@@ -1,0 +1,4 @@
+//! lint-fixture: path=crates/sim/src/fx.rs rule=expect
+fn f(cfg: &Config) -> u32 {
+    cfg.get("k").expect("missing key")
+}

@@ -1,0 +1,4 @@
+//! lint-fixture: path=crates/sim/src/fx.rs rule=raw-commit
+fn f(session: &mut Session, plan: Plan) {
+    session.commit(plan).ok();
+}

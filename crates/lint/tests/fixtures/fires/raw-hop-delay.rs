@@ -1,0 +1,4 @@
+//! lint-fixture: path=crates/sim/src/fx.rs rule=raw-hop-delay
+fn f(hop_count: u32, per_hop_us: f64) -> f64 {
+    hop_count as f64 * per_hop_us
+}

@@ -1,0 +1,4 @@
+//! lint-fixture: path=crates/sim/src/fx.rs rule=raw-routing
+fn f(net: &Network, s: NodeId) -> Tree {
+    ShortestPathTree::build(net, s)
+}

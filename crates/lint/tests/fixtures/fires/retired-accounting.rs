@@ -1,0 +1,4 @@
+//! lint-fixture: path=crates/sim/src/fx.rs rule=retired-accounting
+fn f(ledger: &Ledger, loads: &Loads) -> f64 {
+    ledger.account(loads)
+}

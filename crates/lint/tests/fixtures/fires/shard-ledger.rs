@@ -1,0 +1,4 @@
+//! lint-fixture: path=crates/serve/src/fx.rs rule=shard-ledger
+fn f(gw: &Gateway, shard: usize) -> f64 {
+    gw.ledgers[shard].utilization()
+}

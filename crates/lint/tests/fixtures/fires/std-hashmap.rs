@@ -1,0 +1,5 @@
+//! lint-fixture: path=crates/net/src/routing/dij.rs rule=std-hashmap
+use std::collections::HashMap;
+fn f() -> HashMap<u32, u32> {
+    HashMap::new()
+}

@@ -1,0 +1,4 @@
+//! lint-fixture: path=crates/sim/src/fx.rs rule=unordered-iter
+fn dump(m: &FxHashMap<u32, u32>) -> Vec<(u32, u32)> {
+    m.iter().map(|(k, v)| (*k, *v)).collect()
+}

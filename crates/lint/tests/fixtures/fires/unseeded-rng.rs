@@ -1,0 +1,5 @@
+//! lint-fixture: path=crates/sim/src/fx.rs rule=unseeded-rng
+fn f() -> u64 {
+    let mut rng = thread_rng();
+    rng.gen()
+}

@@ -1,0 +1,6 @@
+//! lint-fixture: path=crates/sim/src/fx.rs rule=unwrap
+fn f(x: Option<u32>) -> u32 {
+    let v = x
+        .unwrap();
+    v
+}

@@ -1,0 +1,4 @@
+//! lint-fixture: path=crates/sim/src/fx.rs rule=wallclock
+fn f() -> SystemTime {
+    SystemTime::now()
+}

@@ -1,0 +1,92 @@
+//! Differential proof that the token engine fixes the substring
+//! engine's misclassifications: each case runs the preserved legacy
+//! scanner (`dagsfc_lint::legacy`) and the new engine over the same
+//! source and asserts the legacy verdict is wrong while the new one is
+//! right. These are the concrete shapes that motivated the rewrite.
+
+use dagsfc_lint::analyze_one;
+use dagsfc_lint::legacy::legacy_scan;
+
+fn legacy_fires(src: &str, rule: &str) -> bool {
+    legacy_scan(src).iter().any(|f| f.rule == rule)
+}
+
+fn new_fires(src: &str, rule: &str) -> bool {
+    analyze_one("crates/sim/src/fx.rs", src)
+        .iter()
+        .any(|v| v.rule == rule)
+}
+
+/// Old FALSE POSITIVE: a rule pattern inside a string literal.
+#[test]
+fn pattern_in_string_literal() {
+    let src = "fn f() {\n    let msg = \"never call .unwrap() in prod\";\n    log(msg);\n}\n";
+    assert!(
+        legacy_fires(src, "unwrap"),
+        "legacy should misfire on the string"
+    );
+    assert!(
+        !new_fires(src, "unwrap"),
+        "token engine must see a Str token"
+    );
+}
+
+/// Old FALSE NEGATIVE: `//` inside a string truncated the line, hiding
+/// a real violation after it.
+#[test]
+fn slashes_inside_string_hide_real_violation() {
+    let src =
+        "fn f(o: Option<u32>) -> u32 {\n    let url = \"http://example.org\"; o.unwrap()\n}\n";
+    assert!(
+        !legacy_fires(src, "unwrap"),
+        "legacy truncates at the // inside the string and goes blind"
+    );
+    assert!(
+        new_fires(src, "unwrap"),
+        "token engine must still see the call"
+    );
+}
+
+/// Old FALSE POSITIVE: a `}` inside a string literal ended the
+/// `#[cfg(test)]` region early, so later test-only code got flagged.
+#[test]
+fn brace_in_string_ends_test_region_early() {
+    let src = "#[cfg(test)]\nmod tests {\n    const BRACE: &str = \"}\";\n    #[test]\n    fn t() {\n        probe(BRACE).unwrap();\n    }\n}\n";
+    assert!(
+        legacy_fires(src, "unwrap"),
+        "legacy's char-counted depth should leak out of the test region"
+    );
+    assert!(
+        !new_fires(src, "unwrap"),
+        "token tracker must keep the whole mod inside the region"
+    );
+}
+
+/// Old FALSE POSITIVE: a `lint:allow` on the first line of a multi-line
+/// statement did not cover the later lines of the same statement.
+#[test]
+fn allow_on_first_line_covers_whole_statement() {
+    let src = "fn f(b: B) -> P {\n    let p = b // lint:allow(expect)\n        .with_defaults()\n        .expect(\"validated\");\n    p\n}\n";
+    assert!(
+        legacy_fires(src, "expect"),
+        "legacy only honors same-line/previous-line markers"
+    );
+    assert!(
+        !new_fires(src, "expect"),
+        "the marker scopes to the whole statement in the token engine"
+    );
+}
+
+/// Old FALSE POSITIVE: a rule pattern inside a block comment.
+#[test]
+fn pattern_in_block_comment() {
+    let src = "fn f() {\n    /* migration note: drop the .expect( call */\n    step();\n}\n";
+    assert!(
+        legacy_fires(src, "expect"),
+        "legacy only strips // comments, not block comments"
+    );
+    assert!(
+        !new_fires(src, "expect"),
+        "comments never reach the token stream"
+    );
+}

@@ -192,6 +192,10 @@ impl<'n> PathOracle<'n> {
             net, source, &filter, None, scratch,
         ));
         if map.len() >= self.capacity {
+            // `used` ticks are unique (the counter bumps on every cache
+            // access), so the min is unique and map iteration order
+            // cannot change the evicted victim.
+            // lint:allow(unordered-iter)
             if let Some(&victim) = map
                 .iter()
                 .min_by_key(|(_, (_, used))| *used)
@@ -268,6 +272,10 @@ impl<'n> PathOracle<'n> {
             net, source, &filter, None, scratch, weight,
         ));
         if wmap.len() >= self.capacity {
+            // `used` ticks are unique (the counter bumps on every cache
+            // access), so the min is unique and map iteration order
+            // cannot change the evicted victim.
+            // lint:allow(unordered-iter)
             if let Some(&victim) = wmap
                 .iter()
                 .min_by_key(|(_, (_, used))| *used)

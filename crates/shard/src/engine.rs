@@ -453,14 +453,19 @@ impl<'n> ShardedEngine<'n> {
         }
     }
 
-    /// Releases a stitched lease: every per-shard sub-lease, ascending
-    /// shard order.
+    /// Releases a stitched lease: every per-shard sub-lease, in
+    /// **descending** shard order — the reverse of phase-1 acquisition,
+    /// the classic 2PC release discipline (per-ledger releases are
+    /// independent, so the outcome is bit-identical either way; the
+    /// `lock-order` lint pass pins the discipline for future paths).
     pub fn release(&mut self, lease: StitchId) -> NetResult<()> {
+        // lint:ascending(parts) — stitched leases store phase-1 parts
+        // in ascending shard order (built under the by_shard BTreeMap).
         let parts = self
             .leases
             .remove(&lease.0)
             .ok_or(NetError::UnknownLease(lease.0))?;
-        for (shard, sub) in parts {
+        for (shard, sub) in parts.into_iter().rev() {
             self.ledgers[shard].release(sub)?;
         }
         Ok(())
@@ -630,6 +635,8 @@ fn two_phase_reserve(
         }
     }
 
+    // lint:ascending(parts) — filled strictly in BTreeMap (ascending
+    // shard) order below; the lock-order pass checks every push.
     let mut parts: Vec<(usize, LeaseId)> = Vec::with_capacity(by_shard.len());
     for (shard, (vnf_loads, link_loads)) in by_shard {
         // Phase 1 of the shard gateway's 2PC: this module is the
@@ -651,9 +658,13 @@ fn two_phase_reserve(
     })
 }
 
-/// Releases every phase-1 reservation of a failed two-phase commit.
+/// Releases every phase-1 reservation of a failed two-phase commit, in
+/// reverse acquisition order (descending shard), mirroring
+/// [`ShardedEngine::release`].
 fn rollback(ledgers: &mut [CommitLedger<'_>], parts: &[(usize, LeaseId)]) {
-    for &(shard, sub) in parts {
+    // lint:ascending(parts) — phase 1 reserves under the by_shard
+    // BTreeMap, so `parts` is ascending by construction.
+    for &(shard, sub) in parts.iter().rev() {
         // lint:allow(expect) — invariant: a fresh phase-1 sub-lease is active
         ledgers[shard].release(sub).expect("sub-lease is active");
     }

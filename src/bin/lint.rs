@@ -1,444 +1,23 @@
-//! `dagsfc-lint` — lightweight source-level static analysis for the
-//! workspace.
+//! `dagsfc-lint` — thin shim over the `dagsfc-lint` crate
+//! (`crates/lint`), which hosts the actual engine: a hand-rolled
+//! lexer, the token-based rule catalog, and the determinism /
+//! lock-ordering / audit-coverage semantic passes.
 //!
-//! Enforces the invariants the codebase otherwise keeps only by
-//! convention (see `docs/VERIFICATION.md` for the full catalog):
+//! Usage (unchanged from the old substring engine, plus baselines and
+//! SARIF):
 //!
-//! * `unwrap` / `expect` — production code must not panic on `Option`/
-//!   `Result`; convert to `Err` paths or justify with an allow.
-//! * `retired-accounting` — the panicking accounting entry points were
-//!   replaced by `try_account`/`try_cost`; the old names must not come
-//!   back.
-//! * `wallclock` — solver and simulation decisions must be functions of
-//!   the seed, never of the wall clock (`Instant` for *measuring* is
-//!   fine; `SystemTime` is not).
-//! * `unseeded-rng` — all randomness flows from an explicit seed.
-//! * `raw-routing` — single-path routing goes through the shared
-//!   `PathOracle`; direct Dijkstra calls bypass its cache and its
-//!   invalidation discipline.
-//! * `raw-commit` — embeddings reach the `CommitLedger` only through
-//!   the auditing `embed_and_commit` wrapper, never by calling the
-//!   ledger directly.
-//! * `float-eq` — objective costs are `f64`; compare with a tolerance,
-//!   not `==`.
-//! * `raw-hop-delay` — turning hop counts into delays is the delay
-//!   model's job (`crates/core/src/delay.rs`); everywhere else consumes
-//!   per-link delays through `DelayModel::path_us`, so an ad-hoc
-//!   `hops × per-hop` product silently disagrees with the substrate's
-//!   real delay table.
-//! * `shard-ledger` — a region shard's `CommitLedger` is reached only
-//!   through the shard gateway API (`ShardedEngine`'s two-phase
-//!   commit/release/reclaim); touching a shard's ledger directly from
-//!   outside `crates/shard` bypasses the 2PC rollback discipline and
-//!   the unpartitioned constraint audit.
+//! ```text
+//! cargo run --bin dagsfc-lint [-- --root DIR]
+//!                             [--format text|json|sarif]
+//!                             [--baseline FILE | --no-baseline]
+//!                             [--update-baseline]
+//! ```
 //!
-//! Escape hatch: a `lint:allow(rule)` marker in a comment on the same
-//! line or the line immediately above suppresses the finding. Test
-//! modules (`#[cfg(test)]`), `tests/`, `benches/`, `examples/`, and the
-//! vendored `shims/` are exempt.
-//!
-//! Usage: `cargo run --bin dagsfc-lint [-- --format json] [--root DIR]`
-//! Exits 1 when any unallowed violation is found.
+//! See `docs/VERIFICATION.md` for the rule catalog and the baseline
+//! workflow. Exits 1 when any unbaselined violation is found.
 
-use std::fmt::Write as _;
-use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-/// One lint rule: a name, the patterns that trigger it, and a scope.
-struct Rule {
-    name: &'static str,
-    rationale: &'static str,
-    /// Substrings that fire the rule (built at runtime so this file
-    /// does not match its own definitions).
-    patterns: Vec<String>,
-    scope: Scope,
-}
-
-/// Where a rule applies.
-#[derive(PartialEq)]
-enum Scope {
-    /// Every non-test source file.
-    Workspace,
-    /// Every non-test source file outside `crates/net/src/`.
-    OutsideNet,
-    /// Only the routing/solver hot paths (`crates/net/src/routing/`,
-    /// `solvers/bbe/`).
-    HotPaths,
-    /// Every non-test source file except the canonical delay model
-    /// (`crates/core/src/delay.rs`).
-    OutsideDelayModel,
-    /// Every non-test source file outside `crates/shard/src/`.
-    OutsideShard,
-}
-
-/// Pattern fragments are concatenated at runtime; a literal pattern in
-/// this source would flag the linter itself.
-fn glue(parts: &[&str]) -> String {
-    parts.concat()
-}
-
-fn rules() -> Vec<Rule> {
-    vec![
-        Rule {
-            name: "unwrap",
-            rationale: "production code must not panic; return Err or justify with an allow",
-            patterns: vec![glue(&[".unw", "rap()"])],
-            scope: Scope::Workspace,
-        },
-        Rule {
-            name: "expect",
-            rationale: "production code must not panic; return Err or justify with an allow",
-            patterns: vec![glue(&[".exp", "ect("])],
-            scope: Scope::Workspace,
-        },
-        Rule {
-            name: "retired-accounting",
-            rationale: "the panicking accounting API was retired; use try_account/try_cost",
-            patterns: vec![glue(&[".acc", "ount("]), glue(&[".co", "st("])],
-            scope: Scope::Workspace,
-        },
-        Rule {
-            name: "wallclock",
-            rationale: "solver/sim behavior must be a function of the seed, not the wall clock",
-            patterns: vec![glue(&["SystemTime", "::now"])],
-            scope: Scope::Workspace,
-        },
-        Rule {
-            name: "unseeded-rng",
-            rationale: "all randomness must flow from an explicit seed for reproducibility",
-            patterns: vec![
-                glue(&["thread_", "rng("]),
-                glue(&["from_", "entropy("]),
-                glue(&["rand::", "random"]),
-            ],
-            scope: Scope::Workspace,
-        },
-        Rule {
-            name: "raw-routing",
-            rationale: "single-path routing must go through the shared PathOracle cache",
-            patterns: vec![
-                glue(&["routing::", "min_cost_path"]),
-                glue(&["routing::", "dijkstra"]),
-                glue(&["ShortestPathTree", "::build"]),
-            ],
-            scope: Scope::OutsideNet,
-        },
-        Rule {
-            name: "std-hashmap",
-            rationale: "hot paths must use the seeded FxHashMap/FxHashSet or index vectors; \
-                        std's SipHash tables dominate probe-heavy inner loops",
-            // Matched structurally (bare identifier) so `FxHashMap`
-            // does not fire; see scan_file.
-            patterns: vec![],
-            scope: Scope::HotPaths,
-        },
-        Rule {
-            name: "raw-commit",
-            rationale: "embeddings are committed through the auditing embed_and_commit \
-                        wrapper, never by calling the ledger directly",
-            patterns: vec![glue(&[".com", "mit("])],
-            scope: Scope::OutsideNet,
-        },
-        Rule {
-            name: "raw-hop-delay",
-            rationale: "hop-count → delay conversion lives only in the delay model \
-                        (crates/core/src/delay.rs); use DelayModel::path_us",
-            patterns: vec![
-                glue(&["per_hop", "_us *"]),
-                glue(&["* per_", "hop_us"]),
-                glue(&["hops() ", "as f64"]),
-                glue(&["len() as f64 ", "* per_hop"]),
-            ],
-            scope: Scope::OutsideDelayModel,
-        },
-        Rule {
-            name: "shard-ledger",
-            rationale: "a shard's CommitLedger is private to the shard gateway API; go \
-                        through ShardedEngine's two-phase commit/release/reclaim",
-            patterns: vec![glue(&["raw_led", "ger("]), glue(&[".led", "gers["])],
-            scope: Scope::OutsideShard,
-        },
-        Rule {
-            name: "float-eq",
-            rationale: "objective costs are f64; compare with a tolerance, never == / !=",
-            patterns: vec![
-                glue(&["cost ", "== "]),
-                glue(&["cost ", "!= "]),
-                glue(&["total() ", "== "]),
-                glue(&["total() ", "!= "]),
-            ],
-            scope: Scope::Workspace,
-        },
-    ]
-}
-
-/// The bare-call form of the raw-routing rule needs lookbehind (it must
-/// not match `oracle_min_cost_path(` or `.min_cost_path(`), so it is
-/// matched structurally rather than by substring.
-fn bare_routing_call(line: &str, needle: &str) -> bool {
-    let mut start = 0;
-    while let Some(pos) = line[start..].find(needle) {
-        let abs = start + pos;
-        let before = line[..abs].chars().next_back();
-        let ok_before = !matches!(before, Some(c) if c == '.' || c == '_' || c.is_alphanumeric());
-        // A `fn min_cost_path(` *definition* is not a call (the oracle
-        // itself, and oracle-backed wrappers, define this name).
-        let is_definition = line[..abs].trim_end().ends_with("fn");
-        if ok_before && !is_definition {
-            return true;
-        }
-        start = abs + needle.len();
-    }
-    false
-}
-
-/// A single finding.
-struct Violation {
-    rule: &'static str,
-    file: PathBuf,
-    line: usize,
-    text: String,
-}
-
-/// Directories never scanned (vendored, generated, or exempt-by-class).
-const SKIP_DIRS: &[&str] = &[
-    "target", "shims", ".git", "tests", "benches", "examples", ".github",
-];
-
-fn collect_files(root: &Path, out: &mut Vec<PathBuf>) {
-    let Ok(entries) = std::fs::read_dir(root) else {
-        return;
-    };
-    let mut entries: Vec<_> = entries.flatten().map(|e| e.path()).collect();
-    entries.sort();
-    for path in entries {
-        if path.is_dir() {
-            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
-            if SKIP_DIRS.contains(&name) {
-                continue;
-            }
-            collect_files(&path, out);
-        } else if path.extension().and_then(|e| e.to_str()) == Some("rs") {
-            out.push(path);
-        }
-    }
-}
-
-/// Whether `line` (or `prev`) carries an allow marker for `rule`.
-fn allowed(rule: &str, line: &str, prev: Option<&str>) -> bool {
-    let marker_on = |s: &str| {
-        s.find("lint:allow(").is_some_and(|pos| {
-            let rest = &s[pos + "lint:allow(".len()..];
-            rest.split(')')
-                .next()
-                .is_some_and(|inner| inner.split(',').any(|r| r.trim() == rule))
-        })
-    };
-    marker_on(line) || prev.is_some_and(marker_on)
-}
-
-/// Strips a trailing line comment so rule patterns never fire on prose
-/// (the allow marker is read from the raw line before stripping).
-fn code_portion(line: &str) -> &str {
-    // Naive: the first `//` outside any obvious string context. A `//`
-    // inside a string literal is rare enough in this codebase that the
-    // allow marker covers it.
-    match line.find("//") {
-        Some(pos) => &line[..pos],
-        None => line,
-    }
-}
-
-fn scan_file(
-    path: &Path,
-    rules: &[Rule],
-    in_net: bool,
-    in_hot: bool,
-    in_delay_model: bool,
-    in_shard: bool,
-    out: &mut Vec<Violation>,
-) {
-    let Ok(src) = std::fs::read_to_string(path) else {
-        return;
-    };
-    let lines: Vec<&str> = src.lines().collect();
-
-    // Track `#[cfg(test)]` blocks by brace depth: everything inside a
-    // test module is exempt from every rule.
-    let mut in_test = false;
-    let mut saw_open = false;
-    let mut depth: i64 = 0;
-
-    let bare_min_cost = glue(&["min_cost_path", "("]);
-    let bare_hashmap = glue(&["Hash", "Map"]);
-    let bare_hashset = glue(&["Hash", "Set"]);
-
-    for (idx, raw) in lines.iter().enumerate() {
-        if !in_test && raw.trim_start().starts_with("#[cfg(test)]") {
-            in_test = true;
-            saw_open = false;
-            depth = 0;
-        }
-        if in_test {
-            for c in raw.chars() {
-                match c {
-                    '{' => {
-                        saw_open = true;
-                        depth += 1;
-                    }
-                    '}' => depth -= 1,
-                    _ => {}
-                }
-            }
-            if saw_open && depth <= 0 {
-                in_test = false;
-            }
-            continue;
-        }
-
-        let code = code_portion(raw);
-        if code.trim().is_empty() {
-            continue;
-        }
-        let prev = idx.checked_sub(1).map(|i| lines[i]);
-        for rule in rules {
-            let applies = match rule.scope {
-                Scope::Workspace => true,
-                Scope::OutsideNet => !in_net,
-                Scope::HotPaths => in_hot,
-                Scope::OutsideDelayModel => !in_delay_model,
-                Scope::OutsideShard => !in_shard,
-            };
-            if !applies {
-                continue;
-            }
-            let mut hit = rule.patterns.iter().any(|p| code.contains(p.as_str()));
-            if !hit && rule.name == "raw-routing" {
-                hit = bare_routing_call(code, &bare_min_cost);
-            }
-            if !hit && rule.name == "std-hashmap" {
-                // Bare `HashMap`/`HashSet` identifiers: `FxHashMap` (the
-                // sanctioned replacement) never fires because its `x`
-                // blocks the lookbehind.
-                hit = bare_routing_call(code, &bare_hashmap)
-                    || bare_routing_call(code, &bare_hashset);
-            }
-            if hit && !allowed(rule.name, raw, prev) {
-                out.push(Violation {
-                    rule: rule.name,
-                    file: path.to_path_buf(),
-                    line: idx + 1,
-                    text: raw.trim().to_string(),
-                });
-            }
-        }
-    }
-}
-
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out
-}
-
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut format_json = false;
-    let mut root = PathBuf::from(".");
-    let mut it = args.iter();
-    while let Some(a) = it.next() {
-        match a.as_str() {
-            "--format" => {
-                format_json = it.next().map(String::as_str) == Some("json");
-            }
-            "--root" => {
-                if let Some(dir) = it.next() {
-                    root = PathBuf::from(dir);
-                }
-            }
-            other => {
-                eprintln!("unknown argument '{other}'");
-                return ExitCode::from(2);
-            }
-        }
-    }
-
-    let rules = rules();
-    let mut files = Vec::new();
-    collect_files(&root, &mut files);
-    let mut violations = Vec::new();
-    for file in &files {
-        let in_net = file
-            .components()
-            .collect::<Vec<_>>()
-            .windows(2)
-            .any(|w| w[0].as_os_str() == "crates" && w[1].as_os_str() == "net");
-        // Hot paths: the routing kernels and the BBE engine, where the
-        // std-hashmap rule bites.
-        let normalized = file.to_string_lossy().replace('\\', "/");
-        let in_hot =
-            normalized.contains("crates/net/src/routing/") || normalized.contains("solvers/bbe/");
-        let in_delay_model = normalized.ends_with("crates/core/src/delay.rs");
-        let in_shard = normalized.contains("crates/shard/src/");
-        scan_file(
-            file,
-            &rules,
-            in_net,
-            in_hot,
-            in_delay_model,
-            in_shard,
-            &mut violations,
-        );
-    }
-
-    if format_json {
-        let mut out = String::from("[");
-        for (i, v) in violations.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            let _ = write!(
-                out,
-                "{{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"text\":\"{}\"}}",
-                v.rule,
-                json_escape(&v.file.display().to_string()),
-                v.line,
-                json_escape(&v.text)
-            );
-        }
-        out.push(']');
-        println!("{out}");
-    } else {
-        for v in &violations {
-            println!("{}:{}: [{}] {}", v.file.display(), v.line, v.rule, v.text);
-        }
-        println!(
-            "dagsfc-lint: {} files scanned, {} violation(s)",
-            files.len(),
-            violations.len()
-        );
-        if !violations.is_empty() {
-            for rule in &rules {
-                if violations.iter().any(|v| v.rule == rule.name) {
-                    println!("  {}: {}", rule.name, rule.rationale);
-                }
-            }
-        }
-    }
-    if violations.is_empty() {
-        ExitCode::SUCCESS
-    } else {
-        ExitCode::FAILURE
-    }
+    dagsfc_lint::cli::run_cli(std::env::args().skip(1).collect())
 }
