@@ -19,9 +19,8 @@ use crate::scenario::ChaosScenario;
 use dagsfc_serve::{algo_wire_name, Client, ClientError, WireRequest};
 use dagsfc_sim::lifecycle::to_fixed;
 use dagsfc_sim::runner::{instance_network, instance_request};
+use dagsfc_sim::DepartureQueue;
 use dagsfc_sim::{arrival_seed, ArrivalOutcome};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 use std::net::ToSocketAddrs;
 
 /// Wire chunk size of the "slow client" (small enough to split every
@@ -78,7 +77,7 @@ pub fn replay_chaos(
     let plan = &scenario.plan;
     let net = instance_network(&trace.base);
 
-    let mut departures: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+    let mut departures = DepartureQueue::new();
     let mut leases: Vec<Option<dagsfc_net::LeaseId>> = vec![None; trace.arrivals];
     let mut per_arrival = Vec::with_capacity(trace.arrivals);
     let mut departure_order = Vec::new();
@@ -92,11 +91,7 @@ pub fn replay_chaos(
         let now = to_fixed(arrival as f64);
 
         // 1. Departures (same boundary order as the in-process runner).
-        while let Some(&Reverse((t, id))) = departures.peek() {
-            if t > now {
-                break;
-            }
-            departures.pop();
+        while let Some(id) = departures.pop_due(now) {
             // lint:allow(expect) — invariant: departs once
             let lease = leases[id].take().expect("departs once");
             if plan.drops_release(id) {
@@ -152,7 +147,7 @@ pub fn replay_chaos(
                     .cost
                     .ok_or_else(|| ClientError::Server("accepted without cost".into()))?;
                 leases[arrival] = Some(dagsfc_net::LeaseId(lease));
-                departures.push(Reverse((trace.depart_at[arrival], arrival)));
+                departures.schedule(trace.depart_at[arrival], arrival);
                 accepted += 1;
                 per_arrival.push(ArrivalOutcome {
                     accepted: true,
@@ -175,7 +170,7 @@ pub fn replay_chaos(
     }
 
     // Drain the remaining departures (dropped ones stay orphaned) …
-    while let Some(Reverse((_, id))) = departures.pop() {
+    while let Some((_, id)) = departures.pop() {
         // lint:allow(expect) — invariant: departs once
         let lease = leases[id].take().expect("departs once");
         if plan.drops_release(id) {

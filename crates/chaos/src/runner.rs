@@ -23,10 +23,9 @@ use dagsfc_audit::ConstraintAuditor;
 use dagsfc_net::{CommitLedger, LeaseId, Network};
 use dagsfc_sim::lifecycle::to_fixed;
 use dagsfc_sim::runner::instance_request;
+use dagsfc_sim::DepartureQueue;
 use dagsfc_sim::{arrival_seed, embed_and_commit, ArrivalOutcome};
 use serde::Serialize;
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 /// Owner tag the in-process runner stamps on every commit — mirrors a
 /// daemon serving one connection, whose first client gets owner 1.
@@ -87,7 +86,7 @@ pub fn run_chaos(net: &Network, scenario: &ChaosScenario) -> ChaosOutcome {
     ledger.set_default_owner(Some(CHAOS_OWNER));
     let auditor = ConstraintAuditor::new();
 
-    let mut departures: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+    let mut departures = DepartureQueue::new();
     let mut leases: Vec<Option<LeaseId>> = vec![None; trace.arrivals];
     let mut per_arrival = Vec::with_capacity(trace.arrivals);
     let mut departure_order = Vec::new();
@@ -103,11 +102,7 @@ pub fn run_chaos(net: &Network, scenario: &ChaosScenario) -> ChaosOutcome {
 
         // 1. Departures first — a flow that ended frees its resources
         // before anything else happens at this boundary.
-        while let Some(&Reverse((t, id))) = departures.peek() {
-            if t > now {
-                break;
-            }
-            departures.pop();
+        while let Some(id) = departures.pop_due(now) {
             // lint:allow(expect) — invariant: departs once
             let lease = leases[id].take().expect("departs once");
             if plan.drops_release(id) {
@@ -157,7 +152,7 @@ pub fn run_chaos(net: &Network, scenario: &ChaosScenario) -> ChaosOutcome {
                     continue;
                 }
                 leases[arrival] = Some(s.lease);
-                departures.push(Reverse((trace.depart_at[arrival], arrival)));
+                departures.schedule(trace.depart_at[arrival], arrival);
                 accepted += 1;
                 per_arrival.push(ArrivalOutcome {
                     accepted: true,
@@ -175,7 +170,7 @@ pub fn run_chaos(net: &Network, scenario: &ChaosScenario) -> ChaosOutcome {
     }
 
     // Drain the remaining departures (dropped ones stay orphaned).
-    while let Some(Reverse((_, id))) = departures.pop() {
+    while let Some((_, id)) = departures.pop() {
         // lint:allow(expect) — invariant: departs once
         let lease = leases[id].take().expect("departs once");
         if plan.drops_release(id) {

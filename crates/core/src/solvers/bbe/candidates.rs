@@ -19,7 +19,8 @@ use crate::cost::CostBreakdown;
 use crate::flow::Flow;
 use crate::vnf::VnfCatalog;
 use dagsfc_net::routing::ShortestPathTree;
-use dagsfc_net::{FxHashSet, LinkId, Network, NodeId, Path, PathOracle, CAP_EPS};
+use dagsfc_net::{LinkId, Network, NodeId, Path, PathOracle, CAP_EPS};
+use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -49,6 +50,13 @@ pub(crate) struct EngineCtx<'a> {
     pub flow: Flow,
     pub cfg: &'a BbeConfig,
     oracle: &'a PathOracle<'a>,
+    /// Flat per-link price table (struct-of-arrays copy of
+    /// `net.link(l).price`): candidate scoring sweeps read contiguous
+    /// `f64`s instead of chasing a `Link` struct per relaxed link.
+    link_price: Vec<f64>,
+    /// Flat per-link static rate-feasibility under this flow's rate,
+    /// precomputed once per solve for the same reason.
+    link_rate_ok: Vec<bool>,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
 }
@@ -61,12 +69,21 @@ impl<'a> EngineCtx<'a> {
         cfg: &'a BbeConfig,
         oracle: &'a PathOracle<'a>,
     ) -> Self {
+        let mut link_price = Vec::with_capacity(net.link_count());
+        let mut link_rate_ok = Vec::with_capacity(net.link_count());
+        for l in 0..net.link_count() {
+            let link = net.link(LinkId(l as u32));
+            link_price.push(link.price);
+            link_rate_ok.push(link.capacity + CAP_EPS >= flow.rate);
+        }
         EngineCtx {
             net,
             catalog,
             flow,
             cfg,
             oracle,
+            link_price,
+            link_rate_ok,
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
         }
@@ -75,7 +92,7 @@ impl<'a> EngineCtx<'a> {
     /// Static rate-feasibility of a link (no global reservations during
     /// the search; complete solutions are re-validated at the end).
     pub fn link_ok(&self, l: LinkId) -> bool {
-        self.net.link(l).capacity + CAP_EPS >= self.flow.rate
+        self.link_rate_ok[l.index()]
     }
 
     /// Static rate-feasibility of every link on a path.
@@ -172,32 +189,122 @@ pub(crate) fn bounded_cartesian<T: Clone>(options: &[Vec<T>], cap: usize) -> Vec
     combos
 }
 
+/// Visits the same index combinations [`bounded_cartesian`] would
+/// produce over the dimension sizes `dims` (cheapest-first odometer,
+/// capped at `cap`), without materializing or cloning anything — the
+/// flat-sweep scoring loops walk these indices straight into their
+/// struct-of-arrays path tables.
+pub(crate) fn for_each_bounded_combo(dims: &[usize], cap: usize, mut visit: impl FnMut(&[usize])) {
+    if dims.contains(&0) || cap == 0 {
+        return;
+    }
+    let mut idx = vec![0usize; dims.len()];
+    let mut count = 0usize;
+    loop {
+        visit(&idx);
+        count += 1;
+        if count >= cap {
+            return;
+        }
+        // Odometer increment, least-significant dimension last.
+        let mut dim = dims.len();
+        loop {
+            if dim == 0 {
+                return;
+            }
+            dim -= 1;
+            idx[dim] += 1;
+            if idx[dim] < dims[dim] {
+                break;
+            }
+            idx[dim] = 0;
+        }
+    }
+}
+
+/// Epoch-stamped first-occurrence set over link ids: the multicast
+/// dedup behind layer scoring. `begin` is O(1) (an epoch bump), so the
+/// set is reused across thousands of candidate scorings without the
+/// per-candidate hash-set allocation the old scorer paid.
+struct SeenLinks {
+    stamp: Vec<u32>,
+    epoch: u32,
+}
+
+impl SeenLinks {
+    /// Starts a fresh dedup scope covering link ids `0..links`.
+    fn begin(&mut self, links: usize) {
+        if self.stamp.len() < links {
+            self.stamp.resize(links, 0);
+        }
+        self.epoch = match self.epoch.checked_add(1) {
+            Some(e) => e,
+            None => {
+                // Epoch wrap: hard-reset the stamps so stale marks from
+                // u32::MAX scopes ago cannot alias the new epoch.
+                self.stamp.fill(0);
+                1
+            }
+        };
+    }
+
+    /// Whether this is the first occurrence of `l` in the current scope.
+    fn first(&mut self, l: LinkId) -> bool {
+        let s = &mut self.stamp[l.index()];
+        if *s == self.epoch {
+            false
+        } else {
+            *s = self.epoch;
+            true
+        }
+    }
+}
+
+thread_local! {
+    /// Per-thread scoring dedup set: merger scoring fans out across
+    /// scoped threads, and each worker keeps its own stamps.
+    static SEEN_LINKS: RefCell<SeenLinks> = const {
+        RefCell::new(SeenLinks {
+            stamp: Vec::new(),
+            epoch: 0,
+        })
+    };
+}
+
 /// Computes a layer's cost: VNF rentals plus links, with multicast dedup
 /// across the inter-layer paths and per-occurrence charges on inner ones.
+///
+/// The link sum accumulates left-to-right in path order — inter paths
+/// (first occurrence only) then inner paths link-by-link — exactly as
+/// the original hash-set scorer did, so totals are bit-identical and
+/// downstream cheapest-first orderings cannot shift.
 pub(crate) fn layer_cost(
     ctx: &EngineCtx<'_>,
     vnf_prices: f64,
     inter: &[Path],
     inner: &[Path],
 ) -> CostBreakdown {
-    let mut seen: FxHashSet<LinkId> = FxHashSet::default();
-    let mut link_price = 0.0;
-    for p in inter {
-        for &l in p.links() {
-            if seen.insert(l) {
-                link_price += ctx.net.link(l).price;
+    SEEN_LINKS.with(|cell| {
+        let seen = &mut *cell.borrow_mut();
+        seen.begin(ctx.net.link_count());
+        let mut link_price = 0.0;
+        for p in inter {
+            for &l in p.links() {
+                if seen.first(l) {
+                    link_price += ctx.link_price[l.index()];
+                }
             }
         }
-    }
-    for p in inner {
-        for &l in p.links() {
-            link_price += ctx.net.link(l).price;
+        for p in inner {
+            for &l in p.links() {
+                link_price += ctx.link_price[l.index()];
+            }
         }
-    }
-    CostBreakdown {
-        vnf: vnf_prices * ctx.flow.size,
-        link: link_price * ctx.flow.size,
-    }
+        CostBreakdown {
+            vnf: vnf_prices * ctx.flow.size,
+            link: link_price * ctx.flow.size,
+        }
+    })
 }
 
 /// Alternatives for the path `start → node` using the FST (BBE) or the
@@ -354,7 +461,13 @@ pub(crate) fn parallel_layer_subs(
                         .map(|(&n, &k)| ctx.net.vnf_price(n, k).expect("candidate hosts kind"))
                         .sum::<f64>()
                         + merger_inst.price;
-                    for inner_paths in bounded_cartesian(&inner_opts, ctx.cfg.max_path_combos) {
+                    let dims: Vec<usize> = inner_opts.iter().map(Vec::len).collect();
+                    for_each_bounded_combo(&dims, ctx.cfg.max_path_combos, |combo| {
+                        let inner_paths: Vec<Path> = combo
+                            .iter()
+                            .enumerate()
+                            .map(|(s, &i)| inner_opts[s][i].clone())
+                            .collect();
                         let cost = layer_cost(ctx, vnf_prices, &mt.paths, &inner_paths);
                         let mut full_assignment = assignment.clone();
                         full_assignment.push(merger_node);
@@ -365,13 +478,19 @@ pub(crate) fn parallel_layer_subs(
                             cost,
                             end_node: merger_node,
                         });
-                    }
+                    });
                 }
             }
         }
-        // Steps (ii)+(iii): per-slot path alternatives, then bounded
-        // cartesian over (inter, inner) choices.
-        let mut slot_options: Vec<Vec<(Path, Path)>> = Vec::with_capacity(assignment.len());
+        // Steps (ii)+(iii) in struct-of-arrays form: each slot keeps its
+        // inter/inner path alternatives in place plus a flat index-pair
+        // list replicating the old cheapest-first (inter × inner)
+        // enumeration. Candidate scoring then runs as one flat sweep per
+        // combination over these arrays — contiguous price reads, no
+        // per-candidate hash set, and no `Path` clones until a candidate
+        // is actually emitted.
+        let mut slot_paths: Vec<(Vec<Path>, Vec<Path>)> = Vec::with_capacity(assignment.len());
+        let mut pair_idx: Vec<Vec<(usize, usize)>> = Vec::with_capacity(assignment.len());
         let mut feasible = true;
         for &node in &assignment {
             let inters = inter_path_options(ctx, fst, node);
@@ -380,20 +499,18 @@ pub(crate) fn parallel_layer_subs(
                 feasible = false;
                 break;
             }
-            let pairs = bounded_cartesian(
-                &[inters, inners],
-                ctx.cfg.max_paths_per_pair * ctx.cfg.max_paths_per_pair,
-            )
-            .into_iter()
-            .map(|mut v| {
-                // lint:allow(expect) — invariant: pair
-                let inner = v.pop().expect("pair");
-                // lint:allow(expect) — invariant: pair
-                let inter = v.pop().expect("pair");
-                (inter, inner)
-            })
-            .collect::<Vec<_>>();
-            slot_options.push(pairs);
+            let cap = ctx.cfg.max_paths_per_pair * ctx.cfg.max_paths_per_pair;
+            let mut pairs = Vec::with_capacity((inters.len() * inners.len()).min(cap));
+            'fill: for i in 0..inters.len() {
+                for n in 0..inners.len() {
+                    if pairs.len() >= cap {
+                        break 'fill;
+                    }
+                    pairs.push((i, n));
+                }
+            }
+            slot_paths.push((inters, inners));
+            pair_idx.push(pairs);
         }
         if !feasible {
             continue;
@@ -406,20 +523,54 @@ pub(crate) fn parallel_layer_subs(
             .sum::<f64>()
             + merger_inst.price;
 
-        for combo in bounded_cartesian(&slot_options, ctx.cfg.max_path_combos) {
-            let inter_paths: Vec<Path> = combo.iter().map(|(i, _)| i.clone()).collect();
-            let inner_paths: Vec<Path> = combo.into_iter().map(|(_, n)| n).collect();
-            let cost = layer_cost(ctx, vnf_prices, &inter_paths, &inner_paths);
-            let mut full_assignment = assignment.clone();
-            full_assignment.push(merger_node);
-            subs.push(LayerSub {
-                assignment: full_assignment,
-                inter_paths,
-                inner_paths,
-                cost,
-                end_node: merger_node,
+        let dims: Vec<usize> = pair_idx.iter().map(Vec::len).collect();
+        SEEN_LINKS.with(|cell| {
+            let seen = &mut *cell.borrow_mut();
+            for_each_bounded_combo(&dims, ctx.cfg.max_path_combos, |combo| {
+                // Flat scoring sweep, in the exact accumulation order of
+                // [`layer_cost`]: deduped inter links slot-by-slot, then
+                // per-occurrence inner links slot-by-slot.
+                seen.begin(ctx.net.link_count());
+                let mut link_price = 0.0;
+                for (s, &c) in combo.iter().enumerate() {
+                    let (pi, _) = pair_idx[s][c];
+                    for &l in slot_paths[s].0[pi].links() {
+                        if seen.first(l) {
+                            link_price += ctx.link_price[l.index()];
+                        }
+                    }
+                }
+                for (s, &c) in combo.iter().enumerate() {
+                    let (_, ni) = pair_idx[s][c];
+                    for &l in slot_paths[s].1[ni].links() {
+                        link_price += ctx.link_price[l.index()];
+                    }
+                }
+                let cost = CostBreakdown {
+                    vnf: vnf_prices * ctx.flow.size,
+                    link: link_price * ctx.flow.size,
+                };
+                let inter_paths: Vec<Path> = combo
+                    .iter()
+                    .enumerate()
+                    .map(|(s, &c)| slot_paths[s].0[pair_idx[s][c].0].clone())
+                    .collect();
+                let inner_paths: Vec<Path> = combo
+                    .iter()
+                    .enumerate()
+                    .map(|(s, &c)| slot_paths[s].1[pair_idx[s][c].1].clone())
+                    .collect();
+                let mut full_assignment = assignment.clone();
+                full_assignment.push(merger_node);
+                subs.push(LayerSub {
+                    assignment: full_assignment,
+                    inter_paths,
+                    inner_paths,
+                    cost,
+                    end_node: merger_node,
+                });
             });
-        }
+        });
     }
     // Step (iv): the static feasibility filters are applied inline above
     // (capacity-vs-rate on every candidate node and path link); order
@@ -470,6 +621,64 @@ mod tests {
         assert!(bounded_cartesian::<i32>(&[], 0).is_empty());
         // Empty dimension list with positive cap → single empty combo.
         assert_eq!(bounded_cartesian::<i32>(&[], 5), vec![Vec::<i32>::new()]);
+    }
+
+    #[test]
+    fn combo_visitor_matches_bounded_cartesian() {
+        // The flat-sweep scorer enumerates index combos through
+        // `for_each_bounded_combo`; any divergence from the materializing
+        // odometer would silently reorder candidates.
+        for dims in [
+            vec![2usize, 3],
+            vec![1],
+            vec![3, 1, 2],
+            vec![2, 0, 2],
+            vec![],
+        ] {
+            for cap in [0usize, 1, 3, 5, 100] {
+                let options: Vec<Vec<usize>> = dims.iter().map(|&d| (0..d).collect()).collect();
+                let expected = bounded_cartesian(&options, cap);
+                let mut visited = Vec::new();
+                for_each_bounded_combo(&dims, cap, |c| visited.push(c.to_vec()));
+                assert_eq!(visited, expected, "dims {dims:?} cap {cap}");
+            }
+        }
+    }
+
+    #[test]
+    fn layer_cost_dedups_inter_links_only() {
+        // Reference the flat epoch-stamped dedup against a plain
+        // hash-set model: inter links are charged once on first
+        // occurrence, inner links per occurrence.
+        let g = net();
+        let c = VnfCatalog::new(2);
+        let cfg = cfg();
+        let oracle = PathOracle::new(&g);
+        let ctx = EngineCtx::new(&g, c, Flow::unit(NodeId(0), NodeId(2)), &cfg, &oracle);
+        let p01 = ctx.min_cost_path(NodeId(0), NodeId(1)).unwrap();
+        let p02 = ctx.min_cost_path(NodeId(0), NodeId(2)).unwrap();
+        let inter = vec![p01.clone(), p01.clone(), p02.clone()];
+        let inner = vec![p01.clone(), p01];
+        let cost = layer_cost(&ctx, 3.0, &inter, &inner);
+        let mut seen = dagsfc_net::FxHashSet::default();
+        let mut expect_link = 0.0;
+        for p in &inter {
+            for &l in p.links() {
+                if seen.insert(l) {
+                    expect_link += g.link(l).price;
+                }
+            }
+        }
+        for p in &inner {
+            for &l in p.links() {
+                expect_link += g.link(l).price;
+            }
+        }
+        assert_eq!(cost.vnf.to_bits(), 3.0f64.to_bits());
+        assert_eq!(cost.link.to_bits(), expect_link.to_bits());
+        // A second scoring on the same thread must reset the dedup scope.
+        let again = layer_cost(&ctx, 3.0, &inter, &inner);
+        assert_eq!(again.link.to_bits(), cost.link.to_bits());
     }
 
     #[test]

@@ -121,6 +121,11 @@ pub const RULES: &[(&str, &str)] = &[
          accumulate in sorted order",
     ),
     (
+        "raw-heap-routing",
+        "routing kernels use the monotone bucket queue; BinaryHeap lives only in the \
+         designated heap_fallback module",
+    ),
+    (
         "lock-order",
         "multi-ledger paths must acquire shard ledgers in ascending shard order and \
          release in reverse (the 2PC invariant)",
@@ -144,6 +149,11 @@ pub struct FileCtx {
     pub in_delay_model: bool,
     /// Inside `crates/shard/src` (shard-ledger exempt).
     pub in_shard: bool,
+    /// Inside `crates/net/src/routing/` (raw-heap-routing applies).
+    pub in_routing: bool,
+    /// The designated heap-fallback kernel module (raw-heap-routing
+    /// exempt — it is the sanctioned home of `BinaryHeap` routing).
+    pub in_heap_fallback: bool,
     /// The seeded map wrapper itself (determinism pass exempt — it is
     /// the sanctioned definition site).
     pub in_fxmap: bool,
@@ -158,6 +168,8 @@ impl FileCtx {
             in_hot: p.contains("crates/net/src/routing/") || p.contains("solvers/bbe/"),
             in_delay_model: p.ends_with("crates/core/src/delay.rs"),
             in_shard: p.contains("crates/shard/src/"),
+            in_routing: p.contains("crates/net/src/routing/"),
+            in_heap_fallback: p.ends_with("crates/net/src/routing/heap_fallback.rs"),
             in_fxmap: p.ends_with("crates/net/src/fxmap.rs"),
         }
     }

@@ -1,0 +1,6 @@
+//! lint-fixture: path=crates/net/src/routing/heap_fallback.rs rule=raw-heap-routing
+use std::collections::BinaryHeap;
+fn relax() {
+    let mut open: BinaryHeap<u64> = BinaryHeap::new();
+    open.push(0);
+}

@@ -1,0 +1,227 @@
+//! Monotone bucket-queue (radix heap) Dijkstra over losslessly
+//! quantized `u32` arc costs.
+//!
+//! Classic Dial/Δ-stepping-family kernel: because Dijkstra extracts
+//! keys in non-decreasing order, the priority queue never needs to hold
+//! a key smaller than the last extracted one (`last`). A radix heap
+//! exploits that monotonicity with 33 buckets — an entry with key `k`
+//! lives in bucket `0` when `k == last` and otherwise in bucket
+//! `⌊log₂(k ⊕ last)⌋ + 1` — so pushes are O(1) and every entry migrates
+//! toward bucket 0 at most 32 times over the whole search: amortized
+//! O(1) per operation, no comparison-heap log factor, and the working
+//! arrays live in [`RoutingScratch`] so the steady state allocates
+//! nothing.
+//!
+//! **Bit-identical to the heap kernel.** Arc weights arrive from
+//! [`super::quant`] as integers `m ≥ 1` under an exact power-of-two
+//! scale with `Σ m ≤ u32::MAX`, so every tentative distance the binary
+//! heap computes in `f64` is the exact integer `q · scale` this kernel
+//! tracks — same relaxations, same strict `<` improvements, same
+//! predecessors. Pop order matches too: with strictly positive integer
+//! weights, every node whose final distance is `d` is already enqueued
+//! at `d` when the first key-`d` entry pops (all cheaper entries have
+//! settled, and any relaxation from a key-`d` node produces keys
+//! ≥ `d + 1`), so draining bucket 0 in ascending node order reproduces
+//! the heap's (distance, node) tie-break exactly.
+
+use super::scratch::RoutingScratch;
+use super::LinkFilter;
+use crate::ids::NodeId;
+use crate::snapshot::NetworkSnapshot;
+
+/// Bucket 0 holds keys equal to `last`; buckets 1..=32 hold keys whose
+/// highest differing bit from `last` is bit 0..=31.
+const BUCKETS: usize = 33;
+
+#[inline]
+fn bucket_index(key: u32, last: u32) -> usize {
+    if key == last {
+        0
+    } else {
+        (32 - (key ^ last).leading_zeros()) as usize
+    }
+}
+
+/// The monotone bucket queue, embedded in [`RoutingScratch`] so its
+/// arrays persist across searches.
+#[derive(Debug, Default)]
+pub(crate) struct RadixQueue {
+    /// `(key, node)` entries; bucket 0 is kept sorted ascending by node
+    /// id and drained through `cursor`.
+    buckets: Vec<Vec<(u32, u32)>>,
+    cursor: usize,
+    /// The last extracted key (the monotone lower bound).
+    last: u32,
+}
+
+impl RadixQueue {
+    /// Resets the queue for a new search. O(live entries), not O(n).
+    pub(crate) fn clear(&mut self) {
+        if self.buckets.len() < BUCKETS {
+            self.buckets.resize_with(BUCKETS, Vec::new);
+        }
+        for b in &mut self.buckets {
+            b.clear();
+        }
+        self.cursor = 0;
+        self.last = 0;
+    }
+
+    /// Pushes an entry. Keys must be ≥ the last popped key (Dijkstra
+    /// monotonicity); a key equal to it joins the currently draining
+    /// bucket at its node-sorted position.
+    pub(crate) fn push(&mut self, key: u32, node: u32) {
+        debug_assert!(key >= self.last, "monotonicity violated");
+        let i = bucket_index(key, self.last);
+        if i == 0 {
+            // Keep the un-drained tail of bucket 0 sorted by node so
+            // same-key inserts pop in the heap's tie-break order.
+            // (Unreachable with strictly positive weights, but the
+            // queue stays correct for zero-weight keys regardless.)
+            let pos = self.buckets[0][self.cursor..].partition_point(|e| e.1 < node);
+            self.buckets[0].insert(self.cursor + pos, (key, node));
+        } else {
+            self.buckets[i].push((key, node));
+        }
+    }
+
+    /// Pops the minimum `(key, node)` entry, smallest node id first on
+    /// key ties — the heap kernel's exact pop order.
+    pub(crate) fn pop(&mut self) -> Option<(u32, u32)> {
+        loop {
+            if self.cursor < self.buckets[0].len() {
+                let e = self.buckets[0][self.cursor];
+                self.cursor += 1;
+                return Some(e);
+            }
+            self.buckets[0].clear();
+            self.cursor = 0;
+            // Refill: redistribute the first nonempty bucket around its
+            // minimum key. Each entry lands strictly lower, which is
+            // what bounds migrations at 32 per entry.
+            let i = (1..BUCKETS).find(|&i| !self.buckets[i].is_empty())?;
+            // lint:allow(expect) — invariant: bucket i is nonempty
+            let new_last = self.buckets[i].iter().map(|e| e.0).min().expect("nonempty");
+            self.last = new_last;
+            let mut moved = std::mem::take(&mut self.buckets[i]);
+            for &(k, v) in &moved {
+                let j = bucket_index(k, new_last);
+                debug_assert!(j < i);
+                self.buckets[j].push((k, v));
+            }
+            moved.clear();
+            // Hand the emptied vector back so its capacity is reused.
+            self.buckets[i] = moved;
+            self.buckets[0].sort_unstable_by_key(|e| e.1);
+        }
+    }
+}
+
+/// The quantized CSR Dijkstra loop: identical structure to the heap
+/// fallback, with `u32` keys in the radix queue and `f64` distances
+/// reconstructed exactly as `key · scale`.
+pub(crate) fn search_quantized_in<F: LinkFilter>(
+    snap: &NetworkSnapshot,
+    source: NodeId,
+    filter: &F,
+    target: Option<NodeId>,
+    scratch: &mut RoutingScratch,
+    qw: &[u32],
+    scale: f64,
+) {
+    debug_assert_eq!(qw.len(), snap.arc_count());
+    scratch.begin(snap.node_count());
+    scratch.radix.clear();
+    scratch.relax_q(source, 0, scale, None);
+    scratch.radix.push(0, source.index() as u32);
+    while let Some((key, v)) = scratch.radix.pop() {
+        let node = NodeId(v);
+        if scratch.is_settled(node) {
+            continue;
+        }
+        scratch.settle(node);
+        if target == Some(node) {
+            break;
+        }
+        for i in snap.arc_range(node) {
+            let next = snap.arc_target(i);
+            let link = snap.arc_link(i);
+            if scratch.is_settled(next) || !filter.allows(link) {
+                continue;
+            }
+            // No overflow: Σ of all quantized arc weights ≤ u32::MAX.
+            let nq = key + qw[i];
+            if nq < scratch.qdist(next) {
+                scratch.relax_q(next, nq, scale, Some((node, link)));
+                scratch.radix.push(nq, next.index() as u32);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn radix_pops_in_key_then_node_order() {
+        let mut q = RadixQueue::default();
+        q.clear();
+        for (k, v) in [(5u32, 9u32), (3, 2), (5, 1), (3, 7), (8, 0)] {
+            q.push(k, v);
+        }
+        let mut popped = Vec::new();
+        while let Some(e) = q.pop() {
+            popped.push(e);
+        }
+        assert_eq!(popped, vec![(3, 2), (3, 7), (5, 1), (5, 9), (8, 0)]);
+    }
+
+    #[test]
+    fn monotone_pushes_interleave_with_pops() {
+        let mut q = RadixQueue::default();
+        q.clear();
+        q.push(0, 4);
+        assert_eq!(q.pop(), Some((0, 4)));
+        q.push(2, 3);
+        q.push(1, 6);
+        assert_eq!(q.pop(), Some((1, 6)));
+        // Same-key insert while key 1 is current: joins in node order.
+        q.push(1, 9);
+        q.push(1, 2);
+        assert_eq!(q.pop(), Some((1, 2)));
+        assert_eq!(q.pop(), Some((1, 9)));
+        assert_eq!(q.pop(), Some((2, 3)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn wide_key_spread_survives_redistribution() {
+        let mut q = RadixQueue::default();
+        q.clear();
+        let keys = [1u32, 1 << 30, 17, u32::MAX / 2, 256, 255, 2];
+        for (v, &k) in keys.iter().enumerate() {
+            q.push(k, v as u32);
+        }
+        let mut sorted = keys;
+        sorted.sort_unstable();
+        let mut popped = Vec::new();
+        while let Some((k, _)) = q.pop() {
+            popped.push(k);
+        }
+        assert_eq!(popped, sorted.to_vec());
+    }
+
+    #[test]
+    fn clear_resets_between_searches() {
+        let mut q = RadixQueue::default();
+        q.clear();
+        q.push(7, 1);
+        q.push(9, 2);
+        assert_eq!(q.pop(), Some((7, 1)));
+        q.clear();
+        q.push(0, 5);
+        assert_eq!(q.pop(), Some((0, 5)));
+        assert_eq!(q.pop(), None);
+    }
+}

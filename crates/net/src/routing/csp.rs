@@ -18,13 +18,12 @@
 //!   instances (differential tests, `--exact` audits).
 
 use super::dijkstra::ArcWeight;
+use super::heap_fallback::{ParetoEntry, ParetoQueue};
 use super::scratch::{with_thread_scratch, RoutingScratch};
 use super::{LinkFilter, ShortestPathTree};
 use crate::graph::Network;
 use crate::ids::NodeId;
 use crate::path::Path;
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 
 /// Hard cap on LARAC λ-iterations. Convergence is geometric and
 /// typically takes well under ten rounds; the cap only guards against
@@ -170,34 +169,6 @@ struct Label {
     via: Option<crate::ids::LinkId>,
 }
 
-/// Heap entry ordered ascending by (price, delay) — implemented as a
-/// reversed `Ord` so `BinaryHeap`'s max-pop yields the minimum.
-struct HeapEntry {
-    price: f64,
-    delay_us: f64,
-    label: usize,
-}
-
-impl PartialEq for HeapEntry {
-    fn eq(&self, other: &Self) -> bool {
-        self.cmp(other) == Ordering::Equal
-    }
-}
-impl Eq for HeapEntry {}
-impl PartialOrd for HeapEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for HeapEntry {
-    fn cmp(&self, other: &Self) -> Ordering {
-        other
-            .price
-            .total_cmp(&self.price)
-            .then_with(|| other.delay_us.total_cmp(&self.delay_us))
-    }
-}
-
 /// Exact delay-constrained cheapest path by pareto label-setting.
 ///
 /// Labels pop in price order, so the first label settled on `to` is the
@@ -229,13 +200,13 @@ pub fn constrained_min_cost_path_exact<F: LinkFilter>(
     // Settled (price, delay) pairs per node; entries arrive in
     // non-decreasing price order.
     let mut settled: Vec<Vec<(f64, f64)>> = vec![Vec::new(); snap.node_count()];
-    let mut heap = BinaryHeap::new();
-    heap.push(HeapEntry {
+    let mut heap = ParetoQueue::default();
+    heap.push(ParetoEntry {
         price: 0.0,
         delay_us: 0.0,
         label: 0,
     });
-    while let Some(HeapEntry {
+    while let Some(ParetoEntry {
         price,
         delay_us,
         label,
@@ -294,7 +265,7 @@ pub fn constrained_min_cost_path_exact<F: LinkFilter>(
                 parent: label,
                 via: Some(link),
             });
-            heap.push(HeapEntry {
+            heap.push(ParetoEntry {
                 price: np,
                 delay_us: nd,
                 label: labels.len() - 1,

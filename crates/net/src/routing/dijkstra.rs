@@ -13,12 +13,29 @@
 //! searches allocation-free. Entry points without a scratch parameter
 //! borrow a per-thread scratch transparently.
 
-use super::scratch::{with_thread_scratch, MinCostEntry, RoutingScratch};
-use super::LinkFilter;
+use super::scratch::{with_thread_scratch, RoutingScratch};
+use super::{bucket, heap_fallback, quant, LinkFilter};
 use crate::graph::Network;
 use crate::ids::{LinkId, NodeId};
 use crate::path::Path;
 use crate::snapshot::NetworkSnapshot;
+
+/// Which priority-queue kernel a weighted search runs on.
+///
+/// `Auto` — the default everywhere — takes the monotone bucket queue
+/// whenever the active weight axis quantizes losslessly (see
+/// [`super::quant`]) and the binary-heap fallback otherwise; the two
+/// produce bit-identical trees. `Heap` forces the fallback: it exists
+/// for the differential tests and the bench microbench that pin the
+/// bucket kernel against the reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RoutingKernel {
+    /// Bucket queue when lossless quantization is available, else heap.
+    #[default]
+    Auto,
+    /// Always the binary-heap reference kernel.
+    Heap,
+}
 
 /// Which per-arc scalar a weighted tree build minimizes.
 ///
@@ -38,7 +55,7 @@ pub enum ArcWeight {
 impl ArcWeight {
     /// The weight of arc `i` under this criterion.
     #[inline]
-    fn of(self, snap: &NetworkSnapshot, i: usize) -> f64 {
+    pub(crate) fn of(self, snap: &NetworkSnapshot, i: usize) -> f64 {
         match self {
             ArcWeight::Price => snap.arc_price(i),
             ArcWeight::Delay => snap.arc_delay(i),
@@ -70,9 +87,8 @@ pub(crate) fn search_in<F: LinkFilter>(
     search_weighted_in(snap, source, filter, target, scratch, ArcWeight::Price)
 }
 
-/// The weighted CSR Dijkstra loop. With [`ArcWeight::Price`] it relaxes
-/// the identical values in the identical order as the historical
-/// price-only search, so trees stay bit-identical.
+/// The weighted CSR Dijkstra search under the default [`RoutingKernel::Auto`]
+/// dispatch.
 pub(crate) fn search_weighted_in<F: LinkFilter>(
     snap: &NetworkSnapshot,
     source: NodeId,
@@ -81,34 +97,102 @@ pub(crate) fn search_weighted_in<F: LinkFilter>(
     scratch: &mut RoutingScratch,
     weight: ArcWeight,
 ) {
-    scratch.begin(snap.node_count());
-    scratch.relax(source, 0.0, None);
-    scratch.heap.push(MinCostEntry {
-        dist: 0.0,
-        node: source,
-    });
-    while let Some(MinCostEntry { dist: d, node }) = scratch.heap.pop() {
-        if scratch.is_settled(node) {
-            continue;
-        }
-        scratch.settle(node);
-        if target == Some(node) {
-            break;
-        }
-        for i in snap.arc_range(node) {
-            let next = snap.arc_target(i);
-            let link = snap.arc_link(i);
-            if scratch.is_settled(next) || !filter.allows(link) {
-                continue;
+    search_weighted_kernel_in(
+        snap,
+        source,
+        filter,
+        target,
+        scratch,
+        weight,
+        RoutingKernel::Auto,
+    )
+}
+
+/// Kernel dispatch for the weighted CSR Dijkstra search.
+///
+/// Under `Auto`, `Price`/`Delay` weights ride the quantization plans
+/// precomputed at snapshot build time; `Lagrange(λ)` attempts a
+/// per-query quantization of the blended weights — gated on both base
+/// axes being quantizable so the common non-dyadic case rejects after
+/// inspecting a single arc — into a scratch-owned buffer. Whenever no
+/// lossless plan exists, the search falls back to the binary-heap
+/// reference loop; either way the resulting tree is bit-identical.
+pub(crate) fn search_weighted_kernel_in<F: LinkFilter>(
+    snap: &NetworkSnapshot,
+    source: NodeId,
+    filter: &F,
+    target: Option<NodeId>,
+    scratch: &mut RoutingScratch,
+    weight: ArcWeight,
+    kernel: RoutingKernel,
+) {
+    if kernel == RoutingKernel::Auto {
+        match weight {
+            ArcWeight::Price => {
+                if let Some(plan) = snap.price_quant() {
+                    return bucket::search_quantized_in(
+                        snap,
+                        source,
+                        filter,
+                        target,
+                        scratch,
+                        &plan.weights,
+                        plan.scale,
+                    );
+                }
             }
-            let nd = d + weight.of(snap, i);
-            if nd < scratch.dist(next) {
-                scratch.relax(next, nd, Some((node, link)));
-                scratch.heap.push(MinCostEntry {
-                    dist: nd,
-                    node: next,
-                });
+            ArcWeight::Delay => {
+                if let Some(plan) = snap.delay_quant() {
+                    return bucket::search_quantized_in(
+                        snap,
+                        source,
+                        filter,
+                        target,
+                        scratch,
+                        &plan.weights,
+                        plan.scale,
+                    );
+                }
             }
+            ArcWeight::Lagrange(lambda) => {
+                if snap.price_quant().is_some() && snap.delay_quant().is_some() {
+                    let mut qw = std::mem::take(&mut scratch.lagrange_qw);
+                    let scale = quant::quantize_into(
+                        (0..snap.arc_count())
+                            .map(|i| snap.arc_price(i) + lambda * snap.arc_delay(i)),
+                        &mut qw,
+                    );
+                    if let Some(scale) = scale {
+                        bucket::search_quantized_in(
+                            snap, source, filter, target, scratch, &qw, scale,
+                        );
+                        scratch.lagrange_qw = qw;
+                        return;
+                    }
+                    scratch.lagrange_qw = qw;
+                }
+            }
+        }
+    }
+    heap_fallback::search_weighted_heap_in(snap, source, filter, target, scratch, weight)
+}
+
+/// Whether an [`RoutingKernel::Auto`] search over `net` under `weight`
+/// would run on the bucket kernel. Diagnostic for tests and the bench
+/// microbench; the `Lagrange` case performs a full trial quantization.
+pub fn bucket_kernel_available(net: &Network, weight: ArcWeight) -> bool {
+    let snap: &NetworkSnapshot = net.snapshot();
+    match weight {
+        ArcWeight::Price => snap.price_quant().is_some(),
+        ArcWeight::Delay => snap.delay_quant().is_some(),
+        ArcWeight::Lagrange(lambda) => {
+            snap.price_quant().is_some()
+                && snap.delay_quant().is_some()
+                && quant::quantize_into(
+                    (0..snap.arc_count()).map(|i| snap.arc_price(i) + lambda * snap.arc_delay(i)),
+                    &mut Vec::new(),
+                )
+                .is_some()
         }
     }
 }
@@ -164,8 +248,32 @@ impl ShortestPathTree {
         scratch: &mut RoutingScratch,
         weight: ArcWeight,
     ) -> Self {
+        Self::build_weighted_kernel_in(
+            net,
+            source,
+            filter,
+            target,
+            scratch,
+            weight,
+            RoutingKernel::Auto,
+        )
+    }
+
+    /// Like [`build_weighted_in`](Self::build_weighted_in) with an
+    /// explicit kernel choice. Production callers use `Auto`; `Heap`
+    /// pins the reference kernel for differential tests and the bench
+    /// microbench.
+    pub fn build_weighted_kernel_in<F: LinkFilter>(
+        net: &Network,
+        source: NodeId,
+        filter: &F,
+        target: Option<NodeId>,
+        scratch: &mut RoutingScratch,
+        weight: ArcWeight,
+        kernel: RoutingKernel,
+    ) -> Self {
         let snap: &NetworkSnapshot = net.snapshot();
-        search_weighted_in(snap, source, filter, target, scratch, weight);
+        search_weighted_kernel_in(snap, source, filter, target, scratch, weight, kernel);
         let n = snap.node_count();
         let mut dist = Vec::with_capacity(n);
         let mut prev = Vec::with_capacity(n);

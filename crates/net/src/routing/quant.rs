@@ -1,0 +1,175 @@
+//! Lossless dyadic quantization of `f64` arc weights onto `u32`.
+//!
+//! The bucket-queue kernel ([`super::bucket`]) needs integer keys, but
+//! the rest of the workspace prices everything in `f64` and the figure
+//! CSVs are pinned byte-for-byte. The bridge is *exact* quantization:
+//! a weight axis quantizes only when every arc weight can be written as
+//! `m · 2⁻ᵏ` with an integer `m ≥ 1` under one shared shift `k`, and
+//! the sum of all `m` fits in `u32` (so no path sum can overflow).
+//! Under those conditions every partial path sum is an integer below
+//! 2³² < 2⁵³, all the `f64` additions the binary-heap kernel performs
+//! are exact, and `(q as f64) * 2⁻ᵏ` reconstructs the heap kernel's
+//! distances bit-for-bit. When any condition fails, [`quantize_into`]
+//! returns `None` and the caller keeps the heap kernel — weights are
+//! never rounded, silently or otherwise.
+
+/// Largest shared shift `k` we accept. Weights needing more fractional
+/// bits (e.g. anything derived from `0.1`, or a generic LARAC λ blend)
+/// reject quantization immediately.
+const MAX_SHIFT: u32 = 40;
+
+/// A losslessly quantized weight axis over a snapshot's arc array:
+/// `weights[i] as f64 * scale` equals the original `f64` arc weight
+/// bit-for-bit.
+#[derive(Debug, Clone)]
+pub struct QuantPlan {
+    /// Per-arc integer weights, aligned with the snapshot's arc arrays.
+    pub weights: Vec<u32>,
+    /// The exact power of two `2⁻ᵏ` reconstructing `f64` distances.
+    pub scale: f64,
+}
+
+impl QuantPlan {
+    /// Quantizes one weight axis, or `None` when it cannot be lossless.
+    pub fn build(weights: &[f64]) -> Option<QuantPlan> {
+        let mut out = Vec::new();
+        let scale = quantize_into(weights.iter().copied(), &mut out)?;
+        Some(QuantPlan {
+            weights: out,
+            scale,
+        })
+    }
+}
+
+/// The exact power of two `2^e` for `|e| < 1023`, via direct exponent
+/// construction (no libm rounding in the loop).
+#[inline]
+fn exp2(e: i32) -> f64 {
+    debug_assert!((-1022..=1023).contains(&e));
+    f64::from_bits(((1023 + e) as u64) << 52)
+}
+
+/// Minimal `k` such that `w · 2ᵏ` is an integer, or `None` when `w` is
+/// non-positive, non-finite, or needs more than [`MAX_SHIFT`] bits.
+/// Zero is rejected too: the bucket kernel's tie-break equivalence
+/// proof requires strictly positive integer weights.
+#[inline]
+fn frac_bits(w: f64) -> Option<u32> {
+    if !w.is_finite() || w <= 0.0 {
+        return None;
+    }
+    let bits = w.to_bits();
+    let raw_exp = ((bits >> 52) & 0x7ff) as i64;
+    let frac = bits & ((1u64 << 52) - 1);
+    // Reduce the mantissa by its trailing zeros so `k` is minimal.
+    let (mant, exp) = if raw_exp == 0 {
+        (frac, -1074i64) // subnormal
+    } else {
+        (frac | (1u64 << 52), raw_exp - 1075)
+    };
+    debug_assert!(mant != 0, "w > 0 implies a nonzero mantissa");
+    let e2 = exp + i64::from(mant.trailing_zeros());
+    let k = if e2 >= 0 { 0 } else { (-e2) as u32 };
+    (k <= MAX_SHIFT).then_some(k)
+}
+
+/// Quantizes a weight sequence into `out` (cleared first), returning
+/// the exact reconstruction scale `2⁻ᵏ` on success.
+///
+/// Success requires every weight to be `m · 2⁻ᵏ` with integer `m ≥ 1`
+/// under the shared minimal `k`, and `Σ m ≤ u32::MAX` across the whole
+/// sequence so no path sum can overflow the `u32` keys. On failure
+/// `out`'s contents are unspecified but its capacity is retained, so
+/// callers (the per-query LARAC attempt) stay allocation-free.
+pub(crate) fn quantize_into(
+    weights: impl Iterator<Item = f64> + Clone,
+    out: &mut Vec<u32>,
+) -> Option<f64> {
+    out.clear();
+    let mut k = 0u32;
+    let mut any = false;
+    for w in weights.clone() {
+        k = k.max(frac_bits(w)?);
+        any = true;
+    }
+    if !any {
+        return None;
+    }
+    let up = exp2(k as i32);
+    let scale = exp2(-(k as i32));
+    let mut sum = 0u64;
+    for w in weights {
+        // Exact: w has at most k fractional bits, so w·2ᵏ is an
+        // integer and the power-of-two product does not round.
+        let m = w * up;
+        if !(m >= 1.0 && m <= f64::from(u32::MAX)) {
+            return None;
+        }
+        let q = m as u32;
+        // Belt and braces for the "never silently rounds" contract.
+        if f64::from(q) * scale != w {
+            return None;
+        }
+        sum += u64::from(q);
+        if sum > u64::from(u32::MAX) {
+            return None;
+        }
+        out.push(q);
+    }
+    Some(scale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dyadic_grid_round_trips() {
+        let ws = [0.25, 1.5, 3.0, 0.125, 7.75];
+        let plan = QuantPlan::build(&ws).unwrap();
+        assert_eq!(plan.scale, 0.125);
+        for (q, w) in plan.weights.iter().zip(ws) {
+            assert_eq!(f64::from(*q) * plan.scale, w);
+        }
+        assert_eq!(plan.weights, vec![2, 12, 24, 1, 62]);
+    }
+
+    #[test]
+    fn integers_use_unit_scale() {
+        let plan = QuantPlan::build(&[1.0, 5.0, 42.0]).unwrap();
+        assert_eq!(plan.scale, 1.0);
+        assert_eq!(plan.weights, vec![1, 5, 42]);
+    }
+
+    #[test]
+    fn non_dyadic_rejects() {
+        assert!(QuantPlan::build(&[0.25, 0.1]).is_none());
+        assert!(QuantPlan::build(&[1.0 / 3.0]).is_none());
+    }
+
+    #[test]
+    fn zero_negative_and_non_finite_reject() {
+        assert!(QuantPlan::build(&[0.0, 1.0]).is_none());
+        assert!(QuantPlan::build(&[-0.5]).is_none());
+        assert!(QuantPlan::build(&[f64::INFINITY]).is_none());
+        assert!(QuantPlan::build(&[f64::NAN]).is_none());
+        assert!(QuantPlan::build(&[]).is_none());
+    }
+
+    #[test]
+    fn sum_overflow_rejects() {
+        // Each weight fits u32, but the total would overflow the key
+        // space, so a long path could wrap — reject.
+        let big = f64::from(u32::MAX - 1);
+        assert!(QuantPlan::build(&[big, big]).is_none());
+        assert!(QuantPlan::build(&[big]).is_some());
+    }
+
+    #[test]
+    fn tiny_dyadic_within_shift_cap() {
+        let w = exp2(-40);
+        let plan = QuantPlan::build(&[w, 2.0 * w]).unwrap();
+        assert_eq!(plan.weights, vec![1, 2]);
+        assert!(QuantPlan::build(&[exp2(-41)]).is_none());
+    }
+}

@@ -1,13 +1,20 @@
 //! Reusable, epoch-tagged scratch buffers for routing searches.
 //!
 //! Every Dijkstra/BFS call used to allocate fresh `dist`/`prev`/
-//! `visited` vectors and a fresh binary heap, then drop them — millions
-//! of short-lived allocations per sweep. [`RoutingScratch`] keeps those
-//! buffers alive and *epoch-stamps* entries instead of clearing them: a
-//! slot's `dist`/`prev` value is valid only when its stamp equals the
-//! current search epoch, so starting a new search is a single counter
-//! bump plus a heap `clear()` — no zeroing, no allocation once the
-//! buffers have grown to the network size.
+//! `visited` vectors and a fresh priority queue, then drop them —
+//! millions of short-lived allocations per sweep. [`RoutingScratch`]
+//! keeps those buffers alive and *epoch-stamps* entries instead of
+//! clearing them: a slot's `dist`/`prev` value is valid only when its
+//! stamp equals the current search epoch, so starting a new search is a
+//! single counter bump plus queue `clear()`s — no zeroing, no
+//! allocation once the buffers have grown to the network size.
+//!
+//! One scratch hosts the working state of *all* routing kernels: the
+//! bucket-queue kernel's quantized distances and radix buckets
+//! ([`super::bucket`]), the binary-heap fallback's queue
+//! ([`super::heap_fallback`]), the widest-path rank buckets
+//! ([`super::widest`]), and an independent BFS epoch so breadth-first
+//! rings may interleave with weighted searches.
 //!
 //! Long-lived owners ([`crate::OracleSession`], the oracle's tree
 //! cache, Yen's spur loop, Steiner rounds) hold an explicit scratch and
@@ -17,42 +24,15 @@
 //! thread-local is already borrowed (e.g. a filter closure that
 //! recursively routes), so no code path can panic on a double borrow.
 
+use super::bucket::RadixQueue;
+use super::heap_fallback::MinHeap;
+use super::widest::WideBuckets;
 use crate::ids::{LinkId, NodeId};
 use crate::path::Path;
 use std::cell::RefCell;
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 
 /// Sentinel predecessor meaning "search source / no predecessor".
 const NO_PREV: u32 = u32::MAX;
-
-/// Max-heap entry ordered so the *cheapest* distance pops first.
-///
-/// Tie-break on node id keeps pop order — and therefore predecessor
-/// trees — fully deterministic.
-#[derive(Debug, PartialEq)]
-pub(crate) struct MinCostEntry {
-    pub(crate) dist: f64,
-    pub(crate) node: NodeId,
-}
-
-impl Eq for MinCostEntry {}
-
-impl Ord for MinCostEntry {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse so BinaryHeap (a max-heap) pops the minimum distance.
-        other
-            .dist
-            .total_cmp(&self.dist)
-            .then_with(|| other.node.cmp(&self.node))
-    }
-}
-
-impl PartialOrd for MinCostEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
 
 /// Reusable search state for the routing kernels.
 ///
@@ -66,9 +46,16 @@ pub struct RoutingScratch {
     stamp: Vec<u32>,
     settled: Vec<u32>,
     dist: Vec<f64>,
+    /// Quantized distances mirroring `dist` on the bucket-kernel path;
+    /// valid under the same stamp.
+    qdist: Vec<u32>,
     /// `(prev_node, via_link)`; `prev_node == NO_PREV` marks the source.
     prev: Vec<(u32, u32)>,
-    pub(crate) heap: BinaryHeap<MinCostEntry>,
+    pub(crate) heap: MinHeap,
+    pub(crate) radix: RadixQueue,
+    pub(crate) wide: WideBuckets,
+    /// Per-query quantization buffer for LARAC `Lagrange(λ)` weights.
+    pub(crate) lagrange_qw: Vec<u32>,
     /// Independent epoch/stamp pair for breadth-first searches, so a
     /// BFS may interleave with Dijkstra runs on the same scratch.
     bfs_epoch: u32,
@@ -90,6 +77,7 @@ impl RoutingScratch {
             self.stamp.resize(n, 0);
             self.settled.resize(n, 0);
             self.dist.resize(n, f64::INFINITY);
+            self.qdist.resize(n, u32::MAX);
             self.prev.resize(n, (NO_PREV, NO_PREV));
         }
         if self.epoch == u32::MAX {
@@ -113,12 +101,56 @@ impl RoutingScratch {
         }
     }
 
+    /// Tentative *quantized* distance of `v` in the current search
+    /// (bucket-kernel path only).
+    #[inline]
+    pub(crate) fn qdist(&self, v: NodeId) -> u32 {
+        if self.stamp[v.index()] == self.epoch {
+            self.qdist[v.index()]
+        } else {
+            u32::MAX
+        }
+    }
+
+    /// Tentative bottleneck width of `v` in the current search
+    /// (widest-path kernel only; the width rides in the `dist` slot).
+    #[inline]
+    pub(crate) fn width(&self, v: NodeId) -> f64 {
+        if self.stamp[v.index()] == self.epoch {
+            self.dist[v.index()]
+        } else {
+            f64::NEG_INFINITY
+        }
+    }
+
     /// Records a relaxation: `v` reached at `d` via `prev`.
     #[inline]
     pub(crate) fn relax(&mut self, v: NodeId, d: f64, prev: Option<(NodeId, LinkId)>) {
         let i = v.index();
         self.stamp[i] = self.epoch;
         self.dist[i] = d;
+        self.prev[i] = match prev {
+            Some((p, l)) => (p.0, l.0),
+            None => (NO_PREV, NO_PREV),
+        };
+    }
+
+    /// Records a quantized relaxation: `v` reached at integer distance
+    /// `q` via `prev`. The `f64` distance is reconstructed exactly —
+    /// `scale` is a power of two and `q < 2³² < 2⁵³` — so downstream
+    /// consumers see bit-identical values to the heap kernel's sums.
+    #[inline]
+    pub(crate) fn relax_q(
+        &mut self,
+        v: NodeId,
+        q: u32,
+        scale: f64,
+        prev: Option<(NodeId, LinkId)>,
+    ) {
+        let i = v.index();
+        self.stamp[i] = self.epoch;
+        self.dist[i] = f64::from(q) * scale;
+        self.qdist[i] = q;
         self.prev[i] = match prev {
             Some((p, l)) => (p.0, l.0),
             None => (NO_PREV, NO_PREV),
@@ -249,6 +281,28 @@ mod tests {
         assert!(s.dist(NodeId(9)).is_infinite());
         s.relax(NodeId(9), 0.5, None);
         assert_eq!(s.dist(NodeId(9)), 0.5);
+    }
+
+    #[test]
+    fn quantized_relaxation_mirrors_float_view() {
+        let mut s = RoutingScratch::new();
+        s.begin(4);
+        assert_eq!(s.qdist(NodeId(3)), u32::MAX);
+        s.relax_q(NodeId(3), 12, 0.25, Some((NodeId(1), LinkId(2))));
+        assert_eq!(s.qdist(NodeId(3)), 12);
+        assert_eq!(s.dist(NodeId(3)), 3.0);
+        assert_eq!(s.prev_of(NodeId(3)), Some((NodeId(1), LinkId(2))));
+        s.begin(4);
+        assert_eq!(s.qdist(NodeId(3)), u32::MAX);
+    }
+
+    #[test]
+    fn width_view_defaults_to_negative_infinity() {
+        let mut s = RoutingScratch::new();
+        s.begin(3);
+        assert_eq!(s.width(NodeId(1)), f64::NEG_INFINITY);
+        s.relax(NodeId(1), 7.5, None);
+        assert_eq!(s.width(NodeId(1)), 7.5);
     }
 
     #[test]

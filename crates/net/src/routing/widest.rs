@@ -6,40 +6,100 @@
 //! This is the classic widest-path problem — Dijkstra with `min` instead
 //! of `+` and `max`-relaxation — over the residual capacities.
 //!
-//! The relaxation loop scans the network's CSR snapshot like the other
-//! kernels; the width semiring needs its own heap ordering and
-//! sentinels, so it keeps local working vectors rather than sharing the
-//! min-cost [`RoutingScratch`](super::RoutingScratch).
+//! Like the min-cost kernels, the relaxation loop scans the network's
+//! CSR snapshot and keeps its working state in the shared epoch-stamped
+//! [`RoutingScratch`]. The width semiring has no useful integer
+//! quantization, but it *does* have a small key universe: every
+//! reachable bottleneck width is one of the per-link widths. The queue
+//! is therefore a rank bucket array (Dial's algorithm over the
+//! descending-sorted distinct widths) instead of a comparison heap —
+//! pushes are O(log ranks) binary-search inserts, pops are cursor
+//! bumps, and the buckets replicate the old heap's
+//! (width desc, node asc) pop order exactly, so predecessor trees are
+//! unchanged.
 
+use super::scratch::{with_thread_scratch, RoutingScratch};
 use super::LinkFilter;
 use crate::graph::Network;
 use crate::ids::{LinkId, NodeId};
 use crate::path::Path;
 use crate::snapshot::NetworkSnapshot;
 use crate::state::NetworkState;
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 
-#[derive(Debug, PartialEq)]
-struct HeapEntry {
-    width: f64,
-    node: NodeId,
+/// Rank-bucket queue for the widest-path kernel, embedded in
+/// [`RoutingScratch`] so its arrays persist across searches.
+///
+/// `ranks` holds the distinct per-link widths sorted descending
+/// (`total_cmp`, matching the old heap's ordering); bucket `r` holds
+/// the frontier nodes whose tentative bottleneck width is `ranks[r]`,
+/// kept sorted ascending by node id. Draining buckets in rank order
+/// with a cursor reproduces the heap's deterministic pop order, and a
+/// same-rank relaxation (`min(parent, link) == parent`) inserts into
+/// the un-drained tail at its sorted position.
+#[derive(Debug, Default)]
+pub(crate) struct WideBuckets {
+    link_width: Vec<f64>,
+    ranks: Vec<f64>,
+    buckets: Vec<Vec<u32>>,
+    /// Rank currently draining and its cursor into the bucket.
+    current: usize,
+    cursor: usize,
+    /// Number of live ranks this search (buckets only ever grow).
+    active: usize,
 }
 
-impl Eq for HeapEntry {}
-
-impl Ord for HeapEntry {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Max-heap on width: the widest frontier pops first.
-        self.width
-            .total_cmp(&other.width)
-            .then_with(|| other.node.cmp(&self.node))
+impl WideBuckets {
+    /// Rebuilds the width table and rank index for a new search.
+    pub(crate) fn prepare(&mut self, links: usize, width_of: &impl Fn(LinkId) -> f64) {
+        self.link_width.clear();
+        self.link_width
+            .extend((0..links).map(|l| width_of(LinkId(l as u32))));
+        self.ranks.clear();
+        self.ranks.extend_from_slice(&self.link_width);
+        self.ranks.sort_unstable_by(|a, b| b.total_cmp(a));
+        self.ranks.dedup_by(|a, b| a.total_cmp(b).is_eq());
+        self.active = self.ranks.len();
+        if self.buckets.len() < self.active {
+            self.buckets.resize_with(self.active, Vec::new);
+        }
+        for b in &mut self.buckets[..self.active] {
+            b.clear();
+        }
+        self.current = 0;
+        self.cursor = 0;
     }
-}
 
-impl PartialOrd for HeapEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
+    /// The precomputed width of `link`.
+    #[inline]
+    pub(crate) fn link_width(&self, link: LinkId) -> f64 {
+        self.link_width[link.index()]
+    }
+
+    /// Enqueues `node` at bottleneck width `w`. `w` always carries the
+    /// bit pattern of some link width (it is a `min` over them), so the
+    /// rank lookup is exact.
+    pub(crate) fn push(&mut self, w: f64, node: u32) {
+        let r = self.ranks.partition_point(|x| x.total_cmp(&w).is_gt());
+        debug_assert!(r < self.active && self.ranks[r].total_cmp(&w).is_eq());
+        let b = &mut self.buckets[r];
+        let start = if r == self.current { self.cursor } else { 0 };
+        let pos = b[start..].partition_point(|&x| x < node);
+        b.insert(start + pos, node);
+    }
+
+    /// Pops the widest `(width, node)` frontier entry, smallest node id
+    /// first on width ties — the old heap's exact pop order.
+    pub(crate) fn pop(&mut self) -> Option<(f64, u32)> {
+        while self.current < self.active {
+            if self.cursor < self.buckets[self.current].len() {
+                let v = self.buckets[self.current][self.cursor];
+                self.cursor += 1;
+                return Some((self.ranks[self.current], v));
+            }
+            self.current += 1;
+            self.cursor = 0;
+        }
+        None
     }
 }
 
@@ -54,62 +114,82 @@ pub fn widest_path<F: LinkFilter>(
     filter: &F,
     width_of: impl Fn(LinkId) -> f64,
 ) -> Option<(Path, f64)> {
+    with_thread_scratch(|scratch| widest_path_in(net, from, to, filter, width_of, scratch))
+}
+
+/// Like [`widest_path`], but runs in a caller-provided scratch so
+/// repeated queries reuse one set of working buffers.
+pub fn widest_path_in<F: LinkFilter>(
+    net: &Network,
+    from: NodeId,
+    to: NodeId,
+    filter: &F,
+    width_of: impl Fn(LinkId) -> f64,
+    scratch: &mut RoutingScratch,
+) -> Option<(Path, f64)> {
     if from == to {
         return Some((Path::trivial(from), f64::INFINITY));
     }
     let snap: &NetworkSnapshot = net.snapshot();
-    let n = snap.node_count();
-    let mut best = vec![f64::NEG_INFINITY; n];
-    let mut prev: Vec<Option<(NodeId, LinkId)>> = vec![None; n];
-    let mut settled = vec![false; n];
-    let mut heap = BinaryHeap::new();
-    best[from.index()] = f64::INFINITY;
-    heap.push(HeapEntry {
-        width: f64::INFINITY,
-        node: from,
-    });
-    while let Some(HeapEntry { width, node }) = heap.pop() {
-        if settled[node.index()] {
+    scratch.begin(snap.node_count());
+    scratch.wide.prepare(net.link_count(), &width_of);
+    // The source is the unique infinite-width entry: settle it up front
+    // (mirroring the old heap's first pop) so the buckets only ever see
+    // link-width keys.
+    scratch.relax(from, f64::INFINITY, None);
+    scratch.settle(from);
+    relax_arcs(snap, from, f64::INFINITY, filter, scratch);
+    while let Some((width, v)) = scratch.wide.pop() {
+        let node = NodeId(v);
+        if scratch.is_settled(node) {
             continue;
         }
-        settled[node.index()] = true;
+        scratch.settle(node);
         if node == to {
             break;
         }
-        for i in snap.arc_range(node) {
-            let next = snap.arc_target(i);
-            let link = snap.arc_link(i);
-            if settled[next.index()] || !filter.allows(link) {
-                continue;
-            }
-            let w = width.min(width_of(link));
-            if w > best[next.index()] {
-                best[next.index()] = w;
-                prev[next.index()] = Some((node, link));
-                heap.push(HeapEntry {
-                    width: w,
-                    node: next,
-                });
-            }
-        }
+        relax_arcs(snap, node, width, filter, scratch);
     }
-    if !best[to.index()].is_finite() && best[to.index()] == f64::NEG_INFINITY {
+    let best = scratch.width(to);
+    if best == f64::NEG_INFINITY {
         return None;
     }
     let mut nodes = vec![to];
     let mut links = Vec::new();
     let mut cur = to;
     while cur != from {
-        let (p, l) = prev[cur.index()]?;
+        let (p, l) = scratch.prev_of(cur)?;
         nodes.push(p);
         links.push(l);
         cur = p;
     }
     nodes.reverse();
     links.reverse();
-    Path::new(net, nodes, links)
-        .ok()
-        .map(|p| (p, best[to.index()]))
+    Path::new(net, nodes, links).ok().map(|p| (p, best))
+}
+
+/// One relaxation round: widens every admitted neighbor of `node`
+/// reachable through a strictly better bottleneck.
+#[inline]
+fn relax_arcs<F: LinkFilter>(
+    snap: &NetworkSnapshot,
+    node: NodeId,
+    width: f64,
+    filter: &F,
+    scratch: &mut RoutingScratch,
+) {
+    for i in snap.arc_range(node) {
+        let next = snap.arc_target(i);
+        let link = snap.arc_link(i);
+        if scratch.is_settled(next) || !filter.allows(link) {
+            continue;
+        }
+        let w = width.min(scratch.wide.link_width(link));
+        if w > scratch.width(next) {
+            scratch.relax(next, w, Some((node, link)));
+            scratch.wide.push(w, next.0);
+        }
+    }
 }
 
 /// Widest path over a residual [`NetworkState`] (width = remaining
@@ -192,5 +272,49 @@ mod tests {
         let (p, w) = widest_path(&g, NodeId(0), NodeId(3), &f, |l| g.link(l).capacity).unwrap();
         assert_eq!(p.nodes(), &[NodeId(0), NodeId(2), NodeId(3)]);
         assert_eq!(w, 2.0);
+    }
+
+    #[test]
+    fn shared_scratch_reproduces_per_call_results() {
+        let g = net();
+        let mut scratch = RoutingScratch::new();
+        for from in g.node_ids() {
+            for to in g.node_ids() {
+                let fresh = widest_path(&g, from, to, &NoFilter, |l| g.link(l).capacity);
+                let reused = widest_path_in(
+                    &g,
+                    from,
+                    to,
+                    &NoFilter,
+                    |l| g.link(l).capacity,
+                    &mut scratch,
+                );
+                match (fresh, reused) {
+                    (Some((a, wa)), Some((b, wb))) => {
+                        assert_eq!(a.nodes(), b.nodes());
+                        assert_eq!(a.links(), b.links());
+                        assert_eq!(wa.to_bits(), wb.to_bits());
+                    }
+                    (a, b) => assert_eq!(a.is_none(), b.is_none()),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_widths_share_a_rank() {
+        // Many equal-capacity links exercise the same-rank tie-breaks.
+        let mut g = Network::new();
+        g.add_nodes(5);
+        g.add_link(NodeId(0), NodeId(1), 1.0, 4.0).unwrap();
+        g.add_link(NodeId(0), NodeId(2), 1.0, 4.0).unwrap();
+        g.add_link(NodeId(1), NodeId(3), 1.0, 4.0).unwrap();
+        g.add_link(NodeId(2), NodeId(3), 1.0, 4.0).unwrap();
+        g.add_link(NodeId(3), NodeId(4), 1.0, 4.0).unwrap();
+        let (p, w) =
+            widest_path(&g, NodeId(0), NodeId(4), &NoFilter, |l| g.link(l).capacity).unwrap();
+        assert_eq!(w, 4.0);
+        // Deterministic tie-break: the lower-id branch wins.
+        assert_eq!(p.nodes(), &[NodeId(0), NodeId(1), NodeId(3), NodeId(4)]);
     }
 }

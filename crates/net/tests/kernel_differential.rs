@@ -1,0 +1,308 @@
+//! Differential audit: bucket-queue kernel ≡ binary-heap kernel.
+//!
+//! The monotone bucket (radix) queue only engages when the active weight
+//! axis quantizes losslessly onto `u32`; when it does, the resulting
+//! shortest-path tree must match the heap reference *bit for bit* —
+//! distances, predecessors, and every tie-break. These tests sweep both
+//! kernels over ≥12 seeded substrates (random generator + structured
+//! topologies), under down-link and down-node filters and λ-weighted
+//! (LARAC) sessions, and assert exact equality.
+//!
+//! Continuous fluctuated prices (the production generators) are not
+//! dyadic, so there the `Auto` kernel falls back to the heap — asserted
+//! explicitly, since figure-CSV byte-identity rides on that fallback.
+//! The bucket path is exercised on dyadic re-pricings of the same
+//! topologies (every weight snapped to a 2⁻⁴ grid).
+
+use dagsfc_net::generator::generate;
+use dagsfc_net::routing::{
+    bucket_kernel_available, ArcWeight, LinkFilter, NoFilter, RoutingKernel, RoutingScratch,
+    ShortestPathTree,
+};
+use dagsfc_net::topologies::{build, Topology};
+use dagsfc_net::{LinkId, NetGenConfig, Network, NodeId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Rebuilds `src` with identical topology/capacities but every link
+/// price and delay snapped to the dyadic `grid` (a power of two), so
+/// the lossless quantizer accepts both weight axes.
+fn dyadic_copy(src: &Network, grid: f64) -> Network {
+    let snap = |x: f64| ((x / grid).round().max(1.0)) * grid;
+    let mut net = Network::new();
+    net.add_nodes(src.node_count());
+    for l in 0..src.link_count() {
+        let link = src.link(LinkId(l as u32));
+        net.add_link_with_delay(
+            link.a,
+            link.b,
+            snap(link.price),
+            link.capacity,
+            snap(link.delay_us),
+        )
+        .unwrap();
+    }
+    net
+}
+
+/// The twelve seeded substrates: six random-generator draws and six
+/// structured topologies, all small enough to sweep exhaustively.
+fn substrates() -> Vec<(String, Network)> {
+    let cfg = NetGenConfig {
+        nodes: 40,
+        avg_degree: 4.0,
+        ..NetGenConfig::default()
+    };
+    let mut nets = Vec::new();
+    for seed in 0..6u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let net = generate(&cfg, &mut rng).unwrap();
+        nets.push((format!("generated/{seed}"), net));
+    }
+    let topos = [
+        Topology::Ring { n: 24 },
+        Topology::Grid {
+            rows: 4,
+            cols: 6,
+            wrap: false,
+        },
+        Topology::Grid {
+            rows: 4,
+            cols: 6,
+            wrap: true,
+        },
+        Topology::FatTree { k: 4 },
+        Topology::Waxman {
+            n: 30,
+            alpha: 0.9,
+            beta: 0.9,
+        },
+        Topology::BarabasiAlbert { n: 30, m: 2 },
+    ];
+    for (i, topo) in topos.into_iter().enumerate() {
+        let mut rng = StdRng::seed_from_u64(100 + i as u64);
+        let net = build(topo, &cfg, &mut rng).unwrap();
+        nets.push((format!("topology/{i}"), net));
+    }
+    nets
+}
+
+/// Builds the same weighted tree with both kernels and asserts bitwise
+/// identity of distances and full predecessor paths for every node.
+fn assert_kernels_agree<F: LinkFilter>(
+    label: &str,
+    net: &Network,
+    source: NodeId,
+    filter: &F,
+    target: Option<NodeId>,
+    weight: ArcWeight,
+) {
+    let mut sa = RoutingScratch::new();
+    let mut sb = RoutingScratch::new();
+    let auto = ShortestPathTree::build_weighted_kernel_in(
+        net,
+        source,
+        filter,
+        target,
+        &mut sa,
+        weight,
+        RoutingKernel::Auto,
+    );
+    let heap = ShortestPathTree::build_weighted_kernel_in(
+        net,
+        source,
+        filter,
+        target,
+        &mut sb,
+        weight,
+        RoutingKernel::Heap,
+    );
+    for v in net.node_ids() {
+        let da = auto.dist_to(v).map(f64::to_bits);
+        let dh = heap.dist_to(v).map(f64::to_bits);
+        assert_eq!(
+            da, dh,
+            "{label}: dist divergence at {v:?} (src {source:?}, {weight:?})"
+        );
+        let pa = auto.path_to(v);
+        let ph = heap.path_to(v);
+        match (pa, ph) {
+            (Some(a), Some(h)) => {
+                assert_eq!(
+                    a.nodes(),
+                    h.nodes(),
+                    "{label}: parent/tie-break divergence at {v:?} (src {source:?}, {weight:?})"
+                );
+                assert_eq!(a.links(), h.links(), "{label}: link divergence at {v:?}");
+            }
+            (a, h) => assert_eq!(
+                a.is_none(),
+                h.is_none(),
+                "{label}: reachability divergence at {v:?}"
+            ),
+        }
+    }
+}
+
+/// Sample of source nodes covering both ends of the id range.
+fn sources(net: &Network) -> [NodeId; 4] {
+    let n = net.node_count() as u32;
+    [NodeId(0), NodeId(n / 3), NodeId(n / 2), NodeId(n - 1)]
+}
+
+const WEIGHTS: [ArcWeight; 4] = [
+    ArcWeight::Price,
+    ArcWeight::Delay,
+    // Dyadic λ: price + λ·delay stays on the dyadic grid, so the
+    // bucket kernel engages on the per-query Lagrange quantization.
+    ArcWeight::Lagrange(0.5),
+    // Non-dyadic λ: the per-query quantization must reject and fall
+    // back to the heap — still required to agree (trivially).
+    ArcWeight::Lagrange(0.3),
+];
+
+#[test]
+fn continuous_prices_fall_back_to_heap_and_agree() {
+    for (label, net) in substrates() {
+        // Fluctuated continuous draws never land the whole arc array on
+        // a dyadic grid: the figure CSVs are byte-identical because the
+        // production substrates take the heap path unchanged.
+        assert!(
+            !bucket_kernel_available(&net, ArcWeight::Price),
+            "{label}: expected heap fallback on continuous prices"
+        );
+        assert!(!bucket_kernel_available(&net, ArcWeight::Delay));
+        for source in sources(&net) {
+            assert_kernels_agree(&label, &net, source, &NoFilter, None, ArcWeight::Price);
+        }
+    }
+}
+
+#[test]
+fn dyadic_substrates_engage_bucket_and_match_heap() {
+    for (label, base) in substrates() {
+        let net = dyadic_copy(&base, 0.0625);
+        assert!(
+            bucket_kernel_available(&net, ArcWeight::Price),
+            "{label}: dyadic re-pricing must quantize losslessly"
+        );
+        assert!(bucket_kernel_available(&net, ArcWeight::Delay));
+        assert!(bucket_kernel_available(&net, ArcWeight::Lagrange(0.5)));
+        for weight in WEIGHTS {
+            for source in sources(&net) {
+                assert_kernels_agree(&label, &net, source, &NoFilter, None, weight);
+            }
+        }
+    }
+}
+
+#[test]
+fn filtered_sessions_match_under_down_links_and_down_nodes() {
+    for (label, base) in substrates() {
+        let net = dyadic_copy(&base, 0.0625);
+        // Down-link session: every fifth link is failed, the oracle's
+        // link-outage filter shape.
+        let down_links = move |l: LinkId| l.0 % 5 != 2;
+        // Down-node session: links touching the failed node are
+        // unusable, mirroring the oracle's down-node arc filter.
+        let dead = NodeId(net.node_count() as u32 / 2);
+        let banned: Vec<bool> = (0..net.link_count())
+            .map(|l| net.link(LinkId(l as u32)).touches(dead))
+            .collect();
+        let down_node = move |l: LinkId| !banned[l.index()];
+        for weight in [ArcWeight::Price, ArcWeight::Delay, ArcWeight::Lagrange(0.5)] {
+            for source in sources(&net) {
+                if source == dead {
+                    continue;
+                }
+                assert_kernels_agree(&label, &net, source, &down_links, None, weight);
+                assert_kernels_agree(&label, &net, source, &down_node, None, weight);
+            }
+        }
+    }
+}
+
+#[test]
+fn early_target_exit_matches_heap() {
+    for (label, base) in substrates() {
+        let net = dyadic_copy(&base, 0.0625);
+        let n = net.node_count() as u32;
+        for (s, t) in [(0, n - 1), (n / 2, 0), (1, n / 2)] {
+            assert_kernels_agree(
+                &label,
+                &net,
+                NodeId(s),
+                &NoFilter,
+                Some(NodeId(t)),
+                ArcWeight::Price,
+            );
+        }
+    }
+}
+
+#[test]
+fn uniform_prices_pin_tie_breaks() {
+    // Every link priced 1.0: shortest-path trees are all tie-breaks.
+    // A ring with chords yields many equal-cost alternatives, so any
+    // deviation in pop order or relaxation strictness shows up here.
+    let mut net = Network::new();
+    let n = 30u32;
+    net.add_nodes(n as usize);
+    for i in 0..n {
+        net.add_link_with_delay(NodeId(i), NodeId((i + 1) % n), 1.0, 100.0, 2.0)
+            .unwrap();
+    }
+    for i in 0..n {
+        net.add_link_with_delay(NodeId(i), NodeId((i + 6) % n), 1.0, 100.0, 2.0)
+            .unwrap();
+    }
+    assert!(bucket_kernel_available(&net, ArcWeight::Price));
+    for source in net.node_ids() {
+        for weight in [ArcWeight::Price, ArcWeight::Lagrange(0.5)] {
+            assert_kernels_agree("uniform", &net, source, &NoFilter, None, weight);
+        }
+    }
+}
+
+#[test]
+fn scratch_reuse_across_kernels_is_clean() {
+    // One shared scratch alternating bucket and heap searches must not
+    // leak state between kernels (epoch stamping covers qdist too).
+    let (_, base) = substrates().remove(0);
+    let net = dyadic_copy(&base, 0.0625);
+    let mut shared = RoutingScratch::new();
+    for q in 0..40u32 {
+        let source = NodeId(q % net.node_count() as u32);
+        let kernel = if q % 2 == 0 {
+            RoutingKernel::Auto
+        } else {
+            RoutingKernel::Heap
+        };
+        let tree = ShortestPathTree::build_weighted_kernel_in(
+            &net,
+            source,
+            &NoFilter,
+            None,
+            &mut shared,
+            ArcWeight::Price,
+            kernel,
+        );
+        let mut fresh = RoutingScratch::new();
+        let reference = ShortestPathTree::build_weighted_kernel_in(
+            &net,
+            source,
+            &NoFilter,
+            None,
+            &mut fresh,
+            ArcWeight::Price,
+            RoutingKernel::Heap,
+        );
+        for v in net.node_ids() {
+            assert_eq!(
+                tree.dist_to(v).map(f64::to_bits),
+                reference.dist_to(v).map(f64::to_bits),
+                "shared-scratch divergence at {v:?} query {q}"
+            );
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Property tests for the lossless arc-weight quantizer.
+//!
+//! The contract behind the bucket kernel's correctness proof is strict:
+//! [`QuantPlan::build`] either produces a `u32` scaling under which
+//! *every* input weight round-trips to its exact `f64` bit pattern, or
+//! it returns `None`. It must never silently round — a single ULP of
+//! drift would let the bucket and heap kernels disagree on a tie-break
+//! and silently reorder figure CSVs.
+
+use dagsfc_net::routing::QuantPlan;
+use proptest::prelude::*;
+
+/// A weight that is exactly `m · 2⁻ᵏ` for the given shift.
+fn dyadic(m: u32, k: u32) -> f64 {
+    // 2⁻ᵏ is exact for small k; m stays well inside f64's 53-bit
+    // integer range, so the product is the exact dyadic rational.
+    f64::from(m) * 2f64.powi(-(k as i32))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Any all-dyadic input under the shift cap with a bounded sum must
+    /// be accepted, and every weight must reconstruct bit-exactly.
+    #[test]
+    fn dyadic_inputs_round_trip(
+        k in 0u32..=12,
+        ms in prop::collection::vec(1u32..=50_000, 1..48),
+    ) {
+        let ws: Vec<f64> = ms.iter().map(|&m| dyadic(m, k)).collect();
+        let plan = QuantPlan::build(&ws).expect("dyadic grid must quantize");
+        prop_assert_eq!(plan.weights.len(), ws.len());
+        for (q, w) in plan.weights.iter().zip(&ws) {
+            let back = f64::from(*q) * plan.scale;
+            prop_assert_eq!(back.to_bits(), w.to_bits(), "round-trip must be exact");
+            prop_assert!(*q >= 1, "quantized weights stay strictly positive");
+        }
+    }
+
+    /// Whatever the input, acceptance implies exact reconstruction and
+    /// a path-sum bound: Σq ≤ u32::MAX keeps every bucket key exact.
+    #[test]
+    fn never_silently_rounds(
+        ws in prop::collection::vec(
+            prop_oneof![
+                // Dyadic grid values (accept candidates).
+                (1u32..=4096, 0u32..=8).prop_map(|(m, k)| dyadic(m, k)),
+                // Continuous draws (reject candidates).
+                0.001f64..1.0e6,
+                // Degenerate values (must force rejection).
+                Just(0.0),
+                Just(-1.5),
+                Just(f64::NAN),
+                Just(f64::INFINITY),
+            ],
+            1..48,
+        ),
+    ) {
+        match QuantPlan::build(&ws) {
+            Some(plan) => {
+                let mut sum: u64 = 0;
+                for (q, w) in plan.weights.iter().zip(&ws) {
+                    let back = f64::from(*q) * plan.scale;
+                    prop_assert_eq!(
+                        back.to_bits(),
+                        w.to_bits(),
+                        "accepted plans must round-trip exactly"
+                    );
+                    sum += u64::from(*q);
+                }
+                prop_assert!(sum <= u64::from(u32::MAX), "path sums must fit u32");
+            }
+            None => {
+                // Rejection is always allowed; the properties above only
+                // constrain acceptance. Degenerate members *must* reject.
+            }
+        }
+    }
+
+    /// Non-positive or non-finite members force rejection outright.
+    #[test]
+    fn degenerate_members_force_rejection(
+        prefix in prop::collection::vec(1u32..=100, 0..8),
+        bad in prop_oneof![
+            Just(0.0f64),
+            Just(-2.5f64),
+            Just(f64::NAN),
+            Just(f64::INFINITY),
+            Just(f64::NEG_INFINITY),
+        ],
+    ) {
+        let mut ws: Vec<f64> = prefix.iter().map(|&m| f64::from(m)).collect();
+        ws.push(bad);
+        prop_assert!(QuantPlan::build(&ws).is_none());
+    }
+
+    /// Scaling a dyadic grid by an irrational-ish factor (1/3) breaks
+    /// dyadicity and must reject — no hidden epsilon acceptance.
+    #[test]
+    fn non_dyadic_grids_reject(ms in prop::collection::vec(1u32..=1000, 1..32)) {
+        let ws: Vec<f64> = ms.iter().map(|&m| f64::from(m) / 3.0).collect();
+        // m/3 is dyadic only if the division lands exactly on a binary
+        // fraction, which a 1/3 factor never does for m not ≡ 0 (mod 3)…
+        // and even m = 3j gives j exactly, which *is* dyadic. Mixed
+        // vectors with at least one non-multiple must reject.
+        if ms.iter().any(|m| m % 3 != 0) {
+            prop_assert!(QuantPlan::build(&ws).is_none());
+        } else {
+            // All-multiples collapse to integers: must accept exactly.
+            let plan = QuantPlan::build(&ws).expect("integer grid");
+            for (q, w) in plan.weights.iter().zip(&ws) {
+                prop_assert_eq!((f64::from(*q) * plan.scale).to_bits(), w.to_bits());
+            }
+        }
+    }
+}

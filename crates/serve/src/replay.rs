@@ -14,9 +14,8 @@
 use crate::client::{Client, ClientError, EmbedReply};
 use dagsfc_net::LeaseId;
 use dagsfc_sim::runner::{instance_network, instance_request};
+use dagsfc_sim::DepartureQueue;
 use dagsfc_sim::{arrival_seed, ArrivalOutcome, ReplayTrace};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 /// What a replay run observed — field-for-field comparable with
 /// `dagsfc_sim::LifecycleOutcome`.
@@ -56,7 +55,7 @@ impl ReplayReport {
 /// generates — the CLI and tests launch it that way.
 pub fn replay(client: &mut Client, trace: &ReplayTrace) -> Result<ReplayReport, ClientError> {
     let net = instance_network(&trace.base);
-    let mut departures: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+    let mut departures = DepartureQueue::new();
     let mut leases: Vec<Option<LeaseId>> = vec![None; trace.arrivals];
     let mut per_arrival = Vec::with_capacity(trace.arrivals);
     let mut departure_order = Vec::new();
@@ -65,11 +64,7 @@ pub fn replay(client: &mut Client, trace: &ReplayTrace) -> Result<ReplayReport, 
 
     for arrival in 0..trace.arrivals {
         let now = dagsfc_sim::lifecycle::to_fixed(arrival as f64);
-        while let Some(&Reverse((t, id))) = departures.peek() {
-            if t > now {
-                break;
-            }
-            departures.pop();
+        while let Some(id) = departures.pop_due(now) {
             // lint:allow(expect) — invariant: departs once
             let lease = leases[id].take().expect("departs once");
             client.release(lease)?;
@@ -86,7 +81,7 @@ pub fn replay(client: &mut Client, trace: &ReplayTrace) -> Result<ReplayReport, 
         match reply {
             EmbedReply::Accepted { lease, cost } => {
                 leases[arrival] = Some(lease);
-                departures.push(Reverse((trace.depart_at[arrival], arrival)));
+                departures.schedule(trace.depart_at[arrival], arrival);
                 accepted += 1;
                 per_arrival.push(ArrivalOutcome {
                     accepted: true,
@@ -103,7 +98,7 @@ pub fn replay(client: &mut Client, trace: &ReplayTrace) -> Result<ReplayReport, 
         }
     }
 
-    while let Some(Reverse((_, id))) = departures.pop() {
+    while let Some((_, id)) = departures.pop() {
         // lint:allow(expect) — invariant: departs once
         let lease = leases[id].take().expect("departs once");
         client.release(lease)?;

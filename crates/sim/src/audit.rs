@@ -10,13 +10,12 @@
 //! residual — the network state the solver actually saw — so capacity
 //! findings reflect the online constraints, not the empty network.
 
+use crate::departures::DepartureQueue;
 use crate::lifecycle::{arrival_seed, embed_and_commit, run_trace, ReplayTrace};
 use crate::runner::instance_request;
 use dagsfc_audit::{ConstraintAuditor, Violation};
 use dagsfc_net::{CommitLedger, LeaseId, Network};
 use serde::Serialize;
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 /// The auditor's findings for one accepted arrival.
 #[derive(Debug, Clone, Serialize)]
@@ -65,7 +64,7 @@ impl TraceAuditOutcome {
 pub fn audit_trace(net: &Network, trace: &ReplayTrace) -> TraceAuditOutcome {
     let auditor = ConstraintAuditor::new();
     let mut ledger = CommitLedger::new(net);
-    let mut departures: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+    let mut departures = DepartureQueue::new();
     let mut leases: Vec<Option<LeaseId>> = vec![None; trace.arrivals];
 
     let mut accepted = 0usize;
@@ -76,11 +75,7 @@ pub fn audit_trace(net: &Network, trace: &ReplayTrace) -> TraceAuditOutcome {
 
     for arrival in 0..trace.arrivals {
         let now = crate::lifecycle::to_fixed(arrival as f64);
-        while let Some(&Reverse((t, id))) = departures.peek() {
-            if t > now {
-                break;
-            }
-            departures.pop();
+        while let Some(id) = departures.pop_due(now) {
             // lint:allow(expect) — invariant: departs once
             let lease = leases[id].take().expect("departs once");
             // lint:allow(expect) — invariant: lease is active
@@ -111,7 +106,7 @@ pub fn audit_trace(net: &Network, trace: &ReplayTrace) -> TraceAuditOutcome {
                     });
                 }
                 leases[arrival] = Some(s.lease);
-                departures.push(Reverse((trace.depart_at[arrival], arrival)));
+                departures.schedule(trace.depart_at[arrival], arrival);
                 accepted += 1;
             }
             Err(_) => rejected += 1,

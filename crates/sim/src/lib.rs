@@ -20,6 +20,7 @@
 
 pub mod audit;
 pub mod config;
+pub mod departures;
 pub mod io;
 pub mod lifecycle;
 pub mod online;
@@ -33,13 +34,14 @@ pub mod workload;
 
 pub use audit::{audit_trace, audit_trace_checked, ArrivalAudit, TraceAuditOutcome};
 pub use config::SimConfig;
+pub use departures::DepartureQueue;
 pub use lifecycle::{
     arrival_seed, embed_and_commit, export_trace, run_lifecycle, run_lifecycle_detailed, run_trace,
     ArrivalOutcome, EmbedRejection, EmbedSuccess, LifecycleConfig, LifecycleMetrics,
     LifecycleOutcome, ReplayTrace,
 };
 pub use online::{acceptance_sweep, run_online, OnlineConfig, OnlineMetrics};
-pub use runner::{run_instance, Algo, AlgoResult, InstanceResult};
+pub use runner::{run_instance, run_instances_with_threads, Algo, AlgoResult, InstanceResult};
 pub use stats::Summary;
 pub use sweep::{SweepPoint, SweepResult};
 pub use trace::{head_to_head, trace_instance, AlgoTrace, Percentiles, RunRecord};

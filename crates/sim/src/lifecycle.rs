@@ -23,6 +23,7 @@
 //!   exact event order of the in-process simulation.
 
 use crate::config::SimConfig;
+use crate::departures::DepartureQueue;
 use crate::runner::{instance_network, instance_request, Algo};
 use dagsfc_audit::ConstraintAuditor;
 use dagsfc_core::solvers::{SolveOutcome, SolverStats};
@@ -31,8 +32,6 @@ use dagsfc_net::{CommitLedger, LeaseId, LinkId, NetError, Network};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 /// Configuration of a lifecycle simulation.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -307,9 +306,7 @@ pub fn export_trace(cfg: &LifecycleConfig) -> ReplayTrace {
 /// comparable bit-for-bit.
 pub fn run_trace(net: &Network, trace: &ReplayTrace) -> LifecycleOutcome {
     let mut ledger = CommitLedger::new(net);
-    // Departure queue: Reverse((time, arrival)) — min-time first,
-    // ascending arrival index on ties.
-    let mut departures: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+    let mut departures = DepartureQueue::new();
     let mut leases: Vec<Option<LeaseId>> = vec![None; trace.arrivals];
 
     let mut per_arrival = Vec::with_capacity(trace.arrivals);
@@ -326,11 +323,7 @@ pub fn run_trace(net: &Network, trace: &ReplayTrace) -> LifecycleOutcome {
 
     for arrival in 0..trace.arrivals {
         let now = to_fixed(arrival as f64);
-        while let Some(&Reverse((t, id))) = departures.peek() {
-            if t > now {
-                break;
-            }
-            departures.pop();
+        while let Some(id) = departures.pop_due(now) {
             // lint:allow(expect) — invariant: departs once
             let lease = leases[id].take().expect("departs once");
             // lint:allow(expect) — invariant: lease is active
@@ -361,7 +354,7 @@ pub fn run_trace(net: &Network, trace: &ReplayTrace) -> LifecycleOutcome {
                     }
                 }
                 leases[arrival] = Some(s.lease);
-                departures.push(Reverse((trace.depart_at[arrival], arrival)));
+                departures.schedule(trace.depart_at[arrival], arrival);
                 concurrent += 1;
                 peak = peak.max(concurrent);
                 accepted += 1;
@@ -383,7 +376,7 @@ pub fn run_trace(net: &Network, trace: &ReplayTrace) -> LifecycleOutcome {
     }
 
     // Drain all remaining departures to measure leakage.
-    while let Some(Reverse((_, id))) = departures.pop() {
+    while let Some((_, id)) = departures.pop() {
         // lint:allow(expect) — invariant: departs once
         let lease = leases[id].take().expect("departs once");
         // lint:allow(expect) — invariant: lease is active

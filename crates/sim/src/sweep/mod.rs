@@ -31,7 +31,7 @@ pub use sfc_size::fig6a;
 pub use topology::{topology_sweep, topology_table, TopologyPoint};
 
 use crate::config::SimConfig;
-use crate::runner::{run_instance, run_instances, Algo, AlgoResult, OracleSnapshot};
+use crate::runner::{run_instance, run_instances_with_threads, Algo, AlgoResult, OracleSnapshot};
 use serde::Serialize;
 
 /// BBE's practical SFC-size limit: the paper stops plotting BBE at size
@@ -121,8 +121,25 @@ pub fn sweep(
     set: impl Fn(&mut SimConfig, f64),
     algos: impl Fn(f64) -> Vec<Algo>,
 ) -> SweepResult {
+    sweep_with_threads(id, x_label, base, xs, set, algos, None)
+}
+
+/// [`sweep`] with an explicit worker count for the parallel executor
+/// (`None` = available parallelism). The bench harness records scaling
+/// curves by rerunning one sweep across thread counts; results are
+/// bit-identical at every count.
+#[allow(clippy::too_many_arguments)]
+pub fn sweep_with_threads(
+    id: &'static str,
+    x_label: &'static str,
+    base: &SimConfig,
+    xs: &[f64],
+    set: impl Fn(&mut SimConfig, f64),
+    algos: impl Fn(f64) -> Vec<Algo>,
+    threads: Option<usize>,
+) -> SweepResult {
     let plans = point_plans(base, xs, set, algos);
-    let points = run_instances(&plans)
+    let points = run_instances_with_threads(&plans, threads)
         .into_iter()
         .zip(xs)
         .map(|(result, &x)| SweepPoint {
@@ -218,6 +235,27 @@ mod tests {
         let r = sweep("test", "x", &base, &[1.0], |_, _| {}, |_| vec![Algo::Minv]);
         assert!(r.series("BBE").is_empty());
         assert!(r.points[0].mean_cost("MBBE").is_none());
+    }
+
+    #[test]
+    fn thread_count_never_changes_results() {
+        // The scaling-curve contract: any worker count (including the
+        // auto-serial fallback at 1) yields the serial reference
+        // bit-for-bit, so BENCH curves compare pure wall-time.
+        let base = tiny();
+        let xs = [2.0, 3.0, 4.0];
+        let set = |cfg: &mut SimConfig, x: f64| cfg.sfc_size = x as usize;
+        let algos = |_: f64| vec![Algo::Minv, Algo::Ranv];
+        let reference = sweep_serial("t", "x", &base, &xs, set, algos);
+        let want = crate::report::csv(&reference);
+        for threads in [1, 2, 4] {
+            let got = sweep_with_threads("t", "x", &base, &xs, set, algos, Some(threads));
+            assert_eq!(
+                crate::report::csv(&got),
+                want,
+                "threads={threads} diverged from serial"
+            );
+        }
     }
 
     #[test]

@@ -4,7 +4,8 @@
 //! [`proptest!`] macro with `ident in strategy` bindings and a
 //! `#![proptest_config(ProptestConfig::with_cases(N))]` header,
 //! [`Strategy`] over integer/float ranges, tuples of strategies,
-//! `prop::collection::vec`, and `.prop_map`.
+//! `prop::collection::vec`, `.prop_map`, and [`prop_oneof!`] unions of
+//! same-typed strategies.
 //!
 //! Differences from the real crate, deliberate for an offline shim:
 //! cases are sampled from a deterministic RNG seeded by the test's
@@ -135,6 +136,48 @@ impl<T: Clone> Strategy for Just<T> {
     }
 }
 
+/// Strategy choosing uniformly among same-typed alternatives; built by
+/// [`prop_oneof!`]. (The real crate supports per-arm weights; the shim
+/// samples arms uniformly, which every workspace property tolerates.)
+pub struct Union<T> {
+    arms: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    /// A union with no arms yet ([`prop_oneof!`] always adds at least
+    /// one before the first sample).
+    pub fn empty() -> Self {
+        Union { arms: Vec::new() }
+    }
+
+    /// Adds one alternative.
+    pub fn or(mut self, arm: impl Strategy<Value = T> + 'static) -> Self {
+        self.arms.push(Box::new(arm));
+        self
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        assert!(!self.arms.is_empty(), "prop_oneof! needs at least one arm");
+        let i = (rng.next_u64() % self.arms.len() as u64) as usize;
+        self.arms[i].generate(rng)
+    }
+}
+
+/// Uniform choice among strategies producing the same value type, as in
+/// the real crate's `prop_oneof![a, b, c]`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {{
+        let union = $crate::Union::empty();
+        $(let union = union.or($arm);)+
+        union
+    }};
+}
+
 macro_rules! int_range_strategy {
     ($($t:ty),*) => {$(
         impl Strategy for Range<$t> {
@@ -226,8 +269,8 @@ pub mod collection {
 
 pub mod prelude {
     pub use crate::{
-        collection as _collection_reexport, prop_assert, prop_assert_eq, prop_assert_ne, proptest,
-        Just, ProptestConfig, Strategy, TestCaseError, TestRng,
+        collection as _collection_reexport, prop_assert, prop_assert_eq, prop_assert_ne,
+        prop_oneof, proptest, Just, ProptestConfig, Strategy, TestCaseError, TestRng, Union,
     };
 
     pub mod prop {
@@ -326,6 +369,14 @@ mod tests {
         fn mapped_strategy(x in arb_even()) {
             prop_assert_eq!(x % 2, 0);
             prop_assert_ne!(x, 1);
+        }
+
+        #[test]
+        fn oneof_samples_every_arm(v in prop::collection::vec(
+            prop_oneof![Just(1u32), Just(2u32), (10u32..20).prop_map(|x| x)],
+            40..41,
+        )) {
+            prop_assert!(v.iter().all(|&x| x == 1 || x == 2 || (10..20).contains(&x)));
         }
     }
 
