@@ -70,6 +70,16 @@ pub enum Constraint {
     /// End-to-end delay budget (QoS extension, not a numbered paper
     /// constraint): delay under the canonical model ≤ `delay_budget_us`.
     Delay,
+    /// Precedence order (partial-order extension): every declared edge
+    /// of the chain's partial order crosses strictly forward between
+    /// embedded layers.
+    Order,
+    /// Affinity (placement-rule extension): a declared affinity pair
+    /// co-locates on one substrate node.
+    Affinity,
+    /// Anti-affinity (placement-rule extension): a declared
+    /// anti-affinity pair never shares a substrate node.
+    AntiAffinity,
 }
 
 impl fmt::Display for Constraint {
@@ -84,6 +94,9 @@ impl fmt::Display for Constraint {
             Constraint::C10 => write!(f, "(10)"),
             Constraint::Objective => write!(f, "(1)"),
             Constraint::Delay => write!(f, "(D)"),
+            Constraint::Order => write!(f, "(O)"),
+            Constraint::Affinity => write!(f, "(A)"),
+            Constraint::AntiAffinity => write!(f, "(AA)"),
         }
     }
 }
@@ -189,6 +202,31 @@ pub enum Violation {
         /// The flow's budget (µs).
         budget_us: f64,
     },
+    /// (O): a declared precedence edge of the chain's partial order is
+    /// not honored by the embedded layering (or names a position the
+    /// chain does not have). Re-derived from the chain's own
+    /// position→layer flattening, independent of the solver's.
+    PrecedenceViolated {
+        /// The offending edge, in flattened regular-slot positions.
+        edge: (u32, u32),
+        /// What went wrong, rendered.
+        detail: String,
+    },
+    /// (A): a declared affinity pair is split across substrate nodes
+    /// instead of co-locating on one.
+    AffinitySplit {
+        /// The kind pair.
+        pair: (VnfTypeId, VnfTypeId),
+        /// The distinct hosting nodes observed (sorted).
+        nodes: Vec<NodeId>,
+    },
+    /// (AA): a declared anti-affinity pair shares a substrate node.
+    AntiAffinityColocated {
+        /// The kind pair.
+        pair: (VnfTypeId, VnfTypeId),
+        /// The shared node.
+        node: NodeId,
+    },
 }
 
 impl Violation {
@@ -207,6 +245,9 @@ impl Violation {
             Violation::LinkChargeMismatch { .. } => Constraint::C9,
             Violation::CostMismatch { .. } => Constraint::Objective,
             Violation::DelayBudgetExceeded { .. } => Constraint::Delay,
+            Violation::PrecedenceViolated { .. } => Constraint::Order,
+            Violation::AffinitySplit { .. } => Constraint::Affinity,
+            Violation::AntiAffinityColocated { .. } => Constraint::AntiAffinity,
         }
     }
 }
@@ -270,6 +311,28 @@ impl fmt::Display for Violation {
                 f,
                 "end-to-end delay {delay_us} us exceeds the flow budget {budget_us} us"
             ),
+            Violation::PrecedenceViolated { edge, detail } => {
+                write!(f, "precedence edge ({}, {}): {detail}", edge.0, edge.1)
+            }
+            Violation::AffinitySplit { pair, nodes } => {
+                let hosts = nodes
+                    .iter()
+                    .map(|n| n.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                write!(
+                    f,
+                    "affinity ({}, {}) split across nodes {{{hosts}}}",
+                    pair.0, pair.1
+                )
+            }
+            Violation::AntiAffinityColocated { pair, node } => {
+                write!(
+                    f,
+                    "anti-affinity ({}, {}) co-located on {node}",
+                    pair.0, pair.1
+                )
+            }
         }
     }
 }
@@ -529,6 +592,73 @@ impl ConstraintAuditor {
             }
         }
 
+        // --- Constraint (O): the chain's declared partial order vs its
+        // embedded layering, re-derived from the chain's own
+        // position→layer flattening (independent of the solvers' seam).
+        if let Some(order) = sfc.order() {
+            let pos_layers = position_layers(sfc);
+            for &(i, j) in &order.edges {
+                let (iu, ju) = (i as usize, j as usize);
+                if iu >= pos_layers.len() || ju >= pos_layers.len() {
+                    violations.push(Violation::PrecedenceViolated {
+                        edge: (i, j),
+                        detail: format!(
+                            "names a position outside the chain's {} regular slots",
+                            pos_layers.len()
+                        ),
+                    });
+                } else if pos_layers[iu] >= pos_layers[ju] {
+                    violations.push(Violation::PrecedenceViolated {
+                        edge: (i, j),
+                        detail: format!(
+                            "layer {} does not precede layer {}",
+                            pos_layers[iu], pos_layers[ju]
+                        ),
+                    });
+                }
+            }
+        }
+
+        // --- Constraints (A)/(AA): placement rules, from an independent
+        // per-kind host-set derivation over every slot (mergers
+        // included).
+        if let Some(rules) = sfc.rules() {
+            let mut hosts: BTreeMap<VnfTypeId, BTreeSet<NodeId>> = BTreeMap::new();
+            for (l, slots) in emb.assignments().iter().enumerate() {
+                let layer = sfc.layer(l);
+                for (slot, &node) in slots.iter().enumerate() {
+                    hosts
+                        .entry(layer.slot_kind(slot, catalog))
+                        .or_default()
+                        .insert(node);
+                }
+            }
+            for &(a, b) in &rules.affinity {
+                // Vacuous unless both kinds are actually embedded.
+                let (Some(na), Some(nb)) = (hosts.get(&a), hosts.get(&b)) else {
+                    continue;
+                };
+                let union: BTreeSet<NodeId> = na.union(nb).copied().collect();
+                if union.len() > 1 {
+                    violations.push(Violation::AffinitySplit {
+                        pair: (a, b),
+                        nodes: union.into_iter().collect(),
+                    });
+                }
+            }
+            for &(a, b) in &rules.anti_affinity {
+                let (Some(na), Some(nb)) = (hosts.get(&a), hosts.get(&b)) else {
+                    continue;
+                };
+                if let Some(&shared) = na.intersection(nb).next() {
+                    violations.push(Violation::AntiAffinityColocated {
+                        pair: (a, b),
+                        node: shared,
+                    });
+                }
+            }
+        }
+
         // --- Objective (1) vs the producer's claim.
         if let Some(rep) = reported {
             if (rep.total() - recomputed.total()).abs() > self.cost_tolerance {
@@ -555,6 +685,18 @@ fn endpoint(emb: &Embedding, flow: &Flow, ep: Endpoint) -> NodeId {
         Endpoint::Destination => flow.dst,
         Endpoint::Slot { layer, slot } => emb.node_of(layer, slot),
     }
+}
+
+/// The layer index of every flattened regular-slot position — the
+/// coordinate system precedence edges are expressed in. Deliberately
+/// re-derived here rather than imported, so the auditor's reading of
+/// the order cannot inherit a solver-side flattening bug.
+fn position_layers(sfc: &DagSfc) -> Vec<usize> {
+    let mut out = Vec::new();
+    for l in 0..sfc.depth() {
+        out.extend(std::iter::repeat(l).take(sfc.layer(l).width()));
+    }
+    out
 }
 
 /// Checks the embedding's shape against the chain; `Some(detail)` on

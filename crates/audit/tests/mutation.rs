@@ -4,7 +4,9 @@
 //! can actually fire.
 
 use dagsfc_audit::{Constraint, ConstraintAuditor, Violation};
-use dagsfc_core::{CostBreakdown, DagSfc, Embedding, Flow, Layer, VnfCatalog};
+use dagsfc_core::{
+    CostBreakdown, DagSfc, Embedding, Flow, Layer, PlacementRules, PrecedenceOrder, VnfCatalog,
+};
 use dagsfc_net::{Network, NodeId, Path, VnfTypeId};
 
 fn catalog() -> VnfCatalog {
@@ -304,6 +306,129 @@ fn violations_serialize_for_machine_reports() {
     };
     let json = serde_json::to_string(&v).unwrap();
     assert!(json.contains("LinkBandwidthExceeded"), "{json}");
+}
+
+/// The good() embedding against a chain carrying extra metadata —
+/// rules or an order — audited against that chain. Rate 0.5 keeps the
+/// rule mutations' detour paths clear of the 2.0 link bandwidth, so
+/// only the rule checks can fire.
+fn audit_ruled(g: &Network, s: &DagSfc, emb: &Embedding) -> Vec<Violation> {
+    let f = Flow {
+        rate: 0.5,
+        ..flow()
+    };
+    ConstraintAuditor::new().audit(g, s, &f, emb).violations
+}
+
+#[test]
+fn dishonored_precedence_edge_fires_o() {
+    // Positions: 0 (f0, layer 0) | 1, 2 (f1/f2, layer 1). The honored
+    // order (0→1, 0→2) audits clean; a same-layer edge (1→2) and a
+    // backward edge (2→0) are corruptions of the declared partial order
+    // and must each fire exactly one (O) violation.
+    let g = net();
+    let emb = good(&g);
+    let honored = sfc().with_order(PrecedenceOrder {
+        edges: vec![(0, 1), (0, 2)],
+    });
+    assert!(audit_ruled(&g, &honored, &emb).is_empty());
+
+    for bad_edge in [(1u32, 2u32), (2, 0)] {
+        let s = sfc().with_order(PrecedenceOrder {
+            edges: vec![(0, 1), bad_edge],
+        });
+        let vs = audit_ruled(&g, &s, &emb);
+        assert_eq!(vs.len(), 1, "{vs:?}");
+        match &vs[0] {
+            Violation::PrecedenceViolated { edge, detail } => {
+                assert_eq!(*edge, bad_edge);
+                assert!(detail.contains("does not precede"), "{detail}");
+            }
+            other => panic!("expected an (O) violation, got {other}"),
+        }
+        assert_eq!(vs[0].constraint(), Constraint::Order);
+        assert!(vs[0].to_string().starts_with("(O) "));
+    }
+
+    // An edge naming a position the chain does not have is also (O).
+    let s = sfc().with_order(PrecedenceOrder {
+        edges: vec![(0, 9)],
+    });
+    let vs = audit_ruled(&g, &s, &emb);
+    assert_eq!(vs.len(), 1, "{vs:?}");
+    match &vs[0] {
+        Violation::PrecedenceViolated { edge, detail } => {
+            assert_eq!(*edge, (0, 9));
+            assert!(detail.contains("outside the chain"), "{detail}");
+        }
+        other => panic!("expected an (O) violation, got {other}"),
+    }
+}
+
+#[test]
+fn split_affinity_pair_fires_a() {
+    // good() hosts f1 and f2 together on v2, so affinity (f1, f2)
+    // audits clean. Mutation: also deploy f2 on v3 and move its slot
+    // there (re-routing the touched paths) — the pair splits across
+    // {v2, v3} and exactly one (A) violation fires.
+    let mut g = net();
+    g.deploy_vnf(NodeId(3), VnfTypeId(2), 1.0, 10.0).unwrap();
+    let s = sfc().with_rules(PlacementRules {
+        affinity: vec![(VnfTypeId(1), VnfTypeId(2))],
+        anti_affinity: vec![],
+    });
+    assert!(audit_ruled(&g, &s, &good(&g)).is_empty());
+
+    let mut assignments = good_assignments();
+    assignments[1][1] = NodeId(3); // f2 slot
+    let mut paths = good_paths(&g);
+    paths[2] = path(&g, &[1, 2, 3]); // f0 → f2 inter-layer
+    paths[4] = path(&g, &[3, 2]); // f2 → merger inner-layer
+    let split = Embedding::new(&s, assignments, paths).unwrap();
+    let vs = audit_ruled(&g, &s, &split);
+    assert_eq!(vs.len(), 1, "{vs:?}");
+    match &vs[0] {
+        Violation::AffinitySplit { pair, nodes } => {
+            assert_eq!(*pair, (VnfTypeId(1), VnfTypeId(2)));
+            assert_eq!(nodes.as_slice(), &[NodeId(2), NodeId(3)]);
+        }
+        other => panic!("expected an (A) violation, got {other}"),
+    }
+    assert_eq!(vs[0].constraint(), Constraint::Affinity);
+    assert!(vs[0].to_string().starts_with("(A) "));
+}
+
+#[test]
+fn colocated_anti_affinity_pair_fires_aa() {
+    // Same mutation geometry, inverted rule: with anti-affinity
+    // (f1, f2) the *split* embedding is the clean one, and good() —
+    // which co-locates both kinds on v2 — must fire exactly one (AA)
+    // violation naming the shared node.
+    let mut g = net();
+    g.deploy_vnf(NodeId(3), VnfTypeId(2), 1.0, 10.0).unwrap();
+    let s = sfc().with_rules(PlacementRules {
+        affinity: vec![],
+        anti_affinity: vec![(VnfTypeId(1), VnfTypeId(2))],
+    });
+    let mut assignments = good_assignments();
+    assignments[1][1] = NodeId(3);
+    let mut paths = good_paths(&g);
+    paths[2] = path(&g, &[1, 2, 3]);
+    paths[4] = path(&g, &[3, 2]);
+    let split = Embedding::new(&s, assignments, paths).unwrap();
+    assert!(audit_ruled(&g, &s, &split).is_empty());
+
+    let vs = audit_ruled(&g, &s, &good(&g));
+    assert_eq!(vs.len(), 1, "{vs:?}");
+    match &vs[0] {
+        Violation::AntiAffinityColocated { pair, node } => {
+            assert_eq!(*pair, (VnfTypeId(1), VnfTypeId(2)));
+            assert_eq!(*node, NodeId(2));
+        }
+        other => panic!("expected an (AA) violation, got {other}"),
+    }
+    assert_eq!(vs[0].constraint(), Constraint::AntiAffinity);
+    assert!(vs[0].to_string().starts_with("(AA) "));
 }
 
 #[test]

@@ -3,9 +3,10 @@
 //! a merger.
 
 use crate::error::ModelError;
+use crate::flow::{PlacementRules, PrecedenceOrder};
 use crate::vnf::VnfCatalog;
 use dagsfc_net::VnfTypeId;
-use dagsfc_nfp::HybridChain;
+use dagsfc_nfp::{HybridChain, PartialOrderChain, TransformOptions};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -96,10 +97,20 @@ impl Layer {
 }
 
 /// A standardized DAG service function chain `S = {L_1, …, L_ω}`.
+///
+/// Beyond the layered structure, a chain may carry the generalized
+/// request vocabulary: optional [`PlacementRules`] (affinity /
+/// anti-affinity kind pairs) and an optional [`PrecedenceOrder`] (the
+/// partial-order edges the layering was derived from). Both are
+/// `Option` so every pre-rule serialized chain — committed traces, wire
+/// clients, saved instances — keeps deserializing unchanged, decoding
+/// missing keys to `None`.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DagSfc {
     layers: Vec<Layer>,
     catalog: VnfCatalog,
+    rules: Option<PlacementRules>,
+    order: Option<PrecedenceOrder>,
 }
 
 impl DagSfc {
@@ -119,7 +130,12 @@ impl DagSfc {
                 }
             }
         }
-        Ok(DagSfc { layers, catalog })
+        Ok(DagSfc {
+            layers,
+            catalog,
+            rules: None,
+            order: None,
+        })
     }
 
     /// A fully sequential chain: one VNF per layer (the traditional SFC
@@ -139,6 +155,51 @@ impl DagSfc {
                 .collect(),
             catalog,
         )
+    }
+
+    /// Builds a DAG-SFC straight from a derived [`PartialOrderChain`]:
+    /// the layers are its greedy linear-extension layering (so every
+    /// layered-expressible request remains a special case), and the
+    /// precedence edges ride along as a [`PrecedenceOrder`] over
+    /// flattened regular-slot positions so downstream admission and the
+    /// auditor can re-check the DAG independently.
+    pub fn from_partial_order(
+        po: &PartialOrderChain,
+        opts: TransformOptions,
+        catalog: VnfCatalog,
+    ) -> Result<Self, ModelError> {
+        let sfc = DagSfc::from_hybrid(&po.to_hybrid_chain(opts), catalog)?;
+        Ok(sfc.with_order(PrecedenceOrder {
+            edges: po
+                .edges()
+                .iter()
+                .map(|&(i, j)| (i as u32, j as u32))
+                .collect(),
+        }))
+    }
+
+    /// The same chain with placement rules attached (`None` clears).
+    pub fn with_rules(mut self, rules: PlacementRules) -> Self {
+        self.rules = if rules.is_empty() { None } else { Some(rules) };
+        self
+    }
+
+    /// The same chain with a precedence order attached (`None` clears).
+    pub fn with_order(mut self, order: PrecedenceOrder) -> Self {
+        self.order = if order.is_empty() { None } else { Some(order) };
+        self
+    }
+
+    /// The placement rules this chain carries, if any.
+    #[inline]
+    pub fn rules(&self) -> Option<&PlacementRules> {
+        self.rules.as_ref()
+    }
+
+    /// The precedence order this chain carries, if any.
+    #[inline]
+    pub fn order(&self) -> Option<&PrecedenceOrder> {
+        self.order.as_ref()
     }
 
     /// The layers `L_1..L_ω`.
@@ -294,6 +355,83 @@ mod tests {
         assert_eq!(sfc.size(), 3);
         assert_eq!(sfc.merger_count(), 0);
         assert_eq!(sfc.max_width(), 1);
+    }
+
+    #[test]
+    fn from_partial_order_matches_from_hybrid_and_carries_edges() {
+        use dagsfc_nfp::{
+            catalog::{enterprise_catalog, find},
+            DependencyMatrix,
+        };
+        let cat = enterprise_catalog();
+        let deps = DependencyMatrix::analyze(&cat);
+        // nat → firewall is order-dependent; firewall ∥ ids.
+        let chain: Vec<usize> = ["nat", "firewall", "ids"]
+            .iter()
+            .map(|n| find(&cat, n).unwrap().0)
+            .collect();
+        let po = PartialOrderChain::derive(&chain, &deps);
+        let vnf_catalog = VnfCatalog::new(cat.len() as u16);
+        let opts = TransformOptions::default();
+        let sfc = DagSfc::from_partial_order(&po, opts, vnf_catalog).unwrap();
+        // Layer structure identical to the legacy hybrid path.
+        let legacy =
+            DagSfc::from_hybrid(&dagsfc_nfp::to_hybrid(&chain, &deps, opts), vnf_catalog).unwrap();
+        assert_eq!(sfc.layers(), legacy.layers());
+        // The precedence edges ride along, in position space.
+        let order = sfc.order().expect("order attached");
+        assert_eq!(
+            order.edges,
+            po.edges()
+                .iter()
+                .map(|&(i, j)| (i as u32, j as u32))
+                .collect::<Vec<_>>()
+        );
+        assert!(sfc.rules().is_none());
+    }
+
+    #[test]
+    fn rules_attach_and_empty_rules_clear() {
+        use crate::flow::PlacementRules;
+        let sfc = DagSfc::sequential(&[VnfTypeId(0), VnfTypeId(1)], catalog()).unwrap();
+        assert!(sfc.rules().is_none());
+        let ruled = sfc.clone().with_rules(PlacementRules {
+            affinity: vec![(VnfTypeId(0), VnfTypeId(1))],
+            anti_affinity: vec![],
+        });
+        assert_eq!(ruled.rules().unwrap().affinity.len(), 1);
+        // Attaching an empty rule set normalizes back to None, so ruled
+        // and unruled chains with no effective constraints compare equal.
+        let cleared = ruled.with_rules(PlacementRules::default());
+        assert_eq!(cleared, sfc);
+    }
+
+    /// Pre-rule payloads (no `rules`/`order` keys) must keep
+    /// deserializing: both fields decode missing keys to `None`, so
+    /// every committed trace and legacy wire client stays loadable.
+    #[test]
+    fn chain_payload_without_rule_keys_still_loads() {
+        let legacy = DagSfc::sequential(&[VnfTypeId(0), VnfTypeId(1)], catalog()).unwrap();
+        let mut v = legacy.to_value();
+        if let serde::value::Value::Object(entries) = &mut v {
+            entries.retain(|(k, _)| k.as_str() != "rules" && k.as_str() != "order");
+        } else {
+            panic!("chain must serialize as an object");
+        }
+        let back = DagSfc::from_value(&v).unwrap();
+        assert_eq!(back, legacy);
+        // And rules/order round-trip when present.
+        let ruled = legacy
+            .clone()
+            .with_rules(crate::flow::PlacementRules {
+                affinity: vec![(VnfTypeId(0), VnfTypeId(1))],
+                anti_affinity: vec![(VnfTypeId(1), VnfTypeId(2))],
+            })
+            .with_order(crate::flow::PrecedenceOrder {
+                edges: vec![(0, 1)],
+            });
+        let back = DagSfc::from_value(&ruled.to_value()).unwrap();
+        assert_eq!(back, ruled);
     }
 
     #[test]

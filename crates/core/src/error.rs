@@ -66,6 +66,19 @@ pub fn deadline_infeasible_reason(delay_us: f64, budget_us: f64) -> String {
     format!("{DEADLINE_INFEASIBLE_PREFIX}: best delay {delay_us:.3} us > budget {budget_us:.3} us")
 }
 
+/// Stable prefix of [`SolveError::NoFeasibleEmbedding`] reasons that
+/// report a *placement-rule* failure — the request's affinity /
+/// anti-affinity pairs or its precedence order cannot be satisfied —
+/// as opposed to a capacity or deadline failure. Serve-side statistics
+/// classify rejections on this prefix, so it must never change without
+/// migrating the classifiers.
+pub const RULE_INFEASIBLE_PREFIX: &str = "placement-rule infeasible";
+
+/// Formats the canonical rule-infeasible reason string.
+pub fn rule_infeasible_reason(detail: &str) -> String {
+    format!("{RULE_INFEASIBLE_PREFIX}: {detail}")
+}
+
 /// Errors from embedding solvers.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SolveError {
@@ -124,6 +137,23 @@ impl SolveError {
                 if reason.starts_with(DEADLINE_INFEASIBLE_PREFIX)
         )
     }
+
+    /// Whether this failure reports unsatisfiable placement rules
+    /// (affinity / anti-affinity / precedence order) rather than a
+    /// capacity or deadline problem. True exactly for
+    /// [`SolveError::NoFeasibleEmbedding`] and [`SolveError::Infeasible`]
+    /// reasons carrying the [`RULE_INFEASIBLE_PREFIX`] (the latter is
+    /// how pre-solve admission reports a chain whose layering
+    /// contradicts its own declared precedence order).
+    pub fn is_rule_infeasible(&self) -> bool {
+        match self {
+            SolveError::NoFeasibleEmbedding { reason, .. } => {
+                reason.starts_with(RULE_INFEASIBLE_PREFIX)
+            }
+            SolveError::Infeasible(reason) => reason.starts_with(RULE_INFEASIBLE_PREFIX),
+            _ => false,
+        }
+    }
 }
 
 impl std::error::Error for SolveError {}
@@ -172,6 +202,27 @@ mod tests {
         };
         assert!(!capacity.is_deadline_infeasible());
         assert!(!SolveError::Infeasible("no such VNF".into()).is_deadline_infeasible());
+    }
+
+    #[test]
+    fn rule_classification() {
+        let rule = SolveError::NoFeasibleEmbedding {
+            solver: "MINV",
+            reason: rule_infeasible_reason("affinity (f(0), f(1)) admits no common node"),
+        };
+        assert!(rule.is_rule_infeasible());
+        assert!(!rule.is_deadline_infeasible());
+        assert!(rule.to_string().contains("affinity"));
+        let capacity = SolveError::NoFeasibleEmbedding {
+            solver: "MINV",
+            reason: "links saturated".into(),
+        };
+        assert!(!capacity.is_rule_infeasible());
+        let deadline = SolveError::NoFeasibleEmbedding {
+            solver: "MINV",
+            reason: deadline_infeasible_reason(57.0, 40.0),
+        };
+        assert!(!deadline.is_rule_infeasible());
     }
 
     #[test]

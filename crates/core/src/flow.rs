@@ -1,8 +1,64 @@
-//! Traffic flows and embedding requests.
+//! Traffic flows, embedding requests, and the placement-rule
+//! vocabulary (affinity / anti-affinity NF pairs and the precedence
+//! order a partial-order chain carries).
 
 use crate::chain::DagSfc;
-use dagsfc_net::NodeId;
+use dagsfc_net::{NodeId, VnfTypeId};
 use serde::{Deserialize, Serialize};
+
+/// Co-location and anti-co-location rules over VNF kinds (Allybokus et
+/// al., arXiv 1705.10554): `affinity` pairs must share one substrate
+/// node, `anti_affinity` pairs must never share one.
+///
+/// Semantics, per pair `(a, b)`:
+/// * **affinity** — if the chain places at least one slot of kind `a`
+///   *and* at least one of kind `b`, then every slot of either kind
+///   must land on one single common node (vacuous when either kind is
+///   absent from the embedding);
+/// * **anti-affinity** — no substrate node may host both a slot of
+///   kind `a` and a slot of kind `b`.
+///
+/// Rules ride on the [`DagSfc`] (see [`DagSfc::with_rules`]) so every
+/// carrier of a chain — solver, auditor, daemon, trace — sees them
+/// without signature changes; both fields are plain pair lists so the
+/// wire form is self-describing.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlacementRules {
+    /// Kind pairs that must co-locate.
+    pub affinity: Vec<(VnfTypeId, VnfTypeId)>,
+    /// Kind pairs that must never co-locate.
+    pub anti_affinity: Vec<(VnfTypeId, VnfTypeId)>,
+}
+
+impl PlacementRules {
+    /// Whether no rule is present at all.
+    pub fn is_empty(&self) -> bool {
+        self.affinity.is_empty() && self.anti_affinity.is_empty()
+    }
+}
+
+/// The precedence edges of a partial-order chain, carried alongside its
+/// layered rendering.
+///
+/// Edges are over *flattened regular-slot positions*: position `p` is
+/// the `p`-th regular (non-merger) VNF slot when reading the chain's
+/// layers in order. An edge `(i, j)` asserts that position `i`'s layer
+/// must come strictly before position `j`'s — which the greedy
+/// linear-extension layering guarantees by construction, and which the
+/// auditor re-checks independently on every embedding so a hand-built
+/// or wire-supplied layering cannot silently violate the DAG.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PrecedenceOrder {
+    /// Precedence edges `(i, j)` over flattened regular-slot positions.
+    pub edges: Vec<(u32, u32)>,
+}
+
+impl PrecedenceOrder {
+    /// Whether the order imposes no constraint.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+}
 
 /// A traffic flow (paper §3.2, "Model of Traffic Flow"): size `z`,
 /// delivery rate `R`, and a source–destination pair.

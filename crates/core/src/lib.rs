@@ -31,14 +31,18 @@ pub use chain::{DagSfc, Layer};
 pub use cost::CostBreakdown;
 pub use delay::DelayModel;
 pub use embedding::{Accounting, Embedding, EmbeddingStats};
-pub use error::{ModelError, SolveError};
-pub use flow::{EmbeddingRequest, Flow};
+pub use error::{
+    rule_infeasible_reason, ModelError, SolveError, DEADLINE_INFEASIBLE_PREFIX,
+    RULE_INFEASIBLE_PREFIX,
+};
+pub use flow::{EmbeddingRequest, Flow, PlacementRules, PrecedenceOrder};
 pub use ilp::{IlpModel, IlpStats};
 pub use metapath::{meta_path_count, meta_paths, Endpoint, MetaPath, MetaPathKind};
 pub use protect::{protect, ProtectError, ProtectedEmbedding};
 pub use solvers::{
-    audit_outcome, BbeConfig, BbeSolver, ExactSolver, MbbeSolver, MbbeStSolver, MinvSolver,
-    RanvSolver, SolveCtx, SolveOutcome, Solver, SolverStats, AUDIT_COST_TOLERANCE,
+    audit_outcome, first_rule_violation, verify_admissible, BbeConfig, BbeSolver, ExactSolver,
+    MbbeSolver, MbbeStSolver, MinvSolver, RanvSolver, SolveCtx, SolveOutcome, Solver, SolverStats,
+    AUDIT_COST_TOLERANCE,
 };
 pub use validate::{validate, Violation};
 pub use vnf::VnfCatalog;

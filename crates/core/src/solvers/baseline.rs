@@ -8,9 +8,10 @@
 //! Neither considers link proximity when assigning, which is exactly the
 //! weakness BBE/MBBE exploit.
 
-use super::{precheck, SolveCtx, SolveOutcome, Solver, SolverStats};
+use super::{layering, precheck, RuleFilter, SolveCtx, SolveOutcome, Solver, SolverStats};
 use crate::chain::DagSfc;
 use crate::embedding::Embedding;
+use crate::error::rule_infeasible_reason;
 use crate::error::SolveError;
 use crate::flow::Flow;
 use crate::metapath::{meta_paths, MetaPathKind};
@@ -134,9 +135,15 @@ fn assign_then_route(
     let mut session = ctx.oracle.session();
     let mut explored = 0usize;
 
-    // Phase 1: assign every slot (parallel VNFs and mergers).
+    // Phase 1: assign every slot (parallel VNFs and mergers). The rule
+    // filter is greedy-consistent: each pick must stay compatible with
+    // the slots placed before it, so a rule conflict surfaces the
+    // moment (not after) the candidate set empties.
+    let rule_filter = RuleFilter::new(sfc);
+    let mut rule_rejected = 0usize;
+    let mut placed: Vec<(VnfTypeId, NodeId)> = Vec::new();
     let mut assignments: Vec<Vec<NodeId>> = Vec::with_capacity(sfc.depth());
-    for layer in sfc.layers() {
+    for layer in layering::layers(sfc) {
         let mut slots = Vec::with_capacity(layer.slot_count());
         for slot in 0..layer.slot_count() {
             let kind = layer.slot_kind(slot, catalog);
@@ -153,11 +160,34 @@ fn assign_then_route(
                     reason: format!("no node with residual capability for {kind}"),
                 });
             }
+            let feasible = match &rule_filter {
+                Some(rf) => {
+                    let before = feasible.len();
+                    let kept: Vec<NodeId> = feasible
+                        .into_iter()
+                        .filter(|&n| rf.admits(&placed, kind, n))
+                        .collect();
+                    rule_rejected += before - kept.len();
+                    if kept.is_empty() {
+                        return Err(SolveError::NoFeasibleEmbedding {
+                            solver,
+                            reason: rule_infeasible_reason(&format!(
+                                "placement rules leave no admissible host for {kind}"
+                            )),
+                        });
+                    }
+                    kept
+                }
+                None => feasible,
+            };
             let node = pick.pick(net, kind, &feasible);
             state
                 .reserve_vnf(node, kind, flow.rate)
                 // lint:allow(expect) — invariant: feasibility just checked
                 .expect("feasibility just checked");
+            if rule_filter.is_some() {
+                placed.push((kind, node));
+            }
             slots.push(node);
         }
         assignments.push(slots);
@@ -240,6 +270,7 @@ fn assign_then_route(
             elapsed: start.elapsed(),
             cache_hits: session.hits(),
             cache_misses: session.misses(),
+            candidates_rule_rejected: rule_rejected,
             ..SolverStats::default()
         },
     })

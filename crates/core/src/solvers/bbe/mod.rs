@@ -560,7 +560,7 @@ fn attempt<I: Instrument>(
         } else {
             None
         };
-        let layer = sfc.layer(l);
+        let layer = super::layering::layer(sfc, l);
         let mut next_level: Vec<usize> = Vec::new();
         // Cheapest accumulated delay among this layer's delay-pruned
         // nodes — evidence for classifying an empty level as a deadline

@@ -18,10 +18,10 @@
 //! enough to enumerate every loopless path, making it exact outright.
 //! Runtime is exponential — guard rails reject oversized instances.
 
-use super::{precheck, SolveCtx, SolveOutcome, Solver, SolverStats};
+use super::{layering, precheck, RuleFilter, SolveCtx, SolveOutcome, Solver, SolverStats};
 use crate::chain::DagSfc;
 use crate::embedding::Embedding;
-use crate::error::SolveError;
+use crate::error::{rule_infeasible_reason, SolveError};
 use crate::flow::Flow;
 use crate::metapath::{meta_paths, Endpoint, MetaPath, MetaPathKind};
 use dagsfc_net::routing::k_shortest_paths;
@@ -95,7 +95,7 @@ impl Solver for ExactSolver {
 
         // Flatten slots and their candidate hosts.
         let mut slots: Vec<(usize, usize, VnfTypeId)> = Vec::new();
-        for (l, layer) in sfc.layers().iter().enumerate() {
+        for (l, layer) in layering::layers(sfc).iter().enumerate() {
             for s in 0..layer.slot_count() {
                 slots.push((l, s, layer.slot_kind(s, catalog)));
             }
@@ -131,6 +131,7 @@ impl Solver for ExactSolver {
         }
 
         let mps = meta_paths(sfc);
+        let rule_filter = RuleFilter::new(sfc);
         let mut search = Search {
             net,
             flow,
@@ -138,6 +139,9 @@ impl Solver for ExactSolver {
             slots: &slots,
             candidates: &candidates,
             mps: &mps,
+            rules: rule_filter.as_ref(),
+            placed: Vec::with_capacity(slots.len()),
+            rule_rejected: 0,
             best: None,
             explored: 0,
             path_cache: HashMap::new(),
@@ -149,16 +153,50 @@ impl Solver for ExactSolver {
         search.assign(0, 0.0, &mut assignment, &mut vnf_count);
 
         let explored = search.explored;
+        let rule_rejected = search.rule_rejected;
         let (cache_hits, cache_misses) = (search.cache_hits, search.cache_misses);
         let Some((_, assignment, paths)) = search.best else {
+            // The rule pruning is prefix-monotone, so this search is
+            // complete under the rules. To report a *certified* cause,
+            // re-run rule-blind: if that finds an embedding, the rules —
+            // not capacity — made the instance infeasible.
+            if rule_rejected > 0 {
+                let mut unfiltered = Search {
+                    net,
+                    flow,
+                    cfg: &self.config,
+                    slots: &slots,
+                    candidates: &candidates,
+                    mps: &mps,
+                    rules: None,
+                    placed: Vec::new(),
+                    rule_rejected: 0,
+                    best: None,
+                    explored: 0,
+                    path_cache: HashMap::new(),
+                    cache_hits: 0,
+                    cache_misses: 0,
+                };
+                let mut a = Vec::with_capacity(slots.len());
+                let mut vc = HashMap::new();
+                unfiltered.assign(0, 0.0, &mut a, &mut vc);
+                if unfiltered.best.is_some() {
+                    return Err(SolveError::NoFeasibleEmbedding {
+                        solver: "EXACT",
+                        reason: rule_infeasible_reason(
+                            "placement rules exclude every feasible assignment \
+                             (an unconstrained embedding exists)",
+                        ),
+                    });
+                }
+            }
             return Err(SolveError::NoFeasibleEmbedding {
                 solver: "EXACT",
                 reason: "no assignment admits a capacity-feasible routing".into(),
             });
         };
         // Reshape the flat assignment back into layers.
-        let mut shaped: Vec<Vec<NodeId>> = sfc
-            .layers()
+        let mut shaped: Vec<Vec<NodeId>> = layering::layers(sfc)
             .iter()
             .map(|l| Vec::with_capacity(l.slot_count()))
             .collect();
@@ -176,6 +214,7 @@ impl Solver for ExactSolver {
                 elapsed: start.elapsed(),
                 cache_hits,
                 cache_misses,
+                candidates_rule_rejected: rule_rejected,
                 ..SolverStats::default()
             },
         })
@@ -190,6 +229,15 @@ struct Search<'a> {
     slots: &'a [(usize, usize, VnfTypeId)],
     candidates: &'a [Vec<NodeId>],
     mps: &'a [MetaPath],
+    /// Placement-rule filter, when the chain carries rules. Pruning on
+    /// it in [`Search::assign`] keeps the search complete (the check is
+    /// prefix-monotone), so the optimum stays certified under rules.
+    rules: Option<&'a RuleFilter<'a>>,
+    /// `(kind, node)` of each slot assigned so far, kept in lockstep
+    /// with the DFS assignment for rule-consistency checks.
+    placed: Vec<(VnfTypeId, NodeId)>,
+    /// Candidates pruned by the rule filter.
+    rule_rejected: usize,
     /// Best (total cost, flat assignment, paths) found so far.
     best: Option<(f64, Vec<NodeId>, Vec<Path>)>,
     explored: usize,
@@ -224,6 +272,12 @@ impl Search<'_> {
         let (_, _, kind) = self.slots[slot];
         for i in 0..self.candidates[slot].len() {
             let node = self.candidates[slot][i];
+            if let Some(rf) = self.rules {
+                if !rf.admits(&self.placed, kind, node) {
+                    self.rule_rejected += 1;
+                    continue;
+                }
+            }
             let count = vnf_count.entry((node, kind)).or_insert(0);
             // lint:allow(expect) — invariant: candidate hosts kind
             let inst = self.net.instance(node, kind).expect("candidate hosts kind");
@@ -233,8 +287,10 @@ impl Search<'_> {
             }
             *count += 1;
             assignment.push(node);
+            self.placed.push((kind, node));
             let add = inst.price * self.flow.size;
             self.assign(slot + 1, vnf_cost + add, assignment, vnf_count);
+            self.placed.pop();
             assignment.pop();
             // lint:allow(expect) — invariant: just inserted
             *vnf_count.get_mut(&(node, kind)).expect("just inserted") -= 1;

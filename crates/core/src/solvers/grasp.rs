@@ -11,12 +11,16 @@
 //! without the paper's structured search.
 
 use super::localsearch::{improve_in, LocalSearchConfig};
-use super::{oracle_min_cost_path, precheck, SolveCtx, SolveOutcome, Solver, SolverStats};
+use super::{
+    first_rule_violation, layering, oracle_min_cost_path, precheck, RuleFilter, SolveCtx,
+    SolveOutcome, Solver, SolverStats,
+};
 use crate::chain::DagSfc;
 use crate::embedding::Embedding;
-use crate::error::SolveError;
+use crate::error::{rule_infeasible_reason, SolveError};
 use crate::flow::Flow;
 use crate::metapath::{meta_paths, Endpoint};
+use dagsfc_net::VnfTypeId;
 use dagsfc_net::{NodeId, CAP_EPS};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -93,9 +97,11 @@ impl Solver for GraspSolver {
 
         // Pre-sort each slot's feasible hosts by rental price.
         let mut slot_candidates: Vec<Vec<NodeId>> = Vec::new();
-        for layer in sfc.layers() {
+        let mut slot_kinds: Vec<VnfTypeId> = Vec::new();
+        for layer in layering::layers(sfc) {
             for slot in 0..layer.slot_count() {
                 let kind = layer.slot_kind(slot, catalog);
+                slot_kinds.push(kind);
                 let mut hosts: Vec<NodeId> = net
                     .hosts_of(kind)
                     .iter()
@@ -121,21 +127,50 @@ impl Solver for GraspSolver {
         }
 
         let rate = flow.rate;
+        let rule_filter = RuleFilter::new(sfc);
+        let mut rule_rejected = 0usize;
+        let mut rule_dead_starts = 0usize;
+        let starts = self.config.starts.max(1);
         let mut best: Option<(f64, Embedding)> = None;
         let mut explored = 0usize;
         let (mut cache_hits, mut cache_misses) = (0u64, 0u64);
 
-        for _ in 0..self.config.starts.max(1) {
-            // Randomized-greedy assignment over the RCL.
+        'starts: for _ in 0..starts {
+            // Randomized-greedy assignment over the RCL. With rules, the
+            // RCL is drawn from the admissible prefix only: each slot's
+            // hosts are filtered against the placements made so far, so
+            // a rule conflict kills the start instead of the solve.
             let mut assignments: Vec<Vec<NodeId>> = Vec::with_capacity(sfc.depth());
-            let mut flat = slot_candidates.iter();
-            for layer in sfc.layers() {
+            let mut placed: Vec<(VnfTypeId, NodeId)> = Vec::new();
+            let mut flat = slot_candidates.iter().zip(slot_kinds.iter());
+            for layer in layering::layers(sfc) {
                 let mut slots = Vec::with_capacity(layer.slot_count());
                 for _ in 0..layer.slot_count() {
                     // lint:allow(expect) — invariant: pre-sorted per slot
-                    let hosts = flat.next().expect("pre-sorted per slot");
-                    let rcl = self.config.alpha.max(1).min(hosts.len());
-                    slots.push(hosts[rng.gen_range(0..rcl)]);
+                    let (hosts, &kind) = flat.next().expect("pre-sorted per slot");
+                    let node = match &rule_filter {
+                        Some(rf) => {
+                            let admissible: Vec<NodeId> = hosts
+                                .iter()
+                                .copied()
+                                .filter(|&n| rf.admits(&placed, kind, n))
+                                .collect();
+                            rule_rejected += hosts.len() - admissible.len();
+                            if admissible.is_empty() {
+                                rule_dead_starts += 1;
+                                continue 'starts;
+                            }
+                            let rcl = self.config.alpha.max(1).min(admissible.len());
+                            let node = admissible[rng.gen_range(0..rcl)];
+                            placed.push((kind, node));
+                            node
+                        }
+                        None => {
+                            let rcl = self.config.alpha.max(1).min(hosts.len());
+                            hosts[rng.gen_range(0..rcl)]
+                        }
+                    };
+                    slots.push(node);
                 }
                 assignments.push(slots);
             }
@@ -169,21 +204,38 @@ impl Solver for GraspSolver {
             let Ok(embedding) = Embedding::new(sfc, assignments, paths) else {
                 continue;
             };
-            if crate::validate::validate(net, sfc, flow, &embedding).is_err() {
+            let Ok(pre_cost) = crate::validate::validate(net, sfc, flow, &embedding) else {
                 continue;
-            }
-            // Polish.
+            };
+            // Polish. The hill climber is rule-blind, so when rules are
+            // present a polished embedding that re-violates them is
+            // discarded in favor of the rule-clean construction.
             let polished = improve_in(ctx, sfc, flow, &embedding, self.config.local_search);
             explored += 1 + polished.moves;
             cache_hits += polished.cache_hits;
             cache_misses += polished.cache_misses;
-            let cost = polished.after;
+            let polish_broke_rules = sfc
+                .rules()
+                .is_some_and(|r| first_rule_violation(r, sfc, &polished.embedding).is_some());
+            let (cost, chosen) = if polish_broke_rules {
+                (pre_cost.total(), embedding)
+            } else {
+                (polished.after, polished.embedding)
+            };
             if best.as_ref().is_none_or(|(b, _)| cost < *b) {
-                best = Some((cost, polished.embedding));
+                best = Some((cost, chosen));
             }
         }
 
         let Some((_, embedding)) = best else {
+            if rule_dead_starts == starts {
+                return Err(SolveError::NoFeasibleEmbedding {
+                    solver: "GRASP",
+                    reason: rule_infeasible_reason(
+                        "placement rules emptied the candidate list in every start",
+                    ),
+                });
+            }
             return Err(SolveError::NoFeasibleEmbedding {
                 solver: "GRASP",
                 reason: "no randomized start produced a feasible embedding".into(),
@@ -199,6 +251,7 @@ impl Solver for GraspSolver {
                 elapsed: start.elapsed(),
                 cache_hits,
                 cache_misses,
+                candidates_rule_rejected: rule_rejected,
                 ..SolverStats::default()
             },
         })

@@ -13,13 +13,13 @@
 //! * as a wrapper solver (`ImprovedSolver`) that runs any inner solver
 //!   and then polishes its result.
 
-use super::{oracle_min_cost_path, SolveCtx, SolveOutcome, Solver};
+use super::{layering, oracle_min_cost_path, RuleFilter, SolveCtx, SolveOutcome, Solver};
 use crate::chain::DagSfc;
 use crate::embedding::Embedding;
 use crate::error::SolveError;
 use crate::flow::Flow;
 use crate::metapath::{meta_paths, Endpoint, MetaPathKind};
-use dagsfc_net::{Network, NodeId, Path, CAP_EPS};
+use dagsfc_net::{Network, NodeId, Path, VnfTypeId, CAP_EPS};
 use std::time::Instant;
 
 /// Configuration of the local search.
@@ -158,13 +158,30 @@ pub fn improve_in(
     let mut current_cost = total_or_inf(&current, net, sfc, flow);
     let mut moves = 0usize;
 
+    let rule_filter = RuleFilter::new(sfc);
     for _ in 0..config.max_rounds {
         let mut improved = false;
         for l in 0..sfc.depth() {
-            let layer = sfc.layer(l);
+            let layer = layering::layer(sfc, l);
             for slot in 0..layer.slot_count() {
                 let kind = layer.slot_kind(slot, &catalog);
                 let original = assignments[l][slot];
+                // Rule-constrained moves: with every *other* slot fixed,
+                // `admits` against the rest of the assignment is exactly
+                // the complete-assignment consistency condition for the
+                // relocated slot — so the climber never walks a
+                // rule-clean embedding into a violation.
+                let mut others: Vec<(VnfTypeId, NodeId)> = Vec::new();
+                if rule_filter.is_some() {
+                    for ol in 0..sfc.depth() {
+                        let olayer = layering::layer(sfc, ol);
+                        for os in 0..olayer.slot_count() {
+                            if (ol, os) != (l, slot) {
+                                others.push((olayer.slot_kind(os, &catalog), assignments[ol][os]));
+                            }
+                        }
+                    }
+                }
                 let mut best: Option<(f64, NodeId, Embedding)> = None;
                 for &candidate in net.hosts_of(kind) {
                     if candidate == original {
@@ -175,6 +192,11 @@ pub fn improve_in(
                         .is_some_and(|i| i.capacity + CAP_EPS >= flow.rate)
                     {
                         continue;
+                    }
+                    if let Some(rf) = &rule_filter {
+                        if !rf.admits(&others, kind, candidate) {
+                            continue;
+                        }
                     }
                     assignments[l][slot] = candidate;
                     if let Some(cand) = reroute(

@@ -13,6 +13,7 @@ pub mod bbe;
 pub mod exact;
 pub mod grasp;
 pub mod instrument;
+pub mod layering;
 pub mod localsearch;
 
 pub use baseline::{MinvSolver, RanvSolver};
@@ -20,16 +21,18 @@ pub use bbe::{BbeConfig, BbeSolver, DelayConstraint, MbbeSolver, MbbeStSolver};
 pub use exact::ExactSolver;
 pub use grasp::{GraspConfig, GraspSolver};
 pub use instrument::{Counters, Instrument, NoInstrument};
+pub use layering::verify_admissible;
 pub use localsearch::{improve, ImprovedSolver, Improvement, LocalSearchConfig};
 
 use crate::chain::DagSfc;
 use crate::cost::CostBreakdown;
 use crate::delay::DelayModel;
 use crate::embedding::Embedding;
-use crate::error::{deadline_infeasible_reason, SolveError};
-use crate::flow::Flow;
+use crate::error::{deadline_infeasible_reason, rule_infeasible_reason, SolveError};
+use crate::flow::{Flow, PlacementRules};
 use dagsfc_net::{Network, CAP_EPS};
 use dagsfc_net::{NodeId, Path, PathOracle};
+use std::collections::BTreeMap;
 use std::sync::OnceLock;
 use std::time::Duration;
 
@@ -67,6 +70,11 @@ pub struct SolverStats {
     /// here are *deadline* failures, not capacity failures — serve-side
     /// statistics report the two separately.
     pub candidates_delay_rejected: usize,
+    /// Candidates discarded during generation because they would break a
+    /// placement rule (affinity / anti-affinity pair). Populated by the
+    /// rule-aware searches (MINV/RANV, GRASP, EXACT); zero for solvers
+    /// that rely on the central [`enforce_placement_rules`] gate alone.
+    pub candidates_rule_rejected: usize,
     /// Shortest-path queries answered from a cache.
     pub cache_hits: u64,
     /// Shortest-path queries that ran a fresh search.
@@ -168,6 +176,162 @@ pub fn enforce_delay_budget(
     Ok(())
 }
 
+/// The node set hosting each VNF kind in an embedding, keyed by kind —
+/// the shared substrate of the placement-rule checks. Merger slots are
+/// included (rules normally name regular kinds only, in which case the
+/// merger entries are simply never consulted).
+fn nodes_by_kind(sfc: &DagSfc, emb: &Embedding) -> BTreeMap<dagsfc_net::VnfTypeId, Vec<NodeId>> {
+    let mut map: BTreeMap<dagsfc_net::VnfTypeId, Vec<NodeId>> = BTreeMap::new();
+    for (l, slots) in emb.assignments().iter().enumerate() {
+        let layer = layering::layer(sfc, l);
+        for (s, &node) in slots.iter().enumerate() {
+            let kind = layer.slot_kind(s, sfc.catalog());
+            let nodes = map.entry(kind).or_default();
+            if !nodes.contains(&node) {
+                nodes.push(node);
+            }
+        }
+    }
+    map
+}
+
+/// Finds the first placement-rule violation in an embedding, if any:
+/// an affinity pair split across nodes, or an anti-affinity pair
+/// co-located. Returns a human-readable description of the offense.
+pub fn first_rule_violation(
+    rules: &PlacementRules,
+    sfc: &DagSfc,
+    emb: &Embedding,
+) -> Option<String> {
+    let by_kind = nodes_by_kind(sfc, emb);
+    let empty: Vec<NodeId> = Vec::new();
+    let nodes = |k: &dagsfc_net::VnfTypeId| by_kind.get(k).unwrap_or(&empty);
+    for &(a, b) in &rules.affinity {
+        let (na, nb) = (nodes(&a), nodes(&b));
+        if na.is_empty() || nb.is_empty() {
+            continue; // vacuous: one side of the pair is not embedded
+        }
+        let mut union: Vec<NodeId> = na.iter().chain(nb).copied().collect();
+        union.sort_unstable();
+        union.dedup();
+        if union.len() > 1 {
+            return Some(format!(
+                "affinity ({a}, {b}) split across {} nodes",
+                union.len()
+            ));
+        }
+    }
+    for &(a, b) in &rules.anti_affinity {
+        let (na, nb) = (nodes(&a), nodes(&b));
+        if let Some(shared) = na.iter().find(|n| nb.contains(n)) {
+            return Some(format!("anti-affinity ({a}, {b}) co-located on {shared}"));
+        }
+    }
+    None
+}
+
+/// Incremental placement-rule checker shared by the rule-aware searches
+/// (MINV/RANV, GRASP, EXACT): given the `(kind, node)` slots placed so
+/// far, decides whether one more placement can still satisfy every
+/// rule. The check is prefix-monotone — every prefix of a rule-clean
+/// complete assignment is admitted — so pruning on it preserves the
+/// exact search's completeness.
+pub(crate) struct RuleFilter<'a> {
+    rules: &'a PlacementRules,
+    /// Kinds occurring among the chain's slots, sorted: an affinity pair
+    /// only constrains when both its kinds are actually embedded.
+    present: Vec<dagsfc_net::VnfTypeId>,
+}
+
+impl<'a> RuleFilter<'a> {
+    /// A filter for `sfc`'s rules, or `None` when the chain carries no
+    /// rules (the common case, which must stay zero-cost).
+    pub fn new(sfc: &'a DagSfc) -> Option<Self> {
+        let rules = sfc.rules()?;
+        let catalog = sfc.catalog();
+        let mut present: Vec<dagsfc_net::VnfTypeId> = layering::layers(sfc)
+            .iter()
+            .flat_map(|l| l.required_kinds(catalog))
+            .collect();
+        present.sort_unstable();
+        present.dedup();
+        Some(RuleFilter { rules, present })
+    }
+
+    fn both_present(&self, a: dagsfc_net::VnfTypeId, b: dagsfc_net::VnfTypeId) -> bool {
+        self.present.binary_search(&a).is_ok() && self.present.binary_search(&b).is_ok()
+    }
+
+    /// Whether placing `kind` on `node` is consistent with the
+    /// already-placed slots.
+    pub fn admits(
+        &self,
+        placed: &[(dagsfc_net::VnfTypeId, NodeId)],
+        kind: dagsfc_net::VnfTypeId,
+        node: NodeId,
+    ) -> bool {
+        for &(a, b) in &self.rules.affinity {
+            if (kind == a || kind == b) && self.both_present(a, b) {
+                // Every already-placed slot of either kind must share
+                // the candidate node.
+                if placed
+                    .iter()
+                    .any(|&(pk, pn)| (pk == a || pk == b) && pn != node)
+                {
+                    return false;
+                }
+            }
+        }
+        for &(a, b) in &self.rules.anti_affinity {
+            if a == b {
+                if kind == a {
+                    // A reflexive anti-pair is unsatisfiable the moment
+                    // its kind is embedded at all.
+                    return false;
+                }
+                continue;
+            }
+            let partner = if kind == a {
+                b
+            } else if kind == b {
+                a
+            } else {
+                continue;
+            };
+            if placed.iter().any(|&(pk, pn)| pk == partner && pn == node) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// The central placement-rule gate run by [`Solver::solve_in`] whenever
+/// the chain carries [`PlacementRules`]: re-derives the per-kind node
+/// sets of the produced embedding and rejects it as *rule infeasible*
+/// (a [`SolveError`] whose reason carries
+/// [`crate::error::RULE_INFEASIBLE_PREFIX`]) on any affinity split or
+/// anti-affinity co-location. Running after `solve_raw` makes every
+/// solver — including the BBE family, which does not search rule-aware —
+/// respect the rules rather than silently returning a violating
+/// embedding.
+pub fn enforce_placement_rules(
+    solver: &'static str,
+    sfc: &DagSfc,
+    out: &SolveOutcome,
+) -> Result<(), SolveError> {
+    let Some(rules) = sfc.rules() else {
+        return Ok(());
+    };
+    if let Some(offense) = first_rule_violation(rules, sfc, &out.embedding) {
+        return Err(SolveError::NoFeasibleEmbedding {
+            solver,
+            reason: rule_infeasible_reason(&offense),
+        });
+    }
+    Ok(())
+}
+
 /// Absolute tolerance of the audit gate's reported-vs-revalidated cost
 /// comparison.
 pub const AUDIT_COST_TOLERANCE: f64 = 1e-9;
@@ -264,7 +428,10 @@ pub trait Solver {
     ) -> Result<SolveOutcome, SolveError>;
 
     /// Embeds `sfc` for `flow` using a shared [`SolveCtx`], so repeated
-    /// solves on one network reuse cached shortest-path trees. When
+    /// solves on one network reuse cached shortest-path trees. Before
+    /// the search, the chain's carried precedence order is verified
+    /// against its layered rendering ([`layering::verify_admissible`]);
+    /// after it, the delay and placement-rule gates run. When
     /// `ctx.audit` is set (the default under `debug_assertions`), every
     /// produced embedding is re-validated against the model constraints
     /// and its reported cost cross-checked before being returned —
@@ -276,8 +443,10 @@ pub trait Solver {
         sfc: &DagSfc,
         flow: &Flow,
     ) -> Result<SolveOutcome, SolveError> {
+        layering::verify_admissible(sfc)?;
         let out = self.solve_raw(ctx, sfc, flow)?;
         enforce_delay_budget(self.name(), ctx, sfc, flow, &out)?;
+        enforce_placement_rules(self.name(), sfc, &out)?;
         if ctx.audit {
             audit_outcome(self.name(), ctx.net, sfc, flow, &out)?;
         }
@@ -322,7 +491,7 @@ pub fn precheck(net: &Network, sfc: &DagSfc, flow: &Flow) -> Result<(), SolveErr
             "flow endpoints outside the network".into(),
         ));
     }
-    for layer in sfc.layers() {
+    for layer in layering::layers(sfc) {
         for kind in layer.required_kinds(sfc.catalog()) {
             if net.hosts_of(kind).is_empty() {
                 return Err(SolveError::Infeasible(format!(

@@ -126,6 +126,11 @@ pub const RULES: &[(&str, &str)] = &[
          designated heap_fallback module",
     ),
     (
+        "raw-layer-access",
+        "solver candidate generation reads the layered view only through the \
+         solvers/layering seam, so the partial-order equivalence proof stays centralized",
+    ),
+    (
         "lock-order",
         "multi-ledger paths must acquire shard ledgers in ascending shard order and \
          release in reverse (the 2PC invariant)",
@@ -157,6 +162,11 @@ pub struct FileCtx {
     /// The seeded map wrapper itself (determinism pass exempt — it is
     /// the sanctioned definition site).
     pub in_fxmap: bool,
+    /// Inside `crates/core/src/solvers/` (raw-layer-access applies).
+    pub in_solvers: bool,
+    /// The layering seam module itself (raw-layer-access exempt — it
+    /// is the sanctioned home of direct `layers()`/`layer()` reads).
+    pub in_layering: bool,
 }
 
 impl FileCtx {
@@ -171,6 +181,8 @@ impl FileCtx {
             in_routing: p.contains("crates/net/src/routing/"),
             in_heap_fallback: p.ends_with("crates/net/src/routing/heap_fallback.rs"),
             in_fxmap: p.ends_with("crates/net/src/fxmap.rs"),
+            in_solvers: p.contains("crates/core/src/solvers/"),
+            in_layering: p.ends_with("crates/core/src/solvers/layering.rs"),
         }
     }
 }

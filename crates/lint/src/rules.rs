@@ -154,6 +154,17 @@ pub fn check_token_rules(model: &FileModel, ctx: FileCtx, out: &mut Vec<Violatio
             }
         }
 
+        // raw-layer-access — solvers read the layered view only
+        // through the layering seam (`layering::layers` /
+        // `layering::layer` are path calls, not method calls, so the
+        // seam's own API can never fire).
+        if ctx.in_solvers
+            && !ctx.in_layering
+            && (is_method_call(toks, i, "layers") || is_method_call(toks, i, "layer"))
+        {
+            emit(model, "raw-layer-access", i + 1, out);
+        }
+
         // float-eq — `cost`-named values and `total()` results.
         if t.is_punct("==") || t.is_punct("!=") {
             let prev = i.checked_sub(1).map(|p| &toks[p]);

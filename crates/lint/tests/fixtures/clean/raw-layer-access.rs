@@ -1,0 +1,4 @@
+//! lint-fixture: path=crates/core/src/solvers/layering.rs rule=raw-layer-access
+fn layers(sfc: &DagSfc) -> &[Layer] {
+    sfc.layers()
+}

@@ -1,0 +1,8 @@
+//! lint-fixture: path=crates/core/src/solvers/newsolver.rs rule=raw-layer-access
+fn candidates(sfc: &DagSfc) -> usize {
+    let mut slots = 0;
+    for layer in sfc.layers() {
+        slots += layer.width();
+    }
+    slots
+}

@@ -42,4 +42,6 @@ pub use catalog::{enterprise_catalog, NfSpec};
 pub use chains::{hybrid_preset, ChainPreset, PresetError, PRESETS};
 pub use dependency::{DependencyMatrix, PairStats};
 pub use field::{FieldSet, PacketField};
-pub use transform::{sequentialize, to_hybrid, HybridChain, TransformOptions};
+pub use transform::{
+    sequentialize, to_hybrid, to_hybrid_legacy, HybridChain, PartialOrderChain, TransformOptions,
+};

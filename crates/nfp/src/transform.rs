@@ -1,12 +1,20 @@
 //! Sequential-chain → hybrid-chain transformation (paper Fig. 2, top to
-//! middle).
+//! middle), and the first-class partial order it factors through.
 //!
-//! Given a sequential SFC and the pairwise dependency oracle, consecutive
-//! NFs are greedily grouped into *parallel NF sets*: an NF joins the
-//! current set when it is parallelizable with **every** member (order
-//! within a set is then immaterial), otherwise it opens the next layer.
-//! The result is the layered structure the DAG-SFC abstraction
-//! standardizes.
+//! Given a sequential SFC and the pairwise dependency oracle, the
+//! analysis yields a [`PartialOrderChain`]: the NFs in their original
+//! order plus every precedence edge the read/write dependency analysis
+//! imposes (an edge `(i, j)` exists for positions `i < j` exactly when
+//! the two NFs are *not* mutually parallelizable, so their relative
+//! order is load-bearing). The layered hybrid form is then *one*
+//! admissible linear-extension layering of that DAG — the same greedy
+//! grouping the paper's Fig. 2 applies: an NF joins the current set
+//! when no precedence edge ties it to any member, otherwise it opens
+//! the next layer.
+//!
+//! [`to_hybrid`] is re-derived through the partial order; the original
+//! direct greedy is preserved as [`to_hybrid_legacy`] so differential
+//! tests can pin the two bit-for-bit against each other.
 
 use crate::dependency::DependencyMatrix;
 use serde::{Deserialize, Serialize};
@@ -55,7 +63,172 @@ pub struct TransformOptions {
     pub max_width: Option<usize>,
 }
 
+/// A chain's NFP partial order, first-class: the NFs in their original
+/// sequential order plus every precedence edge the dependency analysis
+/// imposes over chain *positions*.
+///
+/// An edge `(i, j)` (always `i < j`) means the NF at position `i` must
+/// complete before the NF at position `j` may run — the pair is not
+/// mutually parallelizable, so the original chain order between them is
+/// load-bearing. Positions without an edge in either direction are
+/// unordered and may execute in parallel or in any order.
+///
+/// Structural guarantees (by construction, relied on by the property
+/// suite): the relation is **irreflexive** (no `(i, i)`), **antisymmetric**
+/// (edges only point forward, so `(i, j)` and `(j, i)` cannot coexist),
+/// and **acyclic** (it is a sub-relation of the position order `<`).
+/// The original chain order is therefore always one linear extension.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PartialOrderChain {
+    nfs: Vec<usize>,
+    edges: Vec<(usize, usize)>,
+}
+
+impl PartialOrderChain {
+    /// Derives the partial order of `chain` from the pairwise dependency
+    /// oracle: positions `i < j` get a precedence edge exactly when their
+    /// NFs are not parallelizable in both directions.
+    ///
+    /// # Panics
+    /// Panics if any NF id is outside the dependency matrix.
+    pub fn derive(chain: &[usize], deps: &DependencyMatrix) -> Self {
+        for &nf in chain {
+            assert!(nf < deps.len(), "NF id {nf} outside dependency matrix");
+        }
+        let mut edges = Vec::new();
+        for i in 0..chain.len() {
+            for j in (i + 1)..chain.len() {
+                let (a, b) = (chain[i], chain[j]);
+                if !(deps.parallelizable(a, b) && deps.parallelizable(b, a)) {
+                    edges.push((i, j));
+                }
+            }
+        }
+        PartialOrderChain {
+            nfs: chain.to_vec(),
+            edges,
+        }
+    }
+
+    /// The NF ids in their original sequential order (position `p` holds
+    /// `nfs()[p]`).
+    #[inline]
+    pub fn nfs(&self) -> &[usize] {
+        &self.nfs
+    }
+
+    /// Number of chain positions.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nfs.len()
+    }
+
+    /// Whether the chain is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.nfs.is_empty()
+    }
+
+    /// The precedence edges `(i, j)` over positions, sorted
+    /// lexicographically with `i < j` in every edge.
+    #[inline]
+    pub fn edges(&self) -> &[(usize, usize)] {
+        &self.edges
+    }
+
+    /// Whether position `i` must precede position `j`.
+    pub fn precedes(&self, i: usize, j: usize) -> bool {
+        self.edges.binary_search(&(i, j)).is_ok()
+    }
+
+    /// Whether two distinct positions are unordered (parallelizable).
+    pub fn unordered(&self, i: usize, j: usize) -> bool {
+        i != j && !self.precedes(i.min(j), i.max(j))
+    }
+
+    /// The greedy linear-extension layering (paper Fig. 2): walk the
+    /// positions in chain order, appending each to the last layer when
+    /// it is under the width cap and no precedence edge ties the new
+    /// position to any member, opening a new layer otherwise. Returns
+    /// layers of *positions*; their concatenation is always `0..len()`
+    /// (the identity extension), which is what makes the layered form a
+    /// special case rather than a different model.
+    pub fn greedy_layering(&self, opts: TransformOptions) -> Vec<Vec<usize>> {
+        let cap = opts.max_width.unwrap_or(usize::MAX).max(1);
+        let mut layers: Vec<Vec<usize>> = Vec::new();
+        for p in 0..self.nfs.len() {
+            // Members were appended before `p`, so only edges (q, p)
+            // with q < p can exist — exactly the pairs derived above.
+            let fits_last = layers.last().is_some_and(|layer| {
+                layer.len() < cap && layer.iter().all(|&q| !self.precedes(q, p))
+            });
+            if fits_last {
+                // lint:allow(expect) — invariant: checked non-empty
+                layers.last_mut().expect("checked non-empty").push(p);
+            } else {
+                layers.push(vec![p]);
+            }
+        }
+        layers
+    }
+
+    /// The hybrid layered form via [`Self::greedy_layering`], mapping
+    /// positions back to NF ids. Bit-identical to [`to_hybrid_legacy`]
+    /// for every chain (the membership test is the same predicate,
+    /// expressed through the derived edges instead of the live oracle).
+    pub fn to_hybrid_chain(&self, opts: TransformOptions) -> HybridChain {
+        HybridChain {
+            layers: self
+                .greedy_layering(opts)
+                .into_iter()
+                .map(|layer| layer.into_iter().map(|p| self.nfs[p]).collect())
+                .collect(),
+        }
+    }
+
+    /// Whether `order` is a valid linear extension of this partial
+    /// order: a permutation of the positions in which every precedence
+    /// edge points forward.
+    pub fn is_linear_extension(&self, order: &[usize]) -> bool {
+        if order.len() != self.nfs.len() {
+            return false;
+        }
+        let mut rank = vec![usize::MAX; self.nfs.len()];
+        for (idx, &p) in order.iter().enumerate() {
+            if p >= self.nfs.len() || rank[p] != usize::MAX {
+                return false;
+            }
+            rank[p] = idx;
+        }
+        self.edges.iter().all(|&(i, j)| rank[i] < rank[j])
+    }
+
+    /// Whether `layering` (layers of positions) is admissible: a
+    /// partition of the positions with no precedence edge inside a layer
+    /// and every edge crossing strictly forward between layers.
+    pub fn is_admissible_layering(&self, layering: &[Vec<usize>]) -> bool {
+        let mut layer_of = vec![usize::MAX; self.nfs.len()];
+        let mut seen = 0usize;
+        for (l, layer) in layering.iter().enumerate() {
+            for &p in layer {
+                if p >= self.nfs.len() || layer_of[p] != usize::MAX {
+                    return false;
+                }
+                layer_of[p] = l;
+                seen += 1;
+            }
+        }
+        seen == self.nfs.len() && self.edges.iter().all(|&(i, j)| layer_of[i] < layer_of[j])
+    }
+}
+
 /// Transforms a sequential chain of NF ids into its hybrid layered form.
+///
+/// Re-derived through the first-class partial order: the chain's
+/// precedence DAG is built once ([`PartialOrderChain::derive`]) and the
+/// layered form is its greedy linear-extension layering — provably the
+/// same output as the original direct greedy ([`to_hybrid_legacy`]),
+/// which the differential suite pins bit-for-bit.
 ///
 /// Correctness invariant: within every produced layer, all *ordered* pairs
 /// (in both directions, since parallel execution has no order) are
@@ -65,6 +238,22 @@ pub struct TransformOptions {
 /// # Panics
 /// Panics if any NF id is outside the dependency matrix.
 pub fn to_hybrid(chain: &[usize], deps: &DependencyMatrix, opts: TransformOptions) -> HybridChain {
+    PartialOrderChain::derive(chain, deps).to_hybrid_chain(opts)
+}
+
+/// The original direct greedy grouping, preserved verbatim as the
+/// differential reference for [`to_hybrid`]: it consults the live
+/// dependency oracle per candidate instead of the derived edge set.
+/// Production code goes through [`to_hybrid`]; this exists so the test
+/// battery can prove the partial-order path changed nothing.
+///
+/// # Panics
+/// Panics if any NF id is outside the dependency matrix.
+pub fn to_hybrid_legacy(
+    chain: &[usize],
+    deps: &DependencyMatrix,
+    opts: TransformOptions,
+) -> HybridChain {
     let cap = opts.max_width.unwrap_or(usize::MAX).max(1);
     let mut layers: Vec<Vec<usize>> = Vec::new();
     for &nf in chain {
@@ -206,6 +395,94 @@ mod tests {
     #[should_panic(expected = "outside dependency matrix")]
     fn unknown_nf_panics() {
         to_hybrid(&[999], &deps(), TransformOptions::default());
+    }
+
+    #[test]
+    fn derived_edges_match_the_oracle_pairwise() {
+        let d = deps();
+        let chain = ids(&["nat", "firewall", "ids", "dpi", "monitor", "proxy"]);
+        let po = PartialOrderChain::derive(&chain, &d);
+        for i in 0..chain.len() {
+            assert!(!po.precedes(i, i), "irreflexive");
+            for j in (i + 1)..chain.len() {
+                let mutual =
+                    d.parallelizable(chain[i], chain[j]) && d.parallelizable(chain[j], chain[i]);
+                assert_eq!(po.precedes(i, j), !mutual, "edge ({i},{j})");
+                assert!(!po.precedes(j, i), "antisymmetric: no backward edges");
+            }
+        }
+    }
+
+    #[test]
+    fn partial_order_greedy_matches_legacy_bit_for_bit() {
+        let d = deps();
+        for chain in [
+            ids(&["firewall", "ids", "dpi", "policer"]),
+            ids(&["nat", "firewall", "monitor"]),
+            ids(&["firewall", "proxy", "ids"]),
+            ids(&[
+                "firewall",
+                "ids",
+                "nat",
+                "load_balancer",
+                "dpi",
+                "monitor",
+                "qos_marker",
+            ]),
+            vec![],
+        ] {
+            for cap in [None, Some(1), Some(2), Some(3)] {
+                let opts = TransformOptions { max_width: cap };
+                assert_eq!(
+                    to_hybrid(&chain, &d, opts),
+                    to_hybrid_legacy(&chain, &d, opts),
+                    "chain {chain:?} cap {cap:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_layering_is_admissible_and_flattens_to_identity() {
+        let d = deps();
+        let chain = ids(&["nat", "firewall", "ids", "dpi", "monitor"]);
+        let po = PartialOrderChain::derive(&chain, &d);
+        let layering = po.greedy_layering(TransformOptions::default());
+        assert!(po.is_admissible_layering(&layering));
+        let flat: Vec<usize> = layering.iter().flatten().copied().collect();
+        assert_eq!(flat, (0..chain.len()).collect::<Vec<_>>());
+        assert!(po.is_linear_extension(&flat));
+    }
+
+    #[test]
+    fn extension_and_layering_checkers_reject_corruption() {
+        let d = deps();
+        // NAT must precede firewall (write/read dependency).
+        let chain = ids(&["nat", "firewall"]);
+        let po = PartialOrderChain::derive(&chain, &d);
+        assert!(po.precedes(0, 1));
+        assert!(!po.is_linear_extension(&[1, 0]), "reversed dependency");
+        assert!(!po.is_linear_extension(&[0]), "not a permutation");
+        assert!(!po.is_linear_extension(&[0, 0]), "duplicate position");
+        assert!(
+            !po.is_admissible_layering(&[vec![0, 1]]),
+            "edge inside a layer"
+        );
+        assert!(
+            !po.is_admissible_layering(&[vec![1], vec![0]]),
+            "edge backwards"
+        );
+        assert!(po.is_admissible_layering(&[vec![0], vec![1]]));
+    }
+
+    #[test]
+    fn unordered_is_symmetric_and_matches_edges() {
+        let d = deps();
+        let chain = ids(&["firewall", "ids", "proxy"]);
+        let po = PartialOrderChain::derive(&chain, &d);
+        assert!(po.unordered(0, 1) && po.unordered(1, 0), "readers commute");
+        assert!(!po.unordered(0, 2), "proxy is order-dependent");
+        assert!(!po.unordered(1, 1), "never unordered with itself");
     }
 
     #[test]

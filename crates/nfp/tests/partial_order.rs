@@ -1,0 +1,112 @@
+//! Property tests for the partial-order derivation: the relation the
+//! dependency analysis induces over chain positions is structurally a
+//! strict partial order consistent with `dependency.rs`, and the greedy
+//! layered form is always one of its admissible linear extensions —
+//! bit-identical to the preserved legacy greedy.
+
+use dagsfc_nfp::{
+    enterprise_catalog, to_hybrid, to_hybrid_legacy, DependencyMatrix, PartialOrderChain,
+    TransformOptions,
+};
+use proptest::prelude::*;
+
+fn deps() -> DependencyMatrix {
+    DependencyMatrix::analyze(&enterprise_catalog())
+}
+
+/// Arbitrary chains over the enterprise catalog, repeats allowed.
+fn chain_strategy() -> impl Strategy<Value = Vec<usize>> {
+    let n = enterprise_catalog().len();
+    prop::collection::vec(0..n, 0..12)
+}
+
+fn cap_strategy() -> impl Strategy<Value = Option<usize>> {
+    prop_oneof![Just(None), (1usize..5).prop_map(Some)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The derived relation is irreflexive, antisymmetric, and agrees
+    /// pairwise with the dependency oracle: an edge (i, j) exists for
+    /// i < j exactly when the two NFs are not mutually parallelizable.
+    #[test]
+    fn relation_is_a_strict_partial_order_consistent_with_the_oracle(
+        chain in chain_strategy(),
+    ) {
+        let d = deps();
+        let po = PartialOrderChain::derive(&chain, &d);
+        for i in 0..chain.len() {
+            prop_assert!(!po.precedes(i, i), "irreflexive at {i}");
+            for j in (i + 1)..chain.len() {
+                let mutual = d.parallelizable(chain[i], chain[j])
+                    && d.parallelizable(chain[j], chain[i]);
+                prop_assert_eq!(po.precedes(i, j), !mutual, "oracle mismatch at ({}, {})", i, j);
+                prop_assert!(!po.precedes(j, i), "antisymmetry violated at ({}, {})", j, i);
+            }
+        }
+        // Every edge points forward along the chain, so the relation is
+        // a sub-relation of the (transitive) position order: acyclic,
+        // and transitively consistent by embedding.
+        for &(i, j) in po.edges() {
+            prop_assert!(i < j, "edge ({}, {}) must point forward", i, j);
+        }
+        // The original chain order is therefore always an extension.
+        let identity: Vec<usize> = (0..chain.len()).collect();
+        prop_assert!(po.is_linear_extension(&identity));
+    }
+
+    /// Every greedy layering — at any width cap — is an admissible
+    /// layering of the derived DAG, and its flattened order is a valid
+    /// linear extension (in fact the identity extension: `flatten()`
+    /// reproduces the input chain exactly).
+    #[test]
+    fn every_flatten_order_is_a_linear_extension(
+        chain in chain_strategy(),
+        cap in cap_strategy(),
+    ) {
+        let d = deps();
+        let opts = TransformOptions { max_width: cap };
+        let po = PartialOrderChain::derive(&chain, &d);
+        let layering = po.greedy_layering(opts);
+        prop_assert!(po.is_admissible_layering(&layering));
+        let flat_positions: Vec<usize> = layering.iter().flatten().copied().collect();
+        prop_assert!(po.is_linear_extension(&flat_positions));
+        // The hybrid form's flatten reproduces the chain: the layered
+        // form is a grouping of the original order, never a reordering.
+        let hybrid = po.to_hybrid_chain(opts);
+        prop_assert_eq!(hybrid.flatten(), chain.clone());
+        // And the cap is honored.
+        if let Some(c) = cap {
+            prop_assert!(hybrid.max_width() <= c.max(1));
+        }
+    }
+
+    /// The partial-order path and the preserved legacy greedy agree
+    /// bit-for-bit on every chain and width cap.
+    #[test]
+    fn partial_order_layering_equals_legacy_greedy(
+        chain in chain_strategy(),
+        cap in cap_strategy(),
+    ) {
+        let d = deps();
+        let opts = TransformOptions { max_width: cap };
+        prop_assert_eq!(to_hybrid(&chain, &d, opts), to_hybrid_legacy(&chain, &d, opts));
+    }
+
+    /// Layers of the greedy layering are internally unordered: no two
+    /// members of one layer carry a precedence edge in either direction.
+    #[test]
+    fn layers_are_antichains(chain in chain_strategy(), cap in cap_strategy()) {
+        let d = deps();
+        let po = PartialOrderChain::derive(&chain, &d);
+        let layering = po.greedy_layering(TransformOptions { max_width: cap });
+        for layer in &layering {
+            for (k, &a) in layer.iter().enumerate() {
+                for &b in &layer[k + 1..] {
+                    prop_assert!(po.unordered(a, b), "positions {} and {} share a layer", a, b);
+                }
+            }
+        }
+    }
+}

@@ -779,6 +779,7 @@ fn stats_report(
         accepted: s.accepted,
         rejected: s.rejected,
         rejected_deadline: s.rejected_deadline,
+        rejected_rule: s.rejected_rule,
         rejected_capacity: s.rejected_capacity,
         acceptance_ratio: if offered == 0 {
             0.0

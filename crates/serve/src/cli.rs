@@ -106,6 +106,8 @@ fn sim_config(flags: &Flags) -> Result<SimConfig, String> {
         link_capacity: flags.f64_or("capacity", 8.0)?,
         link_delay_us: flags.f64_opt("link-delay")?,
         delay_budget_us: flags.f64_opt("delay-budget")?,
+        affinity_rate: flags.f64_opt("affinity-rate")?,
+        anti_affinity_rate: flags.f64_opt("anti-affinity-rate")?,
         ..SimConfig::default()
     })
 }

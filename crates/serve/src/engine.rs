@@ -50,6 +50,7 @@ pub struct Engine<'n> {
     accepted: u64,
     rejected: u64,
     rejected_deadline: u64,
+    rejected_rule: u64,
     rejected_capacity: u64,
     total_cost: f64,
     solver_cache_hits: u64,
@@ -79,6 +80,7 @@ impl<'n> Engine<'n> {
             accepted: 0,
             rejected: 0,
             rejected_deadline: 0,
+            rejected_rule: 0,
             rejected_capacity: 0,
             total_cost: 0.0,
             solver_cache_hits: 0,
@@ -187,9 +189,12 @@ impl<'n> Engine<'n> {
                 Err(e) => {
                     self.rejected += 1;
                     // Split solver rejections so operators can tell an
-                    // over-tight SLA from a saturated substrate.
+                    // over-tight SLA or an unsatisfiable placement rule
+                    // from a saturated substrate.
                     if e.is_deadline_infeasible() {
                         self.rejected_deadline += 1;
+                    } else if e.is_rule_infeasible() {
+                        self.rejected_rule += 1;
                     } else if matches!(e, EmbedRejection::Solve(_)) {
                         self.rejected_capacity += 1;
                     }
@@ -254,6 +259,7 @@ impl<'n> Engine<'n> {
             accepted: self.accepted,
             rejected: self.rejected,
             rejected_deadline: self.rejected_deadline,
+            rejected_rule: self.rejected_rule,
             rejected_capacity: self.rejected_capacity,
             acceptance_ratio: if offered == 0 {
                 0.0
@@ -471,7 +477,7 @@ mod tests {
     }
 
     #[test]
-    fn rejection_stats_split_deadline_from_capacity() {
+    fn rejection_stats_split_deadline_rule_and_capacity() {
         let c = cfg();
         let net = instance_network(&c);
         let mut engine = Engine::new(&net);
@@ -492,9 +498,24 @@ mod tests {
         assert!(r.is_err());
         assert!(!r.unwrap_err().is_deadline_infeasible());
 
+        // An unsatisfiable placement rule: a reflexive anti-affinity
+        // pair over an embedded kind can never hold, so the rejection
+        // must classify as rule-infeasible.
+        let kind = sfc.layers()[0].vnfs()[0];
+        let ruled = sfc.clone().with_rules(dagsfc_core::PlacementRules {
+            affinity: vec![],
+            anti_affinity: vec![(kind, kind)],
+        });
+        let r = engine.embed(&ruled, &flow, Algo::Mbbe, arrival_seed(c.seed, 0));
+        assert!(r.is_err());
+        let e = r.unwrap_err();
+        assert!(e.is_rule_infeasible(), "{e}");
+        assert!(!e.is_deadline_infeasible());
+
         let stats = engine.stats(0, 16, OracleCounters::default());
-        assert_eq!(stats.rejected, 2);
+        assert_eq!(stats.rejected, 3);
         assert_eq!(stats.rejected_deadline, 1);
+        assert_eq!(stats.rejected_rule, 1);
         assert_eq!(stats.rejected_capacity, 1);
 
         // The original best-effort request still embeds, untouched by

@@ -20,8 +20,11 @@ use serde::{Deserialize, Serialize};
 /// fail fast with a typed error instead of a mid-session parse failure.
 /// History: 1 — the unversioned JSON-lines protocol (no `hello`);
 /// 2 — `hello` handshake, shard-aware stats (`shards`, `per_shard`,
-/// cross-shard counters).
-pub const PROTOCOL_VERSION: u32 = 2;
+/// cross-shard counters);
+/// 3 — placement rules: `embed` chains may carry `rules`
+/// (affinity / anti-affinity kind pairs) and `order` (precedence
+/// edges), and stats split out `rejected_rule`.
+pub const PROTOCOL_VERSION: u32 = 3;
 
 /// A client → server command.
 ///
@@ -174,6 +177,10 @@ pub struct StatsReport {
     /// Of `rejected`: solver rejections proven deadline-infeasible (the
     /// flow's delay budget cannot be met on the current residual).
     pub rejected_deadline: u64,
+    /// Of `rejected`: solver rejections proven rule-infeasible (the
+    /// request's affinity / anti-affinity pairs or precedence order
+    /// cannot be satisfied on the current residual).
+    pub rejected_rule: u64,
     /// Of `rejected`: solver rejections that are capacity/topology
     /// infeasibility (no feasible embedding irrespective of any SLA).
     pub rejected_capacity: u64,

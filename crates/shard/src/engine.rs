@@ -133,6 +133,8 @@ pub struct ShardedStats {
     pub rejected: u64,
     /// Of `rejected`: proven deadline-infeasible.
     pub rejected_deadline: u64,
+    /// Of `rejected`: placement rules (affinity/anti-affinity) infeasible.
+    pub rejected_rule: u64,
     /// Of `rejected`: capacity/topology infeasibility.
     pub rejected_capacity: u64,
     /// Sum of accepted stitched costs.
@@ -188,6 +190,7 @@ pub struct ShardedEngine<'n> {
     accepted: u64,
     rejected: u64,
     rejected_deadline: u64,
+    rejected_rule: u64,
     rejected_capacity: u64,
     total_cost: f64,
     solver_cache_hits: u64,
@@ -223,6 +226,7 @@ impl<'n> ShardedEngine<'n> {
             accepted: 0,
             rejected: 0,
             rejected_deadline: 0,
+            rejected_rule: 0,
             rejected_capacity: 0,
             total_cost: 0.0,
             solver_cache_hits: 0,
@@ -444,6 +448,8 @@ impl<'n> ShardedEngine<'n> {
                     self.rejected += 1;
                     if e.is_deadline_infeasible() {
                         self.rejected_deadline += 1;
+                    } else if e.is_rule_infeasible() {
+                        self.rejected_rule += 1;
                     } else if matches!(e, EmbedRejection::Solve(_)) {
                         self.rejected_capacity += 1;
                     }
@@ -545,6 +551,7 @@ impl<'n> ShardedEngine<'n> {
             accepted: self.accepted,
             rejected: self.rejected,
             rejected_deadline: self.rejected_deadline,
+            rejected_rule: self.rejected_rule,
             rejected_capacity: self.rejected_capacity,
             total_cost: self.total_cost,
             active_leases: self.leases.len() as u64,

@@ -54,6 +54,15 @@ pub struct SimConfig {
     /// `None` runs best-effort (the paper's setting). `Option` for the
     /// same trace-compatibility reason.
     pub delay_budget_us: Option<f64>,
+    /// Probability that a generated request carries one affinity pair
+    /// (two distinct kinds of the chain that must co-locate). `None`
+    /// generates rule-free requests with zero extra RNG draws, so
+    /// committed traces predating placement rules replay bit-identical.
+    pub affinity_rate: Option<f64>,
+    /// Probability that a generated request carries one anti-affinity
+    /// pair (two distinct kinds of the chain that must never share a
+    /// node). Same `None` semantics as `affinity_rate`.
+    pub anti_affinity_rate: Option<f64>,
 }
 
 impl Default for SimConfig {
@@ -75,6 +84,8 @@ impl Default for SimConfig {
             link_capacity: 1e6,
             link_delay_us: None,
             delay_budget_us: None,
+            affinity_rate: None,
+            anti_affinity_rate: None,
         }
     }
 }

@@ -208,6 +208,14 @@ impl EmbedRejection {
     pub fn is_deadline_infeasible(&self) -> bool {
         matches!(self, EmbedRejection::Solve(e) if e.is_deadline_infeasible())
     }
+
+    /// Whether this rejection is rule-classified: the solver proved the
+    /// request's placement rules (affinity / anti-affinity / precedence
+    /// order) unsatisfiable, as opposed to capacity or deadline
+    /// infeasibility.
+    pub fn is_rule_infeasible(&self) -> bool {
+        matches!(self, EmbedRejection::Solve(e) if e.is_rule_infeasible())
+    }
 }
 
 impl std::error::Error for EmbedRejection {}

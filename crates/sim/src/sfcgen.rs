@@ -11,7 +11,7 @@
 //! kinds placed onto that shape.
 
 use crate::config::SimConfig;
-use dagsfc_core::{DagSfc, Flow, Layer};
+use dagsfc_core::{DagSfc, Flow, Layer, PlacementRules};
 use dagsfc_net::{Network, NodeId, VnfTypeId};
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -59,6 +59,44 @@ pub fn random_sfc_of_size<R: Rng + ?Sized>(cfg: &SimConfig, size: usize, rng: &m
     }
     // lint:allow(expect) — invariant: generated chain is valid
     DagSfc::new(layers, cfg.catalog()).expect("generated chain is valid")
+}
+
+/// Attaches randomly drawn placement rules to a generated chain, per
+/// `cfg.affinity_rate` / `cfg.anti_affinity_rate`.
+///
+/// When both rates are `None` (every pre-rule profile) the chain is
+/// returned untouched and **no random draws are consumed**, so request
+/// streams of committed traces replay bit-identical. When armed, each
+/// rate independently adds at most one pair of *distinct kinds drawn
+/// from the chain itself* — a rule over absent kinds would be vacuous.
+/// The two pairs deliberately may overlap: an anti-affinity pair
+/// fighting an affinity pair is a legitimate infeasible-by-rule
+/// request, which the rejection accounting must classify, not dodge.
+pub fn random_rules<R: Rng + ?Sized>(cfg: &SimConfig, sfc: DagSfc, rng: &mut R) -> DagSfc {
+    if cfg.affinity_rate.is_none() && cfg.anti_affinity_rate.is_none() {
+        return sfc;
+    }
+    let kinds: Vec<VnfTypeId> = sfc
+        .layers()
+        .iter()
+        .flat_map(|l| l.vnfs().iter().copied())
+        .collect();
+    let mut rules = PlacementRules::default();
+    if let Some(rate) = cfg.affinity_rate {
+        if kinds.len() >= 2 && rng.gen_bool(rate.clamp(0.0, 1.0)) {
+            let mut pick = kinds.clone();
+            pick.shuffle(rng);
+            rules.affinity.push((pick[0], pick[1]));
+        }
+    }
+    if let Some(rate) = cfg.anti_affinity_rate {
+        if kinds.len() >= 2 && rng.gen_bool(rate.clamp(0.0, 1.0)) {
+            let mut pick = kinds;
+            pick.shuffle(rng);
+            rules.anti_affinity.push((pick[0], pick[1]));
+        }
+    }
+    sfc.with_rules(rules)
 }
 
 /// Draws a random source–destination flow over `net` (distinct endpoints

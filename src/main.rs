@@ -125,6 +125,7 @@ USAGE:
   dagsfc client    ping|stats|embed|release|replay|shutdown --addr HOST:PORT [...]
   dagsfc trace     --out FILE [--arrivals R] [--mean-holding H] [--algo NAME]
                    [--link-delay US] [--delay-budget US]
+                   [--affinity-rate P] [--anti-affinity-rate P]
   dagsfc replay    --trace FILE [--workers W] [--queue Q] [--verify]
   dagsfc audit     --trace FILE [--network FILE] [--json]
                    (exit codes: 0 clean, 1 violations, 2 usage, 3 bad input)
